@@ -1,0 +1,39 @@
+//! Environment throughput: step cost and full-episode rollouts, plus the
+//! random-walk baseline used to normalise Fig. 3's achievability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qmarl_env::prelude::*;
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env");
+    group.bench_function("step", |b| {
+        let mut cfg = EnvConfig::paper_default();
+        cfg.episode_limit = usize::MAX >> 1; // never terminates in-bench
+        let mut env = SingleHopEnv::new(cfg, 1).expect("valid config");
+        env.reset();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 4;
+            env.step(black_box(&[i, (i + 1) % 4, (i + 2) % 4, (i + 3) % 4]))
+                .expect("step")
+        });
+    });
+    group.bench_function("rollout_300_steps", |b| {
+        let cfg = EnvConfig::paper_default();
+        let mut env = SingleHopEnv::new(cfg, 2).expect("valid config");
+        b.iter(|| {
+            rollout_episode(&mut env, |_| vec![0, 1, 2, 3]).expect("rollout")
+        });
+    });
+    group.bench_function("random_walk_episode", |b| {
+        let cfg = EnvConfig::paper_default();
+        let mut env = SingleHopEnv::new(cfg, 3).expect("valid config");
+        b.iter(|| random_walk_baseline(&mut env, 1, 7).expect("baseline"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Simulator micro-benchmarks: gate application cost vs register width.
+//!
+//! Grounds the qubit-scaling ablation: the statevector doubles per added
+//! qubit, which is the paper's argument for keeping the critic at 4 wires.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qmarl_qsim::prelude::*;
+
+fn bench_single_qubit_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_rx");
+    for n in [4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut s = StateVector::zero(n);
+            let g = Gate1::rx(0.3);
+            b.iter(|| {
+                s.apply_gate1(black_box(n / 2), &g).expect("valid wire");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_cnot");
+    for n in [4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut s = StateVector::zero(n);
+            b.iter(|| {
+                s.apply_cnot(black_box(0), black_box(n - 1)).expect("valid wires");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_expectation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expectation_z");
+    for n in [4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut s = StateVector::zero(n);
+            for q in 0..n {
+                s.apply_gate1(q, &Gate1::ry(0.2 * q as f64)).expect("valid wire");
+            }
+            b.iter(|| expectation_z(black_box(&s), black_box(n / 2)).expect("valid wire"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_vs_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_rx_4q");
+    group.bench_function("statevector", |b| {
+        let mut s = StateVector::zero(4);
+        let g = Gate1::rx(0.3);
+        b.iter(|| s.apply_gate1(black_box(2), &g).expect("valid wire"));
+    });
+    group.bench_function("density_matrix", |b| {
+        let mut rho = DensityMatrix::zero(4);
+        let g = Gate1::rx(0.3);
+        b.iter(|| rho.apply_gate1(black_box(2), &g).expect("valid wire"));
+    });
+    group.bench_function("density_matrix_kraus", |b| {
+        let mut rho = DensityMatrix::zero(4);
+        let kraus = NoiseChannel::Depolarizing { p: 0.01 }.kraus_operators();
+        b.iter(|| rho.apply_kraus1(black_box(2), &kraus).expect("valid wire"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_qubit_gate,
+    bench_cnot,
+    bench_expectation,
+    bench_density_vs_statevector
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Per-framework training-epoch cost (the "≈35 minutes for 1000 epochs"
+//! row of the paper's Sec. IV-C, on our substrate).
+//!
+//! Uses a shortened 30-step episode so one Criterion sample stays cheap;
+//! the full-length cost scales linearly in the episode limit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qmarl_core::prelude::*;
+
+fn short_config() -> ExperimentConfig {
+    let mut c = ExperimentConfig::paper_default();
+    c.env.episode_limit = 30;
+    c
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_epoch_30steps");
+    group.sample_size(10);
+    for kind in FrameworkKind::TRAINABLE {
+        group.bench_function(kind.name(), |b| {
+            let mut trainer = build_trainer(kind, &short_config()).expect("paper config valid");
+            b.iter(|| trainer.run_epoch().expect("epoch"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gradient_method_ablation(c: &mut Criterion) {
+    // The same Proposed epoch under adjoint vs parameter-shift training.
+    let mut group = c.benchmark_group("proposed_epoch_by_grad_method");
+    group.sample_size(10);
+    for (name, method) in [
+        ("adjoint", qmarl_vqc::grad::GradMethod::Adjoint),
+        ("parameter_shift", qmarl_vqc::grad::GradMethod::ParameterShift),
+    ] {
+        group.bench_function(name, |b| {
+            let mut cfg = short_config();
+            cfg.train.grad_method = method;
+            let mut trainer =
+                build_trainer(FrameworkKind::Proposed, &cfg).expect("paper config valid");
+            b.iter(|| trainer.run_epoch().expect("epoch"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs, bench_gradient_method_ablation);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 1: the anatomy of the paper's VQC — state encoder, parametrized
+//! circuit, measurement — rendered as ASCII circuit diagrams.
+
+use qmarl_bench::Args;
+use qmarl_core::prelude::ExperimentConfig;
+use qmarl_vqc::prelude::*;
+
+fn main() {
+    let args = Args::from_env();
+    let config = ExperimentConfig::paper_default();
+    let n_qubits = config.train.n_qubits;
+    let full = args.has("full");
+
+    println!("== Fig. 1: VQC structure (state encoder → U_var → measurement) ==\n");
+
+    // Actor: one observation feature per qubit → single Rx encoder layer.
+    let obs_dim = config.env.obs_dim();
+    let actor_enc = layered_angle_encoder(n_qubits, obs_dim).expect("valid encoder");
+    println!("Quantum actor encoder U_enc (obs dim {obs_dim} → {n_qubits} qubits, {} layer):", encoder_depth(n_qubits, obs_dim));
+    println!("{}", qmarl_vqc::diagram::render(&actor_enc));
+
+    // Critic: 16 state features → 4 layers cycling Rx, Ry, Rz, Rx (the
+    // green box of Fig. 1).
+    let state_dim = config.env.state_dim();
+    let critic_enc = layered_angle_encoder(n_qubits, state_dim).expect("valid encoder");
+    println!("Quantum critic state encoder U_enc (state dim {state_dim} → {n_qubits} qubits, {} layers):", encoder_depth(n_qubits, state_dim));
+    println!("{}", qmarl_vqc::diagram::render(&critic_enc));
+
+    // The parametrized circuit at the paper's 50-parameter budget.
+    let var = layered_ansatz(n_qubits, config.train.critic_params - 2).expect("valid ansatz");
+    println!("Parametrized circuit U_var ({}):", qmarl_vqc::diagram::summary(&var));
+    if full {
+        println!("{}", qmarl_vqc::diagram::render(&var));
+    } else {
+        // Show the first two layers; --full prints everything.
+        let mut preview = Circuit::new(n_qubits);
+        preview.append_shifted(&layered_ansatz(n_qubits, 8).expect("valid")).expect("same width");
+        println!("{}(first two layers shown; pass --full for all {} gates)\n", qmarl_vqc::diagram::render(&preview), var.gate_count());
+    }
+
+    // torchquantum-style random layer, as named in Fig. 1.
+    let rand_layer = random_layer_ansatz(n_qubits, RandomLayerConfig::default()).expect("valid config");
+    println!("Random layer variant ({}):", qmarl_vqc::diagram::summary(&rand_layer));
+    if full {
+        println!("{}", qmarl_vqc::diagram::render(&rand_layer));
+    }
+
+    println!("Measurement M: ⟨Z⟩ per wire (actor: {} action logits; critic: weighted sum → V(s))", n_qubits);
+}

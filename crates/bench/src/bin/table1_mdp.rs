@@ -1,0 +1,38 @@
+//! Table I: the MDP of the single-hop offloading environment, printed
+//! from the live types (so the table can never drift from the code).
+
+use qmarl_core::prelude::ExperimentConfig;
+use qmarl_env::prelude::*;
+
+fn main() {
+    let config = ExperimentConfig::paper_default();
+    let env = SingleHopEnv::new(config.env.clone(), 0).expect("paper config valid");
+    let space = env.action_space();
+
+    println!("== Table I: the MDP of the single-hop offloading environment ==\n");
+    println!(
+        "Observation  o^n_t = {{q_e(t), q_e(t-1)}} ∪ {{q_c,k(t)}}_k          dim = {}",
+        env.obs_dim()
+    );
+    println!(
+        "Action       u^n_t ∈ A ≡ I × P                                |A| = {}",
+        env.n_actions()
+    );
+    println!(
+        "  Destination space  I = {{1, …, {}}}",
+        config.env.n_clouds
+    );
+    println!(
+        "  Packet amounts     P = {:?}",
+        config.env.packet_amounts
+    );
+    println!(
+        "State        s_t = ∪_n o^n_t                                  dim = {}",
+        env.state_dim()
+    );
+    println!("Reward       r(s_t, u_t) per eq. (1): −Σ_k [1(empty)·q̃ + 1(full)·q̂·w_R]");
+    println!("\nFlat action layout (index → destination, amount):");
+    for (i, a) in space.iter().enumerate() {
+        println!("  {i} → cloud {} , {:.1}", a.destination + 1, a.amount);
+    }
+}

@@ -1,0 +1,47 @@
+//! Table II: the experiment parameters, plus the per-framework trainable-
+//! parameter accounting of Sec. IV-C ("the trainable parameters of these
+//! three frameworks are all set to 50 … Comp3 … more than 40K").
+
+use qmarl_bench::write_results;
+use qmarl_core::prelude::*;
+
+fn main() {
+    let config = ExperimentConfig::paper_default();
+    println!("== Table II: experiment parameters ==\n");
+    print!("{}", config.table2());
+
+    println!("\n== Sec. IV-C: trainable-parameter budgets ==\n");
+    println!(
+        "{:<12} {:>10} {:>8} {:>10} {:>12}",
+        "framework", "per actor", "actors", "critic", "total"
+    );
+    let mut csv = String::from("framework,per_actor,n_actors,critic,total\n");
+    for kind in [
+        FrameworkKind::Proposed,
+        FrameworkKind::Comp1,
+        FrameworkKind::Comp2,
+        FrameworkKind::Comp3,
+        FrameworkKind::RandomWalk,
+    ] {
+        let r = parameter_report(kind, &config).expect("paper config valid");
+        println!(
+            "{:<12} {:>10} {:>8} {:>10} {:>12}",
+            kind.name(),
+            r.per_actor,
+            r.n_actors,
+            r.critic,
+            r.total()
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            kind.name(),
+            r.per_actor,
+            r.n_actors,
+            r.critic,
+            r.total()
+        ));
+    }
+    let path = write_results("table2_param_budgets.csv", &csv);
+    println!("\nwrote {}", path.display());
+    println!("paper reference: Proposed/Comp1/Comp2 ≈ 50 per network; Comp3 > 40 000");
+}

@@ -1,0 +1,155 @@
+//! # qmarl-bench — experiment harness utilities
+//!
+//! Shared plumbing for the experiment binaries that regenerate every table
+//! and figure of the paper (see `DESIGN.md` §3 for the index): CLI flag
+//! parsing, CSV output into `results/`, and multi-seed aggregation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod plot;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Minimal `--flag value` CLI parser shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn from_env() -> Self {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Builds from an explicit list (for tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Args { raw }
+    }
+
+    /// The value following `--name`, parsed, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when the value fails to parse.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        let flag = format!("--{name}");
+        let mut it = self.raw.iter();
+        while let Some(a) = it.next() {
+            if *a == flag {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| panic!("flag {flag} expects a value"));
+                return v
+                    .parse()
+                    .unwrap_or_else(|e| panic!("invalid value for {flag}: {e}"));
+            }
+        }
+        default
+    }
+
+    /// `true` when `--name` appears (no value).
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| *a == flag)
+    }
+}
+
+/// The output directory for experiment CSVs (`results/` at the workspace
+/// root, created on demand).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the workspace root")
+        .to_path_buf();
+    let dir = root.join("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes CSV content to `results/<name>` and returns the full path.
+pub fn write_results(name: &str, content: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    fs::write(&path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
+/// Mean and (population) standard deviation of a sample.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Smooths a series with a trailing moving average of width `w` (how the
+/// paper's training curves are typically rendered).
+pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "window must be positive");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        sum += x;
+        if i >= w {
+            sum -= xs[i - w];
+        }
+        let denom = (i + 1).min(w) as f64;
+        out.push(sum / denom);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_values_and_flags() {
+        let a = Args::from_vec(vec![
+            "--epochs".into(),
+            "250".into(),
+            "--quick".into(),
+            "--seed".into(),
+            "9".into(),
+        ]);
+        assert_eq!(a.get("epochs", 1000usize), 250);
+        assert_eq!(a.get("seed", 0u64), 9);
+        assert_eq!(a.get("missing", 3.5f64), 3.5);
+        assert!(a.has("quick"));
+        assert!(!a.has("verbose"));
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let xs = [0.0, 2.0, 4.0, 6.0];
+        let ma = moving_average(&xs, 2);
+        assert_eq!(ma, vec![0.0, 1.0, 3.0, 5.0]);
+        let ma1 = moving_average(&xs, 1);
+        assert_eq!(ma1, xs.to_vec());
+    }
+
+    #[test]
+    fn results_dir_exists() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+        assert!(d.exists());
+    }
+}

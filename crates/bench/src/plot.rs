@@ -1,0 +1,174 @@
+//! Terminal line charts for training curves.
+//!
+//! The experiment binaries write CSVs for external plotting, but a
+//! terminal-first repo should also *show* Fig. 3. [`LinePlot`] renders
+//! multiple labelled series into a fixed character grid with axis ticks
+//! and a legend, Braille-free for maximum terminal compatibility.
+
+/// A multi-series ASCII line chart.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+/// Marker glyphs assigned to series in order.
+const MARKS: [char; 6] = ['o', '+', 'x', '*', '#', '@'];
+
+impl LinePlot {
+    /// A chart with the given title and drawing-area size in characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 8 (unreadably small).
+    pub fn new(title: &str, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "plot area too small");
+        LinePlot { title: title.to_string(), width, height, series: Vec::new() }
+    }
+
+    /// Adds a labelled series. Series are drawn in insertion order; later
+    /// series overdraw earlier ones where they collide.
+    pub fn series(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        self.series.push((label.to_string(), values.to_vec()));
+        self
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        if self.series.is_empty() || self.series.iter().all(|(_, v)| v.is_empty()) {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut max_len = 0usize;
+        for (_, v) in &self.series {
+            for &y in v {
+                if y.is_finite() {
+                    lo = lo.min(y);
+                    hi = hi.max(y);
+                }
+            }
+            max_len = max_len.max(v.len());
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            out.push_str("(no finite data)\n");
+            return out;
+        }
+        if (hi - lo).abs() < 1e-12 {
+            hi = lo + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, (_, values)) in self.series.iter().enumerate() {
+            let mark = MARKS[si % MARKS.len()];
+            for (i, &y) in values.iter().enumerate() {
+                if !y.is_finite() {
+                    continue;
+                }
+                let x = if max_len <= 1 {
+                    0
+                } else {
+                    i * (self.width - 1) / (max_len - 1)
+                };
+                let fy = (y - lo) / (hi - lo);
+                let row = self.height - 1 - ((fy * (self.height - 1) as f64).round() as usize);
+                grid[row][x] = mark;
+            }
+        }
+
+        let label_w = 11;
+        for (r, row) in grid.iter().enumerate() {
+            let y_here = hi - (hi - lo) * r as f64 / (self.height - 1) as f64;
+            if r % 3 == 0 || r == self.height - 1 {
+                out.push_str(&format!("{y_here:>10.2} |"));
+            } else {
+                out.push_str(&format!("{:>10} |", ""));
+            }
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>w$}+{}\n", "", "-".repeat(self.width), w = label_w - 1));
+        out.push_str(&format!(
+            "{:>w$}0{:>x$}\n",
+            "",
+            max_len.saturating_sub(1),
+            w = label_w,
+            x = self.width - 1
+        ));
+        out.push_str(&format!("{:>w$}", "", w = label_w));
+        for (si, (label, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!("{} {}   ", MARKS[si % MARKS.len()], label));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let mut p = LinePlot::new("reward vs epoch", 40, 10);
+        p.series("Proposed", &[-40.0, -30.0, -20.0, -10.0, -5.0]);
+        p.series("Comp2", &[-40.0, -38.0, -35.0, -33.0, -30.0]);
+        let txt = p.render();
+        assert!(txt.contains("reward vs epoch"));
+        assert!(txt.contains("o Proposed"));
+        assert!(txt.contains("+ Comp2"));
+        assert!(txt.contains('|'));
+        assert!(txt.contains('o'));
+        assert!(txt.contains('+'));
+    }
+
+    #[test]
+    fn empty_plot_degrades_gracefully() {
+        let p = LinePlot::new("empty", 20, 8);
+        assert!(p.render().contains("(no data)"));
+        let mut p = LinePlot::new("empty series", 20, 8);
+        p.series("a", &[]);
+        assert!(p.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_renders() {
+        let mut p = LinePlot::new("flat", 20, 8);
+        p.series("c", &[1.0; 10]);
+        let txt = p.render();
+        assert!(txt.contains('o'));
+    }
+
+    #[test]
+    fn extremes_land_on_top_and_bottom_rows() {
+        let mut p = LinePlot::new("range", 20, 9);
+        p.series("s", &[0.0, 10.0]);
+        let txt = p.render();
+        let lines: Vec<&str> = txt.lines().collect();
+        // Row 1 (first grid row, after the title) holds the max.
+        assert!(lines[1].contains('o'), "max on top row: {txt}");
+        // The last grid row (height-th line) holds the min.
+        assert!(lines[9].contains('o'), "min on bottom row: {txt}");
+    }
+
+    #[test]
+    fn nan_values_are_skipped() {
+        let mut p = LinePlot::new("nan", 20, 8);
+        p.series("s", &[1.0, f64::NAN, 3.0]);
+        let txt = p.render();
+        assert!(txt.contains('o'));
+        let mut p = LinePlot::new("all nan", 20, 8);
+        p.series("s", &[f64::NAN, f64::NAN]);
+        assert!(p.render().contains("(no finite data)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_rejected() {
+        let _ = LinePlot::new("x", 2, 2);
+    }
+}

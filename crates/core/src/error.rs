@@ -1,0 +1,85 @@
+//! Error type for the QMARL framework layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while building or training QMARL frameworks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying VQC layer failed.
+    Vqc(qmarl_vqc::error::VqcError),
+    /// The environment failed.
+    Env(qmarl_env::error::EnvError),
+    /// A parameter vector had the wrong length.
+    ParamLenMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+    /// An observation/state vector had the wrong length.
+    FeatureLenMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+    /// A training configuration value was rejected.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Vqc(e) => write!(f, "vqc error: {e}"),
+            CoreError::Env(e) => write!(f, "environment error: {e}"),
+            CoreError::ParamLenMismatch { expected, actual } => {
+                write!(f, "expected {expected} parameters, got {actual}")
+            }
+            CoreError::FeatureLenMismatch { expected, actual } => {
+                write!(f, "expected a {expected}-dimensional feature vector, got {actual}")
+            }
+            CoreError::InvalidConfig(msg) => write!(f, "invalid training config: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Vqc(e) => Some(e),
+            CoreError::Env(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qmarl_vqc::error::VqcError> for CoreError {
+    fn from(e: qmarl_vqc::error::VqcError) -> Self {
+        CoreError::Vqc(e)
+    }
+}
+
+impl From<qmarl_env::error::EnvError> for CoreError {
+    fn from(e: qmarl_env::error::EnvError) -> Self {
+        CoreError::Env(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CoreError::from(qmarl_vqc::error::VqcError::InvalidConfig("x".into()));
+        assert!(e.to_string().contains("vqc error"));
+        assert!(e.source().is_some());
+        let e = CoreError::from(qmarl_env::error::EnvError::EpisodeOver);
+        assert!(e.source().is_some());
+        let e = CoreError::InvalidConfig("bad gamma".into());
+        assert!(e.source().is_none());
+        assert!(!CoreError::ParamLenMismatch { expected: 1, actual: 2 }.to_string().is_empty());
+        assert!(!CoreError::FeatureLenMismatch { expected: 1, actual: 2 }.to_string().is_empty());
+    }
+}

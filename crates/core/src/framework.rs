@@ -1,0 +1,268 @@
+//! The four evaluated frameworks (Sec. IV-C) plus the random-walk
+//! baseline, as ready-to-train bundles.
+//!
+//! | name | actors | centralized critic | budget |
+//! |---|---|---|---|
+//! | `Proposed` | quantum (VQC) | quantum (VQC + state encoding) | 50 / 50 |
+//! | `Comp1` | quantum (VQC) | classical MLP | 50 / ≈50 |
+//! | `Comp2` | classical MLP | classical MLP | ≈50 / ≈50 |
+//! | `Comp3` | classical MLP | classical MLP | > 40 000 |
+//! | `RandomWalk` | uniform random | — | 0 |
+
+use qmarl_env::single_hop::{EnvConfig, SingleHopEnv};
+use qmarl_neural::mlp::hidden_for_budget;
+
+use crate::config::{ExperimentConfig, TrainConfig};
+use crate::error::CoreError;
+use crate::policy::{Actor, ClassicalActor, QuantumActor};
+use crate::trainer::CtdeTrainer;
+use crate::value::{ClassicalCritic, Critic, QuantumCritic};
+
+/// Which of the paper's frameworks to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FrameworkKind {
+    /// Quantum actors + quantum centralized critic (the paper's QMARL).
+    Proposed,
+    /// Quantum actors + classical critic (hybrid).
+    Comp1,
+    /// Classical actors + classical critic at the ~50-parameter budget.
+    Comp2,
+    /// Classical actors + classical critic, unconstrained (> 40 K params).
+    Comp3,
+    /// Uniform-random joint policy (normalisation baseline).
+    RandomWalk,
+}
+
+impl FrameworkKind {
+    /// All trainable frameworks, in the paper's order.
+    pub const TRAINABLE: [FrameworkKind; 4] = [
+        FrameworkKind::Proposed,
+        FrameworkKind::Comp1,
+        FrameworkKind::Comp2,
+        FrameworkKind::Comp3,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameworkKind::Proposed => "Proposed",
+            FrameworkKind::Comp1 => "Comp1",
+            FrameworkKind::Comp2 => "Comp2",
+            FrameworkKind::Comp3 => "Comp3",
+            FrameworkKind::RandomWalk => "RandomWalk",
+        }
+    }
+}
+
+impl std::fmt::Display for FrameworkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hidden sizes for Comp3's unconstrained networks (> 40 K parameters,
+/// matching "the number of parameters is more than 40 K").
+const COMP3_HIDDEN: usize = 200;
+
+/// Builds the actors of a framework.
+///
+/// # Errors
+///
+/// Returns construction errors; `RandomWalk` has no actors and returns an
+/// empty vector.
+pub fn build_actors(
+    kind: FrameworkKind,
+    env: &EnvConfig,
+    train: &TrainConfig,
+) -> Result<Vec<Box<dyn Actor>>, CoreError> {
+    let obs_dim = env.obs_dim();
+    let n_actions = env.n_clouds * env.packet_amounts.len();
+    let seed = train.seed;
+    let mut actors: Vec<Box<dyn Actor>> = Vec::with_capacity(env.n_edges);
+    for n in 0..env.n_edges {
+        let actor_seed = seed.wrapping_add(1000 + n as u64);
+        let actor: Box<dyn Actor> = match kind {
+            FrameworkKind::Proposed | FrameworkKind::Comp1 => Box::new(
+                QuantumActor::new(train.n_qubits, obs_dim, n_actions, train.actor_params, actor_seed)?
+                    .with_grad_method(train.grad_method),
+            ),
+            FrameworkKind::Comp2 => {
+                let (h, _) = hidden_for_budget(obs_dim, n_actions, train.actor_params);
+                Box::new(ClassicalActor::new(&[obs_dim, h, n_actions], actor_seed)?)
+            }
+            FrameworkKind::Comp3 => Box::new(ClassicalActor::new(
+                &[obs_dim, COMP3_HIDDEN, COMP3_HIDDEN, n_actions],
+                actor_seed,
+            )?),
+            FrameworkKind::RandomWalk => {
+                return Err(CoreError::InvalidConfig(
+                    "the random walk has no trainable actors".into(),
+                ))
+            }
+        };
+        actors.push(actor);
+    }
+    Ok(actors)
+}
+
+/// Builds the centralized critic of a framework.
+///
+/// # Errors
+///
+/// Returns construction errors; `RandomWalk` has no critic.
+pub fn build_critic(
+    kind: FrameworkKind,
+    env: &EnvConfig,
+    train: &TrainConfig,
+) -> Result<Box<dyn Critic>, CoreError> {
+    let state_dim = env.state_dim();
+    let seed = train.seed.wrapping_add(9000);
+    match kind {
+        FrameworkKind::Proposed => Ok(Box::new(
+            QuantumCritic::new(train.n_qubits, state_dim, train.critic_params, seed)?
+                .with_grad_method(train.grad_method),
+        )),
+        FrameworkKind::Comp1 | FrameworkKind::Comp2 => {
+            let (h, _) = hidden_for_budget(state_dim, 1, train.critic_params);
+            Ok(Box::new(ClassicalCritic::new(&[state_dim, h, 1], seed)?))
+        }
+        FrameworkKind::Comp3 => Ok(Box::new(ClassicalCritic::new(
+            &[state_dim, COMP3_HIDDEN, COMP3_HIDDEN, 1],
+            seed,
+        )?)),
+        FrameworkKind::RandomWalk => Err(CoreError::InvalidConfig(
+            "the random walk has no critic".into(),
+        )),
+    }
+}
+
+/// Builds the complete trainer for a framework on a fresh environment.
+///
+/// # Errors
+///
+/// Returns construction errors (and rejects `RandomWalk`, which is not
+/// trainable — use [`qmarl_env::random_walk::random_walk_baseline`]).
+pub fn build_trainer(
+    kind: FrameworkKind,
+    config: &ExperimentConfig,
+) -> Result<CtdeTrainer<SingleHopEnv>, CoreError> {
+    config.validate()?;
+    let env = SingleHopEnv::new(config.env.clone(), config.train.seed)?;
+    let actors = build_actors(kind, &config.env, &config.train)?;
+    let critic = build_critic(kind, &config.env, &config.train)?;
+    CtdeTrainer::new(env, actors, critic, config.train.clone())
+}
+
+/// Parameter accounting per framework — the budget table of Sec. IV-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ParamReport {
+    /// Framework.
+    pub kind: FrameworkKind,
+    /// Trainable parameters per actor.
+    pub per_actor: usize,
+    /// Number of actors.
+    pub n_actors: usize,
+    /// Trainable parameters in the critic.
+    pub critic: usize,
+}
+
+impl ParamReport {
+    /// Total trainable parameters across the framework.
+    pub fn total(&self) -> usize {
+        self.per_actor * self.n_actors + self.critic
+    }
+}
+
+/// Computes the parameter report for a framework.
+///
+/// # Errors
+///
+/// Returns construction errors.
+pub fn parameter_report(
+    kind: FrameworkKind,
+    config: &ExperimentConfig,
+) -> Result<ParamReport, CoreError> {
+    if kind == FrameworkKind::RandomWalk {
+        return Ok(ParamReport { kind, per_actor: 0, n_actors: 0, critic: 0 });
+    }
+    let actors = build_actors(kind, &config.env, &config.train)?;
+    let critic = build_critic(kind, &config.env, &config.train)?;
+    Ok(ParamReport {
+        kind,
+        per_actor: actors[0].param_count(),
+        n_actors: actors.len(),
+        critic: critic.param_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::paper_default();
+        c.env.episode_limit = 10;
+        c
+    }
+
+    #[test]
+    fn parameter_budgets_match_section_4c() {
+        let cfg = config();
+        let proposed = parameter_report(FrameworkKind::Proposed, &cfg).unwrap();
+        assert_eq!(proposed.per_actor, 50);
+        assert_eq!(proposed.critic, 50);
+        assert_eq!(proposed.n_actors, 4);
+        assert_eq!(proposed.total(), 250);
+
+        let comp1 = parameter_report(FrameworkKind::Comp1, &cfg).unwrap();
+        assert_eq!(comp1.per_actor, 50);
+        assert!(comp1.critic <= 50, "comp1 critic {} must respect the budget", comp1.critic);
+
+        let comp2 = parameter_report(FrameworkKind::Comp2, &cfg).unwrap();
+        assert!(comp2.per_actor <= 50);
+        assert!(comp2.per_actor >= 40, "budget-matched, not trivially small");
+        assert!(comp2.critic <= 50);
+
+        let comp3 = parameter_report(FrameworkKind::Comp3, &cfg).unwrap();
+        assert!(comp3.per_actor > 40_000, "comp3 actor {}", comp3.per_actor);
+        assert!(comp3.critic > 40_000, "comp3 critic {}", comp3.critic);
+
+        let rw = parameter_report(FrameworkKind::RandomWalk, &cfg).unwrap();
+        assert_eq!(rw.total(), 0);
+    }
+
+    #[test]
+    fn trainers_build_for_all_trainable_kinds() {
+        let cfg = config();
+        for kind in FrameworkKind::TRAINABLE {
+            let t = build_trainer(kind, &cfg).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(t.actors().len(), 4);
+        }
+        assert!(build_trainer(FrameworkKind::RandomWalk, &cfg).is_err());
+    }
+
+    #[test]
+    fn one_epoch_of_each_framework_runs() {
+        let cfg = config();
+        for kind in FrameworkKind::TRAINABLE {
+            let mut t = build_trainer(kind, &cfg).unwrap();
+            let rec = t.run_epoch().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(rec.metrics.total_reward <= 0.0, "{kind}");
+            assert!(rec.critic_loss.is_finite(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(FrameworkKind::Proposed.to_string(), "Proposed");
+        assert_eq!(FrameworkKind::Comp1.name(), "Comp1");
+        assert_eq!(FrameworkKind::TRAINABLE.len(), 4);
+    }
+
+    #[test]
+    fn random_walk_builders_rejected() {
+        let cfg = config();
+        assert!(build_actors(FrameworkKind::RandomWalk, &cfg.env, &cfg.train).is_err());
+        assert!(build_critic(FrameworkKind::RandomWalk, &cfg.env, &cfg.train).is_err());
+    }
+}

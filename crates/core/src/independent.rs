@@ -1,0 +1,278 @@
+//! Independent learners: the non-CTDE strawman.
+//!
+//! The paper adopts CTDE because independent per-agent training makes
+//! each agent's reward non-stationary from the others' viewpoint ("agent
+//! interactions often incur the non-stationary reward of each agent,
+//! hindering the MARL training convergence"). [`IndependentTrainer`]
+//! implements exactly that strawman — each agent owns a **local critic
+//! over its own observation only** and never sees the global state — so
+//! the CTDE-vs-independent ablation can measure what centralized training
+//! actually buys.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qmarl_env::metrics::MetricsAccumulator;
+use qmarl_env::multi_agent::MultiAgentEnv;
+use qmarl_neural::optim::Adam;
+
+use crate::config::TrainConfig;
+use crate::error::CoreError;
+use crate::policy::{select_action, Actor};
+use crate::trainer::{EpochRecord, TrainingHistory};
+use crate::value::Critic;
+
+/// A decentralized trainer: per-agent actors *and* per-agent local
+/// critics, no shared state, no centralized anything.
+pub struct IndependentTrainer<E: MultiAgentEnv> {
+    env: E,
+    actors: Vec<Box<dyn Actor>>,
+    critics: Vec<Box<dyn Critic>>,
+    targets: Vec<Box<dyn Critic>>,
+    actor_opts: Vec<Adam>,
+    critic_opts: Vec<Adam>,
+    config: TrainConfig,
+    rng: StdRng,
+    history: TrainingHistory,
+    epoch: usize,
+}
+
+impl<E: MultiAgentEnv> IndependentTrainer<E> {
+    /// Assembles the trainer. Each critic must consume the **per-agent
+    /// observation** (`env.obs_dim()`), not the global state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on shape mismatches.
+    pub fn new(
+        env: E,
+        actors: Vec<Box<dyn Actor>>,
+        critics: Vec<Box<dyn Critic>>,
+        config: TrainConfig,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        if actors.len() != env.n_agents() || critics.len() != env.n_agents() {
+            return Err(CoreError::InvalidConfig(format!(
+                "need one actor and one critic per agent: {} agents, {} actors, {} critics",
+                env.n_agents(),
+                actors.len(),
+                critics.len()
+            )));
+        }
+        for (n, (a, c)) in actors.iter().zip(&critics).enumerate() {
+            if a.obs_dim() != env.obs_dim() || a.n_actions() != env.n_actions() {
+                return Err(CoreError::InvalidConfig(format!("actor {n} shape mismatch")));
+            }
+            if c.state_dim() != env.obs_dim() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "critic {n} must be local (obs dim {}), got {}",
+                    env.obs_dim(),
+                    c.state_dim()
+                )));
+            }
+        }
+        let actor_opts = actors.iter().map(|a| Adam::new(config.lr_actor, a.param_count())).collect();
+        let critic_opts = critics.iter().map(|c| Adam::new(config.lr_critic, c.param_count())).collect();
+        let targets = critics.iter().map(|c| c.clone_box()).collect();
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(IndependentTrainer {
+            env,
+            actors,
+            critics,
+            targets,
+            actor_opts,
+            critic_opts,
+            config,
+            rng,
+            history: TrainingHistory::default(),
+            epoch: 0,
+        })
+    }
+
+    /// The training history so far.
+    pub fn history(&self) -> &TrainingHistory {
+        &self.history
+    }
+
+    /// The actors.
+    pub fn actors(&self) -> &[Box<dyn Actor>] {
+        &self.actors
+    }
+
+    /// One epoch: rollout with stochastic policies, then per-agent
+    /// actor-critic updates using only local information.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and model errors.
+    pub fn run_epoch(&mut self) -> Result<EpochRecord, CoreError> {
+        let (mut obs, _state) = self.env.reset();
+        let mut acc = MetricsAccumulator::new();
+        let mut transitions: Vec<(Vec<Vec<f64>>, Vec<usize>, f64, Vec<Vec<f64>>)> = Vec::new();
+        let mut entropy_sum = 0.0;
+        let mut entropy_n = 0usize;
+        loop {
+            let mut actions = Vec::with_capacity(self.actors.len());
+            for (n, actor) in self.actors.iter().enumerate() {
+                let probs = actor.probs(&obs[n])?;
+                entropy_sum += qmarl_neural::loss::entropy(&probs);
+                entropy_n += 1;
+                actions.push(select_action(&probs, false, &mut self.rng));
+            }
+            let out = self.env.step(&actions)?;
+            acc.record_step(out.reward, &out.info.queue_levels, &out.info.cloud_empty, &out.info.cloud_full);
+            transitions.push((obs.clone(), actions, out.reward, out.observations.clone()));
+            obs = out.observations;
+            if out.done {
+                break;
+            }
+        }
+        let metrics = acc.finish();
+
+        // Per-sample independent updates (mirrors the CTDE trainer's
+        // schedule so the comparison isolates the critic architecture).
+        let gamma = self.config.gamma;
+        let mut loss_sum = 0.0;
+        let mut loss_n = 0usize;
+        for (o_t, u_t, r, o_next) in &transitions {
+            for n in 0..self.actors.len() {
+                let (v, critic_grad) = self.critics[n].value_with_gradient(&o_t[n])?;
+                let v_next = self.targets[n].value(&o_next[n])?;
+                let y = r + gamma * v_next - v;
+                loss_sum += y * y;
+                loss_n += 1;
+
+                let grad = self.actors[n].policy_gradient(&o_t[n], u_t[n], y)?;
+                let mut params = self.actors[n].params();
+                self.actor_opts[n].step(&mut params, &grad);
+                self.actors[n].set_params(&params)?;
+
+                let mut cparams = self.critics[n].params();
+                let scaled: Vec<f64> = critic_grad.iter().map(|g| -2.0 * y * g).collect();
+                self.critic_opts[n].step(&mut cparams, &scaled);
+                self.critics[n].set_params(&cparams)?;
+            }
+        }
+        self.epoch += 1;
+        if self.epoch.is_multiple_of(self.config.target_update_period) {
+            for (t, c) in self.targets.iter_mut().zip(&self.critics) {
+                t.set_params(&c.params())?;
+            }
+        }
+        let record = EpochRecord {
+            epoch: self.epoch - 1,
+            metrics,
+            critic_loss: if loss_n == 0 { 0.0 } else { loss_sum / loss_n as f64 },
+            mean_entropy: if entropy_n == 0 { 0.0 } else { entropy_sum / entropy_n as f64 },
+        };
+        self.history.push_record(record);
+        Ok(record)
+    }
+
+    /// Trains for `epochs` epochs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first epoch error.
+    pub fn train(&mut self, epochs: usize) -> Result<&TrainingHistory, CoreError> {
+        for _ in 0..epochs {
+            self.run_epoch()?;
+        }
+        Ok(&self.history)
+    }
+}
+
+/// Convenience: the *quantum* independent-learner bundle (quantum actors +
+/// quantum local critics at the same budgets as `Proposed`).
+///
+/// # Errors
+///
+/// Returns construction errors.
+pub fn build_independent_quantum(
+    env_cfg: &qmarl_env::single_hop::EnvConfig,
+    train: &TrainConfig,
+) -> Result<(Vec<Box<dyn Actor>>, Vec<Box<dyn Critic>>), CoreError> {
+    let actors = crate::framework::build_actors(crate::framework::FrameworkKind::Proposed, env_cfg, train)?;
+    let critics: Vec<Box<dyn Critic>> = (0..env_cfg.n_edges)
+        .map(|n| {
+            crate::value::QuantumCritic::new(
+                train.n_qubits,
+                env_cfg.obs_dim(),
+                train.critic_params,
+                train.seed.wrapping_add(5000 + n as u64),
+            )
+            .map(|c| Box::new(c.with_grad_method(train.grad_method)) as Box<dyn Critic>)
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((actors, critics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::value::QuantumCritic;
+    use qmarl_env::single_hop::{EnvConfig, SingleHopEnv};
+
+    fn setup(seed: u64) -> IndependentTrainer<SingleHopEnv> {
+        let mut env_cfg = EnvConfig::paper_default();
+        env_cfg.episode_limit = 10;
+        let mut train = ExperimentConfig::paper_default().train;
+        train.seed = seed;
+        let env = SingleHopEnv::new(env_cfg.clone(), seed).unwrap();
+        let (actors, critics) = build_independent_quantum(&env_cfg, &train).unwrap();
+        IndependentTrainer::new(env, actors, critics, train).unwrap()
+    }
+
+    #[test]
+    fn builds_with_local_critics() {
+        let t = setup(1);
+        assert_eq!(t.actors().len(), 4);
+    }
+
+    #[test]
+    fn rejects_centralized_critic() {
+        let mut env_cfg = EnvConfig::paper_default();
+        env_cfg.episode_limit = 10;
+        let train = ExperimentConfig::paper_default().train;
+        let env = SingleHopEnv::new(env_cfg.clone(), 0).unwrap();
+        let (actors, _) = build_independent_quantum(&env_cfg, &train).unwrap();
+        // Centralized (16-input) critics must be rejected.
+        let critics: Vec<Box<dyn Critic>> = (0..4)
+            .map(|n| {
+                Box::new(QuantumCritic::new(4, 16, 50, n).unwrap()) as Box<dyn Critic>
+            })
+            .collect();
+        assert!(IndependentTrainer::new(env, actors, critics, train).is_err());
+    }
+
+    #[test]
+    fn epoch_runs_and_records() {
+        let mut t = setup(2);
+        let rec = t.run_epoch().unwrap();
+        assert_eq!(rec.epoch, 0);
+        assert!(rec.metrics.total_reward <= 0.0);
+        assert!(rec.critic_loss.is_finite());
+        assert_eq!(t.history().len(), 1);
+    }
+
+    #[test]
+    fn training_is_reproducible() {
+        let run = |seed: u64| {
+            let mut t = setup(seed);
+            t.train(3).unwrap();
+            t.history().records().iter().map(|r| r.metrics.total_reward).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn parameters_move_during_training() {
+        let mut t = setup(3);
+        let before = t.actors()[0].params();
+        t.train(2).unwrap();
+        let after = t.actors()[0].params();
+        assert!(before.iter().zip(&after).any(|(a, b)| (a - b).abs() > 1e-12));
+    }
+}

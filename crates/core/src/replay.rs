@@ -1,0 +1,184 @@
+//! The experience replay buffer `D` of Algorithm 1.
+//!
+//! Line 9 of the paper's Algorithm 1 stores the tuple
+//! `(s_t, o_t, u_t, r_t, s_{t+1}, o_{t+1})` per step; lines 12–15 then
+//! iterate over "each timestep t in each episode in batch D". The buffer
+//! here is episode-granular with a bounded capacity so the trainer can
+//! train on the most recent episode (pure on-policy, the default) or a
+//! small recent batch.
+
+use std::collections::VecDeque;
+
+/// One stored transition (Algorithm 1, line 9).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Transition {
+    /// Global state `s_t`.
+    pub state: Vec<f64>,
+    /// Per-agent observations `o_t`.
+    pub observations: Vec<Vec<f64>>,
+    /// Per-agent flat actions `u_t`.
+    pub actions: Vec<usize>,
+    /// Shared reward `r_t`.
+    pub reward: f64,
+    /// Next global state `s_{t+1}`.
+    pub next_state: Vec<f64>,
+    /// Next observations `o_{t+1}`.
+    pub next_observations: Vec<Vec<f64>>,
+    /// Whether this transition ended the episode.
+    pub done: bool,
+}
+
+/// A finished episode: its transitions in time order.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Episode {
+    transitions: Vec<Transition>,
+}
+
+impl Episode {
+    /// An empty episode.
+    pub fn new() -> Self {
+        Episode { transitions: Vec::new() }
+    }
+
+    /// Appends a transition.
+    pub fn push(&mut self, t: Transition) {
+        self.transitions.push(t);
+    }
+
+    /// The transitions in time order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Episode length in steps.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// `true` when no transition has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Sum of rewards.
+    pub fn total_reward(&self) -> f64 {
+        self.transitions.iter().map(|t| t.reward).sum()
+    }
+}
+
+/// Episode-granular replay buffer with a bounded episode capacity.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    episodes: VecDeque<Episode>,
+    capacity: usize,
+}
+
+impl ReplayBuffer {
+    /// A buffer holding at most `capacity` episodes (oldest evicted first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer capacity must be positive");
+        ReplayBuffer { episodes: VecDeque::new(), capacity }
+    }
+
+    /// Stores a finished episode, evicting the oldest if full.
+    pub fn push(&mut self, episode: Episode) {
+        if self.episodes.len() == self.capacity {
+            self.episodes.pop_front();
+        }
+        self.episodes.push_back(episode);
+    }
+
+    /// Number of stored episodes.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// `true` when no episode is stored.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The most recent `n` episodes (or fewer if the buffer is shorter),
+    /// oldest first — the "batch D" the trainer iterates.
+    pub fn recent(&self, n: usize) -> impl Iterator<Item = &Episode> {
+        let skip = self.episodes.len().saturating_sub(n);
+        self.episodes.iter().skip(skip)
+    }
+
+    /// Total transitions across all stored episodes.
+    pub fn total_transitions(&self) -> usize {
+        self.episodes.iter().map(Episode::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_transition(r: f64) -> Transition {
+        Transition {
+            state: vec![0.0; 4],
+            observations: vec![vec![0.0; 2]; 2],
+            actions: vec![0, 1],
+            reward: r,
+            next_state: vec![0.0; 4],
+            next_observations: vec![vec![0.0; 2]; 2],
+            done: false,
+        }
+    }
+
+    fn episode_with(rs: &[f64]) -> Episode {
+        let mut e = Episode::new();
+        for &r in rs {
+            e.push(dummy_transition(r));
+        }
+        e
+    }
+
+    #[test]
+    fn episode_accumulates() {
+        let e = episode_with(&[-1.0, -2.0]);
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        assert_eq!(e.total_reward(), -3.0);
+        assert_eq!(e.transitions().len(), 2);
+    }
+
+    #[test]
+    fn buffer_evicts_oldest() {
+        let mut buf = ReplayBuffer::new(2);
+        buf.push(episode_with(&[-1.0]));
+        buf.push(episode_with(&[-2.0]));
+        buf.push(episode_with(&[-3.0]));
+        assert_eq!(buf.len(), 2);
+        let rewards: Vec<f64> = buf.recent(10).map(Episode::total_reward).collect();
+        assert_eq!(rewards, vec![-2.0, -3.0]);
+    }
+
+    #[test]
+    fn recent_takes_newest() {
+        let mut buf = ReplayBuffer::new(5);
+        for i in 0..4 {
+            buf.push(episode_with(&[-(i as f64)]));
+        }
+        let last_two: Vec<f64> = buf.recent(2).map(Episode::total_reward).collect();
+        assert_eq!(last_two, vec![-2.0, -3.0]);
+        assert_eq!(buf.total_transitions(), 4);
+        assert_eq!(buf.capacity(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

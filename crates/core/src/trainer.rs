@@ -1,0 +1,522 @@
+//! Algorithm 1: CTDE-based QMARL training.
+//!
+//! Centralized training, decentralized execution: during rollouts each
+//! actor sees only its own observation; during updates the critic sees
+//! the global state. Per epoch the trainer
+//!
+//! 1. rolls out one episode with the current (stochastic) policies,
+//! 2. stores it in the replay buffer `D`,
+//! 3. sweeps "each timestep t in each episode in batch D" computing the
+//!    TD target `y_t = r_t + γ V_φ(s_{t+1}) − V_ψ(s_t)`,
+//! 4. applies MAPG updates to every actor and an `‖y‖²` update to the
+//!    critic (one Adam step per timestep sample, which with the paper's
+//!    learning rates 1e-4/1e-5 gives the convergence timescale of Fig. 3),
+//! 5. periodically syncs the target network `φ ← ψ`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qmarl_env::metrics::{EpisodeMetrics, MetricsAccumulator};
+use qmarl_env::multi_agent::MultiAgentEnv;
+use qmarl_neural::optim::Adam;
+use qmarl_neural::prelude::entropy;
+
+use crate::config::TrainConfig;
+use crate::error::CoreError;
+use crate::policy::{select_action, Actor};
+use crate::replay::{Episode, ReplayBuffer, Transition};
+use crate::value::Critic;
+
+/// One epoch's record: the quantities Fig. 3 plots, plus diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Metrics of the training episode rolled out this epoch.
+    pub metrics: EpisodeMetrics,
+    /// Mean squared TD error over the update sweep.
+    pub critic_loss: f64,
+    /// Mean policy entropy over the episode (exploration diagnostic).
+    pub mean_entropy: f64,
+}
+
+/// The per-epoch history of a training run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainingHistory {
+    records: Vec<EpochRecord>,
+}
+
+impl TrainingHistory {
+    /// All records, epoch order.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Appends an epoch record (used by the trainers).
+    pub(crate) fn push_record(&mut self, record: EpochRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` before the first epoch.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Mean total reward over the last `n` epochs (the "converged reward"
+    /// the paper quotes per framework).
+    pub fn final_reward(&self, n: usize) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let tail = &self.records[self.records.len().saturating_sub(n)..];
+        Some(tail.iter().map(|r| r.metrics.total_reward).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Mean of an arbitrary metric over the last `n` epochs.
+    pub fn final_metric<F: Fn(&EpochRecord) -> f64>(&self, n: usize, f: F) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let tail = &self.records[self.records.len().saturating_sub(n)..];
+        Some(tail.iter().map(f).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// CSV with one row per epoch (the Fig. 3 series).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("epoch,total_reward,avg_queue,empty_ratio,overflow_ratio,critic_loss,mean_entropy\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                r.epoch,
+                r.metrics.total_reward,
+                r.metrics.avg_queue,
+                r.metrics.empty_ratio,
+                r.metrics.overflow_ratio,
+                r.critic_loss,
+                r.mean_entropy,
+            ));
+        }
+        out
+    }
+}
+
+/// The CTDE trainer: environment + N actors + centralized critic + target.
+pub struct CtdeTrainer<E: MultiAgentEnv> {
+    env: E,
+    actors: Vec<Box<dyn Actor>>,
+    critic: Box<dyn Critic>,
+    target: Box<dyn Critic>,
+    actor_opts: Vec<Adam>,
+    critic_opt: Adam,
+    replay: ReplayBuffer,
+    config: TrainConfig,
+    rng: StdRng,
+    history: TrainingHistory,
+    epoch: usize,
+}
+
+impl<E: MultiAgentEnv> CtdeTrainer<E> {
+    /// Assembles a trainer, validating that the actors/critic fit the
+    /// environment's shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on any shape mismatch or bad
+    /// hyper-parameter.
+    pub fn new(
+        env: E,
+        actors: Vec<Box<dyn Actor>>,
+        critic: Box<dyn Critic>,
+        config: TrainConfig,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        if actors.len() != env.n_agents() {
+            return Err(CoreError::InvalidConfig(format!(
+                "environment has {} agents but {} actors were supplied",
+                env.n_agents(),
+                actors.len()
+            )));
+        }
+        for (n, a) in actors.iter().enumerate() {
+            if a.obs_dim() != env.obs_dim() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "actor {n} expects {}-dim observations, environment emits {}",
+                    a.obs_dim(),
+                    env.obs_dim()
+                )));
+            }
+            if a.n_actions() != env.n_actions() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "actor {n} has {} actions, environment needs {}",
+                    a.n_actions(),
+                    env.n_actions()
+                )));
+            }
+        }
+        if critic.state_dim() != env.state_dim() {
+            return Err(CoreError::InvalidConfig(format!(
+                "critic expects {}-dim states, environment emits {}",
+                critic.state_dim(),
+                env.state_dim()
+            )));
+        }
+        let actor_opts = actors
+            .iter()
+            .map(|a| Adam::new(config.lr_actor, a.param_count()))
+            .collect();
+        let critic_opt = Adam::new(config.lr_critic, critic.param_count());
+        let target = critic.clone_box();
+        let replay = ReplayBuffer::new(config.replay_capacity);
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(CtdeTrainer {
+            env,
+            actors,
+            critic,
+            target,
+            actor_opts,
+            critic_opt,
+            replay,
+            config,
+            rng,
+            history: TrainingHistory::default(),
+            epoch: 0,
+        })
+    }
+
+    /// The training history so far.
+    pub fn history(&self) -> &TrainingHistory {
+        &self.history
+    }
+
+    /// The actors (decentralized policies).
+    pub fn actors(&self) -> &[Box<dyn Actor>] {
+        &self.actors
+    }
+
+    /// The live critic `ψ`.
+    pub fn critic(&self) -> &dyn Critic {
+        self.critic.as_ref()
+    }
+
+    /// The environment.
+    pub fn env_mut(&mut self) -> &mut E {
+        &mut self.env
+    }
+
+    /// Epochs completed.
+    pub fn epochs_done(&self) -> usize {
+        self.epoch
+    }
+
+    /// Rolls out one episode with the current policies. Stochastic action
+    /// sampling when `deterministic` is `false` (training); argmax when
+    /// `true` (the paper's execution rule).
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and policy errors.
+    pub fn rollout(
+        &mut self,
+        deterministic: bool,
+    ) -> Result<(Episode, EpisodeMetrics, f64), CoreError> {
+        let (mut obs, mut state) = self.env.reset();
+        let mut episode = Episode::new();
+        let mut acc = MetricsAccumulator::new();
+        let mut entropy_sum = 0.0;
+        let mut entropy_n = 0usize;
+        loop {
+            let mut actions = Vec::with_capacity(self.actors.len());
+            for (n, actor) in self.actors.iter().enumerate() {
+                let probs = actor.probs(&obs[n])?;
+                entropy_sum += entropy(&probs);
+                entropy_n += 1;
+                actions.push(select_action(&probs, deterministic, &mut self.rng));
+            }
+            let out = self.env.step(&actions)?;
+            acc.record_step(
+                out.reward,
+                &out.info.queue_levels,
+                &out.info.cloud_empty,
+                &out.info.cloud_full,
+            );
+            episode.push(Transition {
+                state: state.clone(),
+                observations: obs.clone(),
+                actions,
+                reward: out.reward,
+                next_state: out.state.clone(),
+                next_observations: out.observations.clone(),
+                done: out.done,
+            });
+            obs = out.observations;
+            state = out.state;
+            if out.done {
+                break;
+            }
+        }
+        let mean_entropy = if entropy_n == 0 { 0.0 } else { entropy_sum / entropy_n as f64 };
+        Ok((episode, acc.finish(), mean_entropy))
+    }
+
+    /// One full epoch: rollout, store, update, maybe sync target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and model errors.
+    pub fn run_epoch(&mut self) -> Result<EpochRecord, CoreError> {
+        let (episode, metrics, mean_entropy) = self.rollout(false)?;
+        self.replay.push(episode);
+        let critic_loss = self.update()?;
+        self.epoch += 1;
+        if self.epoch.is_multiple_of(self.config.target_update_period) {
+            self.target.set_params(&self.critic.params())?;
+        }
+        let record = EpochRecord { epoch: self.epoch - 1, metrics, critic_loss, mean_entropy };
+        self.history.records.push(record);
+        Ok(record)
+    }
+
+    /// Trains for `epochs` epochs, appending to the history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first epoch error.
+    pub fn train(&mut self, epochs: usize) -> Result<&TrainingHistory, CoreError> {
+        for _ in 0..epochs {
+            self.run_epoch()?;
+        }
+        Ok(&self.history)
+    }
+
+    /// Lines 12–16 of Algorithm 1: sweep the batch, one Adam step per
+    /// timestep sample. Returns the mean squared TD error.
+    fn update(&mut self) -> Result<f64, CoreError> {
+        let gamma = self.config.gamma;
+        let episodes: Vec<Episode> = self
+            .replay
+            .recent(self.config.batch_episodes)
+            .cloned()
+            .collect();
+        let mut loss_sum = 0.0;
+        let mut loss_n = 0usize;
+        for ep in &episodes {
+            for tr in ep.transitions() {
+                // y_t = r + γ V_φ(s') − V_ψ(s): TD error = advantage.
+                let (v_s, critic_grad) = self.critic.value_with_gradient(&tr.state)?;
+                let v_next = self.target.value(&tr.next_state)?;
+                let y = tr.reward + gamma * v_next - v_s;
+                loss_sum += y * y;
+                loss_n += 1;
+
+                // Actor updates: descend −y · ∇ log π_θn(u|o) per agent
+                // (plus the optional entropy bonus).
+                for (n, actor) in self.actors.iter_mut().enumerate() {
+                    let grad = actor.policy_gradient_with_entropy(
+                        &tr.observations[n],
+                        tr.actions[n],
+                        y,
+                        self.config.entropy_coef,
+                    )?;
+                    let mut params = actor.params();
+                    self.actor_opts[n].step(&mut params, &grad);
+                    actor.set_params(&params)?;
+                }
+
+                // Critic update: descend ∇ψ ‖y‖² = −2 y ∇ψ V_ψ(s).
+                let mut params = self.critic.params();
+                let scaled: Vec<f64> = critic_grad.iter().map(|g| -2.0 * y * g).collect();
+                self.critic_opt.step(&mut params, &scaled);
+                self.critic.set_params(&params)?;
+            }
+        }
+        Ok(if loss_n == 0 { 0.0 } else { loss_sum / loss_n as f64 })
+    }
+
+    /// Evaluates the current policies without learning: `episodes`
+    /// deterministic (argmax) rollouts, averaged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and policy errors.
+    pub fn evaluate(&mut self, episodes: usize) -> Result<EpisodeMetrics, CoreError> {
+        let mut agg = qmarl_env::metrics::MetricsMean::new();
+        for _ in 0..episodes {
+            let (_, m, _) = self.rollout(true)?;
+            agg.add(&m);
+        }
+        agg.mean()
+            .ok_or_else(|| CoreError::InvalidConfig("evaluate needs at least one episode".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::policy::{ClassicalActor, QuantumActor};
+    use crate::value::{ClassicalCritic, QuantumCritic};
+    use qmarl_env::single_hop::{EnvConfig, SingleHopEnv};
+
+    fn small_env(seed: u64) -> SingleHopEnv {
+        let mut cfg = EnvConfig::paper_default();
+        cfg.episode_limit = 15;
+        SingleHopEnv::new(cfg, seed).unwrap()
+    }
+
+    fn small_train_config() -> TrainConfig {
+        TrainConfig {
+            epochs: 3,
+            target_update_period: 2,
+            ..TrainConfig::paper_default()
+        }
+    }
+
+    fn quantum_setup(seed: u64) -> CtdeTrainer<SingleHopEnv> {
+        let env = small_env(seed);
+        let actors: Vec<Box<dyn Actor>> = (0..4)
+            .map(|n| {
+                Box::new(QuantumActor::new(4, 4, 4, 50, seed + n).unwrap()) as Box<dyn Actor>
+            })
+            .collect();
+        let critic = Box::new(QuantumCritic::new(4, 16, 50, seed + 100).unwrap());
+        CtdeTrainer::new(env, actors, critic, small_train_config()).unwrap()
+    }
+
+    #[test]
+    fn trainer_validates_shapes() {
+        let env = small_env(0);
+        let actors: Vec<Box<dyn Actor>> = (0..3)
+            .map(|n| Box::new(ClassicalActor::new(&[4, 5, 4], n).unwrap()) as Box<dyn Actor>)
+            .collect();
+        let critic = Box::new(ClassicalCritic::new(&[16, 2, 1], 0).unwrap());
+        // 3 actors for a 4-agent environment.
+        assert!(CtdeTrainer::new(env, actors, critic, small_train_config()).is_err());
+
+        let env = small_env(0);
+        let actors: Vec<Box<dyn Actor>> = (0..4)
+            .map(|n| Box::new(ClassicalActor::new(&[3, 5, 4], n).unwrap()) as Box<dyn Actor>)
+            .collect();
+        let critic = Box::new(ClassicalCritic::new(&[16, 2, 1], 0).unwrap());
+        // Wrong obs dim.
+        assert!(CtdeTrainer::new(env, actors, critic, small_train_config()).is_err());
+
+        let env = small_env(0);
+        let actors: Vec<Box<dyn Actor>> = (0..4)
+            .map(|n| Box::new(ClassicalActor::new(&[4, 5, 4], n).unwrap()) as Box<dyn Actor>)
+            .collect();
+        let critic = Box::new(ClassicalCritic::new(&[12, 2, 1], 0).unwrap());
+        // Wrong state dim.
+        assert!(CtdeTrainer::new(env, actors, critic, small_train_config()).is_err());
+    }
+
+    #[test]
+    fn rollout_produces_full_episode() {
+        let mut t = quantum_setup(1);
+        let (ep, m, ent) = t.rollout(false).unwrap();
+        assert_eq!(ep.len(), 15);
+        assert_eq!(m.len, 15);
+        assert!(m.total_reward <= 0.0);
+        assert!(ent > 0.0 && ent <= (4.0f64).ln() + 1e-9);
+        let last = ep.transitions().last().unwrap();
+        assert!(last.done);
+        assert!(ep.transitions().iter().rev().skip(1).all(|tr| !tr.done));
+    }
+
+    #[test]
+    fn epoch_updates_parameters_and_history() {
+        let mut t = quantum_setup(2);
+        let before: Vec<Vec<f64>> = t.actors().iter().map(|a| a.params()).collect();
+        let critic_before = t.critic().params();
+        let rec = t.run_epoch().unwrap();
+        assert_eq!(rec.epoch, 0);
+        assert!(rec.critic_loss > 0.0);
+        let after: Vec<Vec<f64>> = t.actors().iter().map(|a| a.params()).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert!(b.iter().zip(a).any(|(x, y)| (x - y).abs() > 1e-12), "actor params must move");
+        }
+        assert!(
+            critic_before
+                .iter()
+                .zip(&t.critic().params())
+                .any(|(x, y)| (x - y).abs() > 1e-12),
+            "critic params must move"
+        );
+        assert_eq!(t.history().len(), 1);
+        assert_eq!(t.epochs_done(), 1);
+    }
+
+    #[test]
+    fn target_network_syncs_on_period() {
+        let mut t = quantum_setup(3);
+        t.run_epoch().unwrap(); // epoch 1: no sync (period 2)
+        let target_params = t.target.params();
+        let critic_params = t.critic.params();
+        assert!(target_params.iter().zip(&critic_params).any(|(a, b)| (a - b).abs() > 1e-12));
+        t.run_epoch().unwrap(); // epoch 2: sync
+        assert_eq!(t.target.params(), t.critic.params());
+    }
+
+    #[test]
+    fn training_is_reproducible() {
+        let run = |seed: u64| {
+            let mut cfg = small_train_config();
+            cfg.seed = seed;
+            let env = small_env(seed);
+            let actors: Vec<Box<dyn Actor>> = (0..4)
+                .map(|n| Box::new(ClassicalActor::new(&[4, 5, 4], seed + n).unwrap()) as Box<dyn Actor>)
+                .collect();
+            let critic = Box::new(ClassicalCritic::new(&[16, 2, 1], seed).unwrap());
+            let mut t = CtdeTrainer::new(env, actors, critic, cfg).unwrap();
+            t.train(3).unwrap();
+            t.history()
+                .records()
+                .iter()
+                .map(|r| r.metrics.total_reward)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn history_final_reward() {
+        let mut t = quantum_setup(4);
+        t.train(3).unwrap();
+        let h = t.history();
+        assert_eq!(h.len(), 3);
+        let f = h.final_reward(2).unwrap();
+        let manual: f64 = h.records()[1..]
+            .iter()
+            .map(|r| r.metrics.total_reward)
+            .sum::<f64>()
+            / 2.0;
+        assert!((f - manual).abs() < 1e-12);
+        assert!(h.final_metric(2, |r| r.metrics.avg_queue).is_some());
+        assert!(TrainingHistory::default().final_reward(5).is_none());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = quantum_setup(6);
+        t.train(2).unwrap();
+        let csv = t.history().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("epoch,total_reward"));
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn evaluate_runs_deterministically() {
+        let mut t = quantum_setup(7);
+        let a = t.evaluate(2).unwrap();
+        assert!(a.total_reward <= 0.0);
+        assert!(t.evaluate(0).is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! Critics: the centralized state-value function `V(s)` (Sec. III-A2).
+//!
+//! The CTDE trainer feeds the **global** state (every agent's observation
+//! concatenated) to one centralized critic. The paper's quantum critic
+//! keeps the register at 4 qubits regardless of agent count by folding the
+//! state through the layered encoder ("the state encoding is used …
+//! because the state size is larger than the size in observation"); the
+//! [`NaiveQuantumCritic`] implements the qubit-hungry alternative the
+//! paper argues against (one wire per state feature), used by the
+//! qubit-scaling ablation.
+
+use qmarl_neural::prelude::{Activation, Mlp};
+use qmarl_vqc::prelude::{GradMethod, OutputHead, Readout, Vqc, VqcBuilder};
+
+use crate::error::CoreError;
+
+/// A trainable state-value estimator.
+pub trait Critic: Send {
+    /// Global-state dimensionality.
+    fn state_dim(&self) -> usize;
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize;
+
+    /// The value estimate `V(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FeatureLenMismatch`] for a bad state vector.
+    fn value(&self, state: &[f64]) -> Result<f64, CoreError>;
+
+    /// The value and its parameter gradient `∇_ψ V(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FeatureLenMismatch`] for a bad state vector.
+    fn value_with_gradient(&self, state: &[f64]) -> Result<(f64, Vec<f64>), CoreError>;
+
+    /// Snapshot of the flat parameter vector (used for the target network
+    /// `φ ← ψ`).
+    fn params(&self) -> Vec<f64>;
+
+    /// Loads a flat parameter vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ParamLenMismatch`] on length mismatch.
+    fn set_params(&mut self, params: &[f64]) -> Result<(), CoreError>;
+
+    /// A boxed deep copy — how the trainer materialises the target
+    /// network `φ` from the live critic `ψ`.
+    fn clone_box(&self) -> Box<dyn Critic>;
+}
+
+/// The paper's quantum centralized critic: `state_dim` features folded
+/// into `n_qubits` wires by the layered encoder, scalar mean-`⟨Z⟩` readout
+/// with a trainable affine head.
+#[derive(Debug, Clone)]
+pub struct QuantumCritic {
+    model: Vqc,
+    params: Vec<f64>,
+    grad_method: GradMethod,
+}
+
+impl QuantumCritic {
+    /// Builds the critic with a total trainable budget of `total_params`
+    /// (circuit angles + 2 affine head parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the budget cannot fit the
+    /// head.
+    pub fn new(
+        n_qubits: usize,
+        state_dim: usize,
+        total_params: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if total_params <= 2 {
+            return Err(CoreError::InvalidConfig(
+                "critic budget must exceed the 2-parameter affine head".into(),
+            ));
+        }
+        let model = VqcBuilder::new(n_qubits)
+            .encoder_inputs(state_dim)
+            .ansatz_params(total_params - 2)
+            .readout(Readout::mean_z(n_qubits))
+            .output_head(OutputHead::Affine)
+            .build()?;
+        let params = model.init_params(seed);
+        Ok(QuantumCritic { model, params, grad_method: GradMethod::Adjoint })
+    }
+
+    /// Overrides the gradient method (default: adjoint).
+    pub fn with_grad_method(mut self, method: GradMethod) -> Self {
+        self.grad_method = method;
+        self
+    }
+
+    /// The underlying VQC.
+    pub fn model(&self) -> &Vqc {
+        &self.model
+    }
+
+    fn check_state(&self, state: &[f64]) -> Result<(), CoreError> {
+        if state.len() != self.model.input_len() {
+            return Err(CoreError::FeatureLenMismatch {
+                expected: self.model.input_len(),
+                actual: state.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Critic for QuantumCritic {
+    fn state_dim(&self) -> usize {
+        self.model.input_len()
+    }
+
+    fn param_count(&self) -> usize {
+        self.model.param_count()
+    }
+
+    fn value(&self, state: &[f64]) -> Result<f64, CoreError> {
+        self.check_state(state)?;
+        Ok(self.model.forward(state, &self.params)?[0])
+    }
+
+    fn value_with_gradient(&self, state: &[f64]) -> Result<(f64, Vec<f64>), CoreError> {
+        self.check_state(state)?;
+        let (out, jac) = self
+            .model
+            .forward_with_jacobian(state, &self.params, self.grad_method)?;
+        Ok((out[0], jac.vjp(&[1.0])))
+    }
+
+    fn params(&self) -> Vec<f64> {
+        self.params.clone()
+    }
+
+    fn set_params(&mut self, params: &[f64]) -> Result<(), CoreError> {
+        if params.len() != self.params.len() {
+            return Err(CoreError::ParamLenMismatch {
+                expected: self.params.len(),
+                actual: params.len(),
+            });
+        }
+        self.params.copy_from_slice(params);
+        Ok(())
+    }
+
+    fn clone_box(&self) -> Box<dyn Critic> {
+        Box::new(self.clone())
+    }
+}
+
+/// The naive CTDE quantum critic the paper's introduction argues against:
+/// **one qubit per state feature** (`N · obs_dim` wires), so the register
+/// grows with the number of agents and the circuit inherits NISQ noise on
+/// every extra wire. Exists for the qubit-scaling ablation.
+#[derive(Debug, Clone)]
+pub struct NaiveQuantumCritic {
+    inner: QuantumCritic,
+}
+
+impl NaiveQuantumCritic {
+    /// Builds the wide critic: `state_dim` wires, one encoder layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for budgets that cannot fit
+    /// the affine head, or [`CoreError::Vqc`] when the register would be
+    /// too large to simulate.
+    pub fn new(state_dim: usize, total_params: usize, seed: u64) -> Result<Self, CoreError> {
+        Ok(NaiveQuantumCritic {
+            inner: QuantumCritic::new(state_dim, state_dim, total_params, seed)?,
+        })
+    }
+
+    /// Number of qubits the naive layout needs (= state dimension).
+    pub fn n_qubits(&self) -> usize {
+        self.inner.model().circuit().n_qubits()
+    }
+
+    /// The underlying VQC.
+    pub fn model(&self) -> &Vqc {
+        self.inner.model()
+    }
+}
+
+impl Critic for NaiveQuantumCritic {
+    fn state_dim(&self) -> usize {
+        self.inner.state_dim()
+    }
+
+    fn param_count(&self) -> usize {
+        self.inner.param_count()
+    }
+
+    fn value(&self, state: &[f64]) -> Result<f64, CoreError> {
+        self.inner.value(state)
+    }
+
+    fn value_with_gradient(&self, state: &[f64]) -> Result<(f64, Vec<f64>), CoreError> {
+        self.inner.value_with_gradient(state)
+    }
+
+    fn params(&self) -> Vec<f64> {
+        self.inner.params()
+    }
+
+    fn set_params(&mut self, params: &[f64]) -> Result<(), CoreError> {
+        self.inner.set_params(params)
+    }
+
+    fn clone_box(&self) -> Box<dyn Critic> {
+        Box::new(self.clone())
+    }
+}
+
+/// A classical MLP critic (Comp1's centralized critic; Comp2/Comp3).
+#[derive(Debug, Clone)]
+pub struct ClassicalCritic {
+    mlp: Mlp,
+}
+
+impl ClassicalCritic {
+    /// Builds an MLP value head with the given layer sizes
+    /// (`[state_dim, …, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for fewer than two sizes or a
+    /// non-scalar output.
+    pub fn new(sizes: &[usize], seed: u64) -> Result<Self, CoreError> {
+        if sizes.len() < 2 {
+            return Err(CoreError::InvalidConfig("critic MLP needs input and output sizes".into()));
+        }
+        if *sizes.last().expect("nonempty") != 1 {
+            return Err(CoreError::InvalidConfig("critic MLP must output a scalar".into()));
+        }
+        Ok(ClassicalCritic { mlp: Mlp::new(sizes, Activation::Tanh, seed) })
+    }
+
+    /// The underlying network.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    fn check_state(&self, state: &[f64]) -> Result<(), CoreError> {
+        if state.len() != self.mlp.in_dim() {
+            return Err(CoreError::FeatureLenMismatch {
+                expected: self.mlp.in_dim(),
+                actual: state.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Critic for ClassicalCritic {
+    fn state_dim(&self) -> usize {
+        self.mlp.in_dim()
+    }
+
+    fn param_count(&self) -> usize {
+        self.mlp.param_count()
+    }
+
+    fn value(&self, state: &[f64]) -> Result<f64, CoreError> {
+        self.check_state(state)?;
+        Ok(self.mlp.forward(state)[0])
+    }
+
+    fn value_with_gradient(&self, state: &[f64]) -> Result<(f64, Vec<f64>), CoreError> {
+        self.check_state(state)?;
+        let v = self.mlp.forward(state)[0];
+        let (grad, _) = self.mlp.backward(state, &[1.0]);
+        Ok((v, grad))
+    }
+
+    fn params(&self) -> Vec<f64> {
+        self.mlp.params()
+    }
+
+    fn set_params(&mut self, params: &[f64]) -> Result<(), CoreError> {
+        if params.len() != self.mlp.param_count() {
+            return Err(CoreError::ParamLenMismatch {
+                expected: self.mlp.param_count(),
+                actual: params.len(),
+            });
+        }
+        self.mlp.set_params(params);
+        Ok(())
+    }
+
+    fn clone_box(&self) -> Box<dyn Critic> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state16() -> Vec<f64> {
+        (0..16).map(|i| (i as f64) / 16.0).collect()
+    }
+
+    #[test]
+    fn quantum_critic_paper_shape() {
+        let c = QuantumCritic::new(4, 16, 50, 1).unwrap();
+        assert_eq!(c.state_dim(), 16);
+        assert_eq!(c.param_count(), 50); // 48 circuit + scale + bias
+        assert_eq!(c.model().circuit().n_qubits(), 4);
+        let v = c.value(&state16()).unwrap();
+        assert!((-1.5..=1.5).contains(&v), "fresh critic near raw readout range, got {v}");
+    }
+
+    #[test]
+    fn quantum_critic_gradient_matches_finite_difference() {
+        let mut c = QuantumCritic::new(4, 16, 20, 5).unwrap();
+        let s = state16();
+        let (v0, grad) = c.value_with_gradient(&s).unwrap();
+        let base = c.params();
+        let eps = 1e-6;
+        for p in (0..base.len()).step_by(3) {
+            let mut pp = base.clone();
+            pp[p] += eps;
+            c.set_params(&pp).unwrap();
+            let plus = c.value(&s).unwrap();
+            pp[p] -= 2.0 * eps;
+            c.set_params(&pp).unwrap();
+            let minus = c.value(&s).unwrap();
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!((grad[p] - fd).abs() < 1e-5, "param {p}");
+        }
+        c.set_params(&base).unwrap();
+        assert!((c.value(&s).unwrap() - v0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_critic_needs_one_wire_per_feature() {
+        let c = NaiveQuantumCritic::new(8, 20, 2).unwrap();
+        assert_eq!(c.n_qubits(), 8);
+        assert_eq!(c.state_dim(), 8);
+        let s: Vec<f64> = (0..8).map(|i| 0.1 * i as f64).collect();
+        let (v, g) = c.value_with_gradient(&s).unwrap();
+        assert!(v.is_finite());
+        assert_eq!(g.len(), 20);
+        assert_eq!(c.params().len(), 20);
+    }
+
+    #[test]
+    fn naive_critic_qubits_scale_with_agents() {
+        // obs_dim = 4 per agent: 2 agents → 8 wires, 4 agents → 16 wires.
+        for (agents, wires) in [(1usize, 4usize), (2, 8), (4, 16)] {
+            let c = NaiveQuantumCritic::new(agents * 4, 12, 0).unwrap();
+            assert_eq!(c.n_qubits(), wires);
+        }
+    }
+
+    #[test]
+    fn classical_critic_gradient_matches_finite_difference() {
+        let mut c = ClassicalCritic::new(&[16, 2, 1], 9).unwrap();
+        assert_eq!(c.param_count(), 37);
+        let s = state16();
+        let (_, grad) = c.value_with_gradient(&s).unwrap();
+        let base = c.params();
+        let eps = 1e-6;
+        for p in 0..base.len() {
+            let mut pp = base.clone();
+            pp[p] += eps;
+            c.set_params(&pp).unwrap();
+            let plus = c.value(&s).unwrap();
+            pp[p] -= 2.0 * eps;
+            c.set_params(&pp).unwrap();
+            let minus = c.value(&s).unwrap();
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!((grad[p] - fd).abs() < 1e-5, "param {p}");
+        }
+    }
+
+    #[test]
+    fn critics_validate_inputs() {
+        let c = QuantumCritic::new(4, 16, 50, 0).unwrap();
+        assert!(matches!(c.value(&[0.0; 4]), Err(CoreError::FeatureLenMismatch { .. })));
+        let mut c = ClassicalCritic::new(&[16, 2, 1], 0).unwrap();
+        assert!(c.value(&[0.0; 3]).is_err());
+        assert!(c.set_params(&[0.0; 2]).is_err());
+        assert!(ClassicalCritic::new(&[16, 4], 0).is_err()); // non-scalar out
+        assert!(ClassicalCritic::new(&[16], 0).is_err());
+        assert!(QuantumCritic::new(4, 16, 2, 0).is_err());
+    }
+
+    #[test]
+    fn target_network_snapshot_roundtrip() {
+        let c = QuantumCritic::new(4, 16, 50, 3).unwrap();
+        let mut target = c.clone();
+        let s = state16();
+        // Diverge the live critic, then sync φ ← ψ.
+        let mut p = c.params();
+        for x in p.iter_mut() {
+            *x += 0.3;
+        }
+        let mut live = c.clone();
+        live.set_params(&p).unwrap();
+        assert!((live.value(&s).unwrap() - target.value(&s).unwrap()).abs() > 1e-9);
+        target.set_params(&live.params()).unwrap();
+        assert!((live.value(&s).unwrap() - target.value(&s).unwrap()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! The Fig. 4 demonstration: queue trajectories + qubit-state heatmaps.
+//!
+//! The paper visualises a trained QMARL rollout as (a) the six queue
+//! levels over 12 unit-steps and (b) the first edge agent's 4-qubit state
+//! as a 4×4 heatmap of amplitude magnitude/phase in the HLS colour
+//! system. [`run_demonstration`] captures the frames;
+//! [`render_queue_chart`] and [`render_heatmap_ansi`] render them for a
+//! terminal, and [`frames_to_csv`] exports them for external plotting.
+
+use qmarl_qsim::bloch::{amplitude_color, amplitude_grid, AmplitudeCell};
+use qmarl_env::multi_agent::MultiAgentEnv;
+use qmarl_env::single_hop::SingleHopEnv;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::CoreError;
+use crate::policy::{select_action, Actor, QuantumActor};
+
+/// One captured time step of the demonstration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DemoFrame {
+    /// Time step (1-based, like the paper's x-axis).
+    pub time: usize,
+    /// Edge queue levels (agent order).
+    pub edge_levels: Vec<f64>,
+    /// Cloud queue levels.
+    pub cloud_levels: Vec<f64>,
+    /// Joint flat actions taken this step.
+    pub actions: Vec<usize>,
+    /// Reward received.
+    pub reward: f64,
+    /// The observed agent's 4×4 amplitude grid (magnitude, phase).
+    pub qubit_grid: [[AmplitudeCell; 4]; 4],
+}
+
+/// Rolls out `steps` steps of a trained team and captures, per step, the
+/// queue levels and the `agent_idx`-th quantum actor's register state.
+/// `deterministic` selects argmax execution (the paper's rule) versus the
+/// stochastic behaviour policy used during training.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] when `agent_idx` is out of range
+/// or the observed actor is not 4 qubits wide; propagates environment
+/// errors.
+pub fn run_demonstration(
+    env: &mut SingleHopEnv,
+    actors: &[Box<dyn Actor>],
+    quantum_views: &[QuantumActor],
+    agent_idx: usize,
+    steps: usize,
+    seed: u64,
+    deterministic: bool,
+) -> Result<Vec<DemoFrame>, CoreError> {
+    if agent_idx >= actors.len() || agent_idx >= quantum_views.len() {
+        return Err(CoreError::InvalidConfig(format!(
+            "agent index {agent_idx} out of range for {} actors",
+            actors.len()
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut obs, _) = env.reset();
+    let mut frames = Vec::with_capacity(steps);
+    for t in 1..=steps {
+        let mut actions = Vec::with_capacity(actors.len());
+        for (n, actor) in actors.iter().enumerate() {
+            let probs = actor.probs(&obs[n])?;
+            actions.push(select_action(&probs, deterministic, &mut rng));
+        }
+        let state = quantum_views[agent_idx].quantum_state(&obs[agent_idx])?;
+        let qubit_grid = amplitude_grid(&state).map_err(qmarl_vqc::error::VqcError::from)?;
+        let out = env.step(&actions)?;
+        frames.push(DemoFrame {
+            time: t,
+            edge_levels: out.info.queue_levels[..actors.len()].to_vec(),
+            cloud_levels: out.info.queue_levels[actors.len()..].to_vec(),
+            actions,
+            reward: out.reward,
+            qubit_grid,
+        });
+        obs = out.observations;
+        if out.done {
+            break;
+        }
+    }
+    Ok(frames)
+}
+
+/// Renders the queue-level chart of Fig. 4 as ASCII: one row per queue,
+/// one column per time step, `▁▂▃▄▅▆▇█` proportional to occupancy.
+pub fn render_queue_chart(frames: &[DemoFrame]) -> String {
+    if frames.is_empty() {
+        return String::from("(no frames)\n");
+    }
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let glyph = |level: f64| BLOCKS[((level.clamp(0.0, 1.0) * 7.0).round()) as usize];
+    let n_edges = frames[0].edge_levels.len();
+    let n_clouds = frames[0].cloud_levels.len();
+    let mut out = String::new();
+    out.push_str("time      ");
+    for f in frames {
+        out.push_str(&format!("{:>2} ", f.time));
+    }
+    out.push('\n');
+    for e in 0..n_edges {
+        out.push_str(&format!("edge{}    ", e + 1));
+        for f in frames {
+            out.push_str(&format!(" {} ", glyph(f.edge_levels[e])));
+        }
+        out.push('\n');
+    }
+    for c in 0..n_clouds {
+        out.push_str(&format!("cloud{}   ", c + 1));
+        for f in frames {
+            out.push_str(&format!(" {} ", glyph(f.cloud_levels[c])));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one frame's 4×4 qubit heatmap with ANSI truecolor background
+/// cells — the terminal equivalent of the paper's HLS heatmaps. Rows are
+/// the first two qubits `(q₁q₂)`, columns the last two `(q₃q₄)`.
+pub fn render_heatmap_ansi(frame: &DemoFrame) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "t={:>2}  1st edge's qubit state |amplitude| (colour = phase)\n",
+        frame.time
+    ));
+    for row in &frame.qubit_grid {
+        for cell in row {
+            let c = amplitude_color(*cell);
+            out.push_str(&format!(
+                "\u{1b}[48;2;{};{};{}m {:+.2} \u{1b}[0m",
+                c.r, c.g, c.b, cell.magnitude
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Exports the frames as CSV (one row per queue/grid-cell sample) for
+/// external plotting.
+pub fn frames_to_csv(frames: &[DemoFrame]) -> String {
+    let mut out = String::from("time,kind,index,value,phase\n");
+    for f in frames {
+        for (i, &v) in f.edge_levels.iter().enumerate() {
+            out.push_str(&format!("{},edge,{},{:.6},\n", f.time, i + 1, v));
+        }
+        for (i, &v) in f.cloud_levels.iter().enumerate() {
+            out.push_str(&format!("{},cloud,{},{:.6},\n", f.time, i + 1, v));
+        }
+        for (r, row) in f.qubit_grid.iter().enumerate() {
+            for (c, cell) in row.iter().enumerate() {
+                out.push_str(&format!(
+                    "{},amp,{},{:.6},{:.6}\n",
+                    f.time,
+                    r * 4 + c,
+                    cell.magnitude,
+                    cell.phase
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::QuantumActor;
+    use qmarl_env::single_hop::EnvConfig;
+
+    fn demo_setup() -> (SingleHopEnv, Vec<Box<dyn Actor>>, Vec<QuantumActor>) {
+        let mut cfg = EnvConfig::paper_default();
+        cfg.episode_limit = 12;
+        let env = SingleHopEnv::new(cfg, 3).unwrap();
+        let quantum: Vec<QuantumActor> =
+            (0..4).map(|n| QuantumActor::new(4, 4, 4, 50, n as u64).unwrap()).collect();
+        let actors: Vec<Box<dyn Actor>> =
+            quantum.iter().map(|q| Box::new(q.clone()) as Box<dyn Actor>).collect();
+        (env, actors, quantum)
+    }
+
+    #[test]
+    fn demonstration_captures_twelve_frames() {
+        let (mut env, actors, quantum) = demo_setup();
+        let frames = run_demonstration(&mut env, &actors, &quantum, 0, 12, 9, false).unwrap();
+        assert_eq!(frames.len(), 12);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.time, i + 1);
+            assert_eq!(f.edge_levels.len(), 4);
+            assert_eq!(f.cloud_levels.len(), 2);
+            assert_eq!(f.actions.len(), 4);
+            // Amplitude grid is a normalised quantum state.
+            let norm: f64 = f
+                .qubit_grid
+                .iter()
+                .flatten()
+                .map(|c| c.magnitude * c.magnitude)
+                .sum();
+            assert!((norm - 1.0).abs() < 1e-9, "frame {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn demonstration_validates_agent_index() {
+        let (mut env, actors, quantum) = demo_setup();
+        assert!(run_demonstration(&mut env, &actors, &quantum, 9, 12, 0, false).is_err());
+    }
+
+    #[test]
+    fn queue_chart_lists_all_queues() {
+        let (mut env, actors, quantum) = demo_setup();
+        let frames = run_demonstration(&mut env, &actors, &quantum, 0, 12, 1, true).unwrap();
+        let chart = render_queue_chart(&frames);
+        for name in ["edge1", "edge4", "cloud1", "cloud2", "time"] {
+            assert!(chart.contains(name), "missing {name}");
+        }
+        assert_eq!(render_queue_chart(&[]), "(no frames)\n");
+    }
+
+    #[test]
+    fn heatmap_contains_ansi_colors() {
+        let (mut env, actors, quantum) = demo_setup();
+        let frames = run_demonstration(&mut env, &actors, &quantum, 0, 1, 1, false).unwrap();
+        let art = render_heatmap_ansi(&frames[0]);
+        assert!(art.contains("\u{1b}[48;2;"));
+        assert!(art.contains("\u{1b}[0m"));
+        assert_eq!(art.lines().count(), 5); // title + 4 rows
+    }
+
+    #[test]
+    fn csv_export_covers_all_samples() {
+        let (mut env, actors, quantum) = demo_setup();
+        let frames = run_demonstration(&mut env, &actors, &quantum, 0, 2, 1, false).unwrap();
+        let csv = frames_to_csv(&frames);
+        // Per frame: 4 edges + 2 clouds + 16 amplitudes = 22 rows.
+        assert_eq!(csv.trim().lines().count(), 1 + 2 * 22);
+        assert!(csv.contains("edge"));
+        assert!(csv.contains("amp"));
+    }
+}

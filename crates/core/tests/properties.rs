@@ -1,0 +1,99 @@
+//! Property-based tests for the QMARL policy/value layer.
+
+use proptest::prelude::*;
+use qmarl_core::prelude::*;
+
+proptest! {
+    /// Quantum actor policies are valid distributions for any observation
+    /// in the normalized range and any seed.
+    #[test]
+    fn quantum_policy_is_distribution(
+        obs in prop::collection::vec(0.0f64..1.0, 4),
+        seed in 0u64..40,
+    ) {
+        let actor = QuantumActor::new(4, 4, 4, 50, seed).unwrap();
+        let p = actor.probs(&obs).unwrap();
+        prop_assert_eq!(p.len(), 4);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x > 0.0), "softmax output strictly positive");
+    }
+
+    /// Policy gradients are finite and zero advantage gives zero gradient.
+    #[test]
+    fn policy_gradient_scales_with_advantage(
+        obs in prop::collection::vec(0.0f64..1.0, 4),
+        action in 0usize..4,
+        adv in -5.0f64..5.0,
+    ) {
+        let actor = QuantumActor::new(4, 4, 4, 50, 3).unwrap();
+        let g = actor.policy_gradient(&obs, action, adv).unwrap();
+        prop_assert_eq!(g.len(), 50);
+        prop_assert!(g.iter().all(|x| x.is_finite()));
+        let g0 = actor.policy_gradient(&obs, action, 0.0).unwrap();
+        prop_assert!(g0.iter().all(|&x| x.abs() < 1e-12), "zero advantage ⇒ zero gradient");
+        // Linearity in the advantage: g(2a) = 2 g(a).
+        let g2 = actor.policy_gradient(&obs, action, 2.0 * adv).unwrap();
+        for (a, b) in g.iter().zip(&g2) {
+            prop_assert!((2.0 * a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Critic values are finite and gradients match a finite-difference
+    /// spot check for arbitrary states.
+    #[test]
+    fn critic_value_and_gradient_sound(
+        state in prop::collection::vec(0.0f64..1.0, 16),
+        seed in 0u64..20,
+    ) {
+        let mut critic = QuantumCritic::new(4, 16, 20, seed).unwrap();
+        let (v, g) = critic.value_with_gradient(&state).unwrap();
+        prop_assert!(v.is_finite());
+        prop_assert_eq!(g.len(), 20);
+        // Spot-check one coordinate against finite differences.
+        let p = (seed as usize * 7) % 20;
+        let base = critic.params();
+        let eps = 1e-6;
+        let mut pp = base.clone();
+        pp[p] += eps;
+        critic.set_params(&pp).unwrap();
+        let plus = critic.value(&state).unwrap();
+        pp[p] -= 2.0 * eps;
+        critic.set_params(&pp).unwrap();
+        let minus = critic.value(&state).unwrap();
+        let fd = (plus - minus) / (2.0 * eps);
+        prop_assert!((g[p] - fd).abs() < 1e-5, "param {}: {} vs {}", p, g[p], fd);
+    }
+
+    /// select_action always returns an index inside the distribution, and
+    /// argmax picks a maximal coordinate.
+    #[test]
+    fn select_action_in_range(
+        raw in prop::collection::vec(0.01f64..1.0, 2..6),
+        seed in 0u64..50,
+    ) {
+        use rand::SeedableRng;
+        let total: f64 = raw.iter().sum();
+        let probs: Vec<f64> = raw.iter().map(|x| x / total).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sampled = select_action(&probs, false, &mut rng);
+        prop_assert!(sampled < probs.len());
+        let greedy = select_action(&probs, true, &mut rng);
+        let max = probs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!((probs[greedy] - max).abs() < 1e-15);
+    }
+
+    /// Checkpoint text round-trips arbitrary parameter vectors exactly.
+    #[test]
+    fn checkpoint_roundtrip(
+        actor0 in prop::collection::vec(-1e3f64..1e3, 1..30),
+        critic in prop::collection::vec(-1e3f64..1e3, 1..30),
+    ) {
+        let snap = FrameworkSnapshot {
+            label: "prop".into(),
+            actor_params: vec![actor0],
+            critic_params: critic,
+        };
+        let parsed = FrameworkSnapshot::from_text(&snap.to_text()).unwrap();
+        prop_assert_eq!(parsed, snap);
+    }
+}

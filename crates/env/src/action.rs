@@ -1,0 +1,162 @@
+//! The joint action space `A = I × P` of Table I.
+//!
+//! Each edge agent picks a **destination cloud** `k ∈ {1, …, K}` and a
+//! **packet amount** `p ∈ P = {p_min, …, p_max}` (Table II:
+//! `P = {0.1, 0.2}`). Policies emit a flat action index; this module maps
+//! between the flat index and the `(destination, amount)` pair.
+
+use crate::error::EnvError;
+
+/// A decoded edge action: where to offload and how much.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EdgeAction {
+    /// Destination cloud index in `0..n_clouds`.
+    pub destination: usize,
+    /// Offloaded packet volume.
+    pub amount: f64,
+}
+
+/// The discrete action space `I × P`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ActionSpace {
+    n_clouds: usize,
+    amounts: Vec<f64>,
+}
+
+impl ActionSpace {
+    /// Builds the space from the cloud count and the packet-amount set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::InvalidConfig`] if either dimension is empty or
+    /// an amount is non-positive.
+    pub fn new(n_clouds: usize, amounts: Vec<f64>) -> Result<Self, EnvError> {
+        if n_clouds == 0 {
+            return Err(EnvError::InvalidConfig("need at least one cloud".into()));
+        }
+        if amounts.is_empty() {
+            return Err(EnvError::InvalidConfig("need at least one packet amount".into()));
+        }
+        if amounts.iter().any(|&a| a <= 0.0 || !a.is_finite()) {
+            return Err(EnvError::InvalidConfig("packet amounts must be positive".into()));
+        }
+        Ok(ActionSpace { n_clouds, amounts })
+    }
+
+    /// The paper's action space: K = 2 clouds, P = {0.1, 0.2}.
+    pub fn paper_default() -> Self {
+        ActionSpace::new(2, vec![0.1, 0.2]).expect("paper constants are valid")
+    }
+
+    /// Number of flat actions `|I| · |P|`.
+    pub fn len(&self) -> usize {
+        self.n_clouds * self.amounts.len()
+    }
+
+    /// `false` by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of destination clouds.
+    pub fn n_clouds(&self) -> usize {
+        self.n_clouds
+    }
+
+    /// The packet-amount set `P`.
+    pub fn amounts(&self) -> &[f64] {
+        &self.amounts
+    }
+
+    /// Decodes a flat index: `index = destination · |P| + amount_idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::InvalidAction`] when out of range.
+    pub fn decode(&self, index: usize) -> Result<EdgeAction, EnvError> {
+        if index >= self.len() {
+            return Err(EnvError::InvalidAction { index, n_actions: self.len() });
+        }
+        Ok(EdgeAction {
+            destination: index / self.amounts.len(),
+            amount: self.amounts[index % self.amounts.len()],
+        })
+    }
+
+    /// Encodes a `(destination, amount_idx)` pair to a flat index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::InvalidAction`] when either component is out of
+    /// range.
+    pub fn encode(&self, destination: usize, amount_idx: usize) -> Result<usize, EnvError> {
+        if destination >= self.n_clouds || amount_idx >= self.amounts.len() {
+            return Err(EnvError::InvalidAction {
+                index: destination * self.amounts.len() + amount_idx,
+                n_actions: self.len(),
+            });
+        }
+        Ok(destination * self.amounts.len() + amount_idx)
+    }
+
+    /// Iterates over every decoded action in flat-index order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeAction> + '_ {
+        (0..self.len()).map(|i| self.decode(i).expect("index in range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_has_four_actions() {
+        let a = ActionSpace::paper_default();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.n_clouds(), 2);
+        assert_eq!(a.amounts(), &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let a = ActionSpace::paper_default();
+        for i in 0..a.len() {
+            let act = a.decode(i).unwrap();
+            let amount_idx = a.amounts().iter().position(|&x| x == act.amount).unwrap();
+            assert_eq!(a.encode(act.destination, amount_idx).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn decode_layout() {
+        let a = ActionSpace::paper_default();
+        assert_eq!(a.decode(0).unwrap(), EdgeAction { destination: 0, amount: 0.1 });
+        assert_eq!(a.decode(1).unwrap(), EdgeAction { destination: 0, amount: 0.2 });
+        assert_eq!(a.decode(2).unwrap(), EdgeAction { destination: 1, amount: 0.1 });
+        assert_eq!(a.decode(3).unwrap(), EdgeAction { destination: 1, amount: 0.2 });
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let a = ActionSpace::paper_default();
+        assert!(a.decode(4).is_err());
+        assert!(a.encode(2, 0).is_err());
+        assert!(a.encode(0, 2).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ActionSpace::new(0, vec![0.1]).is_err());
+        assert!(ActionSpace::new(2, vec![]).is_err());
+        assert!(ActionSpace::new(2, vec![-0.1]).is_err());
+        assert!(ActionSpace::new(2, vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn iterator_visits_all() {
+        let a = ActionSpace::paper_default();
+        assert_eq!(a.iter().count(), 4);
+        let total: f64 = a.iter().map(|e| e.amount).sum();
+        assert!((total - 0.6).abs() < 1e-12);
+    }
+}

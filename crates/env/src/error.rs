@@ -1,0 +1,61 @@
+//! Error types for the offloading environment.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from environment construction or stepping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvError {
+    /// A configuration value was rejected.
+    InvalidConfig(String),
+    /// A flat action index fell outside the action space.
+    InvalidAction {
+        /// The rejected index.
+        index: usize,
+        /// Size of the action space.
+        n_actions: usize,
+    },
+    /// The joint action vector length did not match the agent count.
+    WrongAgentCount {
+        /// Expected number of agents.
+        expected: usize,
+        /// Supplied number of actions.
+        actual: usize,
+    },
+    /// `step` was called after the episode terminated.
+    EpisodeOver,
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::InvalidConfig(msg) => write!(f, "invalid environment config: {msg}"),
+            EnvError::InvalidAction { index, n_actions } => {
+                write!(f, "action index {index} out of range for {n_actions} actions")
+            }
+            EnvError::WrongAgentCount { expected, actual } => {
+                write!(f, "expected {expected} agent actions, got {actual}")
+            }
+            EnvError::EpisodeOver => write!(f, "step called after the episode ended; call reset"),
+        }
+    }
+}
+
+impl Error for EnvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        for e in [
+            EnvError::InvalidConfig("x".into()),
+            EnvError::InvalidAction { index: 9, n_actions: 4 },
+            EnvError::WrongAgentCount { expected: 4, actual: 2 },
+            EnvError::EpisodeOver,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # qmarl-env — the single-hop offloading environment
+//!
+//! The evaluation substrate of the
+//! [QMARL reproduction](https://arxiv.org/abs/2203.10443): `N` edge agents
+//! offload packets into `K` cloud queues (Sec. IV-A, Table I), with the
+//! underflow/overflow penalty of eq. (1) and the Table II constants as
+//! defaults. Also provides the arrival processes, metric accumulation for
+//! every Fig. 3 panel, the random-walk baseline and the achievability
+//! normalisation of Sec. IV-D.
+//!
+//! ```
+//! use qmarl_env::prelude::*;
+//!
+//! let mut env = SingleHopEnv::new(EnvConfig::paper_default(), 42)?;
+//! let (obs, state) = env.reset();
+//! assert_eq!(obs.len(), 4);        // N = 4 edge agents
+//! assert_eq!(state.len(), 16);     // state = concatenated observations
+//! let out = env.step(&[0, 1, 2, 3])?;
+//! assert!(out.reward <= 0.0);      // eq. (1) is a pure penalty
+//! # Ok::<(), qmarl_env::error::EnvError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod action;
+pub mod error;
+pub mod metrics;
+pub mod multi_agent;
+pub mod queue;
+pub mod random_walk;
+pub mod single_hop;
+pub mod traffic;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::action::{ActionSpace, EdgeAction};
+    pub use crate::error::EnvError;
+    pub use crate::metrics::{EpisodeMetrics, MetricsAccumulator, MetricsMean};
+    pub use crate::multi_agent::{rollout_episode, MultiAgentEnv, StepInfo, StepOutcome};
+    pub use crate::queue::{clip, Queue, QueueTransition};
+    pub use crate::random_walk::{achievability, random_walk_baseline};
+    pub use crate::single_hop::{EnvConfig, InitQueue, SingleHopEnv};
+    pub use crate::traffic::{ArrivalProcess, ArrivalSampler};
+}

@@ -1,0 +1,173 @@
+//! Episode metrics: exactly the four panels of the paper's Fig. 3.
+//!
+//! * total reward (Fig. 3a),
+//! * average queue occupancy across edges and clouds (Fig. 3b),
+//! * queue-empty event ratio at the clouds (Fig. 3c),
+//! * queue-overflow event ratio at the clouds (Fig. 3d).
+
+/// Aggregated measurements of one finished episode.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EpisodeMetrics {
+    /// Sum of rewards over the episode (Fig. 3a).
+    pub total_reward: f64,
+    /// Mean occupancy over all queues (edges and clouds) and steps (Fig. 3b).
+    pub avg_queue: f64,
+    /// Fraction of (cloud, step) pairs whose queue hit 0 (Fig. 3c).
+    pub empty_ratio: f64,
+    /// Fraction of (cloud, step) pairs whose queue hit `q_max` (Fig. 3d).
+    pub overflow_ratio: f64,
+    /// Number of steps taken.
+    pub len: usize,
+}
+
+/// Accumulates per-step observations into [`EpisodeMetrics`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsAccumulator {
+    reward_sum: f64,
+    queue_sum: f64,
+    queue_samples: usize,
+    empty_events: usize,
+    overflow_events: usize,
+    cloud_samples: usize,
+    steps: usize,
+}
+
+impl MetricsAccumulator {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one environment step.
+    ///
+    /// `queue_levels` should contain every queue's occupancy (edges and
+    /// clouds); `cloud_empty`/`cloud_full` are per-cloud event flags.
+    pub fn record_step(
+        &mut self,
+        reward: f64,
+        queue_levels: &[f64],
+        cloud_empty: &[bool],
+        cloud_full: &[bool],
+    ) {
+        self.reward_sum += reward;
+        self.queue_sum += queue_levels.iter().sum::<f64>();
+        self.queue_samples += queue_levels.len();
+        self.empty_events += cloud_empty.iter().filter(|&&e| e).count();
+        self.overflow_events += cloud_full.iter().filter(|&&e| e).count();
+        self.cloud_samples += cloud_empty.len();
+        self.steps += 1;
+    }
+
+    /// Number of steps recorded so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Finalises the episode.
+    pub fn finish(&self) -> EpisodeMetrics {
+        EpisodeMetrics {
+            total_reward: self.reward_sum,
+            avg_queue: if self.queue_samples == 0 {
+                0.0
+            } else {
+                self.queue_sum / self.queue_samples as f64
+            },
+            empty_ratio: if self.cloud_samples == 0 {
+                0.0
+            } else {
+                self.empty_events as f64 / self.cloud_samples as f64
+            },
+            overflow_ratio: if self.cloud_samples == 0 {
+                0.0
+            } else {
+                self.overflow_events as f64 / self.cloud_samples as f64
+            },
+            len: self.steps,
+        }
+    }
+}
+
+/// Running mean over many episodes, per metric (what the training curves
+/// plot at each epoch).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsMean {
+    sums: [f64; 4],
+    count: usize,
+}
+
+impl MetricsMean {
+    /// A fresh aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one episode.
+    pub fn add(&mut self, m: &EpisodeMetrics) {
+        self.sums[0] += m.total_reward;
+        self.sums[1] += m.avg_queue;
+        self.sums[2] += m.empty_ratio;
+        self.sums[3] += m.overflow_ratio;
+        self.count += 1;
+    }
+
+    /// Number of episodes aggregated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The mean metrics, or `None` when empty.
+    pub fn mean(&self) -> Option<EpisodeMetrics> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as f64;
+        Some(EpisodeMetrics {
+            total_reward: self.sums[0] / n,
+            avg_queue: self.sums[1] / n,
+            empty_ratio: self.sums[2] / n,
+            overflow_ratio: self.sums[3] / n,
+            len: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_one_episode() {
+        let mut acc = MetricsAccumulator::new();
+        acc.record_step(-1.0, &[0.5, 0.5, 1.0, 0.0], &[false, true], &[true, false]);
+        acc.record_step(-2.0, &[0.0, 1.0, 0.5, 0.5], &[false, false], &[false, false]);
+        let m = acc.finish();
+        assert_eq!(m.total_reward, -3.0);
+        assert!((m.avg_queue - 0.5).abs() < 1e-12);
+        assert!((m.empty_ratio - 0.25).abs() < 1e-12);
+        assert!((m.overflow_ratio - 0.25).abs() < 1e-12);
+        assert_eq!(m.len, 2);
+        assert_eq!(acc.steps(), 2);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zeroes() {
+        let m = MetricsAccumulator::new().finish();
+        assert_eq!(m.total_reward, 0.0);
+        assert_eq!(m.avg_queue, 0.0);
+        assert_eq!(m.len, 0);
+    }
+
+    #[test]
+    fn mean_over_episodes() {
+        let mut agg = MetricsMean::new();
+        assert!(agg.mean().is_none());
+        agg.add(&EpisodeMetrics { total_reward: -10.0, avg_queue: 0.4, empty_ratio: 0.1, overflow_ratio: 0.0, len: 5 });
+        agg.add(&EpisodeMetrics { total_reward: -20.0, avg_queue: 0.6, empty_ratio: 0.3, overflow_ratio: 0.2, len: 5 });
+        let m = agg.mean().unwrap();
+        assert_eq!(agg.count(), 2);
+        assert_eq!(m.total_reward, -15.0);
+        assert!((m.avg_queue - 0.5).abs() < 1e-12);
+        assert!((m.empty_ratio - 0.2).abs() < 1e-12);
+        assert!((m.overflow_ratio - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! The environment interface the CTDE trainer programs against.
+
+use crate::error::EnvError;
+use crate::metrics::EpisodeMetrics;
+
+/// One step's outcome as seen by the trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// Per-agent observations `o^n_{t+1}`.
+    pub observations: Vec<Vec<f64>>,
+    /// The global state `s_{t+1}` (concatenated observations, Table I).
+    pub state: Vec<f64>,
+    /// The shared team reward `r(s_t, u_t)`.
+    pub reward: f64,
+    /// Whether the episode just terminated.
+    pub done: bool,
+    /// Step diagnostics for metric accumulation.
+    pub info: StepInfo,
+}
+
+/// Per-step diagnostics (feed [`crate::metrics::MetricsAccumulator`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepInfo {
+    /// Every queue's occupancy after the step (edges then clouds).
+    pub queue_levels: Vec<f64>,
+    /// Per-cloud "hit empty" flags.
+    pub cloud_empty: Vec<bool>,
+    /// Per-cloud "hit capacity" flags.
+    pub cloud_full: Vec<bool>,
+}
+
+/// A cooperative multi-agent environment with a shared reward, discrete
+/// per-agent actions and a global state for centralized training.
+pub trait MultiAgentEnv {
+    /// Number of agents `N`.
+    fn n_agents(&self) -> usize;
+    /// Per-agent observation dimension.
+    fn obs_dim(&self) -> usize;
+    /// Global state dimension (for the centralized critic).
+    fn state_dim(&self) -> usize;
+    /// Size of each agent's discrete action space.
+    fn n_actions(&self) -> usize;
+    /// Maximum episode length.
+    fn episode_limit(&self) -> usize;
+
+    /// Resets to an initial state, returning `(observations, state)`.
+    fn reset(&mut self) -> (Vec<Vec<f64>>, Vec<f64>);
+
+    /// Advances one step with one flat action index per agent.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject wrong-length joint actions, out-of-range
+    /// action indices, and stepping a finished episode.
+    fn step(&mut self, actions: &[usize]) -> Result<StepOutcome, EnvError>;
+}
+
+/// Rolls out one full episode under `policy` (a map from per-agent
+/// observations to joint flat actions), returning its metrics.
+///
+/// # Errors
+///
+/// Propagates environment step errors.
+pub fn rollout_episode<E, P>(env: &mut E, mut policy: P) -> Result<EpisodeMetrics, EnvError>
+where
+    E: MultiAgentEnv + ?Sized,
+    P: FnMut(&[Vec<f64>]) -> Vec<usize>,
+{
+    let mut acc = crate::metrics::MetricsAccumulator::new();
+    let (mut obs, _state) = env.reset();
+    loop {
+        let actions = policy(&obs);
+        let out = env.step(&actions)?;
+        acc.record_step(out.reward, &out.info.queue_levels, &out.info.cloud_empty, &out.info.cloud_full);
+        obs = out.observations;
+        if out.done {
+            return Ok(acc.finish());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Normalized queue dynamics: `q_{t+1} = clip(q_t − u_t + b_t, 0, q_max)`.
+//!
+//! This is the single equation the paper's environment is built from
+//! (Sec. IV-A). Both edge and cloud queues use it; the reward in eq. (1)
+//! additionally needs the **pre-clip** value to measure how far a queue
+//! under- or overflowed, so [`Queue::step`] reports the full transition.
+
+/// The clipping function of the paper:
+/// `clip(x, lo, hi) = min(hi, max(x, lo))`.
+#[inline]
+pub fn clip(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+/// A single normalized queue with capacity `q_max`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Queue {
+    level: f64,
+    q_max: f64,
+}
+
+/// Everything eq. (1) needs to know about one queue update.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QueueTransition {
+    /// The raw `q_t − u_t + b_t` before clipping.
+    pub pre_clip: f64,
+    /// The clipped next level `q_{t+1}`.
+    pub next_level: f64,
+    /// Amount the queue would have gone below zero (`≥ 0`).
+    pub underflow: f64,
+    /// Amount the queue would have exceeded capacity (`≥ 0`).
+    pub overflow: f64,
+    /// `true` when `q_{t+1} == 0` (the paper's "queue empty" event).
+    pub is_empty: bool,
+    /// `true` when `q_{t+1} == q_max` (the paper's "overflowed" event).
+    pub is_full: bool,
+}
+
+impl Queue {
+    /// A queue at `level` with capacity `q_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_max <= 0` or `level` is outside `[0, q_max]`.
+    pub fn new(level: f64, q_max: f64) -> Self {
+        assert!(q_max > 0.0, "queue capacity must be positive");
+        assert!(
+            (0.0..=q_max).contains(&level),
+            "initial level {level} outside [0, {q_max}]"
+        );
+        Queue { level, q_max }
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Capacity.
+    #[inline]
+    pub fn q_max(&self) -> f64 {
+        self.q_max
+    }
+
+    /// Occupancy as a fraction of capacity, in `[0, 1]`.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.level / self.q_max
+    }
+
+    /// Advances one slot with `departure` (`u_t`) and `arrival` (`b_t`),
+    /// returning the full transition record.
+    pub fn step(&mut self, departure: f64, arrival: f64) -> QueueTransition {
+        let pre_clip = self.level - departure + arrival;
+        let next_level = clip(pre_clip, 0.0, self.q_max);
+        let t = QueueTransition {
+            pre_clip,
+            next_level,
+            underflow: (-pre_clip).max(0.0),
+            overflow: (pre_clip - self.q_max).max(0.0),
+            is_empty: next_level <= 0.0,
+            is_full: next_level >= self.q_max,
+        };
+        self.level = next_level;
+        t
+    }
+
+    /// Sets the level directly (used by `reset`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, q_max]`.
+    pub fn set_level(&mut self, level: f64) {
+        assert!(
+            (0.0..=self.q_max).contains(&level),
+            "level {level} outside [0, {}]",
+            self.q_max
+        );
+        self.level = level;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_matches_paper_definition() {
+        assert_eq!(clip(-0.5, 0.0, 1.0), 0.0);
+        assert_eq!(clip(0.5, 0.0, 1.0), 0.5);
+        assert_eq!(clip(1.5, 0.0, 1.0), 1.0);
+        assert_eq!(clip(0.0, 0.0, 1.0), 0.0);
+        assert_eq!(clip(1.0, 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn normal_update_no_events() {
+        let mut q = Queue::new(0.5, 1.0);
+        let t = q.step(0.2, 0.1);
+        assert!((t.next_level - 0.4).abs() < 1e-12);
+        assert_eq!(t.underflow, 0.0);
+        assert_eq!(t.overflow, 0.0);
+        assert!(!t.is_empty && !t.is_full);
+        assert!((q.level() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underflow_clamps_and_reports() {
+        let mut q = Queue::new(0.1, 1.0);
+        let t = q.step(0.5, 0.0);
+        assert_eq!(t.next_level, 0.0);
+        assert!((t.underflow - 0.4).abs() < 1e-12);
+        assert!(t.is_empty);
+        assert!((t.pre_clip + 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_clamps_and_reports() {
+        let mut q = Queue::new(0.9, 1.0);
+        let t = q.step(0.0, 0.5);
+        assert_eq!(t.next_level, 1.0);
+        assert!((t.overflow - 0.4).abs() < 1e-12);
+        assert!(t.is_full);
+    }
+
+    #[test]
+    fn exact_boundaries_count_as_events() {
+        let mut q = Queue::new(0.3, 1.0);
+        let t = q.step(0.3, 0.0);
+        assert!(t.is_empty);
+        assert_eq!(t.underflow, 0.0);
+        let mut q = Queue::new(0.5, 1.0);
+        let t = q.step(0.0, 0.5);
+        assert!(t.is_full);
+        assert_eq!(t.overflow, 0.0);
+    }
+
+    #[test]
+    fn utilization_normalises_by_capacity() {
+        let q = Queue::new(1.0, 2.0);
+        assert!((q.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Queue::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_initial_level_rejected() {
+        let _ = Queue::new(1.5, 1.0);
+    }
+
+    #[test]
+    fn set_level_validates() {
+        let mut q = Queue::new(0.0, 1.0);
+        q.set_level(0.7);
+        assert_eq!(q.level(), 0.7);
+    }
+}

@@ -1,0 +1,89 @@
+//! The random-walk baseline used for the paper's achievability metric.
+//!
+//! Sec. IV-D normalises every framework's return against a uniformly
+//! random joint policy ("the random walk records −33.2 on average"):
+//! `achievability = (R − R_random) / (0 − R_random)` — a min-max
+//! normalisation between the random policy and the perfect (zero-penalty)
+//! return.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::EnvError;
+use crate::metrics::{EpisodeMetrics, MetricsMean};
+use crate::multi_agent::{rollout_episode, MultiAgentEnv};
+
+/// Runs `episodes` episodes under the uniform-random joint policy and
+/// returns the mean metrics.
+///
+/// # Errors
+///
+/// Propagates environment step errors.
+pub fn random_walk_baseline<E: MultiAgentEnv + ?Sized>(
+    env: &mut E,
+    episodes: usize,
+    seed: u64,
+) -> Result<EpisodeMetrics, EnvError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_agents = env.n_agents();
+    let n_actions = env.n_actions();
+    let mut agg = MetricsMean::new();
+    for _ in 0..episodes {
+        let m = rollout_episode(env, |_obs| {
+            (0..n_agents).map(|_| rng.gen_range(0..n_actions)).collect()
+        })?;
+        agg.add(&m);
+    }
+    Ok(agg.mean().expect("episodes > 0 produces a mean"))
+}
+
+/// The paper's min-max achievability: 0 at the random-walk return, 1 at
+/// the ideal (zero) return. Values can exceed `[0, 1]` if a policy is
+/// worse than random.
+pub fn achievability(total_reward: f64, random_walk_reward: f64) -> f64 {
+    if random_walk_reward >= 0.0 {
+        // Degenerate normalisation base; treat any non-negative return as perfect.
+        return if total_reward >= 0.0 { 1.0 } else { 0.0 };
+    }
+    (total_reward - random_walk_reward) / (0.0 - random_walk_reward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single_hop::{EnvConfig, SingleHopEnv};
+
+    #[test]
+    fn baseline_is_reproducible() {
+        let mut env = SingleHopEnv::new(EnvConfig::paper_default(), 1).unwrap();
+        let a = random_walk_baseline(&mut env, 20, 7).unwrap();
+        let mut env = SingleHopEnv::new(EnvConfig::paper_default(), 1).unwrap();
+        let b = random_walk_baseline(&mut env, 20, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn baseline_reward_is_negative() {
+        let mut env = SingleHopEnv::new(EnvConfig::paper_default(), 3).unwrap();
+        let m = random_walk_baseline(&mut env, 50, 11).unwrap();
+        assert!(m.total_reward < 0.0, "random policy must incur penalties, got {}", m.total_reward);
+        assert!(m.avg_queue > 0.0 && m.avg_queue < 1.0);
+    }
+
+    #[test]
+    fn achievability_normalisation() {
+        assert!((achievability(0.0, -33.2) - 1.0).abs() < 1e-12);
+        assert!((achievability(-33.2, -33.2)).abs() < 1e-12);
+        // The paper's numbers: Proposed −3.0 vs random −33.2 → 91.0%.
+        let a = achievability(-3.0, -33.2);
+        assert!((a - 0.9096).abs() < 1e-3);
+        // Worse than random → negative.
+        assert!(achievability(-50.0, -33.2) < 0.0);
+    }
+
+    #[test]
+    fn achievability_degenerate_base() {
+        assert_eq!(achievability(-1.0, 0.0), 0.0);
+        assert_eq!(achievability(0.0, 0.0), 1.0);
+    }
+}

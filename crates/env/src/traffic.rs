@@ -1,0 +1,195 @@
+//! Packet arrival processes feeding the edge queues.
+//!
+//! The paper draws edge arrivals i.i.d. uniform,
+//! `b_t ~ U(0, w_P · q_max)` with `w_P = 0.3` (Sec. IV-B). Poisson-batch
+//! and bursty ON/OFF generators are provided for the extension
+//! experiments (traffic-pattern ablations beyond the paper).
+
+use rand::Rng;
+
+/// A stochastic arrival process producing one packet volume per slot.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ArrivalProcess {
+    /// `U(0, max)` — the paper's process with `max = w_P · q_max`.
+    Uniform {
+        /// Upper bound of the uniform draw.
+        max: f64,
+    },
+    /// Poisson-distributed packet count times a fixed packet size.
+    PoissonBatch {
+        /// Mean packets per slot.
+        rate: f64,
+        /// Volume of each packet.
+        packet_size: f64,
+    },
+    /// Two-state ON/OFF (bursty) source: emits `volume` while ON.
+    OnOff {
+        /// Probability of switching OFF→ON per slot.
+        p_on: f64,
+        /// Probability of switching ON→OFF per slot.
+        p_off: f64,
+        /// Arrival volume while ON.
+        volume: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The paper's default: `U(0, w_p · q_max)`.
+    pub fn paper_default(w_p: f64, q_max: f64) -> Self {
+        ArrivalProcess::Uniform { max: w_p * q_max }
+    }
+
+    /// Long-run mean arrival volume per slot.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Uniform { max } => max / 2.0,
+            ArrivalProcess::PoissonBatch { rate, packet_size } => rate * packet_size,
+            ArrivalProcess::OnOff { p_on, p_off, volume } => {
+                // Stationary P(ON) = p_on / (p_on + p_off).
+                if p_on + p_off == 0.0 {
+                    0.0
+                } else {
+                    volume * p_on / (p_on + p_off)
+                }
+            }
+        }
+    }
+}
+
+/// Stateful sampler for an [`ArrivalProcess`] (the ON/OFF source carries a
+/// hidden state bit).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ArrivalSampler {
+    process: ArrivalProcess,
+    on: bool,
+}
+
+impl ArrivalSampler {
+    /// A sampler starting in the OFF state (for ON/OFF sources).
+    pub fn new(process: ArrivalProcess) -> Self {
+        ArrivalSampler { process, on: false }
+    }
+
+    /// The underlying process.
+    pub fn process(&self) -> ArrivalProcess {
+        self.process
+    }
+
+    /// Draws one slot's arrival volume.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        match self.process {
+            ArrivalProcess::Uniform { max } => {
+                if max <= 0.0 {
+                    0.0
+                } else {
+                    rng.gen_range(0.0..max)
+                }
+            }
+            ArrivalProcess::PoissonBatch { rate, packet_size } => {
+                poisson(rng, rate) as f64 * packet_size
+            }
+            ArrivalProcess::OnOff { p_on, p_off, volume } => {
+                if self.on {
+                    if rng.gen::<f64>() < p_off {
+                        self.on = false;
+                    }
+                } else if rng.gen::<f64>() < p_on {
+                    self.on = true;
+                }
+                if self.on {
+                    volume
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Knuth's Poisson sampler (fine for the small rates used here).
+fn poisson<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> u32 {
+    if rate <= 0.0 {
+        return 0;
+    }
+    let l = (-rate).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // guard against pathological rates
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_mean(process: ArrivalProcess, n: usize, seed: u64) -> f64 {
+        let mut s = ArrivalSampler::new(process);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| s.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn uniform_matches_paper_range() {
+        let p = ArrivalProcess::paper_default(0.3, 1.0);
+        assert_eq!(p, ArrivalProcess::Uniform { max: 0.3 });
+        let mut s = ArrivalSampler::new(p);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = s.sample(&mut rng);
+            assert!((0.0..0.3).contains(&v));
+        }
+        assert!((empirical_mean(p, 50_000, 2) - 0.15).abs() < 0.005);
+    }
+
+    #[test]
+    fn uniform_mean_formula() {
+        assert!((ArrivalProcess::Uniform { max: 0.3 }.mean() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let p = ArrivalProcess::PoissonBatch { rate: 1.5, packet_size: 0.1 };
+        assert!((p.mean() - 0.15).abs() < 1e-12);
+        assert!((empirical_mean(p, 50_000, 3) - 0.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn onoff_stationary_mean() {
+        let p = ArrivalProcess::OnOff { p_on: 0.2, p_off: 0.2, volume: 0.3 };
+        assert!((p.mean() - 0.15).abs() < 1e-12);
+        assert!((empirical_mean(p, 100_000, 4) - 0.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn onoff_is_bursty() {
+        // Consecutive samples should be highly correlated (runs of 0 / volume).
+        let mut s = ArrivalSampler::new(ArrivalProcess::OnOff { p_on: 0.05, p_off: 0.05, volume: 0.3 });
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..10_000).map(|_| s.sample(&mut rng)).collect();
+        let same_as_prev = xs.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(same_as_prev as f64 / 9999.0 > 0.8, "not bursty enough");
+    }
+
+    #[test]
+    fn degenerate_processes() {
+        assert_eq!(empirical_mean(ArrivalProcess::Uniform { max: 0.0 }, 10, 0), 0.0);
+        assert_eq!(empirical_mean(ArrivalProcess::PoissonBatch { rate: 0.0, packet_size: 1.0 }, 10, 0), 0.0);
+        assert_eq!(ArrivalProcess::OnOff { p_on: 0.0, p_off: 0.0, volume: 1.0 }.mean(), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let p = ArrivalProcess::paper_default(0.3, 1.0);
+        assert_eq!(empirical_mean(p, 100, 7), empirical_mean(p, 100, 7));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the offloading environment's invariants.
+
+use proptest::prelude::*;
+use qmarl_env::prelude::*;
+
+fn arb_actions(n_agents: usize, n_actions: usize, len: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0..n_actions, n_agents), 1..len)
+}
+
+proptest! {
+    /// Queues never leave [0, q_max], rewards never go positive, and
+    /// observations stay normalised — for any action sequence and seed.
+    #[test]
+    fn env_invariants_hold(
+        seed in 0u64..500,
+        actions in arb_actions(4, 4, 40),
+    ) {
+        let mut cfg = EnvConfig::paper_default();
+        cfg.episode_limit = actions.len();
+        let mut env = SingleHopEnv::new(cfg, seed).unwrap();
+        env.reset();
+        for joint in &actions {
+            let out = env.step(joint).unwrap();
+            prop_assert!(out.reward <= 0.0);
+            for level in &out.info.queue_levels {
+                prop_assert!((0.0..=1.0).contains(level), "queue level {level}");
+            }
+            for o in &out.observations {
+                prop_assert_eq!(o.len(), 4);
+                prop_assert!(o.iter().all(|v| (0.0..=1.0).contains(v)));
+            }
+            prop_assert_eq!(&out.state, &out.observations.concat());
+            if out.done { break; }
+        }
+    }
+
+    /// Metric ratios are probabilities and episode length is respected.
+    #[test]
+    fn metrics_are_well_formed(seed in 0u64..200, t in 1usize..50) {
+        let mut cfg = EnvConfig::paper_default();
+        cfg.episode_limit = t;
+        let mut env = SingleHopEnv::new(cfg, seed).unwrap();
+        let m = rollout_episode(&mut env, |_| vec![0, 1, 2, 3]).unwrap();
+        prop_assert_eq!(m.len, t);
+        prop_assert!((0.0..=1.0).contains(&m.empty_ratio));
+        prop_assert!((0.0..=1.0).contains(&m.overflow_ratio));
+        prop_assert!((0.0..=1.0).contains(&m.avg_queue));
+        prop_assert!(m.total_reward <= 0.0);
+    }
+
+    /// Action spaces round-trip encode/decode for arbitrary shapes.
+    #[test]
+    fn action_space_roundtrip(
+        n_clouds in 1usize..6,
+        amounts in prop::collection::vec(0.01f64..1.0, 1..5),
+    ) {
+        let space = ActionSpace::new(n_clouds, amounts.clone()).unwrap();
+        prop_assert_eq!(space.len(), n_clouds * amounts.len());
+        for i in 0..space.len() {
+            let a = space.decode(i).unwrap();
+            let amount_idx = amounts.iter().position(|&x| x == a.amount).unwrap();
+            prop_assert_eq!(space.encode(a.destination, amount_idx).unwrap(), i);
+        }
+        prop_assert!(space.decode(space.len()).is_err());
+    }
+
+    /// The queue update equals clip(q − u + b) exactly, with consistent
+    /// under/overflow accounting.
+    #[test]
+    fn queue_step_matches_clip(
+        level in 0.0f64..1.0,
+        departure in 0.0f64..1.5,
+        arrival in 0.0f64..1.5,
+    ) {
+        let mut q = Queue::new(level, 1.0);
+        let t = q.step(departure, arrival);
+        let pre = level - departure + arrival;
+        prop_assert!((t.pre_clip - pre).abs() < 1e-12);
+        prop_assert!((t.next_level - clip(pre, 0.0, 1.0)).abs() < 1e-12);
+        prop_assert!((t.underflow - (-pre).max(0.0)).abs() < 1e-12);
+        prop_assert!((t.overflow - (pre - 1.0).max(0.0)).abs() < 1e-12);
+        // Exactly one of the flags can imply a nonzero magnitude.
+        if t.underflow > 0.0 { prop_assert!(t.is_empty); }
+        if t.overflow > 0.0 { prop_assert!(t.is_full); }
+    }
+
+    /// Arrival samplers always produce finite, non-negative volumes, with
+    /// empirical means near the analytic ones.
+    #[test]
+    fn arrival_means_match(seed in 0u64..100, which in 0usize..3) {
+        use rand::SeedableRng;
+        let process = match which {
+            0 => ArrivalProcess::Uniform { max: 0.3 },
+            1 => ArrivalProcess::PoissonBatch { rate: 2.0, packet_size: 0.05 },
+            _ => ArrivalProcess::OnOff { p_on: 0.3, p_off: 0.2, volume: 0.25 },
+        };
+        let mut s = ArrivalSampler::new(process);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = s.sample(&mut rng);
+            prop_assert!(v.is_finite() && v >= 0.0);
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        prop_assert!((mean - process.mean()).abs() < 0.05, "mean {} vs {}", mean, process.mean());
+    }
+}

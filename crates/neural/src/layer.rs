@@ -1,0 +1,273 @@
+//! Dense layers and activations with manual reverse-mode derivatives.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// An elementwise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No-op (linear output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation elementwise.
+    pub fn forward(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.scalar(x)).collect()
+    }
+
+    /// Single-value forward.
+    #[inline]
+    pub fn scalar(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// The derivative evaluated from the **pre-activation** input.
+    #[inline]
+    pub fn derivative(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// A fully-connected layer `y = act(Wx + b)`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    biases: Vec<f64>,
+    activation: Activation,
+}
+
+/// Gradients of one dense layer from a backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseGradients {
+    /// `∂L/∂W`, same shape as the weights.
+    pub weights: Matrix,
+    /// `∂L/∂b`.
+    pub biases: Vec<f64>,
+    /// `∂L/∂x` — the upstream gradient for the previous layer.
+    pub input: Vec<f64>,
+}
+
+impl Dense {
+    /// A new layer with Xavier-uniform weights and zero biases.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let weights = Matrix::from_fn(out_dim, in_dim, |_, _| rng.gen_range(-limit..limit));
+        Dense { weights, biases: vec![0.0; out_dim], activation }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of trainable parameters (`W` entries + biases).
+    pub fn param_count(&self) -> usize {
+        self.weights.len() + self.biases.len()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let pre = self.pre_activation(x);
+        self.activation.forward(&pre)
+    }
+
+    /// The pre-activation `Wx + b` (cached by backprop).
+    pub fn pre_activation(&self, x: &[f64]) -> Vec<f64> {
+        let mut z = self.weights.matvec(x);
+        for (zi, bi) in z.iter_mut().zip(&self.biases) {
+            *zi += bi;
+        }
+        z
+    }
+
+    /// Backward pass given the layer input and `∂L/∂y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward(&self, x: &[f64], upstream: &[f64]) -> DenseGradients {
+        assert_eq!(upstream.len(), self.out_dim(), "upstream dimension mismatch");
+        let pre = self.pre_activation(x);
+        // δ = upstream ⊙ act'(z)
+        let delta: Vec<f64> = upstream
+            .iter()
+            .zip(&pre)
+            .map(|(&u, &z)| u * self.activation.derivative(z))
+            .collect();
+        DenseGradients {
+            weights: Matrix::outer(&delta, x),
+            biases: delta.clone(),
+            input: self.weights.matvec_transposed(&delta),
+        }
+    }
+
+    /// Copies the parameters into `out` (weights row-major, then biases).
+    pub fn write_params(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(self.weights.as_slice());
+        out.extend_from_slice(&self.biases);
+    }
+
+    /// Loads parameters from a flat slice, returning how many were read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is too short.
+    pub fn read_params(&mut self, params: &[f64]) -> usize {
+        let nw = self.weights.len();
+        let nb = self.biases.len();
+        assert!(params.len() >= nw + nb, "parameter slice too short");
+        self.weights.as_mut_slice().copy_from_slice(&params[..nw]);
+        self.biases.copy_from_slice(&params[nw..nw + nb]);
+        nw + nb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activations_forward() {
+        assert_eq!(Activation::Relu.scalar(-1.0), 0.0);
+        assert_eq!(Activation::Relu.scalar(2.0), 2.0);
+        assert!((Activation::Tanh.scalar(0.0)).abs() < 1e-15);
+        assert!((Activation::Sigmoid.scalar(0.0) - 0.5).abs() < 1e-15);
+        assert_eq!(Activation::Identity.scalar(3.3), 3.3);
+    }
+
+    #[test]
+    fn activation_derivatives_match_finite_difference() {
+        let eps = 1e-6;
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
+            for x in [-1.7, -0.3, 0.4, 2.1] {
+                let fd = (act.scalar(x + eps) - act.scalar(x - eps)) / (2.0 * eps);
+                assert!(
+                    (act.derivative(x) - fd).abs() < 1e-6,
+                    "{act:?} at {x}: {} vs {fd}",
+                    act.derivative(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Dense::new(4, 3, Activation::Tanh, &mut rng);
+        assert_eq!(layer.in_dim(), 4);
+        assert_eq!(layer.out_dim(), 3);
+        assert_eq!(layer.param_count(), 15);
+        let y = layer.forward(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(y.len(), 3);
+        assert!(y.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn dense_backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = [0.5, -0.3, 0.8];
+        let upstream = [1.0, -0.5];
+        let grads = layer.backward(&x, &upstream);
+
+        // Loss L = Σ upstream_j · y_j; check ∂L/∂params numerically.
+        let mut params = Vec::new();
+        layer.write_params(&mut params);
+        let loss = |layer: &Dense| -> f64 {
+            layer.forward(&x).iter().zip(&upstream).map(|(y, u)| y * u).sum()
+        };
+        let eps = 1e-6;
+        let mut flat_grad = Vec::new();
+        flat_grad.extend_from_slice(grads.weights.as_slice());
+        flat_grad.extend_from_slice(&grads.biases);
+        for p in 0..params.len() {
+            let mut pp = params.clone();
+            pp[p] += eps;
+            layer.read_params(&pp);
+            let plus = loss(&layer);
+            pp[p] -= 2.0 * eps;
+            layer.read_params(&pp);
+            let minus = loss(&layer);
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!((flat_grad[p] - fd).abs() < 1e-5, "param {p}: {} vs {fd}", flat_grad[p]);
+        }
+        layer.read_params(&params);
+
+        // And ∂L/∂x numerically.
+        for i in 0..x.len() {
+            let mut xx = x;
+            xx[i] += eps;
+            let plus = layer.forward(&xx).iter().zip(&upstream).map(|(y, u)| y * u).sum::<f64>();
+            xx[i] -= 2.0 * eps;
+            let minus = layer.forward(&xx).iter().zip(&upstream).map(|(y, u)| y * u).sum::<f64>();
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!((grads.input[i] - fd).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(2, 2, Activation::Relu, &mut rng);
+        let mut params = Vec::new();
+        layer.write_params(&mut params);
+        let mut tweaked = params.clone();
+        tweaked[0] = 9.0;
+        let read = layer.read_params(&tweaked);
+        assert_eq!(read, 6);
+        let mut out = Vec::new();
+        layer.write_params(&mut out);
+        assert_eq!(out[0], 9.0);
+    }
+}

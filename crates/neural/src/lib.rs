@@ -1,0 +1,42 @@
+//! # qmarl-neural — minimal classical neural networks
+//!
+//! The classical substrate of the
+//! [QMARL reproduction](https://arxiv.org/abs/2203.10443): dense layers,
+//! MLPs with manual reverse-mode backprop, softmax/policy-gradient
+//! calculus, and SGD/Adam over flat parameter vectors. It powers the
+//! paper's baselines — Comp1's classical centralized critic, the
+//! budget-matched classical MARL (Comp2) and the unconstrained > 40 K
+//! parameter MARL (Comp3).
+//!
+//! ```
+//! use qmarl_neural::prelude::*;
+//!
+//! let mut policy = Mlp::new(&[4, 5, 4], Activation::Tanh, 7);
+//! let mut opt = Adam::new(1e-2, policy.param_count());
+//! let x = [0.1, 0.4, 0.3, 0.9];
+//! // One policy-gradient step toward action 2.
+//! let probs = softmax(&policy.forward(&x));
+//! let upstream = policy_gradient_logits(&probs, 2, 1.0);
+//! let (grad, _) = policy.backward(&x, &upstream);
+//! let mut params = policy.params();
+//! opt.step(&mut params, &grad);
+//! policy.set_params(&params);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::layer::{Activation, Dense};
+    pub use crate::loss::{entropy, log_softmax, mse, policy_gradient_logits, softmax};
+    pub use crate::matrix::Matrix;
+    pub use crate::mlp::{hidden_for_budget, Mlp};
+    pub use crate::optim::{Adam, Sgd};
+}

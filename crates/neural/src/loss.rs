@@ -1,0 +1,182 @@
+//! Loss functions and policy-gradient helpers.
+//!
+//! The trainer needs three pieces of calculus (Sec. III-B of the paper):
+//! the softmax policy `π = softmax(f)`, the critic's squared TD-error
+//! `‖y_t‖²`, and the actor's policy-gradient pseudo-loss
+//! `−Σ y_t log π(u|o)` whose gradient w.r.t. the logits has the classic
+//! `(softmax − onehot)` form.
+
+/// Numerically stable softmax.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    assert!(!logits.is_empty(), "softmax of empty slice");
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Numerically stable `log softmax`.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn log_softmax(logits: &[f64]) -> Vec<f64> {
+    assert!(!logits.is_empty(), "log_softmax of empty slice");
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let log_sum: f64 = logits.iter().map(|&x| (x - max).exp()).sum::<f64>().ln() + max;
+    logits.iter().map(|&x| x - log_sum).collect()
+}
+
+/// Mean squared error and its gradient w.r.t. `pred`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn mse(pred: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(pred.len(), target.len(), "mse length mismatch");
+    assert!(!pred.is_empty(), "mse of empty slices");
+    let n = pred.len() as f64;
+    let mut loss = 0.0;
+    let mut grad = vec![0.0; pred.len()];
+    for i in 0..pred.len() {
+        let d = pred[i] - target[i];
+        loss += d * d;
+        grad[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// The gradient of `−advantage · log π[action]` w.r.t. the **logits**,
+/// where `π = softmax(logits)`:
+/// `∂/∂logit_i = advantage · (π_i − 1{i == action})`.
+///
+/// (The minus from the pseudo-loss and the minus from `∂(−log π)` cancel
+/// into this single expression; feeding it to a *descent* step maximises
+/// the advantage-weighted log-likelihood, which is the MAPG update.)
+///
+/// # Panics
+///
+/// Panics if `action` is out of range.
+pub fn policy_gradient_logits(probs: &[f64], action: usize, advantage: f64) -> Vec<f64> {
+    assert!(action < probs.len(), "action index out of range");
+    probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| advantage * (p - if i == action { 1.0 } else { 0.0 }))
+        .collect()
+}
+
+/// Entropy of a probability vector (exploration diagnostic).
+pub fn entropy(probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_is_distribution() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_stable_under_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        let p = softmax(&[-1000.0, 0.0]);
+        assert!(p[0] < 1e-300 || p[0] == 0.0);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_shift_invariant() {
+        let a = softmax(&[0.1, 0.5, -0.3]);
+        let b = softmax(&[100.1, 100.5, 99.7]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let logits = [0.3, -1.2, 2.2, 0.0];
+        let p = softmax(&logits);
+        let lp = log_softmax(&logits);
+        for (pi, lpi) in p.iter().zip(&lp) {
+            assert!((pi.ln() - lpi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let (loss, grad) = mse(&[1.0, 2.0], &[0.0, 2.0]);
+        assert!((loss - 0.5).abs() < 1e-12);
+        assert!((grad[0] - 1.0).abs() < 1e-12);
+        assert_eq!(grad[1], 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let pred = [0.4, -0.7, 1.2];
+        let target = [0.0, 0.1, 1.0];
+        let (_, grad) = mse(&pred, &target);
+        let eps = 1e-7;
+        for i in 0..3 {
+            let mut p = pred;
+            p[i] += eps;
+            let (plus, _) = mse(&p, &target);
+            p[i] -= 2.0 * eps;
+            let (minus, _) = mse(&p, &target);
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!((grad[i] - fd).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn policy_gradient_matches_finite_difference() {
+        let logits = [0.2, -0.5, 1.1, 0.0];
+        let action = 2;
+        let advantage = -1.7;
+        let probs = softmax(&logits);
+        let grad = policy_gradient_logits(&probs, action, advantage);
+
+        // Pseudo-loss L(logits) = −advantage · log softmax(logits)[action].
+        let loss = |l: &[f64]| -advantage * log_softmax(l)[action];
+        let eps = 1e-7;
+        for i in 0..4 {
+            let mut ll = logits;
+            ll[i] += eps;
+            let plus = loss(&ll);
+            ll[i] -= 2.0 * eps;
+            let minus = loss(&ll);
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!((grad[i] - fd).abs() < 1e-6, "logit {i}: {} vs {fd}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn policy_gradient_sums_to_zero() {
+        // Σ_i (π_i − 1{i=a}) = 0, so the gradient is shift-free.
+        let probs = softmax(&[0.3, 0.9, -0.2]);
+        let g = policy_gradient_logits(&probs, 1, 2.5);
+        assert!(g.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert!(entropy(&[1.0, 0.0, 0.0]).abs() < 1e-15);
+        let uniform = entropy(&[0.25; 4]);
+        assert!((uniform - (4.0f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,255 @@
+//! A minimal dense matrix type for small MLPs.
+//!
+//! The classical baselines of the paper (Comp1's critic, Comp2, Comp3) are
+//! small fully-connected networks; a row-major `Vec<f64>` matrix with
+//! textbook kernels is all they need, and keeping it in-repo avoids an
+//! external linear-algebra dependency.
+
+use std::fmt;
+
+/// A row-major dense matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use qmarl_neural::matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let x = [5.0, 6.0];
+/// assert_eq!(a.matvec(&x), vec![17.0, 39.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut m = Matrix::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged rows");
+            m.data[r * cols..(r + 1) * cols].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Transposed matrix–vector product `Aᵀ·y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows`.
+    pub fn matvec_transposed(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "matvec_transposed dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &yr) in y.iter().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += row[c] * yr;
+            }
+        }
+        out
+    }
+
+    /// The outer product `y xᵀ` (gradient of `W` for `y = Wx`).
+    pub fn outer(y: &[f64], x: &[f64]) -> Matrix {
+        let mut m = Matrix::zeros(y.len(), x.len());
+        for (r, &yr) in y.iter().enumerate() {
+            for (c, &xc) in x.iter().enumerate() {
+                m.data[r * x.len() + c] = yr * xc;
+            }
+        }
+        m
+    }
+
+    /// In-place scaled addition `self += s · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix, s: f64) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false` (dimensions are positive by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix({}×{})", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            let row: Vec<String> = (0..self.cols)
+                .map(|c| format!("{:+.4}", self.get(r, c)))
+                .collect();
+            writeln!(f, "  [{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimensions_panic() {
+        let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let eye = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(eye.matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn matvec_transposed_consistency() {
+        // ⟨y, Ax⟩ = ⟨Aᵀy, x⟩ for arbitrary matrices.
+        let a = Matrix::from_fn(3, 4, |r, c| (r + 1) as f64 * 0.3 - (c as f64) * 0.7);
+        let x = [0.5, -1.0, 2.0, 0.25];
+        let y = [1.0, 0.5, -2.0];
+        let ax = a.matvec(&x);
+        let aty = a.matvec_transposed(&y);
+        let lhs: f64 = y.iter().zip(&ax).map(|(u, v)| u * v).sum();
+        let rhs: f64 = aty.iter().zip(&x).map(|(u, v)| u * v).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outer_product() {
+        let m = Matrix::outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 10.0);
+    }
+
+    #[test]
+    fn add_scaled() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        a.add_scaled(&b, 2.0);
+        assert_eq!(a.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let m = Matrix::zeros(1, 2);
+        assert!(m.to_string().contains("Matrix(1×2)"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Multi-layer perceptrons with flat-parameter backprop.
+//!
+//! The paper's classical baselines are MLPs: Comp2 matched to the ~50
+//! trainable-parameter budget of the quantum models, Comp3 unconstrained
+//! (> 40 K parameters). [`Mlp`] exposes the same flat parameter-vector
+//! interface as `qmarl_vqc::qnn::Vqc`, so one optimizer drives both.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::layer::{Activation, Dense};
+
+/// A feed-forward network: a chain of [`Dense`] layers.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, hidden activation and a
+    /// linear output layer.
+    ///
+    /// `sizes = [in, h1, …, out]` produces `len(sizes) − 1` layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(sizes: &[usize], hidden: Activation, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs an input and an output size");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let is_last = layers.len() == sizes.len() - 2;
+            let act = if is_last { Activation::Identity } else { hidden };
+            layers.push(Dense::new(w[0], w[1], act, &mut rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("at least one layer").out_dim()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// The layers, input-first.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = x.to_vec();
+        for layer in &self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Backward pass: given the input and `∂L/∂output`, returns the flat
+    /// parameter gradient (same layout as [`Mlp::params`]) and `∂L/∂x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward(&self, x: &[f64], upstream: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        // Forward, caching every layer input.
+        let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut h = x.to_vec();
+        for layer in &self.layers {
+            inputs.push(h.clone());
+            h = layer.forward(&h);
+        }
+        // Backward.
+        let mut grad_chunks: Vec<Vec<f64>> = vec![Vec::new(); self.layers.len()];
+        let mut up = upstream.to_vec();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let g = layer.backward(&inputs[i], &up);
+            let mut chunk = Vec::with_capacity(layer.param_count());
+            chunk.extend_from_slice(g.weights.as_slice());
+            chunk.extend_from_slice(&g.biases);
+            grad_chunks[i] = chunk;
+            up = g.input;
+        }
+        (grad_chunks.concat(), up)
+    }
+
+    /// The flat parameter vector (layer by layer: weights then biases).
+    pub fn params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.write_params(&mut out);
+        }
+        out
+    }
+
+    /// Loads a flat parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != param_count()`.
+    pub fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.param_count(), "parameter vector length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            offset += layer.read_params(&params[offset..]);
+        }
+    }
+}
+
+/// Picks the widest single hidden layer such that an
+/// `[input, hidden, output]` MLP stays within `param_budget` parameters
+/// (the paper's Comp2 is budget-matched to the 50-parameter VQCs).
+/// Returns the hidden width and the resulting parameter count.
+pub fn hidden_for_budget(in_dim: usize, out_dim: usize, param_budget: usize) -> (usize, usize) {
+    // params(h) = (in+1)·h + (h+1)·out = h·(in + out + 1) + out
+    let per_unit = in_dim + out_dim + 1;
+    let budget_minus_bias = param_budget.saturating_sub(out_dim);
+    let h = (budget_minus_bias / per_unit).max(1);
+    (h, h * per_unit + out_dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mlp = Mlp::new(&[4, 5, 4], Activation::Relu, 0);
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 4);
+        // (4+1)·5 + (5+1)·4 = 25 + 24 = 49.
+        assert_eq!(mlp.param_count(), 49);
+        assert_eq!(mlp.forward(&[0.0; 4]).len(), 4);
+        assert_eq!(mlp.layers().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Mlp::new(&[3, 8, 2], Activation::Tanh, 7);
+        let b = Mlp::new(&[3, 8, 2], Activation::Tanh, 7);
+        assert_eq!(a.params(), b.params());
+        let c = Mlp::new(&[3, 8, 2], Activation::Tanh, 8);
+        assert_ne!(a.params(), c.params());
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut mlp = Mlp::new(&[2, 3, 1], Activation::Tanh, 1);
+        let mut p = mlp.params();
+        p[0] = 5.5;
+        *p.last_mut().unwrap() = -2.0;
+        mlp.set_params(&p);
+        assert_eq!(mlp.params(), p);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut mlp = Mlp::new(&[3, 6, 2], Activation::Tanh, 3);
+        let x = [0.4, -0.9, 0.1];
+        let upstream = [0.7, -1.2];
+        let (grad, input_grad) = mlp.backward(&x, &upstream);
+        assert_eq!(grad.len(), mlp.param_count());
+
+        let loss = |m: &Mlp, x: &[f64]| -> f64 {
+            m.forward(x).iter().zip(&upstream).map(|(y, u)| y * u).sum()
+        };
+        let base = mlp.params();
+        let eps = 1e-6;
+        for p in 0..base.len() {
+            let mut pp = base.clone();
+            pp[p] += eps;
+            mlp.set_params(&pp);
+            let plus = loss(&mlp, &x);
+            pp[p] -= 2.0 * eps;
+            mlp.set_params(&pp);
+            let minus = loss(&mlp, &x);
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!((grad[p] - fd).abs() < 1e-5, "param {p}: {} vs {fd}", grad[p]);
+        }
+        mlp.set_params(&base);
+
+        for i in 0..x.len() {
+            let mut xx = x;
+            xx[i] += eps;
+            let plus = loss(&mlp, &xx);
+            xx[i] -= 2.0 * eps;
+            let minus = loss(&mlp, &xx);
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!((input_grad[i] - fd).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_network_backward() {
+        // Exercise the ReLU derivative path too.
+        let mlp = Mlp::new(&[2, 4, 1], Activation::Relu, 11);
+        let (grad, _) = mlp.backward(&[1.0, -1.0], &[1.0]);
+        assert_eq!(grad.len(), mlp.param_count());
+        assert!(grad.iter().any(|g| g.abs() > 0.0), "some gradient must flow");
+    }
+
+    #[test]
+    fn budget_helper() {
+        let (h, n) = hidden_for_budget(4, 4, 50);
+        assert_eq!(h, 5);
+        assert_eq!(n, 49);
+        assert!(n <= 50);
+
+        let (h, n) = hidden_for_budget(16, 1, 50);
+        assert_eq!(h, 2);
+        assert_eq!(n, 37);
+
+        // Degenerate: tiny budget still yields a working net.
+        let (h, _) = hidden_for_budget(4, 4, 1);
+        assert_eq!(h, 1);
+    }
+
+    #[test]
+    fn comp3_scale_network() {
+        // The paper's unconstrained baseline: > 40 K parameters.
+        let mlp = Mlp::new(&[4, 200, 200, 4], Activation::Relu, 0);
+        assert!(mlp.param_count() > 40_000, "comp3 actor: {}", mlp.param_count());
+    }
+
+    #[test]
+    fn deep_mlp_three_hidden() {
+        let mlp = Mlp::new(&[4, 8, 8, 8, 2], Activation::Tanh, 5);
+        assert_eq!(mlp.layers().len(), 4);
+        let y = mlp.forward(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(y.len(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! First-order optimizers over flat parameter vectors.
+//!
+//! Table II of the paper specifies **Adam** with learning rates `1e-4`
+//! (actor) and `1e-5` (critic). Both optimizers here operate on plain
+//! `&mut [f64]` so the same instance can train quantum circuit angles and
+//! MLP weights alike.
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// A new SGD optimizer.
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr }
+    }
+
+    /// One descent step: `θ ← θ − lr · g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "gradient length mismatch");
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Adam {
+    /// Learning rate `α`.
+    pub lr: f64,
+    /// First-moment decay `β₁`.
+    pub beta1: f64,
+    /// Second-moment decay `β₂`.
+    pub beta2: f64,
+    /// Division-guard `ε`.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the standard hyper-parameters (β₁ = 0.9, β₂ = 0.999,
+    /// ε = 1e-8) for a parameter vector of length `n_params`.
+    pub fn new(lr: f64, n_params: usize) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            t: 0,
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// One Adam step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params`/`grads` lengths differ from the configured size.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "parameter length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "gradient length mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Resets the moment estimates (e.g. after a target-network swap).
+    pub fn reset(&mut self) {
+        self.m.fill(0.0);
+        self.v.fill(0.0);
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x − 3)² and check convergence.
+    fn quadratic_descent<F: FnMut(&mut [f64], &[f64])>(mut step: F, iters: usize) -> f64 {
+        let mut x = [10.0];
+        for _ in 0..iters {
+            let g = [2.0 * (x[0] - 3.0)];
+            step(&mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = quadratic_descent(|p, g| opt.step(p, g), 200);
+        assert!((x - 3.0).abs() < 1e-6, "got {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1, 1);
+        let x = quadratic_descent(|p, g| opt.step(p, g), 800);
+        assert!((x - 3.0).abs() < 1e-3, "got {x}");
+        assert_eq!(opt.steps(), 800);
+    }
+
+    #[test]
+    fn adam_converges_on_rosenbrock_ish() {
+        // A curved 2-D problem: f = (1−a)² + 10(b − a²)².
+        let mut p = [-1.0, 1.5];
+        let mut opt = Adam::new(0.02, 2);
+        for _ in 0..8000 {
+            let (a, b) = (p[0], p[1]);
+            let g = [
+                -2.0 * (1.0 - a) - 40.0 * a * (b - a * a),
+                20.0 * (b - a * a),
+            ];
+            opt.step(&mut p, &g);
+        }
+        assert!((p[0] - 1.0).abs() < 0.05, "a = {}", p[0]);
+        assert!((p[1] - 1.0).abs() < 0.1, "b = {}", p[1]);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, the first |Δθ| ≈ lr regardless of gradient scale.
+        for g0 in [1e-4, 1.0, 1e4] {
+            let mut opt = Adam::new(0.01, 1);
+            let mut p = [0.0];
+            opt.step(&mut p, &[g0]);
+            assert!((p[0].abs() - 0.01).abs() < 1e-6, "g0={g0}, step={}", p[0]);
+        }
+    }
+
+    #[test]
+    fn adam_reset_clears_state() {
+        let mut opt = Adam::new(0.1, 2);
+        let mut p = [1.0, 2.0];
+        opt.step(&mut p, &[0.5, -0.5]);
+        opt.reset();
+        assert_eq!(opt.steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn adam_rejects_wrong_length() {
+        let mut opt = Adam::new(0.1, 3);
+        let mut p = [0.0; 2];
+        opt.step(&mut p, &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the classical NN substrate.
+
+use proptest::prelude::*;
+use qmarl_neural::prelude::*;
+
+proptest! {
+    /// Softmax of any finite logits is a valid distribution and is
+    /// invariant to constant shifts.
+    #[test]
+    fn softmax_distribution_and_shift_invariance(
+        logits in prop::collection::vec(-50.0f64..50.0, 1..8),
+        shift in -100.0f64..100.0,
+    ) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        let shifted: Vec<f64> = logits.iter().map(|x| x + shift).collect();
+        let q = softmax(&shifted);
+        for (a, b) in p.iter().zip(&q) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// log_softmax is consistent with softmax for any logits.
+    #[test]
+    fn log_softmax_consistency(logits in prop::collection::vec(-30.0f64..30.0, 1..8)) {
+        let p = softmax(&logits);
+        let lp = log_softmax(&logits);
+        for (a, b) in p.iter().zip(&lp) {
+            if *a > 1e-300 {
+                prop_assert!((a.ln() - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// MLP backward matches finite differences for random architectures,
+    /// inputs and upstream gradients.
+    #[test]
+    fn mlp_gradient_check(
+        seed in 0u64..50,
+        hidden in 1usize..6,
+        x in prop::collection::vec(-1.0f64..1.0, 3),
+        upstream in prop::collection::vec(-1.0f64..1.0, 2),
+    ) {
+        let mut mlp = Mlp::new(&[3, hidden, 2], Activation::Tanh, seed);
+        let (grad, _) = mlp.backward(&x, &upstream);
+        let base = mlp.params();
+        let loss = |m: &Mlp| -> f64 {
+            m.forward(&x).iter().zip(&upstream).map(|(y, u)| y * u).sum()
+        };
+        let eps = 1e-6;
+        // Spot-check a third of the parameters to keep the case fast.
+        for p in (0..base.len()).step_by(3) {
+            let mut pp = base.clone();
+            pp[p] += eps;
+            mlp.set_params(&pp);
+            let plus = loss(&mlp);
+            pp[p] -= 2.0 * eps;
+            mlp.set_params(&pp);
+            let minus = loss(&mlp);
+            let fd = (plus - minus) / (2.0 * eps);
+            prop_assert!((grad[p] - fd).abs() < 1e-4, "param {}: {} vs {}", p, grad[p], fd);
+        }
+        mlp.set_params(&base);
+    }
+
+    /// Adam steps keep parameters finite for any finite gradients, and a
+    /// zero gradient never moves the parameters.
+    #[test]
+    fn adam_stability(
+        grads in prop::collection::vec(-1e6f64..1e6, 4),
+        lr in 1e-6f64..0.5,
+    ) {
+        let mut opt = Adam::new(lr, 4);
+        let mut params = vec![0.5; 4];
+        opt.step(&mut params, &grads);
+        prop_assert!(params.iter().all(|p| p.is_finite()));
+        // Step size is bounded by ~lr per coordinate (Adam property).
+        for p in &params {
+            prop_assert!((p - 0.5).abs() <= lr * 1.2 + 1e-12);
+        }
+        let mut opt = Adam::new(lr, 4);
+        let mut frozen = vec![0.5; 4];
+        opt.step(&mut frozen, &[0.0; 4]);
+        prop_assert!(frozen.iter().all(|&p| p == 0.5));
+    }
+
+    /// Policy-gradient logits always sum to zero (softmax gauge freedom).
+    #[test]
+    fn policy_gradient_gauge(
+        logits in prop::collection::vec(-5.0f64..5.0, 2..6),
+        adv in -10.0f64..10.0,
+    ) {
+        let probs = softmax(&logits);
+        let action = logits.len() - 1;
+        let g = policy_gradient_logits(&probs, action, adv);
+        prop_assert!(g.iter().sum::<f64>().abs() < 1e-9);
+    }
+
+    /// Matrix transpose-matvec adjoint identity ⟨y, Ax⟩ = ⟨Aᵀy, x⟩.
+    #[test]
+    fn matvec_adjoint_identity(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        seedv in 0u64..100,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seedv);
+        let a = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0));
+        let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let lhs: f64 = y.iter().zip(a.matvec(&x)).map(|(u, v)| u * v).sum();
+        let rhs: f64 = a.matvec_transposed(&y).iter().zip(&x).map(|(u, v)| u * v).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+}

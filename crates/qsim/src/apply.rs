@@ -1,0 +1,235 @@
+//! In-place gate-application kernels over amplitude slices.
+//!
+//! These free functions are the hot inner loops of the simulator. They are
+//! deliberately written over `&mut [Complex64]` rather than a state type so
+//! that both the statevector backend ([`crate::state::StateVector`]) and the
+//! density-matrix backend ([`crate::density::DensityMatrix`], which applies
+//! gates row-wise and column-wise) can share them.
+//!
+//! All kernels assume the **little-endian** qubit convention described in
+//! [`crate::gate`]: qubit `q` is bit `q` of the basis index. Callers are
+//! responsible for validating qubit indices; the kernels only
+//! `debug_assert!` them.
+
+use crate::complex::Complex64;
+use crate::gate::{Gate1, Gate2};
+
+/// Applies a single-qubit gate to qubit `q` of an amplitude vector.
+///
+/// `amps.len()` must be a power of two and `q` must index a valid bit.
+pub fn apply_gate1(amps: &mut [Complex64], q: usize, gate: &Gate1) {
+    let len = amps.len();
+    debug_assert!(len.is_power_of_two());
+    debug_assert!(1usize << q < len || (len == 1 && q == 0), "qubit {q} out of range");
+    let m = gate.matrix();
+    let stride = 1usize << q;
+    let mut base = 0;
+    while base < len {
+        for i0 in base..base + stride {
+            let i1 = i0 + stride;
+            let a0 = amps[i0];
+            let a1 = amps[i1];
+            amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+            amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+        }
+        base += stride << 1;
+    }
+}
+
+/// Applies a two-qubit gate to qubits `(qa, qb)` of an amplitude vector.
+///
+/// `qa` contributes **bit 0** and `qb` **bit 1** of the 2-bit index into
+/// the gate's 4×4 matrix, matching [`Gate2`]'s documented convention (for
+/// [`Gate2::cnot`], `qa` is the control and `qb` the target).
+pub fn apply_gate2(amps: &mut [Complex64], qa: usize, qb: usize, gate: &Gate2) {
+    let len = amps.len();
+    debug_assert!(len.is_power_of_two());
+    debug_assert!(qa != qb, "two-qubit gate needs distinct wires");
+    debug_assert!((1usize << qa) < len && (1usize << qb) < len);
+    let m = gate.matrix();
+    let ma = 1usize << qa;
+    let mb = 1usize << qb;
+    for i in 0..len {
+        if i & ma != 0 || i & mb != 0 {
+            continue;
+        }
+        let i00 = i;
+        let i01 = i | ma;
+        let i10 = i | mb;
+        let i11 = i | ma | mb;
+        let v = [amps[i00], amps[i01], amps[i10], amps[i11]];
+        for (row, &idx) in [i00, i01, i10, i11].iter().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (col, &vc) in v.iter().enumerate() {
+                acc = m[row][col].mul_add(vc, acc);
+            }
+            amps[idx] = acc;
+        }
+    }
+}
+
+/// Applies a single-qubit gate to `target`, conditioned on `control` being
+/// `|1⟩`. Specialised fast path that skips the 4×4 matrix entirely.
+pub fn apply_controlled_gate1(
+    amps: &mut [Complex64],
+    control: usize,
+    target: usize,
+    gate: &Gate1,
+) {
+    let len = amps.len();
+    debug_assert!(control != target);
+    debug_assert!((1usize << control) < len && (1usize << target) < len);
+    let m = gate.matrix();
+    let mc = 1usize << control;
+    let mt = 1usize << target;
+    for i in 0..len {
+        // Visit each (control=1, target=0) index once.
+        if i & mc == 0 || i & mt != 0 {
+            continue;
+        }
+        let i0 = i;
+        let i1 = i | mt;
+        let a0 = amps[i0];
+        let a1 = amps[i1];
+        amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+        amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+    }
+}
+
+/// Toffoli (CCX) fast path: swaps amplitude pairs where **both** control
+/// bits are set.
+pub fn apply_toffoli(amps: &mut [Complex64], control1: usize, control2: usize, target: usize) {
+    let len = amps.len();
+    debug_assert!(control1 != control2 && control1 != target && control2 != target);
+    debug_assert!((1usize << control1) < len && (1usize << control2) < len && (1usize << target) < len);
+    let mc = (1usize << control1) | (1usize << control2);
+    let mt = 1usize << target;
+    for i in 0..len {
+        if i & mc != mc || i & mt != 0 {
+            continue;
+        }
+        amps.swap(i, i | mt);
+    }
+}
+
+/// CNOT fast path: swaps amplitude pairs where the control bit is set.
+pub fn apply_cnot(amps: &mut [Complex64], control: usize, target: usize) {
+    let len = amps.len();
+    debug_assert!(control != target);
+    debug_assert!((1usize << control) < len && (1usize << target) < len);
+    let mc = 1usize << control;
+    let mt = 1usize << target;
+    for i in 0..len {
+        if i & mc == 0 || i & mt != 0 {
+            continue;
+        }
+        amps.swap(i, i | mt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate1;
+
+    fn zero_state(n: usize) -> Vec<Complex64> {
+        let mut v = vec![Complex64::ZERO; 1 << n];
+        v[0] = Complex64::ONE;
+        v
+    }
+
+    fn norm(amps: &[Complex64]) -> f64 {
+        amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn x_on_each_qubit_flips_the_right_bit() {
+        for n in 1..=4 {
+            for q in 0..n {
+                let mut amps = zero_state(n);
+                apply_gate1(&mut amps, q, &Gate1::pauli_x());
+                for (i, a) in amps.iter().enumerate() {
+                    let expect = if i == 1 << q { 1.0 } else { 0.0 };
+                    assert!((a.re - expect).abs() < 1e-15, "n={n} q={q} i={i}");
+                    assert!(a.im.abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hadamard_preserves_norm() {
+        let mut amps = zero_state(3);
+        for q in 0..3 {
+            apply_gate1(&mut amps, q, &Gate1::hadamard());
+        }
+        assert!((norm(&amps) - 1.0).abs() < 1e-12);
+        // Uniform superposition: every |amp|² = 1/8.
+        for a in &amps {
+            assert!((a.norm_sqr() - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cnot_builds_bell_pair() {
+        let mut amps = zero_state(2);
+        apply_gate1(&mut amps, 0, &Gate1::hadamard());
+        apply_cnot(&mut amps, 0, 1);
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((amps[0b00].re - h).abs() < 1e-12);
+        assert!((amps[0b11].re - h).abs() < 1e-12);
+        assert!(amps[0b01].abs() < 1e-15);
+        assert!(amps[0b10].abs() < 1e-15);
+    }
+
+    #[test]
+    fn cnot_matrix_and_fast_path_agree() {
+        let mut a = zero_state(3);
+        let mut b = zero_state(3);
+        // Prepare a non-trivial state first.
+        for q in 0..3 {
+            apply_gate1(&mut a, q, &Gate1::rx(0.3 + q as f64));
+            apply_gate1(&mut b, q, &Gate1::rx(0.3 + q as f64));
+        }
+        apply_cnot(&mut a, 2, 0);
+        apply_gate2(&mut b, 2, 0, &crate::gate::Gate2::cnot());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn controlled_gate_fast_path_matches_gate2() {
+        let g = Gate1::ry(1.234);
+        let mut a = zero_state(3);
+        let mut b = zero_state(3);
+        for q in 0..3 {
+            apply_gate1(&mut a, q, &Gate1::hadamard());
+            apply_gate1(&mut b, q, &Gate1::hadamard());
+        }
+        apply_controlled_gate1(&mut a, 1, 2, &g);
+        apply_gate2(&mut b, 1, 2, &crate::gate::Gate2::controlled(&g));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_qubit_gate_preserves_norm() {
+        let mut amps = zero_state(4);
+        for q in 0..4 {
+            apply_gate1(&mut amps, q, &Gate1::ry(0.2 * (q + 1) as f64));
+        }
+        apply_gate2(&mut amps, 1, 3, &crate::gate::Gate2::crx(0.9));
+        assert!((norm(&amps) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_on_nonadjacent_qubits_only_touches_them() {
+        // Start in |q3 q2 q1 q0⟩ = |0100⟩, CNOT(control=2, target=0).
+        let mut amps = vec![Complex64::ZERO; 16];
+        amps[0b0100] = Complex64::ONE;
+        apply_cnot(&mut amps, 2, 0);
+        assert!((amps[0b0101].re - 1.0).abs() < 1e-15);
+    }
+}

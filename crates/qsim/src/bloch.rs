@@ -1,0 +1,228 @@
+//! Bloch-sphere coordinates and the HLS colour mapping of Fig. 4.
+//!
+//! The paper's demonstration (Fig. 4) renders "superpositioned qubit states
+//! (i.e., magnitude and phase vector) … as 4×4 heatmap in hue-lightness-
+//! saturation color system". This module reproduces that pipeline: extract
+//! per-qubit Bloch vectors or per-amplitude (magnitude, phase) pairs and map
+//! them to RGB via HLS.
+
+use crate::error::QsimError;
+use crate::state::StateVector;
+
+/// A point on (or inside) the Bloch sphere.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BlochVector {
+    /// ⟨X⟩ component.
+    pub x: f64,
+    /// ⟨Y⟩ component.
+    pub y: f64,
+    /// ⟨Z⟩ component.
+    pub z: f64,
+}
+
+impl BlochVector {
+    /// Euclidean length; 1 for pure single-qubit states, < 1 for mixed
+    /// (e.g. a qubit entangled with the rest of the register).
+    pub fn length(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Polar angle δ ∈ [0, π] from the |0⟩ pole (the paper's qubit
+    /// parameterisation `cos(δ/2)|0⟩ + e^{iφ} sin(δ/2)|1⟩`).
+    pub fn polar(&self) -> f64 {
+        self.z.clamp(-1.0, 1.0).acos()
+    }
+
+    /// Azimuthal angle φ ∈ (−π, π].
+    pub fn azimuth(&self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+/// The Bloch vector of qubit `q`, from the reduced density matrix:
+/// `x = 2 Re ρ₀₁`, `y = −2 Im ρ₀₁`, `z = ρ₀₀ − ρ₁₁`.
+///
+/// # Errors
+///
+/// Returns [`QsimError::QubitOutOfRange`] for an invalid wire.
+pub fn bloch_vector(state: &StateVector, q: usize) -> Result<BlochVector, QsimError> {
+    let rho = state.reduced_density(q)?;
+    Ok(BlochVector {
+        x: 2.0 * rho[0][1].re,
+        y: -2.0 * rho[0][1].im,
+        z: rho[0][0].re - rho[1][1].re,
+    })
+}
+
+/// One cell of the Fig. 4 heatmap: the magnitude and phase of a single
+/// computational-basis amplitude.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AmplitudeCell {
+    /// `|α_i|` in `[0, 1]`.
+    pub magnitude: f64,
+    /// `arg(α_i)` in `(−π, π]`.
+    pub phase: f64,
+}
+
+/// Arranges a 4-qubit state's 16 amplitudes into the paper's 4×4 grid:
+/// rows indexed by the first two qubits `(q₁ q₂)` ≙ bits 0–1, columns by
+/// the last two `(q₃ q₄)` ≙ bits 2–3.
+///
+/// # Errors
+///
+/// Returns [`QsimError::QubitCountMismatch`] unless the register has
+/// exactly 4 qubits.
+pub fn amplitude_grid(state: &StateVector) -> Result<[[AmplitudeCell; 4]; 4], QsimError> {
+    if state.n_qubits() != 4 {
+        return Err(QsimError::QubitCountMismatch { expected: 4, actual: state.n_qubits() });
+    }
+    let mut grid = [[AmplitudeCell { magnitude: 0.0, phase: 0.0 }; 4]; 4];
+    for (i, a) in state.amplitudes().iter().enumerate() {
+        let row = i & 0b11;
+        let col = (i >> 2) & 0b11;
+        grid[row][col] = AmplitudeCell { magnitude: a.abs(), phase: a.arg() };
+    }
+    Ok(grid)
+}
+
+/// An sRGB colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+/// Converts HSL (hue in degrees `[0, 360)`, saturation and lightness in
+/// `[0, 1]`) to sRGB using the standard piecewise formula.
+pub fn hsl_to_rgb(hue: f64, saturation: f64, lightness: f64) -> Rgb {
+    let h = hue.rem_euclid(360.0);
+    let s = saturation.clamp(0.0, 1.0);
+    let l = lightness.clamp(0.0, 1.0);
+    let c = (1.0 - (2.0 * l - 1.0).abs()) * s;
+    let hp = h / 60.0;
+    let x = c * (1.0 - (hp.rem_euclid(2.0) - 1.0).abs());
+    let (r1, g1, b1) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = l - c / 2.0;
+    let to_u8 = |v: f64| ((v + m).clamp(0.0, 1.0) * 255.0).round() as u8;
+    Rgb { r: to_u8(r1), g: to_u8(g1), b: to_u8(b1) }
+}
+
+/// The paper's quantum-state colour code: phase → hue (full turn = full
+/// colour wheel), magnitude → lightness (0 = black, 1 = bright), fixed
+/// saturation.
+pub fn amplitude_color(cell: AmplitudeCell) -> Rgb {
+    let hue = (cell.phase + std::f64::consts::PI) / (2.0 * std::f64::consts::PI) * 360.0;
+    let lightness = 0.5 * cell.magnitude.clamp(0.0, 1.0) + 0.05;
+    hsl_to_rgb(hue, 0.85, lightness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate1;
+
+    #[test]
+    fn bloch_of_computational_states() {
+        let s0 = StateVector::zero(1);
+        let b0 = bloch_vector(&s0, 0).unwrap();
+        assert!((b0.z - 1.0).abs() < 1e-12 && b0.x.abs() < 1e-12 && b0.y.abs() < 1e-12);
+
+        let s1 = StateVector::basis(1, 1).unwrap();
+        let b1 = bloch_vector(&s1, 0).unwrap();
+        assert!((b1.z + 1.0).abs() < 1e-12);
+        assert!((b1.polar() - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bloch_of_plus_and_circular_states() {
+        let mut plus = StateVector::zero(1);
+        plus.apply_gate1(0, &Gate1::hadamard()).unwrap();
+        let b = bloch_vector(&plus, 0).unwrap();
+        assert!((b.x - 1.0).abs() < 1e-12 && b.z.abs() < 1e-12);
+        assert!((b.length() - 1.0).abs() < 1e-12);
+
+        let mut circ = plus.clone();
+        circ.apply_gate1(0, &Gate1::s()).unwrap();
+        let b = bloch_vector(&circ, 0).unwrap();
+        assert!((b.y - 1.0).abs() < 1e-12);
+        assert!((b.azimuth() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entangled_qubit_has_short_bloch_vector() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate1(0, &Gate1::hadamard()).unwrap();
+        s.apply_cnot(0, 1).unwrap();
+        let b = bloch_vector(&s, 0).unwrap();
+        assert!(b.length() < 1e-10, "maximally entangled qubit must sit at origin");
+    }
+
+    #[test]
+    fn bloch_matches_rotation_angle() {
+        for theta in [0.1, 0.7, 1.9, 2.8] {
+            let mut s = StateVector::zero(1);
+            s.apply_gate1(0, &Gate1::ry(theta)).unwrap();
+            let b = bloch_vector(&s, 0).unwrap();
+            assert!((b.polar() - theta).abs() < 1e-10, "theta {theta}");
+        }
+    }
+
+    #[test]
+    fn grid_requires_four_qubits() {
+        assert!(amplitude_grid(&StateVector::zero(3)).is_err());
+        let g = amplitude_grid(&StateVector::zero(4)).unwrap();
+        assert!((g[0][0].magnitude - 1.0).abs() < 1e-15);
+        let total: f64 = g.iter().flatten().map(|c| c.magnitude * c.magnitude).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_layout_separates_qubit_pairs() {
+        // |q₃q₂q₁q₀⟩ = |0101⟩ → index 5: row = 0b01, col = 0b01.
+        let s = StateVector::basis(4, 0b0101).unwrap();
+        let g = amplitude_grid(&s).unwrap();
+        assert!((g[1][1].magnitude - 1.0).abs() < 1e-15);
+        assert!(g[0][0].magnitude < 1e-15);
+    }
+
+    #[test]
+    fn hsl_primaries() {
+        assert_eq!(hsl_to_rgb(0.0, 1.0, 0.5), Rgb { r: 255, g: 0, b: 0 });
+        assert_eq!(hsl_to_rgb(120.0, 1.0, 0.5), Rgb { r: 0, g: 255, b: 0 });
+        assert_eq!(hsl_to_rgb(240.0, 1.0, 0.5), Rgb { r: 0, g: 0, b: 255 });
+        assert_eq!(hsl_to_rgb(0.0, 0.0, 1.0), Rgb { r: 255, g: 255, b: 255 });
+        assert_eq!(hsl_to_rgb(77.0, 1.0, 0.0), Rgb { r: 0, g: 0, b: 0 });
+    }
+
+    #[test]
+    fn hue_wraps_around() {
+        assert_eq!(hsl_to_rgb(360.0, 1.0, 0.5), hsl_to_rgb(0.0, 1.0, 0.5));
+        assert_eq!(hsl_to_rgb(-120.0, 1.0, 0.5), hsl_to_rgb(240.0, 1.0, 0.5));
+    }
+
+    #[test]
+    fn amplitude_color_brightness_scales_with_magnitude() {
+        let dark = amplitude_color(AmplitudeCell { magnitude: 0.0, phase: 0.0 });
+        let bright = amplitude_color(AmplitudeCell { magnitude: 1.0, phase: 0.0 });
+        let lum = |c: Rgb| c.r as u32 + c.g as u32 + c.b as u32;
+        assert!(lum(bright) > lum(dark));
+    }
+
+    #[test]
+    fn amplitude_color_hue_depends_on_phase() {
+        let a = amplitude_color(AmplitudeCell { magnitude: 0.8, phase: 0.0 });
+        let b = amplitude_color(AmplitudeCell { magnitude: 0.8, phase: std::f64::consts::PI / 2.0 });
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the quantum simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or manipulating quantum states.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QsimError {
+    /// A qubit index was at least the register width.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The number of qubits in the register.
+        n_qubits: usize,
+    },
+    /// Two qubit operands of a two-qubit gate were the same wire.
+    DuplicateQubit {
+        /// The duplicated index.
+        qubit: usize,
+    },
+    /// An amplitude vector's length was not `2^n` for any `n`.
+    InvalidDimension {
+        /// The actual length supplied.
+        len: usize,
+    },
+    /// A state's 2-norm was too far from one.
+    NotNormalized {
+        /// The measured norm.
+        norm: f64,
+    },
+    /// A probability-like argument fell outside `[0, 1]`.
+    InvalidProbability {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Two objects had incompatible qubit counts.
+    QubitCountMismatch {
+        /// Expected register width.
+        expected: usize,
+        /// Actual register width.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for QsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QsimError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit index {qubit} out of range for {n_qubits}-qubit register")
+            }
+            QsimError::DuplicateQubit { qubit } => {
+                write!(f, "two-qubit gate applied twice to qubit {qubit}")
+            }
+            QsimError::InvalidDimension { len } => {
+                write!(f, "amplitude vector length {len} is not a power of two")
+            }
+            QsimError::NotNormalized { norm } => {
+                write!(f, "state norm {norm} is not 1 within tolerance")
+            }
+            QsimError::InvalidProbability { value } => {
+                write!(f, "value {value} is not a probability in [0, 1]")
+            }
+            QsimError::QubitCountMismatch { expected, actual } => {
+                write!(f, "expected a {expected}-qubit object, got {actual} qubits")
+            }
+        }
+    }
+}
+
+impl Error for QsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            QsimError::QubitOutOfRange { qubit: 5, n_qubits: 4 },
+            QsimError::DuplicateQubit { qubit: 2 },
+            QsimError::InvalidDimension { len: 3 },
+            QsimError::NotNormalized { norm: 0.5 },
+            QsimError::InvalidProbability { value: 1.5 },
+            QsimError::QubitCountMismatch { expected: 4, actual: 2 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QsimError>();
+    }
+}

@@ -1,0 +1,495 @@
+//! The quantum gate library: single- and two-qubit unitaries as value types.
+//!
+//! Gates are stored as dense matrices (`[[Complex64; 2]; 2]` and
+//! `[[Complex64; 4]; 4]`). At the register widths this project targets
+//! (≤ 16 qubits for the naive-CTDE ablation), dense matrix application is
+//! both the simplest and the fastest correct choice.
+//!
+//! The convention throughout the crate is **little-endian**: qubit `q`
+//! corresponds to bit `q` of the computational-basis index, so the basis
+//! state `|q_{n-1} … q_1 q_0⟩` has index `Σ q_i · 2^i`.
+
+use crate::complex::Complex64;
+
+/// A dense 2×2 single-qubit unitary, row-major (`m[row][col]`).
+///
+/// # Examples
+///
+/// ```
+/// use qmarl_qsim::gate::Gate1;
+///
+/// // H·H = I
+/// let hh = Gate1::hadamard().matmul(&Gate1::hadamard());
+/// assert!(hh.approx_eq(&Gate1::identity(), 1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gate1 {
+    m: [[Complex64; 2]; 2],
+}
+
+const Z0: Complex64 = Complex64::ZERO;
+const O1: Complex64 = Complex64::ONE;
+const IM: Complex64 = Complex64::I;
+
+impl Gate1 {
+    /// Builds a gate from an explicit row-major matrix.
+    ///
+    /// No unitarity check is performed; use [`Gate1::is_unitary`] when the
+    /// matrix comes from untrusted input.
+    #[inline]
+    pub const fn from_matrix(m: [[Complex64; 2]; 2]) -> Self {
+        Gate1 { m }
+    }
+
+    /// The underlying matrix.
+    #[inline]
+    pub const fn matrix(&self) -> &[[Complex64; 2]; 2] {
+        &self.m
+    }
+
+    /// The identity gate `I`.
+    pub const fn identity() -> Self {
+        Gate1::from_matrix([[O1, Z0], [Z0, O1]])
+    }
+
+    /// The Pauli-X (NOT) gate.
+    pub const fn pauli_x() -> Self {
+        Gate1::from_matrix([[Z0, O1], [O1, Z0]])
+    }
+
+    /// The Pauli-Y gate.
+    pub const fn pauli_y() -> Self {
+        Gate1::from_matrix([
+            [Z0, Complex64::new(0.0, -1.0)],
+            [IM, Z0],
+        ])
+    }
+
+    /// The Pauli-Z gate.
+    pub const fn pauli_z() -> Self {
+        Gate1::from_matrix([[O1, Z0], [Z0, Complex64::new(-1.0, 0.0)]])
+    }
+
+    /// The Hadamard gate.
+    pub fn hadamard() -> Self {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        Gate1::from_matrix([
+            [Complex64::from_real(h), Complex64::from_real(h)],
+            [Complex64::from_real(h), Complex64::from_real(-h)],
+        ])
+    }
+
+    /// The phase gate `S = diag(1, i)`.
+    pub const fn s() -> Self {
+        Gate1::from_matrix([[O1, Z0], [Z0, IM]])
+    }
+
+    /// The inverse phase gate `S† = diag(1, −i)`.
+    pub const fn s_dagger() -> Self {
+        Gate1::from_matrix([[O1, Z0], [Z0, Complex64::new(0.0, -1.0)]])
+    }
+
+    /// The T gate `diag(1, e^{iπ/4})`.
+    pub fn t() -> Self {
+        Gate1::from_matrix([[O1, Z0], [Z0, Complex64::from_polar(1.0, std::f64::consts::FRAC_PI_4)]])
+    }
+
+    /// The inverse T gate.
+    pub fn t_dagger() -> Self {
+        Gate1::from_matrix([[O1, Z0], [Z0, Complex64::from_polar(1.0, -std::f64::consts::FRAC_PI_4)]])
+    }
+
+    /// Rotation about the X axis: `Rx(θ) = e^{−iθX/2}`.
+    ///
+    /// This is the gate the paper's state encoder uses for the first and
+    /// fourth encoding layers (Fig. 1).
+    pub fn rx(theta: f64) -> Self {
+        let c = Complex64::from_real((theta / 2.0).cos());
+        let s = Complex64::new(0.0, -(theta / 2.0).sin());
+        Gate1::from_matrix([[c, s], [s, c]])
+    }
+
+    /// Rotation about the Y axis: `Ry(θ) = e^{−iθY/2}`.
+    pub fn ry(theta: f64) -> Self {
+        let c = Complex64::from_real((theta / 2.0).cos());
+        let s = (theta / 2.0).sin();
+        Gate1::from_matrix([
+            [c, Complex64::from_real(-s)],
+            [Complex64::from_real(s), c],
+        ])
+    }
+
+    /// Rotation about the Z axis: `Rz(θ) = e^{−iθZ/2}`.
+    pub fn rz(theta: f64) -> Self {
+        Gate1::from_matrix([
+            [Complex64::from_polar(1.0, -theta / 2.0), Z0],
+            [Z0, Complex64::from_polar(1.0, theta / 2.0)],
+        ])
+    }
+
+    /// The phase-shift gate `P(λ) = diag(1, e^{iλ})`.
+    pub fn phase(lambda: f64) -> Self {
+        Gate1::from_matrix([[O1, Z0], [Z0, Complex64::from_polar(1.0, lambda)]])
+    }
+
+    /// The general single-qubit rotation
+    /// `U3(θ, φ, λ)` in the OpenQASM convention.
+    pub fn u3(theta: f64, phi: f64, lambda: f64) -> Self {
+        let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        Gate1::from_matrix([
+            [Complex64::from_real(ct), -Complex64::from_polar(st, lambda)],
+            [
+                Complex64::from_polar(st, phi),
+                Complex64::from_polar(ct, phi + lambda),
+            ],
+        ])
+    }
+
+    /// The adjoint (conjugate transpose) of this gate.
+    pub fn dagger(&self) -> Self {
+        let m = &self.m;
+        Gate1::from_matrix([
+            [m[0][0].conj(), m[1][0].conj()],
+            [m[0][1].conj(), m[1][1].conj()],
+        ])
+    }
+
+    /// Matrix product `self · rhs` (i.e. `rhs` applied first).
+    pub fn matmul(&self, rhs: &Gate1) -> Self {
+        let a = &self.m;
+        let b = &rhs.m;
+        let mut out = [[Z0; 2]; 2];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for (c, out_elem) in out_row.iter_mut().enumerate() {
+                *out_elem = a[r][0] * b[0][c] + a[r][1] * b[1][c];
+            }
+        }
+        Gate1::from_matrix(out)
+    }
+
+    /// Returns `true` when `U†U = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.dagger().matmul(self).approx_eq(&Gate1::identity(), tol)
+    }
+
+    /// Element-wise comparison within `tol`.
+    pub fn approx_eq(&self, other: &Gate1, tol: f64) -> bool {
+        self.m
+            .iter()
+            .flatten()
+            .zip(other.m.iter().flatten())
+            .all(|(a, b)| (*a - *b).abs() <= tol)
+    }
+}
+
+/// A dense 4×4 two-qubit unitary, row-major.
+///
+/// Index convention inside the 4×4 matrix: basis `|q_hi q_lo⟩` where
+/// `q_lo` is the **first** qubit operand passed to the apply kernel and
+/// contributes bit 0 of the 2-bit row/column index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gate2 {
+    m: [[Complex64; 4]; 4],
+}
+
+impl Gate2 {
+    /// Builds a gate from an explicit row-major matrix (no unitarity check).
+    #[inline]
+    pub const fn from_matrix(m: [[Complex64; 4]; 4]) -> Self {
+        Gate2 { m }
+    }
+
+    /// The underlying matrix.
+    #[inline]
+    pub const fn matrix(&self) -> &[[Complex64; 4]; 4] {
+        &self.m
+    }
+
+    /// The two-qubit identity.
+    pub fn identity() -> Self {
+        let mut m = [[Z0; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = O1;
+        }
+        Gate2::from_matrix(m)
+    }
+
+    /// CNOT with the **first operand as control** (bit 0) and the second
+    /// as target (bit 1): flips the target when the control is `|1⟩`.
+    pub fn cnot() -> Self {
+        Gate2::controlled(&Gate1::pauli_x())
+    }
+
+    /// Controlled-Z (symmetric in its operands).
+    pub fn cz() -> Self {
+        Gate2::controlled(&Gate1::pauli_z())
+    }
+
+    /// SWAP gate.
+    pub fn swap() -> Self {
+        let mut m = [[Z0; 4]; 4];
+        m[0][0] = O1;
+        m[1][2] = O1;
+        m[2][1] = O1;
+        m[3][3] = O1;
+        Gate2::from_matrix(m)
+    }
+
+    /// Controlled-Rx with angle `theta`.
+    pub fn crx(theta: f64) -> Self {
+        Gate2::controlled(&Gate1::rx(theta))
+    }
+
+    /// Controlled-Ry with angle `theta`.
+    pub fn cry(theta: f64) -> Self {
+        Gate2::controlled(&Gate1::ry(theta))
+    }
+
+    /// Controlled-Rz with angle `theta`.
+    pub fn crz(theta: f64) -> Self {
+        Gate2::controlled(&Gate1::rz(theta))
+    }
+
+    /// Lifts a single-qubit unitary to its controlled version. The control
+    /// is the first operand (bit 0 of the 2-bit index), the payload acts on
+    /// the second operand (bit 1) when the control is `|1⟩`.
+    pub fn controlled(u: &Gate1) -> Self {
+        let g = u.matrix();
+        let mut m = [[Z0; 4]; 4];
+        // Control bit 0 == 0: identity on both qubits (indices 0b00 and 0b10).
+        m[0b00][0b00] = O1;
+        m[0b10][0b10] = O1;
+        // Control bit 0 == 1: apply `u` on the target bit (indices 0b01, 0b11).
+        m[0b01][0b01] = g[0][0];
+        m[0b01][0b11] = g[0][1];
+        m[0b11][0b01] = g[1][0];
+        m[0b11][0b11] = g[1][1];
+        Gate2::from_matrix(m)
+    }
+
+    /// The adjoint (conjugate transpose).
+    pub fn dagger(&self) -> Self {
+        let mut out = [[Z0; 4]; 4];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for (c, out_elem) in out_row.iter_mut().enumerate() {
+                *out_elem = self.m[c][r].conj();
+            }
+        }
+        Gate2::from_matrix(out)
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Gate2) -> Self {
+        let mut out = [[Z0; 4]; 4];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for (c, out_elem) in out_row.iter_mut().enumerate() {
+                let mut acc = Z0;
+                for k in 0..4 {
+                    acc += self.m[r][k] * rhs.m[k][c];
+                }
+                *out_elem = acc;
+            }
+        }
+        Gate2::from_matrix(out)
+    }
+
+    /// Returns `true` when `U†U = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.dagger().matmul(self).approx_eq(&Gate2::identity(), tol)
+    }
+
+    /// Element-wise comparison within `tol`.
+    pub fn approx_eq(&self, other: &Gate2, tol: f64) -> bool {
+        self.m
+            .iter()
+            .flatten()
+            .zip(other.m.iter().flatten())
+            .all(|(a, b)| (*a - *b).abs() <= tol)
+    }
+}
+
+/// The axis of a parameterized rotation gate.
+///
+/// This is the vocabulary of the paper's VQCs: encoders are built from
+/// `Rx/Ry/Rz` rows (Fig. 1) and the variational layers choose one axis per
+/// parameterized gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RotationAxis {
+    /// Rotation about X.
+    X,
+    /// Rotation about Y.
+    Y,
+    /// Rotation about Z.
+    Z,
+}
+
+impl RotationAxis {
+    /// The rotation gate about this axis with angle `theta`.
+    pub fn gate(self, theta: f64) -> Gate1 {
+        match self {
+            RotationAxis::X => Gate1::rx(theta),
+            RotationAxis::Y => Gate1::ry(theta),
+            RotationAxis::Z => Gate1::rz(theta),
+        }
+    }
+
+    /// A short lowercase label (`"rx"`, `"ry"`, `"rz"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RotationAxis::X => "rx",
+            RotationAxis::Y => "ry",
+            RotationAxis::Z => "rz",
+        }
+    }
+
+    /// All three axes in X, Y, Z order.
+    pub const ALL: [RotationAxis; 3] = [RotationAxis::X, RotationAxis::Y, RotationAxis::Z];
+}
+
+impl std::fmt::Display for RotationAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn standard_gates_are_unitary() {
+        for g in [
+            Gate1::identity(),
+            Gate1::pauli_x(),
+            Gate1::pauli_y(),
+            Gate1::pauli_z(),
+            Gate1::hadamard(),
+            Gate1::s(),
+            Gate1::s_dagger(),
+            Gate1::t(),
+            Gate1::t_dagger(),
+            Gate1::rx(0.7),
+            Gate1::ry(-1.3),
+            Gate1::rz(2.9),
+            Gate1::phase(0.4),
+            Gate1::u3(0.3, 1.1, -0.8),
+        ] {
+            assert!(g.is_unitary(1e-12), "{g:?} not unitary");
+        }
+    }
+
+    #[test]
+    fn two_qubit_gates_are_unitary() {
+        for g in [
+            Gate2::identity(),
+            Gate2::cnot(),
+            Gate2::cz(),
+            Gate2::swap(),
+            Gate2::crx(0.7),
+            Gate2::cry(1.9),
+            Gate2::crz(-0.2),
+        ] {
+            assert!(g.is_unitary(1e-12), "{g:?} not unitary");
+        }
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let hzh = Gate1::hadamard()
+            .matmul(&Gate1::pauli_z())
+            .matmul(&Gate1::hadamard());
+        assert!(hzh.approx_eq(&Gate1::pauli_x(), 1e-12));
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        assert!(Gate1::s().matmul(&Gate1::s()).approx_eq(&Gate1::pauli_z(), 1e-12));
+    }
+
+    #[test]
+    fn t_squared_is_s() {
+        assert!(Gate1::t().matmul(&Gate1::t()).approx_eq(&Gate1::s(), 1e-12));
+    }
+
+    #[test]
+    fn rotation_at_pi_matches_pauli_up_to_phase() {
+        // Rx(π) = −iX; check by comparing against X times global phase −i.
+        let rx = Gate1::rx(PI);
+        let x = Gate1::pauli_x();
+        let phase = Complex64::new(0.0, -1.0);
+        for r in 0..2 {
+            for c in 0..2 {
+                let want = x.matrix()[r][c] * phase;
+                assert!((rx.matrix()[r][c] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rotations_compose_additively() {
+        let a = Gate1::ry(0.4).matmul(&Gate1::ry(0.9));
+        let b = Gate1::ry(1.3);
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn rotation_zero_is_identity() {
+        for axis in RotationAxis::ALL {
+            assert!(axis.gate(0.0).approx_eq(&Gate1::identity(), 1e-15));
+        }
+    }
+
+    #[test]
+    fn dagger_inverts_rotation() {
+        let g = Gate1::rz(0.77);
+        assert!(g.matmul(&g.dagger()).approx_eq(&Gate1::identity(), 1e-12));
+        assert!(g.dagger().approx_eq(&Gate1::rz(-0.77), 1e-12));
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        // U3(θ, −π/2, π/2) = Rx(θ); U3(θ, 0, 0) = Ry(θ).
+        let theta = 0.83;
+        assert!(Gate1::u3(theta, -PI / 2.0, PI / 2.0).approx_eq(&Gate1::rx(theta), 1e-12));
+        assert!(Gate1::u3(theta, 0.0, 0.0).approx_eq(&Gate1::ry(theta), 1e-12));
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        let c = Gate2::cnot();
+        // |control=1, target=0⟩ = index 0b01 → |control=1, target=1⟩ = 0b11.
+        assert_eq!(c.matrix()[0b11][0b01], O1);
+        assert_eq!(c.matrix()[0b01][0b11], O1);
+        assert_eq!(c.matrix()[0b00][0b00], O1);
+        assert_eq!(c.matrix()[0b10][0b10], O1);
+    }
+
+    #[test]
+    fn swap_squares_to_identity() {
+        let s2 = Gate2::swap().matmul(&Gate2::swap());
+        assert!(s2.approx_eq(&Gate2::identity(), 1e-12));
+    }
+
+    #[test]
+    fn controlled_of_identity_is_identity() {
+        assert!(Gate2::controlled(&Gate1::identity()).approx_eq(&Gate2::identity(), 1e-12));
+    }
+
+    #[test]
+    fn cz_is_symmetric() {
+        let cz = Gate2::cz();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!((cz.matrix()[r][c] - cz.matrix()[c][r]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn axis_labels() {
+        assert_eq!(RotationAxis::X.to_string(), "rx");
+        assert_eq!(RotationAxis::Y.to_string(), "ry");
+        assert_eq!(RotationAxis::Z.to_string(), "rz");
+    }
+}

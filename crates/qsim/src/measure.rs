@@ -1,0 +1,367 @@
+//! Measurement: Pauli observables, expectation values, sampling, collapse.
+//!
+//! The paper's VQCs read out `⟨Z_i⟩` on each wire (the measurement step `M`
+//! of Fig. 1, with `|M| ≤ n_qubit`). This module provides that readout plus
+//! general Pauli-string observables, Born-rule sampling and projective
+//! measurement with collapse — everything a policy or value head needs.
+
+use rand::Rng;
+
+use crate::complex::Complex64;
+use crate::error::QsimError;
+use crate::state::StateVector;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A tensor product of Pauli operators on selected wires, e.g. `Z₀ ⊗ X₂`.
+///
+/// Wires not mentioned carry the identity.
+///
+/// # Examples
+///
+/// ```
+/// use qmarl_qsim::measure::{PauliString, Pauli, expectation};
+/// use qmarl_qsim::state::StateVector;
+///
+/// let obs = PauliString::z(0);
+/// let psi = StateVector::zero(2);
+/// assert!((expectation(&psi, &obs)? - 1.0).abs() < 1e-12); // ⟨0|Z|0⟩ = +1
+/// # Ok::<(), qmarl_qsim::error::QsimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PauliString {
+    factors: Vec<(usize, Pauli)>,
+}
+
+impl PauliString {
+    /// The empty product (identity observable).
+    pub fn identity() -> Self {
+        PauliString { factors: Vec::new() }
+    }
+
+    /// Single-wire `Z_q` — the readout used by the paper's VQCs.
+    pub fn z(q: usize) -> Self {
+        PauliString { factors: vec![(q, Pauli::Z)] }
+    }
+
+    /// Single-wire `X_q`.
+    pub fn x(q: usize) -> Self {
+        PauliString { factors: vec![(q, Pauli::X)] }
+    }
+
+    /// Single-wire `Y_q`.
+    pub fn y(q: usize) -> Self {
+        PauliString { factors: vec![(q, Pauli::Y)] }
+    }
+
+    /// Builds a string from `(wire, Pauli)` factors. Later factors on the
+    /// same wire replace earlier ones; identity factors are dropped.
+    pub fn from_factors<I: IntoIterator<Item = (usize, Pauli)>>(factors: I) -> Self {
+        let mut out: Vec<(usize, Pauli)> = Vec::new();
+        for (q, p) in factors {
+            out.retain(|(q2, _)| *q2 != q);
+            if p != Pauli::I {
+                out.push((q, p));
+            }
+        }
+        out.sort_by_key(|(q, _)| *q);
+        PauliString { factors: out }
+    }
+
+    /// Adds a factor, replacing any existing factor on that wire.
+    pub fn with(mut self, q: usize, p: Pauli) -> Self {
+        self.factors.retain(|(q2, _)| *q2 != q);
+        if p != Pauli::I {
+            self.factors.push((q, p));
+            self.factors.sort_by_key(|(q, _)| *q);
+        }
+        self
+    }
+
+    /// The `(wire, Pauli)` factors, sorted by wire.
+    pub fn factors(&self) -> &[(usize, Pauli)] {
+        &self.factors
+    }
+
+    /// The highest wire index referenced, or `None` for the identity.
+    pub fn max_qubit(&self) -> Option<usize> {
+        self.factors.iter().map(|(q, _)| *q).max()
+    }
+
+    /// Applies the string to a copy of `state`, returning `P|ψ⟩`.
+    fn apply_to(&self, state: &StateVector) -> Result<StateVector, QsimError> {
+        let mut out = state.clone();
+        for &(q, p) in &self.factors {
+            if q >= state.n_qubits() {
+                return Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: state.n_qubits() });
+            }
+            let amps = out.amplitudes_mut();
+            let mask = 1usize << q;
+            match p {
+                Pauli::I => {}
+                Pauli::X => {
+                    for i in 0..amps.len() {
+                        if i & mask == 0 {
+                            amps.swap(i, i | mask);
+                        }
+                    }
+                }
+                Pauli::Y => {
+                    for i in 0..amps.len() {
+                        if i & mask == 0 {
+                            let a0 = amps[i];
+                            let a1 = amps[i | mask];
+                            // Y = [[0, −i], [i, 0]]
+                            amps[i] = Complex64::new(a1.im, -a1.re);
+                            amps[i | mask] = Complex64::new(-a0.im, a0.re);
+                        }
+                    }
+                }
+                Pauli::Z => {
+                    for (i, a) in amps.iter_mut().enumerate() {
+                        if i & mask != 0 {
+                            *a = -*a;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The expectation value `⟨ψ|P|ψ⟩` of a Pauli string (always real).
+///
+/// # Errors
+///
+/// Returns [`QsimError::QubitOutOfRange`] if the string references a wire
+/// outside the register.
+pub fn expectation(state: &StateVector, obs: &PauliString) -> Result<f64, QsimError> {
+    // Fast path: diagonal (Z-only) strings need no state copy.
+    if obs.factors.iter().all(|(_, p)| *p == Pauli::Z) {
+        let mut mask = 0usize;
+        for &(q, _) in &obs.factors {
+            if q >= state.n_qubits() {
+                return Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: state.n_qubits() });
+            }
+            mask |= 1usize << q;
+        }
+        let mut acc = 0.0;
+        for (i, a) in state.amplitudes().iter().enumerate() {
+            let parity = (i & mask).count_ones() & 1;
+            let sign = if parity == 0 { 1.0 } else { -1.0 };
+            acc += sign * a.norm_sqr();
+        }
+        return Ok(acc);
+    }
+    let transformed = obs.apply_to(state)?;
+    Ok(state.inner(&transformed)?.re)
+}
+
+/// The `⟨Z_q⟩` expectation — the per-wire readout of Fig. 1's measurement
+/// step, equal to `P(q=0) − P(q=1)`.
+///
+/// # Errors
+///
+/// Returns [`QsimError::QubitOutOfRange`] for an invalid wire.
+pub fn expectation_z(state: &StateVector, q: usize) -> Result<f64, QsimError> {
+    if q >= state.n_qubits() {
+        return Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: state.n_qubits() });
+    }
+    let mask = 1usize << q;
+    let mut acc = 0.0;
+    for (i, a) in state.amplitudes().iter().enumerate() {
+        if i & mask == 0 {
+            acc += a.norm_sqr();
+        } else {
+            acc -= a.norm_sqr();
+        }
+    }
+    Ok(acc)
+}
+
+/// All per-wire `⟨Z⟩` readouts, wire 0 first.
+pub fn expectation_z_all(state: &StateVector) -> Vec<f64> {
+    (0..state.n_qubits())
+        .map(|q| expectation_z(state, q).expect("wire in range by construction"))
+        .collect()
+}
+
+/// Samples a computational-basis outcome index according to the Born rule.
+pub fn sample_basis<R: Rng + ?Sized>(state: &StateVector, rng: &mut R) -> usize {
+    let r: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, a) in state.amplitudes().iter().enumerate() {
+        acc += a.norm_sqr();
+        if r < acc {
+            return i;
+        }
+    }
+    state.len() - 1
+}
+
+/// Projectively measures qubit `q`, collapsing the state in place.
+/// Returns the observed bit.
+///
+/// # Errors
+///
+/// Returns [`QsimError::QubitOutOfRange`] for an invalid wire.
+pub fn measure_qubit<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    q: usize,
+    rng: &mut R,
+) -> Result<bool, QsimError> {
+    let p1 = state.prob_qubit_one(q)?;
+    let outcome = rng.gen::<f64>() < p1;
+    let mask = 1usize << q;
+    let keep_set = outcome;
+    for (i, a) in state.amplitudes_mut().iter_mut().enumerate() {
+        if (i & mask != 0) != keep_set {
+            *a = Complex64::ZERO;
+        }
+    }
+    state.renormalize();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn z_expectation_of_basis_states() {
+        let s0 = StateVector::zero(1);
+        assert!((expectation_z(&s0, 0).unwrap() - 1.0).abs() < 1e-15);
+        let s1 = StateVector::basis(1, 1).unwrap();
+        assert!((expectation_z(&s1, 0).unwrap() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn z_expectation_after_ry_matches_cos() {
+        for theta in [0.0, 0.3, 1.1, 2.2, std::f64::consts::PI] {
+            let mut s = StateVector::zero(1);
+            s.apply_gate1(0, &Gate1::ry(theta)).unwrap();
+            assert!(
+                (expectation_z(&s, 0).unwrap() - theta.cos()).abs() < 1e-12,
+                "theta={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn x_expectation_of_plus_state() {
+        let mut s = StateVector::zero(1);
+        s.apply_gate1(0, &Gate1::hadamard()).unwrap();
+        assert!((expectation(&s, &PauliString::x(0)).unwrap() - 1.0).abs() < 1e-12);
+        assert!(expectation_z(&s, 0).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation_of_circular_state() {
+        // S·H|0⟩ = (|0⟩ + i|1⟩)/√2 has ⟨Y⟩ = +1.
+        let mut s = StateVector::zero(1);
+        s.apply_gate1(0, &Gate1::hadamard()).unwrap();
+        s.apply_gate1(0, &Gate1::s()).unwrap();
+        assert!((expectation(&s, &PauliString::y(0)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_correlation_of_bell_pair() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate1(0, &Gate1::hadamard()).unwrap();
+        s.apply_cnot(0, 1).unwrap();
+        let zz = PauliString::from_factors([(0, Pauli::Z), (1, Pauli::Z)]);
+        assert!((expectation(&s, &zz).unwrap() - 1.0).abs() < 1e-12);
+        let xx = PauliString::from_factors([(0, Pauli::X), (1, Pauli::X)]);
+        assert!((expectation(&s, &xx).unwrap() - 1.0).abs() < 1e-12);
+        // Single-qubit marginals are maximally mixed.
+        assert!(expectation_z(&s, 0).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_expectation_is_one() {
+        let mut s = StateVector::zero(3);
+        s.apply_gate1(1, &Gate1::ry(0.9)).unwrap();
+        assert!((expectation(&s, &PauliString::identity()).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_observable_rejected() {
+        let s = StateVector::zero(2);
+        assert!(expectation(&s, &PauliString::z(5)).is_err());
+        assert!(expectation(&s, &PauliString::x(2)).is_err());
+        assert!(expectation_z(&s, 2).is_err());
+    }
+
+    #[test]
+    fn from_factors_dedups_and_sorts() {
+        let p = PauliString::from_factors([(3, Pauli::X), (1, Pauli::Z), (3, Pauli::Y), (0, Pauli::I)]);
+        assert_eq!(p.factors(), &[(1, Pauli::Z), (3, Pauli::Y)]);
+        assert_eq!(p.max_qubit(), Some(3));
+        assert_eq!(PauliString::identity().max_qubit(), None);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate1(0, &Gate1::ry(1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[sample_basis(&s, &mut rng)] += 1;
+        }
+        let probs = s.probabilities();
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!((freq - probs[i]).abs() < 0.02, "basis {i}: {freq} vs {}", probs[i]);
+        }
+    }
+
+    #[test]
+    fn measurement_collapses_state() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut s = StateVector::zero(2);
+            s.apply_gate1(0, &Gate1::hadamard()).unwrap();
+            s.apply_cnot(0, 1).unwrap();
+            let bit0 = measure_qubit(&mut s, 0, &mut rng).unwrap();
+            // Bell pair: qubit 1 must agree with qubit 0 deterministically.
+            let p1 = s.prob_qubit_one(1).unwrap();
+            if bit0 {
+                assert!((p1 - 1.0).abs() < 1e-12);
+            } else {
+                assert!(p1 < 1e-12);
+            }
+            assert!((s.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expectation_values_bounded() {
+        let mut s = StateVector::zero(3);
+        for q in 0..3 {
+            s.apply_gate1(q, &Gate1::u3(0.7 * q as f64, 0.2, 1.4)).unwrap();
+        }
+        for q in 0..3 {
+            let z = expectation_z(&s, q).unwrap();
+            assert!((-1.0..=1.0).contains(&z));
+        }
+        let all = expectation_z_all(&s);
+        assert_eq!(all.len(), 3);
+    }
+}

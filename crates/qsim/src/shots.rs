@@ -1,0 +1,228 @@
+//! Finite-shot measurement: estimating expectations from samples.
+//!
+//! Real quantum hardware never returns exact expectation values — it
+//! returns `n_shots` computational-basis samples, and `⟨Z_q⟩` is estimated
+//! as the mean of `±1` outcomes. Everything downstream (policies, values,
+//! gradients) then carries *shot noise* of magnitude `O(1/√shots)`. This
+//! module provides the sampled readout path used by the shot-budget
+//! ablation; the exact path in [`crate::measure`] is the
+//! `shots → ∞` limit.
+
+use rand::Rng;
+
+use crate::error::QsimError;
+use crate::state::StateVector;
+
+/// A batch of computational-basis measurement outcomes.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShotRecord {
+    counts: Vec<(usize, usize)>,
+    shots: usize,
+    n_qubits: usize,
+}
+
+impl ShotRecord {
+    /// Total number of shots taken.
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// `(basis index, count)` pairs, sorted by basis index; zero-count
+    /// outcomes are omitted.
+    pub fn counts(&self) -> &[(usize, usize)] {
+        &self.counts
+    }
+
+    /// The empirical probability of a basis outcome.
+    pub fn frequency(&self, index: usize) -> f64 {
+        self.counts
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map_or(0.0, |(_, c)| *c as f64 / self.shots as f64)
+    }
+
+    /// The shot-estimated `⟨Z_q⟩`: mean of `+1` (bit clear) / `−1`
+    /// (bit set) over the recorded outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] for an invalid wire.
+    pub fn expectation_z(&self, q: usize) -> Result<f64, QsimError> {
+        if q >= self.n_qubits {
+            return Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits });
+        }
+        let mask = 1usize << q;
+        let mut acc = 0i64;
+        for &(i, c) in &self.counts {
+            if i & mask == 0 {
+                acc += c as i64;
+            } else {
+                acc -= c as i64;
+            }
+        }
+        Ok(acc as f64 / self.shots as f64)
+    }
+
+    /// Shot-estimated `⟨Z⟩` on every wire. One sample batch serves all
+    /// wires because the `Z_q` all commute.
+    pub fn expectation_z_all(&self) -> Vec<f64> {
+        (0..self.n_qubits)
+            .map(|q| self.expectation_z(q).expect("wire in range by construction"))
+            .collect()
+    }
+}
+
+/// Measures `shots` computational-basis samples from a state.
+///
+/// # Errors
+///
+/// Returns [`QsimError::InvalidProbability`] when `shots == 0`.
+pub fn measure_shots<R: Rng + ?Sized>(
+    state: &StateVector,
+    shots: usize,
+    rng: &mut R,
+) -> Result<ShotRecord, QsimError> {
+    if shots == 0 {
+        return Err(QsimError::InvalidProbability { value: 0.0 });
+    }
+    // Inverse-CDF sampling over the cumulative distribution; for the few
+    // thousand shots typical of NISQ jobs a per-shot scan of the 2^n
+    // probabilities is fine at this register size, but we presort once.
+    let probs = state.probabilities();
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for p in &probs {
+        acc += p;
+        cdf.push(acc);
+    }
+    let mut histogram = vec![0usize; probs.len()];
+    for _ in 0..shots {
+        let r: f64 = rng.gen::<f64>() * acc;
+        let idx = cdf.partition_point(|&c| c < r).min(probs.len() - 1);
+        histogram[idx] += 1;
+    }
+    let counts: Vec<(usize, usize)> = histogram
+        .into_iter()
+        .enumerate()
+        .filter(|(_, c)| *c > 0)
+        .collect();
+    Ok(ShotRecord { counts, shots, n_qubits: state.n_qubits() })
+}
+
+/// The standard error of a shot-estimated `⟨Z⟩` with true value `z`:
+/// `√((1 − z²) / shots)`.
+pub fn z_standard_error(z: f64, shots: usize) -> f64 {
+    ((1.0 - z * z).max(0.0) / shots as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basis_state_measures_deterministically() {
+        let s = StateVector::basis(3, 0b101).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let rec = measure_shots(&s, 100, &mut rng).unwrap();
+        assert_eq!(rec.shots(), 100);
+        assert_eq!(rec.counts(), &[(0b101, 100)]);
+        assert_eq!(rec.frequency(0b101), 1.0);
+        assert_eq!(rec.frequency(0b000), 0.0);
+        assert_eq!(rec.expectation_z(0).unwrap(), -1.0);
+        assert_eq!(rec.expectation_z(1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn estimates_converge_to_exact() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate1(0, &Gate1::ry(0.9)).unwrap();
+        s.apply_cnot(0, 1).unwrap();
+        let exact = crate::measure::expectation_z_all(&s);
+        let mut rng = StdRng::seed_from_u64(5);
+        let rec = measure_shots(&s, 200_000, &mut rng).unwrap();
+        for (q, &e) in exact.iter().enumerate() {
+            let est = rec.expectation_z(q).unwrap();
+            assert!((est - e).abs() < 0.01, "wire {q}: {est} vs {e}");
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_shot_count() {
+        let mut s = StateVector::zero(1);
+        s.apply_gate1(0, &Gate1::hadamard()).unwrap(); // ⟨Z⟩ = 0, max variance
+        let spread = |shots: usize| -> f64 {
+            let mut errs = Vec::new();
+            for seed in 0..30 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let rec = measure_shots(&s, shots, &mut rng).unwrap();
+                errs.push(rec.expectation_z(0).unwrap().abs());
+            }
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let coarse = spread(16);
+        let fine = spread(4096);
+        assert!(
+            fine < coarse / 3.0,
+            "shot noise must shrink ~1/√shots: {coarse} vs {fine}"
+        );
+    }
+
+    #[test]
+    fn one_batch_serves_all_wires() {
+        let mut s = StateVector::zero(3);
+        for q in 0..3 {
+            s.apply_gate1(q, &Gate1::ry(0.4 + q as f64)).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let rec = measure_shots(&s, 10_000, &mut rng).unwrap();
+        let all = rec.expectation_z_all();
+        assert_eq!(all.len(), 3);
+        for (q, est) in all.iter().enumerate() {
+            let exact = crate::measure::expectation_z(&s, q).unwrap();
+            assert!((est - exact).abs() < 0.05, "wire {q}");
+        }
+    }
+
+    #[test]
+    fn zero_shots_rejected_and_bad_wire() {
+        let s = StateVector::zero(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(measure_shots(&s, 0, &mut rng).is_err());
+        let rec = measure_shots(&s, 10, &mut rng).unwrap();
+        assert!(rec.expectation_z(5).is_err());
+    }
+
+    #[test]
+    fn seeded_measurement_is_reproducible() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate1(1, &Gate1::ry(1.2)).unwrap();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            measure_shots(&s, 500, &mut rng).unwrap()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn standard_error_formula() {
+        assert!((z_standard_error(0.0, 100) - 0.1).abs() < 1e-12);
+        assert_eq!(z_standard_error(1.0, 100), 0.0);
+        assert!((z_standard_error(0.6, 400) - (0.64f64 / 400.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let mut s = StateVector::zero(3);
+        for q in 0..3 {
+            s.apply_gate1(q, &Gate1::hadamard()).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(17);
+        let rec = measure_shots(&s, 4096, &mut rng).unwrap();
+        let total: f64 = (0..8).map(|i| rec.frequency(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,549 @@
+//! The exact statevector backend.
+//!
+//! A [`StateVector`] stores all `2^n` complex amplitudes of an `n`-qubit
+//! register. This is the same mathematical object GPU simulators such as
+//! torchquantum (used by the paper) compute with; at the 4–16 qubit scale of
+//! the QMARL experiments it fits comfortably in cache.
+
+use crate::apply;
+use crate::complex::Complex64;
+use crate::error::QsimError;
+use crate::gate::{Gate1, Gate2};
+
+/// Tolerance used when checking that a state is normalised.
+pub const NORM_TOL: f64 = 1e-9;
+
+/// An exact `n`-qubit pure state: `2^n` complex amplitudes in the
+/// computational basis, little-endian (qubit `q` is bit `q` of the index).
+///
+/// # Examples
+///
+/// ```
+/// use qmarl_qsim::state::StateVector;
+/// use qmarl_qsim::gate::Gate1;
+///
+/// let mut psi = StateVector::zero(2);
+/// psi.apply_gate1(0, &Gate1::hadamard())?;
+/// psi.apply_cnot(0, 1)?;               // Bell state (|00⟩+|11⟩)/√2
+/// assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((psi.probability(0b11) - 0.5).abs() < 1e-12);
+/// # Ok::<(), qmarl_qsim::error::QsimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩` on `n_qubits` wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is 0 or large enough that `2^n` overflows
+    /// `usize` (practically, ≥ 48 is rejected to keep allocations sane).
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(n_qubits > 0, "register must have at least one qubit");
+        assert!(n_qubits < 28, "register of {n_qubits} qubits is too large to simulate exactly");
+        let mut amps = vec![Complex64::ZERO; 1usize << n_qubits];
+        amps[0] = Complex64::ONE;
+        StateVector { n_qubits, amps }
+    }
+
+    /// The computational-basis state `|index⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] if `index ≥ 2^n`.
+    pub fn basis(n_qubits: usize, index: usize) -> Result<Self, QsimError> {
+        let mut s = StateVector::zero(n_qubits);
+        if index >= s.amps.len() {
+            return Err(QsimError::QubitOutOfRange { qubit: index, n_qubits });
+        }
+        s.amps[0] = Complex64::ZERO;
+        s.amps[index] = Complex64::ONE;
+        Ok(s)
+    }
+
+    /// Builds a state from raw amplitudes.
+    ///
+    /// # Errors
+    ///
+    /// * [`QsimError::InvalidDimension`] if the length is not a power of two.
+    /// * [`QsimError::NotNormalized`] if the 2-norm differs from 1 by more
+    ///   than [`NORM_TOL`].
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Result<Self, QsimError> {
+        let len = amps.len();
+        if len < 2 || !len.is_power_of_two() {
+            return Err(QsimError::InvalidDimension { len });
+        }
+        let n_qubits = len.trailing_zeros() as usize;
+        let s = StateVector { n_qubits, amps };
+        let norm = s.norm();
+        if (norm - 1.0).abs() > NORM_TOL {
+            return Err(QsimError::NotNormalized { norm });
+        }
+        Ok(s)
+    }
+
+    /// Number of qubits in the register.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of amplitudes (`2^n`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Always `false`: a state vector has at least two amplitudes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Immutable view of the amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Mutable view of the amplitudes. Callers must preserve normalisation
+    /// before using measurement APIs; [`StateVector::renormalize`] can
+    /// restore it.
+    #[inline]
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ 2^n`.
+    #[inline]
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        self.amps[index]
+    }
+
+    /// The 2-norm of the amplitude vector (1 for a valid state).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Rescales the amplitudes to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is numerically the zero vector.
+    pub fn renormalize(&mut self) {
+        let n = self.norm();
+        assert!(n > 1e-300, "cannot normalise the zero vector");
+        let inv = 1.0 / n;
+        for a in &mut self.amps {
+            *a = a.scale(inv);
+        }
+    }
+
+    fn check_qubit(&self, q: usize) -> Result<(), QsimError> {
+        if q >= self.n_qubits {
+            Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Applies a single-qubit gate to qubit `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] for an invalid wire.
+    pub fn apply_gate1(&mut self, q: usize, gate: &Gate1) -> Result<(), QsimError> {
+        self.check_qubit(q)?;
+        apply::apply_gate1(&mut self.amps, q, gate);
+        Ok(())
+    }
+
+    /// Applies a two-qubit gate; `qa` is bit 0 of the gate's index
+    /// convention (the control for [`Gate2::cnot`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] or [`QsimError::DuplicateQubit`].
+    pub fn apply_gate2(&mut self, qa: usize, qb: usize, gate: &Gate2) -> Result<(), QsimError> {
+        self.check_qubit(qa)?;
+        self.check_qubit(qb)?;
+        if qa == qb {
+            return Err(QsimError::DuplicateQubit { qubit: qa });
+        }
+        apply::apply_gate2(&mut self.amps, qa, qb, gate);
+        Ok(())
+    }
+
+    /// Applies a CNOT via the swap fast path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StateVector::apply_gate2`].
+    pub fn apply_cnot(&mut self, control: usize, target: usize) -> Result<(), QsimError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(QsimError::DuplicateQubit { qubit: control });
+        }
+        apply::apply_cnot(&mut self.amps, control, target);
+        Ok(())
+    }
+
+    /// Applies a Toffoli (CCX): flips `target` when both controls are
+    /// `|1⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] or [`QsimError::DuplicateQubit`].
+    pub fn apply_toffoli(
+        &mut self,
+        control1: usize,
+        control2: usize,
+        target: usize,
+    ) -> Result<(), QsimError> {
+        self.check_qubit(control1)?;
+        self.check_qubit(control2)?;
+        self.check_qubit(target)?;
+        if control1 == control2 || control1 == target || control2 == target {
+            return Err(QsimError::DuplicateQubit { qubit: control1.min(control2).min(target) });
+        }
+        apply::apply_toffoli(&mut self.amps, control1, control2, target);
+        Ok(())
+    }
+
+    /// Applies `gate` on `target` controlled on `control`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StateVector::apply_gate2`].
+    pub fn apply_controlled_gate1(
+        &mut self,
+        control: usize,
+        target: usize,
+        gate: &Gate1,
+    ) -> Result<(), QsimError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(QsimError::DuplicateQubit { qubit: control });
+        }
+        apply::apply_controlled_gate1(&mut self.amps, control, target, gate);
+        Ok(())
+    }
+
+    /// The inner product `⟨self|other⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitCountMismatch`] for differing widths.
+    pub fn inner(&self, other: &StateVector) -> Result<Complex64, QsimError> {
+        if self.n_qubits != other.n_qubits {
+            return Err(QsimError::QubitCountMismatch {
+                expected: self.n_qubits,
+                actual: other.n_qubits,
+            });
+        }
+        Ok(self
+            .amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum())
+    }
+
+    /// The fidelity `|⟨self|other⟩|²` between two pure states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitCountMismatch`] for differing widths.
+    pub fn fidelity(&self, other: &StateVector) -> Result<f64, QsimError> {
+        Ok(self.inner(other)?.norm_sqr())
+    }
+
+    /// The probability of measuring basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ 2^n`.
+    #[inline]
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// All `2^n` basis probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The marginal probability that qubit `q` reads `|1⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] for an invalid wire.
+    pub fn prob_qubit_one(&self, q: usize) -> Result<f64, QsimError> {
+        self.check_qubit(q)?;
+        let mask = 1usize << q;
+        Ok(self
+            .amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum())
+    }
+
+    /// The reduced (1-qubit) density matrix of qubit `q`, obtained by
+    /// tracing out every other wire. Used for Bloch-vector extraction and
+    /// the Fig. 4 qubit-state heatmaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] for an invalid wire.
+    pub fn reduced_density(&self, q: usize) -> Result<[[Complex64; 2]; 2], QsimError> {
+        self.check_qubit(q)?;
+        let mask = 1usize << q;
+        let mut rho = [[Complex64::ZERO; 2]; 2];
+        for (i, a) in self.amps.iter().enumerate() {
+            let bi = usize::from(i & mask != 0);
+            for bj in 0..2 {
+                // Partner index with qubit q forced to bj, all others equal.
+                let j = (i & !mask) | (bj << q);
+                // ρ_{bi,bj} += a_i · conj(a_j); only pairs sharing the other
+                // bits contribute, which (i & !mask) | … enumerates exactly.
+                rho[bi][bj] += *a * self.amps[j].conj();
+            }
+        }
+        Ok(rho)
+    }
+
+    /// The Kronecker product `self ⊗ other`: `other`'s qubits become the
+    /// **low** bits of the combined register.
+    pub fn tensor(&self, other: &StateVector) -> StateVector {
+        let n = self.n_qubits + other.n_qubits;
+        let mut amps = Vec::with_capacity(1usize << n);
+        for a in &self.amps {
+            for b in &other.amps {
+                amps.push(*a * *b);
+            }
+        }
+        StateVector { n_qubits: n, amps }
+    }
+}
+
+impl std::fmt::Display for StateVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "StateVector({} qubits)", self.n_qubits)?;
+        for (i, a) in self.amps.iter().enumerate() {
+            if a.norm_sqr() > 1e-12 {
+                writeln!(f, "  |{:0width$b}⟩: {}", i, a, width = self.n_qubits)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::RotationAxis;
+
+    #[test]
+    fn zero_state_is_normalised() {
+        for n in 1..=6 {
+            let s = StateVector::zero(n);
+            assert_eq!(s.n_qubits(), n);
+            assert_eq!(s.len(), 1 << n);
+            assert!((s.norm() - 1.0).abs() < 1e-15);
+            assert_eq!(s.amplitude(0), Complex64::ONE);
+        }
+    }
+
+    #[test]
+    fn basis_state_constructor() {
+        let s = StateVector::basis(3, 0b101).unwrap();
+        assert_eq!(s.probability(0b101), 1.0);
+        assert!(StateVector::basis(2, 4).is_err());
+    }
+
+    #[test]
+    fn from_amplitudes_validates() {
+        assert!(matches!(
+            StateVector::from_amplitudes(vec![Complex64::ONE; 3]),
+            Err(QsimError::InvalidDimension { len: 3 })
+        ));
+        assert!(matches!(
+            StateVector::from_amplitudes(vec![Complex64::ONE, Complex64::ONE]),
+            Err(QsimError::NotNormalized { .. })
+        ));
+        let ok = StateVector::from_amplitudes(vec![Complex64::ONE, Complex64::ZERO]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn invalid_qubit_rejected() {
+        let mut s = StateVector::zero(2);
+        assert!(s.apply_gate1(2, &Gate1::pauli_x()).is_err());
+        assert!(s.apply_cnot(0, 0).is_err());
+        assert!(s.apply_gate2(0, 0, &Gate2::cnot()).is_err());
+        assert!(s.prob_qubit_one(5).is_err());
+    }
+
+    #[test]
+    fn rotations_preserve_norm() {
+        let mut s = StateVector::zero(4);
+        for (q, axis) in RotationAxis::ALL.iter().cycle().take(12).enumerate() {
+            s.apply_gate1(q % 4, &axis.gate(0.17 * (q as f64 + 1.0))).unwrap();
+        }
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_probabilities() {
+        let mut s = StateVector::zero(3);
+        s.apply_gate1(0, &Gate1::hadamard()).unwrap();
+        s.apply_cnot(0, 1).unwrap();
+        s.apply_cnot(1, 2).unwrap();
+        assert!((s.probability(0b000) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b111) - 0.5).abs() < 1e-12);
+        for q in 0..3 {
+            assert!((s.prob_qubit_one(q).unwrap() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let a = StateVector::zero(2);
+        let mut b = StateVector::zero(2);
+        assert!((a.fidelity(&b).unwrap() - 1.0).abs() < 1e-15);
+        b.apply_gate1(0, &Gate1::pauli_x()).unwrap();
+        assert!(a.fidelity(&b).unwrap() < 1e-15);
+        let c = StateVector::zero(3);
+        assert!(a.inner(&c).is_err());
+    }
+
+    #[test]
+    fn reduced_density_of_product_state() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate1(0, &Gate1::hadamard()).unwrap();
+        let rho0 = s.reduced_density(0).unwrap();
+        // Qubit 0 in |+⟩: ρ = [[1/2, 1/2], [1/2, 1/2]].
+        for row in &rho0 {
+            for e in row {
+                assert!((e.re - 0.5).abs() < 1e-12 && e.im.abs() < 1e-15);
+            }
+        }
+        let rho1 = s.reduced_density(1).unwrap();
+        assert!((rho1[0][0].re - 1.0).abs() < 1e-12);
+        assert!(rho1[1][1].abs() < 1e-15);
+    }
+
+    #[test]
+    fn reduced_density_of_bell_pair_is_maximally_mixed() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate1(0, &Gate1::hadamard()).unwrap();
+        s.apply_cnot(0, 1).unwrap();
+        for q in 0..2 {
+            let rho = s.reduced_density(q).unwrap();
+            assert!((rho[0][0].re - 0.5).abs() < 1e-12);
+            assert!((rho[1][1].re - 0.5).abs() < 1e-12);
+            assert!(rho[0][1].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        // Only |11x⟩ flips the target.
+        for (input, expect) in [
+            (0b000usize, 0b000usize),
+            (0b001, 0b001),
+            (0b010, 0b010),
+            (0b011, 0b111), // both controls set (bits 0, 1) → flip bit 2
+            (0b111, 0b011),
+            (0b101, 0b101),
+        ] {
+            let mut s = StateVector::basis(3, input).unwrap();
+            s.apply_toffoli(0, 1, 2).unwrap();
+            assert!((s.probability(expect) - 1.0).abs() < 1e-15, "input {input:03b}");
+        }
+    }
+
+    #[test]
+    fn toffoli_is_involution_and_validates() {
+        let mut s = StateVector::zero(3);
+        s.apply_gate1(0, &Gate1::hadamard()).unwrap();
+        s.apply_gate1(1, &Gate1::ry(0.7)).unwrap();
+        let before = s.clone();
+        s.apply_toffoli(0, 1, 2).unwrap();
+        s.apply_toffoli(0, 1, 2).unwrap();
+        assert!((s.fidelity(&before).unwrap() - 1.0).abs() < 1e-12);
+        assert!(s.apply_toffoli(0, 0, 2).is_err());
+        assert!(s.apply_toffoli(0, 1, 1).is_err());
+        assert!(s.apply_toffoli(0, 1, 5).is_err());
+    }
+
+    #[test]
+    fn toffoli_matches_controlled_controlled_decomposition() {
+        // CCX on |++1⟩-style superpositions keeps norm and equals the
+        // brute-force permutation of amplitudes.
+        let mut s = StateVector::zero(3);
+        for q in 0..3 {
+            s.apply_gate1(q, &Gate1::u3(0.6 + q as f64, 0.2, -0.4)).unwrap();
+        }
+        let mut manual = s.clone();
+        s.apply_toffoli(1, 2, 0).unwrap();
+        // Manual permutation: swap amplitudes of indices with bits 1,2 set.
+        let amps = manual.amplitudes_mut();
+        for i in 0..8 {
+            if i & 0b110 == 0b110 && i & 0b001 == 0 {
+                amps.swap(i, i | 0b001);
+            }
+        }
+        assert!((s.fidelity(&manual).unwrap() - 1.0).abs() < 1e-12);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_product_widths_and_values() {
+        let mut a = StateVector::zero(1);
+        a.apply_gate1(0, &Gate1::pauli_x()).unwrap(); // |1⟩
+        let b = StateVector::zero(2); // |00⟩
+        let t = a.tensor(&b); // |1⟩⊗|00⟩ → high bit set
+        assert_eq!(t.n_qubits(), 3);
+        assert!((t.probability(0b100) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn renormalize_restores_unit_norm() {
+        let mut s = StateVector::zero(2);
+        s.amplitudes_mut()[0] = Complex64::new(2.0, 0.0);
+        s.renormalize();
+        assert!((s.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_lists_nonzero_amplitudes() {
+        let s = StateVector::basis(2, 0b10).unwrap();
+        let txt = s.to_string();
+        assert!(txt.contains("|10⟩"));
+        assert!(!txt.contains("|01⟩"));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut s = StateVector::zero(4);
+        for q in 0..4 {
+            s.apply_gate1(q, &Gate1::ry(0.3 + q as f64)).unwrap();
+        }
+        s.apply_cnot(0, 3).unwrap();
+        let total: f64 = s.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

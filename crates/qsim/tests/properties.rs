@@ -1,0 +1,185 @@
+//! Property-based tests for the simulator's core invariants.
+
+use proptest::prelude::*;
+use qmarl_qsim::prelude::*;
+
+/// Strategy: an arbitrary single-qubit rotation.
+fn arb_rotation() -> impl Strategy<Value = (RotationAxis, f64)> {
+    (
+        prop_oneof![
+            Just(RotationAxis::X),
+            Just(RotationAxis::Y),
+            Just(RotationAxis::Z)
+        ],
+        -std::f64::consts::PI..std::f64::consts::PI,
+    )
+}
+
+/// Strategy: a random circuit as (wire, axis, angle) plus CNOT markers.
+#[derive(Debug, Clone)]
+enum Op {
+    Rot(usize, RotationAxis, f64),
+    Cnot(usize, usize),
+}
+
+fn arb_circuit(n_qubits: usize, max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    let rot = (0..n_qubits, arb_rotation())
+        .prop_map(|(q, (ax, th))| Op::Rot(q, ax, th));
+    let cnot = (0..n_qubits, 0..n_qubits.saturating_sub(1)).prop_map(move |(c, t0)| {
+        let t = if t0 >= c { t0 + 1 } else { t0 };
+        Op::Cnot(c, t)
+    });
+    prop::collection::vec(prop_oneof![3 => rot, 1 => cnot], 1..max_len)
+}
+
+fn run(state: &mut StateVector, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Rot(q, ax, th) => state.apply_gate1(q, &ax.gate(th)).unwrap(),
+            Op::Cnot(c, t) => state.apply_cnot(c, t).unwrap(),
+        }
+    }
+}
+
+proptest! {
+    /// Unitary circuits preserve the norm of any starting state.
+    #[test]
+    fn random_circuits_preserve_norm(ops in arb_circuit(4, 40)) {
+        let mut s = StateVector::zero(4);
+        run(&mut s, &ops);
+        prop_assert!((s.norm() - 1.0).abs() < 1e-10);
+    }
+
+    /// Probabilities form a distribution after any circuit.
+    #[test]
+    fn probabilities_form_distribution(ops in arb_circuit(3, 30)) {
+        let mut s = StateVector::zero(3);
+        run(&mut s, &ops);
+        let probs = s.probabilities();
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-10);
+        prop_assert!(probs.iter().all(|p| (-1e-12..=1.0 + 1e-12).contains(p)));
+    }
+
+    /// Z expectations always lie in [−1, 1].
+    #[test]
+    fn z_expectations_bounded(ops in arb_circuit(4, 40)) {
+        let mut s = StateVector::zero(4);
+        run(&mut s, &ops);
+        for z in expectation_z_all(&s) {
+            prop_assert!((-1.0 - 1e-10..=1.0 + 1e-10).contains(&z));
+        }
+    }
+
+    /// Applying a rotation then its inverse is the identity.
+    #[test]
+    fn rotation_inverse_roundtrip((ax, th) in arb_rotation(), ops in arb_circuit(3, 20)) {
+        let mut s = StateVector::zero(3);
+        run(&mut s, &ops);
+        let before = s.clone();
+        s.apply_gate1(1, &ax.gate(th)).unwrap();
+        s.apply_gate1(1, &ax.gate(-th)).unwrap();
+        prop_assert!((s.fidelity(&before).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    /// Rotations about the same axis compose additively.
+    #[test]
+    fn rotations_compose_additively(
+        ax in prop_oneof![Just(RotationAxis::X), Just(RotationAxis::Y), Just(RotationAxis::Z)],
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let mut s1 = StateVector::zero(2);
+        s1.apply_gate1(0, &ax.gate(a)).unwrap();
+        s1.apply_gate1(0, &ax.gate(b)).unwrap();
+        let mut s2 = StateVector::zero(2);
+        s2.apply_gate1(0, &ax.gate(a + b)).unwrap();
+        prop_assert!((s1.fidelity(&s2).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    /// Statevector and density-matrix backends agree on ⟨Z⟩ for pure states.
+    #[test]
+    fn density_matrix_agrees_with_statevector(ops in arb_circuit(3, 20)) {
+        let mut psi = StateVector::zero(3);
+        let mut rho = DensityMatrix::zero(3);
+        for op in &ops {
+            match *op {
+                Op::Rot(q, ax, th) => {
+                    psi.apply_gate1(q, &ax.gate(th)).unwrap();
+                    rho.apply_gate1(q, &ax.gate(th)).unwrap();
+                }
+                Op::Cnot(c, t) => {
+                    psi.apply_cnot(c, t).unwrap();
+                    rho.apply_gate2(c, t, &Gate2::cnot()).unwrap();
+                }
+            }
+        }
+        for q in 0..3 {
+            let a = expectation_z(&psi, q).unwrap();
+            let b = rho.expectation_z(q).unwrap();
+            prop_assert!((a - b).abs() < 1e-8, "wire {} mismatch: {} vs {}", q, a, b);
+        }
+        prop_assert!((rho.purity() - 1.0).abs() < 1e-8);
+    }
+
+    /// Every noise channel keeps the density matrix a valid state.
+    #[test]
+    fn noise_channels_preserve_trace(
+        strength in 0.0f64..1.0,
+        which in 0usize..5,
+        ops in arb_circuit(2, 10),
+    ) {
+        let channel = match which {
+            0 => NoiseChannel::Depolarizing { p: strength },
+            1 => NoiseChannel::BitFlip { p: strength },
+            2 => NoiseChannel::PhaseFlip { p: strength },
+            3 => NoiseChannel::AmplitudeDamping { gamma: strength },
+            _ => NoiseChannel::PhaseDamping { lambda: strength },
+        };
+        let mut psi = StateVector::zero(2);
+        run(&mut psi, &ops);
+        let mut rho = DensityMatrix::from_state_vector(&psi);
+        rho.apply_kraus1(0, &channel.kraus_operators()).unwrap();
+        rho.apply_kraus1(1, &channel.kraus_operators()).unwrap();
+        prop_assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        prop_assert!(rho.purity() <= 1.0 + 1e-9);
+        let probs = rho.probabilities();
+        prop_assert!(probs.iter().all(|p| *p >= -1e-10));
+    }
+
+    /// Bloch vectors never leave the unit ball.
+    #[test]
+    fn bloch_vectors_inside_unit_ball(ops in arb_circuit(3, 25)) {
+        let mut s = StateVector::zero(3);
+        run(&mut s, &ops);
+        for q in 0..3 {
+            let b = bloch_vector(&s, q).unwrap();
+            prop_assert!(b.length() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// The reduced density matrix of any wire has unit trace.
+    #[test]
+    fn reduced_density_has_unit_trace(ops in arb_circuit(4, 30), q in 0usize..4) {
+        let mut s = StateVector::zero(4);
+        run(&mut s, &ops);
+        let rho = s.reduced_density(q).unwrap();
+        prop_assert!(((rho[0][0].re + rho[1][1].re) - 1.0).abs() < 1e-9);
+        // Hermiticity: ρ01 = conj(ρ10).
+        prop_assert!((rho[0][1] - rho[1][0].conj()).abs() < 1e-9);
+    }
+
+    /// HSL → RGB stays in gamut for all inputs.
+    #[test]
+    fn hsl_to_rgb_total(h in -720.0f64..720.0, s in -0.5f64..1.5, l in -0.5f64..1.5) {
+        // Just must not panic and be deterministic.
+        let a = hsl_to_rgb_wrapper(h, s, l);
+        let b = hsl_to_rgb_wrapper(h, s, l);
+        prop_assert_eq!(a, b);
+    }
+}
+
+fn hsl_to_rgb_wrapper(h: f64, s: f64, l: f64) -> (u8, u8, u8) {
+    let c = qmarl_qsim::bloch::hsl_to_rgb(h, s, l);
+    (c.r, c.g, c.b)
+}

@@ -1,0 +1,217 @@
+//! Parametrized circuits (`U_var` in the paper): the trainable part of a VQC.
+//!
+//! Two constructions are provided:
+//!
+//! * [`layered_ansatz`] — structured layers of per-qubit rotations followed
+//!   by a CNOT entangling ring, built to an **exact trainable-parameter
+//!   budget**. The paper fixes "the trainable parameters of these three
+//!   frameworks … to 50", so exact budgeting is what the experiments need.
+//! * [`random_layer_ansatz`] — torchquantum-style `RandomLayer`: a seeded
+//!   random sequence of rotation/CNOT gates up to a **gate budget**
+//!   (Table II: "The number of gates in `U_var` = 50"), mirroring the
+//!   library the authors used.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qmarl_qsim::gate::RotationAxis;
+
+use crate::error::VqcError;
+use crate::ir::{Angle, Circuit, ParamId};
+
+/// Builds a structured ansatz with exactly `param_budget` trainable
+/// rotation gates on `n_qubits` wires.
+///
+/// Gates are laid down in layers: each layer applies one rotation per
+/// qubit (axis cycling `Y → Z → Y → …`, a hardware-efficient pattern that
+/// avoids all-Z layers which would be diagonal and untrainable from `|0⟩`)
+/// followed by a CNOT ring `0→1→…→(n−1)→0`. The final layer is truncated
+/// so the parameter count is exactly `param_budget`; entangling CNOTs
+/// contribute gates but no parameters.
+///
+/// # Errors
+///
+/// Returns [`VqcError::InvalidConfig`] when `param_budget == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qmarl_vqc::ansatz::layered_ansatz;
+///
+/// let var = layered_ansatz(4, 50)?;         // the paper's 50-parameter budget
+/// assert_eq!(var.param_count(), 50);
+/// # Ok::<(), qmarl_vqc::error::VqcError>(())
+/// ```
+pub fn layered_ansatz(n_qubits: usize, param_budget: usize) -> Result<Circuit, VqcError> {
+    if param_budget == 0 {
+        return Err(VqcError::InvalidConfig("ansatz needs at least one parameter".into()));
+    }
+    let mut c = Circuit::new(n_qubits);
+    let mut p = 0usize;
+    let mut layer = 0usize;
+    while p < param_budget {
+        let axis = if layer % 2 == 0 { RotationAxis::Y } else { RotationAxis::Z };
+        for q in 0..n_qubits {
+            if p >= param_budget {
+                break;
+            }
+            c.rot(q, axis, Angle::Param(ParamId(p)))?;
+            p += 1;
+        }
+        // Entangle after each full layer (skip if budget ran out mid-layer
+        // or on single-qubit registers).
+        if p.is_multiple_of(n_qubits) && p < param_budget && n_qubits > 1 {
+            for q in 0..n_qubits {
+                c.cnot(q, (q + 1) % n_qubits)?;
+            }
+        }
+        layer += 1;
+    }
+    Ok(c)
+}
+
+/// Configuration for [`random_layer_ansatz`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RandomLayerConfig {
+    /// Total number of gates to sample (Table II uses 50).
+    pub gate_budget: usize,
+    /// Probability that a sampled gate is a (trainable) rotation rather
+    /// than a CNOT. torchquantum's default op pool is rotation-heavy.
+    pub rotation_prob: f64,
+    /// RNG seed, so circuits are reproducible across runs.
+    pub seed: u64,
+}
+
+impl Default for RandomLayerConfig {
+    fn default() -> Self {
+        RandomLayerConfig { gate_budget: 50, rotation_prob: 0.75, seed: 7 }
+    }
+}
+
+/// Builds a torchquantum-style random layer: `gate_budget` gates sampled
+/// i.i.d. (rotation on a random wire with a fresh parameter, or CNOT on a
+/// random wire pair).
+///
+/// # Errors
+///
+/// Returns [`VqcError::InvalidConfig`] when the budget is zero, the
+/// probability is outside `[0, 1]`, or a CNOT is requested on a
+/// single-wire register with `rotation_prob < 1`.
+pub fn random_layer_ansatz(n_qubits: usize, config: RandomLayerConfig) -> Result<Circuit, VqcError> {
+    if config.gate_budget == 0 {
+        return Err(VqcError::InvalidConfig("gate budget must be positive".into()));
+    }
+    if !(0.0..=1.0).contains(&config.rotation_prob) {
+        return Err(VqcError::InvalidConfig(format!(
+            "rotation probability {} not in [0, 1]",
+            config.rotation_prob
+        )));
+    }
+    if n_qubits < 2 && config.rotation_prob < 1.0 {
+        return Err(VqcError::InvalidConfig(
+            "cannot sample CNOTs on a single-qubit register".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut c = Circuit::new(n_qubits);
+    let mut p = 0usize;
+    for _ in 0..config.gate_budget {
+        if rng.gen::<f64>() < config.rotation_prob {
+            let q = rng.gen_range(0..n_qubits);
+            let axis = RotationAxis::ALL[rng.gen_range(0..3)];
+            c.rot(q, axis, Angle::Param(ParamId(p)))?;
+            p += 1;
+        } else {
+            let control = rng.gen_range(0..n_qubits);
+            let mut target = rng.gen_range(0..n_qubits - 1);
+            if target >= control {
+                target += 1;
+            }
+            c.cnot(control, target)?;
+        }
+    }
+    Ok(c)
+}
+
+/// Seeded uniform parameter initialisation in `[−π, π]`, the customary
+/// VQC starting distribution.
+pub fn init_params(n_params: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_params)
+        .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Op;
+
+    #[test]
+    fn layered_ansatz_hits_exact_budget() {
+        for budget in [1, 4, 7, 16, 48, 50, 100] {
+            let c = layered_ansatz(4, budget).unwrap();
+            assert_eq!(c.param_count(), budget, "budget {budget}");
+            assert_eq!(c.trainable_gate_count(), budget);
+        }
+    }
+
+    #[test]
+    fn layered_ansatz_entangles_between_layers() {
+        let c = layered_ansatz(4, 12).unwrap();
+        let cnots = c.ops().iter().filter(|o| matches!(o, Op::Cnot { .. })).count();
+        // 12 params = 3 full layers on 4 qubits → 2 interior rings of 4 CNOTs.
+        assert_eq!(cnots, 8);
+    }
+
+    #[test]
+    fn layered_ansatz_zero_budget_rejected() {
+        assert!(layered_ansatz(4, 0).is_err());
+    }
+
+    #[test]
+    fn layered_ansatz_single_qubit() {
+        let c = layered_ansatz(1, 5).unwrap();
+        assert_eq!(c.param_count(), 5);
+        assert!(c.ops().iter().all(|o| matches!(o, Op::Rot { .. })));
+    }
+
+    #[test]
+    fn random_layer_respects_gate_budget_and_seed() {
+        let cfg = RandomLayerConfig { gate_budget: 50, rotation_prob: 0.75, seed: 42 };
+        let a = random_layer_ansatz(4, cfg).unwrap();
+        let b = random_layer_ansatz(4, cfg).unwrap();
+        assert_eq!(a, b, "same seed must give the same circuit");
+        assert_eq!(a.gate_count(), 50);
+        assert!(a.param_count() > 20 && a.param_count() <= 50);
+
+        let c = random_layer_ansatz(4, RandomLayerConfig { seed: 43, ..cfg }).unwrap();
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_layer_all_rotations_when_prob_one() {
+        let cfg = RandomLayerConfig { gate_budget: 50, rotation_prob: 1.0, seed: 1 };
+        let c = random_layer_ansatz(4, cfg).unwrap();
+        assert_eq!(c.param_count(), 50);
+        assert_eq!(c.trainable_gate_count(), 50);
+    }
+
+    #[test]
+    fn random_layer_validates_config() {
+        assert!(random_layer_ansatz(4, RandomLayerConfig { gate_budget: 0, ..Default::default() }).is_err());
+        assert!(random_layer_ansatz(4, RandomLayerConfig { rotation_prob: 1.4, ..Default::default() }).is_err());
+        assert!(random_layer_ansatz(1, RandomLayerConfig::default()).is_err());
+        assert!(random_layer_ansatz(1, RandomLayerConfig { rotation_prob: 1.0, ..Default::default() }).is_ok());
+    }
+
+    #[test]
+    fn init_params_deterministic_and_in_range() {
+        let a = init_params(50, 9);
+        let b = init_params(50, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|t| (-std::f64::consts::PI..=std::f64::consts::PI).contains(t)));
+        let c = init_params(50, 10);
+        assert_ne!(a, c);
+    }
+}

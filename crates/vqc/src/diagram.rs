@@ -1,0 +1,130 @@
+//! ASCII circuit diagrams — a textual rendering of Fig. 1.
+//!
+//! [`render`] draws one row per wire and one column per op, e.g. the
+//! paper's 4-qubit encoder + variational layers:
+//!
+//! ```text
+//! q0: ─Rx(s0)──Ry(θ0)──●──────X─
+//! q1: ─Rx(s1)──Ry(θ1)──X──●─────
+//! ```
+
+use crate::ir::{Angle, Circuit, Op};
+
+fn angle_label(angle: Angle) -> String {
+    match angle {
+        Angle::Input(id) => format!("s{}", id.0),
+        Angle::Param(id) => format!("θ{}", id.0),
+        Angle::Const(c) => format!("{c:.2}"),
+    }
+}
+
+/// Renders the circuit as an ASCII diagram, one line per wire.
+pub fn render(circuit: &Circuit) -> String {
+    let n = circuit.n_qubits();
+    let mut rows: Vec<String> = (0..n).map(|q| format!("q{q}: ─")).collect();
+    // Pad wire headers to equal width.
+    let head_w = rows.iter().map(|r| r.chars().count()).max().unwrap_or(0);
+    for r in &mut rows {
+        while r.chars().count() < head_w {
+            r.insert(4, ' ');
+        }
+    }
+
+    for op in circuit.ops() {
+        let mut cells: Vec<String> = vec![String::new(); n];
+        match *op {
+            Op::Rot { qubit, axis, angle } => {
+                cells[qubit] = format!("R{}({})", axis.label().chars().last().unwrap(), angle_label(angle));
+            }
+            Op::ControlledRot { control, target, axis, angle } => {
+                cells[control] = "●".to_string();
+                cells[target] = format!(
+                    "CR{}({})",
+                    axis.label().chars().last().unwrap(),
+                    angle_label(angle)
+                );
+            }
+            Op::Cnot { control, target } => {
+                cells[control] = "●".to_string();
+                cells[target] = "X".to_string();
+            }
+            Op::Cz { control, target } => {
+                cells[control] = "●".to_string();
+                cells[target] = "Z".to_string();
+            }
+            Op::Fixed { qubit, gate } => {
+                cells[qubit] = gate.label().to_string();
+            }
+        }
+        let width = cells.iter().map(|c| c.chars().count()).max().unwrap_or(1);
+        for (q, row) in rows.iter_mut().enumerate() {
+            let cell = &cells[q];
+            let pad = width - cell.chars().count();
+            if cell.is_empty() {
+                row.push_str(&"─".repeat(width + 2));
+            } else {
+                row.push_str(cell);
+                row.push_str(&"─".repeat(pad + 2));
+            }
+        }
+    }
+    let mut out = rows.join("\n");
+    out.push('\n');
+    out
+}
+
+/// A one-line structural summary: gate, parameter and input counts.
+pub fn summary(circuit: &Circuit) -> String {
+    format!(
+        "{} qubits, {} gates ({} trainable), {} params, {} inputs",
+        circuit.n_qubits(),
+        circuit.gate_count(),
+        circuit.trainable_gate_count(),
+        circuit.param_count(),
+        circuit.input_count()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::layered_ansatz;
+    use crate::encoder::layered_angle_encoder;
+    use crate::ir::FixedGate;
+    use qmarl_qsim::gate::RotationAxis as Ax;
+
+    #[test]
+    fn renders_every_wire() {
+        let mut c = layered_angle_encoder(4, 16).unwrap();
+        c.append_shifted(&layered_ansatz(4, 8).unwrap()).unwrap();
+        let d = render(&c);
+        assert_eq!(d.trim_end().lines().count(), 4);
+        assert!(d.contains("Rx(s0)"));
+        assert!(d.contains("Rx(s12)")); // 4th encoder layer cycles back to X
+        assert!(d.contains("θ0"));
+        assert!(d.contains("●"));
+        assert!(d.contains("X"));
+    }
+
+    #[test]
+    fn renders_special_gates() {
+        let mut c = Circuit::new(2);
+        c.fixed(0, FixedGate::H).unwrap();
+        c.cz(0, 1).unwrap();
+        c.controlled_rot(1, 0, Ax::Z, Angle::Const(0.25)).unwrap();
+        let d = render(&c);
+        assert!(d.contains('H'));
+        assert!(d.contains('Z'));
+        assert!(d.contains("CRz(0.25)"));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let mut c = layered_angle_encoder(4, 16).unwrap();
+        c.append_shifted(&layered_ansatz(4, 50).unwrap()).unwrap();
+        let s = summary(&c);
+        assert!(s.contains("4 qubits"));
+        assert!(s.contains("50 params"));
+        assert!(s.contains("16 inputs"));
+    }
+}

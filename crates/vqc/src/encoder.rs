@@ -1,0 +1,273 @@
+//! Quantum state encoders: folding classical vectors into few qubits.
+//!
+//! This is the paper's key scalability device. A naive CTDE critic would
+//! allocate qubits proportional to `n_agents · obs_dim`; instead, the paper
+//! passes the concatenated state through **layers of rotation gates** on a
+//! fixed-width register (Fig. 1, green box):
+//!
+//! ```text
+//! layer 0: Rx(s0) Rx(s1) Rx(s2) Rx(s3)      ← one rotation per qubit
+//! layer 1: Ry(s4) Ry(s5) Ry(s6) Ry(s7)
+//! layer 2: Rz(s8) Rz(s9) Rz(s10) Rz(s11)
+//! layer 3: Rx(s12) Rx(s13) Rx(s14) Rx(s15)
+//! ```
+//!
+//! so a 16-dimensional state needs 4 qubits and 4 layers, with the axis
+//! cycling `X → Y → Z → X → …` per layer. [`layered_angle_encoder`] builds
+//! exactly this pattern for any input length.
+
+use qmarl_qsim::gate::RotationAxis;
+
+use crate::error::VqcError;
+use crate::ir::{Angle, Circuit, InputId};
+
+/// How raw classical features are mapped to rotation angles when binding.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum InputScaling {
+    /// Use features as radians directly.
+    Identity,
+    /// Multiply by π — natural for features already normalised to `[0, 1]`
+    /// (queue occupancies in this paper are).
+    Pi,
+    /// `arctan` squashing — keeps unbounded features in `(−π/2, π/2)`.
+    ArcTan,
+    /// Multiply by an arbitrary constant.
+    Scale(f64),
+}
+
+impl InputScaling {
+    /// Applies the scaling to one feature.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        match *self {
+            InputScaling::Identity => x,
+            InputScaling::Pi => x * std::f64::consts::PI,
+            InputScaling::ArcTan => x.atan(),
+            InputScaling::Scale(s) => x * s,
+        }
+    }
+
+    /// Applies the scaling to a whole feature vector.
+    pub fn apply_all(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.apply(x)).collect()
+    }
+}
+
+impl Default for InputScaling {
+    fn default() -> Self {
+        InputScaling::Pi
+    }
+}
+
+/// Builds the paper's layered angle encoder: `n_inputs` input slots folded
+/// onto `n_qubits` wires, axis cycling `X → Y → Z` per layer.
+///
+/// Input slot `i` lands on qubit `i % n_qubits` in layer `i / n_qubits`.
+/// The final layer may be partial when `n_inputs` is not a multiple of
+/// `n_qubits`.
+///
+/// # Errors
+///
+/// Returns [`VqcError::InvalidConfig`] when `n_inputs == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qmarl_vqc::encoder::layered_angle_encoder;
+///
+/// // The critic encoder of the paper: 16 state features on 4 qubits.
+/// let enc = layered_angle_encoder(4, 16)?;
+/// assert_eq!(enc.gate_count(), 16);
+/// assert_eq!(enc.input_count(), 16);
+/// assert_eq!(enc.param_count(), 0);     // encoders have no trainables
+/// # Ok::<(), qmarl_vqc::error::VqcError>(())
+/// ```
+pub fn layered_angle_encoder(n_qubits: usize, n_inputs: usize) -> Result<Circuit, VqcError> {
+    if n_inputs == 0 {
+        return Err(VqcError::InvalidConfig("encoder needs at least one input".into()));
+    }
+    let mut c = Circuit::new(n_qubits);
+    for i in 0..n_inputs {
+        let layer = i / n_qubits;
+        let qubit = i % n_qubits;
+        let axis = RotationAxis::ALL[layer % 3];
+        c.rot(qubit, axis, Angle::Input(InputId(i)))?;
+    }
+    Ok(c)
+}
+
+/// Number of encoding layers needed for `n_inputs` features on
+/// `n_qubits` wires (`⌈n_inputs / n_qubits⌉`). Fig. 2 annotates this as
+/// `n(qubit) · n(agent) / 4` for the critic.
+pub fn encoder_depth(n_qubits: usize, n_inputs: usize) -> usize {
+    n_inputs.div_ceil(n_qubits)
+}
+
+/// Builds a **data re-uploading** circuit: the input encoding is repeated
+/// between trainable blocks instead of appearing once up front.
+///
+/// Re-uploading (Pérez-Salinas et al., 2020) is the main alternative to
+/// the paper's encode-once layered scheme — repeating the encoding makes
+/// the model a higher-order function of the inputs at the cost of more
+/// encoder gates (and hence more NISQ noise exposure). The encoder-design
+/// ablation compares the two at an equal trainable budget.
+///
+/// Structure: `repeats` blocks of `[layered encoder | rotation layer +
+/// CNOT ring]`, with the trainable budget split evenly across blocks
+/// (remainder to the last block).
+///
+/// # Errors
+///
+/// Returns [`VqcError::InvalidConfig`] when `repeats == 0` or the budget
+/// is smaller than `repeats`.
+pub fn reuploading_circuit(
+    n_qubits: usize,
+    n_inputs: usize,
+    repeats: usize,
+    param_budget: usize,
+) -> Result<Circuit, VqcError> {
+    if repeats == 0 {
+        return Err(VqcError::InvalidConfig("re-uploading needs at least one block".into()));
+    }
+    if param_budget < repeats {
+        return Err(VqcError::InvalidConfig(format!(
+            "budget {param_budget} too small for {repeats} trainable blocks"
+        )));
+    }
+    let mut circuit = Circuit::new(n_qubits);
+    let per_block = param_budget / repeats;
+    let remainder = param_budget - per_block * repeats;
+    for block in 0..repeats {
+        circuit.append_shifted(&layered_angle_encoder(n_qubits, n_inputs)?)?;
+        let budget = per_block + if block == repeats - 1 { remainder } else { 0 };
+        if budget > 0 {
+            circuit.append_shifted(&crate::ansatz::layered_ansatz(n_qubits, budget)?)?;
+        }
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Op;
+
+    #[test]
+    fn paper_critic_encoder_shape() {
+        // 16 features → 4 layers on 4 qubits, axes X, Y, Z, X (Fig. 1).
+        let enc = layered_angle_encoder(4, 16).unwrap();
+        assert_eq!(enc.gate_count(), 16);
+        assert_eq!(encoder_depth(4, 16), 4);
+        let axes: Vec<RotationAxis> = enc
+            .ops()
+            .iter()
+            .map(|op| match op {
+                Op::Rot { axis, .. } => *axis,
+                _ => panic!("encoder must be rotations only"),
+            })
+            .collect();
+        for (i, ax) in axes.iter().enumerate() {
+            let want = RotationAxis::ALL[(i / 4) % 3];
+            assert_eq!(*ax, want, "gate {i}");
+        }
+        // Layer 3 cycles back to X.
+        assert_eq!(axes[12], RotationAxis::X);
+    }
+
+    #[test]
+    fn paper_actor_encoder_shape() {
+        // 4 observation features → single Rx layer.
+        let enc = layered_angle_encoder(4, 4).unwrap();
+        assert_eq!(enc.gate_count(), 4);
+        assert_eq!(encoder_depth(4, 4), 1);
+        for op in enc.ops() {
+            match op {
+                Op::Rot { axis, .. } => assert_eq!(*axis, RotationAxis::X),
+                _ => panic!("rotations only"),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_last_layer() {
+        let enc = layered_angle_encoder(4, 6).unwrap();
+        assert_eq!(enc.gate_count(), 6);
+        assert_eq!(encoder_depth(4, 6), 2);
+        match enc.ops()[5] {
+            Op::Rot { qubit, axis, .. } => {
+                assert_eq!(qubit, 1);
+                assert_eq!(axis, RotationAxis::Y);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn zero_inputs_rejected() {
+        assert!(layered_angle_encoder(4, 0).is_err());
+    }
+
+    #[test]
+    fn input_ids_are_sequential() {
+        let enc = layered_angle_encoder(3, 7).unwrap();
+        let ids: Vec<usize> = enc
+            .ops()
+            .iter()
+            .map(|op| match op.angle() {
+                Some(Angle::Input(InputId(i))) => i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(ids, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reuploading_repeats_the_encoder() {
+        let c = reuploading_circuit(4, 4, 3, 12).unwrap();
+        // 3 encoder blocks of 4 gates each + 12 trainable rotations.
+        assert_eq!(c.input_count(), 4);
+        assert_eq!(c.param_count(), 12);
+        let encoder_gates = c
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.angle(), Some(Angle::Input(_))))
+            .count();
+        assert_eq!(encoder_gates, 12, "the 4 inputs are uploaded 3 times");
+    }
+
+    #[test]
+    fn reuploading_budget_split_is_exact() {
+        for (repeats, budget) in [(1usize, 10usize), (2, 11), (3, 50), (4, 7)] {
+            let c = reuploading_circuit(4, 8, repeats, budget).unwrap();
+            assert_eq!(c.param_count(), budget, "repeats {repeats} budget {budget}");
+        }
+    }
+
+    #[test]
+    fn reuploading_single_block_matches_plain_layout() {
+        // One repeat = encode once + ansatz: same arity as the paper's shape.
+        let re = reuploading_circuit(4, 16, 1, 48).unwrap();
+        let mut plain = layered_angle_encoder(4, 16).unwrap();
+        plain
+            .append_shifted(&crate::ansatz::layered_ansatz(4, 48).unwrap())
+            .unwrap();
+        assert_eq!(re, plain);
+    }
+
+    #[test]
+    fn reuploading_validates() {
+        assert!(reuploading_circuit(4, 4, 0, 10).is_err());
+        assert!(reuploading_circuit(4, 4, 8, 4).is_err());
+    }
+
+    #[test]
+    fn scaling_modes() {
+        assert_eq!(InputScaling::Identity.apply(0.4), 0.4);
+        assert!((InputScaling::Pi.apply(1.0) - std::f64::consts::PI).abs() < 1e-15);
+        assert!((InputScaling::ArcTan.apply(1e12) - std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+        assert_eq!(InputScaling::Scale(2.0).apply(0.3), 0.6);
+        assert_eq!(InputScaling::default(), InputScaling::Pi);
+        let v = InputScaling::Pi.apply_all(&[0.0, 0.5, 1.0]);
+        assert!((v[1] - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+}

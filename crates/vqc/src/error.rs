@@ -1,0 +1,122 @@
+//! Error types for circuit construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running variational circuits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VqcError {
+    /// A wire index was at least the register width.
+    QubitOutOfRange {
+        /// Offending wire.
+        qubit: usize,
+        /// Register width.
+        n_qubits: usize,
+    },
+    /// A two-qubit op used the same wire twice.
+    DuplicateQubit {
+        /// The duplicated wire.
+        qubit: usize,
+    },
+    /// Two circuits (or a circuit and a readout) disagreed on width.
+    QubitCountMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Actual width.
+        actual: usize,
+    },
+    /// The bound input vector had the wrong length.
+    InputLenMismatch {
+        /// Declared input arity of the circuit.
+        expected: usize,
+        /// Supplied vector length.
+        actual: usize,
+    },
+    /// The bound parameter vector had the wrong length.
+    ParamLenMismatch {
+        /// Declared parameter arity of the circuit.
+        expected: usize,
+        /// Supplied vector length.
+        actual: usize,
+    },
+    /// A readout referenced a wire outside the register.
+    ReadoutOutOfRange {
+        /// Offending wire.
+        qubit: usize,
+        /// Register width.
+        n_qubits: usize,
+    },
+    /// An ansatz/encoder construction parameter was invalid.
+    InvalidConfig(String),
+    /// The underlying simulator reported an error.
+    Simulator(qmarl_qsim::error::QsimError),
+}
+
+impl fmt::Display for VqcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VqcError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit circuit")
+            }
+            VqcError::DuplicateQubit { qubit } => {
+                write!(f, "two-qubit op applied twice to qubit {qubit}")
+            }
+            VqcError::QubitCountMismatch { expected, actual } => {
+                write!(f, "expected a {expected}-qubit circuit, got {actual} qubits")
+            }
+            VqcError::InputLenMismatch { expected, actual } => {
+                write!(f, "circuit declares {expected} inputs but {actual} were bound")
+            }
+            VqcError::ParamLenMismatch { expected, actual } => {
+                write!(f, "circuit declares {expected} parameters but {actual} were bound")
+            }
+            VqcError::ReadoutOutOfRange { qubit, n_qubits } => {
+                write!(f, "readout wire {qubit} out of range for {n_qubits}-qubit circuit")
+            }
+            VqcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            VqcError::Simulator(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for VqcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VqcError::Simulator(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qmarl_qsim::error::QsimError> for VqcError {
+    fn from(e: qmarl_qsim::error::QsimError) -> Self {
+        VqcError::Simulator(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let errs: Vec<VqcError> = vec![
+            VqcError::QubitOutOfRange { qubit: 4, n_qubits: 4 },
+            VqcError::DuplicateQubit { qubit: 1 },
+            VqcError::QubitCountMismatch { expected: 4, actual: 2 },
+            VqcError::InputLenMismatch { expected: 16, actual: 4 },
+            VqcError::ParamLenMismatch { expected: 50, actual: 48 },
+            VqcError::ReadoutOutOfRange { qubit: 7, n_qubits: 4 },
+            VqcError::InvalidConfig("gate budget must be positive".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn simulator_error_chains() {
+        let e = VqcError::from(qmarl_qsim::error::QsimError::NotNormalized { norm: 0.0 });
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

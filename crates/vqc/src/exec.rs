@@ -1,0 +1,243 @@
+//! Circuit execution: binding inputs/parameters and running the simulator.
+//!
+//! [`run`] executes a [`Circuit`] on the exact statevector backend;
+//! [`run_noisy`] executes it on the density-matrix backend with a
+//! [`NoiseModel`] injecting a channel after every gate — the NISQ
+//! mechanism used by the noise ablation.
+
+use qmarl_qsim::density::DensityMatrix;
+use qmarl_qsim::gate::Gate2;
+use qmarl_qsim::noise::NoiseModel;
+use qmarl_qsim::state::StateVector;
+
+use crate::error::VqcError;
+use crate::ir::{Angle, Circuit, InputId, Op, ParamId};
+
+/// Resolves a symbolic angle against bound input/parameter vectors.
+#[inline]
+fn resolve(angle: Angle, inputs: &[f64], params: &[f64]) -> f64 {
+    match angle {
+        Angle::Input(InputId(i)) => inputs[i],
+        Angle::Param(ParamId(p)) => params[p],
+        Angle::Const(c) => c,
+    }
+}
+
+fn check_bindings(circuit: &Circuit, inputs: &[f64], params: &[f64]) -> Result<(), VqcError> {
+    if inputs.len() != circuit.input_count() {
+        return Err(VqcError::InputLenMismatch {
+            expected: circuit.input_count(),
+            actual: inputs.len(),
+        });
+    }
+    if params.len() != circuit.param_count() {
+        return Err(VqcError::ParamLenMismatch {
+            expected: circuit.param_count(),
+            actual: params.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Runs the circuit from `|0…0⟩` with the given bindings, returning the
+/// final pure state.
+///
+/// # Errors
+///
+/// Returns a binding-length error when `inputs`/`params` do not match the
+/// circuit's declared arity; wire errors cannot occur for a validated
+/// [`Circuit`].
+pub fn run(circuit: &Circuit, inputs: &[f64], params: &[f64]) -> Result<StateVector, VqcError> {
+    check_bindings(circuit, inputs, params)?;
+    let mut state = StateVector::zero(circuit.n_qubits());
+    for op in circuit.ops() {
+        apply_op(&mut state, op, inputs, params)?;
+    }
+    Ok(state)
+}
+
+/// Applies one op to a statevector.
+pub(crate) fn apply_op(
+    state: &mut StateVector,
+    op: &Op,
+    inputs: &[f64],
+    params: &[f64],
+) -> Result<(), VqcError> {
+    match *op {
+        Op::Rot { qubit, axis, angle } => {
+            let theta = resolve(angle, inputs, params);
+            state.apply_gate1(qubit, &axis.gate(theta))?;
+        }
+        Op::ControlledRot { control, target, axis, angle } => {
+            let theta = resolve(angle, inputs, params);
+            state.apply_controlled_gate1(control, target, &axis.gate(theta))?;
+        }
+        Op::Cnot { control, target } => state.apply_cnot(control, target)?,
+        Op::Cz { control, target } => {
+            state.apply_gate2(control, target, &Gate2::cz())?;
+        }
+        Op::Fixed { qubit, gate } => state.apply_gate1(qubit, &gate.gate())?,
+    }
+    Ok(())
+}
+
+/// Runs the circuit on the density-matrix backend, injecting the noise
+/// model's channel after every gate (on every wire the gate touched).
+///
+/// # Errors
+///
+/// Returns binding-length errors as [`run`], or
+/// [`VqcError::Simulator`] if a noise strength is invalid.
+pub fn run_noisy(
+    circuit: &Circuit,
+    inputs: &[f64],
+    params: &[f64],
+    noise: &NoiseModel,
+) -> Result<DensityMatrix, VqcError> {
+    check_bindings(circuit, inputs, params)?;
+    noise.validate()?;
+    let mut rho = DensityMatrix::zero(circuit.n_qubits());
+    for op in circuit.ops() {
+        let (wires, is_two_qubit): (Vec<usize>, bool) = match *op {
+            Op::Rot { qubit, axis, angle } => {
+                let theta = resolve(angle, inputs, params);
+                rho.apply_gate1(qubit, &axis.gate(theta))?;
+                (vec![qubit], false)
+            }
+            Op::ControlledRot { control, target, axis, angle } => {
+                let theta = resolve(angle, inputs, params);
+                rho.apply_gate2(control, target, &Gate2::controlled(&axis.gate(theta)))?;
+                (vec![control, target], true)
+            }
+            Op::Cnot { control, target } => {
+                rho.apply_gate2(control, target, &Gate2::cnot())?;
+                (vec![control, target], true)
+            }
+            Op::Cz { control, target } => {
+                rho.apply_gate2(control, target, &Gate2::cz())?;
+                (vec![control, target], true)
+            }
+            Op::Fixed { qubit, gate } => {
+                rho.apply_gate1(qubit, &gate.gate())?;
+                (vec![qubit], false)
+            }
+        };
+        let channel = if is_two_qubit { noise.after_gate2 } else { noise.after_gate1 };
+        if let Some(c) = channel {
+            let kraus = c.kraus_operators();
+            for w in wires {
+                rho.apply_kraus1(w, &kraus)?;
+            }
+        }
+    }
+    Ok(rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{init_params, layered_ansatz};
+    use crate::encoder::layered_angle_encoder;
+    use qmarl_qsim::gate::RotationAxis as Ax;
+    use qmarl_qsim::measure::expectation_z;
+    use qmarl_qsim::noise::NoiseChannel;
+
+    fn small_circuit() -> Circuit {
+        let mut c = layered_angle_encoder(2, 2).unwrap();
+        let var = layered_ansatz(2, 4).unwrap();
+        c.append_shifted(&var).unwrap();
+        c
+    }
+
+    #[test]
+    fn binding_lengths_validated() {
+        let c = small_circuit();
+        assert!(run(&c, &[0.1], &[0.0; 4]).is_err());
+        assert!(run(&c, &[0.1, 0.2], &[0.0; 3]).is_err());
+        assert!(run(&c, &[0.1, 0.2], &[0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn constant_angles_need_no_bindings() {
+        let mut c = Circuit::new(1);
+        c.rot(0, Ax::Y, Angle::Const(std::f64::consts::PI)).unwrap();
+        let s = run(&c, &[], &[]).unwrap();
+        assert!((expectation_z(&s, 0).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inputs_change_the_state() {
+        let c = small_circuit();
+        let params = init_params(4, 3);
+        let a = run(&c, &[0.1, 0.2], &params).unwrap();
+        let b = run(&c, &[1.4, -0.7], &params).unwrap();
+        assert!(a.fidelity(&b).unwrap() < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn params_change_the_state() {
+        let c = small_circuit();
+        let a = run(&c, &[0.3, 0.9], &init_params(4, 3)).unwrap();
+        let b = run(&c, &[0.3, 0.9], &init_params(4, 4)).unwrap();
+        assert!(a.fidelity(&b).unwrap() < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn execution_preserves_norm() {
+        let c = small_circuit();
+        let s = run(&c, &[0.5, 1.1], &init_params(4, 0)).unwrap();
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_density_run_matches_statevector() {
+        let c = small_circuit();
+        let params = init_params(4, 5);
+        let inputs = [0.4, 0.8];
+        let psi = run(&c, &inputs, &params).unwrap();
+        let rho = run_noisy(&c, &inputs, &params, &NoiseModel::noiseless()).unwrap();
+        for q in 0..2 {
+            let a = expectation_z(&psi, q).unwrap();
+            let b = rho.expectation_z(q).unwrap();
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noise_reduces_purity() {
+        let c = small_circuit();
+        let params = init_params(4, 5);
+        let noise = NoiseModel::depolarizing(0.02, 0.05).unwrap();
+        let rho = run_noisy(&c, &[0.4, 0.8], &params, &noise).unwrap();
+        assert!(rho.purity() < 1.0 - 1e-4);
+        assert!((rho.trace().re - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_gates_more_noise() {
+        // The paper's NISQ argument: error grows with gate count.
+        let noise = NoiseModel {
+            after_gate1: Some(NoiseChannel::Depolarizing { p: 0.01 }),
+            after_gate2: Some(NoiseChannel::Depolarizing { p: 0.02 }),
+        };
+        let mut shallow = layered_angle_encoder(2, 2).unwrap();
+        shallow.append_shifted(&layered_ansatz(2, 2).unwrap()).unwrap();
+        let mut deep = layered_angle_encoder(2, 2).unwrap();
+        deep.append_shifted(&layered_ansatz(2, 20).unwrap()).unwrap();
+
+        let rho_s = run_noisy(&shallow, &[0.3, 0.6], &init_params(2, 1), &noise).unwrap();
+        let rho_d = run_noisy(&deep, &[0.3, 0.6], &init_params(20, 1), &noise).unwrap();
+        assert!(rho_d.purity() < rho_s.purity());
+    }
+
+    #[test]
+    fn controlled_rot_and_cz_execute() {
+        let mut c = Circuit::new(2);
+        c.fixed(0, crate::ir::FixedGate::H).unwrap();
+        c.controlled_rot(0, 1, Ax::X, Angle::Const(1.2)).unwrap();
+        c.cz(0, 1).unwrap();
+        let s = run(&c, &[], &[]).unwrap();
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+}

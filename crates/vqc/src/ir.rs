@@ -1,0 +1,428 @@
+//! Circuit intermediate representation for variational quantum circuits.
+//!
+//! A [`Circuit`] is a flat list of [`Op`]s over an `n`-qubit register.
+//! Rotation angles are symbolic ([`Angle`]): they reference either an
+//! **input slot** (classical data bound at execution time — the paper's
+//! state-encoder angles) or a **trainable parameter** (the `θ` updated by
+//! the optimizer), or are constants. This split is exactly the
+//! encoder/variational distinction of Fig. 1.
+
+use qmarl_qsim::gate::RotationAxis;
+
+use crate::error::VqcError;
+
+/// Index of a classical input slot (an encoder angle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct InputId(pub usize);
+
+/// Index of a trainable parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ParamId(pub usize);
+
+/// A symbolic rotation angle.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Angle {
+    /// Bound from the classical input vector at execution time.
+    Input(InputId),
+    /// A trainable parameter.
+    Param(ParamId),
+    /// A fixed constant (radians).
+    Const(f64),
+}
+
+/// A fixed (non-parameterised, non-rotation) single-qubit gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FixedGate {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S.
+    S,
+    /// T gate.
+    T,
+}
+
+impl FixedGate {
+    /// The concrete unitary.
+    pub fn gate(self) -> qmarl_qsim::gate::Gate1 {
+        use qmarl_qsim::gate::Gate1;
+        match self {
+            FixedGate::H => Gate1::hadamard(),
+            FixedGate::X => Gate1::pauli_x(),
+            FixedGate::Y => Gate1::pauli_y(),
+            FixedGate::Z => Gate1::pauli_z(),
+            FixedGate::S => Gate1::s(),
+            FixedGate::T => Gate1::t(),
+        }
+    }
+
+    /// Short label for diagrams.
+    pub fn label(self) -> &'static str {
+        match self {
+            FixedGate::H => "H",
+            FixedGate::X => "X",
+            FixedGate::Y => "Y",
+            FixedGate::Z => "Z",
+            FixedGate::S => "S",
+            FixedGate::T => "T",
+        }
+    }
+}
+
+/// One circuit operation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Op {
+    /// A rotation `Rσ(angle)` on `qubit`.
+    Rot {
+        /// Target wire.
+        qubit: usize,
+        /// Rotation axis σ.
+        axis: RotationAxis,
+        /// Symbolic angle.
+        angle: Angle,
+    },
+    /// A controlled rotation.
+    ControlledRot {
+        /// Control wire.
+        control: usize,
+        /// Target wire.
+        target: usize,
+        /// Rotation axis σ.
+        axis: RotationAxis,
+        /// Symbolic angle.
+        angle: Angle,
+    },
+    /// CNOT.
+    Cnot {
+        /// Control wire.
+        control: usize,
+        /// Target wire.
+        target: usize,
+    },
+    /// Controlled-Z.
+    Cz {
+        /// First wire (CZ is symmetric).
+        control: usize,
+        /// Second wire.
+        target: usize,
+    },
+    /// A fixed single-qubit gate.
+    Fixed {
+        /// Target wire.
+        qubit: usize,
+        /// Which gate.
+        gate: FixedGate,
+    },
+}
+
+impl Op {
+    /// The wires this op touches (1 or 2 entries).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Op::Rot { qubit, .. } | Op::Fixed { qubit, .. } => vec![qubit],
+            Op::ControlledRot { control, target, .. }
+            | Op::Cnot { control, target }
+            | Op::Cz { control, target } => vec![control, target],
+        }
+    }
+
+    /// The symbolic angle, if this op is parameterised or input-driven.
+    pub fn angle(&self) -> Option<Angle> {
+        match *self {
+            Op::Rot { angle, .. } | Op::ControlledRot { angle, .. } => Some(angle),
+            _ => None,
+        }
+    }
+
+    /// `true` when this op consumes a trainable parameter.
+    pub fn is_trainable(&self) -> bool {
+        matches!(self.angle(), Some(Angle::Param(_)))
+    }
+}
+
+/// A variational circuit: a gate list plus declared input/parameter arity.
+///
+/// # Examples
+///
+/// ```
+/// use qmarl_vqc::ir::{Circuit, Angle, InputId, ParamId};
+/// use qmarl_qsim::gate::RotationAxis;
+///
+/// let mut c = Circuit::new(2);
+/// c.rot(0, RotationAxis::X, Angle::Input(InputId(0)))?;
+/// c.rot(1, RotationAxis::Y, Angle::Param(ParamId(0)))?;
+/// c.cnot(0, 1)?;
+/// assert_eq!(c.gate_count(), 3);
+/// assert_eq!(c.param_count(), 1);
+/// assert_eq!(c.input_count(), 1);
+/// # Ok::<(), qmarl_vqc::error::VqcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Circuit {
+    n_qubits: usize,
+    ops: Vec<Op>,
+    n_inputs: usize,
+    n_params: usize,
+}
+
+impl Circuit {
+    /// An empty circuit on `n_qubits` wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits == 0`.
+    pub fn new(n_qubits: usize) -> Self {
+        assert!(n_qubits > 0, "circuit needs at least one qubit");
+        Circuit { n_qubits, ops: Vec::new(), n_inputs: 0, n_params: 0 }
+    }
+
+    /// Number of wires.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The ops in application order.
+    #[inline]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Total gate count (the paper's `U_var` budget is counted this way).
+    #[inline]
+    pub fn gate_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of distinct trainable parameters referenced.
+    #[inline]
+    pub fn param_count(&self) -> usize {
+        self.n_params
+    }
+
+    /// Number of distinct input slots referenced.
+    #[inline]
+    pub fn input_count(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of ops that consume a trainable parameter.
+    pub fn trainable_gate_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_trainable()).count()
+    }
+
+    fn check_qubit(&self, q: usize) -> Result<(), VqcError> {
+        if q >= self.n_qubits {
+            Err(VqcError::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn track_angle(&mut self, angle: Angle) {
+        match angle {
+            Angle::Input(InputId(i)) => self.n_inputs = self.n_inputs.max(i + 1),
+            Angle::Param(ParamId(p)) => self.n_params = self.n_params.max(p + 1),
+            Angle::Const(_) => {}
+        }
+    }
+
+    /// Appends a rotation gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqcError::QubitOutOfRange`] for an invalid wire.
+    pub fn rot(&mut self, qubit: usize, axis: RotationAxis, angle: Angle) -> Result<&mut Self, VqcError> {
+        self.check_qubit(qubit)?;
+        self.track_angle(angle);
+        self.ops.push(Op::Rot { qubit, axis, angle });
+        Ok(self)
+    }
+
+    /// Appends a controlled rotation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqcError::QubitOutOfRange`] or [`VqcError::DuplicateQubit`].
+    pub fn controlled_rot(
+        &mut self,
+        control: usize,
+        target: usize,
+        axis: RotationAxis,
+        angle: Angle,
+    ) -> Result<&mut Self, VqcError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(VqcError::DuplicateQubit { qubit: control });
+        }
+        self.track_angle(angle);
+        self.ops.push(Op::ControlledRot { control, target, axis, angle });
+        Ok(self)
+    }
+
+    /// Appends a CNOT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqcError::QubitOutOfRange`] or [`VqcError::DuplicateQubit`].
+    pub fn cnot(&mut self, control: usize, target: usize) -> Result<&mut Self, VqcError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(VqcError::DuplicateQubit { qubit: control });
+        }
+        self.ops.push(Op::Cnot { control, target });
+        Ok(self)
+    }
+
+    /// Appends a controlled-Z.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqcError::QubitOutOfRange`] or [`VqcError::DuplicateQubit`].
+    pub fn cz(&mut self, control: usize, target: usize) -> Result<&mut Self, VqcError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(VqcError::DuplicateQubit { qubit: control });
+        }
+        self.ops.push(Op::Cz { control, target });
+        Ok(self)
+    }
+
+    /// Appends a fixed gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqcError::QubitOutOfRange`] for an invalid wire.
+    pub fn fixed(&mut self, qubit: usize, gate: FixedGate) -> Result<&mut Self, VqcError> {
+        self.check_qubit(qubit)?;
+        self.ops.push(Op::Fixed { qubit, gate });
+        Ok(self)
+    }
+
+    /// Concatenates another circuit's ops after this one, shifting the
+    /// other circuit's parameter ids by this circuit's parameter count so
+    /// the two parameter spaces stay disjoint. Input slots are **shared**
+    /// (same ids refer to the same classical inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqcError::QubitCountMismatch`] for differing widths.
+    pub fn append_shifted(&mut self, other: &Circuit) -> Result<&mut Self, VqcError> {
+        if other.n_qubits != self.n_qubits {
+            return Err(VqcError::QubitCountMismatch {
+                expected: self.n_qubits,
+                actual: other.n_qubits,
+            });
+        }
+        let shift = self.n_params;
+        for op in &other.ops {
+            let shifted = match *op {
+                Op::Rot { qubit, axis, angle } => Op::Rot { qubit, axis, angle: shift_angle(angle, shift) },
+                Op::ControlledRot { control, target, axis, angle } => Op::ControlledRot {
+                    control,
+                    target,
+                    axis,
+                    angle: shift_angle(angle, shift),
+                },
+                other_op => other_op,
+            };
+            if let Some(a) = shifted.angle() {
+                self.track_angle(a);
+            }
+            self.ops.push(shifted);
+        }
+        Ok(self)
+    }
+}
+
+fn shift_angle(angle: Angle, shift: usize) -> Angle {
+    match angle {
+        Angle::Param(ParamId(p)) => Angle::Param(ParamId(p + shift)),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmarl_qsim::gate::RotationAxis as Ax;
+
+    #[test]
+    fn builder_counts_arity() {
+        let mut c = Circuit::new(3);
+        c.rot(0, Ax::X, Angle::Input(InputId(2))).unwrap();
+        c.rot(1, Ax::Y, Angle::Param(ParamId(4))).unwrap();
+        c.rot(2, Ax::Z, Angle::Const(0.5)).unwrap();
+        c.cnot(0, 1).unwrap();
+        assert_eq!(c.input_count(), 3);
+        assert_eq!(c.param_count(), 5);
+        assert_eq!(c.gate_count(), 4);
+        assert_eq!(c.trainable_gate_count(), 1);
+    }
+
+    #[test]
+    fn invalid_wires_rejected() {
+        let mut c = Circuit::new(2);
+        assert!(c.rot(2, Ax::X, Angle::Const(0.0)).is_err());
+        assert!(c.cnot(0, 0).is_err());
+        assert!(c.cnot(0, 5).is_err());
+        assert!(c.cz(1, 1).is_err());
+        assert!(c.controlled_rot(0, 0, Ax::Z, Angle::Const(1.0)).is_err());
+        assert!(c.fixed(9, FixedGate::H).is_err());
+    }
+
+    #[test]
+    fn append_shifted_disjoint_params() {
+        let mut enc = Circuit::new(2);
+        enc.rot(0, Ax::X, Angle::Input(InputId(0))).unwrap();
+        enc.rot(1, Ax::X, Angle::Input(InputId(1))).unwrap();
+
+        let mut var = Circuit::new(2);
+        var.rot(0, Ax::Y, Angle::Param(ParamId(0))).unwrap();
+        var.rot(1, Ax::Y, Angle::Param(ParamId(1))).unwrap();
+        var.cnot(0, 1).unwrap();
+
+        let mut full = enc.clone();
+        full.append_shifted(&var).unwrap();
+        // enc has no params, so no shift here…
+        assert_eq!(full.param_count(), 2);
+
+        // …but appending var twice shifts the second copy.
+        full.append_shifted(&var).unwrap();
+        assert_eq!(full.param_count(), 4);
+        assert_eq!(full.input_count(), 2);
+        assert_eq!(full.gate_count(), 8);
+    }
+
+    #[test]
+    fn append_shifted_rejects_width_mismatch() {
+        let mut a = Circuit::new(2);
+        let b = Circuit::new(3);
+        assert!(a.append_shifted(&b).is_err());
+    }
+
+    #[test]
+    fn op_introspection() {
+        let op = Op::Rot { qubit: 1, axis: Ax::Z, angle: Angle::Param(ParamId(0)) };
+        assert_eq!(op.qubits(), vec![1]);
+        assert!(op.is_trainable());
+        let op = Op::Cnot { control: 0, target: 2 };
+        assert_eq!(op.qubits(), vec![0, 2]);
+        assert!(!op.is_trainable());
+        assert!(op.angle().is_none());
+    }
+
+    #[test]
+    fn fixed_gate_labels() {
+        assert_eq!(FixedGate::H.label(), "H");
+        assert_eq!(FixedGate::T.label(), "T");
+    }
+}

@@ -1,0 +1,525 @@
+//! The VQC as a trainable model ("quantum neural network").
+//!
+//! A [`Vqc`] packages the three stages of Fig. 1 — state encoder `U_enc`,
+//! parametrized circuit `U_var`, measurement `M` — together with classical
+//! input scaling and an optional affine output head, behind a
+//! forward/Jacobian interface an optimizer can drive. Parameters live in a
+//! single flat `Vec<f64>` (circuit angles first, then output-head scales
+//! and biases) so the same Adam implementation serves quantum and
+//! classical models.
+
+use qmarl_qsim::noise::NoiseModel;
+use qmarl_qsim::state::StateVector;
+
+use crate::ansatz;
+use crate::encoder::InputScaling;
+use crate::error::VqcError;
+use crate::exec;
+use crate::grad::{self, GradMethod, Jacobian};
+use crate::ir::Circuit;
+use crate::observable::Readout;
+
+/// Optional classical post-processing of the readout vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum OutputHead {
+    /// Raw expectation values.
+    None,
+    /// Trainable per-output `scale · x + bias` — lets a critic whose `⟨Z⟩`
+    /// readout lives in `[−1, 1]` represent returns of arbitrary magnitude.
+    Affine,
+}
+
+/// A complete variational quantum model.
+///
+/// # Examples
+///
+/// ```
+/// use qmarl_vqc::prelude::*;
+///
+/// // A 4-qubit policy network in the paper's layout: 4 observation
+/// // features, 46 circuit parameters + 4 output scales = 50 trainables.
+/// let model = VqcBuilder::new(4)
+///     .encoder_inputs(4)
+///     .ansatz_params(46)
+///     .readout(Readout::z_all(4))
+///     .output_head(OutputHead::Affine)
+///     .build()?;
+/// assert_eq!(model.param_count(), 46 + 2 * 4);
+/// let params = model.init_params(7);
+/// let out = model.forward(&[0.1, 0.5, 0.9, 0.2], &params)?;
+/// assert_eq!(out.len(), 4);
+/// # Ok::<(), qmarl_vqc::error::VqcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Vqc {
+    circuit: Circuit,
+    readout: Readout,
+    input_scaling: InputScaling,
+    output_head: OutputHead,
+}
+
+impl Vqc {
+    /// The underlying circuit (encoder + ansatz).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The readout scheme.
+    pub fn readout(&self) -> &Readout {
+        &self.readout
+    }
+
+    /// Number of classical input features expected.
+    pub fn input_len(&self) -> usize {
+        self.circuit.input_count()
+    }
+
+    /// Number of classical outputs produced.
+    pub fn output_len(&self) -> usize {
+        self.readout.output_len()
+    }
+
+    /// Trainable parameters in the quantum circuit alone.
+    pub fn circuit_param_count(&self) -> usize {
+        self.circuit.param_count()
+    }
+
+    /// Total trainable parameters (circuit + output head).
+    pub fn param_count(&self) -> usize {
+        self.circuit.param_count()
+            + match self.output_head {
+                OutputHead::None => 0,
+                OutputHead::Affine => 2 * self.output_len(),
+            }
+    }
+
+    /// Seeded initial parameter vector: circuit angles uniform in
+    /// `[−π, π]`, affine scales 1, biases 0.
+    pub fn init_params(&self, seed: u64) -> Vec<f64> {
+        let mut p = ansatz::init_params(self.circuit.param_count(), seed);
+        if self.output_head == OutputHead::Affine {
+            p.extend(std::iter::repeat(1.0).take(self.output_len())); // scales
+            p.extend(std::iter::repeat(0.0).take(self.output_len())); // biases
+        }
+        p
+    }
+
+    fn split_params<'p>(&self, params: &'p [f64]) -> Result<(&'p [f64], &'p [f64], &'p [f64]), VqcError> {
+        if params.len() != self.param_count() {
+            return Err(VqcError::ParamLenMismatch {
+                expected: self.param_count(),
+                actual: params.len(),
+            });
+        }
+        let nc = self.circuit.param_count();
+        let no = self.output_len();
+        match self.output_head {
+            OutputHead::None => Ok((&params[..nc], &[], &[])),
+            OutputHead::Affine => {
+                Ok((&params[..nc], &params[nc..nc + no], &params[nc + no..]))
+            }
+        }
+    }
+
+    /// The final quantum state for given inputs/parameters — used by the
+    /// Fig. 4 qubit-state visualisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn state(&self, inputs: &[f64], params: &[f64]) -> Result<StateVector, VqcError> {
+        let (circ, _, _) = self.split_params(params)?;
+        let scaled = self.input_scaling.apply_all(inputs);
+        exec::run(&self.circuit, &scaled, circ)
+    }
+
+    /// Forward pass: inputs → scaled angles → circuit → readout → head.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn forward(&self, inputs: &[f64], params: &[f64]) -> Result<Vec<f64>, VqcError> {
+        let (circ, scales, biases) = self.split_params(params)?;
+        let scaled = self.input_scaling.apply_all(inputs);
+        let state = exec::run(&self.circuit, &scaled, circ)?;
+        let raw = self.readout.evaluate(&state)?;
+        Ok(self.apply_head(&raw, scales, biases))
+    }
+
+    /// Forward pass with finite-shot measurement: the circuit runs
+    /// exactly, but the readout is estimated from `shots` samples — the
+    /// noise profile of real hardware execution with a shot budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors, or a simulator error when
+    /// `shots == 0`.
+    pub fn forward_shots<R: rand::Rng + ?Sized>(
+        &self,
+        inputs: &[f64],
+        params: &[f64],
+        shots: usize,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, VqcError> {
+        let (circ, scales, biases) = self.split_params(params)?;
+        let scaled = self.input_scaling.apply_all(inputs);
+        let state = exec::run(&self.circuit, &scaled, circ)?;
+        let raw = self.readout.evaluate_shots(&state, shots, rng)?;
+        Ok(self.apply_head(&raw, scales, biases))
+    }
+
+    /// Forward pass on the noisy (density-matrix) backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length or noise-validation errors.
+    pub fn forward_noisy(
+        &self,
+        inputs: &[f64],
+        params: &[f64],
+        noise: &NoiseModel,
+    ) -> Result<Vec<f64>, VqcError> {
+        let (circ, scales, biases) = self.split_params(params)?;
+        let scaled = self.input_scaling.apply_all(inputs);
+        let rho = exec::run_noisy(&self.circuit, &scaled, circ, noise)?;
+        let raw = self.readout.evaluate_density(&rho)?;
+        Ok(self.apply_head(&raw, scales, biases))
+    }
+
+    fn apply_head(&self, raw: &[f64], scales: &[f64], biases: &[f64]) -> Vec<f64> {
+        match self.output_head {
+            OutputHead::None => raw.to_vec(),
+            OutputHead::Affine => raw
+                .iter()
+                .enumerate()
+                .map(|(j, &r)| scales[j] * r + biases[j])
+                .collect(),
+        }
+    }
+
+    /// Forward pass plus the full Jacobian `∂ outputs / ∂ params` over
+    /// **all** trainables (circuit and output head).
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn forward_with_jacobian(
+        &self,
+        inputs: &[f64],
+        params: &[f64],
+        method: GradMethod,
+    ) -> Result<(Vec<f64>, Jacobian), VqcError> {
+        let (circ, scales, biases) = self.split_params(params)?;
+        let scaled = self.input_scaling.apply_all(inputs);
+        let state = exec::run(&self.circuit, &scaled, circ)?;
+        let raw = self.readout.evaluate(&state)?;
+        let circ_jac = grad::jacobian(method, &self.circuit, &self.readout, &scaled, circ)?;
+
+        let n_out = self.output_len();
+        let n_circ = self.circuit.param_count();
+        let mut jac = Jacobian::zeros(n_out, self.param_count());
+        match self.output_head {
+            OutputHead::None => {
+                for j in 0..n_out {
+                    for p in 0..n_circ {
+                        *jac.get_mut(j, p) = circ_jac.get(j, p);
+                    }
+                }
+                Ok((raw, jac))
+            }
+            OutputHead::Affine => {
+                // out_j = scale_j · raw_j + bias_j
+                for j in 0..n_out {
+                    for p in 0..n_circ {
+                        *jac.get_mut(j, p) = scales[j] * circ_jac.get(j, p);
+                    }
+                    *jac.get_mut(j, n_circ + j) = raw[j]; // ∂/∂scale_j
+                    *jac.get_mut(j, n_circ + n_out + j) = 1.0; // ∂/∂bias_j
+                }
+                let out = self.apply_head(&raw, scales, biases);
+                Ok((out, jac))
+            }
+        }
+    }
+}
+
+/// Builder for [`Vqc`] models in the paper's encoder/ansatz/readout shape.
+#[derive(Debug, Clone)]
+pub struct VqcBuilder {
+    n_qubits: usize,
+    n_inputs: usize,
+    ansatz: AnsatzChoice,
+    readout: Option<Readout>,
+    input_scaling: InputScaling,
+    output_head: OutputHead,
+}
+
+#[derive(Debug, Clone)]
+enum AnsatzChoice {
+    Layered { param_budget: usize },
+    Random(ansatz::RandomLayerConfig),
+    Custom(Circuit),
+    FullCircuit(Circuit),
+}
+
+impl VqcBuilder {
+    /// Starts a builder for an `n_qubits`-wire model.
+    pub fn new(n_qubits: usize) -> Self {
+        VqcBuilder {
+            n_qubits,
+            n_inputs: n_qubits,
+            ansatz: AnsatzChoice::Layered { param_budget: 50 },
+            readout: None,
+            input_scaling: InputScaling::Pi,
+            output_head: OutputHead::None,
+        }
+    }
+
+    /// Number of classical input features (builds the layered encoder of
+    /// Fig. 1 with `⌈n/n_qubits⌉` rotation layers).
+    pub fn encoder_inputs(mut self, n_inputs: usize) -> Self {
+        self.n_inputs = n_inputs;
+        self
+    }
+
+    /// Structured ansatz with an exact trainable-parameter budget.
+    pub fn ansatz_params(mut self, param_budget: usize) -> Self {
+        self.ansatz = AnsatzChoice::Layered { param_budget };
+        self
+    }
+
+    /// torchquantum-style random layer with a gate budget.
+    pub fn random_ansatz(mut self, config: ansatz::RandomLayerConfig) -> Self {
+        self.ansatz = AnsatzChoice::Random(config);
+        self
+    }
+
+    /// A caller-supplied variational circuit (parameter ids starting at 0).
+    pub fn custom_ansatz(mut self, circuit: Circuit) -> Self {
+        self.ansatz = AnsatzChoice::Custom(circuit);
+        self
+    }
+
+    /// Uses `circuit` as the **entire** model circuit — no implicit
+    /// encoder is prepended. For architectures that interleave encoding
+    /// and trainable blocks (e.g. data re-uploading built with
+    /// [`crate::encoder::reuploading_circuit`]).
+    pub fn full_circuit(mut self, circuit: Circuit) -> Self {
+        self.ansatz = AnsatzChoice::FullCircuit(circuit);
+        self
+    }
+
+    /// The measurement scheme.
+    pub fn readout(mut self, readout: Readout) -> Self {
+        self.readout = Some(readout);
+        self
+    }
+
+    /// Input feature scaling (default: multiply by π).
+    pub fn input_scaling(mut self, scaling: InputScaling) -> Self {
+        self.input_scaling = scaling;
+        self
+    }
+
+    /// Output head (default: none).
+    pub fn output_head(mut self, head: OutputHead) -> Self {
+        self.output_head = head;
+        self
+    }
+
+    /// Builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors from the encoder, ansatz or readout.
+    pub fn build(self) -> Result<Vqc, VqcError> {
+        let circuit = if let AnsatzChoice::FullCircuit(c) = &self.ansatz {
+            if c.n_qubits() != self.n_qubits {
+                return Err(VqcError::QubitCountMismatch {
+                    expected: self.n_qubits,
+                    actual: c.n_qubits(),
+                });
+            }
+            c.clone()
+        } else {
+            let mut circuit = crate::encoder::layered_angle_encoder(self.n_qubits, self.n_inputs)?;
+            let var = match self.ansatz {
+                AnsatzChoice::Layered { param_budget } => {
+                    ansatz::layered_ansatz(self.n_qubits, param_budget)?
+                }
+                AnsatzChoice::Random(cfg) => ansatz::random_layer_ansatz(self.n_qubits, cfg)?,
+                AnsatzChoice::Custom(c) => c,
+                AnsatzChoice::FullCircuit(_) => unreachable!("handled above"),
+            };
+            circuit.append_shifted(&var)?;
+            circuit
+        };
+        let readout = self.readout.unwrap_or_else(|| Readout::z_all(self.n_qubits));
+        readout.validate(self.n_qubits)?;
+        Ok(Vqc {
+            circuit,
+            readout,
+            input_scaling: self.input_scaling,
+            output_head: self.output_head,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actor_like() -> Vqc {
+        VqcBuilder::new(4)
+            .encoder_inputs(4)
+            .ansatz_params(46)
+            .readout(Readout::z_all(4))
+            .output_head(OutputHead::Affine)
+            .build()
+            .unwrap()
+    }
+
+    fn critic_like() -> Vqc {
+        VqcBuilder::new(4)
+            .encoder_inputs(16)
+            .ansatz_params(48)
+            .readout(Readout::mean_z(4))
+            .output_head(OutputHead::Affine)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_parameter_budgets() {
+        // Actor: 46 circuit + 4 scales + 4 biases = 54? No — the paper's
+        // budget counts 50; our default actor uses 46+4 scale-only… the
+        // affine head has both scale and bias per output, so 46+8 = 54.
+        // The framework layer (qmarl-core) picks budgets so the *total*
+        // hits 50; here we just verify the arithmetic is exposed.
+        let a = actor_like();
+        assert_eq!(a.circuit_param_count(), 46);
+        assert_eq!(a.param_count(), 46 + 8);
+        let c = critic_like();
+        assert_eq!(c.circuit_param_count(), 48);
+        assert_eq!(c.param_count(), 48 + 2);
+        assert_eq!(c.output_len(), 1);
+    }
+
+    #[test]
+    fn forward_shapes_and_ranges() {
+        let m = actor_like();
+        let params = m.init_params(3);
+        let out = m.forward(&[0.2, 0.4, 0.6, 0.8], &params).unwrap();
+        assert_eq!(out.len(), 4);
+        // Fresh affine head is identity, so outputs are raw ⟨Z⟩ ∈ [−1, 1].
+        assert!(out.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn forward_rejects_bad_lengths() {
+        let m = actor_like();
+        let params = m.init_params(3);
+        assert!(m.forward(&[0.2; 3], &params).is_err());
+        assert!(m.forward(&[0.2; 4], &params[..10]).is_err());
+    }
+
+    #[test]
+    fn jacobian_matches_finite_difference_through_head() {
+        let m = critic_like();
+        let mut params = m.init_params(11);
+        // Make the head non-trivial so scale gradients are exercised.
+        let nc = m.circuit_param_count();
+        params[nc] = 2.5; // scale
+        params[nc + 1] = -0.7; // bias
+        let inputs: Vec<f64> = (0..16).map(|i| (i as f64) / 16.0).collect();
+
+        let (_, jac) = m
+            .forward_with_jacobian(&inputs, &params, GradMethod::Adjoint)
+            .unwrap();
+        // Finite-difference over the full parameter vector.
+        let eps = 1e-6;
+        for p in 0..m.param_count() {
+            let mut pp = params.clone();
+            pp[p] += eps;
+            let plus = m.forward(&inputs, &pp).unwrap()[0];
+            pp[p] -= 2.0 * eps;
+            let minus = m.forward(&inputs, &pp).unwrap()[0];
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!(
+                (jac.get(0, p) - fd).abs() < 1e-5,
+                "param {p}: {} vs {}",
+                jac.get(0, p),
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn jacobian_methods_agree_through_model() {
+        let m = actor_like();
+        let params = m.init_params(9);
+        let inputs = [0.3, 0.1, 0.9, 0.5];
+        let (_, a) = m
+            .forward_with_jacobian(&inputs, &params, GradMethod::ParameterShift)
+            .unwrap();
+        let (_, b) = m
+            .forward_with_jacobian(&inputs, &params, GradMethod::Adjoint)
+            .unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn init_params_layout() {
+        let m = critic_like();
+        let p = m.init_params(2);
+        assert_eq!(p.len(), 50);
+        let nc = m.circuit_param_count();
+        assert_eq!(p[nc], 1.0); // scale starts at 1
+        assert_eq!(p[nc + 1], 0.0); // bias starts at 0
+    }
+
+    #[test]
+    fn shot_forward_converges_to_exact() {
+        use rand::SeedableRng;
+        let m = actor_like();
+        let params = m.init_params(8);
+        let obs = [0.2, 0.6, 0.4, 0.8];
+        let exact = m.forward(&obs, &params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let coarse = m.forward_shots(&obs, &params, 32, &mut rng).unwrap();
+        let fine = m.forward_shots(&obs, &params, 100_000, &mut rng).unwrap();
+        let err = |v: &[f64]| -> f64 {
+            v.iter().zip(&exact).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+        };
+        assert!(err(&fine) < 0.02, "fine estimate off by {}", err(&fine));
+        assert!(err(&fine) <= err(&coarse) + 1e-9);
+        assert!(m.forward_shots(&obs, &params, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn noisy_forward_close_to_noiseless_at_low_noise() {
+        let m = critic_like();
+        let params = m.init_params(4);
+        let inputs: Vec<f64> = (0..16).map(|i| (i as f64) * 0.05).collect();
+        let clean = m.forward(&inputs, &params).unwrap()[0];
+        let noise = NoiseModel::depolarizing(1e-4, 2e-4).unwrap();
+        let noisy = m.forward_noisy(&inputs, &params, &noise).unwrap()[0];
+        assert!((clean - noisy).abs() < 0.05, "clean {clean} vs noisy {noisy}");
+    }
+
+    #[test]
+    fn state_exposes_final_register() {
+        let m = actor_like();
+        let params = m.init_params(1);
+        let s = m.state(&[0.1, 0.2, 0.3, 0.4], &params).unwrap();
+        assert_eq!(s.n_qubits(), 4);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_readout_is_z_all() {
+        let m = VqcBuilder::new(3).encoder_inputs(3).ansatz_params(5).build().unwrap();
+        assert_eq!(m.output_len(), 3);
+        assert_eq!(m.param_count(), 5);
+    }
+}

@@ -1,0 +1,184 @@
+//! Circuit statistics: depth, gate-class counts, noise exposure.
+//!
+//! NISQ feasibility is governed by a handful of structural numbers — how
+//! many gates (the paper budgets 50 in `U_var`), how many of them are
+//! two-qubit (an order of magnitude noisier on hardware), and the circuit
+//! depth (idle decoherence). [`CircuitStats`] extracts them from any
+//! [`Circuit`] and estimates the total error exposure under a given
+//! per-gate error rate.
+
+use crate::ir::Circuit;
+
+/// Structural statistics of a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CircuitStats {
+    /// Register width.
+    pub n_qubits: usize,
+    /// Total gates.
+    pub gates: usize,
+    /// Single-qubit gates.
+    pub single_qubit_gates: usize,
+    /// Two-qubit gates (CNOT, CZ, controlled rotations).
+    pub two_qubit_gates: usize,
+    /// Gates consuming a trainable parameter.
+    pub trainable_gates: usize,
+    /// Gates consuming an input slot.
+    pub encoder_gates: usize,
+    /// Circuit depth: the longest chain of gates on any wire under greedy
+    /// as-soon-as-possible scheduling.
+    pub depth: usize,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut single = 0usize;
+        let mut double = 0usize;
+        let mut trainable = 0usize;
+        let mut encoder = 0usize;
+        // Greedy ASAP depth: each wire tracks the layer of its last gate.
+        let mut wire_depth = vec![0usize; circuit.n_qubits()];
+        for op in circuit.ops() {
+            let wires = op.qubits();
+            match wires.len() {
+                1 => single += 1,
+                _ => double += 1,
+            }
+            match op.angle() {
+                Some(crate::ir::Angle::Param(_)) => trainable += 1,
+                Some(crate::ir::Angle::Input(_)) => encoder += 1,
+                _ => {}
+            }
+            let layer = wires.iter().map(|&q| wire_depth[q]).max().unwrap_or(0) + 1;
+            for &q in &wires {
+                wire_depth[q] = layer;
+            }
+        }
+        CircuitStats {
+            n_qubits: circuit.n_qubits(),
+            gates: circuit.gate_count(),
+            single_qubit_gates: single,
+            two_qubit_gates: double,
+            trainable_gates: trainable,
+            encoder_gates: encoder,
+            depth: wire_depth.into_iter().max().unwrap_or(0),
+        }
+    }
+
+    /// The expected number of gate errors in one execution under per-gate
+    /// error probabilities `p1` (single-qubit) and `p2` (two-qubit) — the
+    /// quantity the paper's NISQ argument is about ("quantum errors
+    /// brought on by quantum gate operations").
+    pub fn expected_gate_errors(&self, p1: f64, p2: f64) -> f64 {
+        self.single_qubit_gates as f64 * p1 + self.two_qubit_gates as f64 * p2
+    }
+
+    /// The probability that an execution is entirely error-free:
+    /// `(1 − p1)^{n1} (1 − p2)^{n2}`.
+    pub fn fidelity_proxy(&self, p1: f64, p2: f64) -> f64 {
+        (1.0 - p1).powi(self.single_qubit_gates as i32)
+            * (1.0 - p2).powi(self.two_qubit_gates as i32)
+    }
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} qubits, {} gates ({} 1q, {} 2q, {} trainable, {} encoder), depth {}",
+            self.n_qubits,
+            self.gates,
+            self.single_qubit_gates,
+            self.two_qubit_gates,
+            self.trainable_gates,
+            self.encoder_gates,
+            self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::layered_ansatz;
+    use crate::encoder::layered_angle_encoder;
+    use crate::ir::{Angle, FixedGate, ParamId};
+    use qmarl_qsim::gate::RotationAxis as Ax;
+
+    #[test]
+    fn encoder_stats() {
+        let enc = layered_angle_encoder(4, 16).unwrap();
+        let s = CircuitStats::of(&enc);
+        assert_eq!(s.gates, 16);
+        assert_eq!(s.single_qubit_gates, 16);
+        assert_eq!(s.two_qubit_gates, 0);
+        assert_eq!(s.encoder_gates, 16);
+        assert_eq!(s.trainable_gates, 0);
+        // 4 rotations per wire, all parallelisable per layer.
+        assert_eq!(s.depth, 4);
+    }
+
+    #[test]
+    fn ansatz_stats() {
+        let var = layered_ansatz(4, 8).unwrap();
+        let s = CircuitStats::of(&var);
+        assert_eq!(s.trainable_gates, 8);
+        assert_eq!(s.two_qubit_gates, 4); // one interior CNOT ring
+        assert_eq!(s.gates, 12);
+    }
+
+    #[test]
+    fn depth_counts_serial_chains() {
+        // Three rotations on the same wire: depth 3.
+        let mut c = Circuit::new(2);
+        for i in 0..3 {
+            c.rot(0, Ax::Y, Angle::Param(ParamId(i))).unwrap();
+        }
+        assert_eq!(CircuitStats::of(&c).depth, 3);
+        // A parallel rotation on the other wire doesn't deepen it.
+        c.rot(1, Ax::Y, Angle::Param(ParamId(3))).unwrap();
+        assert_eq!(CircuitStats::of(&c).depth, 3);
+        // A CNOT after both must come in layer 4.
+        c.cnot(0, 1).unwrap();
+        assert_eq!(CircuitStats::of(&c).depth, 4);
+    }
+
+    #[test]
+    fn two_qubit_classification() {
+        let mut c = Circuit::new(3);
+        c.fixed(0, FixedGate::H).unwrap();
+        c.cnot(0, 1).unwrap();
+        c.cz(1, 2).unwrap();
+        c.controlled_rot(0, 2, Ax::Z, Angle::Param(ParamId(0))).unwrap();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.single_qubit_gates, 1);
+        assert_eq!(s.two_qubit_gates, 3);
+        assert_eq!(s.trainable_gates, 1);
+    }
+
+    #[test]
+    fn error_exposure_model() {
+        let var = layered_ansatz(4, 8).unwrap(); // 8 × 1q + 4 × 2q
+        let s = CircuitStats::of(&var);
+        let expected = s.expected_gate_errors(0.001, 0.01);
+        assert!((expected - (8.0 * 0.001 + 4.0 * 0.01)).abs() < 1e-12);
+        let fid = s.fidelity_proxy(0.001, 0.01);
+        assert!((fid - 0.999f64.powi(8) * 0.99f64.powi(4)).abs() < 1e-12);
+        assert!(fid < 1.0 && fid > 0.9);
+    }
+
+    #[test]
+    fn deeper_circuits_have_lower_fidelity_proxy() {
+        let shallow = CircuitStats::of(&layered_ansatz(4, 4).unwrap());
+        let deep = CircuitStats::of(&layered_ansatz(4, 48).unwrap());
+        assert!(deep.fidelity_proxy(0.001, 0.01) < shallow.fidelity_proxy(0.001, 0.01));
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let s = CircuitStats::of(&layered_ansatz(4, 8).unwrap());
+        let txt = s.to_string();
+        assert!(txt.contains("4 qubits"));
+        assert!(txt.contains("depth"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for VQC construction and differentiation.
+
+use proptest::prelude::*;
+use qmarl_vqc::prelude::*;
+
+proptest! {
+    /// The layered encoder always emits exactly one gate per input and
+    /// never any trainable parameter.
+    #[test]
+    fn encoder_shape_invariants(n_qubits in 1usize..6, n_inputs in 1usize..40) {
+        let enc = layered_angle_encoder(n_qubits, n_inputs).unwrap();
+        prop_assert_eq!(enc.gate_count(), n_inputs);
+        prop_assert_eq!(enc.input_count(), n_inputs);
+        prop_assert_eq!(enc.param_count(), 0);
+        prop_assert_eq!(encoder_depth(n_qubits, n_inputs), n_inputs.div_ceil(n_qubits));
+    }
+
+    /// The layered ansatz hits its parameter budget exactly for any shape.
+    #[test]
+    fn ansatz_budget_exact(n_qubits in 1usize..6, budget in 1usize..120) {
+        let var = layered_ansatz(n_qubits, budget).unwrap();
+        prop_assert_eq!(var.param_count(), budget);
+        prop_assert_eq!(var.trainable_gate_count(), budget);
+    }
+
+    /// Random layers are reproducible and respect the gate budget.
+    #[test]
+    fn random_layer_deterministic(seed in 0u64..1000, budget in 1usize..80) {
+        let cfg = RandomLayerConfig { gate_budget: budget, rotation_prob: 0.7, seed };
+        let a = random_layer_ansatz(4, cfg).unwrap();
+        let b = random_layer_ansatz(4, cfg).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.gate_count(), budget);
+    }
+
+    /// Forward outputs of a Z readout stay in [−1, 1] for any inputs.
+    #[test]
+    fn outputs_bounded(
+        inputs in prop::collection::vec(-2.0f64..2.0, 4),
+        seed in 0u64..50,
+    ) {
+        let model = VqcBuilder::new(4)
+            .encoder_inputs(4)
+            .ansatz_params(12)
+            .readout(Readout::z_all(4))
+            .build()
+            .unwrap();
+        let params = model.init_params(seed);
+        let out = model.forward(&inputs, &params).unwrap();
+        prop_assert!(out.iter().all(|v| (-1.0 - 1e-9..=1.0 + 1e-9).contains(v)));
+    }
+
+    /// Parameter-shift and adjoint agree on arbitrary parameter points.
+    #[test]
+    fn gradients_agree(
+        seed in 0u64..30,
+        inputs in prop::collection::vec(-1.0f64..1.0, 4),
+    ) {
+        let model = VqcBuilder::new(4)
+            .encoder_inputs(4)
+            .ansatz_params(10)
+            .readout(Readout::mean_z(4))
+            .build()
+            .unwrap();
+        let params = model.init_params(seed);
+        let (_, ps) = model
+            .forward_with_jacobian(&inputs, &params, GradMethod::ParameterShift)
+            .unwrap();
+        let (_, adj) = model
+            .forward_with_jacobian(&inputs, &params, GradMethod::Adjoint)
+            .unwrap();
+        prop_assert!(ps.max_abs_diff(&adj) < 1e-8);
+    }
+
+    /// The gradient of a loss L = Σ c_j out_j via VJP equals the direct
+    /// finite difference of L (chain-rule soundness).
+    #[test]
+    fn vjp_matches_loss_finite_difference(
+        seed in 0u64..20,
+        coeffs in prop::collection::vec(-1.0f64..1.0, 4),
+    ) {
+        let model = VqcBuilder::new(4)
+            .encoder_inputs(4)
+            .ansatz_params(8)
+            .readout(Readout::z_all(4))
+            .build()
+            .unwrap();
+        let params = model.init_params(seed);
+        let inputs = [0.2, -0.4, 0.6, 0.1];
+        let (_, jac) = model
+            .forward_with_jacobian(&inputs, &params, GradMethod::Adjoint)
+            .unwrap();
+        let grad = jac.vjp(&coeffs);
+        let loss = |p: &[f64]| -> f64 {
+            model
+                .forward(&inputs, p)
+                .unwrap()
+                .iter()
+                .zip(&coeffs)
+                .map(|(o, c)| o * c)
+                .sum()
+        };
+        let eps = 1e-6;
+        for p in 0..model.param_count() {
+            let mut pp = params.clone();
+            pp[p] += eps;
+            let plus = loss(&pp);
+            pp[p] -= 2.0 * eps;
+            let minus = loss(&pp);
+            let fd = (plus - minus) / (2.0 * eps);
+            prop_assert!((grad[p] - fd).abs() < 1e-4, "param {}: {} vs {}", p, grad[p], fd);
+        }
+    }
+}

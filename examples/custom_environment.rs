@@ -1,0 +1,62 @@
+//! Beyond Table II: customising the offloading environment.
+//!
+//! ```text
+//! cargo run --release --example custom_environment
+//! ```
+//!
+//! The paper evaluates one fixed scenario (K = 2, N = 4, uniform
+//! arrivals). The library is parametric in all of it — this example
+//! trains the quantum framework on a *harder* variant: three clouds,
+//! bursty ON/OFF traffic, strict transmission (an edge can only send what
+//! it holds), and tighter queues.
+
+use qmarl::core::prelude::*;
+use qmarl::env::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let mut config = ExperimentConfig::paper_default();
+    // Three clouds → 3 × 2 = 6 actions; keep one readout wire per action
+    // by widening the actor registers to 6 qubits.
+    config.env.n_clouds = 3;
+    config.env.cloud_departure = 0.2; // same total service (3 × 0.2 = 0.6)
+    config.env.arrival = ArrivalProcess::OnOff { p_on: 0.25, p_off: 0.25, volume: 0.3 };
+    config.env.strict_transmission = true;
+    config.env.episode_limit = 150;
+    config.train.n_qubits = 6;
+    config.train.epochs = 200;
+    config.train.seed = 23;
+    config.validate()?;
+
+    println!(
+        "custom scenario: {} clouds, {} edges, bursty ON/OFF arrivals, strict transmission",
+        config.env.n_clouds, config.env.n_edges
+    );
+    println!(
+        "observation dim {}, state dim {}, {} actions, {}-qubit actors\n",
+        config.env.obs_dim(),
+        config.env.state_dim(),
+        config.env.n_clouds * config.env.packet_amounts.len(),
+        config.train.n_qubits
+    );
+
+    // Random-walk reference for this scenario.
+    let mut env = SingleHopEnv::new(config.env.clone(), 1)?;
+    let rw = random_walk_baseline(&mut env, 60, 3)?;
+    println!("random walk on this scenario: {:.1}", rw.total_reward);
+
+    let mut trainer = build_trainer(FrameworkKind::Proposed, &config)?;
+    trainer.train(config.train.epochs)?;
+    let h = trainer.history();
+    let first = h.records()[..20].iter().map(|r| r.metrics.total_reward).sum::<f64>() / 20.0;
+    let last = h.final_reward(20).expect("nonempty");
+    println!(
+        "Proposed after {} epochs: {:.1} → {:.1} (achievability {:.0}%)",
+        config.train.epochs,
+        first,
+        last,
+        100.0 * achievability(last, rw.total_reward)
+    );
+    println!("\nthe same five crates handle arbitrary K/N, arrival laws, and register widths —");
+    println!("nothing in the QMARL stack is hard-wired to the paper's Table II scenario.");
+    Ok(())
+}

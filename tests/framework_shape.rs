@@ -1,0 +1,132 @@
+//! Integration: the Fig. 2 framework structure — N decentralized quantum
+//! actors, one quantum centralized critic, replay, trainer — wired
+//! end-to-end across all five crates.
+
+use qmarl::core::prelude::*;
+use qmarl::env::prelude::*;
+
+fn short_config() -> ExperimentConfig {
+    let mut c = ExperimentConfig::paper_default();
+    c.env.episode_limit = 12;
+    c.train.epochs = 2;
+    c
+}
+
+#[test]
+fn proposed_framework_matches_fig2_shapes() {
+    let config = short_config();
+    let trainer = build_trainer(FrameworkKind::Proposed, &config).expect("builds");
+    // N actors, each over the per-agent observation only.
+    assert_eq!(trainer.actors().len(), 4);
+    for actor in trainer.actors() {
+        assert_eq!(actor.obs_dim(), 4, "actors are decentralized: obs only");
+        assert_eq!(actor.n_actions(), 4);
+        assert_eq!(actor.param_count(), 50);
+    }
+    // One centralized critic over the concatenated global state.
+    assert_eq!(trainer.critic().state_dim(), 16);
+    assert_eq!(trainer.critic().param_count(), 50);
+}
+
+#[test]
+fn critic_state_is_concatenated_observations() {
+    // Fig. 2 annotates the critic input as n(qubit)·n(agent)/4 encoder
+    // layers; the state really is the concatenation of the observations.
+    let config = short_config();
+    let mut env = SingleHopEnv::new(config.env.clone(), 3).expect("valid env");
+    let (obs, state) = env.reset();
+    assert_eq!(state, obs.concat());
+    let out = env.step(&[0, 1, 2, 3]).expect("step");
+    assert_eq!(out.state, out.observations.concat());
+}
+
+#[test]
+fn quantum_critic_encoder_depth_matches_fig2_annotation() {
+    // n(qubit) * n(agent) / 4 layers for the critic: 4·4/4 = 4 layers of
+    // 4 rotations = 16 encoder gates.
+    let config = short_config();
+    let critic = QuantumCritic::new(4, config.env.state_dim(), 50, 0).expect("builds");
+    let encoder_gates = critic
+        .model()
+        .circuit()
+        .ops()
+        .iter()
+        .filter(|op| matches!(op.angle(), Some(qmarl::vqc::ir::Angle::Input(_))))
+        .count();
+    assert_eq!(encoder_gates, 16);
+    assert_eq!(
+        qmarl::vqc::encoder::encoder_depth(4, config.env.state_dim()),
+        config.train.n_qubits * config.env.n_edges / 4
+    );
+}
+
+#[test]
+fn actors_execute_decentralized() {
+    // Decentralized execution: each actor's decision depends only on its
+    // own observation — changing another agent's observation leaves the
+    // policy untouched.
+    let actor = QuantumActor::new(4, 4, 4, 50, 9).expect("builds");
+    let obs_a = [0.2, 0.4, 0.6, 0.8];
+    let p1 = actor.probs(&obs_a).expect("probs");
+    let p2 = actor.probs(&obs_a).expect("probs");
+    assert_eq!(p1, p2, "policy is a pure function of the agent's own observation");
+}
+
+#[test]
+fn every_framework_trains_two_epochs() {
+    let config = short_config();
+    for kind in FrameworkKind::TRAINABLE {
+        let mut trainer = build_trainer(kind, &config).expect("builds");
+        trainer.train(2).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert_eq!(trainer.history().len(), 2, "{kind}");
+        for rec in trainer.history().records() {
+            assert!(rec.metrics.total_reward <= 0.0, "{kind}: eq. (1) is a penalty");
+            assert!(rec.critic_loss.is_finite(), "{kind}");
+            assert!(rec.mean_entropy >= 0.0, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn hybrid_comp1_mixes_quantum_actors_with_classical_critic() {
+    let config = short_config();
+    let report = parameter_report(FrameworkKind::Comp1, &config).expect("builds");
+    assert_eq!(report.per_actor, 50, "comp1 keeps the quantum actors");
+    assert!(report.critic < 50, "comp1's classical critic respects the budget");
+
+    let report3 = parameter_report(FrameworkKind::Comp3, &config).expect("builds");
+    assert!(report3.per_actor > 40_000);
+    assert!(report3.critic > 40_000);
+}
+
+#[test]
+fn trained_policies_roll_out_through_plain_env_api() {
+    // The decentralized policies must be executable without the trainer —
+    // pure CTDE: train centralized, execute decentralized.
+    let config = short_config();
+    let mut trainer = build_trainer(FrameworkKind::Proposed, &config).expect("builds");
+    trainer.train(1).expect("trains");
+    let params: Vec<Vec<f64>> = trainer.actors().iter().map(|a| a.params()).collect();
+
+    // Rebuild standalone actors from exported weights.
+    let mut actors: Vec<QuantumActor> = (0..4)
+        .map(|n| {
+            QuantumActor::new(4, 4, 4, 50, config.train.seed.wrapping_add(1000 + n as u64))
+                .expect("builds")
+        })
+        .collect();
+    for (a, p) in actors.iter_mut().zip(&params) {
+        a.set_params(p).expect("same architecture");
+    }
+
+    let mut env = SingleHopEnv::new(config.env.clone(), 42).expect("valid env");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let metrics = rollout_episode(&mut env, |obs| {
+        obs.iter()
+            .enumerate()
+            .map(|(n, o)| select_action(&actors[n].probs(o).expect("probs"), true, &mut rng))
+            .collect()
+    })
+    .expect("rollout");
+    assert_eq!(metrics.len, config.env.episode_limit);
+}

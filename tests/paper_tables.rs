@@ -1,0 +1,111 @@
+//! Integration: the paper's tables and quoted numbers, asserted against
+//! the live implementation (Table I, Table II, Sec. IV-C budgets, the
+//! Sec. IV-D achievability arithmetic).
+
+use qmarl::core::prelude::*;
+use qmarl::env::prelude::*;
+
+#[test]
+fn table1_mdp_spaces() {
+    let config = ExperimentConfig::paper_default();
+    let env = SingleHopEnv::new(config.env.clone(), 0).expect("valid config");
+    // Observation o = {q_e(t), q_e(t−1)} ∪ {q_c,k}: 2 + K entries.
+    assert_eq!(env.obs_dim(), 2 + config.env.n_clouds);
+    // Action space A = I × P.
+    assert_eq!(
+        env.n_actions(),
+        config.env.n_clouds * config.env.packet_amounts.len()
+    );
+    // State = concatenation over N agents.
+    assert_eq!(env.state_dim(), config.env.n_edges * env.obs_dim());
+
+    // The flat layout is destination-major.
+    let space = env.action_space();
+    let a0 = space.decode(0).expect("in range");
+    assert_eq!((a0.destination, a0.amount), (0, 0.1));
+    let a3 = space.decode(3).expect("in range");
+    assert_eq!((a3.destination, a3.amount), (1, 0.2));
+}
+
+#[test]
+fn table2_constants() {
+    let c = ExperimentConfig::paper_default();
+    assert_eq!((c.env.n_clouds, c.env.n_edges), (2, 4));
+    assert_eq!(c.env.packet_amounts, vec![0.1, 0.2]);
+    assert_eq!((c.env.w_p, c.env.w_r), (0.3, 4.0));
+    assert_eq!(c.env.cloud_departure, 0.3);
+    assert_eq!(c.env.q_max, 1.0);
+    assert_eq!(c.train.n_qubits, 4);
+    assert_eq!((c.train.lr_actor, c.train.lr_critic), (1e-4, 1e-5));
+    assert_eq!((c.train.actor_params, c.train.critic_params), (50, 50));
+    c.validate().expect("the paper's configuration is valid");
+}
+
+#[test]
+fn section4c_parameter_budgets() {
+    let c = ExperimentConfig::paper_default();
+    let budgets: Vec<(FrameworkKind, usize, usize)> = FrameworkKind::TRAINABLE
+        .iter()
+        .map(|&k| {
+            let r = parameter_report(k, &c).expect("builds");
+            (k, r.per_actor, r.critic)
+        })
+        .collect();
+    // Proposed / Comp1 / Comp2 live at the 50-parameter budget…
+    for &(k, actor, critic) in &budgets[..3] {
+        assert!(actor <= 50 && actor >= 37, "{k} actor {actor}");
+        assert!(critic <= 50 && critic >= 37, "{k} critic {critic}");
+    }
+    // …Comp3 is the unconstrained > 40 K baseline.
+    let (_, a3, c3) = budgets[3];
+    assert!(a3 > 40_000 && c3 > 40_000);
+}
+
+#[test]
+fn random_walk_calibration_matches_paper_scale() {
+    // The paper reports −33.2 for the random walk; our T = 300
+    // calibration lands within ±3 of it (see EXPERIMENTS.md).
+    let config = ExperimentConfig::paper_default();
+    let mut env = SingleHopEnv::new(config.env.clone(), 1).expect("valid config");
+    let rw = random_walk_baseline(&mut env, 150, 7).expect("runs");
+    assert!(
+        (rw.total_reward - (-33.2)).abs() < 3.0,
+        "random walk {:.1} vs paper −33.2",
+        rw.total_reward
+    );
+    // And the Fig. 3(b–d) ranges.
+    assert!((0.45..0.55).contains(&rw.avg_queue), "avg queue {}", rw.avg_queue);
+    assert!((0.0..0.15).contains(&rw.empty_ratio));
+    assert!((0.0..0.2).contains(&rw.overflow_ratio));
+}
+
+#[test]
+fn achievability_reproduces_paper_percentages() {
+    // Sec. IV-D1 quotes: Proposed −3.0 → 90.9%, Comp1 −16.6 → 49.8%,
+    // Comp2 −22.5 → 33.2% (vs 32.2% by the formula — the paper rounds),
+    // Comp3 −2.8 → 91.5% against the −33.2 random walk.
+    let rw = -33.2;
+    assert!((achievability(-3.0, rw) - 0.909).abs() < 0.01);
+    assert!((achievability(-16.6, rw) - 0.50).abs() < 0.01);
+    assert!((achievability(-22.5, rw) - 0.322).abs() < 0.011);
+    assert!((achievability(-2.8, rw) - 0.915).abs() < 0.01);
+}
+
+#[test]
+fn reward_uses_w_r_weighting() {
+    // Doubling w_R doubles only the overflow penalty.
+    let mut cfg = EnvConfig::paper_default();
+    cfg.init_queue = InitQueue::Fixed(1.0);
+    cfg.cloud_departure = 0.0;
+    cfg.arrival = ArrivalProcess::Uniform { max: 0.0 };
+    let run = |w_r: f64| {
+        let mut cfg = cfg.clone();
+        cfg.w_r = w_r;
+        let mut env = SingleHopEnv::new(cfg, 5).expect("valid config");
+        env.reset();
+        env.step(&[1, 1, 1, 1]).expect("step").reward
+    };
+    let r1 = run(4.0);
+    let r2 = run(8.0);
+    assert!((r2 / r1 - 2.0).abs() < 1e-9, "r1={r1}, r2={r2}");
+}

@@ -1,0 +1,124 @@
+//! Integration: the quantum stack end-to-end — encoder → ansatz →
+//! measurement → gradients — across qsim, vqc and core.
+
+use qmarl::core::prelude::*;
+use qmarl::qsim::prelude::*;
+use qmarl::vqc::prelude::*;
+
+#[test]
+fn actor_state_is_normalised_and_four_qubits() {
+    let actor = QuantumActor::new(4, 4, 4, 50, 2).expect("builds");
+    let s = actor.quantum_state(&[0.3, 0.6, 0.9, 0.1]).expect("runs");
+    assert_eq!(s.n_qubits(), 4);
+    assert!((s.norm() - 1.0).abs() < 1e-10);
+    // The Fig. 4 grid is exactly this register.
+    let grid = amplitude_grid(&s).expect("4 qubits");
+    let total: f64 = grid.iter().flatten().map(|c| c.magnitude * c.magnitude).sum();
+    assert!((total - 1.0).abs() < 1e-10);
+}
+
+#[test]
+fn policy_reacts_to_observations() {
+    // The encoder must actually inject the observation: different inputs
+    // must give different policies (no barren identity mapping).
+    let actor = QuantumActor::new(4, 4, 4, 50, 4).expect("builds");
+    let p1 = actor.probs(&[0.0, 0.0, 0.0, 0.0]).expect("probs");
+    let p2 = actor.probs(&[1.0, 0.5, 0.9, 0.1]).expect("probs");
+    let tv: f64 = p1.iter().zip(&p2).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+    assert!(tv > 1e-3, "policy insensitive to observations: TV = {tv}");
+}
+
+#[test]
+fn actor_gradients_agree_across_methods() {
+    let adjoint = QuantumActor::new(4, 4, 4, 50, 6)
+        .expect("builds")
+        .with_grad_method(GradMethod::Adjoint);
+    let shift = {
+        let mut a = QuantumActor::new(4, 4, 4, 50, 6)
+            .expect("builds")
+            .with_grad_method(GradMethod::ParameterShift);
+        a.set_params(&adjoint.params()).expect("same architecture");
+        a
+    };
+    let obs = [0.25, 0.5, 0.75, 1.0];
+    let ga = adjoint.policy_gradient(&obs, 1, -0.8).expect("gradient");
+    let gs = shift.policy_gradient(&obs, 1, -0.8).expect("gradient");
+    for (a, b) in ga.iter().zip(&gs) {
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn critic_encodes_sixteen_features_on_four_wires() {
+    let critic = QuantumCritic::new(4, 16, 50, 8).expect("builds");
+    assert_eq!(critic.model().circuit().n_qubits(), 4);
+    assert_eq!(critic.model().input_len(), 16);
+    // Perturbing any single state feature moves the value: the layered
+    // encoding covers the whole state vector.
+    let base: Vec<f64> = (0..16).map(|i| 0.4 + 0.01 * i as f64).collect();
+    let v0 = critic.value(&base).expect("value");
+    let mut moved = 0;
+    for i in 0..16 {
+        let mut s = base.clone();
+        s[i] += 0.3;
+        if (critic.value(&s).expect("value") - v0).abs() > 1e-9 {
+            moved += 1;
+        }
+    }
+    assert!(moved >= 14, "only {moved}/16 features reach the readout");
+}
+
+#[test]
+fn noisy_execution_degrades_toward_uniform_policy() {
+    let actor = QuantumActor::new(4, 4, 4, 50, 10).expect("builds");
+    let obs = [0.9, 0.1, 0.7, 0.3];
+    let logits = |noise: &NoiseModel| -> Vec<f64> {
+        actor
+            .model()
+            .forward_noisy(&obs, &actor.params(), noise)
+            .expect("noisy forward")
+    };
+    let clean = logits(&NoiseModel::noiseless());
+    let heavy = logits(&NoiseModel::depolarizing(0.2, 0.4).expect("valid"));
+    let spread = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    assert!(
+        spread(&heavy) < spread(&clean),
+        "heavy noise must flatten the logits: {clean:?} vs {heavy:?}"
+    );
+}
+
+#[test]
+fn bell_state_through_the_full_stack() {
+    // Sanity anchor: the same Bell pair via raw qsim and via the vqc IR.
+    let mut raw = StateVector::zero(2);
+    raw.apply_gate1(0, &Gate1::hadamard()).expect("h");
+    raw.apply_cnot(0, 1).expect("cnot");
+
+    let mut c = Circuit::new(2);
+    c.fixed(0, FixedGate::H).expect("h");
+    c.cnot(0, 1).expect("cnot");
+    let via_ir = run(&c, &[], &[]).expect("runs");
+
+    assert!((raw.fidelity(&via_ir).expect("same width") - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn random_layer_models_are_trainable_too() {
+    // The torchquantum-style random layer (Table II: 50 gates) plugs into
+    // the same model type and differentiates cleanly.
+    let model = VqcBuilder::new(4)
+        .encoder_inputs(4)
+        .random_ansatz(RandomLayerConfig { gate_budget: 50, rotation_prob: 0.75, seed: 3 })
+        .readout(Readout::z_all(4))
+        .build()
+        .expect("builds");
+    let params = model.init_params(1);
+    let (out, jac) = model
+        .forward_with_jacobian(&[0.2, 0.4, 0.6, 0.8], &params, GradMethod::Adjoint)
+        .expect("jacobian");
+    assert_eq!(out.len(), 4);
+    assert_eq!(jac.n_params(), model.param_count());
+    assert!(jac.row(0).iter().any(|g| g.abs() > 1e-12), "gradient must flow");
+}
