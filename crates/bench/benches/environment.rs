@@ -23,9 +23,7 @@ fn bench_step(c: &mut Criterion) {
     group.bench_function("rollout_300_steps", |b| {
         let cfg = EnvConfig::paper_default();
         let mut env = SingleHopEnv::new(cfg, 2).expect("valid config");
-        b.iter(|| {
-            rollout_episode(&mut env, |_| vec![0, 1, 2, 3]).expect("rollout")
-        });
+        b.iter(|| rollout_episode(&mut env, |_| vec![0, 1, 2, 3]).expect("rollout"));
     });
     group.bench_function("random_walk_episode", |b| {
         let cfg = EnvConfig::paper_default();

@@ -28,7 +28,8 @@ fn bench_cnot(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut s = StateVector::zero(n);
             b.iter(|| {
-                s.apply_cnot(black_box(0), black_box(n - 1)).expect("valid wires");
+                s.apply_cnot(black_box(0), black_box(n - 1))
+                    .expect("valid wires");
             });
         });
     }
@@ -41,7 +42,8 @@ fn bench_expectation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut s = StateVector::zero(n);
             for q in 0..n {
-                s.apply_gate1(q, &Gate1::ry(0.2 * q as f64)).expect("valid wire");
+                s.apply_gate1(q, &Gate1::ry(0.2 * q as f64))
+                    .expect("valid wire");
             }
             b.iter(|| expectation_z(black_box(&s), black_box(n / 2)).expect("valid wire"));
         });

@@ -32,7 +32,10 @@ fn bench_gradient_method_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for (name, method) in [
         ("adjoint", qmarl_vqc::grad::GradMethod::Adjoint),
-        ("parameter_shift", qmarl_vqc::grad::GradMethod::ParameterShift),
+        (
+            "parameter_shift",
+            qmarl_vqc::grad::GradMethod::ParameterShift,
+        ),
     ] {
         group.bench_function(name, |b| {
             let mut cfg = short_config();

@@ -76,7 +76,9 @@ fn bench_parallel_parameter_shift(c: &mut Criterion) {
     let critic = critic_model();
     let cp = critic.init_params(4);
     let circ_params = &cp[..critic.circuit_param_count()];
-    let state: Vec<f64> = (0..16).map(|i| std::f64::consts::PI * i as f64 / 16.0).collect();
+    let state: Vec<f64> = (0..16)
+        .map(|i| std::f64::consts::PI * i as f64 / 16.0)
+        .collect();
     for threads in [1usize, 2, 4, 8] {
         group.bench_function(format!("{threads}_threads"), |b| {
             b.iter(|| {

@@ -41,7 +41,11 @@ fn main() {
         let mut ctde = build_trainer(FrameworkKind::Proposed, &config).expect("paper config valid");
         ctde.train(epochs).expect("training runs");
         ctde_curves.push(
-            ctde.history().records().iter().map(|r| r.metrics.total_reward).collect(),
+            ctde.history()
+                .records()
+                .iter()
+                .map(|r| r.metrics.total_reward)
+                .collect(),
         );
 
         // Independent: same actors, per-agent local critics.
@@ -52,7 +56,12 @@ fn main() {
             IndependentTrainer::new(env, actors, critics, config.train.clone()).expect("builds");
         indep.train(epochs).expect("training runs");
         indep_curves.push(
-            indep.history().records().iter().map(|r| r.metrics.total_reward).collect(),
+            indep
+                .history()
+                .records()
+                .iter()
+                .map(|r| r.metrics.total_reward)
+                .collect(),
         );
     }
     let ctde_curve = mean_curves(&ctde_curves);

@@ -11,7 +11,6 @@
 //! exposure.
 
 use qmarl_bench::{write_results, Args};
-use qmarl_core::prelude::*;
 use qmarl_env::prelude::*;
 use qmarl_neural::prelude::Adam;
 use qmarl_vqc::prelude::*;
@@ -84,17 +83,18 @@ fn main() {
 
     println!("== Ablation F: encode-once (paper) vs data re-uploading ==\n");
     let data = collect_dataset(seed, episodes, 0.95);
-    println!("value-regression dataset: {} states from random-policy episodes\n", data.len());
+    println!(
+        "value-regression dataset: {} states from random-policy episodes\n",
+        data.len()
+    );
 
     let architectures: Vec<(String, Circuit)> = vec![
-        (
-            "encode-once (paper)".into(),
-            {
-                let mut c = layered_angle_encoder(4, 16).expect("valid");
-                c.append_shifted(&layered_ansatz(4, budget).expect("valid")).expect("same width");
-                c
-            },
-        ),
+        ("encode-once (paper)".into(), {
+            let mut c = layered_angle_encoder(4, 16).expect("valid");
+            c.append_shifted(&layered_ansatz(4, budget).expect("valid"))
+                .expect("same width");
+            c
+        }),
         (
             "re-upload x2".into(),
             reuploading_circuit(4, 16, 2, budget).expect("valid"),
@@ -109,7 +109,8 @@ fn main() {
         "{:<22} {:>7} {:>7} {:>7} {:>11} {:>12} {:>12}",
         "architecture", "gates", "depth", "params", "final MSE", "fid p=1e-3", "fid p=1e-2"
     );
-    let mut csv = String::from("architecture,gates,depth,params,final_mse,fidelity_1e3,fidelity_1e2\n");
+    let mut csv =
+        String::from("architecture,gates,depth,params,final_mse,fidelity_1e3,fidelity_1e2\n");
     for (name, circuit) in architectures {
         let stats = CircuitStats::of(&circuit);
         let model = VqcBuilder::new(4)
@@ -123,11 +124,18 @@ fn main() {
         let f2 = stats.fidelity_proxy(1e-2, 2e-2);
         println!(
             "{name:<22} {:>7} {:>7} {:>7} {:>11.4} {:>12.3} {:>12.3}",
-            stats.gates, stats.depth, model.param_count(), mse, f3, f2
+            stats.gates,
+            stats.depth,
+            model.param_count(),
+            mse,
+            f3,
+            f2
         );
         csv.push_str(&format!(
             "{name},{},{},{},{mse:.6},{f3:.6},{f2:.6}\n",
-            stats.gates, stats.depth, model.param_count()
+            stats.gates,
+            stats.depth,
+            model.param_count()
         ));
     }
 

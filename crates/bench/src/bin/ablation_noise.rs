@@ -68,7 +68,12 @@ fn main() {
                 .map(|i| ((probe * 4 + i * 7) % 11) as f64 / 10.0)
                 .collect();
             let actor = &actors[probe % actors.len()];
-            let clean = softmax(&actor.model().forward(&obs, &actor.params()).expect("forward"));
+            let clean = softmax(
+                &actor
+                    .model()
+                    .forward(&obs, &actor.params())
+                    .expect("forward"),
+            );
             let noisy = softmax(
                 &actor
                     .model()

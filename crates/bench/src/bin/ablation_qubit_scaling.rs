@@ -32,7 +32,14 @@ fn main() {
     println!("== Ablation A: qubit scaling — naive CTDE vs state encoding ==\n");
     println!(
         "{:<8} {:>10} {:>11} {:>13} {:>15} {:>16} {:>11} {:>13}",
-        "agents", "state dim", "enc qubits", "naive qubits", "enc grad (µs)", "naive grad (µs)", "enc purity", "naive purity"
+        "agents",
+        "state dim",
+        "enc qubits",
+        "naive qubits",
+        "enc grad (µs)",
+        "naive grad (µs)",
+        "enc purity",
+        "naive purity"
     );
     let mut csv = String::from(
         "n_agents,state_dim,encoded_qubits,naive_qubits,encoded_grad_us,naive_grad_us,encoded_purity,naive_purity\n",

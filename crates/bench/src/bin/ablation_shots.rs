@@ -54,8 +54,15 @@ fn main() {
     let mut csv = String::from("shots,z_standard_error,reward_mean,reward_std\n");
     // `shots = None` is the exact-expectation limit; every row uses the
     // same stochastic (sampled) policy so only the readout noise varies.
-    let budgets: [Option<usize>; 7] =
-        [Some(8), Some(32), Some(128), Some(512), Some(2048), Some(8192), None];
+    let budgets: [Option<usize>; 7] = [
+        Some(8),
+        Some(32),
+        Some(128),
+        Some(512),
+        Some(2048),
+        Some(8192),
+        None,
+    ];
     for shots in budgets {
         let mut rewards = Vec::with_capacity(eval_episodes);
         let mut env = SingleHopEnv::new(config.env.clone(), seed + 21).expect("valid env");

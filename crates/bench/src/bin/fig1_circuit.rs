@@ -16,7 +16,10 @@ fn main() {
     // Actor: one observation feature per qubit → single Rx encoder layer.
     let obs_dim = config.env.obs_dim();
     let actor_enc = layered_angle_encoder(n_qubits, obs_dim).expect("valid encoder");
-    println!("Quantum actor encoder U_enc (obs dim {obs_dim} → {n_qubits} qubits, {} layer):", encoder_depth(n_qubits, obs_dim));
+    println!(
+        "Quantum actor encoder U_enc (obs dim {obs_dim} → {n_qubits} qubits, {} layer):",
+        encoder_depth(n_qubits, obs_dim)
+    );
     println!("{}", qmarl_vqc::diagram::render(&actor_enc));
 
     // Critic: 16 state features → 4 layers cycling Rx, Ry, Rz, Rx (the
@@ -28,22 +31,38 @@ fn main() {
 
     // The parametrized circuit at the paper's 50-parameter budget.
     let var = layered_ansatz(n_qubits, config.train.critic_params - 2).expect("valid ansatz");
-    println!("Parametrized circuit U_var ({}):", qmarl_vqc::diagram::summary(&var));
+    println!(
+        "Parametrized circuit U_var ({}):",
+        qmarl_vqc::diagram::summary(&var)
+    );
     if full {
         println!("{}", qmarl_vqc::diagram::render(&var));
     } else {
         // Show the first two layers; --full prints everything.
         let mut preview = Circuit::new(n_qubits);
-        preview.append_shifted(&layered_ansatz(n_qubits, 8).expect("valid")).expect("same width");
-        println!("{}(first two layers shown; pass --full for all {} gates)\n", qmarl_vqc::diagram::render(&preview), var.gate_count());
+        preview
+            .append_shifted(&layered_ansatz(n_qubits, 8).expect("valid"))
+            .expect("same width");
+        println!(
+            "{}(first two layers shown; pass --full for all {} gates)\n",
+            qmarl_vqc::diagram::render(&preview),
+            var.gate_count()
+        );
     }
 
     // torchquantum-style random layer, as named in Fig. 1.
-    let rand_layer = random_layer_ansatz(n_qubits, RandomLayerConfig::default()).expect("valid config");
-    println!("Random layer variant ({}):", qmarl_vqc::diagram::summary(&rand_layer));
+    let rand_layer =
+        random_layer_ansatz(n_qubits, RandomLayerConfig::default()).expect("valid config");
+    println!(
+        "Random layer variant ({}):",
+        qmarl_vqc::diagram::summary(&rand_layer)
+    );
     if full {
         println!("{}", qmarl_vqc::diagram::render(&rand_layer));
     }
 
-    println!("Measurement M: ⟨Z⟩ per wire (actor: {} action logits; critic: weighted sum → V(s))", n_qubits);
+    println!(
+        "Measurement M: ⟨Z⟩ per wire (actor: {} action logits; critic: weighted sum → V(s))",
+        n_qubits
+    );
 }

@@ -62,27 +62,30 @@ fn main() {
     config.train.seed = base_seed;
 
     println!("== Fig. 3 reproduction: {epochs} epochs x {seeds} seeds ==");
-    println!("env: K={} clouds, N={} edges, T={} steps/episode", config.env.n_clouds, config.env.n_edges, config.env.episode_limit);
+    println!(
+        "env: K={} clouds, N={} edges, T={} steps/episode",
+        config.env.n_clouds, config.env.n_edges, config.env.episode_limit
+    );
 
     // Random-walk normalisation baseline (Sec. IV-D1).
     let mut rw_env = SingleHopEnv::new(config.env.clone(), base_seed).expect("env config valid");
     let rw = random_walk_baseline(&mut rw_env, 200, base_seed).expect("random walk runs");
-    println!("random walk: reward {:.1} (paper: -33.2), avg queue {:.3}", rw.total_reward, rw.avg_queue);
+    println!(
+        "random walk: reward {:.1} (paper: -33.2), avg queue {:.3}",
+        rw.total_reward, rw.avg_queue
+    );
 
-    // Train all four frameworks in parallel.
-    let runs: Vec<FrameworkRun> = crossbeam::thread::scope(|scope| {
-        let cfg = &config;
-        let handles: Vec<_> = FrameworkKind::TRAINABLE
-            .iter()
-            .map(|&kind| scope.spawn(move |_| train_one(kind, cfg, seeds).expect("training runs")))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("trainer thread")).collect()
-    })
-    .expect("crossbeam scope");
+    // Train all four frameworks in parallel on the shared work queue.
+    let runs: Vec<FrameworkRun> = qmarl_qsim::par::parallel_map(
+        &FrameworkKind::TRAINABLE,
+        FrameworkKind::TRAINABLE.len(),
+        |_, &kind| train_one(kind, &config, seeds).expect("training runs"),
+    );
 
     // One CSV per Fig. 3 panel: epoch, then per-framework mean columns
     // (raw and moving-average-smoothed).
-    let panels: [(&str, fn(&EpochRecord) -> f64); 4] = [
+    type Panel = (&'static str, fn(&EpochRecord) -> f64);
+    let panels: [Panel; 4] = [
         ("fig3a_reward.csv", |r| r.metrics.total_reward),
         ("fig3b_avg_queue.csv", |r| r.metrics.avg_queue),
         ("fig3c_empty_ratio.csv", |r| r.metrics.empty_ratio),
@@ -115,8 +118,13 @@ fn main() {
 
     // Summary table (the numbers quoted in Sec. IV-D).
     let tail = (epochs / 10).max(1);
-    println!("\n{:<10} {:>10} {:>8} {:>14} {:>10} {:>10} {:>10}", "framework", "reward", "±std", "achievability", "avg queue", "empty", "overflow");
-    let mut summary = String::from("framework,reward,reward_std,achievability,avg_queue,empty_ratio,overflow_ratio\n");
+    println!(
+        "\n{:<10} {:>10} {:>8} {:>14} {:>10} {:>10} {:>10}",
+        "framework", "reward", "±std", "achievability", "avg queue", "empty", "overflow"
+    );
+    let mut summary = String::from(
+        "framework,reward,reward_std,achievability,avg_queue,empty_ratio,overflow_ratio\n",
+    );
     for run in &runs {
         let finals: Vec<f64> = run
             .histories
@@ -125,16 +133,40 @@ fn main() {
             .collect();
         let (reward, std) = mean_std(&finals);
         let ach = achievability(reward, rw.total_reward);
-        let avg_q: Vec<f64> = run.histories.iter().map(|h| h.final_metric(tail, |r| r.metrics.avg_queue).unwrap()).collect();
-        let empty: Vec<f64> = run.histories.iter().map(|h| h.final_metric(tail, |r| r.metrics.empty_ratio).unwrap()).collect();
-        let over: Vec<f64> = run.histories.iter().map(|h| h.final_metric(tail, |r| r.metrics.overflow_ratio).unwrap()).collect();
+        let avg_q: Vec<f64> = run
+            .histories
+            .iter()
+            .map(|h| h.final_metric(tail, |r| r.metrics.avg_queue).unwrap())
+            .collect();
+        let empty: Vec<f64> = run
+            .histories
+            .iter()
+            .map(|h| h.final_metric(tail, |r| r.metrics.empty_ratio).unwrap())
+            .collect();
+        let over: Vec<f64> = run
+            .histories
+            .iter()
+            .map(|h| h.final_metric(tail, |r| r.metrics.overflow_ratio).unwrap())
+            .collect();
         println!(
             "{:<10} {:>10.2} {:>8.2} {:>13.1}% {:>10.3} {:>10.3} {:>10.3}",
-            run.kind.name(), reward, std, 100.0 * ach, mean_std(&avg_q).0, mean_std(&empty).0, mean_std(&over).0,
+            run.kind.name(),
+            reward,
+            std,
+            100.0 * ach,
+            mean_std(&avg_q).0,
+            mean_std(&empty).0,
+            mean_std(&over).0,
         );
         summary.push_str(&format!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
-            run.kind.name(), reward, std, ach, mean_std(&avg_q).0, mean_std(&empty).0, mean_std(&over).0,
+            run.kind.name(),
+            reward,
+            std,
+            ach,
+            mean_std(&avg_q).0,
+            mean_std(&empty).0,
+            mean_std(&over).0,
         ));
     }
     println!(
@@ -152,7 +184,10 @@ fn main() {
     // Per-seed full histories for reproducibility audits.
     for run in &runs {
         for (s, h) in run.histories.iter().enumerate() {
-            write_results(&format!("fig3_{}_seed{}.csv", run.kind.name().to_lowercase(), s), &h.to_csv());
+            write_results(
+                &format!("fig3_{}_seed{}.csv", run.kind.name().to_lowercase(), s),
+                &h.to_csv(),
+            );
         }
     }
 }

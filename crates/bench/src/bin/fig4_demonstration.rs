@@ -22,10 +22,15 @@ fn main() {
     config.train.epochs = epochs;
     config.train.seed = seed;
 
-    println!("== Fig. 4: training Proposed for {epochs} epochs, then a {steps}-step demonstration ==");
+    println!(
+        "== Fig. 4: training Proposed for {epochs} epochs, then a {steps}-step demonstration =="
+    );
     let mut trainer = build_trainer(FrameworkKind::Proposed, &config).expect("paper config valid");
     trainer.train(epochs).expect("training runs");
-    let final_reward = trainer.history().final_reward((epochs / 10).max(1)).expect("history");
+    let final_reward = trainer
+        .history()
+        .final_reward((epochs / 10).max(1))
+        .expect("history");
     println!("trained: final reward ≈ {final_reward:.1}\n");
 
     // Rebuild the quantum views of the trained actors (for register access).
@@ -51,10 +56,21 @@ fn main() {
 
     let mut env = SingleHopEnv::new(config.env.clone(), seed + 1).expect("paper config valid");
     let deterministic = args.has("argmax");
-    let frames = run_demonstration(&mut env, &actors, &quantum_views, agent, steps, seed, deterministic)
-        .expect("demonstration rolls out");
+    let frames = run_demonstration(
+        &mut env,
+        &actors,
+        &quantum_views,
+        agent,
+        steps,
+        seed,
+        deterministic,
+    )
+    .expect("demonstration rolls out");
 
-    println!("Queue trajectories over {} unit-steps (▁ empty … █ full):\n", frames.len());
+    println!(
+        "Queue trajectories over {} unit-steps (▁ empty … █ full):\n",
+        frames.len()
+    );
     println!("{}", render_queue_chart(&frames));
 
     println!("1st edge agent's qubit states (rows q1q2 × cols q3q4, colour = phase):\n");

@@ -18,14 +18,8 @@ fn main() {
         "Action       u^n_t ∈ A ≡ I × P                                |A| = {}",
         env.n_actions()
     );
-    println!(
-        "  Destination space  I = {{1, …, {}}}",
-        config.env.n_clouds
-    );
-    println!(
-        "  Packet amounts     P = {:?}",
-        config.env.packet_amounts
-    );
+    println!("  Destination space  I = {{1, …, {}}}", config.env.n_clouds);
+    println!("  Packet amounts     P = {:?}", config.env.packet_amounts);
     println!(
         "State        s_t = ∪_n o^n_t                                  dim = {}",
         env.state_dim()

@@ -21,7 +21,9 @@ pub struct Args {
 impl Args {
     /// Captures the process arguments.
     pub fn from_env() -> Self {
-        Args { raw: std::env::args().skip(1).collect() }
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     /// Builds from an explicit list (for tests).
@@ -56,7 +58,7 @@ impl Args {
     /// `true` when `--name` appears (no value).
     pub fn has(&self, name: &str) -> bool {
         let flag = format!("--{name}");
-        self.raw.iter().any(|a| *a == flag)
+        self.raw.contains(&flag)
     }
 }
 

@@ -25,7 +25,12 @@ impl LinePlot {
     /// Panics if either dimension is smaller than 8 (unreadably small).
     pub fn new(title: &str, width: usize, height: usize) -> Self {
         assert!(width >= 8 && height >= 8, "plot area too small");
-        LinePlot { title: title.to_string(), width, height, series: Vec::new() }
+        LinePlot {
+            title: title.to_string(),
+            width,
+            height,
+            series: Vec::new(),
+        }
     }
 
     /// Adds a labelled series. Series are drawn in insertion order; later
@@ -91,7 +96,12 @@ impl LinePlot {
             out.extend(row.iter());
             out.push('\n');
         }
-        out.push_str(&format!("{:>w$}+{}\n", "", "-".repeat(self.width), w = label_w - 1));
+        out.push_str(&format!(
+            "{:>w$}+{}\n",
+            "",
+            "-".repeat(self.width),
+            w = label_w - 1
+        ));
         out.push_str(&format!(
             "{:>w$}0{:>x$}\n",
             "",

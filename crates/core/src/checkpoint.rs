@@ -107,14 +107,15 @@ impl FrameworkSnapshot {
             .parse()
             .map_err(|_| bad("actors count not a number"))?;
 
-        let read_params = |lines: &mut std::str::Lines<'_>, n: usize| -> Result<Vec<f64>, CoreError> {
-            let mut v = Vec::with_capacity(n);
-            for _ in 0..n {
-                let line = lines.next().ok_or_else(|| bad("unexpected end of file"))?;
-                v.push(line.parse().map_err(|_| bad("malformed parameter"))?);
-            }
-            Ok(v)
-        };
+        let read_params =
+            |lines: &mut std::str::Lines<'_>, n: usize| -> Result<Vec<f64>, CoreError> {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let line = lines.next().ok_or_else(|| bad("unexpected end of file"))?;
+                    v.push(line.parse().map_err(|_| bad("malformed parameter"))?);
+                }
+                Ok(v)
+            };
 
         let mut actor_params = Vec::with_capacity(n_actors);
         for i in 0..n_actors {
@@ -132,7 +133,11 @@ impl FrameworkSnapshot {
             .parse()
             .map_err(|_| bad("critic length not a number"))?;
         let critic_params = read_params(&mut lines, critic_len)?;
-        Ok(FrameworkSnapshot { label, actor_params, critic_params })
+        Ok(FrameworkSnapshot {
+            label,
+            actor_params,
+            critic_params,
+        })
     }
 
     /// Writes the checkpoint to a file.
@@ -189,11 +194,14 @@ mod tests {
         trainer.train(1).expect("trains");
         let snap = FrameworkSnapshot::capture("Proposed", &trainer);
 
-        let mut actors = build_actors(FrameworkKind::Proposed, &cfg.env, &cfg.train).expect("builds");
-        let mut critic = build_critic(FrameworkKind::Proposed, &cfg.env, &cfg.train).expect("builds");
+        let mut actors =
+            build_actors(FrameworkKind::Proposed, &cfg.env, &cfg.train).expect("builds");
+        let mut critic =
+            build_critic(FrameworkKind::Proposed, &cfg.env, &cfg.train).expect("builds");
         // Fresh models differ from the trained snapshot…
         assert_ne!(actors[0].params(), snap.actor_params[0]);
-        snap.restore(&mut actors, critic.as_mut()).expect("restores");
+        snap.restore(&mut actors, critic.as_mut())
+            .expect("restores");
         // …and match after restore.
         for (a, p) in actors.iter().zip(&snap.actor_params) {
             assert_eq!(a.params(), *p);
@@ -219,7 +227,9 @@ mod tests {
     fn malformed_inputs_rejected() {
         assert!(FrameworkSnapshot::from_text("").is_err());
         assert!(FrameworkSnapshot::from_text("wrong magic\n").is_err());
-        assert!(FrameworkSnapshot::from_text("qmarl-checkpoint v1\nlabel x\nactors nope\n").is_err());
+        assert!(
+            FrameworkSnapshot::from_text("qmarl-checkpoint v1\nlabel x\nactors nope\n").is_err()
+        );
         let truncated = "qmarl-checkpoint v1\nlabel x\nactors 1\nactor 0 3\n1.0\n";
         assert!(FrameworkSnapshot::from_text(truncated).is_err());
         let bad_param = "qmarl-checkpoint v1\nlabel x\nactors 0\ncritic 1\nnot-a-number\n";
@@ -235,8 +245,10 @@ mod tests {
             actor_params: vec![vec![0.0; 50]; 2], // wrong actor count
             critic_params: vec![0.0; 50],
         };
-        let mut actors = build_actors(FrameworkKind::Proposed, &cfg.env, &cfg.train).expect("builds");
-        let mut critic = build_critic(FrameworkKind::Proposed, &cfg.env, &cfg.train).expect("builds");
+        let mut actors =
+            build_actors(FrameworkKind::Proposed, &cfg.env, &cfg.train).expect("builds");
+        let mut critic =
+            build_critic(FrameworkKind::Proposed, &cfg.env, &cfg.train).expect("builds");
         assert!(snap.restore(&mut actors, critic.as_mut()).is_err());
 
         let snap2 = FrameworkSnapshot {

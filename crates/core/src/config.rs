@@ -71,13 +71,20 @@ impl TrainConfig {
             return Err(CoreError::InvalidConfig("epochs must be positive".into()));
         }
         if !(0.0..1.0).contains(&self.gamma) {
-            return Err(CoreError::InvalidConfig(format!("gamma {} not in [0, 1)", self.gamma)));
+            return Err(CoreError::InvalidConfig(format!(
+                "gamma {} not in [0, 1)",
+                self.gamma
+            )));
         }
         if self.lr_actor <= 0.0 || self.lr_critic <= 0.0 {
-            return Err(CoreError::InvalidConfig("learning rates must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "learning rates must be positive".into(),
+            ));
         }
         if self.target_update_period == 0 {
-            return Err(CoreError::InvalidConfig("target update period must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "target update period must be positive".into(),
+            ));
         }
         if self.batch_episodes == 0 || self.batch_episodes > self.replay_capacity {
             return Err(CoreError::InvalidConfig(
@@ -115,7 +122,10 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// The complete Table II configuration.
     pub fn paper_default() -> Self {
-        ExperimentConfig { env: EnvConfig::paper_default(), train: TrainConfig::paper_default() }
+        ExperimentConfig {
+            env: EnvConfig::paper_default(),
+            train: TrainConfig::paper_default(),
+        }
     }
 
     /// Validates both halves.
@@ -134,17 +144,47 @@ impl ExperimentConfig {
         let e = &self.env;
         let t = &self.train;
         let rows: Vec<(String, String)> = vec![
-            ("The numbers of clouds and edge agents (K, N)".into(), format!("{}, {}", e.n_clouds, e.n_edges)),
-            ("The packet amount space (P)".into(), format!("{:?}", e.packet_amounts)),
-            ("The hyper-parameters of environment (wP, wR)".into(), format!("({}, {})", e.w_p, e.w_r)),
-            ("Transmitted packets from the cloud".into(), format!("{}", e.cloud_departure)),
-            ("The capacity of queue (qmax)".into(), format!("{}", e.q_max)),
-            ("Episode length (calibrated; see EXPERIMENTS.md)".into(), format!("{}", e.episode_limit)),
+            (
+                "The numbers of clouds and edge agents (K, N)".into(),
+                format!("{}, {}", e.n_clouds, e.n_edges),
+            ),
+            (
+                "The packet amount space (P)".into(),
+                format!("{:?}", e.packet_amounts),
+            ),
+            (
+                "The hyper-parameters of environment (wP, wR)".into(),
+                format!("({}, {})", e.w_p, e.w_r),
+            ),
+            (
+                "Transmitted packets from the cloud".into(),
+                format!("{}", e.cloud_departure),
+            ),
+            (
+                "The capacity of queue (qmax)".into(),
+                format!("{}", e.q_max),
+            ),
+            (
+                "Episode length (calibrated; see EXPERIMENTS.md)".into(),
+                format!("{}", e.episode_limit),
+            ),
             ("Optimizer".into(), "Adam".into()),
-            ("The number of qubits of actor/critic".into(), format!("{}", t.n_qubits)),
-            ("Trainable parameters of actor/critic".into(), format!("{}, {}", t.actor_params, t.critic_params)),
-            ("Learning rate of actor/critic".into(), format!("{:.0e}, {:.0e}", t.lr_actor, t.lr_critic)),
-            ("Discount factor (not in Table II)".into(), format!("{}", t.gamma)),
+            (
+                "The number of qubits of actor/critic".into(),
+                format!("{}", t.n_qubits),
+            ),
+            (
+                "Trainable parameters of actor/critic".into(),
+                format!("{}, {}", t.actor_params, t.critic_params),
+            ),
+            (
+                "Learning rate of actor/critic".into(),
+                format!("{:.0e}, {:.0e}", t.lr_actor, t.lr_critic),
+            ),
+            (
+                "Discount factor (not in Table II)".into(),
+                format!("{}", t.gamma),
+            ),
             ("Training epochs".into(), format!("{}", t.epochs)),
         ];
         let w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);

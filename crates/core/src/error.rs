@@ -10,6 +10,8 @@ pub enum CoreError {
     Vqc(qmarl_vqc::error::VqcError),
     /// The environment failed.
     Env(qmarl_env::error::EnvError),
+    /// The batched execution runtime failed.
+    Runtime(qmarl_runtime::error::RuntimeError),
     /// A parameter vector had the wrong length.
     ParamLenMismatch {
         /// Expected length.
@@ -33,11 +35,15 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Vqc(e) => write!(f, "vqc error: {e}"),
             CoreError::Env(e) => write!(f, "environment error: {e}"),
+            CoreError::Runtime(e) => write!(f, "runtime error: {e}"),
             CoreError::ParamLenMismatch { expected, actual } => {
                 write!(f, "expected {expected} parameters, got {actual}")
             }
             CoreError::FeatureLenMismatch { expected, actual } => {
-                write!(f, "expected a {expected}-dimensional feature vector, got {actual}")
+                write!(
+                    f,
+                    "expected a {expected}-dimensional feature vector, got {actual}"
+                )
             }
             CoreError::InvalidConfig(msg) => write!(f, "invalid training config: {msg}"),
         }
@@ -49,6 +55,7 @@ impl Error for CoreError {
         match self {
             CoreError::Vqc(e) => Some(e),
             CoreError::Env(e) => Some(e),
+            CoreError::Runtime(e) => Some(e),
             _ => None,
         }
     }
@@ -66,6 +73,33 @@ impl From<qmarl_env::error::EnvError> for CoreError {
     }
 }
 
+impl From<qmarl_runtime::error::RuntimeError> for CoreError {
+    fn from(e: qmarl_runtime::error::RuntimeError) -> Self {
+        // Length mismatches keep their specific core variants so callers'
+        // error matching is unchanged by the runtime rewiring.
+        match e {
+            qmarl_runtime::error::RuntimeError::ParamLenMismatch { expected, actual } => {
+                CoreError::ParamLenMismatch { expected, actual }
+            }
+            qmarl_runtime::error::RuntimeError::InputLenMismatch { expected, actual } => {
+                CoreError::FeatureLenMismatch { expected, actual }
+            }
+            qmarl_runtime::error::RuntimeError::Vqc(e) => CoreError::Vqc(e),
+            qmarl_runtime::error::RuntimeError::Env(e) => CoreError::Env(e),
+            other => CoreError::Runtime(other),
+        }
+    }
+}
+
+impl<E: Into<CoreError>> From<qmarl_runtime::rollout::RolloutError<E>> for CoreError {
+    fn from(e: qmarl_runtime::rollout::RolloutError<E>) -> Self {
+        match e {
+            qmarl_runtime::rollout::RolloutError::Env(e) => CoreError::Env(e),
+            qmarl_runtime::rollout::RolloutError::Policy(e) => e.into(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,7 +113,17 @@ mod tests {
         assert!(e.source().is_some());
         let e = CoreError::InvalidConfig("bad gamma".into());
         assert!(e.source().is_none());
-        assert!(!CoreError::ParamLenMismatch { expected: 1, actual: 2 }.to_string().is_empty());
-        assert!(!CoreError::FeatureLenMismatch { expected: 1, actual: 2 }.to_string().is_empty());
+        assert!(!CoreError::ParamLenMismatch {
+            expected: 1,
+            actual: 2
+        }
+        .to_string()
+        .is_empty());
+        assert!(!CoreError::FeatureLenMismatch {
+            expected: 1,
+            actual: 2
+        }
+        .to_string()
+        .is_empty());
     }
 }

@@ -83,8 +83,14 @@ pub fn build_actors(
         let actor_seed = seed.wrapping_add(1000 + n as u64);
         let actor: Box<dyn Actor> = match kind {
             FrameworkKind::Proposed | FrameworkKind::Comp1 => Box::new(
-                QuantumActor::new(train.n_qubits, obs_dim, n_actions, train.actor_params, actor_seed)?
-                    .with_grad_method(train.grad_method),
+                QuantumActor::new(
+                    train.n_qubits,
+                    obs_dim,
+                    n_actions,
+                    train.actor_params,
+                    actor_seed,
+                )?
+                .with_grad_method(train.grad_method),
             ),
             FrameworkKind::Comp2 => {
                 let (h, _) = hidden_for_budget(obs_dim, n_actions, train.actor_params);
@@ -183,7 +189,12 @@ pub fn parameter_report(
     config: &ExperimentConfig,
 ) -> Result<ParamReport, CoreError> {
     if kind == FrameworkKind::RandomWalk {
-        return Ok(ParamReport { kind, per_actor: 0, n_actors: 0, critic: 0 });
+        return Ok(ParamReport {
+            kind,
+            per_actor: 0,
+            n_actors: 0,
+            critic: 0,
+        });
     }
     let actors = build_actors(kind, &config.env, &config.train)?;
     let critic = build_critic(kind, &config.env, &config.train)?;
@@ -216,7 +227,11 @@ mod tests {
 
         let comp1 = parameter_report(FrameworkKind::Comp1, &cfg).unwrap();
         assert_eq!(comp1.per_actor, 50);
-        assert!(comp1.critic <= 50, "comp1 critic {} must respect the budget", comp1.critic);
+        assert!(
+            comp1.critic <= 50,
+            "comp1 critic {} must respect the budget",
+            comp1.critic
+        );
 
         let comp2 = parameter_report(FrameworkKind::Comp2, &cfg).unwrap();
         assert!(comp2.per_actor <= 50);

@@ -61,7 +61,9 @@ impl<E: MultiAgentEnv> IndependentTrainer<E> {
         }
         for (n, (a, c)) in actors.iter().zip(&critics).enumerate() {
             if a.obs_dim() != env.obs_dim() || a.n_actions() != env.n_actions() {
-                return Err(CoreError::InvalidConfig(format!("actor {n} shape mismatch")));
+                return Err(CoreError::InvalidConfig(format!(
+                    "actor {n} shape mismatch"
+                )));
             }
             if c.state_dim() != env.obs_dim() {
                 return Err(CoreError::InvalidConfig(format!(
@@ -71,8 +73,14 @@ impl<E: MultiAgentEnv> IndependentTrainer<E> {
                 )));
             }
         }
-        let actor_opts = actors.iter().map(|a| Adam::new(config.lr_actor, a.param_count())).collect();
-        let critic_opts = critics.iter().map(|c| Adam::new(config.lr_critic, c.param_count())).collect();
+        let actor_opts = actors
+            .iter()
+            .map(|a| Adam::new(config.lr_actor, a.param_count()))
+            .collect();
+        let critic_opts = critics
+            .iter()
+            .map(|c| Adam::new(config.lr_critic, c.param_count()))
+            .collect();
         let targets = critics.iter().map(|c| c.clone_box()).collect();
         let rng = StdRng::seed_from_u64(config.seed);
         Ok(IndependentTrainer {
@@ -108,7 +116,9 @@ impl<E: MultiAgentEnv> IndependentTrainer<E> {
     pub fn run_epoch(&mut self) -> Result<EpochRecord, CoreError> {
         let (mut obs, _state) = self.env.reset();
         let mut acc = MetricsAccumulator::new();
-        let mut transitions: Vec<(Vec<Vec<f64>>, Vec<usize>, f64, Vec<Vec<f64>>)> = Vec::new();
+        // (observations, joint action, reward, next observations).
+        type Sample = (Vec<Vec<f64>>, Vec<usize>, f64, Vec<Vec<f64>>);
+        let mut transitions: Vec<Sample> = Vec::new();
         let mut entropy_sum = 0.0;
         let mut entropy_n = 0usize;
         loop {
@@ -120,7 +130,12 @@ impl<E: MultiAgentEnv> IndependentTrainer<E> {
                 actions.push(select_action(&probs, false, &mut self.rng));
             }
             let out = self.env.step(&actions)?;
-            acc.record_step(out.reward, &out.info.queue_levels, &out.info.cloud_empty, &out.info.cloud_full);
+            acc.record_step(
+                out.reward,
+                &out.info.queue_levels,
+                &out.info.cloud_empty,
+                &out.info.cloud_full,
+            );
             transitions.push((obs.clone(), actions, out.reward, out.observations.clone()));
             obs = out.observations;
             if out.done {
@@ -132,12 +147,24 @@ impl<E: MultiAgentEnv> IndependentTrainer<E> {
         // Per-sample independent updates (mirrors the CTDE trainer's
         // schedule so the comparison isolates the critic architecture).
         let gamma = self.config.gamma;
+        // Per-agent target values are frozen for the sweep: batch each
+        // agent's V_φn(o'_n) over the whole episode through the runtime
+        // instead of one circuit per (step, agent) inside the loop.
+        let v_next_by_agent: Vec<Vec<f64>> = (0..self.actors.len())
+            .map(|n| {
+                let next_obs: Vec<Vec<f64>> = transitions
+                    .iter()
+                    .map(|(_, _, _, o_next)| o_next[n].clone())
+                    .collect();
+                self.targets[n].values_batch(&next_obs)
+            })
+            .collect::<Result<_, _>>()?;
         let mut loss_sum = 0.0;
         let mut loss_n = 0usize;
-        for (o_t, u_t, r, o_next) in &transitions {
+        for (t, (o_t, u_t, r, _o_next)) in transitions.iter().enumerate() {
             for n in 0..self.actors.len() {
                 let (v, critic_grad) = self.critics[n].value_with_gradient(&o_t[n])?;
-                let v_next = self.targets[n].value(&o_next[n])?;
+                let v_next = v_next_by_agent[n][t];
                 let y = r + gamma * v_next - v;
                 loss_sum += y * y;
                 loss_n += 1;
@@ -162,8 +189,16 @@ impl<E: MultiAgentEnv> IndependentTrainer<E> {
         let record = EpochRecord {
             epoch: self.epoch - 1,
             metrics,
-            critic_loss: if loss_n == 0 { 0.0 } else { loss_sum / loss_n as f64 },
-            mean_entropy: if entropy_n == 0 { 0.0 } else { entropy_sum / entropy_n as f64 },
+            critic_loss: if loss_n == 0 {
+                0.0
+            } else {
+                loss_sum / loss_n as f64
+            },
+            mean_entropy: if entropy_n == 0 {
+                0.0
+            } else {
+                entropy_sum / entropy_n as f64
+            },
         };
         self.history.push_record(record);
         Ok(record)
@@ -182,6 +217,9 @@ impl<E: MultiAgentEnv> IndependentTrainer<E> {
     }
 }
 
+/// Per-agent actors paired with per-agent local critics.
+pub type IndependentBundle = (Vec<Box<dyn Actor>>, Vec<Box<dyn Critic>>);
+
 /// Convenience: the *quantum* independent-learner bundle (quantum actors +
 /// quantum local critics at the same budgets as `Proposed`).
 ///
@@ -191,8 +229,9 @@ impl<E: MultiAgentEnv> IndependentTrainer<E> {
 pub fn build_independent_quantum(
     env_cfg: &qmarl_env::single_hop::EnvConfig,
     train: &TrainConfig,
-) -> Result<(Vec<Box<dyn Actor>>, Vec<Box<dyn Critic>>), CoreError> {
-    let actors = crate::framework::build_actors(crate::framework::FrameworkKind::Proposed, env_cfg, train)?;
+) -> Result<IndependentBundle, CoreError> {
+    let actors =
+        crate::framework::build_actors(crate::framework::FrameworkKind::Proposed, env_cfg, train)?;
     let critics: Vec<Box<dyn Critic>> = (0..env_cfg.n_edges)
         .map(|n| {
             crate::value::QuantumCritic::new(
@@ -239,9 +278,7 @@ mod tests {
         let (actors, _) = build_independent_quantum(&env_cfg, &train).unwrap();
         // Centralized (16-input) critics must be rejected.
         let critics: Vec<Box<dyn Critic>> = (0..4)
-            .map(|n| {
-                Box::new(QuantumCritic::new(4, 16, 50, n).unwrap()) as Box<dyn Critic>
-            })
+            .map(|n| Box::new(QuantumCritic::new(4, 16, 50, n).unwrap()) as Box<dyn Critic>)
             .collect();
         assert!(IndependentTrainer::new(env, actors, critics, train).is_err());
     }
@@ -261,7 +298,11 @@ mod tests {
         let run = |seed: u64| {
             let mut t = setup(seed);
             t.train(3).unwrap();
-            t.history().records().iter().map(|r| r.metrics.total_reward).collect::<Vec<_>>()
+            t.history()
+                .records()
+                .iter()
+                .map(|r| r.metrics.total_reward)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -273,6 +314,9 @@ mod tests {
         let before = t.actors()[0].params();
         t.train(2).unwrap();
         let after = t.actors()[0].params();
-        assert!(before.iter().zip(&after).any(|(a, b)| (a - b).abs() > 1e-12));
+        assert!(before
+            .iter()
+            .zip(&after)
+            .any(|(a, b)| (a - b).abs() > 1e-12));
     }
 }

@@ -9,12 +9,17 @@
 use rand::Rng;
 
 use qmarl_neural::prelude::{policy_gradient_logits, softmax, Activation, Mlp};
+use qmarl_runtime::qnn::CompiledVqc;
 use qmarl_vqc::prelude::{GradMethod, OutputHead, Readout, Vqc, VqcBuilder};
 
 use crate::error::CoreError;
 
 /// A trainable stochastic policy over a discrete action set.
-pub trait Actor: Send {
+///
+/// `Sync` is required so frozen-parameter policies can be shared with
+/// parallel rollout workers (`&dyn Actor` crosses threads during
+/// [`crate::trainer::CtdeTrainer::rollout_parallel`]).
+pub trait Actor: Send + Sync {
     /// Observation dimensionality.
     fn obs_dim(&self) -> usize;
     /// Number of discrete actions.
@@ -68,6 +73,10 @@ pub trait Actor: Send {
     ///
     /// Returns [`CoreError::ParamLenMismatch`] on length mismatch.
     fn set_params(&mut self, params: &[f64]) -> Result<(), CoreError>;
+
+    /// A boxed deep copy — how parallel rollout workers get private
+    /// policy handles (mirrors [`crate::value::Critic::clone_box`]).
+    fn clone_box(&self) -> Box<dyn Actor>;
 }
 
 /// The logits-gradient of the entropy-regularised MAPG pseudo-loss
@@ -110,9 +119,13 @@ pub fn select_action<R: Rng + ?Sized>(probs: &[f64], deterministic: bool, rng: &
 }
 
 /// The paper's quantum actor: layered-encoder VQC + softmax policy head.
+///
+/// Evaluation runs through the batched runtime ([`CompiledVqc`]): the
+/// circuit is compiled once (shared process-wide with every same-shaped
+/// actor) and forward passes execute the fused schedule.
 #[derive(Debug, Clone)]
 pub struct QuantumActor {
-    model: Vqc,
+    model: CompiledVqc,
     params: Vec<f64>,
     grad_method: GradMethod,
 }
@@ -148,11 +161,17 @@ impl QuantumActor {
         let model = VqcBuilder::new(n_qubits)
             .encoder_inputs(obs_dim)
             .ansatz_params(total_params - head_params)
-            .readout(Readout::ZPerQubit { qubits: (0..n_actions).collect() })
+            .readout(Readout::ZPerQubit {
+                qubits: (0..n_actions).collect(),
+            })
             .output_head(OutputHead::Affine)
             .build()?;
         let params = model.init_params(seed);
-        Ok(QuantumActor { model, params, grad_method: GradMethod::Adjoint })
+        Ok(QuantumActor {
+            model: CompiledVqc::new(model),
+            params,
+            grad_method: GradMethod::Adjoint,
+        })
     }
 
     /// Overrides the gradient method (default: adjoint).
@@ -163,6 +182,11 @@ impl QuantumActor {
 
     /// The underlying VQC (e.g. for circuit diagrams or Fig. 4 states).
     pub fn model(&self) -> &Vqc {
+        self.model.model()
+    }
+
+    /// The compiled-runtime handle backing this actor.
+    pub fn compiled(&self) -> &CompiledVqc {
         &self.model
     }
 
@@ -174,13 +198,27 @@ impl QuantumActor {
     /// Returns [`CoreError::FeatureLenMismatch`] for a bad observation.
     pub fn quantum_state(&self, obs: &[f64]) -> Result<qmarl_qsim::state::StateVector, CoreError> {
         self.check_obs(obs)?;
-        Ok(self.model.state(obs, &self.params)?)
+        Ok(self.model.model().state(obs, &self.params)?)
+    }
+
+    /// Action distributions for a whole batch of observations, fanned out
+    /// over the runtime's batch executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FeatureLenMismatch`] for a bad observation.
+    pub fn probs_batch(&self, batch: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CoreError> {
+        for obs in batch {
+            self.check_obs(obs)?;
+        }
+        let logits = self.model.forward_batch(batch, &self.params)?;
+        Ok(logits.iter().map(|l| softmax(l)).collect())
     }
 
     fn check_obs(&self, obs: &[f64]) -> Result<(), CoreError> {
-        if obs.len() != self.model.input_len() {
+        if obs.len() != self.model.model().input_len() {
             return Err(CoreError::FeatureLenMismatch {
-                expected: self.model.input_len(),
+                expected: self.model.model().input_len(),
                 actual: obs.len(),
             });
         }
@@ -190,15 +228,15 @@ impl QuantumActor {
 
 impl Actor for QuantumActor {
     fn obs_dim(&self) -> usize {
-        self.model.input_len()
+        self.model.model().input_len()
     }
 
     fn n_actions(&self) -> usize {
-        self.model.output_len()
+        self.model.model().output_len()
     }
 
     fn param_count(&self) -> usize {
-        self.model.param_count()
+        self.model.model().param_count()
     }
 
     fn probs(&self, obs: &[f64]) -> Result<Vec<f64>, CoreError> {
@@ -215,9 +253,9 @@ impl Actor for QuantumActor {
         entropy_coef: f64,
     ) -> Result<Vec<f64>, CoreError> {
         self.check_obs(obs)?;
-        let (logits, jac) = self
-            .model
-            .forward_with_jacobian(obs, &self.params, self.grad_method)?;
+        let (logits, jac) =
+            self.model
+                .forward_with_jacobian(obs, &self.params, self.grad_method)?;
         let probs = softmax(&logits);
         let upstream = regularized_upstream(&probs, action, advantage, entropy_coef);
         Ok(jac.vjp(&upstream))
@@ -237,6 +275,10 @@ impl Actor for QuantumActor {
         self.params.copy_from_slice(params);
         Ok(())
     }
+
+    fn clone_box(&self) -> Box<dyn Actor> {
+        Box::new(self.clone())
+    }
 }
 
 /// A classical MLP actor (the paper's Comp2/Comp3 policies).
@@ -254,9 +296,13 @@ impl ClassicalActor {
     /// Returns [`CoreError::InvalidConfig`] for fewer than two sizes.
     pub fn new(sizes: &[usize], seed: u64) -> Result<Self, CoreError> {
         if sizes.len() < 2 {
-            return Err(CoreError::InvalidConfig("actor MLP needs input and output sizes".into()));
+            return Err(CoreError::InvalidConfig(
+                "actor MLP needs input and output sizes".into(),
+            ));
         }
-        Ok(ClassicalActor { mlp: Mlp::new(sizes, Activation::Tanh, seed) })
+        Ok(ClassicalActor {
+            mlp: Mlp::new(sizes, Activation::Tanh, seed),
+        })
     }
 
     /// The underlying network.
@@ -321,6 +367,10 @@ impl Actor for ClassicalActor {
         self.mlp.set_params(params);
         Ok(())
     }
+
+    fn clone_box(&self) -> Box<dyn Actor> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -355,7 +405,10 @@ mod tests {
     #[test]
     fn quantum_actor_rejects_bad_obs() {
         let a = quantum_actor();
-        assert!(matches!(a.probs(&[0.1; 3]), Err(CoreError::FeatureLenMismatch { .. })));
+        assert!(matches!(
+            a.probs(&[0.1; 3]),
+            Err(CoreError::FeatureLenMismatch { .. })
+        ));
         assert!(a.policy_gradient(&[0.1; 5], 0, 1.0).is_err());
         assert!(a.quantum_state(&[0.1; 2]).is_err());
     }
@@ -369,9 +422,7 @@ mod tests {
         let grad = a.policy_gradient(&obs, action, adv).unwrap();
         let base = a.params();
         let eps = 1e-6;
-        let loss = |a: &QuantumActor| -> f64 {
-            -adv * a.probs(&obs).unwrap()[action].ln()
-        };
+        let loss = |a: &QuantumActor| -> f64 { -adv * a.probs(&obs).unwrap()[action].ln() };
         for p in (0..base.len()).step_by(7) {
             let mut pp = base.clone();
             pp[p] += eps;
@@ -381,7 +432,11 @@ mod tests {
             a.set_params(&pp).unwrap();
             let minus = loss(&a);
             let fd = (plus - minus) / (2.0 * eps);
-            assert!((grad[p] - fd).abs() < 1e-5, "param {p}: {} vs {fd}", grad[p]);
+            assert!(
+                (grad[p] - fd).abs() < 1e-5,
+                "param {p}: {} vs {fd}",
+                grad[p]
+            );
         }
     }
 
@@ -390,7 +445,9 @@ mod tests {
         let mut a = quantum_actor();
         let obs = [0.3, 0.6, 0.1, 0.9];
         let (action, adv, beta) = (1usize, 0.8, 0.3);
-        let grad = a.policy_gradient_with_entropy(&obs, action, adv, beta).unwrap();
+        let grad = a
+            .policy_gradient_with_entropy(&obs, action, adv, beta)
+            .unwrap();
         let base = a.params();
         let eps = 1e-6;
         // Loss = −adv·ln π[a] − β·H(π).
@@ -407,7 +464,11 @@ mod tests {
             a.set_params(&pp).unwrap();
             let minus = loss(&a);
             let fd = (plus - minus) / (2.0 * eps);
-            assert!((grad[p] - fd).abs() < 1e-5, "param {p}: {} vs {fd}", grad[p]);
+            assert!(
+                (grad[p] - fd).abs() < 1e-5,
+                "param {p}: {} vs {fd}",
+                grad[p]
+            );
         }
     }
 

@@ -37,7 +37,9 @@ pub struct Episode {
 impl Episode {
     /// An empty episode.
     pub fn new() -> Self {
-        Episode { transitions: Vec::new() }
+        Episode {
+            transitions: Vec::new(),
+        }
     }
 
     /// Appends a transition.
@@ -81,7 +83,10 @@ impl ReplayBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay buffer capacity must be positive");
-        ReplayBuffer { episodes: VecDeque::new(), capacity }
+        ReplayBuffer {
+            episodes: VecDeque::new(),
+            capacity,
+        }
     }
 
     /// Stores a finished episode, evicting the oldest if full.

@@ -16,10 +16,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use qmarl_env::metrics::{EpisodeMetrics, MetricsAccumulator};
+use qmarl_env::metrics::{EpisodeMetrics, MetricsAccumulator, MetricsMean};
 use qmarl_env::multi_agent::MultiAgentEnv;
 use qmarl_neural::optim::Adam;
 use qmarl_neural::prelude::entropy;
+use qmarl_runtime::rollout::{collect_episodes, derive_seed, RolloutConfig, WorkerEnv};
 
 use crate::config::TrainConfig;
 use crate::error::CoreError;
@@ -88,8 +89,9 @@ impl TrainingHistory {
 
     /// CSV with one row per epoch (the Fig. 3 series).
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("epoch,total_reward,avg_queue,empty_ratio,overflow_ratio,critic_loss,mean_entropy\n");
+        let mut out = String::from(
+            "epoch,total_reward,avg_queue,empty_ratio,overflow_ratio,critic_loss,mean_entropy\n",
+        );
         for r in &self.records {
             out.push_str(&format!(
                 "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
@@ -119,6 +121,10 @@ pub struct CtdeTrainer<E: MultiAgentEnv> {
     rng: StdRng,
     history: TrainingHistory,
     epoch: usize,
+    /// Completed parallel-collection rounds; advances the base seed so
+    /// successive [`CtdeTrainer::rollout_parallel`] calls explore
+    /// different episodes, deterministically.
+    parallel_rounds: u64,
 }
 
 impl<E: MultiAgentEnv> CtdeTrainer<E> {
@@ -186,6 +192,7 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
             rng,
             history: TrainingHistory::default(),
             epoch: 0,
+            parallel_rounds: 0,
         })
     }
 
@@ -260,7 +267,11 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
                 break;
             }
         }
-        let mean_entropy = if entropy_n == 0 { 0.0 } else { entropy_sum / entropy_n as f64 };
+        let mean_entropy = if entropy_n == 0 {
+            0.0
+        } else {
+            entropy_sum / entropy_n as f64
+        };
         Ok((episode, acc.finish(), mean_entropy))
     }
 
@@ -277,7 +288,12 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
         if self.epoch.is_multiple_of(self.config.target_update_period) {
             self.target.set_params(&self.critic.params())?;
         }
-        let record = EpochRecord { epoch: self.epoch - 1, metrics, critic_loss, mean_entropy };
+        let record = EpochRecord {
+            epoch: self.epoch - 1,
+            metrics,
+            critic_loss,
+            mean_entropy,
+        };
         self.history.records.push(record);
         Ok(record)
     }
@@ -297,19 +313,30 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
     /// Lines 12–16 of Algorithm 1: sweep the batch, one Adam step per
     /// timestep sample. Returns the mean squared TD error.
     fn update(&mut self) -> Result<f64, CoreError> {
+        self.update_over(self.config.batch_episodes)
+    }
+
+    /// The update sweep over the most recent `batch_episodes` episodes.
+    fn update_over(&mut self, batch_episodes: usize) -> Result<f64, CoreError> {
         let gamma = self.config.gamma;
-        let episodes: Vec<Episode> = self
-            .replay
-            .recent(self.config.batch_episodes)
-            .cloned()
+        let episodes: Vec<Episode> = self.replay.recent(batch_episodes).cloned().collect();
+        // The target network φ is frozen for the whole sweep, so every
+        // V_φ(s') of the batch is computed up front in one batched
+        // runtime call instead of one circuit at a time inside the loop.
+        let next_states: Vec<Vec<f64>> = episodes
+            .iter()
+            .flat_map(|ep| ep.transitions().iter().map(|tr| tr.next_state.clone()))
             .collect();
+        let v_next_all = self.target.values_batch(&next_states)?;
+        let mut sample = 0usize;
         let mut loss_sum = 0.0;
         let mut loss_n = 0usize;
         for ep in &episodes {
             for tr in ep.transitions() {
                 // y_t = r + γ V_φ(s') − V_ψ(s): TD error = advantage.
                 let (v_s, critic_grad) = self.critic.value_with_gradient(&tr.state)?;
-                let v_next = self.target.value(&tr.next_state)?;
+                let v_next = v_next_all[sample];
+                sample += 1;
                 let y = tr.reward + gamma * v_next - v_s;
                 loss_sum += y * y;
                 loss_n += 1;
@@ -335,7 +362,11 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
                 self.critic.set_params(&params)?;
             }
         }
-        Ok(if loss_n == 0 { 0.0 } else { loss_sum / loss_n as f64 })
+        Ok(if loss_n == 0 {
+            0.0
+        } else {
+            loss_sum / loss_n as f64
+        })
     }
 
     /// Evaluates the current policies without learning: `episodes`
@@ -348,6 +379,164 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
         let mut agg = qmarl_env::metrics::MetricsMean::new();
         for _ in 0..episodes {
             let (_, m, _) = self.rollout(true)?;
+            agg.add(&m);
+        }
+        agg.mean()
+            .ok_or_else(|| CoreError::InvalidConfig("evaluate needs at least one episode".into()))
+    }
+}
+
+/// The parallel collection surface, available when the environment can
+/// hand each rollout worker a reseedable private copy.
+impl<E: WorkerEnv> CtdeTrainer<E> {
+    /// Rolls out `n_episodes` under the **frozen current policies** with
+    /// the runtime's parallel rollout workers (`workers = 0` auto-detects).
+    ///
+    /// Episode randomness derives from `(config.seed, collection round,
+    /// episode index)` — see `qmarl_runtime::rollout` for the contract —
+    /// so results are independent of `workers` and reproducible run to
+    /// run. Returns `(episode, metrics, mean policy entropy)` per episode
+    /// in episode order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and policy errors.
+    pub fn rollout_parallel(
+        &mut self,
+        n_episodes: usize,
+        workers: usize,
+        deterministic: bool,
+    ) -> Result<Vec<(Episode, EpisodeMetrics, f64)>, CoreError> {
+        let base_seed = derive_seed(self.config.seed, 0xC0_11EC7, self.parallel_rounds);
+        self.parallel_rounds += 1;
+        let actors = &self.actors;
+        let traces = collect_episodes(
+            &self.env,
+            |_episode| {
+                move |obs: &[Vec<f64>], rng: &mut StdRng| -> Result<(Vec<usize>, f64), CoreError> {
+                    let mut actions = Vec::with_capacity(actors.len());
+                    let mut entropy_sum = 0.0;
+                    for (n, actor) in actors.iter().enumerate() {
+                        let probs = actor.probs(&obs[n])?;
+                        entropy_sum += entropy(&probs);
+                        actions.push(select_action(&probs, deterministic, rng));
+                    }
+                    Ok((actions, entropy_sum / actors.len() as f64))
+                }
+            },
+            n_episodes,
+            &RolloutConfig { workers, base_seed },
+        )
+        .map_err(CoreError::from)?;
+
+        Ok(traces
+            .into_iter()
+            .map(|trace| {
+                let metrics = trace.metrics();
+                let mean_entropy = trace.mean_aux();
+                let mut episode = Episode::new();
+                for step in trace.steps {
+                    episode.push(Transition {
+                        state: step.state,
+                        observations: step.observations,
+                        actions: step.actions,
+                        reward: step.reward,
+                        next_state: step.next_state,
+                        next_observations: step.next_observations,
+                        done: step.done,
+                    });
+                }
+                (episode, metrics, mean_entropy)
+            })
+            .collect())
+    }
+
+    /// One parallel epoch: collect `episodes_per_epoch` episodes
+    /// concurrently, feed them all into the replay buffer, then run the
+    /// usual update sweep over the enlarged batch (the paper's Algorithm 1
+    /// with line 8 amortised across workers). Records one epoch entry
+    /// whose metrics average the collected episodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and model errors.
+    pub fn run_epoch_parallel(
+        &mut self,
+        episodes_per_epoch: usize,
+        workers: usize,
+    ) -> Result<EpochRecord, CoreError> {
+        if episodes_per_epoch == 0 {
+            return Err(CoreError::InvalidConfig(
+                "parallel epoch needs at least one episode".into(),
+            ));
+        }
+        if episodes_per_epoch > self.config.replay_capacity {
+            return Err(CoreError::InvalidConfig(format!(
+                "episodes_per_epoch {episodes_per_epoch} exceeds replay capacity {}: \
+                 collected episodes would be evicted before the update sweep",
+                self.config.replay_capacity
+            )));
+        }
+        let collected = self.rollout_parallel(episodes_per_epoch, workers, false)?;
+        let mut agg = MetricsMean::new();
+        let mut entropy_sum = 0.0;
+        for (episode, metrics, mean_entropy) in collected {
+            agg.add(&metrics);
+            entropy_sum += mean_entropy;
+            self.replay.push(episode);
+        }
+        let metrics = agg.mean().expect("episodes_per_epoch > 0");
+        // Sweep everything this epoch collected (or the configured batch,
+        // whichever is larger) — a parallel epoch must train on the
+        // episodes it just paid to roll out, not only the newest one.
+        let critic_loss = self.update_over(episodes_per_epoch.max(self.config.batch_episodes))?;
+        self.epoch += 1;
+        if self.epoch.is_multiple_of(self.config.target_update_period) {
+            self.target.set_params(&self.critic.params())?;
+        }
+        let record = EpochRecord {
+            epoch: self.epoch - 1,
+            metrics,
+            critic_loss,
+            mean_entropy: entropy_sum / episodes_per_epoch as f64,
+        };
+        self.history.records.push(record);
+        Ok(record)
+    }
+
+    /// Trains for `epochs` parallel epochs (see
+    /// [`CtdeTrainer::run_epoch_parallel`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first epoch error.
+    pub fn train_parallel(
+        &mut self,
+        epochs: usize,
+        episodes_per_epoch: usize,
+        workers: usize,
+    ) -> Result<&TrainingHistory, CoreError> {
+        for _ in 0..epochs {
+            self.run_epoch_parallel(episodes_per_epoch, workers)?;
+        }
+        Ok(&self.history)
+    }
+
+    /// Parallel deterministic evaluation: like [`CtdeTrainer::evaluate`]
+    /// but collecting the argmax rollouts across workers. Does not mutate
+    /// policies or the replay buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and policy errors, and rejects
+    /// `episodes == 0`.
+    pub fn evaluate_parallel(
+        &mut self,
+        episodes: usize,
+        workers: usize,
+    ) -> Result<EpisodeMetrics, CoreError> {
+        let mut agg = MetricsMean::new();
+        for (_, m, _) in self.rollout_parallel(episodes, workers, true)? {
             agg.add(&m);
         }
         agg.mean()
@@ -380,9 +569,7 @@ mod tests {
     fn quantum_setup(seed: u64) -> CtdeTrainer<SingleHopEnv> {
         let env = small_env(seed);
         let actors: Vec<Box<dyn Actor>> = (0..4)
-            .map(|n| {
-                Box::new(QuantumActor::new(4, 4, 4, 50, seed + n).unwrap()) as Box<dyn Actor>
-            })
+            .map(|n| Box::new(QuantumActor::new(4, 4, 4, 50, seed + n).unwrap()) as Box<dyn Actor>)
             .collect();
         let critic = Box::new(QuantumCritic::new(4, 16, 50, seed + 100).unwrap());
         CtdeTrainer::new(env, actors, critic, small_train_config()).unwrap()
@@ -438,7 +625,10 @@ mod tests {
         assert!(rec.critic_loss > 0.0);
         let after: Vec<Vec<f64>> = t.actors().iter().map(|a| a.params()).collect();
         for (b, a) in before.iter().zip(&after) {
-            assert!(b.iter().zip(a).any(|(x, y)| (x - y).abs() > 1e-12), "actor params must move");
+            assert!(
+                b.iter().zip(a).any(|(x, y)| (x - y).abs() > 1e-12),
+                "actor params must move"
+            );
         }
         assert!(
             critic_before
@@ -457,7 +647,10 @@ mod tests {
         t.run_epoch().unwrap(); // epoch 1: no sync (period 2)
         let target_params = t.target.params();
         let critic_params = t.critic.params();
-        assert!(target_params.iter().zip(&critic_params).any(|(a, b)| (a - b).abs() > 1e-12));
+        assert!(target_params
+            .iter()
+            .zip(&critic_params)
+            .any(|(a, b)| (a - b).abs() > 1e-12));
         t.run_epoch().unwrap(); // epoch 2: sync
         assert_eq!(t.target.params(), t.critic.params());
     }
@@ -469,7 +662,9 @@ mod tests {
             cfg.seed = seed;
             let env = small_env(seed);
             let actors: Vec<Box<dyn Actor>> = (0..4)
-                .map(|n| Box::new(ClassicalActor::new(&[4, 5, 4], seed + n).unwrap()) as Box<dyn Actor>)
+                .map(|n| {
+                    Box::new(ClassicalActor::new(&[4, 5, 4], seed + n).unwrap()) as Box<dyn Actor>
+                })
                 .collect();
             let critic = Box::new(ClassicalCritic::new(&[16, 2, 1], seed).unwrap());
             let mut t = CtdeTrainer::new(env, actors, critic, cfg).unwrap();
@@ -510,6 +705,80 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("epoch,total_reward"));
         assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn rollout_parallel_is_worker_count_invariant() {
+        let collect = |workers: usize| {
+            let mut t = quantum_setup(11);
+            t.rollout_parallel(4, workers, false)
+                .unwrap()
+                .into_iter()
+                .map(|(ep, m, ent)| (ep, m.total_reward, ent))
+                .collect::<Vec<_>>()
+        };
+        let reference = collect(1);
+        assert_eq!(reference.len(), 4);
+        for workers in [2, 8] {
+            assert_eq!(collect(workers), reference, "workers={workers}");
+        }
+        // Episodes are full-length and distinct from one another.
+        assert_eq!(reference[0].0.len(), 15);
+        assert_ne!(reference[0].1, reference[1].1);
+    }
+
+    #[test]
+    fn successive_parallel_rounds_differ_deterministically() {
+        let mut t = quantum_setup(12);
+        let a: Vec<f64> = t
+            .rollout_parallel(2, 2, false)
+            .unwrap()
+            .iter()
+            .map(|(_, m, _)| m.total_reward)
+            .collect();
+        let b: Vec<f64> = t
+            .rollout_parallel(2, 2, false)
+            .unwrap()
+            .iter()
+            .map(|(_, m, _)| m.total_reward)
+            .collect();
+        assert_ne!(a, b, "rounds must explore different episodes");
+        // A fresh trainer replays the exact same sequence.
+        let mut t2 = quantum_setup(12);
+        let a2: Vec<f64> = t2
+            .rollout_parallel(2, 2, false)
+            .unwrap()
+            .iter()
+            .map(|(_, m, _)| m.total_reward)
+            .collect();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn parallel_epoch_trains_and_records() {
+        let mut t = quantum_setup(13);
+        let before: Vec<f64> = t.critic().params();
+        let rec = t.run_epoch_parallel(3, 2).unwrap();
+        assert_eq!(rec.epoch, 0);
+        assert!(rec.critic_loss > 0.0);
+        assert!(rec.mean_entropy > 0.0);
+        assert!(t
+            .critic()
+            .params()
+            .iter()
+            .zip(&before)
+            .any(|(x, y)| (x - y).abs() > 1e-12));
+        assert_eq!(t.history().len(), 1);
+        assert!(t.run_epoch_parallel(0, 1).is_err());
+    }
+
+    #[test]
+    fn evaluate_parallel_matches_shape_of_serial_evaluate() {
+        let mut t = quantum_setup(14);
+        let m = t.evaluate_parallel(3, 2).unwrap();
+        assert!(m.total_reward <= 0.0);
+        assert!(m.avg_queue >= 0.0);
+        assert!(t.evaluate_parallel(0, 2).is_err());
     }
 
     #[test]

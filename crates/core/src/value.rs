@@ -10,6 +10,7 @@
 //! qubit-scaling ablation.
 
 use qmarl_neural::prelude::{Activation, Mlp};
+use qmarl_runtime::qnn::CompiledVqc;
 use qmarl_vqc::prelude::{GradMethod, OutputHead, Readout, Vqc, VqcBuilder};
 
 use crate::error::CoreError;
@@ -27,6 +28,18 @@ pub trait Critic: Send {
     ///
     /// Returns [`CoreError::FeatureLenMismatch`] for a bad state vector.
     fn value(&self, state: &[f64]) -> Result<f64, CoreError>;
+
+    /// Value estimates for a whole batch of states. The default walks
+    /// [`Critic::value`] serially; quantum critics override it with the
+    /// runtime's batched executor (how the trainer evaluates all TD
+    /// targets of a minibatch at once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FeatureLenMismatch`] for a bad state vector.
+    fn values_batch(&self, states: &[Vec<f64>]) -> Result<Vec<f64>, CoreError> {
+        states.iter().map(|s| self.value(s)).collect()
+    }
 
     /// The value and its parameter gradient `∇_ψ V(s)`.
     ///
@@ -54,9 +67,12 @@ pub trait Critic: Send {
 /// The paper's quantum centralized critic: `state_dim` features folded
 /// into `n_qubits` wires by the layered encoder, scalar mean-`⟨Z⟩` readout
 /// with a trainable affine head.
+///
+/// Evaluation runs through the batched runtime ([`CompiledVqc`]); batch
+/// value queries ([`Critic::values_batch`]) fan out over its executor.
 #[derive(Debug, Clone)]
 pub struct QuantumCritic {
-    model: Vqc,
+    model: CompiledVqc,
     params: Vec<f64>,
     grad_method: GradMethod,
 }
@@ -87,7 +103,11 @@ impl QuantumCritic {
             .output_head(OutputHead::Affine)
             .build()?;
         let params = model.init_params(seed);
-        Ok(QuantumCritic { model, params, grad_method: GradMethod::Adjoint })
+        Ok(QuantumCritic {
+            model: CompiledVqc::new(model),
+            params,
+            grad_method: GradMethod::Adjoint,
+        })
     }
 
     /// Overrides the gradient method (default: adjoint).
@@ -98,13 +118,18 @@ impl QuantumCritic {
 
     /// The underlying VQC.
     pub fn model(&self) -> &Vqc {
+        self.model.model()
+    }
+
+    /// The compiled-runtime handle backing this critic.
+    pub fn compiled(&self) -> &CompiledVqc {
         &self.model
     }
 
     fn check_state(&self, state: &[f64]) -> Result<(), CoreError> {
-        if state.len() != self.model.input_len() {
+        if state.len() != self.model.model().input_len() {
             return Err(CoreError::FeatureLenMismatch {
-                expected: self.model.input_len(),
+                expected: self.model.model().input_len(),
                 actual: state.len(),
             });
         }
@@ -114,16 +139,23 @@ impl QuantumCritic {
 
 impl Critic for QuantumCritic {
     fn state_dim(&self) -> usize {
-        self.model.input_len()
+        self.model.model().input_len()
     }
 
     fn param_count(&self) -> usize {
-        self.model.param_count()
+        self.model.model().param_count()
     }
 
     fn value(&self, state: &[f64]) -> Result<f64, CoreError> {
         self.check_state(state)?;
         Ok(self.model.forward(state, &self.params)?[0])
+    }
+
+    fn values_batch(&self, states: &[Vec<f64>]) -> Result<Vec<f64>, CoreError> {
+        for s in states {
+            self.check_state(s)?;
+        }
+        Ok(self.model.values_batch(states, &self.params)?)
     }
 
     fn value_with_gradient(&self, state: &[f64]) -> Result<(f64, Vec<f64>), CoreError> {
@@ -234,12 +266,18 @@ impl ClassicalCritic {
     /// non-scalar output.
     pub fn new(sizes: &[usize], seed: u64) -> Result<Self, CoreError> {
         if sizes.len() < 2 {
-            return Err(CoreError::InvalidConfig("critic MLP needs input and output sizes".into()));
+            return Err(CoreError::InvalidConfig(
+                "critic MLP needs input and output sizes".into(),
+            ));
         }
         if *sizes.last().expect("nonempty") != 1 {
-            return Err(CoreError::InvalidConfig("critic MLP must output a scalar".into()));
+            return Err(CoreError::InvalidConfig(
+                "critic MLP must output a scalar".into(),
+            ));
         }
-        Ok(ClassicalCritic { mlp: Mlp::new(sizes, Activation::Tanh, seed) })
+        Ok(ClassicalCritic {
+            mlp: Mlp::new(sizes, Activation::Tanh, seed),
+        })
     }
 
     /// The underlying network.
@@ -314,7 +352,10 @@ mod tests {
         assert_eq!(c.param_count(), 50); // 48 circuit + scale + bias
         assert_eq!(c.model().circuit().n_qubits(), 4);
         let v = c.value(&state16()).unwrap();
-        assert!((-1.5..=1.5).contains(&v), "fresh critic near raw readout range, got {v}");
+        assert!(
+            (-1.5..=1.5).contains(&v),
+            "fresh critic near raw readout range, got {v}"
+        );
     }
 
     #[test]
@@ -384,7 +425,10 @@ mod tests {
     #[test]
     fn critics_validate_inputs() {
         let c = QuantumCritic::new(4, 16, 50, 0).unwrap();
-        assert!(matches!(c.value(&[0.0; 4]), Err(CoreError::FeatureLenMismatch { .. })));
+        assert!(matches!(
+            c.value(&[0.0; 4]),
+            Err(CoreError::FeatureLenMismatch { .. })
+        ));
         let mut c = ClassicalCritic::new(&[16, 2, 1], 0).unwrap();
         assert!(c.value(&[0.0; 3]).is_err());
         assert!(c.set_params(&[0.0; 2]).is_err());

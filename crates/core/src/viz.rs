@@ -7,9 +7,9 @@
 //! [`render_queue_chart`] and [`render_heatmap_ansi`] render them for a
 //! terminal, and [`frames_to_csv`] exports them for external plotting.
 
-use qmarl_qsim::bloch::{amplitude_color, amplitude_grid, AmplitudeCell};
 use qmarl_env::multi_agent::MultiAgentEnv;
 use qmarl_env::single_hop::SingleHopEnv;
+use qmarl_qsim::bloch::{amplitude_color, amplitude_grid, AmplitudeCell};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -177,10 +177,13 @@ mod tests {
         let mut cfg = EnvConfig::paper_default();
         cfg.episode_limit = 12;
         let env = SingleHopEnv::new(cfg, 3).unwrap();
-        let quantum: Vec<QuantumActor> =
-            (0..4).map(|n| QuantumActor::new(4, 4, 4, 50, n as u64).unwrap()).collect();
-        let actors: Vec<Box<dyn Actor>> =
-            quantum.iter().map(|q| Box::new(q.clone()) as Box<dyn Actor>).collect();
+        let quantum: Vec<QuantumActor> = (0..4)
+            .map(|n| QuantumActor::new(4, 4, 4, 50, n as u64).unwrap())
+            .collect();
+        let actors: Vec<Box<dyn Actor>> = quantum
+            .iter()
+            .map(|q| Box::new(q.clone()) as Box<dyn Actor>)
+            .collect();
         (env, actors, quantum)
     }
 

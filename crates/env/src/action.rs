@@ -35,10 +35,14 @@ impl ActionSpace {
             return Err(EnvError::InvalidConfig("need at least one cloud".into()));
         }
         if amounts.is_empty() {
-            return Err(EnvError::InvalidConfig("need at least one packet amount".into()));
+            return Err(EnvError::InvalidConfig(
+                "need at least one packet amount".into(),
+            ));
         }
         if amounts.iter().any(|&a| a <= 0.0 || !a.is_finite()) {
-            return Err(EnvError::InvalidConfig("packet amounts must be positive".into()));
+            return Err(EnvError::InvalidConfig(
+                "packet amounts must be positive".into(),
+            ));
         }
         Ok(ActionSpace { n_clouds, amounts })
     }
@@ -75,7 +79,10 @@ impl ActionSpace {
     /// Returns [`EnvError::InvalidAction`] when out of range.
     pub fn decode(&self, index: usize) -> Result<EdgeAction, EnvError> {
         if index >= self.len() {
-            return Err(EnvError::InvalidAction { index, n_actions: self.len() });
+            return Err(EnvError::InvalidAction {
+                index,
+                n_actions: self.len(),
+            });
         }
         Ok(EdgeAction {
             destination: index / self.amounts.len(),
@@ -130,10 +137,34 @@ mod tests {
     #[test]
     fn decode_layout() {
         let a = ActionSpace::paper_default();
-        assert_eq!(a.decode(0).unwrap(), EdgeAction { destination: 0, amount: 0.1 });
-        assert_eq!(a.decode(1).unwrap(), EdgeAction { destination: 0, amount: 0.2 });
-        assert_eq!(a.decode(2).unwrap(), EdgeAction { destination: 1, amount: 0.1 });
-        assert_eq!(a.decode(3).unwrap(), EdgeAction { destination: 1, amount: 0.2 });
+        assert_eq!(
+            a.decode(0).unwrap(),
+            EdgeAction {
+                destination: 0,
+                amount: 0.1
+            }
+        );
+        assert_eq!(
+            a.decode(1).unwrap(),
+            EdgeAction {
+                destination: 0,
+                amount: 0.2
+            }
+        );
+        assert_eq!(
+            a.decode(2).unwrap(),
+            EdgeAction {
+                destination: 1,
+                amount: 0.1
+            }
+        );
+        assert_eq!(
+            a.decode(3).unwrap(),
+            EdgeAction {
+                destination: 1,
+                amount: 0.2
+            }
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl fmt::Display for EnvError {
         match self {
             EnvError::InvalidConfig(msg) => write!(f, "invalid environment config: {msg}"),
             EnvError::InvalidAction { index, n_actions } => {
-                write!(f, "action index {index} out of range for {n_actions} actions")
+                write!(
+                    f,
+                    "action index {index} out of range for {n_actions} actions"
+                )
             }
             EnvError::WrongAgentCount { expected, actual } => {
                 write!(f, "expected {expected} agent actions, got {actual}")
@@ -51,8 +54,14 @@ mod tests {
     fn messages_nonempty() {
         for e in [
             EnvError::InvalidConfig("x".into()),
-            EnvError::InvalidAction { index: 9, n_actions: 4 },
-            EnvError::WrongAgentCount { expected: 4, actual: 2 },
+            EnvError::InvalidAction {
+                index: 9,
+                n_actions: 4,
+            },
+            EnvError::WrongAgentCount {
+                expected: 4,
+                actual: 2,
+            },
             EnvError::EpisodeOver,
         ] {
             assert!(!e.to_string().is_empty());

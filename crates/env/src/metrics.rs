@@ -139,7 +139,12 @@ mod tests {
     fn accumulates_one_episode() {
         let mut acc = MetricsAccumulator::new();
         acc.record_step(-1.0, &[0.5, 0.5, 1.0, 0.0], &[false, true], &[true, false]);
-        acc.record_step(-2.0, &[0.0, 1.0, 0.5, 0.5], &[false, false], &[false, false]);
+        acc.record_step(
+            -2.0,
+            &[0.0, 1.0, 0.5, 0.5],
+            &[false, false],
+            &[false, false],
+        );
         let m = acc.finish();
         assert_eq!(m.total_reward, -3.0);
         assert!((m.avg_queue - 0.5).abs() < 1e-12);
@@ -161,8 +166,20 @@ mod tests {
     fn mean_over_episodes() {
         let mut agg = MetricsMean::new();
         assert!(agg.mean().is_none());
-        agg.add(&EpisodeMetrics { total_reward: -10.0, avg_queue: 0.4, empty_ratio: 0.1, overflow_ratio: 0.0, len: 5 });
-        agg.add(&EpisodeMetrics { total_reward: -20.0, avg_queue: 0.6, empty_ratio: 0.3, overflow_ratio: 0.2, len: 5 });
+        agg.add(&EpisodeMetrics {
+            total_reward: -10.0,
+            avg_queue: 0.4,
+            empty_ratio: 0.1,
+            overflow_ratio: 0.0,
+            len: 5,
+        });
+        agg.add(&EpisodeMetrics {
+            total_reward: -20.0,
+            avg_queue: 0.6,
+            empty_ratio: 0.3,
+            overflow_ratio: 0.2,
+            len: 5,
+        });
         let m = agg.mean().unwrap();
         assert_eq!(agg.count(), 2);
         assert_eq!(m.total_reward, -15.0);

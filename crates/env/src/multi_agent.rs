@@ -71,7 +71,12 @@ where
     loop {
         let actions = policy(&obs);
         let out = env.step(&actions)?;
-        acc.record_step(out.reward, &out.info.queue_levels, &out.info.cloud_empty, &out.info.cloud_full);
+        acc.record_step(
+            out.reward,
+            &out.info.queue_levels,
+            &out.info.cloud_empty,
+            &out.info.cloud_full,
+        );
         obs = out.observations;
         if out.done {
             return Ok(acc.finish());

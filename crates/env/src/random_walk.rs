@@ -66,7 +66,11 @@ mod tests {
     fn baseline_reward_is_negative() {
         let mut env = SingleHopEnv::new(EnvConfig::paper_default(), 3).unwrap();
         let m = random_walk_baseline(&mut env, 50, 11).unwrap();
-        assert!(m.total_reward < 0.0, "random policy must incur penalties, got {}", m.total_reward);
+        assert!(
+            m.total_reward < 0.0,
+            "random policy must incur penalties, got {}",
+            m.total_reward
+        );
         assert!(m.avg_queue > 0.0 && m.avg_queue < 1.0);
     }
 

@@ -96,25 +96,37 @@ impl EnvConfig {
     /// Returns [`EnvError::InvalidConfig`] describing the first problem.
     pub fn validate(&self) -> Result<(), EnvError> {
         if self.n_clouds == 0 || self.n_edges == 0 {
-            return Err(EnvError::InvalidConfig("need at least one cloud and one edge".into()));
+            return Err(EnvError::InvalidConfig(
+                "need at least one cloud and one edge".into(),
+            ));
         }
         if self.q_max <= 0.0 {
             return Err(EnvError::InvalidConfig("q_max must be positive".into()));
         }
         if self.w_p < 0.0 || self.w_r < 0.0 {
-            return Err(EnvError::InvalidConfig("w_P and w_R must be non-negative".into()));
+            return Err(EnvError::InvalidConfig(
+                "w_P and w_R must be non-negative".into(),
+            ));
         }
         if self.cloud_departure < 0.0 {
-            return Err(EnvError::InvalidConfig("cloud departure must be non-negative".into()));
+            return Err(EnvError::InvalidConfig(
+                "cloud departure must be non-negative".into(),
+            ));
         }
         if self.episode_limit == 0 {
-            return Err(EnvError::InvalidConfig("episode limit must be positive".into()));
+            return Err(EnvError::InvalidConfig(
+                "episode limit must be positive".into(),
+            ));
         }
         match self.init_queue {
             InitQueue::Fixed(f) if !(0.0..=1.0).contains(&f) => {
-                return Err(EnvError::InvalidConfig("fixed init fraction outside [0, 1]".into()))
+                return Err(EnvError::InvalidConfig(
+                    "fixed init fraction outside [0, 1]".into(),
+                ))
             }
-            InitQueue::Uniform(lo, hi) if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi => {
+            InitQueue::Uniform(lo, hi)
+                if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi =>
+            {
                 return Err(EnvError::InvalidConfig("uniform init range invalid".into()))
             }
             _ => {}
@@ -186,6 +198,15 @@ impl SingleHopEnv {
         &self.config
     }
 
+    /// Re-seeds the internal RNG and resets the episode, making this
+    /// instance's future stream fully determined by `seed`. This is the
+    /// hook parallel rollout workers use to give each episode its own
+    /// derived, reproducible randomness independent of worker scheduling.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.reset_internal();
+    }
+
     /// The action space.
     pub fn action_space(&self) -> &ActionSpace {
         &self.actions
@@ -247,7 +268,9 @@ impl SingleHopEnv {
     }
 
     fn observations(&self) -> Vec<Vec<f64>> {
-        (0..self.config.n_edges).map(|n| self.observation(n)).collect()
+        (0..self.config.n_edges)
+            .map(|n| self.observation(n))
+            .collect()
     }
 
     fn global_state(&self) -> Vec<f64> {
@@ -317,6 +340,7 @@ impl MultiAgentEnv for SingleHopEnv {
         }
 
         // 2. Edge queue updates with fresh exogenous arrivals.
+        #[allow(clippy::needless_range_loop)] // n indexes four parallel arrays
         for n in 0..self.config.n_edges {
             self.prev_edge_levels[n] = self.edge_queues[n].level();
             let b = self.arrivals[n].sample(&mut self.rng);
@@ -354,7 +378,11 @@ impl MultiAgentEnv for SingleHopEnv {
             state: self.global_state(),
             reward,
             done: self.done,
-            info: StepInfo { queue_levels, cloud_empty, cloud_full },
+            info: StepInfo {
+                queue_levels,
+                cloud_empty,
+                cloud_full,
+            },
         })
     }
 }
@@ -434,8 +462,14 @@ mod tests {
     fn action_validation() {
         let mut e = env(5);
         e.reset();
-        assert!(matches!(e.step(&[0, 0]), Err(EnvError::WrongAgentCount { .. })));
-        assert!(matches!(e.step(&[0, 0, 0, 9]), Err(EnvError::InvalidAction { .. })));
+        assert!(matches!(
+            e.step(&[0, 0]),
+            Err(EnvError::WrongAgentCount { .. })
+        ));
+        assert!(matches!(
+            e.step(&[0, 0, 0, 9]),
+            Err(EnvError::InvalidAction { .. })
+        ));
     }
 
     #[test]
@@ -524,7 +558,8 @@ mod tests {
         // Table II constants make mean edge inflow equal total cloud service:
         // N · E[U(0, 0.3)] = 4 · 0.15 = 0.6 = K · 0.3.
         let cfg = EnvConfig::paper_default();
-        let total_in = cfg.n_edges as f64 * ArrivalProcess::paper_default(cfg.w_p, cfg.q_max).mean();
+        let total_in =
+            cfg.n_edges as f64 * ArrivalProcess::paper_default(cfg.w_p, cfg.q_max).mean();
         let total_out = cfg.n_clouds as f64 * cfg.cloud_departure;
         assert!((total_in - total_out).abs() < 1e-12);
     }

@@ -44,7 +44,11 @@ impl ArrivalProcess {
         match *self {
             ArrivalProcess::Uniform { max } => max / 2.0,
             ArrivalProcess::PoissonBatch { rate, packet_size } => rate * packet_size,
-            ArrivalProcess::OnOff { p_on, p_off, volume } => {
+            ArrivalProcess::OnOff {
+                p_on,
+                p_off,
+                volume,
+            } => {
                 // Stationary P(ON) = p_on / (p_on + p_off).
                 if p_on + p_off == 0.0 {
                     0.0
@@ -88,7 +92,11 @@ impl ArrivalSampler {
             ArrivalProcess::PoissonBatch { rate, packet_size } => {
                 poisson(rng, rate) as f64 * packet_size
             }
-            ArrivalProcess::OnOff { p_on, p_off, volume } => {
+            ArrivalProcess::OnOff {
+                p_on,
+                p_off,
+                volume,
+            } => {
                 if self.on {
                     if rng.gen::<f64>() < p_off {
                         self.on = false;
@@ -158,14 +166,21 @@ mod tests {
 
     #[test]
     fn poisson_mean_matches() {
-        let p = ArrivalProcess::PoissonBatch { rate: 1.5, packet_size: 0.1 };
+        let p = ArrivalProcess::PoissonBatch {
+            rate: 1.5,
+            packet_size: 0.1,
+        };
         assert!((p.mean() - 0.15).abs() < 1e-12);
         assert!((empirical_mean(p, 50_000, 3) - 0.15).abs() < 0.01);
     }
 
     #[test]
     fn onoff_stationary_mean() {
-        let p = ArrivalProcess::OnOff { p_on: 0.2, p_off: 0.2, volume: 0.3 };
+        let p = ArrivalProcess::OnOff {
+            p_on: 0.2,
+            p_off: 0.2,
+            volume: 0.3,
+        };
         assert!((p.mean() - 0.15).abs() < 1e-12);
         assert!((empirical_mean(p, 100_000, 4) - 0.15).abs() < 0.01);
     }
@@ -173,7 +188,11 @@ mod tests {
     #[test]
     fn onoff_is_bursty() {
         // Consecutive samples should be highly correlated (runs of 0 / volume).
-        let mut s = ArrivalSampler::new(ArrivalProcess::OnOff { p_on: 0.05, p_off: 0.05, volume: 0.3 });
+        let mut s = ArrivalSampler::new(ArrivalProcess::OnOff {
+            p_on: 0.05,
+            p_off: 0.05,
+            volume: 0.3,
+        });
         let mut rng = StdRng::seed_from_u64(9);
         let xs: Vec<f64> = (0..10_000).map(|_| s.sample(&mut rng)).collect();
         let same_as_prev = xs.windows(2).filter(|w| w[0] == w[1]).count();
@@ -182,9 +201,30 @@ mod tests {
 
     #[test]
     fn degenerate_processes() {
-        assert_eq!(empirical_mean(ArrivalProcess::Uniform { max: 0.0 }, 10, 0), 0.0);
-        assert_eq!(empirical_mean(ArrivalProcess::PoissonBatch { rate: 0.0, packet_size: 1.0 }, 10, 0), 0.0);
-        assert_eq!(ArrivalProcess::OnOff { p_on: 0.0, p_off: 0.0, volume: 1.0 }.mean(), 0.0);
+        assert_eq!(
+            empirical_mean(ArrivalProcess::Uniform { max: 0.0 }, 10, 0),
+            0.0
+        );
+        assert_eq!(
+            empirical_mean(
+                ArrivalProcess::PoissonBatch {
+                    rate: 0.0,
+                    packet_size: 1.0
+                },
+                10,
+                0
+            ),
+            0.0
+        );
+        assert_eq!(
+            ArrivalProcess::OnOff {
+                p_on: 0.0,
+                p_off: 0.0,
+                volume: 1.0
+            }
+            .mean(),
+            0.0
+        );
     }
 
     #[test]

@@ -3,7 +3,11 @@
 use proptest::prelude::*;
 use qmarl_env::prelude::*;
 
-fn arb_actions(n_agents: usize, n_actions: usize, len: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+fn arb_actions(
+    n_agents: usize,
+    n_actions: usize,
+    len: usize,
+) -> impl Strategy<Value = Vec<Vec<usize>>> {
     prop::collection::vec(prop::collection::vec(0..n_actions, n_agents), 1..len)
 }
 

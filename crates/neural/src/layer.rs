@@ -87,7 +87,11 @@ impl Dense {
     ) -> Self {
         let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
         let weights = Matrix::from_fn(out_dim, in_dim, |_, _| rng.gen_range(-limit..limit));
-        Dense { weights, biases: vec![0.0; out_dim], activation }
+        Dense {
+            weights,
+            biases: vec![0.0; out_dim],
+            activation,
+        }
     }
 
     /// Input dimension.
@@ -135,7 +139,11 @@ impl Dense {
     ///
     /// Panics on dimension mismatches.
     pub fn backward(&self, x: &[f64], upstream: &[f64]) -> DenseGradients {
-        assert_eq!(upstream.len(), self.out_dim(), "upstream dimension mismatch");
+        assert_eq!(
+            upstream.len(),
+            self.out_dim(),
+            "upstream dimension mismatch"
+        );
         let pre = self.pre_activation(x);
         // δ = upstream ⊙ act'(z)
         let delta: Vec<f64> = upstream
@@ -189,7 +197,12 @@ mod tests {
     #[test]
     fn activation_derivatives_match_finite_difference() {
         let eps = 1e-6;
-        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
+        for act in [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
             for x in [-1.7, -0.3, 0.4, 2.1] {
                 let fd = (act.scalar(x + eps) - act.scalar(x - eps)) / (2.0 * eps);
                 assert!(
@@ -225,7 +238,12 @@ mod tests {
         let mut params = Vec::new();
         layer.write_params(&mut params);
         let loss = |layer: &Dense| -> f64 {
-            layer.forward(&x).iter().zip(&upstream).map(|(y, u)| y * u).sum()
+            layer
+                .forward(&x)
+                .iter()
+                .zip(&upstream)
+                .map(|(y, u)| y * u)
+                .sum()
         };
         let eps = 1e-6;
         let mut flat_grad = Vec::new();
@@ -240,7 +258,11 @@ mod tests {
             layer.read_params(&pp);
             let minus = loss(&layer);
             let fd = (plus - minus) / (2.0 * eps);
-            assert!((flat_grad[p] - fd).abs() < 1e-5, "param {p}: {} vs {fd}", flat_grad[p]);
+            assert!(
+                (flat_grad[p] - fd).abs() < 1e-5,
+                "param {p}: {} vs {fd}",
+                flat_grad[p]
+            );
         }
         layer.read_params(&params);
 
@@ -248,9 +270,19 @@ mod tests {
         for i in 0..x.len() {
             let mut xx = x;
             xx[i] += eps;
-            let plus = layer.forward(&xx).iter().zip(&upstream).map(|(y, u)| y * u).sum::<f64>();
+            let plus = layer
+                .forward(&xx)
+                .iter()
+                .zip(&upstream)
+                .map(|(y, u)| y * u)
+                .sum::<f64>();
             xx[i] -= 2.0 * eps;
-            let minus = layer.forward(&xx).iter().zip(&upstream).map(|(y, u)| y * u).sum::<f64>();
+            let minus = layer
+                .forward(&xx)
+                .iter()
+                .zip(&upstream)
+                .map(|(y, u)| y * u)
+                .sum::<f64>();
             let fd = (plus - minus) / (2.0 * eps);
             assert!((grads.input[i] - fd).abs() < 1e-5);
         }

@@ -161,7 +161,11 @@ mod tests {
             ll[i] -= 2.0 * eps;
             let minus = loss(&ll);
             let fd = (plus - minus) / (2.0 * eps);
-            assert!((grad[i] - fd).abs() < 1e-6, "logit {i}: {} vs {fd}", grad[i]);
+            assert!(
+                (grad[i] - fd).abs() < 1e-6,
+                "logit {i}: {} vs {fd}",
+                grad[i]
+            );
         }
     }
 

@@ -31,7 +31,11 @@ impl Mlp {
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for w in sizes.windows(2) {
             let is_last = layers.len() == sizes.len() - 2;
-            let act = if is_last { Activation::Identity } else { hidden };
+            let act = if is_last {
+                Activation::Identity
+            } else {
+                hidden
+            };
             layers.push(Dense::new(w[0], w[1], act, &mut rng));
         }
         Mlp { layers }
@@ -113,7 +117,11 @@ impl Mlp {
     ///
     /// Panics if `params.len() != param_count()`.
     pub fn set_params(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.param_count(), "parameter vector length mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "parameter vector length mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             offset += layer.read_params(&params[offset..]);
@@ -189,7 +197,11 @@ mod tests {
             mlp.set_params(&pp);
             let minus = loss(&mlp, &x);
             let fd = (plus - minus) / (2.0 * eps);
-            assert!((grad[p] - fd).abs() < 1e-5, "param {p}: {} vs {fd}", grad[p]);
+            assert!(
+                (grad[p] - fd).abs() < 1e-5,
+                "param {p}: {} vs {fd}",
+                grad[p]
+            );
         }
         mlp.set_params(&base);
 
@@ -210,7 +222,10 @@ mod tests {
         let mlp = Mlp::new(&[2, 4, 1], Activation::Relu, 11);
         let (grad, _) = mlp.backward(&[1.0, -1.0], &[1.0]);
         assert_eq!(grad.len(), mlp.param_count());
-        assert!(grad.iter().any(|g| g.abs() > 0.0), "some gradient must flow");
+        assert!(
+            grad.iter().any(|g| g.abs() > 0.0),
+            "some gradient must flow"
+        );
     }
 
     #[test]
@@ -233,7 +248,11 @@ mod tests {
     fn comp3_scale_network() {
         // The paper's unconstrained baseline: > 40 K parameters.
         let mlp = Mlp::new(&[4, 200, 200, 4], Activation::Relu, 0);
-        assert!(mlp.param_count() > 40_000, "comp3 actor: {}", mlp.param_count());
+        assert!(
+            mlp.param_count() > 40_000,
+            "comp3 actor: {}",
+            mlp.param_count()
+        );
     }
 
     #[test]

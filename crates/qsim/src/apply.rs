@@ -20,7 +20,10 @@ use crate::gate::{Gate1, Gate2};
 pub fn apply_gate1(amps: &mut [Complex64], q: usize, gate: &Gate1) {
     let len = amps.len();
     debug_assert!(len.is_power_of_two());
-    debug_assert!(1usize << q < len || (len == 1 && q == 0), "qubit {q} out of range");
+    debug_assert!(
+        1usize << q < len || (len == 1 && q == 0),
+        "qubit {q} out of range"
+    );
     let m = gate.matrix();
     let stride = 1usize << q;
     let mut base = 0;
@@ -70,12 +73,7 @@ pub fn apply_gate2(amps: &mut [Complex64], qa: usize, qb: usize, gate: &Gate2) {
 
 /// Applies a single-qubit gate to `target`, conditioned on `control` being
 /// `|1⟩`. Specialised fast path that skips the 4×4 matrix entirely.
-pub fn apply_controlled_gate1(
-    amps: &mut [Complex64],
-    control: usize,
-    target: usize,
-    gate: &Gate1,
-) {
+pub fn apply_controlled_gate1(amps: &mut [Complex64], control: usize, target: usize, gate: &Gate1) {
     let len = amps.len();
     debug_assert!(control != target);
     debug_assert!((1usize << control) < len && (1usize << target) < len);
@@ -101,7 +99,9 @@ pub fn apply_controlled_gate1(
 pub fn apply_toffoli(amps: &mut [Complex64], control1: usize, control2: usize, target: usize) {
     let len = amps.len();
     debug_assert!(control1 != control2 && control1 != target && control2 != target);
-    debug_assert!((1usize << control1) < len && (1usize << control2) < len && (1usize << target) < len);
+    debug_assert!(
+        (1usize << control1) < len && (1usize << control2) < len && (1usize << target) < len
+    );
     let mc = (1usize << control1) | (1usize << control2);
     let mt = 1usize << target;
     for i in 0..len {
@@ -109,6 +109,116 @@ pub fn apply_toffoli(amps: &mut [Complex64], control1: usize, control2: usize, t
             continue;
         }
         amps.swap(i, i | mt);
+    }
+}
+
+/// Specialised Rx kernel: `Rx(θ) = [[c, −is], [−is, c]]` with
+/// `c = cos(θ/2)`, `s = sin(θ/2)`. Avoids the generic complex 2×2
+/// product — the batched runtime's hot path for encoder layers.
+pub fn apply_rx(amps: &mut [Complex64], q: usize, theta: f64) {
+    let (s, c) = (theta / 2.0).sin_cos();
+    let stride = 1usize << q;
+    let mut base = 0;
+    while base < amps.len() {
+        for i0 in base..base + stride {
+            let i1 = i0 + stride;
+            let a0 = amps[i0];
+            let a1 = amps[i1];
+            // c·a0 − i·s·a1  and  −i·s·a0 + c·a1.
+            amps[i0] = Complex64::new(c * a0.re + s * a1.im, c * a0.im - s * a1.re);
+            amps[i1] = Complex64::new(s * a0.im + c * a1.re, -s * a0.re + c * a1.im);
+        }
+        base += stride << 1;
+    }
+}
+
+/// Specialised Ry kernel: `Ry(θ) = [[c, −s], [s, c]]` is purely real, so
+/// each amplitude pair needs 8 real multiplies instead of the generic 16.
+pub fn apply_ry(amps: &mut [Complex64], q: usize, theta: f64) {
+    let (s, c) = (theta / 2.0).sin_cos();
+    let stride = 1usize << q;
+    let mut base = 0;
+    while base < amps.len() {
+        for i0 in base..base + stride {
+            let i1 = i0 + stride;
+            let a0 = amps[i0];
+            let a1 = amps[i1];
+            amps[i0] = Complex64::new(c * a0.re - s * a1.re, c * a0.im - s * a1.im);
+            amps[i1] = Complex64::new(s * a0.re + c * a1.re, s * a0.im + c * a1.im);
+        }
+        base += stride << 1;
+    }
+}
+
+/// Specialised Rz kernel: `Rz(θ) = diag(e^{−iθ/2}, e^{iθ/2})` is
+/// diagonal — one complex multiply per amplitude, no pairing.
+pub fn apply_rz(amps: &mut [Complex64], q: usize, theta: f64) {
+    let (s, c) = (theta / 2.0).sin_cos();
+    let mask = 1usize << q;
+    for (i, a) in amps.iter_mut().enumerate() {
+        let (pr, pi) = if i & mask == 0 { (c, -s) } else { (c, s) };
+        *a = Complex64::new(a.re * pr - a.im * pi, a.re * pi + a.im * pr);
+    }
+}
+
+/// Controlled variant of [`apply_rx`]: the rotation acts on `target` only
+/// where the `control` bit is set.
+pub fn apply_crx(amps: &mut [Complex64], control: usize, target: usize, theta: f64) {
+    let (s, c) = (theta / 2.0).sin_cos();
+    let mc = 1usize << control;
+    let mt = 1usize << target;
+    for i0 in 0..amps.len() {
+        if i0 & mc == 0 || i0 & mt != 0 {
+            continue;
+        }
+        let i1 = i0 | mt;
+        let a0 = amps[i0];
+        let a1 = amps[i1];
+        amps[i0] = Complex64::new(c * a0.re + s * a1.im, c * a0.im - s * a1.re);
+        amps[i1] = Complex64::new(s * a0.im + c * a1.re, -s * a0.re + c * a1.im);
+    }
+}
+
+/// Controlled variant of [`apply_ry`].
+pub fn apply_cry(amps: &mut [Complex64], control: usize, target: usize, theta: f64) {
+    let (s, c) = (theta / 2.0).sin_cos();
+    let mc = 1usize << control;
+    let mt = 1usize << target;
+    for i0 in 0..amps.len() {
+        if i0 & mc == 0 || i0 & mt != 0 {
+            continue;
+        }
+        let i1 = i0 | mt;
+        let a0 = amps[i0];
+        let a1 = amps[i1];
+        amps[i0] = Complex64::new(c * a0.re - s * a1.re, c * a0.im - s * a1.im);
+        amps[i1] = Complex64::new(s * a0.re + c * a1.re, s * a0.im + c * a1.im);
+    }
+}
+
+/// Controlled variant of [`apply_rz`] (diagonal: phase only, applied to
+/// control-set amplitudes).
+pub fn apply_crz(amps: &mut [Complex64], control: usize, target: usize, theta: f64) {
+    let (s, c) = (theta / 2.0).sin_cos();
+    let mc = 1usize << control;
+    let mt = 1usize << target;
+    for (i, a) in amps.iter_mut().enumerate() {
+        if i & mc == 0 {
+            continue;
+        }
+        let (pr, pi) = if i & mt == 0 { (c, -s) } else { (c, s) };
+        *a = Complex64::new(a.re * pr - a.im * pi, a.re * pi + a.im * pr);
+    }
+}
+
+/// CZ fast path: the gate is diagonal — flip the sign where both bits
+/// are set.
+pub fn apply_cz(amps: &mut [Complex64], qa: usize, qb: usize) {
+    let mask = (1usize << qa) | (1usize << qb);
+    for (i, a) in amps.iter_mut().enumerate() {
+        if i & mask == mask {
+            *a = -*a;
+        }
     }
 }
 
@@ -222,6 +332,83 @@ mod tests {
         }
         apply_gate2(&mut amps, 1, 3, &crate::gate::Gate2::crx(0.9));
         assert!((norm(&amps) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn specialised_rotation_kernels_match_generic_matrices() {
+        for theta in [0.0, 0.37, -1.2, 2.9, -3.1] {
+            for q in 0..3 {
+                let mut amps = zero_state(3);
+                for w in 0..3 {
+                    apply_gate1(&mut amps, w, &Gate1::u3(0.5 + w as f64, 0.3, -0.8));
+                }
+                let mut reference = amps.clone();
+
+                apply_rx(&mut amps, q, theta);
+                apply_gate1(&mut reference, q, &Gate1::rx(theta));
+                for (a, b) in amps.iter().zip(&reference) {
+                    assert!((*a - *b).abs() < 1e-14, "rx q={q} θ={theta}");
+                }
+
+                apply_ry(&mut amps, q, theta);
+                apply_gate1(&mut reference, q, &Gate1::ry(theta));
+                for (a, b) in amps.iter().zip(&reference) {
+                    assert!((*a - *b).abs() < 1e-14, "ry q={q} θ={theta}");
+                }
+
+                apply_rz(&mut amps, q, theta);
+                apply_gate1(&mut reference, q, &Gate1::rz(theta));
+                for (a, b) in amps.iter().zip(&reference) {
+                    assert!((*a - *b).abs() < 1e-14, "rz q={q} θ={theta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specialised_controlled_kernels_match_generic() {
+        for theta in [0.61, -2.3] {
+            for (ctl, tgt) in [(0usize, 2usize), (2, 0), (1, 2)] {
+                let mut amps = zero_state(3);
+                for w in 0..3 {
+                    apply_gate1(&mut amps, w, &Gate1::u3(0.9 * w as f64 + 0.2, -0.4, 1.1));
+                }
+                let mut reference = amps.clone();
+
+                apply_crx(&mut amps, ctl, tgt, theta);
+                apply_controlled_gate1(&mut reference, ctl, tgt, &Gate1::rx(theta));
+                for (a, b) in amps.iter().zip(&reference) {
+                    assert!((*a - *b).abs() < 1e-14, "crx {ctl}->{tgt}");
+                }
+
+                apply_cry(&mut amps, ctl, tgt, theta);
+                apply_controlled_gate1(&mut reference, ctl, tgt, &Gate1::ry(theta));
+                for (a, b) in amps.iter().zip(&reference) {
+                    assert!((*a - *b).abs() < 1e-14, "cry {ctl}->{tgt}");
+                }
+
+                apply_crz(&mut amps, ctl, tgt, theta);
+                apply_controlled_gate1(&mut reference, ctl, tgt, &Gate1::rz(theta));
+                for (a, b) in amps.iter().zip(&reference) {
+                    assert!((*a - *b).abs() < 1e-14, "crz {ctl}->{tgt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cz_kernel_matches_gate2() {
+        let mut a = zero_state(3);
+        let mut b = zero_state(3);
+        for q in 0..3 {
+            apply_gate1(&mut a, q, &Gate1::u3(0.4 * q as f64 + 0.1, 0.2, 0.9));
+            apply_gate1(&mut b, q, &Gate1::u3(0.4 * q as f64 + 0.1, 0.2, 0.9));
+        }
+        apply_cz(&mut a, 0, 2);
+        apply_gate2(&mut b, 0, 2, &crate::gate::Gate2::cz());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-14);
+        }
     }
 
     #[test]

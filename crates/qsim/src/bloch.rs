@@ -74,13 +74,22 @@ pub struct AmplitudeCell {
 /// exactly 4 qubits.
 pub fn amplitude_grid(state: &StateVector) -> Result<[[AmplitudeCell; 4]; 4], QsimError> {
     if state.n_qubits() != 4 {
-        return Err(QsimError::QubitCountMismatch { expected: 4, actual: state.n_qubits() });
+        return Err(QsimError::QubitCountMismatch {
+            expected: 4,
+            actual: state.n_qubits(),
+        });
     }
-    let mut grid = [[AmplitudeCell { magnitude: 0.0, phase: 0.0 }; 4]; 4];
+    let mut grid = [[AmplitudeCell {
+        magnitude: 0.0,
+        phase: 0.0,
+    }; 4]; 4];
     for (i, a) in state.amplitudes().iter().enumerate() {
         let row = i & 0b11;
         let col = (i >> 2) & 0b11;
-        grid[row][col] = AmplitudeCell { magnitude: a.abs(), phase: a.arg() };
+        grid[row][col] = AmplitudeCell {
+            magnitude: a.abs(),
+            phase: a.arg(),
+        };
     }
     Ok(grid)
 }
@@ -115,7 +124,11 @@ pub fn hsl_to_rgb(hue: f64, saturation: f64, lightness: f64) -> Rgb {
     };
     let m = l - c / 2.0;
     let to_u8 = |v: f64| ((v + m).clamp(0.0, 1.0) * 255.0).round() as u8;
-    Rgb { r: to_u8(r1), g: to_u8(g1), b: to_u8(b1) }
+    Rgb {
+        r: to_u8(r1),
+        g: to_u8(g1),
+        b: to_u8(b1),
+    }
 }
 
 /// The paper's quantum-state colour code: phase → hue (full turn = full
@@ -165,7 +178,10 @@ mod tests {
         s.apply_gate1(0, &Gate1::hadamard()).unwrap();
         s.apply_cnot(0, 1).unwrap();
         let b = bloch_vector(&s, 0).unwrap();
-        assert!(b.length() < 1e-10, "maximally entangled qubit must sit at origin");
+        assert!(
+            b.length() < 1e-10,
+            "maximally entangled qubit must sit at origin"
+        );
     }
 
     #[test]
@@ -201,7 +217,14 @@ mod tests {
         assert_eq!(hsl_to_rgb(0.0, 1.0, 0.5), Rgb { r: 255, g: 0, b: 0 });
         assert_eq!(hsl_to_rgb(120.0, 1.0, 0.5), Rgb { r: 0, g: 255, b: 0 });
         assert_eq!(hsl_to_rgb(240.0, 1.0, 0.5), Rgb { r: 0, g: 0, b: 255 });
-        assert_eq!(hsl_to_rgb(0.0, 0.0, 1.0), Rgb { r: 255, g: 255, b: 255 });
+        assert_eq!(
+            hsl_to_rgb(0.0, 0.0, 1.0),
+            Rgb {
+                r: 255,
+                g: 255,
+                b: 255
+            }
+        );
         assert_eq!(hsl_to_rgb(77.0, 1.0, 0.0), Rgb { r: 0, g: 0, b: 0 });
     }
 
@@ -213,16 +236,28 @@ mod tests {
 
     #[test]
     fn amplitude_color_brightness_scales_with_magnitude() {
-        let dark = amplitude_color(AmplitudeCell { magnitude: 0.0, phase: 0.0 });
-        let bright = amplitude_color(AmplitudeCell { magnitude: 1.0, phase: 0.0 });
+        let dark = amplitude_color(AmplitudeCell {
+            magnitude: 0.0,
+            phase: 0.0,
+        });
+        let bright = amplitude_color(AmplitudeCell {
+            magnitude: 1.0,
+            phase: 0.0,
+        });
         let lum = |c: Rgb| c.r as u32 + c.g as u32 + c.b as u32;
         assert!(lum(bright) > lum(dark));
     }
 
     #[test]
     fn amplitude_color_hue_depends_on_phase() {
-        let a = amplitude_color(AmplitudeCell { magnitude: 0.8, phase: 0.0 });
-        let b = amplitude_color(AmplitudeCell { magnitude: 0.8, phase: std::f64::consts::PI / 2.0 });
+        let a = amplitude_color(AmplitudeCell {
+            magnitude: 0.8,
+            phase: 0.0,
+        });
+        let b = amplitude_color(AmplitudeCell {
+            magnitude: 0.8,
+            phase: std::f64::consts::PI / 2.0,
+        });
         assert_ne!(a, b);
     }
 }

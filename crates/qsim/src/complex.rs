@@ -163,6 +163,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ by definition
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }
@@ -320,8 +321,14 @@ mod tests {
 
     #[test]
     fn display_formats_sign() {
-        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1.000000-2.000000i");
-        assert_eq!(format!("{}", Complex64::new(1.0, 2.0)), "1.000000+2.000000i");
+        assert_eq!(
+            format!("{}", Complex64::new(1.0, -2.0)),
+            "1.000000-2.000000i"
+        );
+        assert_eq!(
+            format!("{}", Complex64::new(1.0, 2.0)),
+            "1.000000+2.000000i"
+        );
     }
 
     #[test]

@@ -31,11 +31,18 @@ impl DensityMatrix {
     /// the density matrix is quadratically bigger than a statevector).
     pub fn zero(n_qubits: usize) -> Self {
         assert!(n_qubits > 0, "register must have at least one qubit");
-        assert!(n_qubits < 14, "density matrix of {n_qubits} qubits is too large");
+        assert!(
+            n_qubits < 14,
+            "density matrix of {n_qubits} qubits is too large"
+        );
         let dim = 1usize << n_qubits;
         let mut data = vec![Complex64::ZERO; dim * dim];
         data[0] = Complex64::ONE;
-        DensityMatrix { n_qubits, dim, data }
+        DensityMatrix {
+            n_qubits,
+            dim,
+            data,
+        }
     }
 
     /// The rank-one density matrix `|ψ⟩⟨ψ|` of a pure state.
@@ -47,7 +54,11 @@ impl DensityMatrix {
                 data[r * dim + c] = *ar * ac.conj();
             }
         }
-        DensityMatrix { n_qubits: psi.n_qubits(), dim, data }
+        DensityMatrix {
+            n_qubits: psi.n_qubits(),
+            dim,
+            data,
+        }
     }
 
     /// The maximally mixed state `I / 2^n`.
@@ -99,7 +110,10 @@ impl DensityMatrix {
 
     fn check_qubit(&self, q: usize) -> Result<(), QsimError> {
         if q >= self.n_qubits {
-            Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits })
+            Err(QsimError::QubitOutOfRange {
+                qubit: q,
+                n_qubits: self.n_qubits,
+            })
         } else {
             Ok(())
         }
@@ -211,7 +225,10 @@ impl DensityMatrix {
     /// All per-wire `⟨Z⟩` readouts.
     pub fn expectation_z_all(&self) -> Vec<f64> {
         (0..self.n_qubits)
-            .map(|q| self.expectation_z(q).expect("wire in range by construction"))
+            .map(|q| {
+                self.expectation_z(q)
+                    .expect("wire in range by construction")
+            })
             .collect()
     }
 
@@ -238,7 +255,9 @@ impl DensityMatrix {
 
     /// Diagonal of ρ: the Born-rule probability of each basis outcome.
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.dim).map(|i| self.data[i * self.dim + i].re).collect()
+        (0..self.dim)
+            .map(|i| self.data[i * self.dim + i].re)
+            .collect()
     }
 }
 

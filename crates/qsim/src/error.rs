@@ -46,7 +46,10 @@ impl fmt::Display for QsimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QsimError::QubitOutOfRange { qubit, n_qubits } => {
-                write!(f, "qubit index {qubit} out of range for {n_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit index {qubit} out of range for {n_qubits}-qubit register"
+                )
             }
             QsimError::DuplicateQubit { qubit } => {
                 write!(f, "two-qubit gate applied twice to qubit {qubit}")
@@ -76,12 +79,18 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs = [
-            QsimError::QubitOutOfRange { qubit: 5, n_qubits: 4 },
+            QsimError::QubitOutOfRange {
+                qubit: 5,
+                n_qubits: 4,
+            },
             QsimError::DuplicateQubit { qubit: 2 },
             QsimError::InvalidDimension { len: 3 },
             QsimError::NotNormalized { norm: 0.5 },
             QsimError::InvalidProbability { value: 1.5 },
-            QsimError::QubitCountMismatch { expected: 4, actual: 2 },
+            QsimError::QubitCountMismatch {
+                expected: 4,
+                actual: 2,
+            },
         ];
         for e in errs {
             let msg = e.to_string();

@@ -59,10 +59,7 @@ impl Gate1 {
 
     /// The Pauli-Y gate.
     pub const fn pauli_y() -> Self {
-        Gate1::from_matrix([
-            [Z0, Complex64::new(0.0, -1.0)],
-            [IM, Z0],
-        ])
+        Gate1::from_matrix([[Z0, Complex64::new(0.0, -1.0)], [IM, Z0]])
     }
 
     /// The Pauli-Z gate.
@@ -91,12 +88,18 @@ impl Gate1 {
 
     /// The T gate `diag(1, e^{iπ/4})`.
     pub fn t() -> Self {
-        Gate1::from_matrix([[O1, Z0], [Z0, Complex64::from_polar(1.0, std::f64::consts::FRAC_PI_4)]])
+        Gate1::from_matrix([
+            [O1, Z0],
+            [Z0, Complex64::from_polar(1.0, std::f64::consts::FRAC_PI_4)],
+        ])
     }
 
     /// The inverse T gate.
     pub fn t_dagger() -> Self {
-        Gate1::from_matrix([[O1, Z0], [Z0, Complex64::from_polar(1.0, -std::f64::consts::FRAC_PI_4)]])
+        Gate1::from_matrix([
+            [O1, Z0],
+            [Z0, Complex64::from_polar(1.0, -std::f64::consts::FRAC_PI_4)],
+        ])
     }
 
     /// Rotation about the X axis: `Rx(θ) = e^{−iθX/2}`.
@@ -113,10 +116,7 @@ impl Gate1 {
     pub fn ry(theta: f64) -> Self {
         let c = Complex64::from_real((theta / 2.0).cos());
         let s = (theta / 2.0).sin();
-        Gate1::from_matrix([
-            [c, Complex64::from_real(-s)],
-            [Complex64::from_real(s), c],
-        ])
+        Gate1::from_matrix([[c, Complex64::from_real(-s)], [Complex64::from_real(s), c]])
     }
 
     /// Rotation about the Z axis: `Rz(θ) = e^{−iθZ/2}`.
@@ -169,7 +169,9 @@ impl Gate1 {
 
     /// Returns `true` when `U†U = I` within `tol`.
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.dagger().matmul(self).approx_eq(&Gate1::identity(), tol)
+        self.dagger()
+            .matmul(self)
+            .approx_eq(&Gate1::identity(), tol)
     }
 
     /// Element-wise comparison within `tol`.
@@ -295,7 +297,9 @@ impl Gate2 {
 
     /// Returns `true` when `U†U = I` within `tol`.
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.dagger().matmul(self).approx_eq(&Gate2::identity(), tol)
+        self.dagger()
+            .matmul(self)
+            .approx_eq(&Gate2::identity(), tol)
     }
 
     /// Element-wise comparison within `tol`.
@@ -404,7 +408,9 @@ mod tests {
 
     #[test]
     fn s_squared_is_z() {
-        assert!(Gate1::s().matmul(&Gate1::s()).approx_eq(&Gate1::pauli_z(), 1e-12));
+        assert!(Gate1::s()
+            .matmul(&Gate1::s())
+            .approx_eq(&Gate1::pauli_z(), 1e-12));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod error;
 pub mod gate;
 pub mod measure;
 pub mod noise;
+pub mod par;
 pub mod shots;
 pub mod state;
 

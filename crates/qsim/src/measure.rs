@@ -47,22 +47,30 @@ pub struct PauliString {
 impl PauliString {
     /// The empty product (identity observable).
     pub fn identity() -> Self {
-        PauliString { factors: Vec::new() }
+        PauliString {
+            factors: Vec::new(),
+        }
     }
 
     /// Single-wire `Z_q` — the readout used by the paper's VQCs.
     pub fn z(q: usize) -> Self {
-        PauliString { factors: vec![(q, Pauli::Z)] }
+        PauliString {
+            factors: vec![(q, Pauli::Z)],
+        }
     }
 
     /// Single-wire `X_q`.
     pub fn x(q: usize) -> Self {
-        PauliString { factors: vec![(q, Pauli::X)] }
+        PauliString {
+            factors: vec![(q, Pauli::X)],
+        }
     }
 
     /// Single-wire `Y_q`.
     pub fn y(q: usize) -> Self {
-        PauliString { factors: vec![(q, Pauli::Y)] }
+        PauliString {
+            factors: vec![(q, Pauli::Y)],
+        }
     }
 
     /// Builds a string from `(wire, Pauli)` factors. Later factors on the
@@ -104,7 +112,10 @@ impl PauliString {
         let mut out = state.clone();
         for &(q, p) in &self.factors {
             if q >= state.n_qubits() {
-                return Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: state.n_qubits() });
+                return Err(QsimError::QubitOutOfRange {
+                    qubit: q,
+                    n_qubits: state.n_qubits(),
+                });
             }
             let amps = out.amplitudes_mut();
             let mask = 1usize << q;
@@ -153,7 +164,10 @@ pub fn expectation(state: &StateVector, obs: &PauliString) -> Result<f64, QsimEr
         let mut mask = 0usize;
         for &(q, _) in &obs.factors {
             if q >= state.n_qubits() {
-                return Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: state.n_qubits() });
+                return Err(QsimError::QubitOutOfRange {
+                    qubit: q,
+                    n_qubits: state.n_qubits(),
+                });
             }
             mask |= 1usize << q;
         }
@@ -177,7 +191,10 @@ pub fn expectation(state: &StateVector, obs: &PauliString) -> Result<f64, QsimEr
 /// Returns [`QsimError::QubitOutOfRange`] for an invalid wire.
 pub fn expectation_z(state: &StateVector, q: usize) -> Result<f64, QsimError> {
     if q >= state.n_qubits() {
-        return Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: state.n_qubits() });
+        return Err(QsimError::QubitOutOfRange {
+            qubit: q,
+            n_qubits: state.n_qubits(),
+        });
     }
     let mask = 1usize << q;
     let mut acc = 0.0;
@@ -309,7 +326,8 @@ mod tests {
 
     #[test]
     fn from_factors_dedups_and_sorts() {
-        let p = PauliString::from_factors([(3, Pauli::X), (1, Pauli::Z), (3, Pauli::Y), (0, Pauli::I)]);
+        let p =
+            PauliString::from_factors([(3, Pauli::X), (1, Pauli::Z), (3, Pauli::Y), (0, Pauli::I)]);
         assert_eq!(p.factors(), &[(1, Pauli::Z), (3, Pauli::Y)]);
         assert_eq!(p.max_qubit(), Some(3));
         assert_eq!(PauliString::identity().max_qubit(), None);
@@ -328,7 +346,11 @@ mod tests {
         let probs = s.probabilities();
         for (i, &c) in counts.iter().enumerate() {
             let freq = c as f64 / n as f64;
-            assert!((freq - probs[i]).abs() < 0.02, "basis {i}: {freq} vs {}", probs[i]);
+            assert!(
+                (freq - probs[i]).abs() < 0.02,
+                "basis {i}: {freq} vs {}",
+                probs[i]
+            );
         }
     }
 
@@ -355,7 +377,8 @@ mod tests {
     fn expectation_values_bounded() {
         let mut s = StateVector::zero(3);
         for q in 0..3 {
-            s.apply_gate1(q, &Gate1::u3(0.7 * q as f64, 0.2, 1.4)).unwrap();
+            s.apply_gate1(q, &Gate1::u3(0.7 * q as f64, 0.2, 1.4))
+                .unwrap();
         }
         for q in 0..3 {
             let z = expectation_z(&s, q).unwrap();

@@ -163,7 +163,10 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// A noiseless model.
     pub const fn noiseless() -> Self {
-        NoiseModel { after_gate1: None, after_gate2: None }
+        NoiseModel {
+            after_gate1: None,
+            after_gate2: None,
+        }
     }
 
     /// Uniform depolarizing noise: probability `p1` after one-qubit gates
@@ -231,14 +234,14 @@ mod tests {
         let mut acc = [[Complex64::ZERO; 2]; 2];
         for k in &kraus {
             let kk = k.dagger().matmul(k);
-            for r in 0..2 {
-                for c in 0..2 {
-                    acc[r][c] += kk.matrix()[r][c];
+            for (r, row) in acc.iter_mut().enumerate() {
+                for (c, cell) in row.iter_mut().enumerate() {
+                    *cell += kk.matrix()[r][c];
                 }
             }
         }
-        for r in 0..2 {
-            for c in 0..2 {
+        for (r, row) in acc.iter().enumerate() {
+            for (c, _) in row.iter().enumerate() {
                 let want = if r == c { 1.0 } else { 0.0 };
                 assert!(
                     (acc[r][c] - Complex64::from_real(want)).abs() < 1e-12,

@@ -1,0 +1,151 @@
+//! Work-queue parallelism for embarrassingly parallel simulator workloads.
+//!
+//! The QMARL hot paths — batched circuit evaluation, parameter-shift
+//! gradient fan-out, multi-seed rollouts — are all "N independent tasks
+//! over shared read-only inputs". This module provides one shared
+//! scheduler for them: a flat work queue drained by scoped worker threads
+//! through an atomic cursor, so long tasks never straggle behind a static
+//! chunking (the failure mode of splitting the queue into equal slices up
+//! front). Results land in input order regardless of which worker ran
+//! which task, so parallel output is bit-identical to serial output.
+//!
+//! The scheduler is deliberately dependency-free (`std::thread::scope` +
+//! `AtomicUsize`), keeping the whole workspace buildable offline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A sensible worker count for CPU-bound work: the machine's available
+/// parallelism, falling back to 1 when it cannot be queried.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f(index, &items[index])` for every item on `workers` threads,
+/// returning the results **in input order**.
+///
+/// Tasks are handed out one at a time through an atomic cursor (work
+/// stealing degenerate case: a single shared queue), so heterogeneous
+/// task costs balance automatically. `workers <= 1`, an empty queue, or a
+/// single item all run inline on the caller's thread with no spawning.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = workers.min(n);
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+    collected.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(collected.len(), n);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`parallel_map`] for fallible tasks. Every task runs to completion
+/// (there is no early abort — the queue is already distributed across
+/// workers); afterwards the lowest-indexed error, if any, is returned,
+/// otherwise the ordered successes.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing task.
+pub fn try_parallel_map<T, R, E, F>(items: &[T], workers: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    parallel_map(items, workers, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let out = parallel_map(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[5u32], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn balances_heterogeneous_tasks() {
+        // Tasks of wildly different cost still produce ordered output.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, 4, |_, &x| {
+            let spins = if x % 7 == 0 { 20_000 } else { 10 };
+            (0..spins).fold(x, |acc, _| {
+                std::hint::black_box(acc.wrapping_mul(31).wrapping_add(1))
+            });
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn try_variant_returns_first_error_by_index() {
+        let items: Vec<usize> = (0..100).collect();
+        let res: Result<Vec<usize>, usize> =
+            try_parallel_map(
+                &items,
+                8,
+                |_, &x| {
+                    if x == 41 || x == 73 {
+                        Err(x)
+                    } else {
+                        Ok(x)
+                    }
+                },
+            );
+        assert_eq!(res.unwrap_err(), 41);
+        let ok: Result<Vec<usize>, usize> = try_parallel_map(&items, 8, |_, &x| Ok(x));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

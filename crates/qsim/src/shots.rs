@@ -49,7 +49,10 @@ impl ShotRecord {
     /// Returns [`QsimError::QubitOutOfRange`] for an invalid wire.
     pub fn expectation_z(&self, q: usize) -> Result<f64, QsimError> {
         if q >= self.n_qubits {
-            return Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits });
+            return Err(QsimError::QubitOutOfRange {
+                qubit: q,
+                n_qubits: self.n_qubits,
+            });
         }
         let mask = 1usize << q;
         let mut acc = 0i64;
@@ -67,7 +70,10 @@ impl ShotRecord {
     /// wires because the `Z_q` all commute.
     pub fn expectation_z_all(&self) -> Vec<f64> {
         (0..self.n_qubits)
-            .map(|q| self.expectation_z(q).expect("wire in range by construction"))
+            .map(|q| {
+                self.expectation_z(q)
+                    .expect("wire in range by construction")
+            })
             .collect()
     }
 }
@@ -106,7 +112,11 @@ pub fn measure_shots<R: Rng + ?Sized>(
         .enumerate()
         .filter(|(_, c)| *c > 0)
         .collect();
-    Ok(ShotRecord { counts, shots, n_qubits: state.n_qubits() })
+    Ok(ShotRecord {
+        counts,
+        shots,
+        n_qubits: state.n_qubits(),
+    })
 }
 
 /// The standard error of a shot-estimated `⟨Z⟩` with true value `z`:

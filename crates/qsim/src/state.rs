@@ -44,7 +44,10 @@ impl StateVector {
     /// `usize` (practically, ≥ 48 is rejected to keep allocations sane).
     pub fn zero(n_qubits: usize) -> Self {
         assert!(n_qubits > 0, "register must have at least one qubit");
-        assert!(n_qubits < 28, "register of {n_qubits} qubits is too large to simulate exactly");
+        assert!(
+            n_qubits < 28,
+            "register of {n_qubits} qubits is too large to simulate exactly"
+        );
         let mut amps = vec![Complex64::ZERO; 1usize << n_qubits];
         amps[0] = Complex64::ONE;
         StateVector { n_qubits, amps }
@@ -58,7 +61,10 @@ impl StateVector {
     pub fn basis(n_qubits: usize, index: usize) -> Result<Self, QsimError> {
         let mut s = StateVector::zero(n_qubits);
         if index >= s.amps.len() {
-            return Err(QsimError::QubitOutOfRange { qubit: index, n_qubits });
+            return Err(QsimError::QubitOutOfRange {
+                qubit: index,
+                n_qubits,
+            });
         }
         s.amps[0] = Complex64::ZERO;
         s.amps[index] = Complex64::ONE;
@@ -149,7 +155,10 @@ impl StateVector {
 
     fn check_qubit(&self, q: usize) -> Result<(), QsimError> {
         if q >= self.n_qubits {
-            Err(QsimError::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits })
+            Err(QsimError::QubitOutOfRange {
+                qubit: q,
+                n_qubits: self.n_qubits,
+            })
         } else {
             Ok(())
         }
@@ -213,7 +222,9 @@ impl StateVector {
         self.check_qubit(control2)?;
         self.check_qubit(target)?;
         if control1 == control2 || control1 == target || control2 == target {
-            return Err(QsimError::DuplicateQubit { qubit: control1.min(control2).min(target) });
+            return Err(QsimError::DuplicateQubit {
+                qubit: control1.min(control2).min(target),
+            });
         }
         apply::apply_toffoli(&mut self.amps, control1, control2, target);
         Ok(())
@@ -313,12 +324,12 @@ impl StateVector {
         let mut rho = [[Complex64::ZERO; 2]; 2];
         for (i, a) in self.amps.iter().enumerate() {
             let bi = usize::from(i & mask != 0);
-            for bj in 0..2 {
+            for (bj, slot) in rho[bi].iter_mut().enumerate() {
                 // Partner index with qubit q forced to bj, all others equal.
                 let j = (i & !mask) | (bj << q);
                 // ρ_{bi,bj} += a_i · conj(a_j); only pairs sharing the other
                 // bits contribute, which (i & !mask) | … enumerates exactly.
-                rho[bi][bj] += *a * self.amps[j].conj();
+                *slot += *a * self.amps[j].conj();
             }
         }
         Ok(rho)
@@ -400,7 +411,8 @@ mod tests {
     fn rotations_preserve_norm() {
         let mut s = StateVector::zero(4);
         for (q, axis) in RotationAxis::ALL.iter().cycle().take(12).enumerate() {
-            s.apply_gate1(q % 4, &axis.gate(0.17 * (q as f64 + 1.0))).unwrap();
+            s.apply_gate1(q % 4, &axis.gate(0.17 * (q as f64 + 1.0)))
+                .unwrap();
         }
         assert!((s.norm() - 1.0).abs() < 1e-12);
     }
@@ -471,7 +483,10 @@ mod tests {
         ] {
             let mut s = StateVector::basis(3, input).unwrap();
             s.apply_toffoli(0, 1, 2).unwrap();
-            assert!((s.probability(expect) - 1.0).abs() < 1e-15, "input {input:03b}");
+            assert!(
+                (s.probability(expect) - 1.0).abs() < 1e-15,
+                "input {input:03b}"
+            );
         }
     }
 
@@ -495,7 +510,8 @@ mod tests {
         // brute-force permutation of amplitudes.
         let mut s = StateVector::zero(3);
         for q in 0..3 {
-            s.apply_gate1(q, &Gate1::u3(0.6 + q as f64, 0.2, -0.4)).unwrap();
+            s.apply_gate1(q, &Gate1::u3(0.6 + q as f64, 0.2, -0.4))
+                .unwrap();
         }
         let mut manual = s.clone();
         s.apply_toffoli(1, 2, 0).unwrap();

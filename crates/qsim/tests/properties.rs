@@ -23,8 +23,7 @@ enum Op {
 }
 
 fn arb_circuit(n_qubits: usize, max_len: usize) -> impl Strategy<Value = Vec<Op>> {
-    let rot = (0..n_qubits, arb_rotation())
-        .prop_map(|(q, (ax, th))| Op::Rot(q, ax, th));
+    let rot = (0..n_qubits, arb_rotation()).prop_map(|(q, (ax, th))| Op::Rot(q, ax, th));
     let cnot = (0..n_qubits, 0..n_qubits.saturating_sub(1)).prop_map(move |(c, t0)| {
         let t = if t0 >= c { t0 + 1 } else { t0 };
         Op::Cnot(c, t)

@@ -1,0 +1,447 @@
+//! The batched executor: B statevectors over one shared schedule.
+//!
+//! Policy evaluation over a replay minibatch, per-agent evaluation at one
+//! timestep, and the parameter-shift rule's ±π/2 fan-out are all "run the
+//! same compiled schedule under many bindings". [`BatchExecutor`] turns
+//! each of those into a flat work queue drained by the shared
+//! [`qmarl_qsim::par`] scheduler:
+//!
+//! * [`BatchExecutor::run_batch`] — final states for B input vectors
+//!   under shared parameters,
+//! * [`BatchExecutor::run_batch_with_params`] — per-item parameters too
+//!   (N agents with identical circuit shape but private weights),
+//! * [`BatchExecutor::expectation_batch`] — readout vectors instead of
+//!   raw states,
+//! * [`BatchExecutor::jacobian_batch`] /
+//!   [`BatchExecutor::forward_and_jacobian_batch`] — the batched
+//!   parameter-shift path: **every** shift evaluation of every minibatch
+//!   sample is one task in a single queue, so a 4-sample × 48-parameter
+//!   gradient sweep keeps every core busy instead of parallelising only
+//!   within one sample.
+//!
+//! Results are folded in deterministic (input, occurrence) order, so
+//! batched outputs are bit-identical to their serial counterparts.
+
+use qmarl_qsim::par;
+use qmarl_qsim::state::StateVector;
+use qmarl_vqc::grad::Jacobian;
+use qmarl_vqc::observable::Readout;
+
+use crate::compile::{CGate, CompiledCircuit, Occurrence};
+use crate::error::RuntimeError;
+use crate::exec::{check_bindings, run_raw_with_override, run_schedule_unchecked};
+
+/// Evaluates compiled schedules over batches of bindings in parallel.
+#[derive(Debug, Clone)]
+pub struct BatchExecutor {
+    workers: usize,
+}
+
+impl Default for BatchExecutor {
+    fn default() -> Self {
+        BatchExecutor {
+            workers: par::default_workers(),
+        }
+    }
+}
+
+impl BatchExecutor {
+    /// An executor with an explicit worker count (`0` = auto-detect).
+    pub fn new(workers: usize) -> Self {
+        BatchExecutor {
+            workers: if workers == 0 {
+                par::default_workers()
+            } else {
+                workers
+            },
+        }
+    }
+
+    /// A strictly serial executor (the property-test reference).
+    pub fn serial() -> Self {
+        BatchExecutor { workers: 1 }
+    }
+
+    /// The worker count used for every batch.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the fused schedule for every input vector under shared
+    /// parameters, returning final states in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a binding-length error naming the first offending item.
+    pub fn run_batch(
+        &self,
+        compiled: &CompiledCircuit,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> Result<Vec<StateVector>, RuntimeError> {
+        for item in inputs {
+            check_bindings(compiled, item, params)?;
+        }
+        Ok(par::parallel_map(inputs, self.workers, |_, item| {
+            run_schedule_unchecked(compiled.n_qubits(), compiled.fused_schedule(), item, params)
+        }))
+    }
+
+    /// Runs the fused schedule for every `(inputs, params)` pair — the
+    /// multi-agent case: one circuit shape, per-agent weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns a binding-length error naming the first offending pair.
+    pub fn run_batch_with_params(
+        &self,
+        compiled: &CompiledCircuit,
+        bindings: &[(Vec<f64>, Vec<f64>)],
+    ) -> Result<Vec<StateVector>, RuntimeError> {
+        for (inputs, params) in bindings {
+            check_bindings(compiled, inputs, params)?;
+        }
+        Ok(par::parallel_map(
+            bindings,
+            self.workers,
+            |_, (inputs, params)| {
+                run_schedule_unchecked(
+                    compiled.n_qubits(),
+                    compiled.fused_schedule(),
+                    inputs,
+                    params,
+                )
+            },
+        ))
+    }
+
+    /// Batched forward pass through a readout: one output vector per
+    /// input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length or readout-validation errors.
+    pub fn expectation_batch(
+        &self,
+        compiled: &CompiledCircuit,
+        readout: &Readout,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> Result<Vec<Vec<f64>>, RuntimeError> {
+        readout.validate(compiled.n_qubits())?;
+        for item in inputs {
+            check_bindings(compiled, item, params)?;
+        }
+        par::try_parallel_map(inputs, self.workers, |_, item| {
+            let state = run_schedule_unchecked(
+                compiled.n_qubits(),
+                compiled.fused_schedule(),
+                item,
+                params,
+            );
+            readout.evaluate(&state).map_err(RuntimeError::from)
+        })
+    }
+
+    /// Batched parameter-shift Jacobians: one Jacobian per input vector,
+    /// with all shift evaluations of the whole minibatch scheduled as one
+    /// flat work queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length or readout-validation errors.
+    pub fn jacobian_batch(
+        &self,
+        compiled: &CompiledCircuit,
+        readout: &Readout,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> Result<Vec<Jacobian>, RuntimeError> {
+        readout.validate(compiled.n_qubits())?;
+        for item in inputs {
+            check_bindings(compiled, item, params)?;
+        }
+        // One task per (sample, parameter occurrence): a task runs the 2
+        // (plain) or 4 (controlled) shifted circuits of that occurrence.
+        let occurrences = compiled.occurrences();
+        let tasks: Vec<(usize, usize)> = (0..inputs.len())
+            .flat_map(|b| (0..occurrences.len()).map(move |o| (b, o)))
+            .collect();
+        let contributions = par::try_parallel_map(&tasks, self.workers, |_, &(b, o)| {
+            occurrence_shift(compiled, readout, &inputs[b], params, occurrences[o])
+                .map(|grads| (b, occurrences[o].param, grads))
+        })?;
+
+        let mut jacobians =
+            vec![Jacobian::zeros(readout.output_len(), compiled.n_params()); inputs.len()];
+        for (b, param, grads) in contributions {
+            for (j, g) in grads.into_iter().enumerate() {
+                *jacobians[b].get_mut(j, param) += g;
+            }
+        }
+        Ok(jacobians)
+    }
+
+    /// Batched forward **and** Jacobian in one queue: the forward
+    /// evaluations ride the same scheduler as the shift evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length or readout-validation errors.
+    pub fn forward_and_jacobian_batch(
+        &self,
+        compiled: &CompiledCircuit,
+        readout: &Readout,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> Result<(Vec<Vec<f64>>, Vec<Jacobian>), RuntimeError> {
+        readout.validate(compiled.n_qubits())?;
+        for item in inputs {
+            check_bindings(compiled, item, params)?;
+        }
+        let occurrences = compiled.occurrences();
+        // Task id: b * (occurrences + 1); offset 0 = forward pass.
+        let per_sample = occurrences.len() + 1;
+        let tasks: Vec<usize> = (0..inputs.len() * per_sample).collect();
+        let results = par::try_parallel_map(&tasks, self.workers, |_, &t| {
+            let b = t / per_sample;
+            let slot = t % per_sample;
+            if slot == 0 {
+                let state = run_schedule_unchecked(
+                    compiled.n_qubits(),
+                    compiled.fused_schedule(),
+                    &inputs[b],
+                    params,
+                );
+                readout
+                    .evaluate(&state)
+                    .map(TaskResult::Forward)
+                    .map_err(RuntimeError::from)
+            } else {
+                let occ = occurrences[slot - 1];
+                occurrence_shift(compiled, readout, &inputs[b], params, occ).map(|g| {
+                    TaskResult::Shift {
+                        param: occ.param,
+                        grads: g,
+                    }
+                })
+            }
+        })?;
+
+        let mut outputs = vec![Vec::new(); inputs.len()];
+        let mut jacobians =
+            vec![Jacobian::zeros(readout.output_len(), compiled.n_params()); inputs.len()];
+        for (t, result) in results.into_iter().enumerate() {
+            let b = t / per_sample;
+            match result {
+                TaskResult::Forward(out) => outputs[b] = out,
+                TaskResult::Shift { param, grads } => {
+                    for (j, g) in grads.into_iter().enumerate() {
+                        *jacobians[b].get_mut(j, param) += g;
+                    }
+                }
+            }
+        }
+        Ok((outputs, jacobians))
+    }
+}
+
+enum TaskResult {
+    Forward(Vec<f64>),
+    Shift { param: usize, grads: Vec<f64> },
+}
+
+/// The base (unshifted) angle of an occurrence under the given bindings.
+fn occurrence_angle(
+    compiled: &CompiledCircuit,
+    occ: Occurrence,
+    inputs: &[f64],
+    params: &[f64],
+) -> f64 {
+    match &compiled.raw_schedule()[occ.raw_idx] {
+        CGate::Rot { angle, .. } | CGate::CRot { angle, .. } => angle.value(inputs, params),
+        other => unreachable!("occurrence points at non-rotation gate {other:?}"),
+    }
+}
+
+/// The shift-rule contribution of one occurrence, per readout output.
+/// The two-/four-term combination itself lives in
+/// [`qmarl_vqc::grad::shift_rule`] — shared with the serial engine so the
+/// two gradient paths cannot drift apart — and only the circuit evaluator
+/// (compiled raw schedule with one overridden angle) is supplied here.
+fn occurrence_shift(
+    compiled: &CompiledCircuit,
+    readout: &Readout,
+    inputs: &[f64],
+    params: &[f64],
+    occ: Occurrence,
+) -> Result<Vec<f64>, RuntimeError> {
+    let theta = occurrence_angle(compiled, occ, inputs, params);
+    qmarl_vqc::grad::shift_rule(theta, occ.controlled, |t| {
+        let s = run_raw_with_override(compiled, inputs, params, occ.raw_idx, t);
+        readout.evaluate(&s).map_err(RuntimeError::from)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use qmarl_vqc::ansatz::{init_params, layered_ansatz};
+    use qmarl_vqc::encoder::layered_angle_encoder;
+    use qmarl_vqc::grad::jacobian_parameter_shift;
+
+    fn paper_circuit() -> qmarl_vqc::ir::Circuit {
+        let mut c = layered_angle_encoder(4, 4).unwrap();
+        c.append_shifted(&layered_ansatz(4, 20).unwrap()).unwrap();
+        c
+    }
+
+    fn batch_inputs(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|b| (0..4).map(|i| 0.1 * (b * 4 + i) as f64 - 0.7).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_interpreter() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 3);
+        let inputs = batch_inputs(7);
+        let ex = BatchExecutor::new(4);
+        let states = ex.run_batch(&compiled, &inputs, &params).unwrap();
+        for (item, state) in inputs.iter().zip(&states) {
+            let reference = qmarl_vqc::exec::run(&circuit, item, &params).unwrap();
+            assert!((state.fidelity(&reference).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_item_params_batch() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let bindings: Vec<(Vec<f64>, Vec<f64>)> = (0..4)
+            .map(|b| (batch_inputs(4)[b].clone(), init_params(20, b as u64)))
+            .collect();
+        let ex = BatchExecutor::default();
+        let states = ex.run_batch_with_params(&compiled, &bindings).unwrap();
+        for ((inputs, params), state) in bindings.iter().zip(&states) {
+            let reference = qmarl_vqc::exec::run(&circuit, inputs, params).unwrap();
+            assert!((state.fidelity(&reference).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expectation_batch_matches_readout() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 5);
+        let inputs = batch_inputs(5);
+        let readout = Readout::z_all(4);
+        let ex = BatchExecutor::new(3);
+        let outs = ex
+            .expectation_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        for (item, out) in inputs.iter().zip(&outs) {
+            let reference = readout
+                .evaluate(&qmarl_vqc::exec::run(&circuit, item, &params).unwrap())
+                .unwrap();
+            for (a, b) in out.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_batch_matches_vqc_parameter_shift() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 7);
+        let inputs = batch_inputs(3);
+        let readout = Readout::z_all(4);
+        let ex = BatchExecutor::new(4);
+        let jacs = ex
+            .jacobian_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        for (item, jac) in inputs.iter().zip(&jacs) {
+            let reference = jacobian_parameter_shift(&circuit, &readout, item, &params).unwrap();
+            assert!(jac.max_abs_diff(&reference) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_and_jacobian_fused_queue() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 9);
+        let inputs = batch_inputs(4);
+        let readout = Readout::mean_z(4);
+        let ex = BatchExecutor::new(4);
+        let (outs, jacs) = ex
+            .forward_and_jacobian_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        let outs_ref = ex
+            .expectation_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        let jacs_ref = ex
+            .jacobian_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        assert_eq!(outs, outs_ref);
+        for (a, b) in jacs.iter().zip(&jacs_ref) {
+            assert!(
+                a.max_abs_diff(b) == 0.0,
+                "same fold order must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_executors_agree_exactly() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 11);
+        let inputs = batch_inputs(6);
+        let readout = Readout::z_all(4);
+        let serial = BatchExecutor::serial();
+        let parallel = BatchExecutor::new(8);
+        assert_eq!(
+            serial
+                .expectation_batch(&compiled, &readout, &inputs, &params)
+                .unwrap(),
+            parallel
+                .expectation_batch(&compiled, &readout, &inputs, &params)
+                .unwrap(),
+        );
+        let js = serial
+            .jacobian_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        let jp = parallel
+            .jacobian_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        for (a, b) in js.iter().zip(&jp) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+    }
+
+    #[test]
+    fn bad_bindings_rejected() {
+        let compiled = compile(&paper_circuit());
+        let ex = BatchExecutor::default();
+        let bad = vec![vec![0.0; 3]];
+        assert!(ex.run_batch(&compiled, &bad, &init_params(20, 0)).is_err());
+        let good = vec![vec![0.0; 4]];
+        assert!(ex.run_batch(&compiled, &good, &[0.0; 19]).is_err());
+        let bad_readout = Readout::ZPerQubit { qubits: vec![7] };
+        assert!(ex
+            .expectation_batch(&compiled, &bad_readout, &good, &init_params(20, 0))
+            .is_err());
+    }
+
+    #[test]
+    fn executor_worker_configuration() {
+        assert_eq!(BatchExecutor::serial().workers(), 1);
+        assert!(BatchExecutor::new(0).workers() >= 1);
+        assert_eq!(BatchExecutor::new(5).workers(), 5);
+    }
+}

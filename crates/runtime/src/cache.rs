@@ -1,0 +1,135 @@
+//! The compiled-circuit cache.
+//!
+//! Actors and critics are built from a handful of circuit *shapes* that
+//! thousands of model instances share (every agent's policy has the same
+//! encoder + ansatz structure). Compilation is cheap but not free, and a
+//! shared cache also means one `Arc<CompiledCircuit>` serves every clone
+//! of a model — cloning an actor for a rollout worker no longer copies
+//! its schedule.
+//!
+//! Keying is by [`circuit_hash`] with full structural comparison on
+//! lookup, so a hash collision degrades to a recompile, never to wrong
+//! execution.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use qmarl_vqc::ir::Circuit;
+
+use crate::compile::{circuit_hash, compile, CompiledCircuit};
+
+/// One hash bucket: structurally distinct circuits sharing a hash.
+type Bucket = Vec<(Circuit, Arc<CompiledCircuit>)>;
+
+/// A thread-safe cache from circuit structure to compiled schedule.
+#[derive(Debug, Default)]
+pub struct CircuitCache {
+    // Buckets resolve hash collisions by structural equality.
+    map: RwLock<HashMap<u64, Bucket>>,
+}
+
+impl CircuitCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CircuitCache::default()
+    }
+
+    /// The process-wide cache used by [`crate::qnn::CompiledVqc`].
+    pub fn global() -> &'static CircuitCache {
+        static GLOBAL: OnceLock<CircuitCache> = OnceLock::new();
+        GLOBAL.get_or_init(CircuitCache::new)
+    }
+
+    /// Returns the compiled form of `circuit`, compiling at most once per
+    /// distinct structure.
+    pub fn get_or_compile(&self, circuit: &Circuit) -> Arc<CompiledCircuit> {
+        let key = circuit_hash(circuit);
+        if let Some(bucket) = self.map.read().expect("cache lock").get(&key) {
+            for (stored, compiled) in bucket {
+                if stored == circuit {
+                    return Arc::clone(compiled);
+                }
+            }
+        }
+        let compiled = Arc::new(compile(circuit));
+        let mut map = self.map.write().expect("cache lock");
+        let bucket = map.entry(key).or_default();
+        // Re-check under the write lock: another thread may have won.
+        for (stored, cached) in bucket.iter() {
+            if stored == circuit {
+                return Arc::clone(cached);
+            }
+        }
+        bucket.push((circuit.clone(), Arc::clone(&compiled)));
+        compiled
+    }
+
+    /// Number of distinct compiled circuits held.
+    pub fn len(&self) -> usize {
+        self.map
+            .read()
+            .expect("cache lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// `true` when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached compilation (mainly for tests).
+    pub fn clear(&self) {
+        self.map.write().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmarl_qsim::gate::RotationAxis as Ax;
+    use qmarl_vqc::ir::{Angle, ParamId};
+
+    fn circ(n: usize) -> Circuit {
+        let mut c = Circuit::new(2);
+        for i in 0..n {
+            c.rot(i % 2, Ax::Y, Angle::Param(ParamId(i))).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn caches_by_structure() {
+        let cache = CircuitCache::new();
+        let a = cache.get_or_compile(&circ(3));
+        let b = cache.get_or_compile(&circ(3));
+        assert!(Arc::ptr_eq(&a, &b), "equal circuits share one compilation");
+        assert_eq!(cache.len(), 1);
+        let c = cache.get_or_compile(&circ(4));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_compiles_once_per_shape() {
+        let cache = CircuitCache::new();
+        let shapes: Vec<Circuit> = (1..5).map(circ).collect();
+        let compiled = qmarl_qsim::par::parallel_map(&[(); 16], 8, |i, ()| {
+            cache.get_or_compile(&shapes[i % shapes.len()])
+        });
+        assert_eq!(cache.len(), shapes.len());
+        for (i, c) in compiled.iter().enumerate() {
+            assert!(Arc::ptr_eq(c, &compiled[i % shapes.len()]));
+        }
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let a = CircuitCache::global().get_or_compile(&circ(2));
+        let b = CircuitCache::global().get_or_compile(&circ(2));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the batched execution runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use qmarl_env::error::EnvError;
+use qmarl_qsim::error::QsimError;
+use qmarl_vqc::error::VqcError;
+
+/// Errors produced by the runtime's compilation, batching and rollout
+/// layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A bound input vector had the wrong length for the compiled circuit.
+    InputLenMismatch {
+        /// Declared input arity.
+        expected: usize,
+        /// Supplied vector length.
+        actual: usize,
+    },
+    /// A bound parameter vector had the wrong length.
+    ParamLenMismatch {
+        /// Declared parameter arity.
+        expected: usize,
+        /// Supplied vector length.
+        actual: usize,
+    },
+    /// A runtime configuration value was invalid.
+    InvalidConfig(String),
+    /// The VQC layer reported an error.
+    Vqc(VqcError),
+    /// The simulator reported an error.
+    Simulator(QsimError),
+    /// The environment reported an error during a rollout.
+    Env(EnvError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InputLenMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "compiled circuit expects {expected} inputs, got {actual}"
+                )
+            }
+            RuntimeError::ParamLenMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "compiled circuit expects {expected} parameters, got {actual}"
+                )
+            }
+            RuntimeError::InvalidConfig(msg) => write!(f, "invalid runtime configuration: {msg}"),
+            RuntimeError::Vqc(e) => write!(f, "vqc error: {e}"),
+            RuntimeError::Simulator(e) => write!(f, "simulator error: {e}"),
+            RuntimeError::Env(e) => write!(f, "environment error: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+impl From<VqcError> for RuntimeError {
+    fn from(e: VqcError) -> Self {
+        RuntimeError::Vqc(e)
+    }
+}
+
+impl From<QsimError> for RuntimeError {
+    fn from(e: QsimError) -> Self {
+        RuntimeError::Simulator(e)
+    }
+}
+
+impl From<EnvError> for RuntimeError {
+    fn from(e: EnvError) -> Self {
+        RuntimeError::Env(e)
+    }
+}

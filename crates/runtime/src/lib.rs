@@ -1,0 +1,88 @@
+//! # qmarl-runtime — batched circuit execution + parallel rollout engine
+//!
+//! The execution engine of the
+//! [QMARL reproduction](https://arxiv.org/abs/2203.10443). The paper's
+//! training loop is dominated by two embarrassingly parallel workloads —
+//! per-agent/per-sample VQC evaluation and the parameter-shift gradient's
+//! ±π/2 circuit fan-out — plus episode collection, which is independent
+//! across episodes. This crate turns all three into flat work queues over
+//! one shared scheduler ([`qmarl_qsim::par`]). Pipeline:
+//!
+//! ```text
+//!            compile (once)              bind + batch                 fold
+//! Circuit ───────────────▶ CompiledCircuit ─────────▶ B statevectors ─────▶ outputs
+//!   IR       fusion, slot    (cached by       shared     (one work        Jacobians
+//!            resolution,      structural      schedule    item each)      episodes
+//!            validation)      hash)
+//! ```
+//!
+//! * [`compile`] — lowers [`qmarl_vqc::ir::Circuit`] into a flat,
+//!   fusion-optimised [`compile::CompiledCircuit`]: adjacent same-axis
+//!   rotations on one wire fuse (their symbolic angles add), adjacent
+//!   fixed gates pre-multiply, angle slots resolve to direct
+//!   input/parameter indices, and wires are validated once so execution
+//!   validates nothing. The unfused schedule and the trainable-occurrence
+//!   table are kept for the gradient path, which must shift individual
+//!   occurrences.
+//! * [`cache`] — a process-wide compiled-circuit cache keyed by
+//!   structural hash: every clone of a model (and every same-shaped
+//!   model) shares one `Arc<CompiledCircuit>`.
+//! * [`batch`] — [`batch::BatchExecutor`]: B statevectors over one
+//!   shared schedule, batched readouts, and a batched parameter-shift
+//!   path that schedules **every** shift evaluation of a whole minibatch
+//!   as one flat queue. Batched results are bit-identical to serial ones
+//!   (fold order is fixed; property-tested at 1e-12 against
+//!   `vqc::exec::run`).
+//! * [`rollout`] — parallel rollout workers with a per-*episode* seed
+//!   derivation, so collected traces are identical for any worker count
+//!   (see the module docs for the determinism contract).
+//! * [`qnn`] — [`qnn::CompiledVqc`], the model-facing wrapper
+//!   `qmarl-core`'s quantum actors and critics execute through.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use qmarl_runtime::prelude::*;
+//! use qmarl_vqc::prelude::*;
+//!
+//! // The paper's 4-qubit actor shape, compiled once…
+//! let model = VqcBuilder::new(4)
+//!     .encoder_inputs(4)
+//!     .ansatz_params(20)
+//!     .readout(Readout::z_all(4))
+//!     .build()?;
+//! let compiled = CompiledVqc::new(model);
+//! let params = compiled.model().init_params(7);
+//!
+//! // …then evaluated over a whole minibatch in one call.
+//! let minibatch: Vec<Vec<f64>> = (0..32).map(|b| vec![0.01 * b as f64; 4]).collect();
+//! let outputs = compiled.forward_batch(&minibatch, &params)?;
+//! assert_eq!(outputs.len(), 32);
+//! assert_eq!(outputs[0].len(), 4);
+//! # Ok::<(), qmarl_runtime::error::RuntimeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batch;
+pub mod cache;
+pub mod compile;
+pub mod error;
+pub mod exec;
+pub mod qnn;
+pub mod rollout;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::batch::BatchExecutor;
+    pub use crate::cache::CircuitCache;
+    pub use crate::compile::{circuit_hash, compile, CGate, CompiledCircuit, FusedAngle};
+    pub use crate::error::RuntimeError;
+    pub use crate::exec::run_compiled;
+    pub use crate::qnn::CompiledVqc;
+    pub use crate::rollout::{
+        collect_episodes, derive_seed, EpisodeTrace, RolloutConfig, RolloutError, RolloutPolicy,
+        TraceStep, WorkerEnv,
+    };
+}

@@ -1,0 +1,336 @@
+//! [`CompiledVqc`]: a [`Vqc`] model bound to its compiled schedule.
+//!
+//! This is the runtime's model-facing API and what `qmarl-core`'s quantum
+//! actors and critics execute through. Construction looks the circuit up
+//! in the global [`CircuitCache`] (so every clone and every same-shaped
+//! model shares one compilation), single evaluations run the fused
+//! schedule, and the batch entry points fan out over the
+//! [`BatchExecutor`].
+//!
+//! Gradient routing: `ParameterShift` and `FiniteDiff` requests go
+//! through the runtime's compiled/batched paths; `Adjoint` delegates to
+//! `vqc::grad` (a reverse sweep is inherently sequential per sample, so
+//! there is nothing for the batch engine to win within one evaluation —
+//! batches of adjoint evaluations still parallelise across samples).
+
+use std::sync::Arc;
+
+use qmarl_vqc::grad::{GradMethod, Jacobian};
+use qmarl_vqc::qnn::Vqc;
+
+use crate::batch::BatchExecutor;
+use crate::cache::CircuitCache;
+use crate::compile::CompiledCircuit;
+use crate::error::RuntimeError;
+use crate::exec;
+
+/// A VQC model plus its cached compiled schedule and batch executor.
+#[derive(Debug, Clone)]
+pub struct CompiledVqc {
+    model: Vqc,
+    compiled: Arc<CompiledCircuit>,
+    executor: BatchExecutor,
+}
+
+impl CompiledVqc {
+    /// Compiles (or cache-hits) the model's circuit and attaches the
+    /// default executor.
+    pub fn new(model: Vqc) -> Self {
+        let compiled = CircuitCache::global().get_or_compile(model.circuit());
+        CompiledVqc {
+            model,
+            compiled,
+            executor: BatchExecutor::default(),
+        }
+    }
+
+    /// Overrides the executor (worker count).
+    pub fn with_executor(mut self, executor: BatchExecutor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Vqc {
+        &self.model
+    }
+
+    /// The compiled schedule backing this model.
+    pub fn compiled(&self) -> &Arc<CompiledCircuit> {
+        &self.compiled
+    }
+
+    /// The batch executor in use.
+    pub fn executor(&self) -> &BatchExecutor {
+        &self.executor
+    }
+
+    /// Single forward pass over the fused schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn forward(&self, inputs: &[f64], params: &[f64]) -> Result<Vec<f64>, RuntimeError> {
+        let (circ, scales, biases) = self.model.split_params(params)?;
+        let scaled = self.model.input_scaling().apply_all(inputs);
+        let state = exec::run_compiled(&self.compiled, &scaled, circ)?;
+        let raw = self.model.readout().evaluate(&state)?;
+        Ok(self.model.apply_head(&raw, scales, biases))
+    }
+
+    /// Batched forward pass: one output vector per observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn forward_batch(
+        &self,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> Result<Vec<Vec<f64>>, RuntimeError> {
+        let (circ, scales, biases) = self.model.split_params(params)?;
+        let scaled: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| self.model.input_scaling().apply_all(x))
+            .collect();
+        let raws =
+            self.executor
+                .expectation_batch(&self.compiled, self.model.readout(), &scaled, circ)?;
+        Ok(raws
+            .iter()
+            .map(|raw| self.model.apply_head(raw, scales, biases))
+            .collect())
+    }
+
+    /// Forward pass plus full-parameter Jacobian, routing through the
+    /// compiled schedules (see module docs for per-method routing).
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn forward_with_jacobian(
+        &self,
+        inputs: &[f64],
+        params: &[f64],
+        method: GradMethod,
+    ) -> Result<(Vec<f64>, Jacobian), RuntimeError> {
+        match method {
+            GradMethod::ParameterShift => {
+                let (circ, scales, biases) = self.model.split_params(params)?;
+                let scaled = vec![self.model.input_scaling().apply_all(inputs)];
+                let (mut outs, mut jacs) = self.executor.forward_and_jacobian_batch(
+                    &self.compiled,
+                    self.model.readout(),
+                    &scaled,
+                    circ,
+                )?;
+                let raw = outs.pop().expect("one sample in, one out");
+                let circ_jac = jacs.pop().expect("one sample in, one out");
+                Ok(self
+                    .model
+                    .assemble_jacobian(&raw, &circ_jac, scales, biases))
+            }
+            GradMethod::Adjoint | GradMethod::FiniteDiff => {
+                Ok(self.model.forward_with_jacobian(inputs, params, method)?)
+            }
+        }
+    }
+
+    /// Batched forward + Jacobian over a minibatch of observations under
+    /// shared parameters — the training hot path. All shift evaluations
+    /// across the whole minibatch form one flat work queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn forward_with_jacobian_batch(
+        &self,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> Result<Vec<(Vec<f64>, Jacobian)>, RuntimeError> {
+        let (circ, scales, biases) = self.model.split_params(params)?;
+        let scaled: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| self.model.input_scaling().apply_all(x))
+            .collect();
+        let (outs, jacs) = self.executor.forward_and_jacobian_batch(
+            &self.compiled,
+            self.model.readout(),
+            &scaled,
+            circ,
+        )?;
+        Ok(outs
+            .iter()
+            .zip(&jacs)
+            .map(|(raw, cj)| self.model.assemble_jacobian(raw, cj, scales, biases))
+            .collect())
+    }
+
+    /// Batched **adjoint** forward + Jacobian: each sample runs the
+    /// cheap reverse-sweep method, samples fan out across the executor's
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn forward_with_jacobian_batch_adjoint(
+        &self,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> Result<Vec<(Vec<f64>, Jacobian)>, RuntimeError> {
+        qmarl_qsim::par::try_parallel_map(inputs, self.executor.workers(), |_, obs| {
+            self.model
+                .forward_with_jacobian(obs, params, GradMethod::Adjoint)
+                .map_err(RuntimeError::from)
+        })
+    }
+
+    /// Batched scalar evaluation (critic values): the first output of
+    /// every sample's forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn values_batch(
+        &self,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> Result<Vec<f64>, RuntimeError> {
+        Ok(self
+            .forward_batch(inputs, params)?
+            .into_iter()
+            .map(|out| out[0])
+            .collect())
+    }
+
+    /// Single-sample adjoint Jacobian through the uncompiled model —
+    /// exposed for completeness/testing parity with [`grad::jacobian`].
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn jacobian_adjoint(
+        &self,
+        inputs: &[f64],
+        params: &[f64],
+    ) -> Result<(Vec<f64>, Jacobian), RuntimeError> {
+        Ok(self
+            .model
+            .forward_with_jacobian(inputs, params, GradMethod::Adjoint)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmarl_vqc::observable::Readout;
+    use qmarl_vqc::qnn::{OutputHead, VqcBuilder};
+
+    fn actor_like() -> Vqc {
+        VqcBuilder::new(4)
+            .encoder_inputs(4)
+            .ansatz_params(20)
+            .readout(Readout::z_all(4))
+            .output_head(OutputHead::Affine)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn forward_matches_uncompiled_model() {
+        let model = actor_like();
+        let params = model.init_params(3);
+        let compiled = CompiledVqc::new(model.clone());
+        let obs = [0.2, 0.8, 0.5, 0.1];
+        let fast = compiled.forward(&obs, &params).unwrap();
+        let reference = model.forward(&obs, &params).unwrap();
+        for (a, b) in fast.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_batch_matches_singles() {
+        let compiled = CompiledVqc::new(actor_like());
+        let params = compiled.model().init_params(5);
+        let batch: Vec<Vec<f64>> = (0..6)
+            .map(|b| (0..4).map(|i| 0.05 * (b + i) as f64).collect())
+            .collect();
+        let outs = compiled.forward_batch(&batch, &params).unwrap();
+        for (obs, out) in batch.iter().zip(&outs) {
+            let single = compiled.forward(obs, &params).unwrap();
+            assert_eq!(*out, single);
+        }
+    }
+
+    #[test]
+    fn parameter_shift_through_runtime_matches_vqc() {
+        let model = actor_like();
+        let params = model.init_params(7);
+        let compiled = CompiledVqc::new(model.clone());
+        let obs = [0.3, 0.1, 0.9, 0.6];
+        let (out_rt, jac_rt) = compiled
+            .forward_with_jacobian(&obs, &params, GradMethod::ParameterShift)
+            .unwrap();
+        let (out_ref, jac_ref) = model
+            .forward_with_jacobian(&obs, &params, GradMethod::ParameterShift)
+            .unwrap();
+        for (a, b) in out_rt.iter().zip(&out_ref) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(jac_rt.max_abs_diff(&jac_ref) < 1e-12);
+    }
+
+    #[test]
+    fn batch_jacobians_match_singles() {
+        let compiled = CompiledVqc::new(actor_like());
+        let params = compiled.model().init_params(9);
+        let batch: Vec<Vec<f64>> = (0..3)
+            .map(|b| (0..4).map(|i| 0.07 * (b * 3 + i) as f64).collect())
+            .collect();
+        let results = compiled
+            .forward_with_jacobian_batch(&batch, &params)
+            .unwrap();
+        for (obs, (out, jac)) in batch.iter().zip(&results) {
+            let (o, j) = compiled
+                .forward_with_jacobian(obs, &params, GradMethod::ParameterShift)
+                .unwrap();
+            assert_eq!(*out, o);
+            assert_eq!(jac.max_abs_diff(&j), 0.0);
+        }
+        // Adjoint batch agrees with parameter-shift to gradient precision.
+        let adjoint = compiled
+            .forward_with_jacobian_batch_adjoint(&batch, &params)
+            .unwrap();
+        for ((_, a), (_, b)) in adjoint.iter().zip(&results) {
+            assert!(a.max_abs_diff(b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clones_share_one_compilation() {
+        let a = CompiledVqc::new(actor_like());
+        let b = a.clone();
+        let c = CompiledVqc::new(actor_like());
+        assert!(Arc::ptr_eq(a.compiled(), b.compiled()));
+        assert!(Arc::ptr_eq(a.compiled(), c.compiled()));
+    }
+
+    #[test]
+    fn values_batch_takes_first_output() {
+        let model = VqcBuilder::new(3)
+            .encoder_inputs(6)
+            .ansatz_params(10)
+            .readout(Readout::mean_z(3))
+            .output_head(OutputHead::Affine)
+            .build()
+            .unwrap();
+        let params = model.init_params(1);
+        let compiled = CompiledVqc::new(model);
+        let batch: Vec<Vec<f64>> = (0..4).map(|b| vec![0.1 * b as f64; 6]).collect();
+        let values = compiled.values_batch(&batch, &params).unwrap();
+        for (obs, v) in batch.iter().zip(&values) {
+            assert!((compiled.forward(obs, &params).unwrap()[0] - v).abs() < 1e-15);
+        }
+    }
+}

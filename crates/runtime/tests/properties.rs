@@ -1,0 +1,342 @@
+//! Property-based tests for the batched runtime: the equivalence
+//! guarantees the acceptance criteria pin at 1e-12.
+
+use proptest::prelude::*;
+
+use qmarl_qsim::gate::RotationAxis;
+use qmarl_runtime::prelude::*;
+use qmarl_vqc::ir::{Angle, Circuit, FixedGate, InputId, ParamId};
+use qmarl_vqc::observable::Readout;
+
+/// Strategy: one random circuit op as plain data.
+#[derive(Debug, Clone)]
+enum ArbOp {
+    Rot(usize, RotationAxis, ArbAngle),
+    CRot(usize, usize, RotationAxis, ArbAngle),
+    Cnot(usize, usize),
+    Cz(usize, usize),
+    Fixed(usize, FixedGate),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ArbAngle {
+    Input(usize),
+    Param(usize),
+    Const(f64),
+}
+
+fn arb_axis() -> impl Strategy<Value = RotationAxis> {
+    prop_oneof![
+        Just(RotationAxis::X),
+        Just(RotationAxis::Y),
+        Just(RotationAxis::Z)
+    ]
+}
+
+fn arb_angle(n_inputs: usize, n_params: usize) -> impl Strategy<Value = ArbAngle> {
+    prop_oneof![
+        (0..n_inputs).prop_map(ArbAngle::Input),
+        (0..n_params).prop_map(ArbAngle::Param),
+        (-3.0f64..3.0).prop_map(ArbAngle::Const),
+    ]
+}
+
+fn arb_fixed() -> impl Strategy<Value = FixedGate> {
+    prop_oneof![
+        Just(FixedGate::H),
+        Just(FixedGate::X),
+        Just(FixedGate::Y),
+        Just(FixedGate::Z),
+        Just(FixedGate::S),
+        Just(FixedGate::T)
+    ]
+}
+
+fn arb_ops(
+    n_qubits: usize,
+    n_inputs: usize,
+    n_params: usize,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<ArbOp>> {
+    let rot = (0..n_qubits, arb_axis(), arb_angle(n_inputs, n_params))
+        .prop_map(|(q, ax, a)| ArbOp::Rot(q, ax, a));
+    let crot = (
+        0..n_qubits,
+        0..n_qubits.saturating_sub(1),
+        arb_axis(),
+        arb_angle(n_inputs, n_params),
+    )
+        .prop_map(move |(c, t0, ax, a)| {
+            let t = if t0 >= c { t0 + 1 } else { t0 };
+            ArbOp::CRot(c, t, ax, a)
+        });
+    let cnot = (0..n_qubits, 0..n_qubits.saturating_sub(1)).prop_map(move |(c, t0)| {
+        let t = if t0 >= c { t0 + 1 } else { t0 };
+        ArbOp::Cnot(c, t)
+    });
+    let cz = (0..n_qubits, 0..n_qubits.saturating_sub(1)).prop_map(move |(c, t0)| {
+        let t = if t0 >= c { t0 + 1 } else { t0 };
+        ArbOp::Cz(c, t)
+    });
+    let fixed = (0..n_qubits, arb_fixed()).prop_map(|(q, g)| ArbOp::Fixed(q, g));
+    // Rotation-heavy mix so the fusion pass has real work to do.
+    prop::collection::vec(
+        prop_oneof![5 => rot, 2 => crot, 1 => cnot, 1 => cz, 2 => fixed],
+        1..max_len,
+    )
+}
+
+fn build(n_qubits: usize, n_inputs: usize, n_params: usize, ops: &[ArbOp]) -> Circuit {
+    let mut c = Circuit::new(n_qubits);
+    // Anchor arity so random circuits always accept full binding vectors.
+    c.rot(0, RotationAxis::X, Angle::Input(InputId(n_inputs - 1)))
+        .unwrap();
+    c.rot(0, RotationAxis::X, Angle::Param(ParamId(n_params - 1)))
+        .unwrap();
+    for op in ops {
+        match *op {
+            ArbOp::Rot(q, ax, a) => {
+                c.rot(q, ax, lower_angle(a)).unwrap();
+            }
+            ArbOp::CRot(ctl, t, ax, a) => {
+                c.controlled_rot(ctl, t, ax, lower_angle(a)).unwrap();
+            }
+            ArbOp::Cnot(ctl, t) => {
+                c.cnot(ctl, t).unwrap();
+            }
+            ArbOp::Cz(ctl, t) => {
+                c.cz(ctl, t).unwrap();
+            }
+            ArbOp::Fixed(q, g) => {
+                c.fixed(q, g).unwrap();
+            }
+        }
+    }
+    c
+}
+
+fn lower_angle(a: ArbAngle) -> Angle {
+    match a {
+        ArbAngle::Input(i) => Angle::Input(InputId(i)),
+        ArbAngle::Param(p) => Angle::Param(ParamId(p)),
+        ArbAngle::Const(c) => Angle::Const(c),
+    }
+}
+
+const TOL: f64 = 1e-12;
+
+proptest! {
+    /// Batched execution ≡ serial `vqc::exec::run`, amplitude by
+    /// amplitude, across randomized circuits and batch sizes.
+    #[test]
+    fn batched_equals_serial_amplitudes(
+        ops in arb_ops(4, 3, 5, 30),
+        inputs in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 3), 1..9),
+        params in prop::collection::vec(-2.0f64..2.0, 5),
+        workers in 1usize..9,
+    ) {
+        let circuit = build(4, 3, 5, &ops);
+        let compiled = compile(&circuit);
+        let ex = BatchExecutor::new(workers);
+        let states = ex.run_batch(&compiled, &inputs, &params).unwrap();
+        for (item, state) in inputs.iter().zip(&states) {
+            let reference = qmarl_vqc::exec::run(&circuit, item, &params).unwrap();
+            for (a, b) in state.amplitudes().iter().zip(reference.amplitudes()) {
+                prop_assert!((*a - *b).abs() < TOL, "amplitude drift {:e}", (*a - *b).abs());
+            }
+        }
+    }
+
+    /// Fused and unfused schedules are the same unitary.
+    #[test]
+    fn fused_equals_unfused(
+        ops in arb_ops(3, 2, 4, 40),
+        inputs in prop::collection::vec(-2.0f64..2.0, 2),
+        params in prop::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let circuit = build(3, 2, 4, &ops);
+        let compiled = compile(&circuit);
+        let fused = run_compiled(&compiled, &inputs, &params).unwrap();
+        // The raw schedule re-runs through the serial interpreter.
+        let reference = qmarl_vqc::exec::run(&circuit, &inputs, &params).unwrap();
+        for (a, b) in fused.amplitudes().iter().zip(reference.amplitudes()) {
+            prop_assert!((*a - *b).abs() < TOL);
+        }
+        // And fusion actually fires on rotation-heavy circuits sometimes;
+        // at minimum it never grows the schedule.
+        prop_assert!(compiled.fused_schedule().len() <= compiled.raw_schedule().len());
+    }
+
+    /// Batched expectations ≡ serial readout evaluation.
+    #[test]
+    fn batched_expectations_equal_serial(
+        ops in arb_ops(3, 2, 4, 25),
+        inputs in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 2), 1..6),
+        params in prop::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let circuit = build(3, 2, 4, &ops);
+        let compiled = compile(&circuit);
+        for readout in [Readout::z_all(3), Readout::mean_z(3)] {
+            let outs = BatchExecutor::new(4)
+                .expectation_batch(&compiled, &readout, &inputs, &params)
+                .unwrap();
+            for (item, out) in inputs.iter().zip(&outs) {
+                let state = qmarl_vqc::exec::run(&circuit, item, &params).unwrap();
+                let reference = readout.evaluate(&state).unwrap();
+                for (a, b) in out.iter().zip(&reference) {
+                    prop_assert!((a - b).abs() < TOL);
+                }
+            }
+        }
+    }
+
+    /// Batched parameter-shift ≡ `vqc::grad::jacobian_parameter_shift`
+    /// per sample, including controlled (four-term) occurrences.
+    #[test]
+    fn batched_jacobian_equals_serial(
+        ops in arb_ops(3, 2, 4, 18),
+        inputs in prop::collection::vec(prop::collection::vec(-1.5f64..1.5, 2), 1..4),
+        params in prop::collection::vec(-1.5f64..1.5, 4),
+    ) {
+        let circuit = build(3, 2, 4, &ops);
+        let compiled = compile(&circuit);
+        let readout = Readout::z_all(3);
+        let jacs = BatchExecutor::new(4)
+            .jacobian_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        for (item, jac) in inputs.iter().zip(&jacs) {
+            let reference =
+                qmarl_vqc::grad::jacobian_parameter_shift(&circuit, &readout, item, &params)
+                    .unwrap();
+            prop_assert!(jac.max_abs_diff(&reference) < TOL,
+                "jacobian drift {:e}", jac.max_abs_diff(&reference));
+        }
+    }
+
+    /// The compiled-circuit cache returns one shared compilation per
+    /// structure and never changes results.
+    #[test]
+    fn cache_roundtrip_preserves_semantics(
+        ops in arb_ops(3, 2, 4, 20),
+        inputs in prop::collection::vec(-2.0f64..2.0, 2),
+        params in prop::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let circuit = build(3, 2, 4, &ops);
+        let cache = CircuitCache::new();
+        let c1 = cache.get_or_compile(&circuit);
+        let c2 = cache.get_or_compile(&circuit);
+        prop_assert!(std::sync::Arc::ptr_eq(&c1, &c2));
+        let a = run_compiled(&c1, &inputs, &params).unwrap();
+        let b = qmarl_vqc::exec::run(&circuit, &inputs, &params).unwrap();
+        prop_assert!((a.fidelity(&b).unwrap() - 1.0).abs() < TOL);
+    }
+}
+
+mod rollout_equivalence {
+    use super::*;
+    use qmarl_env::single_hop::{EnvConfig, SingleHopEnv};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    fn env(limit: usize) -> SingleHopEnv {
+        let mut cfg = EnvConfig::paper_default();
+        cfg.episode_limit = limit;
+        SingleHopEnv::new(cfg, 0).unwrap()
+    }
+
+    #[allow(clippy::type_complexity)] // the RolloutPolicy closure shape, spelled out
+    fn policy(
+        _episode: usize,
+    ) -> impl FnMut(&[Vec<f64>], &mut StdRng) -> Result<(Vec<usize>, f64), RuntimeError> {
+        |obs: &[Vec<f64>], rng: &mut StdRng| {
+            Ok((obs.iter().map(|_| rng.gen_range(0..4)).collect(), 0.0))
+        }
+    }
+
+    /// A hand-written serial reference: run the same derivation loop with
+    /// no parallel scheduler at all.
+    fn serial_reference(
+        template: &SingleHopEnv,
+        n_episodes: usize,
+        base_seed: u64,
+    ) -> Vec<EpisodeTrace> {
+        use qmarl_env::multi_agent::MultiAgentEnv;
+        use rand::SeedableRng;
+        (0..n_episodes)
+            .map(|i| {
+                let mut env = template.clone();
+                env.reseed(derive_seed(base_seed, 0x45, i as u64));
+                let mut rng = StdRng::seed_from_u64(derive_seed(base_seed, 0x50, i as u64));
+                let mut p = policy(i);
+                let (mut obs, mut state) = env.reset();
+                let mut steps = Vec::new();
+                loop {
+                    let (actions, aux) = p(&obs, &mut rng).unwrap();
+                    let out = env.step(&actions).unwrap();
+                    steps.push(TraceStep {
+                        state: state.clone(),
+                        observations: obs.clone(),
+                        actions,
+                        reward: out.reward,
+                        next_state: out.state.clone(),
+                        next_observations: out.observations.clone(),
+                        done: out.done,
+                        info: out.info,
+                        aux,
+                    });
+                    obs = out.observations;
+                    state = out.state;
+                    if out.done {
+                        break;
+                    }
+                }
+                EpisodeTrace { index: i, steps }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_rollouts_equal_serial_reference_for_one_worker() {
+        let template = env(10);
+        let engine = collect_episodes(
+            &template,
+            policy,
+            5,
+            &RolloutConfig {
+                workers: 1,
+                base_seed: 99,
+            },
+        )
+        .unwrap();
+        let reference = serial_reference(&template, 5, 99);
+        assert_eq!(engine, reference);
+    }
+
+    #[test]
+    fn parallel_rollouts_independent_of_worker_count() {
+        let template = env(15);
+        let one = collect_episodes(
+            &template,
+            policy,
+            6,
+            &RolloutConfig {
+                workers: 1,
+                base_seed: 5,
+            },
+        )
+        .unwrap();
+        for workers in [2, 3, 8] {
+            let many = collect_episodes(
+                &template,
+                policy,
+                6,
+                &RolloutConfig {
+                    workers,
+                    base_seed: 5,
+                },
+            )
+            .unwrap();
+            assert_eq!(one, many, "workers={workers}");
+        }
+    }
+}

@@ -44,13 +44,19 @@ use crate::ir::{Angle, Circuit, ParamId};
 /// ```
 pub fn layered_ansatz(n_qubits: usize, param_budget: usize) -> Result<Circuit, VqcError> {
     if param_budget == 0 {
-        return Err(VqcError::InvalidConfig("ansatz needs at least one parameter".into()));
+        return Err(VqcError::InvalidConfig(
+            "ansatz needs at least one parameter".into(),
+        ));
     }
     let mut c = Circuit::new(n_qubits);
     let mut p = 0usize;
     let mut layer = 0usize;
     while p < param_budget {
-        let axis = if layer % 2 == 0 { RotationAxis::Y } else { RotationAxis::Z };
+        let axis = if layer.is_multiple_of(2) {
+            RotationAxis::Y
+        } else {
+            RotationAxis::Z
+        };
         for q in 0..n_qubits {
             if p >= param_budget {
                 break;
@@ -84,7 +90,11 @@ pub struct RandomLayerConfig {
 
 impl Default for RandomLayerConfig {
     fn default() -> Self {
-        RandomLayerConfig { gate_budget: 50, rotation_prob: 0.75, seed: 7 }
+        RandomLayerConfig {
+            gate_budget: 50,
+            rotation_prob: 0.75,
+            seed: 7,
+        }
     }
 }
 
@@ -97,9 +107,14 @@ impl Default for RandomLayerConfig {
 /// Returns [`VqcError::InvalidConfig`] when the budget is zero, the
 /// probability is outside `[0, 1]`, or a CNOT is requested on a
 /// single-wire register with `rotation_prob < 1`.
-pub fn random_layer_ansatz(n_qubits: usize, config: RandomLayerConfig) -> Result<Circuit, VqcError> {
+pub fn random_layer_ansatz(
+    n_qubits: usize,
+    config: RandomLayerConfig,
+) -> Result<Circuit, VqcError> {
     if config.gate_budget == 0 {
-        return Err(VqcError::InvalidConfig("gate budget must be positive".into()));
+        return Err(VqcError::InvalidConfig(
+            "gate budget must be positive".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&config.rotation_prob) {
         return Err(VqcError::InvalidConfig(format!(
@@ -159,7 +174,11 @@ mod tests {
     #[test]
     fn layered_ansatz_entangles_between_layers() {
         let c = layered_ansatz(4, 12).unwrap();
-        let cnots = c.ops().iter().filter(|o| matches!(o, Op::Cnot { .. })).count();
+        let cnots = c
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::Cnot { .. }))
+            .count();
         // 12 params = 3 full layers on 4 qubits → 2 interior rings of 4 CNOTs.
         assert_eq!(cnots, 8);
     }
@@ -178,7 +197,11 @@ mod tests {
 
     #[test]
     fn random_layer_respects_gate_budget_and_seed() {
-        let cfg = RandomLayerConfig { gate_budget: 50, rotation_prob: 0.75, seed: 42 };
+        let cfg = RandomLayerConfig {
+            gate_budget: 50,
+            rotation_prob: 0.75,
+            seed: 42,
+        };
         let a = random_layer_ansatz(4, cfg).unwrap();
         let b = random_layer_ansatz(4, cfg).unwrap();
         assert_eq!(a, b, "same seed must give the same circuit");
@@ -191,7 +214,11 @@ mod tests {
 
     #[test]
     fn random_layer_all_rotations_when_prob_one() {
-        let cfg = RandomLayerConfig { gate_budget: 50, rotation_prob: 1.0, seed: 1 };
+        let cfg = RandomLayerConfig {
+            gate_budget: 50,
+            rotation_prob: 1.0,
+            seed: 1,
+        };
         let c = random_layer_ansatz(4, cfg).unwrap();
         assert_eq!(c.param_count(), 50);
         assert_eq!(c.trainable_gate_count(), 50);
@@ -199,10 +226,31 @@ mod tests {
 
     #[test]
     fn random_layer_validates_config() {
-        assert!(random_layer_ansatz(4, RandomLayerConfig { gate_budget: 0, ..Default::default() }).is_err());
-        assert!(random_layer_ansatz(4, RandomLayerConfig { rotation_prob: 1.4, ..Default::default() }).is_err());
+        assert!(random_layer_ansatz(
+            4,
+            RandomLayerConfig {
+                gate_budget: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(random_layer_ansatz(
+            4,
+            RandomLayerConfig {
+                rotation_prob: 1.4,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(random_layer_ansatz(1, RandomLayerConfig::default()).is_err());
-        assert!(random_layer_ansatz(1, RandomLayerConfig { rotation_prob: 1.0, ..Default::default() }).is_ok());
+        assert!(random_layer_ansatz(
+            1,
+            RandomLayerConfig {
+                rotation_prob: 1.0,
+                ..Default::default()
+            }
+        )
+        .is_ok());
     }
 
     #[test]
@@ -210,7 +258,9 @@ mod tests {
         let a = init_params(50, 9);
         let b = init_params(50, 9);
         assert_eq!(a, b);
-        assert!(a.iter().all(|t| (-std::f64::consts::PI..=std::f64::consts::PI).contains(t)));
+        assert!(a
+            .iter()
+            .all(|t| (-std::f64::consts::PI..=std::f64::consts::PI).contains(t)));
         let c = init_params(50, 10);
         assert_ne!(a, c);
     }

@@ -34,9 +34,18 @@ pub fn render(circuit: &Circuit) -> String {
         let mut cells: Vec<String> = vec![String::new(); n];
         match *op {
             Op::Rot { qubit, axis, angle } => {
-                cells[qubit] = format!("R{}({})", axis.label().chars().last().unwrap(), angle_label(angle));
+                cells[qubit] = format!(
+                    "R{}({})",
+                    axis.label().chars().last().unwrap(),
+                    angle_label(angle)
+                );
             }
-            Op::ControlledRot { control, target, axis, angle } => {
+            Op::ControlledRot {
+                control,
+                target,
+                axis,
+                angle,
+            } => {
                 cells[control] = "●".to_string();
                 cells[target] = format!(
                     "CR{}({})",

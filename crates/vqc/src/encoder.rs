@@ -22,12 +22,13 @@ use crate::error::VqcError;
 use crate::ir::{Angle, Circuit, InputId};
 
 /// How raw classical features are mapped to rotation angles when binding.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize, Default)]
 pub enum InputScaling {
     /// Use features as radians directly.
     Identity,
     /// Multiply by π — natural for features already normalised to `[0, 1]`
     /// (queue occupancies in this paper are).
+    #[default]
     Pi,
     /// `arctan` squashing — keeps unbounded features in `(−π/2, π/2)`.
     ArcTan,
@@ -50,12 +51,6 @@ impl InputScaling {
     /// Applies the scaling to a whole feature vector.
     pub fn apply_all(&self, xs: &[f64]) -> Vec<f64> {
         xs.iter().map(|&x| self.apply(x)).collect()
-    }
-}
-
-impl Default for InputScaling {
-    fn default() -> Self {
-        InputScaling::Pi
     }
 }
 
@@ -84,7 +79,9 @@ impl Default for InputScaling {
 /// ```
 pub fn layered_angle_encoder(n_qubits: usize, n_inputs: usize) -> Result<Circuit, VqcError> {
     if n_inputs == 0 {
-        return Err(VqcError::InvalidConfig("encoder needs at least one input".into()));
+        return Err(VqcError::InvalidConfig(
+            "encoder needs at least one input".into(),
+        ));
     }
     let mut c = Circuit::new(n_qubits);
     for i in 0..n_inputs {
@@ -127,7 +124,9 @@ pub fn reuploading_circuit(
     param_budget: usize,
 ) -> Result<Circuit, VqcError> {
     if repeats == 0 {
-        return Err(VqcError::InvalidConfig("re-uploading needs at least one block".into()));
+        return Err(VqcError::InvalidConfig(
+            "re-uploading needs at least one block".into(),
+        ));
     }
     if param_budget < repeats {
         return Err(VqcError::InvalidConfig(format!(

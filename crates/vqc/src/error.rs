@@ -62,16 +62,28 @@ impl fmt::Display for VqcError {
                 write!(f, "two-qubit op applied twice to qubit {qubit}")
             }
             VqcError::QubitCountMismatch { expected, actual } => {
-                write!(f, "expected a {expected}-qubit circuit, got {actual} qubits")
+                write!(
+                    f,
+                    "expected a {expected}-qubit circuit, got {actual} qubits"
+                )
             }
             VqcError::InputLenMismatch { expected, actual } => {
-                write!(f, "circuit declares {expected} inputs but {actual} were bound")
+                write!(
+                    f,
+                    "circuit declares {expected} inputs but {actual} were bound"
+                )
             }
             VqcError::ParamLenMismatch { expected, actual } => {
-                write!(f, "circuit declares {expected} parameters but {actual} were bound")
+                write!(
+                    f,
+                    "circuit declares {expected} parameters but {actual} were bound"
+                )
             }
             VqcError::ReadoutOutOfRange { qubit, n_qubits } => {
-                write!(f, "readout wire {qubit} out of range for {n_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "readout wire {qubit} out of range for {n_qubits}-qubit circuit"
+                )
             }
             VqcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             VqcError::Simulator(e) => write!(f, "simulator error: {e}"),
@@ -101,12 +113,27 @@ mod tests {
     #[test]
     fn display_messages() {
         let errs: Vec<VqcError> = vec![
-            VqcError::QubitOutOfRange { qubit: 4, n_qubits: 4 },
+            VqcError::QubitOutOfRange {
+                qubit: 4,
+                n_qubits: 4,
+            },
             VqcError::DuplicateQubit { qubit: 1 },
-            VqcError::QubitCountMismatch { expected: 4, actual: 2 },
-            VqcError::InputLenMismatch { expected: 16, actual: 4 },
-            VqcError::ParamLenMismatch { expected: 50, actual: 48 },
-            VqcError::ReadoutOutOfRange { qubit: 7, n_qubits: 4 },
+            VqcError::QubitCountMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            VqcError::InputLenMismatch {
+                expected: 16,
+                actual: 4,
+            },
+            VqcError::ParamLenMismatch {
+                expected: 50,
+                actual: 48,
+            },
+            VqcError::ReadoutOutOfRange {
+                qubit: 7,
+                n_qubits: 4,
+            },
             VqcError::InvalidConfig("gate budget must be positive".into()),
         ];
         for e in errs {

@@ -68,7 +68,12 @@ pub(crate) fn apply_op(
             let theta = resolve(angle, inputs, params);
             state.apply_gate1(qubit, &axis.gate(theta))?;
         }
-        Op::ControlledRot { control, target, axis, angle } => {
+        Op::ControlledRot {
+            control,
+            target,
+            axis,
+            angle,
+        } => {
             let theta = resolve(angle, inputs, params);
             state.apply_controlled_gate1(control, target, &axis.gate(theta))?;
         }
@@ -104,7 +109,12 @@ pub fn run_noisy(
                 rho.apply_gate1(qubit, &axis.gate(theta))?;
                 (vec![qubit], false)
             }
-            Op::ControlledRot { control, target, axis, angle } => {
+            Op::ControlledRot {
+                control,
+                target,
+                axis,
+                angle,
+            } => {
                 let theta = resolve(angle, inputs, params);
                 rho.apply_gate2(control, target, &Gate2::controlled(&axis.gate(theta)))?;
                 (vec![control, target], true)
@@ -122,7 +132,11 @@ pub fn run_noisy(
                 (vec![qubit], false)
             }
         };
-        let channel = if is_two_qubit { noise.after_gate2 } else { noise.after_gate1 };
+        let channel = if is_two_qubit {
+            noise.after_gate2
+        } else {
+            noise.after_gate1
+        };
         if let Some(c) = channel {
             let kraus = c.kraus_operators();
             for w in wires {
@@ -222,9 +236,12 @@ mod tests {
             after_gate2: Some(NoiseChannel::Depolarizing { p: 0.02 }),
         };
         let mut shallow = layered_angle_encoder(2, 2).unwrap();
-        shallow.append_shifted(&layered_ansatz(2, 2).unwrap()).unwrap();
+        shallow
+            .append_shifted(&layered_ansatz(2, 2).unwrap())
+            .unwrap();
         let mut deep = layered_angle_encoder(2, 2).unwrap();
-        deep.append_shifted(&layered_ansatz(2, 20).unwrap()).unwrap();
+        deep.append_shifted(&layered_ansatz(2, 20).unwrap())
+            .unwrap();
 
         let rho_s = run_noisy(&shallow, &[0.3, 0.6], &init_params(2, 1), &noise).unwrap();
         let rho_d = run_noisy(&deep, &[0.3, 0.6], &init_params(20, 1), &noise).unwrap();

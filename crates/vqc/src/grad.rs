@@ -36,7 +36,11 @@ pub struct Jacobian {
 impl Jacobian {
     /// An all-zeros Jacobian.
     pub fn zeros(n_outputs: usize, n_params: usize) -> Self {
-        Jacobian { n_outputs, n_params, data: vec![0.0; n_outputs * n_params] }
+        Jacobian {
+            n_outputs,
+            n_params,
+            data: vec![0.0; n_outputs * n_params],
+        }
     }
 
     /// Number of output rows.
@@ -75,7 +79,11 @@ impl Jacobian {
     ///
     /// Panics if `upstream.len() != n_outputs`.
     pub fn vjp(&self, upstream: &[f64]) -> Vec<f64> {
-        assert_eq!(upstream.len(), self.n_outputs, "upstream gradient length mismatch");
+        assert_eq!(
+            upstream.len(),
+            self.n_outputs,
+            "upstream gradient length mismatch"
+        );
         let mut out = vec![0.0; self.n_params];
         for (j, &u) in upstream.iter().enumerate() {
             for (p, o) in out.iter_mut().enumerate() {
@@ -143,10 +151,22 @@ fn run_with_override(
     for (k, op) in circuit.ops().iter().enumerate() {
         if k == override_idx {
             let replaced = match *op {
-                Op::Rot { qubit, axis, .. } => Op::Rot { qubit, axis, angle: Angle::Const(theta) },
-                Op::ControlledRot { control, target, axis, .. } => {
-                    Op::ControlledRot { control, target, axis, angle: Angle::Const(theta) }
-                }
+                Op::Rot { qubit, axis, .. } => Op::Rot {
+                    qubit,
+                    axis,
+                    angle: Angle::Const(theta),
+                },
+                Op::ControlledRot {
+                    control,
+                    target,
+                    axis,
+                    ..
+                } => Op::ControlledRot {
+                    control,
+                    target,
+                    axis,
+                    angle: Angle::Const(theta),
+                },
                 other => other,
             };
             exec::apply_op(&mut state, &replaced, inputs, params)?;
@@ -192,7 +212,8 @@ pub fn jacobian_parameter_shift(
 
     let mut jac = Jacobian::zeros(readout.output_len(), circuit.param_count());
     for (k, p, theta, controlled) in param_occurrences(circuit, params) {
-        let contributions = occurrence_shift(circuit, readout, inputs, params, k, theta, controlled)?;
+        let contributions =
+            occurrence_shift(circuit, readout, inputs, params, k, theta, controlled)?;
         for (j, g) in contributions.into_iter().enumerate() {
             *jac.get_mut(j, p) += g;
         }
@@ -200,8 +221,10 @@ pub fn jacobian_parameter_shift(
     Ok(jac)
 }
 
-/// Parallel parameter-shift: distributes occurrences over `n_threads`
-/// crossbeam scoped threads. Semantically identical to
+/// Parallel parameter-shift: fans the parameter occurrences out over the
+/// shared work-queue scheduler ([`qmarl_qsim::par`], the same engine the
+/// batched runtime uses), with `n_threads` workers. Results are folded in
+/// occurrence order, so the output is **bit-identical** to
 /// [`jacobian_parameter_shift`]; use it when the circuit is deep enough
 /// that gradient evaluation dominates a training step.
 ///
@@ -222,33 +245,18 @@ pub fn jacobian_parameter_shift_parallel(
     run(circuit, inputs, params)?;
     readout.validate(circuit.n_qubits())?;
 
-    let n_threads = n_threads.min(occurrences.len());
-    let chunk = occurrences.len().div_ceil(n_threads);
-    let results = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for batch in occurrences.chunks(chunk) {
-            handles.push(scope.spawn(move |_| -> Result<Vec<(usize, Vec<f64>)>, VqcError> {
-                let mut out = Vec::with_capacity(batch.len());
-                for &(k, p, theta, controlled) in batch {
-                    let g = occurrence_shift(circuit, readout, inputs, params, k, theta, controlled)?;
-                    out.push((p, g));
-                }
-                Ok(out)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("gradient worker panicked"))
-            .collect::<Result<Vec<_>, _>>()
-    })
-    .expect("crossbeam scope panicked")?;
+    let contributions = qmarl_qsim::par::try_parallel_map(
+        &occurrences,
+        n_threads,
+        |_, &(k, p, theta, controlled)| {
+            occurrence_shift(circuit, readout, inputs, params, k, theta, controlled).map(|g| (p, g))
+        },
+    )?;
 
     let mut jac = Jacobian::zeros(readout.output_len(), circuit.param_count());
-    for batch in results {
-        for (p, grads) in batch {
-            for (j, g) in grads.into_iter().enumerate() {
-                *jac.get_mut(j, p) += g;
-            }
+    for (p, grads) in contributions {
+        for (j, g) in grads.into_iter().enumerate() {
+            *jac.get_mut(j, p) += g;
         }
     }
     Ok(jac)
@@ -264,16 +272,36 @@ fn occurrence_shift(
     theta: f64,
     controlled: bool,
 ) -> Result<Vec<f64>, VqcError> {
-    use std::f64::consts::FRAC_PI_2;
-    let eval = |t: f64| -> Result<Vec<f64>, VqcError> {
+    shift_rule(theta, controlled, |t| {
         let s = run_with_override(circuit, inputs, params, k, t)?;
         readout.evaluate(&s)
-    };
+    })
+}
+
+/// The parameter-shift combination rule, abstracted over the circuit
+/// evaluator: `eval(θ')` must return the readout vector with the targeted
+/// occurrence's angle forced to `θ'`. This is the **single** home of the
+/// two-/four-term coefficients — the batched runtime's gradient path
+/// calls it with its compiled-schedule evaluator, so both engines cannot
+/// drift apart.
+///
+/// # Errors
+///
+/// Propagates the evaluator's error.
+pub fn shift_rule<Err, F>(theta: f64, controlled: bool, mut eval: F) -> Result<Vec<f64>, Err>
+where
+    F: FnMut(f64) -> Result<Vec<f64>, Err>,
+{
+    use std::f64::consts::FRAC_PI_2;
     if !controlled {
         // Two-term rule, exact for generator spectrum {±1/2}.
         let plus = eval(theta + FRAC_PI_2)?;
         let minus = eval(theta - FRAC_PI_2)?;
-        Ok(plus.iter().zip(&minus).map(|(a, b)| (a - b) / 2.0).collect())
+        Ok(plus
+            .iter()
+            .zip(&minus)
+            .map(|(a, b)| (a - b) / 2.0)
+            .collect())
     } else {
         // Four-term rule for controlled rotations (generator spectrum
         // {0, ±1/2} in the θ/2 convention → frequencies {1/2, 1}):
@@ -410,14 +438,24 @@ fn inner_raw(a: &StateVector, b: &StateVector) -> Complex64 {
 }
 
 /// Applies `U†` of an op in place.
-fn unapply(state: &mut StateVector, op: &Op, inputs: &[f64], params: &[f64]) -> Result<(), VqcError> {
+fn unapply(
+    state: &mut StateVector,
+    op: &Op,
+    inputs: &[f64],
+    params: &[f64],
+) -> Result<(), VqcError> {
     let inverse = match *op {
         Op::Rot { qubit, axis, angle } => Op::Rot {
             qubit,
             axis,
             angle: Angle::Const(-resolve_angle(angle, inputs, params)),
         },
-        Op::ControlledRot { control, target, axis, angle } => Op::ControlledRot {
+        Op::ControlledRot {
+            control,
+            target,
+            axis,
+            angle,
+        } => Op::ControlledRot {
             control,
             target,
             axis,
@@ -450,7 +488,12 @@ fn apply_generator(state: &StateVector, op: &Op) -> StateVector {
         Op::Rot { qubit, axis, .. } => {
             apply_pauli(&mut out, qubit, axis);
         }
-        Op::ControlledRot { control, target, axis, .. } => {
+        Op::ControlledRot {
+            control,
+            target,
+            axis,
+            ..
+        } => {
             // G = |1⟩⟨1|_c ⊗ σ_t: project onto control=1 then apply σ.
             let mask = 1usize << control;
             for (i, a) in out.amplitudes_mut().iter_mut().enumerate() {
@@ -521,7 +564,11 @@ mod tests {
         c.rot(0, Ax::Y, Angle::Param(ParamId(0))).unwrap();
         let readout = Readout::z_all(1);
         for theta in [0.0, 0.4, 1.2, -2.2] {
-            for method in [GradMethod::ParameterShift, GradMethod::Adjoint, GradMethod::FiniteDiff] {
+            for method in [
+                GradMethod::ParameterShift,
+                GradMethod::Adjoint,
+                GradMethod::FiniteDiff,
+            ] {
                 let jac = jacobian(method, &c, &readout, &[], &[theta]).unwrap();
                 assert!(
                     (jac.get(0, 0) + theta.sin()).abs() < 1e-6,
@@ -542,8 +589,16 @@ mod tests {
         let ps = jacobian_parameter_shift(&c, &readout, &inputs, &params).unwrap();
         let adj = jacobian_adjoint(&c, &readout, &inputs, &params).unwrap();
         let fd = jacobian_finite_diff(&c, &readout, &inputs, &params, 1e-6).unwrap();
-        assert!(ps.max_abs_diff(&adj) < 1e-9, "ps vs adjoint: {}", ps.max_abs_diff(&adj));
-        assert!(ps.max_abs_diff(&fd) < 1e-5, "ps vs fd: {}", ps.max_abs_diff(&fd));
+        assert!(
+            ps.max_abs_diff(&adj) < 1e-9,
+            "ps vs adjoint: {}",
+            ps.max_abs_diff(&adj)
+        );
+        assert!(
+            ps.max_abs_diff(&fd) < 1e-5,
+            "ps vs fd: {}",
+            ps.max_abs_diff(&fd)
+        );
     }
 
     #[test]
@@ -551,8 +606,15 @@ mod tests {
         let c = {
             let mut c = layered_angle_encoder(4, 4).unwrap();
             c.append_shifted(
-                &random_layer_ansatz(4, RandomLayerConfig { gate_budget: 30, rotation_prob: 0.7, seed: 99 })
-                    .unwrap(),
+                &random_layer_ansatz(
+                    4,
+                    RandomLayerConfig {
+                        gate_budget: 30,
+                        rotation_prob: 0.7,
+                        seed: 99,
+                    },
+                )
+                .unwrap(),
             )
             .unwrap();
             c
@@ -572,15 +634,25 @@ mod tests {
         let mut c = Circuit::new(2);
         c.fixed(0, crate::ir::FixedGate::H).unwrap();
         c.rot(1, Ax::Y, Angle::Param(ParamId(0))).unwrap();
-        c.controlled_rot(0, 1, Ax::Y, Angle::Param(ParamId(1))).unwrap();
-        c.controlled_rot(1, 0, Ax::X, Angle::Param(ParamId(2))).unwrap();
+        c.controlled_rot(0, 1, Ax::Y, Angle::Param(ParamId(1)))
+            .unwrap();
+        c.controlled_rot(1, 0, Ax::X, Angle::Param(ParamId(2)))
+            .unwrap();
         let readout = Readout::z_all(2);
         let params = [0.9, -0.4, 1.7];
         let ps = jacobian_parameter_shift(&c, &readout, &[], &params).unwrap();
         let fd = jacobian_finite_diff(&c, &readout, &[], &params, 1e-6).unwrap();
         let adj = jacobian_adjoint(&c, &readout, &[], &params).unwrap();
-        assert!(ps.max_abs_diff(&fd) < 1e-5, "ps vs fd: {}", ps.max_abs_diff(&fd));
-        assert!(adj.max_abs_diff(&fd) < 1e-5, "adj vs fd: {}", adj.max_abs_diff(&fd));
+        assert!(
+            ps.max_abs_diff(&fd) < 1e-5,
+            "ps vs fd: {}",
+            ps.max_abs_diff(&fd)
+        );
+        assert!(
+            adj.max_abs_diff(&fd) < 1e-5,
+            "adj vs fd: {}",
+            adj.max_abs_diff(&fd)
+        );
     }
 
     #[test]
@@ -592,7 +664,11 @@ mod tests {
         c.rot(0, Ax::Y, Angle::Param(ParamId(0))).unwrap();
         let readout = Readout::z_all(1);
         let theta = 0.37;
-        for method in [GradMethod::ParameterShift, GradMethod::Adjoint, GradMethod::FiniteDiff] {
+        for method in [
+            GradMethod::ParameterShift,
+            GradMethod::Adjoint,
+            GradMethod::FiniteDiff,
+        ] {
             let jac = jacobian(method, &c, &readout, &[], &[theta]).unwrap();
             assert!(
                 (jac.get(0, 0) + 2.0 * (2.0 * theta).sin()).abs() < 1e-6,
@@ -630,8 +706,7 @@ mod tests {
     #[test]
     fn gradient_of_input_only_circuit_is_empty() {
         let c = layered_angle_encoder(2, 2).unwrap();
-        let jac =
-            jacobian_parameter_shift(&c, &Readout::z_all(2), &[0.5, 0.1], &[]).unwrap();
+        let jac = jacobian_parameter_shift(&c, &Readout::z_all(2), &[0.5, 0.1], &[]).unwrap();
         assert_eq!(jac.n_params(), 0);
     }
 

@@ -12,11 +12,15 @@ use qmarl_qsim::gate::RotationAxis;
 use crate::error::VqcError;
 
 /// Index of a classical input slot (an encoder angle).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct InputId(pub usize);
 
 /// Index of a trainable parameter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ParamId(pub usize);
 
 /// A symbolic rotation angle.
@@ -125,7 +129,9 @@ impl Op {
     pub fn qubits(&self) -> Vec<usize> {
         match *self {
             Op::Rot { qubit, .. } | Op::Fixed { qubit, .. } => vec![qubit],
-            Op::ControlledRot { control, target, .. }
+            Op::ControlledRot {
+                control, target, ..
+            }
             | Op::Cnot { control, target }
             | Op::Cz { control, target } => vec![control, target],
         }
@@ -178,7 +184,12 @@ impl Circuit {
     /// Panics if `n_qubits == 0`.
     pub fn new(n_qubits: usize) -> Self {
         assert!(n_qubits > 0, "circuit needs at least one qubit");
-        Circuit { n_qubits, ops: Vec::new(), n_inputs: 0, n_params: 0 }
+        Circuit {
+            n_qubits,
+            ops: Vec::new(),
+            n_inputs: 0,
+            n_params: 0,
+        }
     }
 
     /// Number of wires.
@@ -218,7 +229,10 @@ impl Circuit {
 
     fn check_qubit(&self, q: usize) -> Result<(), VqcError> {
         if q >= self.n_qubits {
-            Err(VqcError::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits })
+            Err(VqcError::QubitOutOfRange {
+                qubit: q,
+                n_qubits: self.n_qubits,
+            })
         } else {
             Ok(())
         }
@@ -237,7 +251,12 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`VqcError::QubitOutOfRange`] for an invalid wire.
-    pub fn rot(&mut self, qubit: usize, axis: RotationAxis, angle: Angle) -> Result<&mut Self, VqcError> {
+    pub fn rot(
+        &mut self,
+        qubit: usize,
+        axis: RotationAxis,
+        angle: Angle,
+    ) -> Result<&mut Self, VqcError> {
         self.check_qubit(qubit)?;
         self.track_angle(angle);
         self.ops.push(Op::Rot { qubit, axis, angle });
@@ -262,7 +281,12 @@ impl Circuit {
             return Err(VqcError::DuplicateQubit { qubit: control });
         }
         self.track_angle(angle);
-        self.ops.push(Op::ControlledRot { control, target, axis, angle });
+        self.ops.push(Op::ControlledRot {
+            control,
+            target,
+            axis,
+            angle,
+        });
         Ok(self)
     }
 
@@ -325,8 +349,17 @@ impl Circuit {
         let shift = self.n_params;
         for op in &other.ops {
             let shifted = match *op {
-                Op::Rot { qubit, axis, angle } => Op::Rot { qubit, axis, angle: shift_angle(angle, shift) },
-                Op::ControlledRot { control, target, axis, angle } => Op::ControlledRot {
+                Op::Rot { qubit, axis, angle } => Op::Rot {
+                    qubit,
+                    axis,
+                    angle: shift_angle(angle, shift),
+                },
+                Op::ControlledRot {
+                    control,
+                    target,
+                    axis,
+                    angle,
+                } => Op::ControlledRot {
                     control,
                     target,
                     axis,
@@ -411,10 +444,17 @@ mod tests {
 
     #[test]
     fn op_introspection() {
-        let op = Op::Rot { qubit: 1, axis: Ax::Z, angle: Angle::Param(ParamId(0)) };
+        let op = Op::Rot {
+            qubit: 1,
+            axis: Ax::Z,
+            angle: Angle::Param(ParamId(0)),
+        };
         assert_eq!(op.qubits(), vec![1]);
         assert!(op.is_trainable());
-        let op = Op::Cnot { control: 0, target: 2 };
+        let op = Op::Cnot {
+            control: 0,
+            target: 2,
+        };
         assert_eq!(op.qubits(), vec![0, 2]);
         assert!(!op.is_trainable());
         assert!(op.angle().is_none());

@@ -44,7 +44,9 @@ pub mod stats;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::ansatz::{init_params, layered_ansatz, random_layer_ansatz, RandomLayerConfig};
-    pub use crate::encoder::{encoder_depth, layered_angle_encoder, reuploading_circuit, InputScaling};
+    pub use crate::encoder::{
+        encoder_depth, layered_angle_encoder, reuploading_circuit, InputScaling,
+    };
     pub use crate::error::VqcError;
     pub use crate::exec::{run, run_noisy};
     pub use crate::grad::{

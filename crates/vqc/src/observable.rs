@@ -29,12 +29,16 @@ pub enum Readout {
 impl Readout {
     /// Z readout on every wire of an `n`-qubit register.
     pub fn z_all(n_qubits: usize) -> Self {
-        Readout::ZPerQubit { qubits: (0..n_qubits).collect() }
+        Readout::ZPerQubit {
+            qubits: (0..n_qubits).collect(),
+        }
     }
 
     /// Uniform-weight scalar readout over `n_qubits` wires (mean ⟨Z⟩).
     pub fn mean_z(n_qubits: usize) -> Self {
-        Readout::WeightedZSum { weights: vec![1.0 / n_qubits as f64; n_qubits] }
+        Readout::WeightedZSum {
+            weights: vec![1.0 / n_qubits as f64; n_qubits],
+        }
     }
 
     /// Number of classical outputs this readout produces.
@@ -55,7 +59,9 @@ impl Readout {
         match self {
             Readout::ZPerQubit { qubits } => {
                 if qubits.is_empty() {
-                    return Err(VqcError::InvalidConfig("readout must name at least one wire".into()));
+                    return Err(VqcError::InvalidConfig(
+                        "readout must name at least one wire".into(),
+                    ));
                 }
                 for &q in qubits {
                     if q >= n_qubits {
@@ -65,7 +71,9 @@ impl Readout {
             }
             Readout::WeightedZSum { weights } => {
                 if weights.is_empty() {
-                    return Err(VqcError::InvalidConfig("weighted readout needs weights".into()));
+                    return Err(VqcError::InvalidConfig(
+                        "weighted readout needs weights".into(),
+                    ));
                 }
                 if weights.len() > n_qubits {
                     return Err(VqcError::ReadoutOutOfRange {
@@ -180,7 +188,9 @@ mod tests {
     fn weighted_sum_respects_weights() {
         let mut s = StateVector::zero(2);
         s.apply_gate1(0, &Gate1::pauli_x()).unwrap(); // wire0 → ⟨Z⟩ = −1
-        let r = Readout::WeightedZSum { weights: vec![2.0, 3.0] };
+        let r = Readout::WeightedZSum {
+            weights: vec![2.0, 3.0],
+        };
         // 2·(−1) + 3·(+1) = 1.
         assert!((r.evaluate(&s).unwrap()[0] - 1.0).abs() < 1e-12);
     }
@@ -199,8 +209,14 @@ mod tests {
     fn validation_errors() {
         assert!(Readout::ZPerQubit { qubits: vec![] }.validate(4).is_err());
         assert!(Readout::ZPerQubit { qubits: vec![4] }.validate(4).is_err());
-        assert!(Readout::WeightedZSum { weights: vec![] }.validate(4).is_err());
-        assert!(Readout::WeightedZSum { weights: vec![1.0; 5] }.validate(4).is_err());
+        assert!(Readout::WeightedZSum { weights: vec![] }
+            .validate(4)
+            .is_err());
+        assert!(Readout::WeightedZSum {
+            weights: vec![1.0; 5]
+        }
+        .validate(4)
+        .is_err());
         assert!(Readout::z_all(4).validate(4).is_ok());
     }
 

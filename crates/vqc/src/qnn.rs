@@ -29,6 +29,10 @@ pub enum OutputHead {
     Affine,
 }
 
+/// A flat parameter vector split into `(circuit angles, head scales,
+/// head biases)` slices — the layout [`Vqc::init_params`] produces.
+pub type SplitParams<'p> = (&'p [f64], &'p [f64], &'p [f64]);
+
 /// A complete variational quantum model.
 ///
 /// # Examples
@@ -69,6 +73,16 @@ impl Vqc {
         &self.readout
     }
 
+    /// The classical input scaling applied before binding.
+    pub fn input_scaling(&self) -> InputScaling {
+        self.input_scaling
+    }
+
+    /// The output head configuration.
+    pub fn output_head(&self) -> OutputHead {
+        self.output_head
+    }
+
     /// Number of classical input features expected.
     pub fn input_len(&self) -> usize {
         self.circuit.input_count()
@@ -98,13 +112,21 @@ impl Vqc {
     pub fn init_params(&self, seed: u64) -> Vec<f64> {
         let mut p = ansatz::init_params(self.circuit.param_count(), seed);
         if self.output_head == OutputHead::Affine {
-            p.extend(std::iter::repeat(1.0).take(self.output_len())); // scales
-            p.extend(std::iter::repeat(0.0).take(self.output_len())); // biases
+            p.extend(std::iter::repeat_n(1.0, self.output_len())); // scales
+            p.extend(std::iter::repeat_n(0.0, self.output_len())); // biases
         }
         p
     }
 
-    fn split_params<'p>(&self, params: &'p [f64]) -> Result<(&'p [f64], &'p [f64], &'p [f64]), VqcError> {
+    /// Splits a flat parameter vector into `(circuit angles, head scales,
+    /// head biases)` — the layout [`Vqc::init_params`] produces. Exposed
+    /// so external execution engines (the batched runtime) can bind the
+    /// circuit segment directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqcError::ParamLenMismatch`] on a bad length.
+    pub fn split_params<'p>(&self, params: &'p [f64]) -> Result<SplitParams<'p>, VqcError> {
         if params.len() != self.param_count() {
             return Err(VqcError::ParamLenMismatch {
                 expected: self.param_count(),
@@ -115,9 +137,7 @@ impl Vqc {
         let no = self.output_len();
         match self.output_head {
             OutputHead::None => Ok((&params[..nc], &[], &[])),
-            OutputHead::Affine => {
-                Ok((&params[..nc], &params[nc..nc + no], &params[nc + no..]))
-            }
+            OutputHead::Affine => Ok((&params[..nc], &params[nc..nc + no], &params[nc + no..])),
         }
     }
 
@@ -186,7 +206,9 @@ impl Vqc {
         Ok(self.apply_head(&raw, scales, biases))
     }
 
-    fn apply_head(&self, raw: &[f64], scales: &[f64], biases: &[f64]) -> Vec<f64> {
+    /// Applies the output head to a raw readout vector (public for
+    /// external execution engines; pair with [`Vqc::split_params`]).
+    pub fn apply_head(&self, raw: &[f64], scales: &[f64], biases: &[f64]) -> Vec<f64> {
         match self.output_head {
             OutputHead::None => raw.to_vec(),
             OutputHead::Affine => raw
@@ -214,7 +236,21 @@ impl Vqc {
         let state = exec::run(&self.circuit, &scaled, circ)?;
         let raw = self.readout.evaluate(&state)?;
         let circ_jac = grad::jacobian(method, &self.circuit, &self.readout, &scaled, circ)?;
+        Ok(self.assemble_jacobian(&raw, &circ_jac, scales, biases))
+    }
 
+    /// Chains a raw readout vector and its circuit-parameter Jacobian
+    /// through the output head, producing the model outputs and the full
+    /// Jacobian over **all** trainables. Public so external execution
+    /// engines computing `circ_jac` by other means (e.g. the batched
+    /// parameter-shift runtime) reuse the exact head calculus.
+    pub fn assemble_jacobian(
+        &self,
+        raw: &[f64],
+        circ_jac: &Jacobian,
+        scales: &[f64],
+        biases: &[f64],
+    ) -> (Vec<f64>, Jacobian) {
         let n_out = self.output_len();
         let n_circ = self.circuit.param_count();
         let mut jac = Jacobian::zeros(n_out, self.param_count());
@@ -225,7 +261,7 @@ impl Vqc {
                         *jac.get_mut(j, p) = circ_jac.get(j, p);
                     }
                 }
-                Ok((raw, jac))
+                (raw.to_vec(), jac)
             }
             OutputHead::Affine => {
                 // out_j = scale_j · raw_j + bias_j
@@ -236,8 +272,7 @@ impl Vqc {
                     *jac.get_mut(j, n_circ + j) = raw[j]; // ∂/∂scale_j
                     *jac.get_mut(j, n_circ + n_out + j) = 1.0; // ∂/∂bias_j
                 }
-                let out = self.apply_head(&raw, scales, biases);
-                Ok((out, jac))
+                (self.apply_head(raw, scales, biases), jac)
             }
         }
     }
@@ -354,7 +389,9 @@ impl VqcBuilder {
             circuit.append_shifted(&var)?;
             circuit
         };
-        let readout = self.readout.unwrap_or_else(|| Readout::z_all(self.n_qubits));
+        let readout = self
+            .readout
+            .unwrap_or_else(|| Readout::z_all(self.n_qubits));
         readout.validate(self.n_qubits)?;
         Ok(Vqc {
             circuit,
@@ -489,7 +526,10 @@ mod tests {
         let coarse = m.forward_shots(&obs, &params, 32, &mut rng).unwrap();
         let fine = m.forward_shots(&obs, &params, 100_000, &mut rng).unwrap();
         let err = |v: &[f64]| -> f64 {
-            v.iter().zip(&exact).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+            v.iter()
+                .zip(&exact)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max)
         };
         assert!(err(&fine) < 0.02, "fine estimate off by {}", err(&fine));
         assert!(err(&fine) <= err(&coarse) + 1e-9);
@@ -504,7 +544,10 @@ mod tests {
         let clean = m.forward(&inputs, &params).unwrap()[0];
         let noise = NoiseModel::depolarizing(1e-4, 2e-4).unwrap();
         let noisy = m.forward_noisy(&inputs, &params, &noise).unwrap()[0];
-        assert!((clean - noisy).abs() < 0.05, "clean {clean} vs noisy {noisy}");
+        assert!(
+            (clean - noisy).abs() < 0.05,
+            "clean {clean} vs noisy {noisy}"
+        );
     }
 
     #[test]
@@ -518,7 +561,11 @@ mod tests {
 
     #[test]
     fn default_readout_is_z_all() {
-        let m = VqcBuilder::new(3).encoder_inputs(3).ansatz_params(5).build().unwrap();
+        let m = VqcBuilder::new(3)
+            .encoder_inputs(3)
+            .ansatz_params(5)
+            .build()
+            .unwrap();
         assert_eq!(m.output_len(), 3);
         assert_eq!(m.param_count(), 5);
     }

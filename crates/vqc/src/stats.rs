@@ -149,7 +149,8 @@ mod tests {
         c.fixed(0, FixedGate::H).unwrap();
         c.cnot(0, 1).unwrap();
         c.cz(1, 2).unwrap();
-        c.controlled_rot(0, 2, Ax::Z, Angle::Param(ParamId(0))).unwrap();
+        c.controlled_rot(0, 2, Ax::Z, Angle::Param(ParamId(0)))
+            .unwrap();
         let s = CircuitStats::of(&c);
         assert_eq!(s.single_qubit_gates, 1);
         assert_eq!(s.two_qubit_gates, 3);

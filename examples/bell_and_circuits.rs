@@ -19,14 +19,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     bell.apply_cnot(0, 1)?;
     println!("Bell state amplitudes:\n{bell}");
     let zz = PauliString::from_factors([(0, Pauli::Z), (1, Pauli::Z)]);
-    println!("⟨Z₀Z₁⟩ = {:+.3} (perfectly correlated)", expectation(&bell, &zz)?);
+    println!(
+        "⟨Z₀Z₁⟩ = {:+.3} (perfectly correlated)",
+        expectation(&bell, &zz)?
+    );
     let b = bloch_vector(&bell, 0)?;
-    println!("qubit 0 Bloch vector length = {:.3} (0 ⇒ maximally entangled)\n", b.length());
+    println!(
+        "qubit 0 Bloch vector length = {:.3} (0 ⇒ maximally entangled)\n",
+        b.length()
+    );
 
     // ── 2. The paper's circuit shapes ─────────────────────────────────
     let mut circuit = layered_angle_encoder(4, 16)?; // the critic's state encoder
     circuit.append_shifted(&layered_ansatz(4, 8)?)?;
-    println!("critic-style circuit ({}):", qmarl::vqc::diagram::summary(&circuit));
+    println!(
+        "critic-style circuit ({}):",
+        qmarl::vqc::diagram::summary(&circuit)
+    );
     println!("{}", qmarl::vqc::diagram::render(&circuit));
 
     // ── 3. Exact gradients, three ways ────────────────────────────────
@@ -41,9 +50,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (_, ps) = model.forward_with_jacobian(&state, &params, GradMethod::ParameterShift)?;
     let (_, adj) = model.forward_with_jacobian(&state, &params, GradMethod::Adjoint)?;
     let (z, fd) = model.forward_with_jacobian(&state, &params, GradMethod::FiniteDiff)?;
-    println!("⟨Z⟩ readouts = [{:+.3}, {:+.3}, {:+.3}, {:+.3}]", z[0], z[1], z[2], z[3]);
-    println!("max |parameter-shift − adjoint|      = {:.2e}", ps.max_abs_diff(&adj));
-    println!("max |parameter-shift − finite diff|  = {:.2e}\n", ps.max_abs_diff(&fd));
+    println!(
+        "⟨Z⟩ readouts = [{:+.3}, {:+.3}, {:+.3}, {:+.3}]",
+        z[0], z[1], z[2], z[3]
+    );
+    println!(
+        "max |parameter-shift − adjoint|      = {:.2e}",
+        ps.max_abs_diff(&adj)
+    );
+    println!(
+        "max |parameter-shift − finite diff|  = {:.2e}\n",
+        ps.max_abs_diff(&fd)
+    );
 
     // ── 4. NISQ noise ─────────────────────────────────────────────────
     for p in [0.0, 0.01, 0.05, 0.2] {

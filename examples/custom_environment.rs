@@ -19,7 +19,11 @@ fn main() -> Result<(), CoreError> {
     // by widening the actor registers to 6 qubits.
     config.env.n_clouds = 3;
     config.env.cloud_departure = 0.2; // same total service (3 × 0.2 = 0.6)
-    config.env.arrival = ArrivalProcess::OnOff { p_on: 0.25, p_off: 0.25, volume: 0.3 };
+    config.env.arrival = ArrivalProcess::OnOff {
+        p_on: 0.25,
+        p_off: 0.25,
+        volume: 0.3,
+    };
     config.env.strict_transmission = true;
     config.env.episode_limit = 150;
     config.train.n_qubits = 6;
@@ -47,7 +51,11 @@ fn main() -> Result<(), CoreError> {
     let mut trainer = build_trainer(FrameworkKind::Proposed, &config)?;
     trainer.train(config.train.epochs)?;
     let h = trainer.history();
-    let first = h.records()[..20].iter().map(|r| r.metrics.total_reward).sum::<f64>() / 20.0;
+    let first = h.records()[..20]
+        .iter()
+        .map(|r| r.metrics.total_reward)
+        .sum::<f64>()
+        / 20.0;
     let last = h.final_reward(20).expect("nonempty");
     println!(
         "Proposed after {} epochs: {:.1} → {:.1} (achievability {:.0}%)",

@@ -39,8 +39,10 @@ fn main() -> Result<(), CoreError> {
     for (view, actor) in views.iter_mut().zip(trainer.actors()) {
         view.set_params(&actor.params())?;
     }
-    let actors: Vec<Box<dyn Actor>> =
-        views.iter().map(|q| Box::new(q.clone()) as Box<dyn Actor>).collect();
+    let actors: Vec<Box<dyn Actor>> = views
+        .iter()
+        .map(|q| Box::new(q.clone()) as Box<dyn Actor>)
+        .collect();
 
     let mut env = SingleHopEnv::new(config.env.clone(), 99)?;
     let frames = run_demonstration(&mut env, &actors, &views, 0, 12, 17, false)?;

@@ -18,16 +18,16 @@ fn main() -> Result<(), CoreError> {
     config.train.epochs = 30;
     config.train.seed = 7;
 
-    println!("QMARL quickstart — {} clouds, {} edge agents, {}-step episodes", config.env.n_clouds, config.env.n_edges, config.env.episode_limit);
+    println!(
+        "QMARL quickstart — {} clouds, {} edge agents, {}-step episodes",
+        config.env.n_clouds, config.env.n_edges, config.env.episode_limit
+    );
 
     // The paper's Proposed framework: quantum actors + quantum critic.
     let report = parameter_report(FrameworkKind::Proposed, &config)?;
     println!(
         "built {}: {} actors × {} params, critic {} params",
-        report.kind,
-        report.n_actors,
-        report.per_actor,
-        report.critic
+        report.kind, report.n_actors, report.per_actor, report.critic
     );
 
     let mut trainer = build_trainer(FrameworkKind::Proposed, &config)?;
@@ -44,7 +44,10 @@ fn main() -> Result<(), CoreError> {
     // Deterministic (argmax) execution — the paper's decentralized
     // execution rule — for a final evaluation.
     let eval = trainer.evaluate(5)?;
-    println!("\ndeterministic evaluation over 5 episodes: reward {:.2}", eval.total_reward);
+    println!(
+        "\ndeterministic evaluation over 5 episodes: reward {:.2}",
+        eval.total_reward
+    );
     println!("(training continues improving well past this demo's 30 epochs)");
     Ok(())
 }

@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so this shim implements a
+//! small but *real* wall-clock benchmarking harness behind the criterion
+//! API subset the workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{bench_function, bench_with_input, sample_size,
+//! finish}`, `Bencher::iter`, `BenchmarkId::from_parameter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is calibrated to a per-sample batch
+//! of iterations lasting roughly [`TARGET_BATCH`], then `sample_size`
+//! batches are timed. The reported statistics are the minimum, median and
+//! mean per-iteration time across batches (minimum is the most
+//! reproducible statistic on a noisy machine). Set `QMARL_BENCH_QUICK=1`
+//! to cap calibration and samples for CI smoke runs.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` call sites keep working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target wall-clock duration of one calibrated sample batch.
+pub const TARGET_BATCH: Duration = Duration::from_millis(5);
+
+fn quick_mode() -> bool {
+    std::env::var_os("QMARL_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value (e.g. a batch size).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean per-iteration nanoseconds of the last `iter` call.
+    last_mean_ns: f64,
+    last_min_ns: f64,
+    last_median_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            last_mean_ns: 0.0,
+            last_min_ns: 0.0,
+            last_median_ns: 0.0,
+        }
+    }
+
+    /// Times `routine`, criterion-style: calibrate a batch size, then take
+    /// `sample_size` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let quick = quick_mode();
+        // Calibrate: grow the batch until it lasts ≥ TARGET_BATCH.
+        let mut batch: u64 = 1;
+        let target = if quick {
+            Duration::from_micros(500)
+        } else {
+            TARGET_BATCH
+        };
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || batch >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (target.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            batch = batch.saturating_mul(grow.clamp(2, 16));
+        }
+        let samples = if quick { 3 } else { self.sample_size.max(3) };
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are comparable"));
+        self.last_min_ns = per_iter[0];
+        self.last_median_ns = per_iter[per_iter.len() / 2];
+        self.last_mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed sample batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        println!(
+            "{:<40} min {:>12}  median {:>12}  mean {:>12}",
+            format!("{}/{}", self.name, id),
+            format_ns(b.last_min_ns),
+            format_ns(b.last_median_ns),
+            format_ns(b.last_mean_ns),
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        self.run(name.into(), f);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is bookkeeping).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            sample_size: 10,
+        };
+        let id: String = name.into();
+        group.run(id, f);
+        self
+    }
+
+    /// Number of benchmarks executed so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("QMARL_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! exact surface the workspace uses — `Rng::{gen, gen_range, gen_bool}`,
+//! `SeedableRng::seed_from_u64` and `rngs::StdRng` — over a xoshiro256++
+//! generator seeded through SplitMix64. The generator is deterministic,
+//! `Clone`, and statistically strong enough for every property test in
+//! the tree (empirical distributions converge at the 1e-2 scale over 1e4+
+//! samples). It is **not** the same stream as the real `StdRng`, which is
+//! fine: nothing in the workspace pins exact draw values, only
+//! reproducibility under a fixed seed.
+
+use std::ops::Range;
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Values samplable from the "standard" distribution (`Rng::gen`).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (matches rand's
+    /// `Standard` for `f64`).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Types usable with `Rng::gen_range` over a half-open `Range`.
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range requires low < high");
+        let u = f64::sample_standard(rng);
+        let v = low + u * (high - low);
+        // `low + u * span` can round up to `high` for extreme spans; keep
+        // the half-open contract by stepping just below it.
+        if v < high {
+            v
+        } else {
+            high.next_down().max(low)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range requires low < high");
+        let v = low + f32::sample_standard(rng) * (high - low);
+        if v < high {
+            v
+        } else {
+            high.next_down().max(low)
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $unsigned:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range requires low < high");
+                // Subtract in the unsigned twin type so a signed span wider
+                // than the type's MAX doesn't wrap negative and then
+                // sign-extend to ~2^64 in the widening cast below.
+                let span = (high as $unsigned).wrapping_sub(low as $unsigned) as u64;
+                // Debiased multiply-shift (Lemire); span ≥ 1 by the assert.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let t = span.wrapping_neg() % span;
+                    while lo < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                low.wrapping_add((m >> 64) as u64 as $unsigned as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// The user-facing random-value API (rand 0.8 subset).
+pub trait Rng: RngCore {
+    /// A value from the standard distribution (`f64` in `[0, 1)`).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability must be in [0, 1]"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman &
+    /// Vigna), seeded via SplitMix64. Period 2^256 − 1, passes BigCrush.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 5e-3);
+    }
+
+    #[test]
+    fn gen_range_integers_cover_support() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 50_000.0 - 0.2).abs() < 0.01);
+        }
+        // Negative spans work too.
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3..3i32);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_signed_spans_wider_than_type_max() {
+        // high − low here overflows i32 (span 4e9 > i32::MAX); the
+        // unsigned-twin subtraction must keep samples in range.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (lo, hi) = (-2_000_000_000i32, 2_000_000_000i32);
+        let mut saw_negative = false;
+        let mut saw_positive = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(lo..hi);
+            assert!((lo..hi).contains(&v), "out of range: {v}");
+            saw_negative |= v < 0;
+            saw_positive |= v > 0;
+        }
+        assert!(saw_negative && saw_positive, "full span must be reachable");
+        // Full-width i64 span.
+        for _ in 0..1000 {
+            let v = rng.gen_range(i64::MIN..i64::MAX);
+            assert!(v < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_range_floats_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 20_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn works_through_unsized_generic_bound() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>() + rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = draw(&mut rng);
+        assert!((0.0..2.0).contains(&v));
+    }
+}

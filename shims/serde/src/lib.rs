@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* (as no-op derive macros
+//! re-exported from the local `serde_derive` shim, plus marker traits for
+//! code that writes explicit bounds). The build container has no network
+//! access and nothing in this workspace drives serde's data model — the
+//! checkpoint format is a hand-rolled text codec — so empty expansions are
+//! sufficient and keep every `#[derive(serde::Serialize)]` in the tree
+//! source-compatible with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::ser::Serialize` for explicit bounds.
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::de::Deserialize` for explicit bounds.
+pub trait DeserializeMarker {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no crates.io access, and
+//! nothing in the codebase actually serialises through serde's trait
+//! machinery (checkpoints use a hand-rolled text format). The derives
+//! therefore expand to nothing: they exist so `#[derive(serde::Serialize,
+//! serde::Deserialize)]` attributes keep compiling unchanged, preserving
+//! source compatibility with the real serde if it is ever vendored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

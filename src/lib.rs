@@ -3,4 +3,5 @@ pub use qmarl_core as core;
 pub use qmarl_env as env;
 pub use qmarl_neural as neural;
 pub use qmarl_qsim as qsim;
+pub use qmarl_runtime as runtime;
 pub use qmarl_vqc as vqc;

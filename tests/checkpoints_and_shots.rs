@@ -31,11 +31,16 @@ fn checkpoint_restores_identical_policy() {
     // Restored actors produce the identical action distribution.
     let mut actors = build_actors(FrameworkKind::Proposed, &cfg.env, &cfg.train).expect("builds");
     let mut critic = build_critic(FrameworkKind::Proposed, &cfg.env, &cfg.train).expect("builds");
-    loaded.restore(&mut actors, critic.as_mut()).expect("restores");
+    loaded
+        .restore(&mut actors, critic.as_mut())
+        .expect("restores");
     let obs = [0.3, 0.7, 0.2, 0.8];
     let original = trainer.actors()[0].probs(&obs).expect("probs");
     let restored = actors[0].probs(&obs).expect("probs");
-    assert_eq!(original, restored, "checkpoint must restore the exact policy");
+    assert_eq!(
+        original, restored,
+        "checkpoint must restore the exact policy"
+    );
     let state: Vec<f64> = (0..16).map(|i| i as f64 / 16.0).collect();
     assert_eq!(
         trainer.critic().value(&state).expect("value"),
@@ -88,7 +93,8 @@ fn independent_trainer_runs_alongside_ctde() {
 
     let env = qmarl::env::prelude::SingleHopEnv::new(cfg.env.clone(), 17).expect("valid env");
     let (actors, critics) = build_independent_quantum(&cfg.env, &cfg.train).expect("builds");
-    let mut indep = IndependentTrainer::new(env, actors, critics, cfg.train.clone()).expect("builds");
+    let mut indep =
+        IndependentTrainer::new(env, actors, critics, cfg.train.clone()).expect("builds");
     indep.train(2).expect("trains");
 
     assert_eq!(ctde.history().len(), 2);

@@ -19,7 +19,11 @@ fn proposed_learning_improves_reward() {
     let mut trainer = build_trainer(FrameworkKind::Proposed, &cfg).expect("builds");
     trainer.train(120).expect("trains");
     let h = trainer.history();
-    let first: f64 = h.records()[..15].iter().map(|r| r.metrics.total_reward).sum::<f64>() / 15.0;
+    let first: f64 = h.records()[..15]
+        .iter()
+        .map(|r| r.metrics.total_reward)
+        .sum::<f64>()
+        / 15.0;
     let last = h.final_reward(15).expect("nonempty");
     assert!(
         last > first + 5.0,
@@ -35,7 +39,10 @@ fn critic_loss_decreases() {
     let h = trainer.history();
     let early: f64 = h.records()[..10].iter().map(|r| r.critic_loss).sum::<f64>() / 10.0;
     let late: f64 = h.records()[50..].iter().map(|r| r.critic_loss).sum::<f64>() / 10.0;
-    assert!(late < early, "TD error should shrink: {early:.4} → {late:.4}");
+    assert!(
+        late < early,
+        "TD error should shrink: {early:.4} → {late:.4}"
+    );
 }
 
 #[test]
@@ -65,7 +72,11 @@ fn different_seeds_explore_differently() {
         let cfg = config(40, seed);
         let mut t = build_trainer(FrameworkKind::Proposed, &cfg).expect("builds");
         t.train(3).expect("trains");
-        t.history().records().iter().map(|r| r.metrics.total_reward).collect::<Vec<_>>()
+        t.history()
+            .records()
+            .iter()
+            .map(|r| r.metrics.total_reward)
+            .collect::<Vec<_>>()
     };
     assert_ne!(run(1), run(2));
 }
@@ -81,7 +92,10 @@ fn hybrid_and_classical_frameworks_also_learn() {
         let before: Vec<f64> = trainer.actors()[0].params();
         trainer.train(10).unwrap_or_else(|e| panic!("{kind}: {e}"));
         let after = trainer.actors()[0].params();
-        assert!(before.iter().zip(&after).any(|(a, b)| (a - b).abs() > 1e-9), "{kind}");
+        assert!(
+            before.iter().zip(&after).any(|(a, b)| (a - b).abs() > 1e-9),
+            "{kind}"
+        );
         assert!(trainer
             .history()
             .records()

@@ -69,7 +69,10 @@ fn actors_execute_decentralized() {
     let obs_a = [0.2, 0.4, 0.6, 0.8];
     let p1 = actor.probs(&obs_a).expect("probs");
     let p2 = actor.probs(&obs_a).expect("probs");
-    assert_eq!(p1, p2, "policy is a pure function of the agent's own observation");
+    assert_eq!(
+        p1, p2,
+        "policy is a pure function of the agent's own observation"
+    );
 }
 
 #[test]
@@ -80,7 +83,10 @@ fn every_framework_trains_two_epochs() {
         trainer.train(2).unwrap_or_else(|e| panic!("{kind}: {e}"));
         assert_eq!(trainer.history().len(), 2, "{kind}");
         for rec in trainer.history().records() {
-            assert!(rec.metrics.total_reward <= 0.0, "{kind}: eq. (1) is a penalty");
+            assert!(
+                rec.metrics.total_reward <= 0.0,
+                "{kind}: eq. (1) is a penalty"
+            );
             assert!(rec.critic_loss.is_finite(), "{kind}");
             assert!(rec.mean_entropy >= 0.0, "{kind}");
         }
@@ -92,7 +98,10 @@ fn hybrid_comp1_mixes_quantum_actors_with_classical_critic() {
     let config = short_config();
     let report = parameter_report(FrameworkKind::Comp1, &config).expect("builds");
     assert_eq!(report.per_actor, 50, "comp1 keeps the quantum actors");
-    assert!(report.critic < 50, "comp1's classical critic respects the budget");
+    assert!(
+        report.critic < 50,
+        "comp1's classical critic respects the budget"
+    );
 
     let report3 = parameter_report(FrameworkKind::Comp3, &config).expect("builds");
     assert!(report3.per_actor > 40_000);

@@ -53,8 +53,8 @@ fn section4c_parameter_budgets() {
         .collect();
     // Proposed / Comp1 / Comp2 live at the 50-parameter budget…
     for &(k, actor, critic) in &budgets[..3] {
-        assert!(actor <= 50 && actor >= 37, "{k} actor {actor}");
-        assert!(critic <= 50 && critic >= 37, "{k} critic {critic}");
+        assert!((37..=50).contains(&actor), "{k} actor {actor}");
+        assert!((37..=50).contains(&critic), "{k} critic {critic}");
     }
     // …Comp3 is the unconstrained > 40 K baseline.
     let (_, a3, c3) = budgets[3];
@@ -74,7 +74,11 @@ fn random_walk_calibration_matches_paper_scale() {
         rw.total_reward
     );
     // And the Fig. 3(b–d) ranges.
-    assert!((0.45..0.55).contains(&rw.avg_queue), "avg queue {}", rw.avg_queue);
+    assert!(
+        (0.45..0.55).contains(&rw.avg_queue),
+        "avg queue {}",
+        rw.avg_queue
+    );
     assert!((0.0..0.15).contains(&rw.empty_ratio));
     assert!((0.0..0.2).contains(&rw.overflow_ratio));
 }

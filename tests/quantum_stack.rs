@@ -13,7 +13,11 @@ fn actor_state_is_normalised_and_four_qubits() {
     assert!((s.norm() - 1.0).abs() < 1e-10);
     // The Fig. 4 grid is exactly this register.
     let grid = amplitude_grid(&s).expect("4 qubits");
-    let total: f64 = grid.iter().flatten().map(|c| c.magnitude * c.magnitude).sum();
+    let total: f64 = grid
+        .iter()
+        .flatten()
+        .map(|c| c.magnitude * c.magnitude)
+        .sum();
     assert!((total - 1.0).abs() < 1e-10);
 }
 
@@ -110,7 +114,11 @@ fn random_layer_models_are_trainable_too() {
     // the same model type and differentiates cleanly.
     let model = VqcBuilder::new(4)
         .encoder_inputs(4)
-        .random_ansatz(RandomLayerConfig { gate_budget: 50, rotation_prob: 0.75, seed: 3 })
+        .random_ansatz(RandomLayerConfig {
+            gate_budget: 50,
+            rotation_prob: 0.75,
+            seed: 3,
+        })
         .readout(Readout::z_all(4))
         .build()
         .expect("builds");
@@ -120,5 +128,8 @@ fn random_layer_models_are_trainable_too() {
         .expect("jacobian");
     assert_eq!(out.len(), 4);
     assert_eq!(jac.n_params(), model.param_count());
-    assert!(jac.row(0).iter().any(|g| g.abs() > 1e-12), "gradient must flow");
+    assert!(
+        jac.row(0).iter().any(|g| g.abs() > 1e-12),
+        "gradient must flow"
+    );
 }
