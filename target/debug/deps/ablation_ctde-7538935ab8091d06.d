@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ctde-7538935ab8091d06.d: crates/bench/src/bin/ablation_ctde.rs
+
+/root/repo/target/debug/deps/ablation_ctde-7538935ab8091d06: crates/bench/src/bin/ablation_ctde.rs
+
+crates/bench/src/bin/ablation_ctde.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ctde-90c5dfe9c9701a82.d: crates/bench/src/bin/ablation_ctde.rs
+
+/root/repo/target/debug/deps/ablation_ctde-90c5dfe9c9701a82: crates/bench/src/bin/ablation_ctde.rs
+
+crates/bench/src/bin/ablation_ctde.rs:

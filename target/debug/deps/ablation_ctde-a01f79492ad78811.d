@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ctde-a01f79492ad78811.d: crates/bench/src/bin/ablation_ctde.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ctde-a01f79492ad78811.rmeta: crates/bench/src/bin/ablation_ctde.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ctde.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

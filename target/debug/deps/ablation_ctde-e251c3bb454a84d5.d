@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ctde-e251c3bb454a84d5.d: crates/bench/src/bin/ablation_ctde.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ctde-e251c3bb454a84d5.rmeta: crates/bench/src/bin/ablation_ctde.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ctde.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

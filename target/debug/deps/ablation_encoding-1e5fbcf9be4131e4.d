@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_encoding-1e5fbcf9be4131e4.d: crates/bench/src/bin/ablation_encoding.rs
+
+/root/repo/target/debug/deps/ablation_encoding-1e5fbcf9be4131e4: crates/bench/src/bin/ablation_encoding.rs
+
+crates/bench/src/bin/ablation_encoding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_encoding-56dc1a6c4db75042.d: crates/bench/src/bin/ablation_encoding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_encoding-56dc1a6c4db75042.rmeta: crates/bench/src/bin/ablation_encoding.rs Cargo.toml
+
+crates/bench/src/bin/ablation_encoding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_encoding-832b0663c5d57e62.d: crates/bench/src/bin/ablation_encoding.rs
+
+/root/repo/target/debug/deps/ablation_encoding-832b0663c5d57e62: crates/bench/src/bin/ablation_encoding.rs
+
+crates/bench/src/bin/ablation_encoding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_noise-86370a22d2318a1a.d: crates/bench/src/bin/ablation_noise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_noise-86370a22d2318a1a.rmeta: crates/bench/src/bin/ablation_noise.rs Cargo.toml
+
+crates/bench/src/bin/ablation_noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_noise-ce296df571677e99.d: crates/bench/src/bin/ablation_noise.rs
+
+/root/repo/target/debug/deps/ablation_noise-ce296df571677e99: crates/bench/src/bin/ablation_noise.rs
+
+crates/bench/src/bin/ablation_noise.rs:

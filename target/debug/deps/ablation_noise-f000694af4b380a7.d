@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_noise-f000694af4b380a7.d: crates/bench/src/bin/ablation_noise.rs
+
+/root/repo/target/debug/deps/ablation_noise-f000694af4b380a7: crates/bench/src/bin/ablation_noise.rs
+
+crates/bench/src/bin/ablation_noise.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_qubit_scaling-0b0813c02ec33820.d: crates/bench/src/bin/ablation_qubit_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_qubit_scaling-0b0813c02ec33820.rmeta: crates/bench/src/bin/ablation_qubit_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_qubit_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

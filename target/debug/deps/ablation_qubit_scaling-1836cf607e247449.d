@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_qubit_scaling-1836cf607e247449.d: crates/bench/src/bin/ablation_qubit_scaling.rs
+
+/root/repo/target/debug/deps/ablation_qubit_scaling-1836cf607e247449: crates/bench/src/bin/ablation_qubit_scaling.rs
+
+crates/bench/src/bin/ablation_qubit_scaling.rs:

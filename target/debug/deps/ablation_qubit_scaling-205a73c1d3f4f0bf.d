@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_qubit_scaling-205a73c1d3f4f0bf.d: crates/bench/src/bin/ablation_qubit_scaling.rs
+
+/root/repo/target/debug/deps/ablation_qubit_scaling-205a73c1d3f4f0bf: crates/bench/src/bin/ablation_qubit_scaling.rs
+
+crates/bench/src/bin/ablation_qubit_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_qubit_scaling-5167fd70774bda4a.d: crates/bench/src/bin/ablation_qubit_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_qubit_scaling-5167fd70774bda4a.rmeta: crates/bench/src/bin/ablation_qubit_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_qubit_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

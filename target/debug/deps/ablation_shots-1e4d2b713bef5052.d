@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shots-1e4d2b713bef5052.d: crates/bench/src/bin/ablation_shots.rs
+
+/root/repo/target/debug/deps/ablation_shots-1e4d2b713bef5052: crates/bench/src/bin/ablation_shots.rs
+
+crates/bench/src/bin/ablation_shots.rs:

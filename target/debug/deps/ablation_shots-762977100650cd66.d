@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_shots-762977100650cd66.d: crates/bench/src/bin/ablation_shots.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_shots-762977100650cd66.rmeta: crates/bench/src/bin/ablation_shots.rs Cargo.toml
+
+crates/bench/src/bin/ablation_shots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shots-cbe628c815bc6d08.d: crates/bench/src/bin/ablation_shots.rs
+
+/root/repo/target/debug/deps/ablation_shots-cbe628c815bc6d08: crates/bench/src/bin/ablation_shots.rs
+
+crates/bench/src/bin/ablation_shots.rs:

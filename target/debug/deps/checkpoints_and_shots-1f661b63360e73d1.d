@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoints_and_shots-1f661b63360e73d1.d: tests/checkpoints_and_shots.rs
+
+/root/repo/target/debug/deps/checkpoints_and_shots-1f661b63360e73d1: tests/checkpoints_and_shots.rs
+
+tests/checkpoints_and_shots.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoints_and_shots-b4dbf6aac89316aa.d: tests/checkpoints_and_shots.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoints_and_shots-b4dbf6aac89316aa.rmeta: tests/checkpoints_and_shots.rs Cargo.toml
+
+tests/checkpoints_and_shots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_training-1cac557663819e8a.d: tests/end_to_end_training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_training-1cac557663819e8a.rmeta: tests/end_to_end_training.rs Cargo.toml
+
+tests/end_to_end_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_training-9af70bbaae0ae935.d: tests/end_to_end_training.rs
+
+/root/repo/target/debug/deps/end_to_end_training-9af70bbaae0ae935: tests/end_to_end_training.rs
+
+tests/end_to_end_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/environment-1eb4280ac5528542.d: crates/bench/benches/environment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenvironment-1eb4280ac5528542.rmeta: crates/bench/benches/environment.rs Cargo.toml
+
+crates/bench/benches/environment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

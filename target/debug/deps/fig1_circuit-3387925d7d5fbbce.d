@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_circuit-3387925d7d5fbbce.d: crates/bench/src/bin/fig1_circuit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_circuit-3387925d7d5fbbce.rmeta: crates/bench/src/bin/fig1_circuit.rs Cargo.toml
+
+crates/bench/src/bin/fig1_circuit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

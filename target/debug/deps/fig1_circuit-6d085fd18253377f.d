@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_circuit-6d085fd18253377f.d: crates/bench/src/bin/fig1_circuit.rs
+
+/root/repo/target/debug/deps/fig1_circuit-6d085fd18253377f: crates/bench/src/bin/fig1_circuit.rs
+
+crates/bench/src/bin/fig1_circuit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_circuit-a5ebc6e6ee3976cc.d: crates/bench/src/bin/fig1_circuit.rs
+
+/root/repo/target/debug/deps/fig1_circuit-a5ebc6e6ee3976cc: crates/bench/src/bin/fig1_circuit.rs
+
+crates/bench/src/bin/fig1_circuit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_training_curves-11b0148f6d7fe199.d: crates/bench/src/bin/fig3_training_curves.rs
+
+/root/repo/target/debug/deps/fig3_training_curves-11b0148f6d7fe199: crates/bench/src/bin/fig3_training_curves.rs
+
+crates/bench/src/bin/fig3_training_curves.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_training_curves-267802507fdc1c45.d: crates/bench/src/bin/fig3_training_curves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_training_curves-267802507fdc1c45.rmeta: crates/bench/src/bin/fig3_training_curves.rs Cargo.toml
+
+crates/bench/src/bin/fig3_training_curves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

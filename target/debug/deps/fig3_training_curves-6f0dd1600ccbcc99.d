@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_training_curves-6f0dd1600ccbcc99.d: crates/bench/src/bin/fig3_training_curves.rs
+
+/root/repo/target/debug/deps/fig3_training_curves-6f0dd1600ccbcc99: crates/bench/src/bin/fig3_training_curves.rs
+
+crates/bench/src/bin/fig3_training_curves.rs:

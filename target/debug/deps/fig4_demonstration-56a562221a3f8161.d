@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_demonstration-56a562221a3f8161.d: crates/bench/src/bin/fig4_demonstration.rs
+
+/root/repo/target/debug/deps/fig4_demonstration-56a562221a3f8161: crates/bench/src/bin/fig4_demonstration.rs
+
+crates/bench/src/bin/fig4_demonstration.rs:

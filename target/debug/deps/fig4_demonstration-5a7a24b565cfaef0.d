@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_demonstration-5a7a24b565cfaef0.d: crates/bench/src/bin/fig4_demonstration.rs
+
+/root/repo/target/debug/deps/fig4_demonstration-5a7a24b565cfaef0: crates/bench/src/bin/fig4_demonstration.rs
+
+crates/bench/src/bin/fig4_demonstration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_demonstration-5bbfa6b934718118.d: crates/bench/src/bin/fig4_demonstration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_demonstration-5bbfa6b934718118.rmeta: crates/bench/src/bin/fig4_demonstration.rs Cargo.toml
+
+crates/bench/src/bin/fig4_demonstration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_demonstration-e5fe9e91bd99f36b.d: crates/bench/src/bin/fig4_demonstration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_demonstration-e5fe9e91bd99f36b.rmeta: crates/bench/src/bin/fig4_demonstration.rs Cargo.toml
+
+crates/bench/src/bin/fig4_demonstration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework_shape-92939875d2387a39.d: tests/framework_shape.rs
+
+/root/repo/target/debug/deps/framework_shape-92939875d2387a39: tests/framework_shape.rs
+
+tests/framework_shape.rs:

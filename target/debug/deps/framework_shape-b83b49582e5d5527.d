@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework_shape-b83b49582e5d5527.d: tests/framework_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework_shape-b83b49582e5d5527.rmeta: tests/framework_shape.rs Cargo.toml
+
+tests/framework_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gates-eadb02b7f6665d2a.d: crates/bench/benches/gates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgates-eadb02b7f6665d2a.rmeta: crates/bench/benches/gates.rs Cargo.toml
+
+crates/bench/benches/gates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

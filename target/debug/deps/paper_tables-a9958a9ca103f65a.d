@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_tables-a9958a9ca103f65a.d: tests/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tables-a9958a9ca103f65a.rmeta: tests/paper_tables.rs Cargo.toml
+
+tests/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

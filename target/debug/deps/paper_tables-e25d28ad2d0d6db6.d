@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-e25d28ad2d0d6db6.d: tests/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-e25d28ad2d0d6db6: tests/paper_tables.rs
+
+tests/paper_tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-005e974f0e16028a.d: crates/env/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-005e974f0e16028a.rmeta: crates/env/tests/properties.rs Cargo.toml
+
+crates/env/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

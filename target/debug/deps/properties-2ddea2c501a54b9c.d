@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2ddea2c501a54b9c.d: crates/neural/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2ddea2c501a54b9c.rmeta: crates/neural/tests/properties.rs Cargo.toml
+
+crates/neural/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

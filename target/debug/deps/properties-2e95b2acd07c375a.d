@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2e95b2acd07c375a.d: crates/qsim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2e95b2acd07c375a.rmeta: crates/qsim/tests/properties.rs Cargo.toml
+
+crates/qsim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

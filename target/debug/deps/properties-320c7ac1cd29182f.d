@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-320c7ac1cd29182f.d: crates/vqc/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-320c7ac1cd29182f: crates/vqc/tests/properties.rs
+
+crates/vqc/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3af9b2d1314347ce.d: crates/qsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3af9b2d1314347ce: crates/qsim/tests/properties.rs
+
+crates/qsim/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3bbad957d3814a27.d: crates/vqc/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3bbad957d3814a27.rmeta: crates/vqc/tests/properties.rs Cargo.toml
+
+crates/vqc/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3e2a25be8d6e87a1.d: crates/env/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3e2a25be8d6e87a1: crates/env/tests/properties.rs
+
+crates/env/tests/properties.rs:

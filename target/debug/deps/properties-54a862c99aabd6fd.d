@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-54a862c99aabd6fd.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-54a862c99aabd6fd: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6742b412edf1ba38.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6742b412edf1ba38: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

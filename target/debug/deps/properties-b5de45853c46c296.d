@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b5de45853c46c296.d: crates/runtime/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b5de45853c46c296.rmeta: crates/runtime/tests/properties.rs Cargo.toml
+
+crates/runtime/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

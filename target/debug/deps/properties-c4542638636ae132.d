@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c4542638636ae132.d: crates/neural/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c4542638636ae132: crates/neural/tests/properties.rs
+
+crates/neural/tests/properties.rs:

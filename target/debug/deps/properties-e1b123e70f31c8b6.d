@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e1b123e70f31c8b6.d: crates/runtime/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e1b123e70f31c8b6: crates/runtime/tests/properties.rs
+
+crates/runtime/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-8f41ff41ff36379a.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8f41ff41ff36379a.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8f41ff41ff36379a.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c9a325756c304c93.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-c9a325756c304c93: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qmarl-6028b247d43838c1.d: src/lib.rs
+
+/root/repo/target/debug/deps/qmarl-6028b247d43838c1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qmarl-a14fb6a846759abf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqmarl-a14fb6a846759abf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

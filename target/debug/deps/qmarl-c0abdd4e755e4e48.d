@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qmarl-c0abdd4e755e4e48.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqmarl-c0abdd4e755e4e48.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqmarl-c0abdd4e755e4e48.rmeta: src/lib.rs
+
+src/lib.rs:

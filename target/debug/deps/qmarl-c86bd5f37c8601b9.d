@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qmarl-c86bd5f37c8601b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqmarl-c86bd5f37c8601b9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqmarl-c86bd5f37c8601b9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qmarl_bench-2cc3e126f4ab1043.d: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+/root/repo/target/debug/deps/qmarl_bench-2cc3e126f4ab1043: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/plot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qmarl_bench-43215df47c1b3ec6.d: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+/root/repo/target/debug/deps/libqmarl_bench-43215df47c1b3ec6.rlib: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+/root/repo/target/debug/deps/libqmarl_bench-43215df47c1b3ec6.rmeta: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/plot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

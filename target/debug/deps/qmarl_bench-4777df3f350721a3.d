@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qmarl_bench-4777df3f350721a3.d: crates/bench/src/lib.rs crates/bench/src/plot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqmarl_bench-4777df3f350721a3.rmeta: crates/bench/src/lib.rs crates/bench/src/plot.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/plot.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qmarl_bench-72496242b0f578d6.d: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+/root/repo/target/debug/deps/libqmarl_bench-72496242b0f578d6.rlib: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+/root/repo/target/debug/deps/libqmarl_bench-72496242b0f578d6.rmeta: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/plot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qmarl_core-0863a63e8374825d.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/independent.rs crates/core/src/policy.rs crates/core/src/replay.rs crates/core/src/trainer.rs crates/core/src/value.rs crates/core/src/viz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqmarl_core-0863a63e8374825d.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/independent.rs crates/core/src/policy.rs crates/core/src/replay.rs crates/core/src/trainer.rs crates/core/src/value.rs crates/core/src/viz.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/independent.rs:
+crates/core/src/policy.rs:
+crates/core/src/replay.rs:
+crates/core/src/trainer.rs:
+crates/core/src/value.rs:
+crates/core/src/viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qmarl_core-0cc5e1b53373735b.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/independent.rs crates/core/src/policy.rs crates/core/src/replay.rs crates/core/src/trainer.rs crates/core/src/value.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/libqmarl_core-0cc5e1b53373735b.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/independent.rs crates/core/src/policy.rs crates/core/src/replay.rs crates/core/src/trainer.rs crates/core/src/value.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/libqmarl_core-0cc5e1b53373735b.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/independent.rs crates/core/src/policy.rs crates/core/src/replay.rs crates/core/src/trainer.rs crates/core/src/value.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/independent.rs:
+crates/core/src/policy.rs:
+crates/core/src/replay.rs:
+crates/core/src/trainer.rs:
+crates/core/src/value.rs:
+crates/core/src/viz.rs:

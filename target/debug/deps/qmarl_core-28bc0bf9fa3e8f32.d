@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qmarl_core-28bc0bf9fa3e8f32.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/independent.rs crates/core/src/policy.rs crates/core/src/replay.rs crates/core/src/trainer.rs crates/core/src/value.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/qmarl_core-28bc0bf9fa3e8f32: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/independent.rs crates/core/src/policy.rs crates/core/src/replay.rs crates/core/src/trainer.rs crates/core/src/value.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/independent.rs:
+crates/core/src/policy.rs:
+crates/core/src/replay.rs:
+crates/core/src/trainer.rs:
+crates/core/src/value.rs:
+crates/core/src/viz.rs:

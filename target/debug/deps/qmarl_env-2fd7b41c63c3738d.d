@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qmarl_env-2fd7b41c63c3738d.d: crates/env/src/lib.rs crates/env/src/action.rs crates/env/src/error.rs crates/env/src/metrics.rs crates/env/src/multi_agent.rs crates/env/src/queue.rs crates/env/src/random_walk.rs crates/env/src/single_hop.rs crates/env/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqmarl_env-2fd7b41c63c3738d.rmeta: crates/env/src/lib.rs crates/env/src/action.rs crates/env/src/error.rs crates/env/src/metrics.rs crates/env/src/multi_agent.rs crates/env/src/queue.rs crates/env/src/random_walk.rs crates/env/src/single_hop.rs crates/env/src/traffic.rs Cargo.toml
+
+crates/env/src/lib.rs:
+crates/env/src/action.rs:
+crates/env/src/error.rs:
+crates/env/src/metrics.rs:
+crates/env/src/multi_agent.rs:
+crates/env/src/queue.rs:
+crates/env/src/random_walk.rs:
+crates/env/src/single_hop.rs:
+crates/env/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

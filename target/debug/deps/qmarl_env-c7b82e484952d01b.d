@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qmarl_env-c7b82e484952d01b.d: crates/env/src/lib.rs crates/env/src/action.rs crates/env/src/error.rs crates/env/src/metrics.rs crates/env/src/multi_agent.rs crates/env/src/queue.rs crates/env/src/random_walk.rs crates/env/src/single_hop.rs crates/env/src/traffic.rs
+
+/root/repo/target/debug/deps/qmarl_env-c7b82e484952d01b: crates/env/src/lib.rs crates/env/src/action.rs crates/env/src/error.rs crates/env/src/metrics.rs crates/env/src/multi_agent.rs crates/env/src/queue.rs crates/env/src/random_walk.rs crates/env/src/single_hop.rs crates/env/src/traffic.rs
+
+crates/env/src/lib.rs:
+crates/env/src/action.rs:
+crates/env/src/error.rs:
+crates/env/src/metrics.rs:
+crates/env/src/multi_agent.rs:
+crates/env/src/queue.rs:
+crates/env/src/random_walk.rs:
+crates/env/src/single_hop.rs:
+crates/env/src/traffic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qmarl_neural-560d98a33f6df0fd.d: crates/neural/src/lib.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/matrix.rs crates/neural/src/mlp.rs crates/neural/src/optim.rs
+
+/root/repo/target/debug/deps/qmarl_neural-560d98a33f6df0fd: crates/neural/src/lib.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/matrix.rs crates/neural/src/mlp.rs crates/neural/src/optim.rs
+
+crates/neural/src/lib.rs:
+crates/neural/src/layer.rs:
+crates/neural/src/loss.rs:
+crates/neural/src/matrix.rs:
+crates/neural/src/mlp.rs:
+crates/neural/src/optim.rs:

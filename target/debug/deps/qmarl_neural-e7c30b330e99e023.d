@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qmarl_neural-e7c30b330e99e023.d: crates/neural/src/lib.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/matrix.rs crates/neural/src/mlp.rs crates/neural/src/optim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqmarl_neural-e7c30b330e99e023.rmeta: crates/neural/src/lib.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/matrix.rs crates/neural/src/mlp.rs crates/neural/src/optim.rs Cargo.toml
+
+crates/neural/src/lib.rs:
+crates/neural/src/layer.rs:
+crates/neural/src/loss.rs:
+crates/neural/src/matrix.rs:
+crates/neural/src/mlp.rs:
+crates/neural/src/optim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qmarl_neural-ffe5ab5ce6b3dde0.d: crates/neural/src/lib.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/matrix.rs crates/neural/src/mlp.rs crates/neural/src/optim.rs
+
+/root/repo/target/debug/deps/libqmarl_neural-ffe5ab5ce6b3dde0.rlib: crates/neural/src/lib.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/matrix.rs crates/neural/src/mlp.rs crates/neural/src/optim.rs
+
+/root/repo/target/debug/deps/libqmarl_neural-ffe5ab5ce6b3dde0.rmeta: crates/neural/src/lib.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/matrix.rs crates/neural/src/mlp.rs crates/neural/src/optim.rs
+
+crates/neural/src/lib.rs:
+crates/neural/src/layer.rs:
+crates/neural/src/loss.rs:
+crates/neural/src/matrix.rs:
+crates/neural/src/mlp.rs:
+crates/neural/src/optim.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qmarl_qsim-1985d74227aafc98.d: crates/qsim/src/lib.rs crates/qsim/src/apply.rs crates/qsim/src/bloch.rs crates/qsim/src/complex.rs crates/qsim/src/density.rs crates/qsim/src/error.rs crates/qsim/src/gate.rs crates/qsim/src/measure.rs crates/qsim/src/noise.rs crates/qsim/src/par.rs crates/qsim/src/shots.rs crates/qsim/src/state.rs
+
+/root/repo/target/debug/deps/libqmarl_qsim-1985d74227aafc98.rlib: crates/qsim/src/lib.rs crates/qsim/src/apply.rs crates/qsim/src/bloch.rs crates/qsim/src/complex.rs crates/qsim/src/density.rs crates/qsim/src/error.rs crates/qsim/src/gate.rs crates/qsim/src/measure.rs crates/qsim/src/noise.rs crates/qsim/src/par.rs crates/qsim/src/shots.rs crates/qsim/src/state.rs
+
+/root/repo/target/debug/deps/libqmarl_qsim-1985d74227aafc98.rmeta: crates/qsim/src/lib.rs crates/qsim/src/apply.rs crates/qsim/src/bloch.rs crates/qsim/src/complex.rs crates/qsim/src/density.rs crates/qsim/src/error.rs crates/qsim/src/gate.rs crates/qsim/src/measure.rs crates/qsim/src/noise.rs crates/qsim/src/par.rs crates/qsim/src/shots.rs crates/qsim/src/state.rs
+
+crates/qsim/src/lib.rs:
+crates/qsim/src/apply.rs:
+crates/qsim/src/bloch.rs:
+crates/qsim/src/complex.rs:
+crates/qsim/src/density.rs:
+crates/qsim/src/error.rs:
+crates/qsim/src/gate.rs:
+crates/qsim/src/measure.rs:
+crates/qsim/src/noise.rs:
+crates/qsim/src/par.rs:
+crates/qsim/src/shots.rs:
+crates/qsim/src/state.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/qmarl_qsim-59506d01a797219d.d: crates/qsim/src/lib.rs crates/qsim/src/apply.rs crates/qsim/src/bloch.rs crates/qsim/src/complex.rs crates/qsim/src/density.rs crates/qsim/src/error.rs crates/qsim/src/gate.rs crates/qsim/src/measure.rs crates/qsim/src/noise.rs crates/qsim/src/par.rs crates/qsim/src/shots.rs crates/qsim/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqmarl_qsim-59506d01a797219d.rmeta: crates/qsim/src/lib.rs crates/qsim/src/apply.rs crates/qsim/src/bloch.rs crates/qsim/src/complex.rs crates/qsim/src/density.rs crates/qsim/src/error.rs crates/qsim/src/gate.rs crates/qsim/src/measure.rs crates/qsim/src/noise.rs crates/qsim/src/par.rs crates/qsim/src/shots.rs crates/qsim/src/state.rs Cargo.toml
+
+crates/qsim/src/lib.rs:
+crates/qsim/src/apply.rs:
+crates/qsim/src/bloch.rs:
+crates/qsim/src/complex.rs:
+crates/qsim/src/density.rs:
+crates/qsim/src/error.rs:
+crates/qsim/src/gate.rs:
+crates/qsim/src/measure.rs:
+crates/qsim/src/noise.rs:
+crates/qsim/src/par.rs:
+crates/qsim/src/shots.rs:
+crates/qsim/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qmarl_qsim-c8534b2ae8c4b2de.d: crates/qsim/src/lib.rs crates/qsim/src/apply.rs crates/qsim/src/bloch.rs crates/qsim/src/complex.rs crates/qsim/src/density.rs crates/qsim/src/error.rs crates/qsim/src/gate.rs crates/qsim/src/measure.rs crates/qsim/src/noise.rs crates/qsim/src/par.rs crates/qsim/src/shots.rs crates/qsim/src/state.rs
+
+/root/repo/target/debug/deps/qmarl_qsim-c8534b2ae8c4b2de: crates/qsim/src/lib.rs crates/qsim/src/apply.rs crates/qsim/src/bloch.rs crates/qsim/src/complex.rs crates/qsim/src/density.rs crates/qsim/src/error.rs crates/qsim/src/gate.rs crates/qsim/src/measure.rs crates/qsim/src/noise.rs crates/qsim/src/par.rs crates/qsim/src/shots.rs crates/qsim/src/state.rs
+
+crates/qsim/src/lib.rs:
+crates/qsim/src/apply.rs:
+crates/qsim/src/bloch.rs:
+crates/qsim/src/complex.rs:
+crates/qsim/src/density.rs:
+crates/qsim/src/error.rs:
+crates/qsim/src/gate.rs:
+crates/qsim/src/measure.rs:
+crates/qsim/src/noise.rs:
+crates/qsim/src/par.rs:
+crates/qsim/src/shots.rs:
+crates/qsim/src/state.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qmarl_runtime-04d8e460c71a136c.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+/root/repo/target/debug/deps/libqmarl_runtime-04d8e460c71a136c.rlib: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+/root/repo/target/debug/deps/libqmarl_runtime-04d8e460c71a136c.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/compile.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/exec.rs:
+crates/runtime/src/qnn.rs:
+crates/runtime/src/rollout.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qmarl_runtime-5cab44059c113419.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+/root/repo/target/debug/deps/libqmarl_runtime-5cab44059c113419.rlib: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+/root/repo/target/debug/deps/libqmarl_runtime-5cab44059c113419.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/compile.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/exec.rs:
+crates/runtime/src/qnn.rs:
+crates/runtime/src/rollout.rs:

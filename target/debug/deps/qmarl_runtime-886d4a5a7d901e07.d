@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qmarl_runtime-886d4a5a7d901e07.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+/root/repo/target/debug/deps/qmarl_runtime-886d4a5a7d901e07: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/compile.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/exec.rs:
+crates/runtime/src/qnn.rs:
+crates/runtime/src/rollout.rs:

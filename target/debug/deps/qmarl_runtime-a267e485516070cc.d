@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qmarl_runtime-a267e485516070cc.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqmarl_runtime-a267e485516070cc.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/compile.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/exec.rs:
+crates/runtime/src/qnn.rs:
+crates/runtime/src/rollout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qmarl_vqc-570bfb80b668cfd3.d: crates/vqc/src/lib.rs crates/vqc/src/ansatz.rs crates/vqc/src/diagram.rs crates/vqc/src/encoder.rs crates/vqc/src/error.rs crates/vqc/src/exec.rs crates/vqc/src/grad.rs crates/vqc/src/ir.rs crates/vqc/src/observable.rs crates/vqc/src/qnn.rs crates/vqc/src/stats.rs
+
+/root/repo/target/debug/deps/libqmarl_vqc-570bfb80b668cfd3.rlib: crates/vqc/src/lib.rs crates/vqc/src/ansatz.rs crates/vqc/src/diagram.rs crates/vqc/src/encoder.rs crates/vqc/src/error.rs crates/vqc/src/exec.rs crates/vqc/src/grad.rs crates/vqc/src/ir.rs crates/vqc/src/observable.rs crates/vqc/src/qnn.rs crates/vqc/src/stats.rs
+
+/root/repo/target/debug/deps/libqmarl_vqc-570bfb80b668cfd3.rmeta: crates/vqc/src/lib.rs crates/vqc/src/ansatz.rs crates/vqc/src/diagram.rs crates/vqc/src/encoder.rs crates/vqc/src/error.rs crates/vqc/src/exec.rs crates/vqc/src/grad.rs crates/vqc/src/ir.rs crates/vqc/src/observable.rs crates/vqc/src/qnn.rs crates/vqc/src/stats.rs
+
+crates/vqc/src/lib.rs:
+crates/vqc/src/ansatz.rs:
+crates/vqc/src/diagram.rs:
+crates/vqc/src/encoder.rs:
+crates/vqc/src/error.rs:
+crates/vqc/src/exec.rs:
+crates/vqc/src/grad.rs:
+crates/vqc/src/ir.rs:
+crates/vqc/src/observable.rs:
+crates/vqc/src/qnn.rs:
+crates/vqc/src/stats.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qmarl_vqc-f01a71fc81037bb9.d: crates/vqc/src/lib.rs crates/vqc/src/ansatz.rs crates/vqc/src/diagram.rs crates/vqc/src/encoder.rs crates/vqc/src/error.rs crates/vqc/src/exec.rs crates/vqc/src/grad.rs crates/vqc/src/ir.rs crates/vqc/src/observable.rs crates/vqc/src/qnn.rs crates/vqc/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqmarl_vqc-f01a71fc81037bb9.rmeta: crates/vqc/src/lib.rs crates/vqc/src/ansatz.rs crates/vqc/src/diagram.rs crates/vqc/src/encoder.rs crates/vqc/src/error.rs crates/vqc/src/exec.rs crates/vqc/src/grad.rs crates/vqc/src/ir.rs crates/vqc/src/observable.rs crates/vqc/src/qnn.rs crates/vqc/src/stats.rs Cargo.toml
+
+crates/vqc/src/lib.rs:
+crates/vqc/src/ansatz.rs:
+crates/vqc/src/diagram.rs:
+crates/vqc/src/encoder.rs:
+crates/vqc/src/error.rs:
+crates/vqc/src/exec.rs:
+crates/vqc/src/grad.rs:
+crates/vqc/src/ir.rs:
+crates/vqc/src/observable.rs:
+crates/vqc/src/qnn.rs:
+crates/vqc/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

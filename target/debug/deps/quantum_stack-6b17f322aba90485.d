@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantum_stack-6b17f322aba90485.d: tests/quantum_stack.rs
+
+/root/repo/target/debug/deps/quantum_stack-6b17f322aba90485: tests/quantum_stack.rs
+
+tests/quantum_stack.rs:

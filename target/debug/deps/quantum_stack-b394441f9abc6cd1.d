@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quantum_stack-b394441f9abc6cd1.d: tests/quantum_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantum_stack-b394441f9abc6cd1.rmeta: tests/quantum_stack.rs Cargo.toml
+
+tests/quantum_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-6dbf6177089092c2.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6dbf6177089092c2.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6dbf6177089092c2.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f4cdd52708683e86.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-f4cdd52708683e86: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

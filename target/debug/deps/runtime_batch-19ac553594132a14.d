@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_batch-19ac553594132a14.d: crates/bench/benches/runtime_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_batch-19ac553594132a14.rmeta: crates/bench/benches/runtime_batch.rs Cargo.toml
+
+crates/bench/benches/runtime_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-3f3ba276e175d213.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-3f3ba276e175d213: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

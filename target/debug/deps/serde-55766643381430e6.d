@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-55766643381430e6.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-55766643381430e6.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-55766643381430e6.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

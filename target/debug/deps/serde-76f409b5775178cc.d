@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-76f409b5775178cc.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-76f409b5775178cc.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-76f409b5775178cc.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

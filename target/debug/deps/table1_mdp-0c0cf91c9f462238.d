@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_mdp-0c0cf91c9f462238.d: crates/bench/src/bin/table1_mdp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_mdp-0c0cf91c9f462238.rmeta: crates/bench/src/bin/table1_mdp.rs Cargo.toml
+
+crates/bench/src/bin/table1_mdp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_mdp-2531d56f7477e135.d: crates/bench/src/bin/table1_mdp.rs
+
+/root/repo/target/debug/deps/table1_mdp-2531d56f7477e135: crates/bench/src/bin/table1_mdp.rs
+
+crates/bench/src/bin/table1_mdp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_mdp-99bb12acec7c2daf.d: crates/bench/src/bin/table1_mdp.rs
+
+/root/repo/target/debug/deps/table1_mdp-99bb12acec7c2daf: crates/bench/src/bin/table1_mdp.rs
+
+crates/bench/src/bin/table1_mdp.rs:

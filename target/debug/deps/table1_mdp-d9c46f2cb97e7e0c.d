@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_mdp-d9c46f2cb97e7e0c.d: crates/bench/src/bin/table1_mdp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_mdp-d9c46f2cb97e7e0c.rmeta: crates/bench/src/bin/table1_mdp.rs Cargo.toml
+
+crates/bench/src/bin/table1_mdp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

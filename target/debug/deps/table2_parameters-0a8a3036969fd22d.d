@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_parameters-0a8a3036969fd22d.d: crates/bench/src/bin/table2_parameters.rs
+
+/root/repo/target/debug/deps/table2_parameters-0a8a3036969fd22d: crates/bench/src/bin/table2_parameters.rs
+
+crates/bench/src/bin/table2_parameters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_parameters-e757bfcd05969881.d: crates/bench/src/bin/table2_parameters.rs
+
+/root/repo/target/debug/deps/table2_parameters-e757bfcd05969881: crates/bench/src/bin/table2_parameters.rs
+
+crates/bench/src/bin/table2_parameters.rs:

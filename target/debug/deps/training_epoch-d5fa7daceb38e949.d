@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training_epoch-d5fa7daceb38e949.d: crates/bench/benches/training_epoch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining_epoch-d5fa7daceb38e949.rmeta: crates/bench/benches/training_epoch.rs Cargo.toml
+
+crates/bench/benches/training_epoch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vqc_gradients-25341fbba7dded1c.d: crates/bench/benches/vqc_gradients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvqc_gradients-25341fbba7dded1c.rmeta: crates/bench/benches/vqc_gradients.rs Cargo.toml
+
+crates/bench/benches/vqc_gradients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

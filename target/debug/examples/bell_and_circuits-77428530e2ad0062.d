@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bell_and_circuits-77428530e2ad0062.d: examples/bell_and_circuits.rs
+
+/root/repo/target/debug/examples/bell_and_circuits-77428530e2ad0062: examples/bell_and_circuits.rs
+
+examples/bell_and_circuits.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bell_and_circuits-d6b373c2060cc8aa.d: examples/bell_and_circuits.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbell_and_circuits-d6b373c2060cc8aa.rmeta: examples/bell_and_circuits.rs Cargo.toml
+
+examples/bell_and_circuits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_environment-501bb8f23a8f6af0.d: examples/custom_environment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_environment-501bb8f23a8f6af0.rmeta: examples/custom_environment.rs Cargo.toml
+
+examples/custom_environment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

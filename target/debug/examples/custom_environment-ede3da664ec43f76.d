@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_environment-ede3da664ec43f76.d: examples/custom_environment.rs
+
+/root/repo/target/debug/examples/custom_environment-ede3da664ec43f76: examples/custom_environment.rs
+
+examples/custom_environment.rs:

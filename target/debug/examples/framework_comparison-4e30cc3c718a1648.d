@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/framework_comparison-4e30cc3c718a1648.d: examples/framework_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libframework_comparison-4e30cc3c718a1648.rmeta: examples/framework_comparison.rs Cargo.toml
+
+examples/framework_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/framework_comparison-9fb4f773a1339c49.d: examples/framework_comparison.rs
+
+/root/repo/target/debug/examples/framework_comparison-9fb4f773a1339c49: examples/framework_comparison.rs
+
+examples/framework_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/offloading_demo-18613c24d06f5b26.d: examples/offloading_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboffloading_demo-18613c24d06f5b26.rmeta: examples/offloading_demo.rs Cargo.toml
+
+examples/offloading_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/offloading_demo-22b8abadea3a3a18.d: examples/offloading_demo.rs
+
+/root/repo/target/debug/examples/offloading_demo-22b8abadea3a3a18: examples/offloading_demo.rs
+
+examples/offloading_demo.rs:

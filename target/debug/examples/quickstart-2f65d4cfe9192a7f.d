@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2f65d4cfe9192a7f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2f65d4cfe9192a7f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/runtime_throughput-22bad051912aba91.d: examples/runtime_throughput.rs Cargo.toml
+
+/root/repo/target/debug/examples/libruntime_throughput-22bad051912aba91.rmeta: examples/runtime_throughput.rs Cargo.toml
+
+examples/runtime_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

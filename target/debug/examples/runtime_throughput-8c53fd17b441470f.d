@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/runtime_throughput-8c53fd17b441470f.d: examples/runtime_throughput.rs
+
+/root/repo/target/debug/examples/runtime_throughput-8c53fd17b441470f: examples/runtime_throughput.rs
+
+examples/runtime_throughput.rs:

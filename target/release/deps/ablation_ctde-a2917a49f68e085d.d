@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ctde-a2917a49f68e085d.d: crates/bench/src/bin/ablation_ctde.rs
+
+/root/repo/target/release/deps/ablation_ctde-a2917a49f68e085d: crates/bench/src/bin/ablation_ctde.rs
+
+crates/bench/src/bin/ablation_ctde.rs:

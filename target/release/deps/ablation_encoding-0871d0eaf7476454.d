@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_encoding-0871d0eaf7476454.d: crates/bench/src/bin/ablation_encoding.rs
+
+/root/repo/target/release/deps/ablation_encoding-0871d0eaf7476454: crates/bench/src/bin/ablation_encoding.rs
+
+crates/bench/src/bin/ablation_encoding.rs:

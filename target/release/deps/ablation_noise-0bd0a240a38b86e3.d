@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_noise-0bd0a240a38b86e3.d: crates/bench/src/bin/ablation_noise.rs
+
+/root/repo/target/release/deps/ablation_noise-0bd0a240a38b86e3: crates/bench/src/bin/ablation_noise.rs
+
+crates/bench/src/bin/ablation_noise.rs:

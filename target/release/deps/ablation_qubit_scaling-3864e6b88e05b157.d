@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_qubit_scaling-3864e6b88e05b157.d: crates/bench/src/bin/ablation_qubit_scaling.rs
+
+/root/repo/target/release/deps/ablation_qubit_scaling-3864e6b88e05b157: crates/bench/src/bin/ablation_qubit_scaling.rs
+
+crates/bench/src/bin/ablation_qubit_scaling.rs:

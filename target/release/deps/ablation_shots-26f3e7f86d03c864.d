@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_shots-26f3e7f86d03c864.d: crates/bench/src/bin/ablation_shots.rs
+
+/root/repo/target/release/deps/ablation_shots-26f3e7f86d03c864: crates/bench/src/bin/ablation_shots.rs
+
+crates/bench/src/bin/ablation_shots.rs:

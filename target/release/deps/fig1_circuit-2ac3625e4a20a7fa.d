@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_circuit-2ac3625e4a20a7fa.d: crates/bench/src/bin/fig1_circuit.rs
+
+/root/repo/target/release/deps/fig1_circuit-2ac3625e4a20a7fa: crates/bench/src/bin/fig1_circuit.rs
+
+crates/bench/src/bin/fig1_circuit.rs:

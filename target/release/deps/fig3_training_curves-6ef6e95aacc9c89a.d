@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_training_curves-6ef6e95aacc9c89a.d: crates/bench/src/bin/fig3_training_curves.rs
+
+/root/repo/target/release/deps/fig3_training_curves-6ef6e95aacc9c89a: crates/bench/src/bin/fig3_training_curves.rs
+
+crates/bench/src/bin/fig3_training_curves.rs:

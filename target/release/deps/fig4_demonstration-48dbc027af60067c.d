@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_demonstration-48dbc027af60067c.d: crates/bench/src/bin/fig4_demonstration.rs
+
+/root/repo/target/release/deps/fig4_demonstration-48dbc027af60067c: crates/bench/src/bin/fig4_demonstration.rs
+
+crates/bench/src/bin/fig4_demonstration.rs:

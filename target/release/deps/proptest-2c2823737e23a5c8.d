@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-2c2823737e23a5c8.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2c2823737e23a5c8.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2c2823737e23a5c8.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

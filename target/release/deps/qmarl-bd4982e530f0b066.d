@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qmarl-bd4982e530f0b066.d: src/lib.rs
+
+/root/repo/target/release/deps/libqmarl-bd4982e530f0b066.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqmarl-bd4982e530f0b066.rmeta: src/lib.rs
+
+src/lib.rs:

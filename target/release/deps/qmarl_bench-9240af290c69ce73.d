@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qmarl_bench-9240af290c69ce73.d: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+/root/repo/target/release/deps/libqmarl_bench-9240af290c69ce73.rlib: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+/root/repo/target/release/deps/libqmarl_bench-9240af290c69ce73.rmeta: crates/bench/src/lib.rs crates/bench/src/plot.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/plot.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

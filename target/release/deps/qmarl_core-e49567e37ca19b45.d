@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/qmarl_core-e49567e37ca19b45.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/independent.rs crates/core/src/policy.rs crates/core/src/replay.rs crates/core/src/trainer.rs crates/core/src/value.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/libqmarl_core-e49567e37ca19b45.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/independent.rs crates/core/src/policy.rs crates/core/src/replay.rs crates/core/src/trainer.rs crates/core/src/value.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/libqmarl_core-e49567e37ca19b45.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/framework.rs crates/core/src/independent.rs crates/core/src/policy.rs crates/core/src/replay.rs crates/core/src/trainer.rs crates/core/src/value.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/framework.rs:
+crates/core/src/independent.rs:
+crates/core/src/policy.rs:
+crates/core/src/replay.rs:
+crates/core/src/trainer.rs:
+crates/core/src/value.rs:
+crates/core/src/viz.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qmarl_neural-81e76443ff9b3b27.d: crates/neural/src/lib.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/matrix.rs crates/neural/src/mlp.rs crates/neural/src/optim.rs
+
+/root/repo/target/release/deps/libqmarl_neural-81e76443ff9b3b27.rlib: crates/neural/src/lib.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/matrix.rs crates/neural/src/mlp.rs crates/neural/src/optim.rs
+
+/root/repo/target/release/deps/libqmarl_neural-81e76443ff9b3b27.rmeta: crates/neural/src/lib.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/matrix.rs crates/neural/src/mlp.rs crates/neural/src/optim.rs
+
+crates/neural/src/lib.rs:
+crates/neural/src/layer.rs:
+crates/neural/src/loss.rs:
+crates/neural/src/matrix.rs:
+crates/neural/src/mlp.rs:
+crates/neural/src/optim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qmarl_runtime-933d53f790e5dc04.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+/root/repo/target/release/deps/libqmarl_runtime-933d53f790e5dc04.rlib: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+/root/repo/target/release/deps/libqmarl_runtime-933d53f790e5dc04.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/compile.rs crates/runtime/src/error.rs crates/runtime/src/exec.rs crates/runtime/src/qnn.rs crates/runtime/src/rollout.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/compile.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/exec.rs:
+crates/runtime/src/qnn.rs:
+crates/runtime/src/rollout.rs:

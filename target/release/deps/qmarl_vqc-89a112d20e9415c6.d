@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/qmarl_vqc-89a112d20e9415c6.d: crates/vqc/src/lib.rs crates/vqc/src/ansatz.rs crates/vqc/src/diagram.rs crates/vqc/src/encoder.rs crates/vqc/src/error.rs crates/vqc/src/exec.rs crates/vqc/src/grad.rs crates/vqc/src/ir.rs crates/vqc/src/observable.rs crates/vqc/src/qnn.rs crates/vqc/src/stats.rs
+
+/root/repo/target/release/deps/libqmarl_vqc-89a112d20e9415c6.rlib: crates/vqc/src/lib.rs crates/vqc/src/ansatz.rs crates/vqc/src/diagram.rs crates/vqc/src/encoder.rs crates/vqc/src/error.rs crates/vqc/src/exec.rs crates/vqc/src/grad.rs crates/vqc/src/ir.rs crates/vqc/src/observable.rs crates/vqc/src/qnn.rs crates/vqc/src/stats.rs
+
+/root/repo/target/release/deps/libqmarl_vqc-89a112d20e9415c6.rmeta: crates/vqc/src/lib.rs crates/vqc/src/ansatz.rs crates/vqc/src/diagram.rs crates/vqc/src/encoder.rs crates/vqc/src/error.rs crates/vqc/src/exec.rs crates/vqc/src/grad.rs crates/vqc/src/ir.rs crates/vqc/src/observable.rs crates/vqc/src/qnn.rs crates/vqc/src/stats.rs
+
+crates/vqc/src/lib.rs:
+crates/vqc/src/ansatz.rs:
+crates/vqc/src/diagram.rs:
+crates/vqc/src/encoder.rs:
+crates/vqc/src/error.rs:
+crates/vqc/src/exec.rs:
+crates/vqc/src/grad.rs:
+crates/vqc/src/ir.rs:
+crates/vqc/src/observable.rs:
+crates/vqc/src/qnn.rs:
+crates/vqc/src/stats.rs:

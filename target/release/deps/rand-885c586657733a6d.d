@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-885c586657733a6d.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-885c586657733a6d.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-885c586657733a6d.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

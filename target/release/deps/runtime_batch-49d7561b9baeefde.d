@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_batch-49d7561b9baeefde.d: crates/bench/benches/runtime_batch.rs
+
+/root/repo/target/release/deps/runtime_batch-49d7561b9baeefde: crates/bench/benches/runtime_batch.rs
+
+crates/bench/benches/runtime_batch.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-0f42b92699b9a6c3.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-0f42b92699b9a6c3.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-0f42b92699b9a6c3.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

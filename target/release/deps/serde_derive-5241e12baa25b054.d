@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-5241e12baa25b054.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-5241e12baa25b054.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

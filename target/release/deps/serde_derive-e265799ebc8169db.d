@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-e265799ebc8169db.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-e265799ebc8169db.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

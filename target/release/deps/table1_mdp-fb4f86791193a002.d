@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_mdp-fb4f86791193a002.d: crates/bench/src/bin/table1_mdp.rs
+
+/root/repo/target/release/deps/table1_mdp-fb4f86791193a002: crates/bench/src/bin/table1_mdp.rs
+
+crates/bench/src/bin/table1_mdp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_parameters-89bbedc9367dc256.d: crates/bench/src/bin/table2_parameters.rs
+
+/root/repo/target/release/deps/table2_parameters-89bbedc9367dc256: crates/bench/src/bin/table2_parameters.rs
+
+crates/bench/src/bin/table2_parameters.rs:

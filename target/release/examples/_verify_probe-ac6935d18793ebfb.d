@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-ac6935d18793ebfb.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-ac6935d18793ebfb: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

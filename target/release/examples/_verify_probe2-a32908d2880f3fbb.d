@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe2-a32908d2880f3fbb.d: examples/_verify_probe2.rs
+
+/root/repo/target/release/examples/_verify_probe2-a32908d2880f3fbb: examples/_verify_probe2.rs
+
+examples/_verify_probe2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b6d288e9d8be8dbf.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b6d288e9d8be8dbf: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/runtime_throughput-41cf682f42923c13.d: examples/runtime_throughput.rs
+
+/root/repo/target/release/examples/runtime_throughput-41cf682f42923c13: examples/runtime_throughput.rs
+
+examples/runtime_throughput.rs:
