@@ -1,0 +1,119 @@
+//! Vectorized vs per-episode rollout throughput.
+//!
+//! The acceptance bar for the vectorized environment layer: on the
+//! paper-default scenario with quantum actors, lockstep collection
+//! (`CtdeTrainer::rollout_vec` — one flat prebound circuit batch per
+//! tick) must deliver ≥ 2× the steps/sec of the per-episode engine
+//! (`CtdeTrainer::rollout_parallel`). Both engines produce bit-identical
+//! episodes (property-tested in `qmarl-runtime`), so this comparison is
+//! pure throughput.
+//!
+//! Besides the criterion rows, the bench emits `BENCH_rollout.json` at
+//! the repository root with absolute steps/sec, so the performance
+//! trajectory of the rollout path is recorded PR over PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use qmarl_core::prelude::*;
+use qmarl_env::prelude::*;
+
+/// Paper Table II environment, trimmed to a bench-friendly horizon.
+const EPISODE_LIMIT: usize = 100;
+
+fn trainer(seed: u64) -> CtdeTrainer<SingleHopEnv> {
+    let mut cfg = EnvConfig::paper_default();
+    cfg.episode_limit = EPISODE_LIMIT;
+    let env = SingleHopEnv::new(cfg, seed).expect("env");
+    let actors: Vec<Box<dyn Actor>> = (0..4)
+        .map(|n| {
+            Box::new(QuantumActor::new(4, 4, 4, 50, seed + n).expect("actor")) as Box<dyn Actor>
+        })
+        .collect();
+    let critic = Box::new(QuantumCritic::new(4, 16, 50, seed + 100).expect("critic"));
+    CtdeTrainer::new(env, actors, critic, TrainConfig::paper_default()).expect("trainer")
+}
+
+fn bench_rollout_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollout_paper_default");
+    group.sample_size(10);
+    for episodes in [8usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("per_episode", episodes),
+            &episodes,
+            |b, &eps| {
+                let mut t = trainer(1);
+                b.iter(|| black_box(t.rollout_parallel(eps, 0, false).expect("rollout")));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vectorized", episodes),
+            &episodes,
+            |b, &eps| {
+                let mut t = trainer(1);
+                b.iter(|| black_box(t.rollout_vec(eps, eps, false).expect("rollout")));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Wall-clock steps/sec of one engine, mean over `reps` collections.
+fn steps_per_sec<F: FnMut() -> usize>(reps: usize, mut collect: F) -> f64 {
+    let mut steps = collect(); // warmup (counted for shape only)
+    let start = Instant::now();
+    for _ in 0..reps {
+        steps = collect();
+    }
+    steps as f64 * reps as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures both engines head-to-head and records the result as JSON.
+fn emit_rollout_json(c: &mut Criterion) {
+    let quick = std::env::var_os("QMARL_BENCH_QUICK").is_some_and(|v| v != "0");
+    let (episodes, reps) = if quick { (8usize, 2usize) } else { (16, 8) };
+
+    let mut t = trainer(2);
+    let parallel = steps_per_sec(reps, || {
+        t.rollout_parallel(episodes, 0, false)
+            .expect("rollout")
+            .iter()
+            .map(|(ep, _, _)| ep.len())
+            .sum()
+    });
+    let mut t = trainer(2);
+    let vectorized = steps_per_sec(reps, || {
+        t.rollout_vec(episodes, episodes, false)
+            .expect("rollout")
+            .iter()
+            .map(|(ep, _, _)| ep.len())
+            .sum()
+    });
+    let speedup = vectorized / parallel;
+
+    let json = format!(
+        "{{\n  \"bench\": \"rollout\",\n  \"scenario\": \"single-hop (paper default, T={EPISODE_LIMIT})\",\n  \
+         \"episodes_per_collection\": {episodes},\n  \"actors\": \"quantum 4q/50p\",\n  \
+         \"steps_per_sec\": {{\n    \"per_episode\": {parallel:.0},\n    \"vectorized\": {vectorized:.0}\n  }},\n  \
+         \"vectorized_speedup\": {speedup:.2}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rollout.json");
+    if quick {
+        // Quick (CI smoke) measurements are too noisy to record; keep
+        // the committed trajectory file authoritative.
+        println!("rollout_vec: quick mode, not rewriting {path}");
+    } else {
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("rollout_vec: wrote {path}"),
+            Err(e) => println!("rollout_vec: could not write {path}: {e}"),
+        }
+    }
+    println!(
+        "rollout_vec: per-episode {parallel:.0} steps/s, vectorized {vectorized:.0} steps/s ({speedup:.2}x)"
+    );
+    let _ = c; // the JSON pass is measured manually, outside criterion
+}
+
+criterion_group!(benches, bench_rollout_engines, emit_rollout_json);
+criterion_main!(benches);

@@ -41,6 +41,7 @@ pub mod policy;
 pub mod replay;
 pub mod trainer;
 pub mod value;
+mod vec_policy;
 pub mod viz;
 
 /// The most commonly used items, for glob import.

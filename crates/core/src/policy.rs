@@ -34,6 +34,27 @@ pub trait Actor: Send + Sync {
     /// Returns [`CoreError::FeatureLenMismatch`] for a bad observation.
     fn probs(&self, obs: &[f64]) -> Result<Vec<f64>, CoreError>;
 
+    /// Action distributions for a whole batch of observations. The
+    /// default walks [`Actor::probs`] serially; circuit-backed actors
+    /// override it with the runtime's batched executor. Results are
+    /// bit-identical to per-observation [`Actor::probs`] calls either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FeatureLenMismatch`] for a bad observation.
+    fn probs_batch(&self, batch: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CoreError> {
+        batch.iter().map(|o| self.probs(o)).collect()
+    }
+
+    /// The compiled-runtime handle behind this actor, when it is a
+    /// compiled VQC: `(compiled model, flat parameter vector)`. The
+    /// vectorized collector uses it to fuse all same-shaped actors'
+    /// evaluations at one lockstep tick into a single flat circuit batch;
+    /// `None` (the default) opts out of that path.
+    fn runtime_handle(&self) -> Option<(&CompiledVqc, &[f64])> {
+        None
+    }
+
     /// The gradient of the MAPG pseudo-loss `−advantage · log π(action|o)`
     /// w.r.t. the parameters (ready for a *descent* step).
     ///
@@ -243,6 +264,14 @@ impl Actor for QuantumActor {
         self.check_obs(obs)?;
         let logits = self.model.forward(obs, &self.params)?;
         Ok(softmax(&logits))
+    }
+
+    fn probs_batch(&self, batch: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CoreError> {
+        QuantumActor::probs_batch(self, batch)
+    }
+
+    fn runtime_handle(&self) -> Option<(&CompiledVqc, &[f64])> {
+        Some((&self.model, &self.params))
     }
 
     fn policy_gradient_with_entropy(

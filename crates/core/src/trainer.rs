@@ -18,15 +18,18 @@ use rand::SeedableRng;
 
 use qmarl_env::metrics::{EpisodeMetrics, MetricsAccumulator, MetricsMean};
 use qmarl_env::multi_agent::MultiAgentEnv;
+use qmarl_env::vector::{ReplicatedVecEnv, SeedableEnv};
 use qmarl_neural::optim::Adam;
 use qmarl_neural::prelude::entropy;
 use qmarl_runtime::rollout::{collect_episodes, derive_seed, RolloutConfig, WorkerEnv};
+use qmarl_runtime::vec_rollout::collect_episodes_vec;
 
 use crate::config::TrainConfig;
 use crate::error::CoreError;
 use crate::policy::{select_action, Actor};
 use crate::replay::{Episode, ReplayBuffer, Transition};
 use crate::value::Critic;
+use crate::vec_policy::ActorsVecPolicy;
 
 /// One epoch's record: the quantities Fig. 3 plots, plus diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -384,6 +387,79 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
         agg.mean()
             .ok_or_else(|| CoreError::InvalidConfig("evaluate needs at least one episode".into()))
     }
+
+    /// Shared validation for the multi-episode epoch surfaces.
+    fn check_epoch_size(&self, episodes_per_epoch: usize) -> Result<(), CoreError> {
+        if episodes_per_epoch == 0 {
+            return Err(CoreError::InvalidConfig(
+                "parallel epoch needs at least one episode".into(),
+            ));
+        }
+        if episodes_per_epoch > self.config.replay_capacity {
+            return Err(CoreError::InvalidConfig(format!(
+                "episodes_per_epoch {episodes_per_epoch} exceeds replay capacity {}: \
+                 collected episodes would be evicted before the update sweep",
+                self.config.replay_capacity
+            )));
+        }
+        Ok(())
+    }
+
+    /// Absorbs one multi-episode collection: replay push, update sweep,
+    /// target sync, history record. Shared by the per-episode-parallel
+    /// and vectorized epoch surfaces so their training semantics cannot
+    /// drift apart.
+    fn absorb_collected_epoch(
+        &mut self,
+        collected: Vec<(Episode, EpisodeMetrics, f64)>,
+    ) -> Result<EpochRecord, CoreError> {
+        let episodes_per_epoch = collected.len();
+        let mut agg = MetricsMean::new();
+        let mut entropy_sum = 0.0;
+        for (episode, metrics, mean_entropy) in collected {
+            agg.add(&metrics);
+            entropy_sum += mean_entropy;
+            self.replay.push(episode);
+        }
+        let metrics = agg.mean().expect("episodes_per_epoch > 0");
+        // Sweep everything this epoch collected (or the configured batch,
+        // whichever is larger) — a parallel epoch must train on the
+        // episodes it just paid to roll out, not only the newest one.
+        let critic_loss = self.update_over(episodes_per_epoch.max(self.config.batch_episodes))?;
+        self.epoch += 1;
+        if self.epoch.is_multiple_of(self.config.target_update_period) {
+            self.target.set_params(&self.critic.params())?;
+        }
+        let record = EpochRecord {
+            epoch: self.epoch - 1,
+            metrics,
+            critic_loss,
+            mean_entropy: entropy_sum / episodes_per_epoch as f64,
+        };
+        self.history.records.push(record);
+        Ok(record)
+    }
+}
+
+/// Converts a runtime trace into the trainer's replay/metric triple.
+fn trace_into_episode(
+    trace: qmarl_runtime::rollout::EpisodeTrace,
+) -> (Episode, EpisodeMetrics, f64) {
+    let metrics = trace.metrics();
+    let mean_entropy = trace.mean_aux();
+    let mut episode = Episode::new();
+    for step in trace.steps {
+        episode.push(Transition {
+            state: step.state,
+            observations: step.observations,
+            actions: step.actions,
+            reward: step.reward,
+            next_state: step.next_state,
+            next_observations: step.next_observations,
+            done: step.done,
+        });
+    }
+    (episode, metrics, mean_entropy)
 }
 
 /// The parallel collection surface, available when the environment can
@@ -429,26 +505,7 @@ impl<E: WorkerEnv> CtdeTrainer<E> {
         )
         .map_err(CoreError::from)?;
 
-        Ok(traces
-            .into_iter()
-            .map(|trace| {
-                let metrics = trace.metrics();
-                let mean_entropy = trace.mean_aux();
-                let mut episode = Episode::new();
-                for step in trace.steps {
-                    episode.push(Transition {
-                        state: step.state,
-                        observations: step.observations,
-                        actions: step.actions,
-                        reward: step.reward,
-                        next_state: step.next_state,
-                        next_observations: step.next_observations,
-                        done: step.done,
-                    });
-                }
-                (episode, metrics, mean_entropy)
-            })
-            .collect())
+        Ok(traces.into_iter().map(trace_into_episode).collect())
     }
 
     /// One parallel epoch: collect `episodes_per_epoch` episodes
@@ -465,43 +522,9 @@ impl<E: WorkerEnv> CtdeTrainer<E> {
         episodes_per_epoch: usize,
         workers: usize,
     ) -> Result<EpochRecord, CoreError> {
-        if episodes_per_epoch == 0 {
-            return Err(CoreError::InvalidConfig(
-                "parallel epoch needs at least one episode".into(),
-            ));
-        }
-        if episodes_per_epoch > self.config.replay_capacity {
-            return Err(CoreError::InvalidConfig(format!(
-                "episodes_per_epoch {episodes_per_epoch} exceeds replay capacity {}: \
-                 collected episodes would be evicted before the update sweep",
-                self.config.replay_capacity
-            )));
-        }
+        self.check_epoch_size(episodes_per_epoch)?;
         let collected = self.rollout_parallel(episodes_per_epoch, workers, false)?;
-        let mut agg = MetricsMean::new();
-        let mut entropy_sum = 0.0;
-        for (episode, metrics, mean_entropy) in collected {
-            agg.add(&metrics);
-            entropy_sum += mean_entropy;
-            self.replay.push(episode);
-        }
-        let metrics = agg.mean().expect("episodes_per_epoch > 0");
-        // Sweep everything this epoch collected (or the configured batch,
-        // whichever is larger) — a parallel epoch must train on the
-        // episodes it just paid to roll out, not only the newest one.
-        let critic_loss = self.update_over(episodes_per_epoch.max(self.config.batch_episodes))?;
-        self.epoch += 1;
-        if self.epoch.is_multiple_of(self.config.target_update_period) {
-            self.target.set_params(&self.critic.params())?;
-        }
-        let record = EpochRecord {
-            epoch: self.epoch - 1,
-            metrics,
-            critic_loss,
-            mean_entropy: entropy_sum / episodes_per_epoch as f64,
-        };
-        self.history.records.push(record);
-        Ok(record)
+        self.absorb_collected_epoch(collected)
     }
 
     /// Trains for `epochs` parallel epochs (see
@@ -537,6 +560,106 @@ impl<E: WorkerEnv> CtdeTrainer<E> {
     ) -> Result<EpisodeMetrics, CoreError> {
         let mut agg = MetricsMean::new();
         for (_, m, _) in self.rollout_parallel(episodes, workers, true)? {
+            agg.add(&m);
+        }
+        agg.mean()
+            .ok_or_else(|| CoreError::InvalidConfig("evaluate needs at least one episode".into()))
+    }
+}
+
+/// The vectorized collection surface: all in-flight episodes advance in
+/// lockstep over a [`ReplicatedVecEnv`] and every tick's `lanes × agents`
+/// policy evaluations reach the batched circuit executor as one flat
+/// forward batch (see `qmarl_runtime::vec_rollout`).
+///
+/// Episode seeding is identical to the per-episode parallel surface, so
+/// [`CtdeTrainer::rollout_vec`] returns **bit-identical** episodes to
+/// [`CtdeTrainer::rollout_parallel`] from the same trainer state — the
+/// two engines are interchangeable mid-run.
+impl<E: SeedableEnv + Clone + Send + Sync> CtdeTrainer<E> {
+    /// Rolls out `n_episodes` under the frozen current policies on a
+    /// `lanes`-wide vector environment (waves of `lanes` episodes in
+    /// lockstep). Returns `(episode, metrics, mean policy entropy)` per
+    /// episode in episode order, exactly like
+    /// [`CtdeTrainer::rollout_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and policy errors, and rejects `lanes == 0`.
+    pub fn rollout_vec(
+        &mut self,
+        n_episodes: usize,
+        lanes: usize,
+        deterministic: bool,
+    ) -> Result<Vec<(Episode, EpisodeMetrics, f64)>, CoreError> {
+        let base_seed = derive_seed(self.config.seed, 0xC0_11EC7, self.parallel_rounds);
+        self.parallel_rounds += 1;
+        let lanes = lanes.min(n_episodes.max(1));
+        let mut venv = ReplicatedVecEnv::new(&self.env, lanes)?;
+        let mut policy = ActorsVecPolicy::new(&self.actors, self.env.obs_dim(), deterministic);
+        let traces = collect_episodes_vec(
+            &mut venv,
+            &mut policy,
+            n_episodes,
+            &RolloutConfig {
+                workers: 0,
+                base_seed,
+            },
+        )
+        .map_err(CoreError::from)?;
+        Ok(traces.into_iter().map(trace_into_episode).collect())
+    }
+
+    /// One vectorized epoch: collect `episodes_per_epoch` episodes in
+    /// lockstep waves of `lanes`, then run the shared update sweep — the
+    /// vectorized twin of [`CtdeTrainer::run_epoch_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and model errors.
+    pub fn run_epoch_vec(
+        &mut self,
+        episodes_per_epoch: usize,
+        lanes: usize,
+    ) -> Result<EpochRecord, CoreError> {
+        self.check_epoch_size(episodes_per_epoch)?;
+        let collected = self.rollout_vec(episodes_per_epoch, lanes, false)?;
+        self.absorb_collected_epoch(collected)
+    }
+
+    /// Trains for `epochs` vectorized epochs (see
+    /// [`CtdeTrainer::run_epoch_vec`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first epoch error.
+    pub fn train_vec(
+        &mut self,
+        epochs: usize,
+        episodes_per_epoch: usize,
+        lanes: usize,
+    ) -> Result<&TrainingHistory, CoreError> {
+        for _ in 0..epochs {
+            self.run_epoch_vec(episodes_per_epoch, lanes)?;
+        }
+        Ok(&self.history)
+    }
+
+    /// Vectorized deterministic evaluation: like
+    /// [`CtdeTrainer::evaluate_parallel`] but collected in lockstep
+    /// waves. Does not mutate policies or the replay buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and policy errors, and rejects
+    /// `episodes == 0`.
+    pub fn evaluate_vec(
+        &mut self,
+        episodes: usize,
+        lanes: usize,
+    ) -> Result<EpisodeMetrics, CoreError> {
+        let mut agg = MetricsMean::new();
+        for (_, m, _) in self.rollout_vec(episodes, lanes, true)? {
             agg.add(&m);
         }
         agg.mean()
@@ -779,6 +902,93 @@ mod tests {
         assert!(m.total_reward <= 0.0);
         assert!(m.avg_queue >= 0.0);
         assert!(t.evaluate_parallel(0, 2).is_err());
+    }
+
+    #[test]
+    fn rollout_vec_is_bit_identical_to_rollout_parallel() {
+        // Same trainer seed, same round counter → the vectorized engine
+        // must reproduce the per-episode engine exactly, for any lane
+        // count, including partial final waves.
+        let reference = {
+            let mut t = quantum_setup(21);
+            t.rollout_parallel(5, 1, false).unwrap()
+        };
+        for lanes in [1usize, 2, 5, 8] {
+            let mut t = quantum_setup(21);
+            let got = t.rollout_vec(5, lanes, false).unwrap();
+            assert_eq!(got, reference, "lanes={lanes}");
+        }
+        // Deterministic (argmax) collection matches too.
+        let mut a = quantum_setup(22);
+        let mut b = quantum_setup(22);
+        assert_eq!(
+            a.rollout_vec(3, 2, true).unwrap(),
+            b.rollout_parallel(3, 4, true).unwrap()
+        );
+    }
+
+    #[test]
+    fn rollout_vec_works_with_classical_actors() {
+        // The per-agent fallback route drives the same collector.
+        let env = small_env(23);
+        let actors: Vec<Box<dyn Actor>> = (0..4)
+            .map(|n| Box::new(ClassicalActor::new(&[4, 5, 4], 23 + n).unwrap()) as Box<dyn Actor>)
+            .collect();
+        let critic = Box::new(ClassicalCritic::new(&[16, 2, 1], 23).unwrap());
+        let mut t = CtdeTrainer::new(env, actors, critic, small_train_config()).unwrap();
+        let reference = {
+            let env = small_env(23);
+            let actors: Vec<Box<dyn Actor>> = (0..4)
+                .map(|n| {
+                    Box::new(ClassicalActor::new(&[4, 5, 4], 23 + n).unwrap()) as Box<dyn Actor>
+                })
+                .collect();
+            let critic = Box::new(ClassicalCritic::new(&[16, 2, 1], 23).unwrap());
+            let mut t = CtdeTrainer::new(env, actors, critic, small_train_config()).unwrap();
+            t.rollout_parallel(3, 1, false).unwrap()
+        };
+        assert_eq!(t.rollout_vec(3, 3, false).unwrap(), reference);
+    }
+
+    #[test]
+    fn vec_epoch_trains_and_records() {
+        let mut t = quantum_setup(24);
+        let before: Vec<f64> = t.critic().params();
+        let rec = t.run_epoch_vec(3, 2).unwrap();
+        assert_eq!(rec.epoch, 0);
+        assert!(rec.critic_loss > 0.0);
+        assert!(rec.mean_entropy > 0.0);
+        assert!(t
+            .critic()
+            .params()
+            .iter()
+            .zip(&before)
+            .any(|(x, y)| (x - y).abs() > 1e-12));
+        assert_eq!(t.history().len(), 1);
+        assert!(t.run_epoch_vec(0, 1).is_err());
+    }
+
+    #[test]
+    fn vec_and_parallel_training_histories_match() {
+        // Whole-epoch equivalence: same seeds, same updates, same curves.
+        let mut a = quantum_setup(25);
+        let mut b = quantum_setup(25);
+        a.train_parallel(2, 3, 2).unwrap();
+        b.train_vec(2, 3, 2).unwrap();
+        assert_eq!(a.history(), b.history());
+        assert_eq!(a.critic().params(), b.critic().params());
+        for (x, y) in a.actors().iter().zip(b.actors()) {
+            assert_eq!(x.params(), y.params());
+        }
+    }
+
+    #[test]
+    fn evaluate_vec_matches_shape_of_serial_evaluate() {
+        let mut t = quantum_setup(26);
+        let m = t.evaluate_vec(3, 2).unwrap();
+        assert!(m.total_reward <= 0.0);
+        assert!(m.avg_queue >= 0.0);
+        assert!(t.evaluate_vec(0, 2).is_err());
     }
 
     #[test]

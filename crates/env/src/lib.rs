@@ -1,12 +1,25 @@
-//! # qmarl-env — the single-hop offloading environment
+//! # qmarl-env — offloading environments, vectorized stepping, scenarios
 //!
 //! The evaluation substrate of the
-//! [QMARL reproduction](https://arxiv.org/abs/2203.10443): `N` edge agents
-//! offload packets into `K` cloud queues (Sec. IV-A, Table I), with the
-//! underflow/overflow penalty of eq. (1) and the Table II constants as
-//! defaults. Also provides the arrival processes, metric accumulation for
-//! every Fig. 3 panel, the random-walk baseline and the achievability
-//! normalisation of Sec. IV-D.
+//! [QMARL reproduction](https://arxiv.org/abs/2203.10443), grown from the
+//! paper's single scenario into a scenario *catalog*:
+//!
+//! * [`single_hop`] — the paper's environment (Sec. IV-A, Table I): `N`
+//!   edge agents offload packets into `K` cloud queues with the
+//!   underflow/overflow penalty of eq. (1) and Table II defaults.
+//! * [`multi_hop`] — a two-tier extension: edges feed heterogeneous-rate
+//!   aggregators that forward into the clouds.
+//! * [`scenario`] — the registry: every environment variant constructible
+//!   by a stable string name behind one boxed [`scenario::ScenarioEnv`]
+//!   interface.
+//! * [`vector`] — [`vector::VectorEnv`]: a batch of homogeneous episodes
+//!   stepped in lockstep with struct-of-arrays buffers, the interface
+//!   batched circuit executors feed from; plus the
+//!   [`vector::ReplicatedVecEnv`] adapter that lifts any serial
+//!   environment into it with bit-exact per-lane trajectories.
+//! * [`traffic`], [`queue`], [`metrics`], [`random_walk`] — arrival
+//!   processes, the clip-queue primitive, Fig. 3 metric accumulation and
+//!   the achievability normalisation of Sec. IV-D.
 //!
 //! ```
 //! use qmarl_env::prelude::*;
@@ -17,6 +30,11 @@
 //! assert_eq!(state.len(), 16);     // state = concatenated observations
 //! let out = env.step(&[0, 1, 2, 3])?;
 //! assert!(out.reward <= 0.0);      // eq. (1) is a pure penalty
+//!
+//! // The same scenario as four lockstep lanes behind the vector interface.
+//! let mut venv = ReplicatedVecEnv::new(&env, 4)?;
+//! let reset = venv.reset_lanes(&[0, 1, 2, 3])?;
+//! assert_eq!(reset.observations.len(), 4 * 4 * 4); // lanes × agents × obs
 //! # Ok::<(), qmarl_env::error::EnvError>(())
 //! ```
 
@@ -27,10 +45,13 @@ pub mod action;
 pub mod error;
 pub mod metrics;
 pub mod multi_agent;
+pub mod multi_hop;
 pub mod queue;
 pub mod random_walk;
+pub mod scenario;
 pub mod single_hop;
 pub mod traffic;
+pub mod vector;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -38,8 +59,14 @@ pub mod prelude {
     pub use crate::error::EnvError;
     pub use crate::metrics::{EpisodeMetrics, MetricsAccumulator, MetricsMean};
     pub use crate::multi_agent::{rollout_episode, MultiAgentEnv, StepInfo, StepOutcome};
+    pub use crate::multi_hop::{MultiHopConfig, MultiHopEnv};
     pub use crate::queue::{clip, Queue, QueueTransition};
     pub use crate::random_walk::{achievability, random_walk_baseline};
+    pub use crate::scenario::{
+        build_scenario, build_scenario_with, find_scenario, scenarios, ScenarioEnv, ScenarioParams,
+        ScenarioSpec,
+    };
     pub use crate::single_hop::{EnvConfig, InitQueue, SingleHopEnv};
     pub use crate::traffic::{ArrivalProcess, ArrivalSampler};
+    pub use crate::vector::{ReplicatedVecEnv, SeedableEnv, VecReset, VecStepOutcome, VectorEnv};
 }

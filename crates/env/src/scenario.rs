@@ -1,0 +1,352 @@
+//! The scenario registry: every evaluation environment, constructible by
+//! name.
+//!
+//! The paper evaluates one fixed scenario (Table II). Related work makes
+//! the case for sweeping the scenario axis — agent counts (Kölle et al.,
+//! arXiv:2311.05546) and environment families (Kruse et al.,
+//! arXiv:2312.13798) both change VQC design conclusions — so this module
+//! gives every environment variant a stable string name and a uniform
+//! boxed constructor. Trainers, benches and sweep binaries program
+//! against [`ScenarioEnv`] and never need to know which concrete
+//! environment a name resolves to:
+//!
+//! ```
+//! use qmarl_env::prelude::*;
+//!
+//! for spec in scenarios() {
+//!     let mut env = spec.build(42)?;
+//!     let (obs, _state) = env.reset();
+//!     assert_eq!(obs.len(), env.n_agents());
+//! }
+//! let env = build_scenario("two-tier", 7)?;
+//! assert_eq!(env.n_agents(), 4);
+//! # Ok::<(), qmarl_env::error::EnvError>(())
+//! ```
+
+use crate::error::EnvError;
+use crate::multi_agent::{MultiAgentEnv, StepOutcome};
+use crate::multi_hop::{MultiHopConfig, MultiHopEnv};
+use crate::single_hop::{EnvConfig, SingleHopEnv};
+use crate::traffic::ArrivalProcess;
+use crate::vector::SeedableEnv;
+
+/// An environment usable through the registry: steppable, reseedable and
+/// deep-cloneable behind a trait object, so one `Box<dyn ScenarioEnv>`
+/// drops into every serial, parallel and vectorized engine.
+pub trait ScenarioEnv: MultiAgentEnv + Send + Sync + std::fmt::Debug {
+    /// Makes this instance's future stream fully determined by `seed`
+    /// (also resets the episode).
+    fn reseed_env(&mut self, seed: u64);
+    /// A boxed deep copy (how rollout lanes get private environments).
+    fn clone_boxed(&self) -> Box<dyn ScenarioEnv>;
+}
+
+impl<E> ScenarioEnv for E
+where
+    E: MultiAgentEnv + SeedableEnv + Clone + Send + Sync + std::fmt::Debug + 'static,
+{
+    fn reseed_env(&mut self, seed: u64) {
+        self.reseed(seed);
+    }
+
+    fn clone_boxed(&self) -> Box<dyn ScenarioEnv> {
+        Box::new(self.clone())
+    }
+}
+
+impl MultiAgentEnv for Box<dyn ScenarioEnv> {
+    fn n_agents(&self) -> usize {
+        (**self).n_agents()
+    }
+    fn obs_dim(&self) -> usize {
+        (**self).obs_dim()
+    }
+    fn state_dim(&self) -> usize {
+        (**self).state_dim()
+    }
+    fn n_actions(&self) -> usize {
+        (**self).n_actions()
+    }
+    fn episode_limit(&self) -> usize {
+        (**self).episode_limit()
+    }
+    fn reset(&mut self) -> (Vec<Vec<f64>>, Vec<f64>) {
+        (**self).reset()
+    }
+    fn step(&mut self, actions: &[usize]) -> Result<StepOutcome, EnvError> {
+        (**self).step(actions)
+    }
+}
+
+impl SeedableEnv for Box<dyn ScenarioEnv> {
+    fn reseed(&mut self, seed: u64) {
+        (**self).reseed_env(seed);
+    }
+}
+
+impl Clone for Box<dyn ScenarioEnv> {
+    fn clone(&self) -> Self {
+        (**self).clone_boxed()
+    }
+}
+
+/// Construction knobs shared by every scenario builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScenarioParams {
+    /// Deterministic environment seed.
+    pub seed: u64,
+    /// Overrides the scenario's episode length (tests and benches trim
+    /// the paper's `T = 300`).
+    pub episode_limit: Option<usize>,
+}
+
+impl ScenarioParams {
+    /// Params with the given seed and the scenario's native horizon.
+    pub fn seeded(seed: u64) -> Self {
+        ScenarioParams {
+            seed,
+            episode_limit: None,
+        }
+    }
+
+    /// Overrides the episode length.
+    pub fn with_episode_limit(mut self, limit: usize) -> Self {
+        self.episode_limit = Some(limit);
+        self
+    }
+}
+
+/// One registered scenario: a stable name, its provenance, and a boxed
+/// builder.
+pub struct ScenarioSpec {
+    name: &'static str,
+    summary: &'static str,
+    provenance: &'static str,
+    build: fn(&ScenarioParams) -> Result<Box<dyn ScenarioEnv>, EnvError>,
+}
+
+impl ScenarioSpec {
+    /// The registry key (also the CLI/config spelling).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// Where the scenario comes from (paper section or extension source).
+    pub fn provenance(&self) -> &'static str {
+        self.provenance
+    }
+
+    /// Builds the environment with a seed and the native horizon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn build(&self, seed: u64) -> Result<Box<dyn ScenarioEnv>, EnvError> {
+        (self.build)(&ScenarioParams::seeded(seed))
+    }
+
+    /// Builds the environment with explicit [`ScenarioParams`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn build_with(&self, params: &ScenarioParams) -> Result<Box<dyn ScenarioEnv>, EnvError> {
+        (self.build)(params)
+    }
+}
+
+impl std::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSpec")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .field("provenance", &self.provenance)
+            .finish()
+    }
+}
+
+fn build_single_hop(params: &ScenarioParams) -> Result<Box<dyn ScenarioEnv>, EnvError> {
+    let mut cfg = EnvConfig::paper_default();
+    if let Some(t) = params.episode_limit {
+        cfg.episode_limit = t;
+    }
+    Ok(Box::new(SingleHopEnv::new(cfg, params.seed)?))
+}
+
+fn build_single_hop_bursty(params: &ScenarioParams) -> Result<Box<dyn ScenarioEnv>, EnvError> {
+    let mut cfg = EnvConfig::paper_default();
+    // ON/OFF (two-state MMPP) arrivals with the same long-run mean as the
+    // paper's uniform law: stationary P(ON) = 1/2, volume 0.3 → 0.15 per
+    // edge per slot, but delivered in long bursts (mean sojourn 20 slots).
+    cfg.arrival = ArrivalProcess::OnOff {
+        p_on: 0.05,
+        p_off: 0.05,
+        volume: 0.3,
+    };
+    if let Some(t) = params.episode_limit {
+        cfg.episode_limit = t;
+    }
+    Ok(Box::new(SingleHopEnv::new(cfg, params.seed)?))
+}
+
+fn build_single_hop_wide(params: &ScenarioParams) -> Result<Box<dyn ScenarioEnv>, EnvError> {
+    let mut cfg = EnvConfig::paper_default();
+    // Double both tiers (N = 8 edges, K = 4 clouds): mean inflow
+    // 8 · 0.15 = 1.2 still equals total service 4 · 0.3, so the balance
+    // property of Table II is preserved at twice the scale.
+    cfg.n_edges = 8;
+    cfg.n_clouds = 4;
+    if let Some(t) = params.episode_limit {
+        cfg.episode_limit = t;
+    }
+    Ok(Box::new(SingleHopEnv::new(cfg, params.seed)?))
+}
+
+fn build_two_tier(params: &ScenarioParams) -> Result<Box<dyn ScenarioEnv>, EnvError> {
+    let mut cfg = MultiHopConfig::two_tier_default();
+    if let Some(t) = params.episode_limit {
+        cfg.episode_limit = t;
+    }
+    Ok(Box::new(MultiHopEnv::new(cfg, params.seed)?))
+}
+
+/// The registry table (stable, alphabetical-ish: the paper scenario
+/// first, extensions after).
+static SCENARIOS: [ScenarioSpec; 4] = [
+    ScenarioSpec {
+        name: "single-hop",
+        summary: "N=4 edges offload into K=2 clouds, uniform arrivals (the paper's scenario)",
+        provenance: "Sec. IV-A / Tables I-II of the reproduced paper",
+        build: build_single_hop,
+    },
+    ScenarioSpec {
+        name: "single-hop-bursty",
+        summary: "paper scenario under two-state ON/OFF (bursty) arrivals, same long-run load",
+        provenance: "traffic extension; env sensitivity per Kruse et al. (arXiv:2312.13798)",
+        build: build_single_hop_bursty,
+    },
+    ScenarioSpec {
+        name: "single-hop-wide",
+        summary: "N=8 edges / K=4 clouds — the paper scenario at twice the scale",
+        provenance: "agent-count scaling axis per Koelle et al. (arXiv:2311.05546)",
+        build: build_single_hop_wide,
+    },
+    ScenarioSpec {
+        name: "two-tier",
+        summary: "multi-hop: edges feed M=2 heterogeneous-rate aggregators wired to K=2 clouds",
+        provenance: "multi-hop extension of Sec. IV-A (heterogeneous mid-tier service)",
+        build: build_two_tier,
+    },
+];
+
+/// Every registered scenario.
+pub fn scenarios() -> &'static [ScenarioSpec] {
+    &SCENARIOS
+}
+
+/// Looks a scenario up by name.
+pub fn find_scenario(name: &str) -> Option<&'static ScenarioSpec> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// Builds a scenario by name with the native horizon.
+///
+/// # Errors
+///
+/// Returns [`EnvError::InvalidConfig`] for an unknown name, else
+/// propagates the builder's error.
+pub fn build_scenario(name: &str, seed: u64) -> Result<Box<dyn ScenarioEnv>, EnvError> {
+    build_scenario_with(name, &ScenarioParams::seeded(seed))
+}
+
+/// Builds a scenario by name with explicit [`ScenarioParams`].
+///
+/// # Errors
+///
+/// Returns [`EnvError::InvalidConfig`] for an unknown name, else
+/// propagates the builder's error.
+pub fn build_scenario_with(
+    name: &str,
+    params: &ScenarioParams,
+) -> Result<Box<dyn ScenarioEnv>, EnvError> {
+    let spec = find_scenario(name).ok_or_else(|| {
+        EnvError::InvalidConfig(format!(
+            "unknown scenario {name:?}; registered: {}",
+            SCENARIOS
+                .iter()
+                .map(ScenarioSpec::name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })?;
+    spec.build_with(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_agent::rollout_episode;
+
+    #[test]
+    fn registry_has_paper_scenario_plus_extensions() {
+        assert!(scenarios().len() >= 3);
+        assert!(find_scenario("single-hop").is_some());
+        let names: Vec<_> = scenarios().iter().map(ScenarioSpec::name).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "names must be unique");
+    }
+
+    #[test]
+    fn every_scenario_builds_and_rolls_out() {
+        for spec in scenarios() {
+            let params = ScenarioParams::seeded(3).with_episode_limit(7);
+            let mut env = spec
+                .build_with(&params)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+            assert_eq!(env.episode_limit(), 7, "{}", spec.name());
+            assert!(env.n_agents() > 0 && env.n_actions() > 0);
+            let m = rollout_episode(&mut env, |obs| vec![0; obs.len()]).unwrap();
+            assert_eq!(m.len, 7);
+            assert!(m.total_reward <= 0.0);
+            assert!(!spec.summary().is_empty() && !spec.provenance().is_empty());
+        }
+    }
+
+    #[test]
+    fn boxed_envs_clone_and_reseed_deterministically() {
+        let mut a = build_scenario("single-hop-bursty", 9).unwrap();
+        let mut b = a.clone();
+        a.reseed(5);
+        b.reseed(5);
+        a.reset();
+        b.reset();
+        let oa = a.step(&[0, 1, 2, 3]).unwrap();
+        let ob = b.step(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_typed_error() {
+        let err = build_scenario("no-such-scenario", 0).unwrap_err();
+        assert!(matches!(err, EnvError::InvalidConfig(_)));
+        assert!(err.to_string().contains("single-hop"));
+    }
+
+    #[test]
+    fn two_tier_differs_from_single_hop_shapes() {
+        let single = build_scenario("single-hop", 0).unwrap();
+        let two = build_scenario("two-tier", 0).unwrap();
+        assert_eq!(single.obs_dim(), 4);
+        assert_eq!(two.obs_dim(), 6);
+        let wide = build_scenario("single-hop-wide", 0).unwrap();
+        assert_eq!(wide.n_agents(), 8);
+        assert_eq!(wide.n_actions(), 8);
+    }
+}

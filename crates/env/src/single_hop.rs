@@ -132,6 +132,7 @@ impl EnvConfig {
             _ => {}
         }
         ActionSpace::new(self.n_clouds, self.packet_amounts.clone())?;
+        self.arrival.validate()?;
         Ok(())
     }
 
@@ -198,12 +199,16 @@ impl SingleHopEnv {
         &self.config
     }
 
-    /// Re-seeds the internal RNG and resets the episode, making this
-    /// instance's future stream fully determined by `seed`. This is the
-    /// hook parallel rollout workers use to give each episode its own
-    /// derived, reproducible randomness independent of worker scheduling.
+    /// Re-seeds the internal RNG, clears hidden arrival-sampler state and
+    /// resets the episode, making this instance's future stream fully
+    /// determined by `seed`. This is the hook rollout engines (parallel
+    /// workers and vectorized lanes alike) use to give each episode its
+    /// own derived, reproducible randomness independent of scheduling.
     pub fn reseed(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed);
+        for sampler in &mut self.arrivals {
+            sampler.reset();
+        }
         self.reset_internal();
     }
 
@@ -387,6 +392,12 @@ impl MultiAgentEnv for SingleHopEnv {
     }
 }
 
+impl crate::vector::SeedableEnv for SingleHopEnv {
+    fn reseed(&mut self, seed: u64) {
+        SingleHopEnv::reseed(self, seed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +565,36 @@ mod tests {
     }
 
     #[test]
+    fn reseed_clears_hidden_arrival_state() {
+        // Regression: ON/OFF samplers carry a hidden state bit; reseeding
+        // a driven environment must reproduce a freshly seeded one, or
+        // lane reuse across rollout waves would diverge from serial
+        // collection.
+        let mut cfg = EnvConfig::paper_default();
+        cfg.arrival = ArrivalProcess::OnOff {
+            p_on: 0.9,
+            p_off: 0.05,
+            volume: 0.3,
+        };
+        cfg.episode_limit = 30;
+        let mut driven = SingleHopEnv::new(cfg.clone(), 0).unwrap();
+        driven.reset();
+        for _ in 0..30 {
+            driven.step(&[0, 1, 2, 3]).unwrap(); // flip samplers ON
+        }
+        driven.reseed(123);
+        driven.reset();
+        let mut fresh = SingleHopEnv::new(cfg, 99).unwrap();
+        fresh.reseed(123);
+        fresh.reset();
+        for _ in 0..10 {
+            let a = driven.step(&[0, 1, 2, 3]).unwrap();
+            let b = fresh.step(&[0, 1, 2, 3]).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn load_is_balanced_by_design() {
         // Table II constants make mean edge inflow equal total cloud service:
         // N · E[U(0, 0.3)] = 4 · 0.15 = 0.6 = K · 0.3.
@@ -577,6 +618,19 @@ mod tests {
         assert!(cfg.validate().is_err());
         let mut cfg = EnvConfig::paper_default();
         cfg.episode_limit = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EnvConfig::paper_default();
+        cfg.n_clouds = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EnvConfig::paper_default();
+        cfg.packet_amounts = vec![];
+        assert!(cfg.validate().is_err());
+        let mut cfg = EnvConfig::paper_default();
+        cfg.arrival = ArrivalProcess::OnOff {
+            p_on: 2.0,
+            p_off: 0.1,
+            volume: 0.3,
+        };
         assert!(cfg.validate().is_err());
         assert!(EnvConfig::paper_default().validate().is_ok());
     }

@@ -39,6 +39,47 @@ impl ArrivalProcess {
         ArrivalProcess::Uniform { max: w_p * q_max }
     }
 
+    /// Validates the process parameters (finite, non-negative volumes and
+    /// rates; switching probabilities in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::InvalidConfig`](crate::error::EnvError::InvalidConfig)
+    /// describing the first problem.
+    pub fn validate(&self) -> Result<(), crate::error::EnvError> {
+        use crate::error::EnvError;
+        let finite_nonneg = |v: f64, what: &str| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(EnvError::InvalidConfig(format!(
+                    "{what} must be finite and non-negative, got {v}"
+                )))
+            }
+        };
+        match *self {
+            ArrivalProcess::Uniform { max } => finite_nonneg(max, "uniform arrival bound"),
+            ArrivalProcess::PoissonBatch { rate, packet_size } => {
+                finite_nonneg(rate, "poisson rate")?;
+                finite_nonneg(packet_size, "poisson packet size")
+            }
+            ArrivalProcess::OnOff {
+                p_on,
+                p_off,
+                volume,
+            } => {
+                for (p, what) in [(p_on, "p_on"), (p_off, "p_off")] {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(EnvError::InvalidConfig(format!(
+                            "{what} must be a probability in [0, 1], got {p}"
+                        )));
+                    }
+                }
+                finite_nonneg(volume, "on/off volume")
+            }
+        }
+    }
+
     /// Long-run mean arrival volume per slot.
     pub fn mean(&self) -> f64 {
         match *self {
@@ -77,6 +118,14 @@ impl ArrivalSampler {
     /// The underlying process.
     pub fn process(&self) -> ArrivalProcess {
         self.process
+    }
+
+    /// Returns the sampler to its initial (OFF) hidden state. Part of the
+    /// environment reseeding contract: after `reseed(seed)` the future
+    /// arrival stream must depend on `seed` alone, so any hidden sampler
+    /// state has to be cleared too.
+    pub fn reset(&mut self) {
+        self.on = false;
     }
 
     /// Draws one slot's arrival volume.
@@ -225,6 +274,55 @@ mod tests {
             .mean(),
             0.0
         );
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ArrivalProcess::Uniform { max: 0.3 }.validate().is_ok());
+        assert!(ArrivalProcess::Uniform { max: -0.1 }.validate().is_err());
+        assert!(ArrivalProcess::Uniform { max: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::PoissonBatch {
+            rate: -1.0,
+            packet_size: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::PoissonBatch {
+            rate: 1.0,
+            packet_size: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::OnOff {
+            p_on: 1.5,
+            p_off: 0.5,
+            volume: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::OnOff {
+            p_on: 0.5,
+            p_off: -0.1,
+            volume: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::OnOff {
+            p_on: 0.5,
+            p_off: 0.5,
+            volume: -0.3
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::OnOff {
+            p_on: 0.5,
+            p_off: 0.5,
+            volume: 0.3
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

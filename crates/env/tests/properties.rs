@@ -88,6 +88,64 @@ proptest! {
         if t.overflow > 0.0 { prop_assert!(t.is_full); }
     }
 
+    /// Every registered scenario obeys the core environment invariants:
+    /// non-positive rewards, normalised queue levels and observations,
+    /// state = concatenated observations.
+    #[test]
+    fn scenario_invariants_hold(seed in 0u64..100, t in 1usize..20) {
+        for spec in scenarios() {
+            let params = ScenarioParams::seeded(seed).with_episode_limit(t);
+            let mut env = spec.build_with(&params).unwrap();
+            let (obs, state) = env.reset();
+            prop_assert_eq!(obs.concat(), state);
+            let n = env.n_agents();
+            let acts = env.n_actions();
+            for step in 0..t {
+                let joint: Vec<usize> = (0..n).map(|a| (seed as usize + step + a) % acts).collect();
+                let out = env.step(&joint).unwrap();
+                prop_assert!(out.reward <= 0.0, "{}", spec.name());
+                for level in &out.info.queue_levels {
+                    prop_assert!((0.0..=1.0).contains(level));
+                }
+                for o in &out.observations {
+                    prop_assert_eq!(o.len(), env.obs_dim());
+                    prop_assert!(o.iter().all(|v| (0.0..=1.0).contains(v)));
+                }
+                prop_assert_eq!(&out.state, &out.observations.concat());
+                prop_assert_eq!(out.done, step + 1 == t);
+            }
+        }
+    }
+
+    /// The vector adapter's lanes reproduce serial stepping exactly for
+    /// arbitrary seeds and action sequences.
+    #[test]
+    fn vector_adapter_matches_serial_stepping(
+        seed in 0u64..200,
+        actions in arb_actions(4, 4, 12),
+    ) {
+        let mut cfg = EnvConfig::paper_default();
+        cfg.episode_limit = actions.len();
+        let template = SingleHopEnv::new(cfg.clone(), 0).unwrap();
+
+        let mut serial = SingleHopEnv::new(cfg, 1).unwrap();
+        SeedableEnv::reseed(&mut serial, seed);
+        serial.reset();
+
+        let mut venv = ReplicatedVecEnv::new(&template, 2).unwrap();
+        venv.reset_lanes(&[seed, seed ^ 0xABCD]).unwrap();
+        for joint in &actions {
+            let reference = serial.step(joint).unwrap();
+            let mut flat = joint.clone();
+            flat.extend(joint);
+            let out = venv.step_lanes(&flat).unwrap();
+            prop_assert_eq!(out.rewards[0], reference.reward);
+            prop_assert_eq!(&out.states[..16], &reference.state[..]);
+            prop_assert_eq!(&out.infos[0], &reference.info);
+            prop_assert_eq!(out.dones[0], reference.done);
+        }
+    }
+
     /// Arrival samplers always produce finite, non-negative volumes, with
     /// empirical means near the analytic ones.
     #[test]

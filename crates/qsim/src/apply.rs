@@ -117,6 +117,15 @@ pub fn apply_toffoli(amps: &mut [Complex64], control1: usize, control2: usize, t
 /// product — the batched runtime's hot path for encoder layers.
 pub fn apply_rx(amps: &mut [Complex64], q: usize, theta: f64) {
     let (s, c) = (theta / 2.0).sin_cos();
+    apply_rx_sc(amps, q, s, c);
+}
+
+/// [`apply_rx`] with the half-angle sine/cosine precomputed — the
+/// prebound-schedule hot path, where a parameter rotation's trig is
+/// evaluated once per parameter set instead of once per circuit run.
+/// `(s, c)` must be `(sin(θ/2), cos(θ/2))` (the `sin_cos()` order).
+#[inline]
+pub fn apply_rx_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
     let stride = 1usize << q;
     let mut base = 0;
     while base < amps.len() {
@@ -136,6 +145,13 @@ pub fn apply_rx(amps: &mut [Complex64], q: usize, theta: f64) {
 /// each amplitude pair needs 8 real multiplies instead of the generic 16.
 pub fn apply_ry(amps: &mut [Complex64], q: usize, theta: f64) {
     let (s, c) = (theta / 2.0).sin_cos();
+    apply_ry_sc(amps, q, s, c);
+}
+
+/// [`apply_ry`] with the half-angle sine/cosine precomputed (see
+/// [`apply_rx_sc`]).
+#[inline]
+pub fn apply_ry_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
     let stride = 1usize << q;
     let mut base = 0;
     while base < amps.len() {
@@ -154,6 +170,13 @@ pub fn apply_ry(amps: &mut [Complex64], q: usize, theta: f64) {
 /// diagonal — one complex multiply per amplitude, no pairing.
 pub fn apply_rz(amps: &mut [Complex64], q: usize, theta: f64) {
     let (s, c) = (theta / 2.0).sin_cos();
+    apply_rz_sc(amps, q, s, c);
+}
+
+/// [`apply_rz`] with the half-angle sine/cosine precomputed (see
+/// [`apply_rx_sc`]).
+#[inline]
+pub fn apply_rz_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
     let mask = 1usize << q;
     for (i, a) in amps.iter_mut().enumerate() {
         let (pr, pi) = if i & mask == 0 { (c, -s) } else { (c, s) };
@@ -165,6 +188,13 @@ pub fn apply_rz(amps: &mut [Complex64], q: usize, theta: f64) {
 /// where the `control` bit is set.
 pub fn apply_crx(amps: &mut [Complex64], control: usize, target: usize, theta: f64) {
     let (s, c) = (theta / 2.0).sin_cos();
+    apply_crx_sc(amps, control, target, s, c);
+}
+
+/// [`apply_crx`] with the half-angle sine/cosine precomputed (see
+/// [`apply_rx_sc`]).
+#[inline]
+pub fn apply_crx_sc(amps: &mut [Complex64], control: usize, target: usize, s: f64, c: f64) {
     let mc = 1usize << control;
     let mt = 1usize << target;
     for i0 in 0..amps.len() {
@@ -182,6 +212,13 @@ pub fn apply_crx(amps: &mut [Complex64], control: usize, target: usize, theta: f
 /// Controlled variant of [`apply_ry`].
 pub fn apply_cry(amps: &mut [Complex64], control: usize, target: usize, theta: f64) {
     let (s, c) = (theta / 2.0).sin_cos();
+    apply_cry_sc(amps, control, target, s, c);
+}
+
+/// [`apply_cry`] with the half-angle sine/cosine precomputed (see
+/// [`apply_rx_sc`]).
+#[inline]
+pub fn apply_cry_sc(amps: &mut [Complex64], control: usize, target: usize, s: f64, c: f64) {
     let mc = 1usize << control;
     let mt = 1usize << target;
     for i0 in 0..amps.len() {
@@ -200,6 +237,13 @@ pub fn apply_cry(amps: &mut [Complex64], control: usize, target: usize, theta: f
 /// control-set amplitudes).
 pub fn apply_crz(amps: &mut [Complex64], control: usize, target: usize, theta: f64) {
     let (s, c) = (theta / 2.0).sin_cos();
+    apply_crz_sc(amps, control, target, s, c);
+}
+
+/// [`apply_crz`] with the half-angle sine/cosine precomputed (see
+/// [`apply_rx_sc`]).
+#[inline]
+pub fn apply_crz_sc(amps: &mut [Complex64], control: usize, target: usize, s: f64, c: f64) {
     let mc = 1usize << control;
     let mt = 1usize << target;
     for (i, a) in amps.iter_mut().enumerate() {
@@ -392,6 +436,52 @@ mod tests {
                 for (a, b) in amps.iter().zip(&reference) {
                     assert!((*a - *b).abs() < 1e-14, "crz {ctl}->{tgt}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_trig_kernels_are_bit_identical() {
+        // The `_sc` variants must be *bit*-identical to the θ variants
+        // (the prebound runtime path relies on it), not merely close.
+        for theta in [0.0f64, 0.37, -1.2, 2.9] {
+            let (s, c) = (theta / 2.0).sin_cos();
+            let prepared = || {
+                let mut amps = zero_state(3);
+                for w in 0..3 {
+                    apply_gate1(&mut amps, w, &Gate1::u3(0.5 + w as f64, 0.3, -0.8));
+                }
+                amps
+            };
+            type ThetaKernel = fn(&mut [Complex64], usize, f64);
+            type ScKernel = fn(&mut [Complex64], usize, f64, f64);
+            let singles: [(ThetaKernel, ScKernel); 3] = [
+                (apply_rx, apply_rx_sc),
+                (apply_ry, apply_ry_sc),
+                (apply_rz, apply_rz_sc),
+            ];
+            for (full, sc) in singles {
+                for q in 0..3 {
+                    let mut a = prepared();
+                    let mut b = a.clone();
+                    full(&mut a, q, theta);
+                    sc(&mut b, q, s, c);
+                    assert_eq!(a, b, "q={q} θ={theta}");
+                }
+            }
+            type CThetaKernel = fn(&mut [Complex64], usize, usize, f64);
+            type CScKernel = fn(&mut [Complex64], usize, usize, f64, f64);
+            let controlled: [(CThetaKernel, CScKernel); 3] = [
+                (apply_crx, apply_crx_sc),
+                (apply_cry, apply_cry_sc),
+                (apply_crz, apply_crz_sc),
+            ];
+            for (full, sc) in controlled {
+                let mut a = prepared();
+                let mut b = a.clone();
+                full(&mut a, 0, 2, theta);
+                sc(&mut b, 0, 2, s, c);
+                assert_eq!(a, b, "controlled θ={theta}");
             }
         }
     }

@@ -30,6 +30,17 @@ use qmarl_vqc::observable::Readout;
 use crate::compile::{CGate, CompiledCircuit, Occurrence};
 use crate::error::RuntimeError;
 use crate::exec::{check_bindings, run_raw_with_override, run_schedule_unchecked};
+use crate::prebound::{readout_from_slab, run_prebound_slab_raw, PreboundCircuit};
+
+/// One shared-parameter group of a prebound batch: a frozen schedule plus
+/// the input vectors to run under it.
+#[derive(Debug)]
+pub struct PreboundGroup<'a> {
+    /// The parameter-prebound schedule (see [`crate::prebound::prebind`]).
+    pub circuit: &'a PreboundCircuit,
+    /// Input vectors, as slices into caller-owned storage.
+    pub inputs: Vec<&'a [f64]>,
+}
 
 /// Evaluates compiled schedules over batches of bindings in parallel.
 #[derive(Debug, Clone)]
@@ -141,6 +152,100 @@ impl BatchExecutor {
             );
             readout.evaluate(&state).map_err(RuntimeError::from)
         })
+    }
+
+    /// Batched forward pass through a readout with **per-item parameters
+    /// by reference** — the vectorized rollout hot path, where one tick
+    /// contributes `lanes × agents` circuit evaluations whose inputs and
+    /// parameters are slices into caller-owned slabs (no per-item
+    /// allocation or parameter cloning).
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length or readout-validation errors.
+    pub fn expectation_batch_with_params(
+        &self,
+        compiled: &CompiledCircuit,
+        readout: &Readout,
+        bindings: &[(&[f64], &[f64])],
+    ) -> Result<Vec<Vec<f64>>, RuntimeError> {
+        readout.validate(compiled.n_qubits())?;
+        for (inputs, params) in bindings {
+            check_bindings(compiled, inputs, params)?;
+        }
+        par::try_parallel_map(bindings, self.workers, |_, &(inputs, params)| {
+            let state = run_schedule_unchecked(
+                compiled.n_qubits(),
+                compiled.fused_schedule(),
+                inputs,
+                params,
+            );
+            readout.evaluate(&state).map_err(RuntimeError::from)
+        })
+    }
+
+    /// Batched forward pass over **prebound** schedules, grouped by
+    /// parameter set — the vectorized rollout tick. Each group's frozen
+    /// parameters were resolved once by [`crate::prebound::prebind`]
+    /// (hoisting all parameter-only trig); a task runs a contiguous lane
+    /// chunk of one group through a single slab schedule walk, and the
+    /// whole tick's chunks form one flat work queue. Outputs come back
+    /// per group, per item, bit-identical to
+    /// [`BatchExecutor::expectation_batch`] under the same bindings
+    /// (lanes are independent, so chunking cannot change any value).
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length or readout-validation errors.
+    pub fn expectation_batch_prebound(
+        &self,
+        readout: &Readout,
+        groups: &[PreboundGroup<'_>],
+    ) -> Result<Vec<Vec<Vec<f64>>>, RuntimeError> {
+        let mut total_items = 0usize;
+        for group in groups {
+            readout.validate(group.circuit.n_qubits())?;
+            total_items += group.inputs.len();
+            for inputs in &group.inputs {
+                if inputs.len() != group.circuit.n_inputs() {
+                    return Err(RuntimeError::InputLenMismatch {
+                        expected: group.circuit.n_inputs(),
+                        actual: inputs.len(),
+                    });
+                }
+            }
+        }
+        // One task per (group, lane chunk): big enough to amortise the
+        // slab walk, small enough to fill every worker.
+        let chunk = (total_items / self.workers.max(1)).clamp(1, 64);
+        let tasks: Vec<(usize, usize, usize)> = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(g, group)| {
+                (0..group.inputs.len())
+                    .step_by(chunk)
+                    .map(move |start| (g, start, (start + chunk).min(group.inputs.len())))
+            })
+            .collect();
+        // Readout validation already ran, so the per-task work is
+        // infallible: walk the chunk's slab once, then fold each lane's
+        // readout straight off it.
+        let results: Vec<Vec<Vec<f64>>> =
+            par::parallel_map(&tasks, self.workers, |_, &(g, start, end)| {
+                let chunk_inputs = &groups[g].inputs[start..end];
+                let slab = run_prebound_slab_raw(groups[g].circuit, chunk_inputs);
+                (0..chunk_inputs.len())
+                    .map(|lane| readout_from_slab(readout, &slab, chunk_inputs.len(), lane))
+                    .collect()
+            });
+        let mut out: Vec<Vec<Vec<f64>>> = groups
+            .iter()
+            .map(|group| Vec::with_capacity(group.inputs.len()))
+            .collect();
+        for (&(g, _, _), chunk_results) in tasks.iter().zip(results) {
+            out[g].extend(chunk_results);
+        }
+        Ok(out)
     }
 
     /// Batched parameter-shift Jacobians: one Jacobian per input vector,
@@ -351,6 +456,76 @@ mod tests {
                 assert!((a - b).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn expectation_with_params_matches_per_item_runs() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let inputs = batch_inputs(4);
+        let param_sets: Vec<Vec<f64>> = (0..4).map(|b| init_params(20, 40 + b as u64)).collect();
+        let bindings: Vec<(&[f64], &[f64])> = inputs
+            .iter()
+            .zip(&param_sets)
+            .map(|(i, p)| (i.as_slice(), p.as_slice()))
+            .collect();
+        let readout = Readout::z_all(4);
+        let ex = BatchExecutor::new(3);
+        let outs = ex
+            .expectation_batch_with_params(&compiled, &readout, &bindings)
+            .unwrap();
+        for ((inputs, params), out) in bindings.iter().zip(&outs) {
+            let reference = readout
+                .evaluate(&qmarl_vqc::exec::run(&circuit, inputs, params).unwrap())
+                .unwrap();
+            assert_eq!(out, &reference, "must be bit-identical to serial");
+        }
+        // Bad bindings are rejected up front.
+        let short = [0.0; 3];
+        let bad: Vec<(&[f64], &[f64])> = vec![(&short, param_sets[0].as_slice())];
+        assert!(ex
+            .expectation_batch_with_params(&compiled, &readout, &bad)
+            .is_err());
+    }
+
+    #[test]
+    fn prebound_batch_matches_expectation_batch_bit_exactly() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let readout = Readout::z_all(4);
+        let param_sets: Vec<Vec<f64>> = (0..3).map(|g| init_params(20, 60 + g as u64)).collect();
+        let inputs = batch_inputs(5);
+        let prebound: Vec<_> = param_sets
+            .iter()
+            .map(|p| crate::prebound::prebind(&compiled, p).unwrap())
+            .collect();
+        let groups: Vec<PreboundGroup<'_>> = prebound
+            .iter()
+            .map(|pb| PreboundGroup {
+                circuit: pb,
+                inputs: inputs.iter().map(|v| v.as_slice()).collect(),
+            })
+            .collect();
+        for workers in [1usize, 4] {
+            let ex = BatchExecutor::new(workers);
+            let out = ex.expectation_batch_prebound(&readout, &groups).unwrap();
+            for (g, params) in param_sets.iter().enumerate() {
+                let reference = ex
+                    .expectation_batch(&compiled, &readout, &inputs, params)
+                    .unwrap();
+                assert_eq!(out[g], reference, "group {g} workers {workers}");
+            }
+        }
+        // Arity errors are typed, not panics.
+        let short = [0.0; 2];
+        let bad = vec![PreboundGroup {
+            circuit: &prebound[0],
+            inputs: vec![&short],
+        }];
+        assert!(matches!(
+            BatchExecutor::serial().expectation_batch_prebound(&readout, &bad),
+            Err(RuntimeError::InputLenMismatch { .. })
+        ));
     }
 
     #[test]

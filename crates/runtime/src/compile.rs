@@ -107,6 +107,16 @@ impl FusedAngle {
         };
     }
 
+    /// `true` when the angle references any input slot (so it cannot be
+    /// resolved by parameter prebinding alone).
+    pub fn depends_on_inputs(&self) -> bool {
+        match self {
+            FusedAngle::Const(_) => false,
+            FusedAngle::Single { term, .. } => matches!(term, AngleTerm::Input(_)),
+            FusedAngle::Sum { terms, .. } => terms.iter().any(|t| matches!(t, AngleTerm::Input(_))),
+        }
+    }
+
     /// Resolves the angle under bindings.
     #[inline]
     pub fn value(&self, inputs: &[f64], params: &[f64]) -> f64 {

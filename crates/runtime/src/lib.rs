@@ -36,6 +36,12 @@
 //! * [`rollout`] — parallel rollout workers with a per-*episode* seed
 //!   derivation, so collected traces are identical for any worker count
 //!   (see the module docs for the determinism contract).
+//! * [`vec_rollout`] — the vectorized collector: a
+//!   [`qmarl_env::vector::VectorEnv`] advances all in-flight episodes in
+//!   lockstep and the policy sees every live lane at once, so all
+//!   `lanes × agents` circuit evaluations of a tick reach the
+//!   [`batch::BatchExecutor`] as one flat batch. Bit-identical to the
+//!   per-episode engine under the same seed derivation.
 //! * [`qnn`] — [`qnn::CompiledVqc`], the model-facing wrapper
 //!   `qmarl-core`'s quantum actors and critics execute through.
 //!
@@ -70,19 +76,24 @@ pub mod cache;
 pub mod compile;
 pub mod error;
 pub mod exec;
+pub mod prebound;
 pub mod qnn;
 pub mod rollout;
+pub mod vec_rollout;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::batch::BatchExecutor;
+    pub use crate::batch::PreboundGroup;
     pub use crate::cache::CircuitCache;
     pub use crate::compile::{circuit_hash, compile, CGate, CompiledCircuit, FusedAngle};
     pub use crate::error::RuntimeError;
     pub use crate::exec::run_compiled;
+    pub use crate::prebound::{prebind, run_prebound, PreboundCircuit};
     pub use crate::qnn::CompiledVqc;
     pub use crate::rollout::{
         collect_episodes, derive_seed, EpisodeTrace, RolloutConfig, RolloutError, RolloutPolicy,
         TraceStep, WorkerEnv,
     };
+    pub use crate::vec_rollout::{collect_episodes_vec, VecDecision, VecRolloutPolicy};
 }

@@ -1,0 +1,778 @@
+//! Parameter-prebound schedules: trig hoisted out of the per-circuit loop.
+//!
+//! During rollout collection the policy parameters are **frozen**: every
+//! circuit of a collection runs the same compiled schedule under the same
+//! parameter vector, varying only in its input (observation) angles. For
+//! the paper's actor that means ~42 of ~46 rotation angles are identical
+//! across every evaluation — yet the plain executor re-resolves each
+//! angle and recomputes its half-angle sine/cosine for every circuit.
+//!
+//! [`prebind`] resolves a `(CompiledCircuit, params)` pair once: every
+//! rotation whose angle does not reference an input slot collapses to a
+//! precomputed `(sin θ/2, cos θ/2)` pair ([`PreOp::RotSC`]), and only
+//! input-dependent rotations stay symbolic. [`run_prebound`] then
+//! evaluates circuits with per-rotation trig only where an observation
+//! actually enters — on the paper's shapes that cuts the dominant
+//! trig cost of vectorized rollout by roughly the ansatz/encoder ratio.
+//!
+//! **Exactness.** Prebinding reorders no floating-point operation: angles
+//! resolve through the same [`FusedAngle::value`] and kernels consume the
+//! same `sin_cos()` results the plain path computes internally, so
+//! prebound outputs are **bit-identical** to [`crate::exec::run_compiled`]
+//! (asserted in this module's tests and by the vectorized-rollout
+//! equivalence suite).
+
+use qmarl_qsim::apply;
+use qmarl_qsim::complex::Complex64;
+use qmarl_qsim::gate::{Gate1, RotationAxis};
+use qmarl_qsim::state::StateVector;
+
+use crate::compile::{CGate, CompiledCircuit, FusedAngle};
+use crate::error::RuntimeError;
+
+/// One gate of a prebound schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreOp {
+    /// A rotation whose angle was fully resolved at prebind time; carries
+    /// the precomputed half-angle `(sin, cos)`.
+    RotSC {
+        /// Target wire.
+        qubit: usize,
+        /// Rotation axis.
+        axis: RotationAxis,
+        /// `sin(θ/2)`.
+        s: f64,
+        /// `cos(θ/2)`.
+        c: f64,
+    },
+    /// A controlled rotation resolved at prebind time.
+    CRotSC {
+        /// Control wire.
+        control: usize,
+        /// Target wire.
+        target: usize,
+        /// Rotation axis.
+        axis: RotationAxis,
+        /// `sin(θ/2)`.
+        s: f64,
+        /// `cos(θ/2)`.
+        c: f64,
+    },
+    /// An input-dependent rotation, still symbolic.
+    Rot {
+        /// Target wire.
+        qubit: usize,
+        /// Rotation axis.
+        axis: RotationAxis,
+        /// Compiled angle expression (may mix input and parameter terms).
+        angle: FusedAngle,
+    },
+    /// An input-dependent controlled rotation, still symbolic.
+    CRot {
+        /// Control wire.
+        control: usize,
+        /// Target wire.
+        target: usize,
+        /// Rotation axis.
+        axis: RotationAxis,
+        /// Compiled angle expression.
+        angle: FusedAngle,
+    },
+    /// CNOT (amplitude-swap fast path).
+    Cnot {
+        /// Control wire.
+        control: usize,
+        /// Target wire.
+        target: usize,
+    },
+    /// Controlled-Z (diagonal sign-flip fast path).
+    Cz {
+        /// First wire.
+        control: usize,
+        /// Second wire.
+        target: usize,
+    },
+    /// A fixed single-qubit unitary.
+    Fixed {
+        /// Target wire.
+        qubit: usize,
+        /// Concrete unitary.
+        gate: Gate1,
+    },
+}
+
+/// A compiled schedule bound to one frozen parameter vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreboundCircuit {
+    n_qubits: usize,
+    n_inputs: usize,
+    params: Vec<f64>,
+    ops: Vec<PreOp>,
+}
+
+impl PreboundCircuit {
+    /// Register width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Expected input-vector length.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// The frozen parameter vector this schedule was bound with.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Number of rotations whose trig was hoisted (diagnostic).
+    pub fn resolved_rotations(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, PreOp::RotSC { .. } | PreOp::CRotSC { .. }))
+            .count()
+    }
+}
+
+/// Binds a compiled schedule to a frozen parameter vector, hoisting every
+/// parameter-only rotation's trig out of the per-circuit loop.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::ParamLenMismatch`] when `params` does not match
+/// the compiled arity.
+pub fn prebind(
+    compiled: &CompiledCircuit,
+    params: &[f64],
+) -> Result<PreboundCircuit, RuntimeError> {
+    if params.len() != compiled.n_params() {
+        return Err(RuntimeError::ParamLenMismatch {
+            expected: compiled.n_params(),
+            actual: params.len(),
+        });
+    }
+    let ops = compiled
+        .fused_schedule()
+        .iter()
+        .map(|gate| match gate {
+            CGate::Rot { qubit, axis, angle } => {
+                if angle.depends_on_inputs() {
+                    PreOp::Rot {
+                        qubit: *qubit,
+                        axis: *axis,
+                        angle: angle.clone(),
+                    }
+                } else {
+                    // No input slot is referenced, so the empty slice can
+                    // never be indexed; the resolved θ and its sin_cos are
+                    // the exact values the plain path would compute.
+                    let theta = angle.value(&[], params);
+                    let (s, c) = (theta / 2.0).sin_cos();
+                    PreOp::RotSC {
+                        qubit: *qubit,
+                        axis: *axis,
+                        s,
+                        c,
+                    }
+                }
+            }
+            CGate::CRot {
+                control,
+                target,
+                axis,
+                angle,
+            } => {
+                if angle.depends_on_inputs() {
+                    PreOp::CRot {
+                        control: *control,
+                        target: *target,
+                        axis: *axis,
+                        angle: angle.clone(),
+                    }
+                } else {
+                    let theta = angle.value(&[], params);
+                    let (s, c) = (theta / 2.0).sin_cos();
+                    PreOp::CRotSC {
+                        control: *control,
+                        target: *target,
+                        axis: *axis,
+                        s,
+                        c,
+                    }
+                }
+            }
+            CGate::Cnot { control, target } => PreOp::Cnot {
+                control: *control,
+                target: *target,
+            },
+            CGate::Cz { control, target } => PreOp::Cz {
+                control: *control,
+                target: *target,
+            },
+            CGate::Fixed { qubit, gate } => PreOp::Fixed {
+                qubit: *qubit,
+                gate: *gate,
+            },
+        })
+        .collect();
+    Ok(PreboundCircuit {
+        n_qubits: compiled.n_qubits(),
+        n_inputs: compiled.n_inputs(),
+        params: params.to_vec(),
+        ops,
+    })
+}
+
+/// Runs a prebound schedule from `|0…0⟩` with **no** input validation
+/// (callers validate once per batch).
+pub(crate) fn run_prebound_unchecked(pb: &PreboundCircuit, inputs: &[f64]) -> StateVector {
+    let mut state = StateVector::zero(pb.n_qubits);
+    let amps = state.amplitudes_mut();
+    for op in &pb.ops {
+        match op {
+            PreOp::RotSC { qubit, axis, s, c } => match axis {
+                RotationAxis::X => apply::apply_rx_sc(amps, *qubit, *s, *c),
+                RotationAxis::Y => apply::apply_ry_sc(amps, *qubit, *s, *c),
+                RotationAxis::Z => apply::apply_rz_sc(amps, *qubit, *s, *c),
+            },
+            PreOp::CRotSC {
+                control,
+                target,
+                axis,
+                s,
+                c,
+            } => match axis {
+                RotationAxis::X => apply::apply_crx_sc(amps, *control, *target, *s, *c),
+                RotationAxis::Y => apply::apply_cry_sc(amps, *control, *target, *s, *c),
+                RotationAxis::Z => apply::apply_crz_sc(amps, *control, *target, *s, *c),
+            },
+            PreOp::Rot { qubit, axis, angle } => {
+                let theta = angle.value(inputs, &pb.params);
+                match axis {
+                    RotationAxis::X => apply::apply_rx(amps, *qubit, theta),
+                    RotationAxis::Y => apply::apply_ry(amps, *qubit, theta),
+                    RotationAxis::Z => apply::apply_rz(amps, *qubit, theta),
+                }
+            }
+            PreOp::CRot {
+                control,
+                target,
+                axis,
+                angle,
+            } => {
+                let theta = angle.value(inputs, &pb.params);
+                match axis {
+                    RotationAxis::X => apply::apply_crx(amps, *control, *target, theta),
+                    RotationAxis::Y => apply::apply_cry(amps, *control, *target, theta),
+                    RotationAxis::Z => apply::apply_crz(amps, *control, *target, theta),
+                }
+            }
+            PreOp::Cnot { control, target } => apply::apply_cnot(amps, *control, *target),
+            PreOp::Cz { control, target } => apply::apply_cz(amps, *control, *target),
+            PreOp::Fixed { qubit, gate } => apply::apply_gate1(amps, *qubit, gate),
+        }
+    }
+    state
+}
+
+/// Runs a prebound schedule from `|0…0⟩`, returning the final state.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::InputLenMismatch`] when `inputs` does not match
+/// the bound arity.
+pub fn run_prebound(pb: &PreboundCircuit, inputs: &[f64]) -> Result<StateVector, RuntimeError> {
+    if inputs.len() != pb.n_inputs {
+        return Err(RuntimeError::InputLenMismatch {
+            expected: pb.n_inputs,
+            actual: inputs.len(),
+        });
+    }
+    Ok(run_prebound_unchecked(pb, inputs))
+}
+
+// ---------------------------------------------------------------------
+// Lane-slab execution: many circuits through one schedule walk.
+//
+// The slab stores `L` statevectors transposed — `slab[amp · L + lane]` —
+// so each gate is dispatched **once** and its update runs over contiguous
+// per-amplitude lane rows. Every lane sees exactly the arithmetic of the
+// per-circuit kernels (the update formulas below are copied verbatim from
+// `qsim::apply`), so slab execution is bit-identical to running each lane
+// alone; only the loop nesting changes.
+// ---------------------------------------------------------------------
+
+/// Visits every `(i0, i1 = i0 + stride)` amplitude pair of one qubit.
+#[inline]
+fn for_each_pair(dim: usize, stride: usize, mut f: impl FnMut(usize, usize)) {
+    let mut base = 0;
+    while base < dim {
+        for i0 in base..base + stride {
+            f(i0, i0 + stride);
+        }
+        base += stride << 1;
+    }
+}
+
+/// Disjoint mutable views of amplitude rows `i0 < i1`.
+#[inline]
+fn rows_mut(
+    slab: &mut [Complex64],
+    lanes: usize,
+    i0: usize,
+    i1: usize,
+) -> (&mut [Complex64], &mut [Complex64]) {
+    debug_assert!(i0 < i1);
+    let (head, tail) = slab.split_at_mut(i1 * lanes);
+    (&mut head[i0 * lanes..(i0 + 1) * lanes], &mut tail[..lanes])
+}
+
+#[inline]
+fn rot_rows(axis: RotationAxis, r0: &mut [Complex64], r1: &mut [Complex64], s: f64, c: f64) {
+    match axis {
+        RotationAxis::X => {
+            for (a0, a1) in r0.iter_mut().zip(r1.iter_mut()) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = Complex64::new(c * x0.re + s * x1.im, c * x0.im - s * x1.re);
+                *a1 = Complex64::new(s * x0.im + c * x1.re, -s * x0.re + c * x1.im);
+            }
+        }
+        RotationAxis::Y => {
+            for (a0, a1) in r0.iter_mut().zip(r1.iter_mut()) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = Complex64::new(c * x0.re - s * x1.re, c * x0.im - s * x1.im);
+                *a1 = Complex64::new(s * x0.re + c * x1.re, s * x0.im + c * x1.im);
+            }
+        }
+        RotationAxis::Z => unreachable!("Rz is diagonal; handled per amplitude row"),
+    }
+}
+
+#[inline]
+fn phase_row(row: &mut [Complex64], pr: f64, pi: f64) {
+    for a in row.iter_mut() {
+        *a = Complex64::new(a.re * pr - a.im * pi, a.re * pi + a.im * pr);
+    }
+}
+
+/// Per-lane `(sin, cos)` pairs of an input-dependent rotation, resolved
+/// with the exact arithmetic of the per-circuit path.
+#[inline]
+fn lane_trig(angle: &FusedAngle, inputs: &[&[f64]], params: &[f64], out: &mut Vec<(f64, f64)>) {
+    out.clear();
+    out.extend(inputs.iter().map(|lane_inputs| {
+        let theta = angle.value(lane_inputs, params);
+        (theta / 2.0).sin_cos()
+    }));
+}
+
+/// Runs a prebound schedule over all `inputs` lanes in one schedule walk,
+/// returning each lane's final state (bit-identical to per-lane
+/// [`run_prebound`]; input lengths are the caller's responsibility).
+/// The executor consumes the raw slab directly; this materialised form
+/// is the equivalence-test surface.
+#[cfg(test)]
+pub(crate) fn run_prebound_slab(pb: &PreboundCircuit, inputs: &[&[f64]]) -> Vec<StateVector> {
+    let lanes = inputs.len();
+    let slab = run_prebound_slab_raw(pb, inputs);
+    (0..lanes)
+        .map(|lane| {
+            let mut state = StateVector::zero(pb.n_qubits);
+            let amps = state.amplitudes_mut();
+            for (i, amp) in amps.iter_mut().enumerate() {
+                *amp = slab[i * lanes + lane];
+            }
+            state
+        })
+        .collect()
+}
+
+/// Evaluates a readout for one lane directly off the transposed slab,
+/// with exactly the arithmetic (and summation order) of
+/// `Readout::evaluate` over a per-lane statevector — skipping the
+/// per-lane statevector materialisation entirely. Guarded bit-exact
+/// against the plain path by the executor's prebound batch test.
+pub(crate) fn readout_from_slab(
+    readout: &qmarl_vqc::observable::Readout,
+    slab: &[Complex64],
+    lanes: usize,
+    lane: usize,
+) -> Vec<f64> {
+    use qmarl_vqc::observable::Readout;
+    let dim = slab.len() / lanes;
+    let expectation_z = |q: usize| -> f64 {
+        let mask = 1usize << q;
+        let mut acc = 0.0;
+        for i in 0..dim {
+            let a = slab[i * lanes + lane];
+            if i & mask == 0 {
+                acc += a.norm_sqr();
+            } else {
+                acc -= a.norm_sqr();
+            }
+        }
+        acc
+    };
+    match readout {
+        Readout::ZPerQubit { qubits } => qubits.iter().map(|&q| expectation_z(q)).collect(),
+        Readout::WeightedZSum { weights } => {
+            let mut acc = 0.0;
+            for (q, w) in weights.iter().enumerate() {
+                acc += w * expectation_z(q);
+            }
+            vec![acc]
+        }
+    }
+}
+
+/// The slab itself, `slab[amp · lanes + lane]`, after the schedule walk.
+pub(crate) fn run_prebound_slab_raw(pb: &PreboundCircuit, inputs: &[&[f64]]) -> Vec<Complex64> {
+    let lanes = inputs.len();
+    if lanes == 0 {
+        return Vec::new();
+    }
+    let dim = 1usize << pb.n_qubits;
+    let mut slab = vec![Complex64::ZERO; dim * lanes];
+    for cell in slab[..lanes].iter_mut() {
+        *cell = Complex64::ONE; // every lane starts in |0…0⟩
+    }
+    let mut trig: Vec<(f64, f64)> = Vec::with_capacity(lanes);
+
+    for op in &pb.ops {
+        match op {
+            PreOp::RotSC { qubit, axis, s, c } => match axis {
+                RotationAxis::Z => {
+                    let mask = 1usize << qubit;
+                    for i in 0..dim {
+                        let (pr, pi) = if i & mask == 0 { (*c, -*s) } else { (*c, *s) };
+                        phase_row(&mut slab[i * lanes..(i + 1) * lanes], pr, pi);
+                    }
+                }
+                _ => for_each_pair(dim, 1usize << qubit, |i0, i1| {
+                    let (r0, r1) = rows_mut(&mut slab, lanes, i0, i1);
+                    rot_rows(*axis, r0, r1, *s, *c);
+                }),
+            },
+            PreOp::Rot { qubit, axis, angle } => {
+                lane_trig(angle, inputs, &pb.params, &mut trig);
+                match axis {
+                    RotationAxis::Z => {
+                        let mask = 1usize << qubit;
+                        for i in 0..dim {
+                            let row = &mut slab[i * lanes..(i + 1) * lanes];
+                            if i & mask == 0 {
+                                for (a, &(s, c)) in row.iter_mut().zip(&trig) {
+                                    let x = *a;
+                                    *a = Complex64::new(x.re * c + x.im * s, -x.re * s + x.im * c);
+                                }
+                            } else {
+                                for (a, &(s, c)) in row.iter_mut().zip(&trig) {
+                                    let x = *a;
+                                    *a = Complex64::new(x.re * c - x.im * s, x.re * s + x.im * c);
+                                }
+                            }
+                        }
+                    }
+                    _ => for_each_pair(dim, 1usize << qubit, |i0, i1| {
+                        let (r0, r1) = rows_mut(&mut slab, lanes, i0, i1);
+                        match axis {
+                            RotationAxis::X => {
+                                for ((a0, a1), &(s, c)) in
+                                    r0.iter_mut().zip(r1.iter_mut()).zip(&trig)
+                                {
+                                    let x0 = *a0;
+                                    let x1 = *a1;
+                                    *a0 = Complex64::new(
+                                        c * x0.re + s * x1.im,
+                                        c * x0.im - s * x1.re,
+                                    );
+                                    *a1 = Complex64::new(
+                                        s * x0.im + c * x1.re,
+                                        -s * x0.re + c * x1.im,
+                                    );
+                                }
+                            }
+                            RotationAxis::Y => {
+                                for ((a0, a1), &(s, c)) in
+                                    r0.iter_mut().zip(r1.iter_mut()).zip(&trig)
+                                {
+                                    let x0 = *a0;
+                                    let x1 = *a1;
+                                    *a0 = Complex64::new(
+                                        c * x0.re - s * x1.re,
+                                        c * x0.im - s * x1.im,
+                                    );
+                                    *a1 = Complex64::new(
+                                        s * x0.re + c * x1.re,
+                                        s * x0.im + c * x1.im,
+                                    );
+                                }
+                            }
+                            RotationAxis::Z => unreachable!(),
+                        }
+                    }),
+                }
+            }
+            PreOp::CRotSC {
+                control,
+                target,
+                axis,
+                s,
+                c,
+            } => {
+                let mc = 1usize << control;
+                let mt = 1usize << target;
+                match axis {
+                    RotationAxis::Z => {
+                        for i in 0..dim {
+                            if i & mc == 0 {
+                                continue;
+                            }
+                            let (pr, pi) = if i & mt == 0 { (*c, -*s) } else { (*c, *s) };
+                            phase_row(&mut slab[i * lanes..(i + 1) * lanes], pr, pi);
+                        }
+                    }
+                    _ => {
+                        for i0 in 0..dim {
+                            if i0 & mc == 0 || i0 & mt != 0 {
+                                continue;
+                            }
+                            let (r0, r1) = rows_mut(&mut slab, lanes, i0, i0 | mt);
+                            rot_rows(*axis, r0, r1, *s, *c);
+                        }
+                    }
+                }
+            }
+            PreOp::CRot {
+                control,
+                target,
+                axis,
+                angle,
+            } => {
+                lane_trig(angle, inputs, &pb.params, &mut trig);
+                let mc = 1usize << control;
+                let mt = 1usize << target;
+                match axis {
+                    RotationAxis::Z => {
+                        for i in 0..dim {
+                            if i & mc == 0 {
+                                continue;
+                            }
+                            let row = &mut slab[i * lanes..(i + 1) * lanes];
+                            let flip = i & mt != 0;
+                            for (a, &(s, c)) in row.iter_mut().zip(&trig) {
+                                let pi = if flip { s } else { -s };
+                                let x = *a;
+                                *a = Complex64::new(x.re * c - x.im * pi, x.re * pi + x.im * c);
+                            }
+                        }
+                    }
+                    _ => {
+                        for i0 in 0..dim {
+                            if i0 & mc == 0 || i0 & mt != 0 {
+                                continue;
+                            }
+                            let (r0, r1) = rows_mut(&mut slab, lanes, i0, i0 | mt);
+                            for ((a0, a1), &(s, c)) in r0.iter_mut().zip(r1.iter_mut()).zip(&trig) {
+                                let x0 = *a0;
+                                let x1 = *a1;
+                                match axis {
+                                    RotationAxis::X => {
+                                        *a0 = Complex64::new(
+                                            c * x0.re + s * x1.im,
+                                            c * x0.im - s * x1.re,
+                                        );
+                                        *a1 = Complex64::new(
+                                            s * x0.im + c * x1.re,
+                                            -s * x0.re + c * x1.im,
+                                        );
+                                    }
+                                    RotationAxis::Y => {
+                                        *a0 = Complex64::new(
+                                            c * x0.re - s * x1.re,
+                                            c * x0.im - s * x1.im,
+                                        );
+                                        *a1 = Complex64::new(
+                                            s * x0.re + c * x1.re,
+                                            s * x0.im + c * x1.im,
+                                        );
+                                    }
+                                    RotationAxis::Z => unreachable!(),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            PreOp::Cnot { control, target } => {
+                let mc = 1usize << control;
+                let mt = 1usize << target;
+                for i in 0..dim {
+                    if i & mc == 0 || i & mt != 0 {
+                        continue;
+                    }
+                    let (r0, r1) = rows_mut(&mut slab, lanes, i, i | mt);
+                    r0.swap_with_slice(r1);
+                }
+            }
+            PreOp::Cz { control, target } => {
+                let mask = (1usize << control) | (1usize << target);
+                for i in 0..dim {
+                    if i & mask != mask {
+                        continue;
+                    }
+                    for a in slab[i * lanes..(i + 1) * lanes].iter_mut() {
+                        *a = -*a;
+                    }
+                }
+            }
+            PreOp::Fixed { qubit, gate } => {
+                let m = gate.matrix();
+                for_each_pair(dim, 1usize << qubit, |i0, i1| {
+                    let (r0, r1) = rows_mut(&mut slab, lanes, i0, i1);
+                    for (a0, a1) in r0.iter_mut().zip(r1.iter_mut()) {
+                        let x0 = *a0;
+                        let x1 = *a1;
+                        *a0 = m[0][0] * x0 + m[0][1] * x1;
+                        *a1 = m[1][0] * x0 + m[1][1] * x1;
+                    }
+                });
+            }
+        }
+    }
+
+    slab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::exec::run_compiled;
+    use qmarl_qsim::gate::RotationAxis as Ax;
+    use qmarl_vqc::ansatz::{init_params, layered_ansatz};
+    use qmarl_vqc::encoder::layered_angle_encoder;
+    use qmarl_vqc::ir::{Angle, Circuit, FixedGate, InputId, ParamId};
+
+    fn actor_circuit() -> Circuit {
+        let mut c = layered_angle_encoder(4, 4).unwrap();
+        c.append_shifted(&layered_ansatz(4, 42).unwrap()).unwrap();
+        c
+    }
+
+    #[test]
+    fn prebound_matches_compiled_bit_exactly() {
+        let circuit = actor_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(circuit.param_count(), 11);
+        let pb = prebind(&compiled, &params).unwrap();
+        assert!(pb.resolved_rotations() >= 40, "ansatz must be hoisted");
+        for b in 0..8 {
+            let inputs: Vec<f64> = (0..4).map(|i| 0.09 * (b * 4 + i) as f64 - 0.6).collect();
+            let fast = run_prebound(&pb, &inputs).unwrap();
+            let reference = run_compiled(&compiled, &inputs, &params).unwrap();
+            assert_eq!(
+                fast.amplitudes(),
+                reference.amplitudes(),
+                "prebound execution must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_input_param_angles_stay_symbolic_and_exact() {
+        // Adjacent same-axis rotations fuse; an input rotation followed by
+        // a parameter rotation on one wire produces a mixed Sum angle that
+        // prebinding must leave symbolic.
+        let mut c = Circuit::new(2);
+        c.rot(0, Ax::Y, Angle::Input(InputId(0))).unwrap();
+        c.rot(0, Ax::Y, Angle::Param(ParamId(0))).unwrap();
+        c.fixed(1, FixedGate::H).unwrap();
+        c.controlled_rot(0, 1, Ax::Z, Angle::Param(ParamId(1)))
+            .unwrap();
+        c.cnot(0, 1).unwrap();
+        c.rot(1, Ax::X, Angle::Const(0.4)).unwrap();
+        let compiled = compile(&c);
+        let params = [0.7, -1.1];
+        let pb = prebind(&compiled, &params).unwrap();
+        // The fused Y rotation depends on input 0 → symbolic; the CRz and
+        // the constant Rx resolve.
+        assert_eq!(pb.resolved_rotations(), 2);
+        for x in [-0.9, 0.0, 1.3] {
+            let fast = run_prebound(&pb, &[x]).unwrap();
+            let reference = run_compiled(&compiled, &[x], &params).unwrap();
+            assert_eq!(fast.amplitudes(), reference.amplitudes());
+        }
+    }
+
+    #[test]
+    fn slab_execution_is_bit_identical_to_per_lane() {
+        let circuit = actor_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(circuit.param_count(), 5);
+        let pb = prebind(&compiled, &params).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..7)
+            .map(|b| (0..4).map(|i| 0.11 * (b * 4 + i) as f64 - 0.8).collect())
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let slab = run_prebound_slab(&pb, &refs);
+        assert_eq!(slab.len(), 7);
+        for (item, state) in refs.iter().zip(&slab) {
+            let single = run_prebound(&pb, item).unwrap();
+            assert_eq!(state.amplitudes(), single.amplitudes());
+        }
+        assert!(run_prebound_slab(&pb, &[]).is_empty());
+    }
+
+    #[test]
+    fn slab_handles_every_gate_kind_bit_exactly() {
+        // CRot on every axis, CZ, CNOT, fixed gates and a mixed fused
+        // angle, across several lanes.
+        let mut c = Circuit::new(3);
+        c.fixed(0, FixedGate::H).unwrap();
+        c.rot(0, Ax::X, Angle::Input(InputId(0))).unwrap();
+        c.rot(1, Ax::Z, Angle::Input(InputId(1))).unwrap();
+        c.rot(1, Ax::Z, Angle::Param(ParamId(0))).unwrap();
+        c.controlled_rot(0, 1, Ax::X, Angle::Param(ParamId(1)))
+            .unwrap();
+        c.controlled_rot(1, 2, Ax::Y, Angle::Param(ParamId(2)))
+            .unwrap();
+        c.controlled_rot(2, 0, Ax::Z, Angle::Input(InputId(0)))
+            .unwrap();
+        c.cnot(0, 2).unwrap();
+        c.cz(1, 2).unwrap();
+        c.rot(2, Ax::Y, Angle::Const(-0.9)).unwrap();
+        let compiled = compile(&c);
+        let params = [0.4, -0.8, 1.7];
+        let pb = prebind(&compiled, &params).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|b| vec![0.3 * b as f64 - 0.7, 0.2 * b as f64])
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        for (item, state) in refs.iter().zip(run_prebound_slab(&pb, &refs)) {
+            let single = run_prebound(&pb, item).unwrap();
+            assert_eq!(state.amplitudes(), single.amplitudes());
+        }
+    }
+
+    #[test]
+    fn binding_lengths_validated() {
+        let compiled = compile(&actor_circuit());
+        let params = init_params(42, 0);
+        assert!(matches!(
+            prebind(&compiled, &params[..10]),
+            Err(RuntimeError::ParamLenMismatch { .. })
+        ));
+        let pb = prebind(&compiled, &params).unwrap();
+        assert_eq!(pb.n_qubits(), 4);
+        assert_eq!(pb.n_inputs(), 4);
+        assert_eq!(pb.params(), &params[..]);
+        assert!(matches!(
+            run_prebound(&pb, &[0.0; 3]),
+            Err(RuntimeError::InputLenMismatch { .. })
+        ));
+    }
+}

@@ -26,21 +26,25 @@ use rand::SeedableRng;
 use qmarl_env::error::EnvError;
 use qmarl_env::metrics::{EpisodeMetrics, MetricsAccumulator};
 use qmarl_env::multi_agent::{MultiAgentEnv, StepInfo};
-use qmarl_env::single_hop::SingleHopEnv;
+use qmarl_env::vector::SeedableEnv;
 use qmarl_qsim::par;
 
 /// An environment usable by rollout workers: cloneable (each episode gets
 /// a private copy) and re-seedable (each episode gets private
 /// randomness).
+///
+/// Blanket-implemented for every [`SeedableEnv`] that is `Clone + Send +
+/// Sync` — `SingleHopEnv`, `MultiHopEnv`, boxed registry scenarios, and
+/// any future environment that implements the env crate's seeding trait.
 pub trait WorkerEnv: MultiAgentEnv + Clone + Send + Sync {
     /// Makes this instance's future stream fully determined by `seed`
     /// (also resets the episode).
     fn reseed(&mut self, seed: u64);
 }
 
-impl WorkerEnv for SingleHopEnv {
+impl<E: SeedableEnv + Clone + Send + Sync> WorkerEnv for E {
     fn reseed(&mut self, seed: u64) {
-        SingleHopEnv::reseed(self, seed);
+        SeedableEnv::reseed(self, seed);
     }
 }
 
@@ -193,9 +197,9 @@ impl RolloutConfig {
 }
 
 /// Stream tag for environment randomness.
-const ENV_STREAM: u64 = 0x45;
+pub(crate) const ENV_STREAM: u64 = 0x45;
 /// Stream tag for policy action sampling.
-const POLICY_STREAM: u64 = 0x50;
+pub(crate) const POLICY_STREAM: u64 = 0x50;
 
 /// Derives an independent seed from `(base, stream, index)` via SplitMix64
 /// finalisation — the same derivation for every worker count, which is
@@ -273,7 +277,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qmarl_env::single_hop::EnvConfig;
+    use qmarl_env::single_hop::{EnvConfig, SingleHopEnv};
     use rand::Rng;
 
     fn tiny_env() -> SingleHopEnv {

@@ -1,0 +1,323 @@
+//! Vectorized episode collection: lockstep ticks over a [`VectorEnv`].
+//!
+//! The per-episode engine in [`crate::rollout`] parallelises across
+//! episodes but evaluates the policy one observation at a time *within*
+//! each episode — so the batched circuit executor only ever sees
+//! single-sample forward passes during collection. This module flips the
+//! loop: a [`VectorEnv`] advances `B` episodes ("lanes") in lockstep, and
+//! at every tick the policy sees **all live lanes at once** as one flat
+//! struct-of-arrays observation slab. A policy backed by
+//! [`crate::batch::BatchExecutor`] turns that slab into one flat forward
+//! batch of `lanes × agents` circuits per tick — the shape the executor
+//! is built for.
+//!
+//! ## Determinism contract (same as the per-episode engine)
+//!
+//! > The trace of episode `i` depends only on `(base_seed, i)`, the
+//! > environment template and the policy — never on the lane count. The
+//! > environment stream seeds from `derive_seed(base_seed, ENV_STREAM,
+//! > i)` and the action stream from `derive_seed(base_seed,
+//! > POLICY_STREAM, i)`, exactly like [`crate::rollout::collect_episodes`] —
+//! > so for a policy that consumes its per-lane RNG the same way, the
+//! > vectorized traces are **bit-identical** to the serial ones
+//! > (property-tested per scenario in `tests/vec_equivalence.rs`).
+//!
+//! Collections larger than the lane count run as successive waves: the
+//! first `B` episodes fill the lanes, the next `B` re-seed them, and so
+//! on — episode indexing (and therefore seeding) is independent of `B`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qmarl_env::vector::VectorEnv;
+
+use crate::rollout::{
+    derive_seed, EpisodeTrace, RolloutError, TraceStep, ENV_STREAM, POLICY_STREAM,
+};
+
+/// One lockstep decision for all live lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VecDecision {
+    /// Flat joint actions, row-major: `lanes.len() · n_agents` indices.
+    pub actions: Vec<usize>,
+    /// Policy-defined per-lane scalar (the trainers record mean policy
+    /// entropy), one per row.
+    pub aux: Vec<f64>,
+}
+
+/// A decision rule evaluated across all live lanes at once.
+///
+/// `observations` is the SoA slab (`rows × n_agents × obs_dim`);
+/// `lanes[r]` names row `r`'s wave-lane, which is also its index into
+/// `rngs`. To match the serial engine bit-for-bit, a policy must consume
+/// `rngs[lanes[r]]` exactly as its serial counterpart consumes the
+/// episode RNG: once per agent in agent order when sampling, not at all
+/// when deterministic.
+pub trait VecRolloutPolicy {
+    /// The policy's error type.
+    type Error: Send;
+
+    /// Chooses joint actions for every live lane at one lockstep tick.
+    ///
+    /// # Errors
+    ///
+    /// Policy evaluation errors abort the whole collection.
+    fn act_vec(
+        &mut self,
+        observations: &[f64],
+        lanes: &[usize],
+        rngs: &mut [StdRng],
+    ) -> Result<VecDecision, Self::Error>;
+}
+
+/// Blanket impl so plain closures work as vectorized policies.
+impl<F, E> VecRolloutPolicy for F
+where
+    F: FnMut(&[f64], &[usize], &mut [StdRng]) -> Result<VecDecision, E>,
+    E: Send,
+{
+    type Error = E;
+    fn act_vec(
+        &mut self,
+        observations: &[f64],
+        lanes: &[usize],
+        rngs: &mut [StdRng],
+    ) -> Result<VecDecision, E> {
+        self(observations, lanes, rngs)
+    }
+}
+
+/// Splits one SoA observation row back into per-agent vectors.
+fn unflatten_obs(row: &[f64], n_agents: usize, obs_dim: usize) -> Vec<Vec<f64>> {
+    (0..n_agents)
+        .map(|n| row[n * obs_dim..(n + 1) * obs_dim].to_vec())
+        .collect()
+}
+
+/// Collects `n_episodes` episodes over the vector environment's lanes,
+/// returning them **in episode-index order** (see the module-level
+/// determinism contract). Episodes beyond the lane count run as
+/// successive waves.
+///
+/// # Errors
+///
+/// Propagates environment and policy errors.
+pub fn collect_episodes_vec<V, P>(
+    venv: &mut V,
+    policy: &mut P,
+    n_episodes: usize,
+    config: &crate::rollout::RolloutConfig,
+) -> Result<Vec<EpisodeTrace>, RolloutError<P::Error>>
+where
+    V: VectorEnv,
+    P: VecRolloutPolicy,
+{
+    let lanes_max = venv.batch_size();
+    let (na, od, sd) = (venv.n_agents(), venv.obs_dim(), venv.state_dim());
+    let mut traces = Vec::with_capacity(n_episodes);
+
+    let mut wave_start = 0;
+    while wave_start < n_episodes {
+        let ids: Vec<usize> = (wave_start..(wave_start + lanes_max).min(n_episodes)).collect();
+        let k = ids.len();
+        let seeds: Vec<u64> = ids
+            .iter()
+            .map(|&i| derive_seed(config.base_seed, ENV_STREAM, i as u64))
+            .collect();
+        let mut rngs: Vec<StdRng> = ids
+            .iter()
+            .map(|&i| StdRng::seed_from_u64(derive_seed(config.base_seed, POLICY_STREAM, i as u64)))
+            .collect();
+
+        let reset = venv.reset_lanes(&seeds).map_err(RolloutError::Env)?;
+        let mut prev_obs: Vec<Vec<Vec<f64>>> = (0..k)
+            .map(|r| unflatten_obs(&reset.observations[r * na * od..(r + 1) * na * od], na, od))
+            .collect();
+        let mut prev_state: Vec<Vec<f64>> = (0..k)
+            .map(|r| reset.states[r * sd..(r + 1) * sd].to_vec())
+            .collect();
+        let mut steps: Vec<Vec<TraceStep>> = (0..k)
+            .map(|_| Vec::with_capacity(venv.episode_limit()))
+            .collect();
+
+        let mut live: Vec<usize> = reset.lanes;
+        let mut obs_soa = reset.observations;
+        while !live.is_empty() {
+            let decision = policy
+                .act_vec(&obs_soa, &live, &mut rngs)
+                .map_err(RolloutError::Policy)?;
+            let out = venv
+                .step_lanes(&decision.actions)
+                .map_err(RolloutError::Env)?;
+            debug_assert_eq!(out.lanes, live, "lockstep rows must track live lanes");
+
+            for (row, &lane) in out.lanes.iter().enumerate() {
+                let next_state = out.states[row * sd..(row + 1) * sd].to_vec();
+                let next_obs = unflatten_obs(
+                    &out.observations[row * na * od..(row + 1) * na * od],
+                    na,
+                    od,
+                );
+                let state = std::mem::replace(&mut prev_state[lane], next_state.clone());
+                let observations = std::mem::replace(&mut prev_obs[lane], next_obs.clone());
+                steps[lane].push(TraceStep {
+                    state,
+                    observations,
+                    actions: decision.actions[row * na..(row + 1) * na].to_vec(),
+                    reward: out.rewards[row],
+                    next_state,
+                    next_observations: next_obs,
+                    done: out.dones[row],
+                    info: out.infos[row].clone(),
+                    aux: decision.aux[row],
+                });
+            }
+
+            if out.dones.iter().any(|&d| d) {
+                // Compact the SoA slab down to the lanes still running.
+                let mut next_live = Vec::with_capacity(live.len());
+                let mut next_soa = Vec::with_capacity(out.observations.len());
+                for (row, &lane) in out.lanes.iter().enumerate() {
+                    if !out.dones[row] {
+                        next_live.push(lane);
+                        next_soa.extend_from_slice(
+                            &out.observations[row * na * od..(row + 1) * na * od],
+                        );
+                    }
+                }
+                live = next_live;
+                obs_soa = next_soa;
+            } else {
+                live = out.lanes;
+                obs_soa = out.observations;
+            }
+        }
+
+        for (lane, lane_steps) in steps.into_iter().enumerate() {
+            traces.push(EpisodeTrace {
+                index: ids[lane],
+                steps: lane_steps,
+            });
+        }
+        wave_start += k;
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollout::{collect_episodes, RolloutConfig};
+    use qmarl_env::error::EnvError;
+    use qmarl_env::single_hop::{EnvConfig, SingleHopEnv};
+    use qmarl_env::vector::ReplicatedVecEnv;
+    use rand::Rng;
+
+    fn tiny_env(limit: usize) -> SingleHopEnv {
+        let mut cfg = EnvConfig::paper_default();
+        cfg.episode_limit = limit;
+        SingleHopEnv::new(cfg, 0).unwrap()
+    }
+
+    /// Serial reference policy: uniform random joint actions, aux 1.5.
+    #[allow(clippy::type_complexity)]
+    fn serial_policy(
+        _episode: usize,
+    ) -> impl FnMut(&[Vec<f64>], &mut StdRng) -> Result<(Vec<usize>, f64), EnvError> {
+        |obs: &[Vec<f64>], rng: &mut StdRng| {
+            let actions = obs.iter().map(|_| rng.gen_range(0..4)).collect();
+            Ok((actions, 1.5))
+        }
+    }
+
+    /// The vectorized twin: consumes each lane's RNG once per agent in
+    /// agent order, exactly like the serial policy.
+    fn vec_policy(
+        obs: &[f64],
+        lanes: &[usize],
+        rngs: &mut [StdRng],
+    ) -> Result<VecDecision, EnvError> {
+        let n_agents = 4;
+        let mut actions = Vec::with_capacity(lanes.len() * n_agents);
+        for &lane in lanes {
+            for _ in 0..n_agents {
+                actions.push(rngs[lane].gen_range(0..4));
+            }
+        }
+        let _ = obs;
+        Ok(VecDecision {
+            actions,
+            aux: vec![1.5; lanes.len()],
+        })
+    }
+
+    #[test]
+    fn vectorized_matches_serial_bit_exactly() {
+        let template = tiny_env(9);
+        let config = RolloutConfig::new(42).with_workers(1);
+        let reference = collect_episodes(&template, serial_policy, 5, &config).unwrap();
+        for lanes in [1usize, 2, 3, 8] {
+            let mut venv = ReplicatedVecEnv::new(&template, lanes).unwrap();
+            let got = collect_episodes_vec(&mut venv, &mut vec_policy, 5, &config).unwrap();
+            assert_eq!(got, reference, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn wave_chunking_preserves_episode_indexing() {
+        let template = tiny_env(4);
+        let config = RolloutConfig::new(7);
+        let mut venv = ReplicatedVecEnv::new(&template, 2).unwrap();
+        let traces = collect_episodes_vec(&mut venv, &mut vec_policy, 5, &config).unwrap();
+        assert_eq!(traces.len(), 5);
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(t.index, i);
+            assert_eq!(t.steps.len(), 4);
+            assert!(t.steps.last().unwrap().done);
+            assert!((t.mean_aux() - 1.5).abs() < 1e-15);
+        }
+        // Lane count must not change which episodes were collected.
+        let mut wide = ReplicatedVecEnv::new(&template, 5).unwrap();
+        let one_wave = collect_episodes_vec(&mut wide, &mut vec_policy, 5, &config).unwrap();
+        assert_eq!(one_wave, traces);
+    }
+
+    #[test]
+    fn empty_collection_is_empty() {
+        let template = tiny_env(4);
+        let mut venv = ReplicatedVecEnv::new(&template, 2).unwrap();
+        let traces =
+            collect_episodes_vec(&mut venv, &mut vec_policy, 0, &RolloutConfig::new(0)).unwrap();
+        assert!(traces.is_empty());
+    }
+
+    #[test]
+    fn policy_errors_abort_collection() {
+        let template = tiny_env(4);
+        let mut venv = ReplicatedVecEnv::new(&template, 2).unwrap();
+        let mut failing = |_obs: &[f64],
+                           _lanes: &[usize],
+                           _rngs: &mut [StdRng]|
+         -> Result<VecDecision, String> { Err("no policy".into()) };
+        let err =
+            collect_episodes_vec(&mut venv, &mut failing, 3, &RolloutConfig::new(0)).unwrap_err();
+        assert!(matches!(err, RolloutError::Policy(ref m) if m == "no policy"));
+    }
+
+    #[test]
+    fn trace_chaining_is_consistent() {
+        let template = tiny_env(6);
+        let mut venv = ReplicatedVecEnv::new(&template, 3).unwrap();
+        let traces =
+            collect_episodes_vec(&mut venv, &mut vec_policy, 3, &RolloutConfig::new(3)).unwrap();
+        for t in &traces {
+            for w in t.steps.windows(2) {
+                assert_eq!(w[0].next_state, w[1].state);
+                assert_eq!(w[0].next_observations, w[1].observations);
+            }
+            let m = t.metrics();
+            assert_eq!(m.len, t.steps.len());
+            assert!((m.total_reward - t.total_reward()).abs() < 1e-12);
+        }
+    }
+}
