@@ -1,0 +1,138 @@
+//! Serial vs batched update-sweep throughput.
+//!
+//! The acceptance bar for the batched gradient engine: on the
+//! paper-default scenario with quantum actors, the batched update sweep
+//! (`UpdateEngine::Batched` — prebound adjoint lane slabs, one flat
+//! queue per collection) must deliver ≥ 2× the grad-steps/sec of the
+//! serial reference (`UpdateEngine::Serial` — one model-path adjoint per
+//! circuit). Both engines apply **bit-identical** updates
+//! (property-tested in `tests/batched_update_equivalence.rs`), so this
+//! comparison is pure throughput.
+//!
+//! A *grad step* is one optimizer-ready gradient: `transitions x (agents
+//! plus the critic)` per sweep. Besides the criterion rows, the bench
+//! emits `BENCH_train.json` at the repository root with absolute
+//! grad-steps/sec on the paper scenario and the wide N=8/K=4 scenario,
+//! so the training hot path's trajectory is recorded PR over PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use qmarl_core::prelude::*;
+use qmarl_env::prelude::*;
+
+/// Paper Table II horizon, trimmed to keep one sweep bench-friendly.
+const EPISODE_LIMIT: usize = 50;
+
+/// Episodes per update sweep (the replay minibatch).
+const BATCH_EPISODES: usize = 4;
+
+/// Builds a trainer on a registry scenario with quantum actors sized to
+/// its shapes, replay already filled with `BATCH_EPISODES` episodes.
+fn trainer(scenario: &str, seed: u64, engine: UpdateEngine) -> CtdeTrainer<Box<dyn ScenarioEnv>> {
+    let params = ScenarioParams::seeded(seed).with_episode_limit(EPISODE_LIMIT);
+    let env = build_scenario_with(scenario, &params).expect("scenario");
+    let n_qubits = env.n_actions().max(4);
+    let actors: Vec<Box<dyn Actor>> = (0..env.n_agents())
+        .map(|n| {
+            Box::new(
+                QuantumActor::new(
+                    n_qubits,
+                    env.obs_dim(),
+                    env.n_actions(),
+                    50.max(2 * env.n_actions() + 8),
+                    seed + n as u64,
+                )
+                .expect("actor"),
+            ) as Box<dyn Actor>
+        })
+        .collect();
+    let critic = Box::new(QuantumCritic::new(4, env.state_dim(), 50, seed + 100).expect("critic"));
+    let mut config = TrainConfig::paper_default();
+    config.seed = seed;
+    let mut t = CtdeTrainer::new(env, actors, critic, config).expect("trainer");
+    t.set_update_engine(engine);
+    // One vectorized epoch fills the replay with BATCH_EPISODES episodes
+    // (its update doubles as engine warmup); the measured loop then
+    // re-sweeps that fixed batch.
+    t.run_epoch_vec(BATCH_EPISODES, BATCH_EPISODES)
+        .expect("fill epoch");
+    t
+}
+
+fn bench_update_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_sweep_paper_default");
+    group.sample_size(10);
+    for engine in [UpdateEngine::Serial, UpdateEngine::Batched] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{engine:?}"), BATCH_EPISODES),
+            &engine,
+            |b, &engine| {
+                let mut t = trainer("single-hop", 1, engine);
+                b.iter(|| black_box(t.update_sweep(BATCH_EPISODES).expect("sweep")));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Wall-clock grad-steps/sec of one engine, mean over `reps` sweeps.
+fn grad_steps_per_sec(t: &mut CtdeTrainer<Box<dyn ScenarioEnv>>, reps: usize) -> f64 {
+    let grad_steps = (BATCH_EPISODES * EPISODE_LIMIT * (t.actors().len() + 1)) as f64;
+    t.update_sweep(BATCH_EPISODES).expect("warmup sweep");
+    let start = Instant::now();
+    for _ in 0..reps {
+        t.update_sweep(BATCH_EPISODES).expect("sweep");
+    }
+    grad_steps * reps as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures both engines head-to-head on both scenarios and records the
+/// result as JSON.
+fn emit_train_json(c: &mut Criterion) {
+    let quick = std::env::var_os("QMARL_BENCH_QUICK").is_some_and(|v| v != "0");
+    let reps = if quick { 1 } else { 5 };
+
+    let measure = |scenario: &str| -> (f64, f64) {
+        let serial = grad_steps_per_sec(&mut trainer(scenario, 2, UpdateEngine::Serial), reps);
+        let batched = grad_steps_per_sec(&mut trainer(scenario, 2, UpdateEngine::Batched), reps);
+        (serial, batched)
+    };
+    let (paper_serial, paper_batched) = measure("single-hop");
+    let (wide_serial, wide_batched) = measure("single-hop-wide");
+    let paper_speedup = paper_batched / paper_serial;
+    let wide_speedup = wide_batched / wide_serial;
+
+    let json = format!(
+        "{{\n  \"bench\": \"train_update\",\n  \
+         \"unit\": \"grad_steps_per_sec (transitions x (agents + critic) / s)\",\n  \
+         \"batch_episodes\": {BATCH_EPISODES},\n  \"episode_limit\": {EPISODE_LIMIT},\n  \
+         \"engines_bit_identical\": \"asserted in tests/batched_update_equivalence.rs\",\n  \
+         \"single_hop\": {{\n    \"scenario\": \"paper default, quantum 4q/50p actors\",\n    \
+         \"serial\": {paper_serial:.0},\n    \"batched\": {paper_batched:.0},\n    \
+         \"batched_speedup\": {paper_speedup:.2}\n  }},\n  \
+         \"single_hop_wide\": {{\n    \"scenario\": \"N=8 edges / K=4 clouds, quantum 8q actors\",\n    \
+         \"serial\": {wide_serial:.0},\n    \"batched\": {wide_batched:.0},\n    \
+         \"batched_speedup\": {wide_speedup:.2}\n  }}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    if quick {
+        // Quick (CI smoke) measurements are too noisy to record; keep
+        // the committed trajectory file authoritative.
+        println!("train_update: quick mode, not rewriting {path}");
+    } else {
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("train_update: wrote {path}"),
+            Err(e) => println!("train_update: could not write {path}: {e}"),
+        }
+    }
+    println!(
+        "train_update: paper {paper_serial:.0} -> {paper_batched:.0} grad-steps/s ({paper_speedup:.2}x), \
+         wide {wide_serial:.0} -> {wide_batched:.0} ({wide_speedup:.2}x)"
+    );
+    let _ = c; // the JSON pass is measured manually, outside criterion
+}
+
+criterion_group!(benches, bench_update_engines, emit_train_json);
+criterion_main!(benches);

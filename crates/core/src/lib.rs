@@ -55,7 +55,7 @@ pub mod prelude {
     pub use crate::independent::{build_independent_quantum, IndependentTrainer};
     pub use crate::policy::{select_action, Actor, ClassicalActor, QuantumActor};
     pub use crate::replay::{Episode, ReplayBuffer, Transition};
-    pub use crate::trainer::{CtdeTrainer, EpochRecord, TrainingHistory};
+    pub use crate::trainer::{CtdeTrainer, EpochRecord, TrainingHistory, UpdateEngine};
     pub use crate::value::{ClassicalCritic, Critic, NaiveQuantumCritic, QuantumCritic};
     pub use crate::viz::{
         frames_to_csv, render_heatmap_ansi, render_queue_chart, run_demonstration, DemoFrame,

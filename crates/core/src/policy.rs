@@ -85,6 +85,34 @@ pub trait Actor: Send + Sync {
         entropy_coef: f64,
     ) -> Result<Vec<f64>, CoreError>;
 
+    /// Batched MAPG gradients under the current (frozen) parameters: one
+    /// descent-ready gradient per `(observation, action, advantage)`
+    /// triple. The default walks
+    /// [`Actor::policy_gradient_with_entropy`] serially; circuit-backed
+    /// actors override it so every transition's circuit work lands in one
+    /// flat runtime queue. Either route is bit-identical to per-sample
+    /// [`Actor::policy_gradient_with_entropy`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FeatureLenMismatch`] for a bad observation.
+    /// `obs`, `actions` and `advantages` must have equal lengths.
+    fn policy_gradients_batch(
+        &self,
+        obs: &[Vec<f64>],
+        actions: &[usize],
+        advantages: &[f64],
+        entropy_coef: f64,
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
+        debug_assert_eq!(obs.len(), actions.len());
+        debug_assert_eq!(obs.len(), advantages.len());
+        obs.iter()
+            .zip(actions)
+            .zip(advantages)
+            .map(|((o, &a), &adv)| self.policy_gradient_with_entropy(o, a, adv, entropy_coef))
+            .collect()
+    }
+
     /// Snapshot of the flat parameter vector.
     fn params(&self) -> Vec<f64>;
 
@@ -288,6 +316,55 @@ impl Actor for QuantumActor {
         let probs = softmax(&logits);
         let upstream = regularized_upstream(&probs, action, advantage, entropy_coef);
         Ok(jac.vjp(&upstream))
+    }
+
+    fn policy_gradients_batch(
+        &self,
+        obs: &[Vec<f64>],
+        actions: &[usize],
+        advantages: &[f64],
+        entropy_coef: f64,
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
+        debug_assert_eq!(obs.len(), actions.len());
+        debug_assert_eq!(obs.len(), advantages.len());
+        for o in obs {
+            self.check_obs(o)?;
+        }
+        let results = match self.grad_method {
+            // The prebound adjoint engine: all transitions as lane slabs
+            // behind hoisted trig.
+            GradMethod::Adjoint => self
+                .model
+                .forward_with_jacobian_batch_prebound(obs, &self.params)?,
+            // Adjoint unavailable (hardware-rule gradients requested):
+            // every shift evaluation of the whole batch as one flat
+            // parameter-shift queue.
+            GradMethod::ParameterShift => {
+                self.model.forward_with_jacobian_batch(obs, &self.params)?
+            }
+            // No batched engine for finite differences — serial sweep.
+            GradMethod::FiniteDiff => {
+                return obs
+                    .iter()
+                    .zip(actions)
+                    .zip(advantages)
+                    .map(|((o, &a), &adv)| {
+                        self.policy_gradient_with_entropy(o, a, adv, entropy_coef)
+                    })
+                    .collect()
+            }
+        };
+        let mut grads = Vec::with_capacity(results.len());
+        for ((logits, jac), (&action, &advantage)) in
+            results.iter().zip(actions.iter().zip(advantages))
+        {
+            let probs = softmax(logits);
+            let upstream = regularized_upstream(&probs, action, advantage, entropy_coef);
+            let mut grad = vec![0.0; jac.n_params()];
+            jac.vjp_into(&upstream, &mut grad);
+            grads.push(grad);
+        }
+        Ok(grads)
     }
 
     fn params(&self) -> Vec<f64> {
@@ -508,6 +585,50 @@ mod tests {
         let g1 = a.policy_gradient(&obs, 2, -1.1).unwrap();
         let g2 = a.policy_gradient_with_entropy(&obs, 2, -1.1, 0.0).unwrap();
         assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn batched_policy_gradients_match_serial_bit_exactly() {
+        let obs: Vec<Vec<f64>> = (0..6)
+            .map(|b| (0..4).map(|i| ((b * 4 + i) % 9) as f64 / 9.0).collect())
+            .collect();
+        let actions = [0usize, 3, 1, 2, 0, 1];
+        let advantages = [0.7, -1.2, 0.0, 2.4, -0.3, 1.1];
+        for method in [
+            GradMethod::Adjoint,
+            GradMethod::ParameterShift,
+            GradMethod::FiniteDiff,
+        ] {
+            let a = quantum_actor().with_grad_method(method);
+            for beta in [0.0, 0.25] {
+                let batched = a
+                    .policy_gradients_batch(&obs, &actions, &advantages, beta)
+                    .unwrap();
+                assert_eq!(batched.len(), obs.len());
+                for (t, grad) in batched.iter().enumerate() {
+                    let reference = a
+                        .policy_gradient_with_entropy(&obs[t], actions[t], advantages[t], beta)
+                        .unwrap();
+                    assert_eq!(*grad, reference, "{method:?} β={beta} sample {t}");
+                }
+            }
+        }
+        // The MLP default route agrees with per-sample calls too.
+        let a = ClassicalActor::new(&[4, 5, 4], 17).unwrap();
+        let batched = a
+            .policy_gradients_batch(&obs, &actions, &advantages, 0.1)
+            .unwrap();
+        for (t, grad) in batched.iter().enumerate() {
+            let reference = a
+                .policy_gradient_with_entropy(&obs[t], actions[t], advantages[t], 0.1)
+                .unwrap();
+            assert_eq!(*grad, reference);
+        }
+        // Bad shapes are rejected up front.
+        let a = quantum_actor();
+        assert!(a
+            .policy_gradients_batch(&[vec![0.0; 3]], &[0], &[1.0], 0.0)
+            .is_err());
     }
 
     #[test]

@@ -12,6 +12,17 @@
 //!    critic (one Adam step per timestep sample, which with the paper's
 //!    learning rates 1e-4/1e-5 gives the convergence timescale of Fig. 3),
 //! 5. periodically syncs the target network `φ ← ψ`.
+//!
+//! The update sweep is the **minibatch form** of Algorithm 1's lines
+//! 12–16: the target `φ`, critic `ψ` and every actor `θ_n` are frozen
+//! while all TD targets and gradients of the batch are computed, then the
+//! per-sample Adam steps are applied in a deterministic fixed order
+//! (agents in agent order, then the critic, sample by sample). Freezing
+//! the gradient phase is what lets the whole sweep run as flat batched
+//! circuit queues ([`UpdateEngine::Batched`], the default) while staying
+//! **bit-identical** to the one-circuit-at-a-time reference
+//! ([`UpdateEngine::Serial`]) — the engines only change how the gradients
+//! are computed, never which updates are applied.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,12 +35,31 @@ use qmarl_neural::prelude::entropy;
 use qmarl_runtime::rollout::{collect_episodes, derive_seed, RolloutConfig, WorkerEnv};
 use qmarl_runtime::vec_rollout::collect_episodes_vec;
 
+use qmarl_vqc::grad::Jacobian;
+
 use crate::config::TrainConfig;
 use crate::error::CoreError;
 use crate::policy::{select_action, Actor};
 use crate::replay::{Episode, ReplayBuffer, Transition};
 use crate::value::Critic;
 use crate::vec_policy::ActorsVecPolicy;
+
+/// Which implementation drives the update sweep's gradient phase. Both
+/// engines apply identical updates in identical order — the batched
+/// engine is property-tested bit-identical to the serial reference —
+/// so the choice is purely a throughput knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateEngine {
+    /// One circuit at a time through the single-sample model paths (the
+    /// reference implementation, and the baseline of
+    /// `benches/train_update.rs`).
+    Serial,
+    /// Every (transition × agent) circuit of the sweep collected into
+    /// flat prebound work queues ([`Actor::policy_gradients_batch`],
+    /// [`Critic::values_with_gradients_batch`]).
+    #[default]
+    Batched,
+}
 
 /// One epoch's record: the quantities Fig. 3 plots, plus diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -128,6 +158,8 @@ pub struct CtdeTrainer<E: MultiAgentEnv> {
     /// successive [`CtdeTrainer::rollout_parallel`] calls explore
     /// different episodes, deterministically.
     parallel_rounds: u64,
+    /// How the update sweep computes its gradients (default: batched).
+    update_engine: UpdateEngine,
 }
 
 impl<E: MultiAgentEnv> CtdeTrainer<E> {
@@ -196,7 +228,20 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
             history: TrainingHistory::default(),
             epoch: 0,
             parallel_rounds: 0,
+            update_engine: UpdateEngine::default(),
         })
+    }
+
+    /// Selects the update-sweep engine (default:
+    /// [`UpdateEngine::Batched`]). Switching engines mid-run is safe:
+    /// they produce bit-identical updates.
+    pub fn set_update_engine(&mut self, engine: UpdateEngine) {
+        self.update_engine = engine;
+    }
+
+    /// The active update-sweep engine.
+    pub fn update_engine(&self) -> UpdateEngine {
+        self.update_engine
     }
 
     /// The training history so far.
@@ -316,60 +361,119 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
     /// Lines 12–16 of Algorithm 1: sweep the batch, one Adam step per
     /// timestep sample. Returns the mean squared TD error.
     fn update(&mut self) -> Result<f64, CoreError> {
-        self.update_over(self.config.batch_episodes)
+        self.update_sweep(self.config.batch_episodes)
     }
 
-    /// The update sweep over the most recent `batch_episodes` episodes.
-    fn update_over(&mut self, batch_episodes: usize) -> Result<f64, CoreError> {
+    /// One update sweep over the most recent `batch_episodes` episodes of
+    /// the replay buffer, without rolling anything out — lines 12–16 of
+    /// Algorithm 1 in minibatch form. Returns the mean squared TD error.
+    ///
+    /// **Gradient phase (frozen parameters).** All `V_φ(s')` targets, all
+    /// `(V_ψ(s), ∇_ψ V)` pairs and every agent's MAPG gradients are
+    /// evaluated under the parameters the sweep started with. Under
+    /// [`UpdateEngine::Batched`] each of those collections is one flat
+    /// batched runtime call (prebound adjoint lane slabs for quantum
+    /// models); under [`UpdateEngine::Serial`] they are per-sample model
+    /// calls producing bit-identical values.
+    ///
+    /// **Reduction phase (fixed order).** One Adam step per timestep
+    /// sample, actors in agent order then the critic, in sweep order —
+    /// identical under both engines by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn update_sweep(&mut self, batch_episodes: usize) -> Result<f64, CoreError> {
         let gamma = self.config.gamma;
+        let beta = self.config.entropy_coef;
         let episodes: Vec<Episode> = self.replay.recent(batch_episodes).cloned().collect();
+        let transitions: Vec<&Transition> =
+            episodes.iter().flat_map(|ep| ep.transitions()).collect();
+        if transitions.is_empty() {
+            return Ok(0.0);
+        }
+
         // The target network φ is frozen for the whole sweep, so every
         // V_φ(s') of the batch is computed up front in one batched
-        // runtime call instead of one circuit at a time inside the loop.
-        let next_states: Vec<Vec<f64>> = episodes
-            .iter()
-            .flat_map(|ep| ep.transitions().iter().map(|tr| tr.next_state.clone()))
-            .collect();
+        // runtime call (identical under both engines).
+        let next_states: Vec<Vec<f64>> =
+            transitions.iter().map(|tr| tr.next_state.clone()).collect();
         let v_next_all = self.target.values_batch(&next_states)?;
-        let mut sample = 0usize;
-        let mut loss_sum = 0.0;
-        let mut loss_n = 0usize;
-        for ep in &episodes {
-            for tr in ep.transitions() {
-                // y_t = r + γ V_φ(s') − V_ψ(s): TD error = advantage.
-                let (v_s, critic_grad) = self.critic.value_with_gradient(&tr.state)?;
-                let v_next = v_next_all[sample];
-                sample += 1;
-                let y = tr.reward + gamma * v_next - v_s;
-                loss_sum += y * y;
-                loss_n += 1;
 
-                // Actor updates: descend −y · ∇ log π_θn(u|o) per agent
-                // (plus the optional entropy bonus).
-                for (n, actor) in self.actors.iter_mut().enumerate() {
-                    let grad = actor.policy_gradient_with_entropy(
-                        &tr.observations[n],
-                        tr.actions[n],
-                        y,
-                        self.config.entropy_coef,
-                    )?;
-                    let mut params = actor.params();
-                    self.actor_opts[n].step(&mut params, &grad);
-                    actor.set_params(&params)?;
-                }
-
-                // Critic update: descend ∇ψ ‖y‖² = −2 y ∇ψ V_ψ(s).
-                let mut params = self.critic.params();
-                let scaled: Vec<f64> = critic_grad.iter().map(|g| -2.0 * y * g).collect();
-                self.critic_opt.step(&mut params, &scaled);
-                self.critic.set_params(&params)?;
+        // Critic gradient phase: (V_ψ(s), ∇_ψ V) per transition under the
+        // frozen live critic.
+        let critic_evals: Vec<(f64, Jacobian)> = match self.update_engine {
+            UpdateEngine::Batched => {
+                let states: Vec<Vec<f64>> = transitions.iter().map(|tr| tr.state.clone()).collect();
+                self.critic.values_with_gradients_batch(&states)?
             }
+            UpdateEngine::Serial => transitions
+                .iter()
+                .map(|tr| {
+                    let (v, g) = self.critic.value_with_gradient(&tr.state)?;
+                    Ok((v, Jacobian::from_row(g)))
+                })
+                .collect::<Result<_, CoreError>>()?,
+        };
+
+        // y_t = r + γ V_φ(s') − V_ψ(s): TD error = advantage, in sweep
+        // order (also the loss the epoch reports).
+        let ys: Vec<f64> = transitions
+            .iter()
+            .zip(&critic_evals)
+            .zip(&v_next_all)
+            .map(|((tr, (v_s, _)), &v_next)| tr.reward + gamma * v_next - v_s)
+            .collect();
+
+        // Actor gradient phase: each agent's whole (transition × circuit)
+        // collection as one queue under its frozen policy.
+        let actor_grads: Vec<Vec<Vec<f64>>> = self
+            .actors
+            .iter()
+            .enumerate()
+            .map(|(n, actor)| match self.update_engine {
+                UpdateEngine::Batched => {
+                    let obs_n: Vec<Vec<f64>> = transitions
+                        .iter()
+                        .map(|tr| tr.observations[n].clone())
+                        .collect();
+                    let act_n: Vec<usize> = transitions.iter().map(|tr| tr.actions[n]).collect();
+                    actor.policy_gradients_batch(&obs_n, &act_n, &ys, beta)
+                }
+                UpdateEngine::Serial => transitions
+                    .iter()
+                    .zip(&ys)
+                    .map(|(tr, &y)| {
+                        actor.policy_gradient_with_entropy(
+                            &tr.observations[n],
+                            tr.actions[n],
+                            y,
+                            beta,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect::<Result<_, CoreError>>()?;
+
+        // Deterministic fixed-order reduction: one Adam step per timestep
+        // sample — actors in agent order (descend −y·∇log π_θn plus the
+        // optional entropy bonus), then the critic (descend
+        // ∇ψ‖y‖² = −2 y ∇ψ V_ψ(s) through one reused scratch buffer).
+        let mut scratch = vec![0.0; self.critic.param_count()];
+        let mut loss_sum = 0.0;
+        for (t, ((_, critic_jac), &y)) in critic_evals.iter().zip(&ys).enumerate() {
+            loss_sum += y * y;
+            for (n, actor) in self.actors.iter_mut().enumerate() {
+                let mut params = actor.params();
+                self.actor_opts[n].step(&mut params, &actor_grads[n][t]);
+                actor.set_params(&params)?;
+            }
+            critic_jac.vjp_into(&[-2.0 * y], &mut scratch);
+            let mut params = self.critic.params();
+            self.critic_opt.step(&mut params, &scratch);
+            self.critic.set_params(&params)?;
         }
-        Ok(if loss_n == 0 {
-            0.0
-        } else {
-            loss_sum / loss_n as f64
-        })
+        Ok(loss_sum / transitions.len() as f64)
     }
 
     /// Evaluates the current policies without learning: `episodes`
@@ -425,7 +529,7 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
         // Sweep everything this epoch collected (or the configured batch,
         // whichever is larger) — a parallel epoch must train on the
         // episodes it just paid to roll out, not only the newest one.
-        let critic_loss = self.update_over(episodes_per_epoch.max(self.config.batch_episodes))?;
+        let critic_loss = self.update_sweep(episodes_per_epoch.max(self.config.batch_episodes))?;
         self.epoch += 1;
         if self.epoch.is_multiple_of(self.config.target_update_period) {
             self.target.set_params(&self.critic.params())?;
@@ -989,6 +1093,50 @@ mod tests {
         assert!(m.total_reward <= 0.0);
         assert!(m.avg_queue >= 0.0);
         assert!(t.evaluate_vec(0, 2).is_err());
+    }
+
+    #[test]
+    fn batched_update_engine_matches_serial_bit_exactly() {
+        // Same seed, both engines: identical histories and identical
+        // final parameters, for quantum and classical stacks.
+        let quantum = |engine: UpdateEngine| {
+            let mut t = quantum_setup(31);
+            t.set_update_engine(engine);
+            t.train(2).unwrap();
+            t
+        };
+        let a = quantum(UpdateEngine::Serial);
+        let b = quantum(UpdateEngine::Batched);
+        assert_eq!(a.history(), b.history());
+        assert_eq!(a.critic().params(), b.critic().params());
+        for (x, y) in a.actors().iter().zip(b.actors()) {
+            assert_eq!(x.params(), y.params());
+        }
+
+        let classical = |engine: UpdateEngine| {
+            let env = small_env(32);
+            let actors: Vec<Box<dyn Actor>> = (0..4)
+                .map(|n| {
+                    Box::new(ClassicalActor::new(&[4, 5, 4], 32 + n).unwrap()) as Box<dyn Actor>
+                })
+                .collect();
+            let critic = Box::new(ClassicalCritic::new(&[16, 2, 1], 32).unwrap());
+            let mut t = CtdeTrainer::new(env, actors, critic, small_train_config()).unwrap();
+            t.set_update_engine(engine);
+            t.train(2).unwrap();
+            t
+        };
+        let a = classical(UpdateEngine::Serial);
+        let b = classical(UpdateEngine::Batched);
+        assert_eq!(a.history(), b.history());
+        assert_eq!(a.critic().params(), b.critic().params());
+    }
+
+    #[test]
+    fn update_sweep_without_replay_is_a_no_op() {
+        let mut t = quantum_setup(33);
+        assert_eq!(t.update_sweep(4).unwrap(), 0.0);
+        assert_eq!(t.update_engine(), UpdateEngine::Batched);
     }
 
     #[test]

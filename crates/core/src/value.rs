@@ -11,6 +11,7 @@
 
 use qmarl_neural::prelude::{Activation, Mlp};
 use qmarl_runtime::qnn::CompiledVqc;
+use qmarl_vqc::grad::Jacobian;
 use qmarl_vqc::prelude::{GradMethod, OutputHead, Readout, Vqc, VqcBuilder};
 
 use crate::error::CoreError;
@@ -47,6 +48,30 @@ pub trait Critic: Send {
     ///
     /// Returns [`CoreError::FeatureLenMismatch`] for a bad state vector.
     fn value_with_gradient(&self, state: &[f64]) -> Result<(f64, Vec<f64>), CoreError>;
+
+    /// Values and full-parameter Jacobians for a whole batch of states
+    /// under the current (frozen) parameters — the update sweep's critic
+    /// surface. The default walks [`Critic::value_with_gradient`]
+    /// serially, wrapping each gradient as a single-row Jacobian;
+    /// quantum critics override it with the runtime's batched gradient
+    /// engine. Either route is bit-identical to per-state
+    /// [`Critic::value_with_gradient`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FeatureLenMismatch`] for a bad state vector.
+    fn values_with_gradients_batch(
+        &self,
+        states: &[Vec<f64>],
+    ) -> Result<Vec<(f64, Jacobian)>, CoreError> {
+        states
+            .iter()
+            .map(|s| {
+                let (v, g) = self.value_with_gradient(s)?;
+                Ok((v, Jacobian::from_row(g)))
+            })
+            .collect()
+    }
 
     /// Snapshot of the flat parameter vector (used for the target network
     /// `φ ← ψ`).
@@ -166,6 +191,43 @@ impl Critic for QuantumCritic {
         Ok((out[0], jac.vjp(&[1.0])))
     }
 
+    fn values_with_gradients_batch(
+        &self,
+        states: &[Vec<f64>],
+    ) -> Result<Vec<(f64, Jacobian)>, CoreError> {
+        for s in states {
+            self.check_state(s)?;
+        }
+        let results = match self.grad_method {
+            // The prebound adjoint engine: the whole batch as lane slabs
+            // behind hoisted trig, bit-identical per state to the serial
+            // model-path adjoint.
+            GradMethod::Adjoint => self
+                .model
+                .forward_with_jacobian_batch_prebound(states, &self.params)?,
+            // Adjoint unavailable (hardware-rule gradients requested):
+            // the batched parameter-shift queue, bit-identical per state
+            // to the single-sample shift path.
+            GradMethod::ParameterShift => self
+                .model
+                .forward_with_jacobian_batch(states, &self.params)?,
+            // No batched engine for finite differences — serial sweep.
+            GradMethod::FiniteDiff => {
+                return states
+                    .iter()
+                    .map(|s| {
+                        let (v, g) = self.value_with_gradient(s)?;
+                        Ok((v, Jacobian::from_row(g)))
+                    })
+                    .collect()
+            }
+        };
+        Ok(results
+            .into_iter()
+            .map(|(out, jac)| (out[0], jac))
+            .collect())
+    }
+
     fn params(&self) -> Vec<f64> {
         self.params.clone()
     }
@@ -235,6 +297,13 @@ impl Critic for NaiveQuantumCritic {
 
     fn value_with_gradient(&self, state: &[f64]) -> Result<(f64, Vec<f64>), CoreError> {
         self.inner.value_with_gradient(state)
+    }
+
+    fn values_with_gradients_batch(
+        &self,
+        states: &[Vec<f64>],
+    ) -> Result<Vec<(f64, Jacobian)>, CoreError> {
+        self.inner.values_with_gradients_batch(states)
     }
 
     fn params(&self) -> Vec<f64> {
@@ -420,6 +489,42 @@ mod tests {
             let fd = (plus - minus) / (2.0 * eps);
             assert!((grad[p] - fd).abs() < 1e-5, "param {p}");
         }
+    }
+
+    #[test]
+    fn batched_value_gradients_match_serial_bit_exactly() {
+        let states: Vec<Vec<f64>> = (0..5)
+            .map(|b| (0..16).map(|i| ((b * 16 + i) % 11) as f64 / 11.0).collect())
+            .collect();
+        for method in [
+            GradMethod::Adjoint,
+            GradMethod::ParameterShift,
+            GradMethod::FiniteDiff,
+        ] {
+            let c = QuantumCritic::new(4, 16, 24, 7)
+                .unwrap()
+                .with_grad_method(method);
+            let batched = c.values_with_gradients_batch(&states).unwrap();
+            assert_eq!(batched.len(), states.len());
+            for (s, (v, jac)) in states.iter().zip(&batched) {
+                let (v_ref, g_ref) = c.value_with_gradient(s).unwrap();
+                assert_eq!(*v, v_ref, "{method:?}");
+                assert_eq!(jac.vjp(&[1.0]), g_ref, "{method:?}");
+            }
+        }
+        // The MLP default route agrees with per-state calls too.
+        let c = ClassicalCritic::new(&[16, 3, 1], 5).unwrap();
+        for (s, (v, jac)) in states
+            .iter()
+            .zip(c.values_with_gradients_batch(&states).unwrap())
+        {
+            let (v_ref, g_ref) = c.value_with_gradient(s).unwrap();
+            assert_eq!(v, v_ref);
+            assert_eq!(jac.vjp(&[1.0]), g_ref);
+        }
+        // Bad shapes are rejected up front.
+        let c = QuantumCritic::new(4, 16, 24, 7).unwrap();
+        assert!(c.values_with_gradients_batch(&[vec![0.0; 3]]).is_err());
     }
 
     #[test]

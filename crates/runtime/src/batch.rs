@@ -30,7 +30,9 @@ use qmarl_vqc::observable::Readout;
 use crate::compile::{CGate, CompiledCircuit, Occurrence};
 use crate::error::RuntimeError;
 use crate::exec::{check_bindings, run_raw_with_override, run_schedule_unchecked};
-use crate::prebound::{readout_from_slab, run_prebound_slab_raw, PreboundCircuit};
+use crate::prebound::{
+    readout_from_slab, run_adjoint_slab, run_prebound_slab_raw, PreboundAdjoint, PreboundCircuit,
+};
 
 /// One shared-parameter group of a prebound batch: a frozen schedule plus
 /// the input vectors to run under it.
@@ -38,6 +40,21 @@ use crate::prebound::{readout_from_slab, run_prebound_slab_raw, PreboundCircuit}
 pub struct PreboundGroup<'a> {
     /// The parameter-prebound schedule (see [`crate::prebound::prebind`]).
     pub circuit: &'a PreboundCircuit,
+    /// Input vectors, as slices into caller-owned storage.
+    pub inputs: Vec<&'a [f64]>,
+}
+
+/// Per-group, per-item `(raw readout vector, circuit-parameter Jacobian)`
+/// results of a prebound adjoint batch.
+pub type AdjointBatchResults = Vec<Vec<(Vec<f64>, Jacobian)>>;
+
+/// One shared-parameter group of a prebound **adjoint** batch: a frozen
+/// adjoint schedule plus the input vectors to differentiate under it.
+#[derive(Debug)]
+pub struct AdjointGroup<'a> {
+    /// The adjoint-prebound schedule (see
+    /// [`crate::prebound::prebind_adjoint`]).
+    pub circuit: &'a PreboundAdjoint,
     /// Input vectors, as slices into caller-owned storage.
     pub inputs: Vec<&'a [f64]>,
 }
@@ -239,6 +256,67 @@ impl BatchExecutor {
                     .collect()
             });
         let mut out: Vec<Vec<Vec<f64>>> = groups
+            .iter()
+            .map(|group| Vec::with_capacity(group.inputs.len()))
+            .collect();
+        for (&(g, _, _), chunk_results) in tasks.iter().zip(results) {
+            out[g].extend(chunk_results);
+        }
+        Ok(out)
+    }
+
+    /// Batched **prebound adjoint** forward + Jacobian, grouped by
+    /// parameter set — the update-sweep hot path. Each group's frozen
+    /// parameters were resolved once by
+    /// [`crate::prebound::prebind_adjoint`] (hoisting every
+    /// parameter-only rotation's forward *and* inverse trig); a task runs
+    /// a contiguous lane chunk of one group through a single
+    /// forward-walk-plus-reverse-sweep pair, and the whole batch's chunks
+    /// form one flat work queue. Per lane the result is **bit-identical**
+    /// to the serial model-path adjoint
+    /// (`Vqc::forward_with_jacobian(…, GradMethod::Adjoint)` before the
+    /// output head) — lanes are independent, so neither chunking nor the
+    /// worker count can change any value.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length or readout-validation errors.
+    pub fn forward_and_jacobian_batch_prebound(
+        &self,
+        readout: &Readout,
+        groups: &[AdjointGroup<'_>],
+    ) -> Result<AdjointBatchResults, RuntimeError> {
+        let mut total_items = 0usize;
+        for group in groups {
+            readout.validate(group.circuit.n_qubits())?;
+            total_items += group.inputs.len();
+            for inputs in &group.inputs {
+                if inputs.len() != group.circuit.n_inputs() {
+                    return Err(RuntimeError::InputLenMismatch {
+                        expected: group.circuit.n_inputs(),
+                        actual: inputs.len(),
+                    });
+                }
+            }
+        }
+        // One task per (group, lane chunk): the adjoint walk keeps
+        // (2 + outputs) slabs live, so chunks stay small enough for cache
+        // while still amortising the per-walk dispatch.
+        let chunk = (total_items / self.workers.max(1)).clamp(1, 32);
+        let tasks: Vec<(usize, usize, usize)> = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(g, group)| {
+                (0..group.inputs.len())
+                    .step_by(chunk)
+                    .map(move |start| (g, start, (start + chunk).min(group.inputs.len())))
+            })
+            .collect();
+        let results: Vec<Vec<(Vec<f64>, Jacobian)>> =
+            par::parallel_map(&tasks, self.workers, |_, &(g, start, end)| {
+                run_adjoint_slab(groups[g].circuit, readout, &groups[g].inputs[start..end])
+            });
+        let mut out: AdjointBatchResults = groups
             .iter()
             .map(|group| Vec::with_capacity(group.inputs.len()))
             .collect();
@@ -526,6 +604,58 @@ mod tests {
             BatchExecutor::serial().expectation_batch_prebound(&readout, &bad),
             Err(RuntimeError::InputLenMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn adjoint_batch_prebound_matches_serial_adjoint_bit_exactly() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let readout = Readout::z_all(4);
+        let param_sets: Vec<Vec<f64>> = (0..3).map(|g| init_params(20, 80 + g as u64)).collect();
+        let inputs = batch_inputs(5);
+        let prebound: Vec<_> = param_sets
+            .iter()
+            .map(|p| crate::prebound::prebind_adjoint(&compiled, p).unwrap())
+            .collect();
+        let groups: Vec<AdjointGroup<'_>> = prebound
+            .iter()
+            .map(|pa| AdjointGroup {
+                circuit: pa,
+                inputs: inputs.iter().map(|v| v.as_slice()).collect(),
+            })
+            .collect();
+        for workers in [1usize, 4] {
+            let ex = BatchExecutor::new(workers);
+            let out = ex
+                .forward_and_jacobian_batch_prebound(&readout, &groups)
+                .unwrap();
+            for (g, params) in param_sets.iter().enumerate() {
+                assert_eq!(out[g].len(), inputs.len());
+                for (item, (fwd, jac)) in inputs.iter().zip(&out[g]) {
+                    let state = qmarl_vqc::exec::run(&circuit, item, params).unwrap();
+                    let fwd_ref = readout.evaluate(&state).unwrap();
+                    let jac_ref =
+                        qmarl_vqc::grad::jacobian_adjoint(&circuit, &readout, item, params)
+                            .unwrap();
+                    assert_eq!(*fwd, fwd_ref, "group {g} workers {workers}");
+                    assert_eq!(*jac, jac_ref, "group {g} workers {workers}");
+                }
+            }
+        }
+        // Arity errors are typed, not panics.
+        let short = [0.0; 2];
+        let bad = vec![AdjointGroup {
+            circuit: &prebound[0],
+            inputs: vec![&short],
+        }];
+        assert!(matches!(
+            BatchExecutor::serial().forward_and_jacobian_batch_prebound(&readout, &bad),
+            Err(RuntimeError::InputLenMismatch { .. })
+        ));
+        let bad_readout = Readout::ZPerQubit { qubits: vec![9] };
+        assert!(BatchExecutor::serial()
+            .forward_and_jacobian_batch_prebound(&bad_readout, &groups)
+            .is_err());
     }
 
     #[test]

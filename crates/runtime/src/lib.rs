@@ -84,12 +84,14 @@ pub mod vec_rollout;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::batch::BatchExecutor;
-    pub use crate::batch::PreboundGroup;
+    pub use crate::batch::{AdjointGroup, PreboundGroup};
     pub use crate::cache::CircuitCache;
     pub use crate::compile::{circuit_hash, compile, CGate, CompiledCircuit, FusedAngle};
     pub use crate::error::RuntimeError;
     pub use crate::exec::run_compiled;
-    pub use crate::prebound::{prebind, run_prebound, PreboundCircuit};
+    pub use crate::prebound::{
+        prebind, prebind_adjoint, run_prebound, PreboundAdjoint, PreboundCircuit,
+    };
     pub use crate::qnn::CompiledVqc;
     pub use crate::rollout::{
         collect_episodes, derive_seed, EpisodeTrace, RolloutConfig, RolloutError, RolloutPolicy,

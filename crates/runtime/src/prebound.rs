@@ -647,6 +647,753 @@ pub(crate) fn run_prebound_slab_raw(pb: &PreboundCircuit, inputs: &[&[f64]]) -> 
     slab
 }
 
+// ---------------------------------------------------------------------
+// Prebound adjoint differentiation: the training hot path.
+//
+// The serial adjoint (`qmarl_vqc::grad::jacobian_adjoint`) walks the raw
+// op list once forward and once backward, rebuilding every rotation's
+// trig (and its inverse's trig) from scratch on every sample, through the
+// generic 2×2 gate interpreter. During an update sweep the parameters are
+// frozen, so — exactly like [`prebind`] for the forward path — all
+// parameter-only trig can be hoisted out of the per-sample loop, and the
+// whole minibatch can share one schedule walk per lane slab, reusing the
+// forward amplitude slab as the starting point of the reverse sweep.
+//
+// **Exactness.** The per-lane arithmetic below replicates the serial
+// interpreter *value for value*:
+//
+// * hoisted trig pairs are the exact values `Gate1::rx/ry/rz` compute —
+//   in particular `Gate1::rz` builds its phases via `from_polar(1, ∓θ/2)`
+//   and the inverse gate is built from the *negated angle*, so the
+//   hoisted pairs are recomputed from `−θ` rather than derived by sign
+//   flips (bitwise equality must not assume libm symmetry);
+// * the specialised pair/phase updates are value-identical to the generic
+//   complex 2×2 product against rotation matrices (the dropped terms are
+//   exact-zero products, and IEEE-754 makes `x·(−s) ≡ −(x·s)` and
+//   `a + (−t) ≡ a − t` exact);
+// * reductions (inner products, ⟨Z⟩ readouts) fold in amplitude order,
+//   matching the serial folds.
+//
+// `run_adjoint_slab` is therefore bit-identical (as `f64` values) to
+// per-sample `jacobian_adjoint` calls — asserted against the vqc engine
+// in this module's tests and end-to-end by the trainer equivalence suite.
+// ---------------------------------------------------------------------
+
+use qmarl_vqc::grad::Jacobian;
+use qmarl_vqc::observable::Readout;
+
+/// The two diagonal phases of `Gate1::rz(θ)` exactly as the interpreter
+/// builds them: `(pr0, pi0) = e^{−iθ/2}`, `(pr1, pi1) = e^{iθ/2}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ZPhases {
+    pr0: f64,
+    pi0: f64,
+    pr1: f64,
+    pi1: f64,
+}
+
+impl ZPhases {
+    fn of(theta: f64) -> Self {
+        ZPhases {
+            pr0: (-theta / 2.0).cos(),
+            pi0: (-theta / 2.0).sin(),
+            pr1: (theta / 2.0).cos(),
+            pi1: (theta / 2.0).sin(),
+        }
+    }
+}
+
+/// `(sin θ/2, cos θ/2)` as `Gate1::rx`/`Gate1::ry` evaluate them.
+fn xy_trig(theta: f64) -> (f64, f64) {
+    ((theta / 2.0).sin(), (theta / 2.0).cos())
+}
+
+/// One gate of a prebound adjoint schedule (raw, unfused order).
+/// Resolved rotations carry hoisted forward **and** inverse trig.
+#[derive(Debug, Clone, PartialEq)]
+enum AdjGate {
+    /// X/Y rotation resolved at prebind time.
+    RotSC {
+        qubit: usize,
+        axis: RotationAxis,
+        fwd: (f64, f64),
+        inv: (f64, f64),
+    },
+    /// Z rotation resolved at prebind time.
+    RotZSC {
+        qubit: usize,
+        fwd: ZPhases,
+        inv: ZPhases,
+    },
+    /// Input-dependent rotation (any axis), still symbolic.
+    RotSym {
+        qubit: usize,
+        axis: RotationAxis,
+        angle: FusedAngle,
+    },
+    /// Controlled X/Y rotation resolved at prebind time.
+    CRotSC {
+        control: usize,
+        target: usize,
+        axis: RotationAxis,
+        fwd: (f64, f64),
+        inv: (f64, f64),
+    },
+    /// Controlled Z rotation resolved at prebind time.
+    CRotZSC {
+        control: usize,
+        target: usize,
+        fwd: ZPhases,
+        inv: ZPhases,
+    },
+    /// Input-dependent controlled rotation, still symbolic.
+    CRotSym {
+        control: usize,
+        target: usize,
+        axis: RotationAxis,
+        angle: FusedAngle,
+    },
+    /// CNOT (self-inverse swap fast path).
+    Cnot { control: usize, target: usize },
+    /// CZ (self-inverse sign-flip fast path).
+    Cz { control: usize, target: usize },
+    /// A fixed unitary with its dagger hoisted.
+    Fixed {
+        qubit: usize,
+        gate: Gate1,
+        dag: Gate1,
+    },
+}
+
+/// One op of the adjoint schedule plus its trainable-parameter slot.
+#[derive(Debug, Clone, PartialEq)]
+struct AdjOp {
+    gate: AdjGate,
+    param: Option<usize>,
+}
+
+/// A raw (unfused) schedule bound to one frozen parameter vector for
+/// adjoint differentiation: forward and inverse trig of every
+/// parameter-only rotation hoisted, fixed-gate daggers premultiplied,
+/// trainable occurrences annotated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreboundAdjoint {
+    n_qubits: usize,
+    n_inputs: usize,
+    n_params: usize,
+    params: Vec<f64>,
+    ops: Vec<AdjOp>,
+}
+
+impl PreboundAdjoint {
+    /// Register width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Expected input-vector length.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Trainable-parameter arity (Jacobian columns).
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    /// The frozen parameter vector this schedule was bound with.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Number of rotations whose trig was hoisted (diagnostic).
+    pub fn resolved_rotations(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op.gate,
+                    AdjGate::RotSC { .. }
+                        | AdjGate::RotZSC { .. }
+                        | AdjGate::CRotSC { .. }
+                        | AdjGate::CRotZSC { .. }
+                )
+            })
+            .count()
+    }
+}
+
+/// Binds the **raw** schedule of a compiled circuit to a frozen parameter
+/// vector for adjoint differentiation (the adjoint sweep shifts
+/// individual op occurrences, so it cannot run the fused schedule).
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::ParamLenMismatch`] when `params` does not match
+/// the compiled arity.
+pub fn prebind_adjoint(
+    compiled: &CompiledCircuit,
+    params: &[f64],
+) -> Result<PreboundAdjoint, RuntimeError> {
+    if params.len() != compiled.n_params() {
+        return Err(RuntimeError::ParamLenMismatch {
+            expected: compiled.n_params(),
+            actual: params.len(),
+        });
+    }
+    let mut param_of = vec![None; compiled.raw_schedule().len()];
+    for occ in compiled.occurrences() {
+        param_of[occ.raw_idx] = Some(occ.param);
+    }
+    let ops = compiled
+        .raw_schedule()
+        .iter()
+        .enumerate()
+        .map(|(k, gate)| {
+            let gate = match gate {
+                CGate::Rot { qubit, axis, angle } => {
+                    if angle.depends_on_inputs() {
+                        AdjGate::RotSym {
+                            qubit: *qubit,
+                            axis: *axis,
+                            angle: angle.clone(),
+                        }
+                    } else {
+                        let theta = angle.value(&[], params);
+                        match axis {
+                            RotationAxis::Z => AdjGate::RotZSC {
+                                qubit: *qubit,
+                                fwd: ZPhases::of(theta),
+                                inv: ZPhases::of(-theta),
+                            },
+                            _ => AdjGate::RotSC {
+                                qubit: *qubit,
+                                axis: *axis,
+                                fwd: xy_trig(theta),
+                                inv: xy_trig(-theta),
+                            },
+                        }
+                    }
+                }
+                CGate::CRot {
+                    control,
+                    target,
+                    axis,
+                    angle,
+                } => {
+                    if angle.depends_on_inputs() {
+                        AdjGate::CRotSym {
+                            control: *control,
+                            target: *target,
+                            axis: *axis,
+                            angle: angle.clone(),
+                        }
+                    } else {
+                        let theta = angle.value(&[], params);
+                        match axis {
+                            RotationAxis::Z => AdjGate::CRotZSC {
+                                control: *control,
+                                target: *target,
+                                fwd: ZPhases::of(theta),
+                                inv: ZPhases::of(-theta),
+                            },
+                            _ => AdjGate::CRotSC {
+                                control: *control,
+                                target: *target,
+                                axis: *axis,
+                                fwd: xy_trig(theta),
+                                inv: xy_trig(-theta),
+                            },
+                        }
+                    }
+                }
+                CGate::Cnot { control, target } => AdjGate::Cnot {
+                    control: *control,
+                    target: *target,
+                },
+                CGate::Cz { control, target } => AdjGate::Cz {
+                    control: *control,
+                    target: *target,
+                },
+                CGate::Fixed { qubit, gate } => AdjGate::Fixed {
+                    qubit: *qubit,
+                    gate: *gate,
+                    dag: gate.dagger(),
+                },
+            };
+            AdjOp {
+                gate,
+                param: param_of[k],
+            }
+        })
+        .collect();
+    Ok(PreboundAdjoint {
+        n_qubits: compiled.n_qubits(),
+        n_inputs: compiled.n_inputs(),
+        n_params: compiled.n_params(),
+        params: params.to_vec(),
+        ops,
+    })
+}
+
+/// Fills the per-lane trig scratch for an input-dependent rotation (a
+/// no-op for every other gate kind). Split out of the application so the
+/// reverse sweep resolves each symbolic op's trig **once** and reuses it
+/// across the φ and every λ un-apply — the values are identical either
+/// way, only the redundant sin/cos work goes away.
+fn resolve_sym_trig(
+    gate: &AdjGate,
+    inverse: bool,
+    inputs: &[&[f64]],
+    params: &[f64],
+    xy: &mut Vec<(f64, f64)>,
+    zp: &mut Vec<ZPhases>,
+) {
+    let (axis, angle) = match gate {
+        AdjGate::RotSym { axis, angle, .. } | AdjGate::CRotSym { axis, angle, .. } => {
+            (*axis, angle)
+        }
+        _ => return,
+    };
+    match axis {
+        RotationAxis::Z => {
+            zp.clear();
+            zp.extend(inputs.iter().map(|li| {
+                let theta = angle.value(li, params);
+                ZPhases::of(if inverse { -theta } else { theta })
+            }));
+        }
+        _ => {
+            xy.clear();
+            xy.extend(inputs.iter().map(|li| {
+                let theta = angle.value(li, params);
+                xy_trig(if inverse { -theta } else { theta })
+            }));
+        }
+    }
+}
+
+/// Applies one adjoint-schedule gate (or its inverse) to a lane slab.
+/// `xy`/`zp` are per-lane trig scratch buffers reused across gates.
+#[allow(clippy::too_many_arguments)]
+fn adj_apply(
+    gate: &AdjGate,
+    inverse: bool,
+    slab: &mut [Complex64],
+    lanes: usize,
+    dim: usize,
+    inputs: &[&[f64]],
+    params: &[f64],
+    xy: &mut Vec<(f64, f64)>,
+    zp: &mut Vec<ZPhases>,
+) {
+    resolve_sym_trig(gate, inverse, inputs, params, xy, zp);
+    adj_apply_resolved(gate, inverse, slab, lanes, dim, xy, zp);
+}
+
+/// [`adj_apply`] with any input-dependent trig already resolved into
+/// `xy`/`zp` by [`resolve_sym_trig`].
+fn adj_apply_resolved(
+    gate: &AdjGate,
+    inverse: bool,
+    slab: &mut [Complex64],
+    lanes: usize,
+    dim: usize,
+    xy: &[(f64, f64)],
+    zp: &[ZPhases],
+) {
+    match gate {
+        AdjGate::RotSC {
+            qubit,
+            axis,
+            fwd,
+            inv,
+            ..
+        } => {
+            let (s, c) = if inverse { *inv } else { *fwd };
+            for_each_pair(dim, 1usize << qubit, |i0, i1| {
+                let (r0, r1) = rows_mut(slab, lanes, i0, i1);
+                rot_rows(*axis, r0, r1, s, c);
+            });
+        }
+        AdjGate::RotZSC { qubit, fwd, inv } => {
+            let z = if inverse { inv } else { fwd };
+            let mask = 1usize << qubit;
+            for i in 0..dim {
+                let (pr, pi) = if i & mask == 0 {
+                    (z.pr0, z.pi0)
+                } else {
+                    (z.pr1, z.pi1)
+                };
+                phase_row(&mut slab[i * lanes..(i + 1) * lanes], pr, pi);
+            }
+        }
+        AdjGate::RotSym { qubit, axis, .. } => {
+            let mask = 1usize << qubit;
+            match axis {
+                RotationAxis::Z => {
+                    for i in 0..dim {
+                        let row = &mut slab[i * lanes..(i + 1) * lanes];
+                        let hi = i & mask != 0;
+                        for (a, z) in row.iter_mut().zip(zp.iter()) {
+                            let (pr, pi) = if hi { (z.pr1, z.pi1) } else { (z.pr0, z.pi0) };
+                            let x = *a;
+                            *a = Complex64::new(x.re * pr - x.im * pi, x.re * pi + x.im * pr);
+                        }
+                    }
+                }
+                _ => {
+                    for_each_pair(dim, mask, |i0, i1| {
+                        let (r0, r1) = rows_mut(slab, lanes, i0, i1);
+                        rot_rows_lanes(*axis, r0, r1, xy);
+                    });
+                }
+            }
+        }
+        AdjGate::CRotSC {
+            control,
+            target,
+            axis,
+            fwd,
+            inv,
+        } => {
+            let (s, c) = if inverse { *inv } else { *fwd };
+            let mc = 1usize << control;
+            let mt = 1usize << target;
+            for i0 in 0..dim {
+                if i0 & mc == 0 || i0 & mt != 0 {
+                    continue;
+                }
+                let (r0, r1) = rows_mut(slab, lanes, i0, i0 | mt);
+                rot_rows(*axis, r0, r1, s, c);
+            }
+        }
+        AdjGate::CRotZSC {
+            control,
+            target,
+            fwd,
+            inv,
+        } => {
+            let z = if inverse { inv } else { fwd };
+            let mc = 1usize << control;
+            let mt = 1usize << target;
+            for i in 0..dim {
+                if i & mc == 0 {
+                    continue;
+                }
+                let (pr, pi) = if i & mt == 0 {
+                    (z.pr0, z.pi0)
+                } else {
+                    (z.pr1, z.pi1)
+                };
+                phase_row(&mut slab[i * lanes..(i + 1) * lanes], pr, pi);
+            }
+        }
+        AdjGate::CRotSym {
+            control,
+            target,
+            axis,
+            ..
+        } => {
+            let mc = 1usize << control;
+            let mt = 1usize << target;
+            match axis {
+                RotationAxis::Z => {
+                    for i in 0..dim {
+                        if i & mc == 0 {
+                            continue;
+                        }
+                        let row = &mut slab[i * lanes..(i + 1) * lanes];
+                        let hi = i & mt != 0;
+                        for (a, z) in row.iter_mut().zip(zp.iter()) {
+                            let (pr, pi) = if hi { (z.pr1, z.pi1) } else { (z.pr0, z.pi0) };
+                            let x = *a;
+                            *a = Complex64::new(x.re * pr - x.im * pi, x.re * pi + x.im * pr);
+                        }
+                    }
+                }
+                _ => {
+                    for i0 in 0..dim {
+                        if i0 & mc == 0 || i0 & mt != 0 {
+                            continue;
+                        }
+                        let (r0, r1) = rows_mut(slab, lanes, i0, i0 | mt);
+                        rot_rows_lanes(*axis, r0, r1, xy);
+                    }
+                }
+            }
+        }
+        AdjGate::Cnot { control, target } => {
+            let mc = 1usize << control;
+            let mt = 1usize << target;
+            for i in 0..dim {
+                if i & mc == 0 || i & mt != 0 {
+                    continue;
+                }
+                let (r0, r1) = rows_mut(slab, lanes, i, i | mt);
+                r0.swap_with_slice(r1);
+            }
+        }
+        AdjGate::Cz { control, target } => {
+            let mask = (1usize << control) | (1usize << target);
+            for i in 0..dim {
+                if i & mask != mask {
+                    continue;
+                }
+                for a in slab[i * lanes..(i + 1) * lanes].iter_mut() {
+                    *a = -*a;
+                }
+            }
+        }
+        AdjGate::Fixed { qubit, gate, dag } => {
+            let m = if inverse { dag.matrix() } else { gate.matrix() };
+            for_each_pair(dim, 1usize << qubit, |i0, i1| {
+                let (r0, r1) = rows_mut(slab, lanes, i0, i1);
+                for (a0, a1) in r0.iter_mut().zip(r1.iter_mut()) {
+                    let x0 = *a0;
+                    let x1 = *a1;
+                    *a0 = m[0][0] * x0 + m[0][1] * x1;
+                    *a1 = m[1][0] * x0 + m[1][1] * x1;
+                }
+            });
+        }
+    }
+}
+
+/// X/Y pair rotation with per-lane trig (the `rot_rows` twin for
+/// input-dependent angles).
+#[inline]
+fn rot_rows_lanes(
+    axis: RotationAxis,
+    r0: &mut [Complex64],
+    r1: &mut [Complex64],
+    trig: &[(f64, f64)],
+) {
+    match axis {
+        RotationAxis::X => {
+            for ((a0, a1), &(s, c)) in r0.iter_mut().zip(r1.iter_mut()).zip(trig) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = Complex64::new(c * x0.re + s * x1.im, c * x0.im - s * x1.re);
+                *a1 = Complex64::new(s * x0.im + c * x1.re, -s * x0.re + c * x1.im);
+            }
+        }
+        RotationAxis::Y => {
+            for ((a0, a1), &(s, c)) in r0.iter_mut().zip(r1.iter_mut()).zip(trig) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = Complex64::new(c * x0.re - s * x1.re, c * x0.im - s * x1.im);
+                *a1 = Complex64::new(s * x0.re + c * x1.re, s * x0.im + c * x1.im);
+            }
+        }
+        RotationAxis::Z => unreachable!("Rz is diagonal; handled per amplitude row"),
+    }
+}
+
+/// An output observable of the adjoint sweep (λ construction).
+enum SlabObservable {
+    SingleZ(usize),
+    WeightedZ(Vec<f64>),
+}
+
+impl SlabObservable {
+    /// `O|ψ⟩` over a whole lane slab, mirroring the serial observable
+    /// application amplitude for amplitude.
+    fn apply_slab(&self, slab: &[Complex64], lanes: usize) -> Vec<Complex64> {
+        let mut out = slab.to_vec();
+        let dim = slab.len() / lanes.max(1);
+        match self {
+            SlabObservable::SingleZ(q) => {
+                let mask = 1usize << q;
+                for i in 0..dim {
+                    if i & mask != 0 {
+                        for a in out[i * lanes..(i + 1) * lanes].iter_mut() {
+                            *a = -*a;
+                        }
+                    }
+                }
+            }
+            SlabObservable::WeightedZ(weights) => {
+                for i in 0..dim {
+                    let mut coeff = 0.0;
+                    for (q, w) in weights.iter().enumerate() {
+                        let sign = if i & (1usize << q) == 0 { 1.0 } else { -1.0 };
+                        coeff += w * sign;
+                    }
+                    for (a, &src) in out[i * lanes..(i + 1) * lanes]
+                        .iter_mut()
+                        .zip(&slab[i * lanes..(i + 1) * lanes])
+                    {
+                        *a = src.scale(coeff);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Applies the generator `G` of a parameterised rotation to a slab
+/// (`U = exp(−iθG/2)` up to control projection), in place.
+fn apply_generator_slab(gate: &AdjGate, slab: &mut [Complex64], lanes: usize, dim: usize) {
+    match *gate {
+        AdjGate::RotSC { qubit, axis, .. } | AdjGate::RotSym { qubit, axis, .. } => {
+            pauli_slab(slab, lanes, dim, qubit, axis);
+        }
+        AdjGate::RotZSC { qubit, .. } => pauli_slab(slab, lanes, dim, qubit, RotationAxis::Z),
+        AdjGate::CRotSC {
+            control,
+            target,
+            axis,
+            ..
+        }
+        | AdjGate::CRotSym {
+            control,
+            target,
+            axis,
+            ..
+        } => {
+            project_control_slab(slab, lanes, dim, control);
+            pauli_slab(slab, lanes, dim, target, axis);
+        }
+        AdjGate::CRotZSC {
+            control, target, ..
+        } => {
+            project_control_slab(slab, lanes, dim, control);
+            pauli_slab(slab, lanes, dim, target, RotationAxis::Z);
+        }
+        _ => unreachable!("generator requested for non-parameterised op"),
+    }
+}
+
+/// Zeroes every amplitude row whose `control` bit is 0 (the `|1⟩⟨1|`
+/// projector of a controlled generator).
+fn project_control_slab(slab: &mut [Complex64], lanes: usize, dim: usize, control: usize) {
+    let mask = 1usize << control;
+    for i in 0..dim {
+        if i & mask == 0 {
+            for a in slab[i * lanes..(i + 1) * lanes].iter_mut() {
+                *a = Complex64::ZERO;
+            }
+        }
+    }
+}
+
+/// Applies a Pauli to a slab, mirroring the serial `apply_pauli`.
+fn pauli_slab(slab: &mut [Complex64], lanes: usize, dim: usize, q: usize, axis: RotationAxis) {
+    let mask = 1usize << q;
+    match axis {
+        RotationAxis::X => {
+            for i in 0..dim {
+                if i & mask == 0 {
+                    let (r0, r1) = rows_mut(slab, lanes, i, i | mask);
+                    r0.swap_with_slice(r1);
+                }
+            }
+        }
+        RotationAxis::Y => {
+            for i in 0..dim {
+                if i & mask == 0 {
+                    let (r0, r1) = rows_mut(slab, lanes, i, i | mask);
+                    for (a0, a1) in r0.iter_mut().zip(r1.iter_mut()) {
+                        let x0 = *a0;
+                        let x1 = *a1;
+                        *a0 = Complex64::new(x1.im, -x1.re);
+                        *a1 = Complex64::new(-x0.im, x0.re);
+                    }
+                }
+            }
+        }
+        RotationAxis::Z => {
+            for i in 0..dim {
+                if i & mask != 0 {
+                    for a in slab[i * lanes..(i + 1) * lanes].iter_mut() {
+                        *a = -*a;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the adjoint sweep over all `inputs` lanes in one pair of schedule
+/// walks (forward, then reverse reusing the forward slab), returning each
+/// lane's `(raw readout vector, circuit-parameter Jacobian)`.
+///
+/// Bit-identical per lane to `readout.evaluate(vqc::exec::run(…))` plus
+/// `qmarl_vqc::grad::jacobian_adjoint` — input lengths and the readout are
+/// the caller's responsibility (the executor validates once per batch).
+pub(crate) fn run_adjoint_slab(
+    pa: &PreboundAdjoint,
+    readout: &Readout,
+    inputs: &[&[f64]],
+) -> Vec<(Vec<f64>, Jacobian)> {
+    let lanes = inputs.len();
+    if lanes == 0 {
+        return Vec::new();
+    }
+    let dim = 1usize << pa.n_qubits;
+    let n_out = readout.output_len();
+    let mut xy: Vec<(f64, f64)> = Vec::with_capacity(lanes);
+    let mut zp: Vec<ZPhases> = Vec::with_capacity(lanes);
+
+    // Forward walk over the raw (unfused) schedule: the serial adjoint
+    // differentiates the op list 1:1, so no fusion here either.
+    let mut phi = vec![Complex64::ZERO; dim * lanes];
+    for cell in phi[..lanes].iter_mut() {
+        *cell = Complex64::ONE;
+    }
+    for op in &pa.ops {
+        adj_apply(
+            &op.gate, false, &mut phi, lanes, dim, inputs, &pa.params, &mut xy, &mut zp,
+        );
+    }
+
+    let outs: Vec<Vec<f64>> = (0..lanes)
+        .map(|lane| readout_from_slab(readout, &phi, lanes, lane))
+        .collect();
+
+    // λ_j = O_j |ψ⟩ per output observable, then the reverse sweep.
+    let observables: Vec<SlabObservable> = match readout {
+        Readout::ZPerQubit { qubits } => {
+            qubits.iter().map(|&q| SlabObservable::SingleZ(q)).collect()
+        }
+        Readout::WeightedZSum { weights } => vec![SlabObservable::WeightedZ(weights.clone())],
+    };
+    let mut lambdas: Vec<Vec<Complex64>> = observables
+        .iter()
+        .map(|o| o.apply_slab(&phi, lanes))
+        .collect();
+
+    let mut jacs = vec![Jacobian::zeros(n_out, pa.n_params); lanes];
+    let mut gen = vec![Complex64::ZERO; dim * lanes];
+    for op in pa.ops.iter().rev() {
+        // Contribution uses φ = ψ_k (state *after* gate k) and λ = λ_k,
+        // exactly like the serial sweep: ∂E/∂θ += Im⟨λ_k|G|ψ_k⟩.
+        if let Some(p) = op.param {
+            gen.copy_from_slice(&phi);
+            apply_generator_slab(&op.gate, &mut gen, lanes, dim);
+            for (j, lam) in lambdas.iter().enumerate() {
+                for (lane, jac) in jacs.iter_mut().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for i in 0..dim {
+                        acc += lam[i * lanes + lane].conj() * gen[i * lanes + lane];
+                    }
+                    *jac.get_mut(j, p) += acc.im;
+                }
+            }
+        }
+        // Un-apply the gate from φ and every λ, resolving any
+        // input-dependent trig once for all of them.
+        resolve_sym_trig(&op.gate, true, inputs, &pa.params, &mut xy, &mut zp);
+        adj_apply_resolved(&op.gate, true, &mut phi, lanes, dim, &xy, &zp);
+        for lam in &mut lambdas {
+            adj_apply_resolved(&op.gate, true, lam, lanes, dim, &xy, &zp);
+        }
+    }
+    outs.into_iter().zip(jacs).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -756,6 +1503,115 @@ mod tests {
             let single = run_prebound(&pb, item).unwrap();
             assert_eq!(state.amplitudes(), single.amplitudes());
         }
+    }
+
+    /// The serial reference the adjoint engine must match bit-for-bit:
+    /// interpreter forward + readout + `jacobian_adjoint`.
+    fn serial_adjoint_reference(
+        circuit: &Circuit,
+        readout: &qmarl_vqc::observable::Readout,
+        inputs: &[f64],
+        params: &[f64],
+    ) -> (Vec<f64>, Jacobian) {
+        let state = qmarl_vqc::exec::run(circuit, inputs, params).unwrap();
+        let out = readout.evaluate(&state).unwrap();
+        let jac = qmarl_vqc::grad::jacobian_adjoint(circuit, readout, inputs, params).unwrap();
+        (out, jac)
+    }
+
+    #[test]
+    fn adjoint_slab_is_bit_identical_to_serial_adjoint() {
+        // The paper's actor shape: layered encoder + ansatz, Z readout on
+        // every wire. Hoisted trig + slab execution must reproduce the
+        // vqc interpreter's values exactly, for any lane count.
+        let circuit = actor_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(circuit.param_count(), 33);
+        let readout = qmarl_vqc::observable::Readout::z_all(4);
+        let pa = prebind_adjoint(&compiled, &params).unwrap();
+        assert!(pa.resolved_rotations() >= 40, "ansatz must be hoisted");
+        assert_eq!(pa.n_params(), circuit.param_count());
+
+        let inputs: Vec<Vec<f64>> = (0..6)
+            .map(|b| (0..4).map(|i| 0.13 * (b * 4 + i) as f64 - 0.9).collect())
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let slab = run_adjoint_slab(&pa, &readout, &refs);
+        assert_eq!(slab.len(), 6);
+        for (item, (out, jac)) in refs.iter().zip(&slab) {
+            let (out_ref, jac_ref) = serial_adjoint_reference(&circuit, &readout, item, &params);
+            assert_eq!(*out, out_ref, "forward readout must be bit-identical");
+            assert_eq!(*jac, jac_ref, "adjoint Jacobian must be bit-identical");
+        }
+        // Lane-count invariance: a 1-lane slab reproduces every lane of
+        // the wide slab exactly.
+        for (item, wide) in refs.iter().zip(&slab) {
+            let single = run_adjoint_slab(&pa, &readout, &[item]);
+            assert_eq!(single[0], *wide);
+        }
+        assert!(run_adjoint_slab(&pa, &readout, &[]).is_empty());
+    }
+
+    #[test]
+    fn adjoint_slab_handles_every_gate_kind_and_weighted_readout() {
+        // Rotations on every axis (input-dependent and parameterised,
+        // plain and controlled), CNOT, CZ, fixed gates, a shared
+        // parameter, and the critic's weighted-Z scalar readout.
+        let mut c = Circuit::new(3);
+        c.fixed(0, FixedGate::H).unwrap();
+        c.rot(0, Ax::X, Angle::Input(InputId(0))).unwrap();
+        c.rot(1, Ax::Z, Angle::Input(InputId(1))).unwrap();
+        c.rot(1, Ax::Y, Angle::Param(ParamId(0))).unwrap();
+        c.rot(2, Ax::Z, Angle::Param(ParamId(1))).unwrap();
+        c.controlled_rot(0, 1, Ax::X, Angle::Param(ParamId(2)))
+            .unwrap();
+        c.controlled_rot(1, 2, Ax::Y, Angle::Param(ParamId(3)))
+            .unwrap();
+        c.controlled_rot(2, 0, Ax::Z, Angle::Param(ParamId(4)))
+            .unwrap();
+        c.controlled_rot(0, 2, Ax::Y, Angle::Input(InputId(0)))
+            .unwrap();
+        c.controlled_rot(1, 0, Ax::Z, Angle::Input(InputId(1)))
+            .unwrap();
+        c.cnot(0, 2).unwrap();
+        c.cz(1, 2).unwrap();
+        c.rot(2, Ax::X, Angle::Param(ParamId(0))).unwrap(); // shared param
+        c.rot(0, Ax::Y, Angle::Const(-0.9)).unwrap();
+        let compiled = compile(&c);
+        let params = [0.4, -0.8, 1.7, 0.3, -1.1];
+        let pa = prebind_adjoint(&compiled, &params).unwrap();
+
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|b| vec![0.3 * b as f64 - 0.7, 0.2 * b as f64 + 0.1])
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        for readout in [
+            qmarl_vqc::observable::Readout::z_all(3),
+            qmarl_vqc::observable::Readout::mean_z(3),
+            qmarl_vqc::observable::Readout::WeightedZSum {
+                weights: vec![0.2, -1.3, 0.7],
+            },
+        ] {
+            for (item, (out, jac)) in refs.iter().zip(run_adjoint_slab(&pa, &readout, &refs)) {
+                let (out_ref, jac_ref) = serial_adjoint_reference(&c, &readout, item, &params);
+                assert_eq!(out, out_ref);
+                assert_eq!(jac, jac_ref);
+            }
+        }
+    }
+
+    #[test]
+    fn adjoint_prebinding_lengths_validated() {
+        let compiled = compile(&actor_circuit());
+        let params = init_params(42, 0);
+        assert!(matches!(
+            prebind_adjoint(&compiled, &params[..7]),
+            Err(RuntimeError::ParamLenMismatch { .. })
+        ));
+        let pa = prebind_adjoint(&compiled, &params).unwrap();
+        assert_eq!(pa.n_qubits(), 4);
+        assert_eq!(pa.n_inputs(), 4);
+        assert_eq!(pa.params(), &params[..]);
     }
 
     #[test]

@@ -166,9 +166,55 @@ impl CompiledVqc {
             .collect())
     }
 
-    /// Batched **adjoint** forward + Jacobian: each sample runs the
-    /// cheap reverse-sweep method, samples fan out across the executor's
-    /// workers.
+    /// Batched **adjoint** forward + Jacobian over a minibatch of
+    /// observations under shared (frozen) parameters — the training
+    /// update's hot path. The circuit is adjoint-prebound once
+    /// ([`crate::prebound::prebind_adjoint`]: forward *and* inverse trig
+    /// of every parameter-only rotation hoisted out of the per-sample
+    /// loop), then the whole minibatch runs as lane slabs through the
+    /// executor's flat work queue, one forward-walk-plus-reverse-sweep
+    /// pair per chunk.
+    ///
+    /// Per sample the result is **bit-identical** to
+    /// [`CompiledVqc::forward_with_jacobian`] with [`GradMethod::Adjoint`]
+    /// (asserted by this module's tests and the trainer equivalence
+    /// suite).
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length errors.
+    pub fn forward_with_jacobian_batch_prebound(
+        &self,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+    ) -> Result<Vec<(Vec<f64>, Jacobian)>, RuntimeError> {
+        let (circ, scales, biases) = self.model.split_params(params)?;
+        let scaled: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| self.model.input_scaling().apply_all(x))
+            .collect();
+        let prebound = crate::prebound::prebind_adjoint(&self.compiled, circ)?;
+        let group = crate::batch::AdjointGroup {
+            circuit: &prebound,
+            inputs: scaled.iter().map(|v| v.as_slice()).collect(),
+        };
+        let mut per_group = self
+            .executor
+            .forward_and_jacobian_batch_prebound(self.model.readout(), &[group])?;
+        Ok(per_group
+            .pop()
+            .expect("one group in, one out")
+            .into_iter()
+            .map(|(raw, circ_jac)| {
+                self.model
+                    .assemble_jacobian(&raw, &circ_jac, scales, biases)
+            })
+            .collect())
+    }
+
+    /// Batched **adjoint** forward + Jacobian — alias for
+    /// [`CompiledVqc::forward_with_jacobian_batch_prebound`], kept for the
+    /// PR-1 API surface.
     ///
     /// # Errors
     ///
@@ -178,11 +224,7 @@ impl CompiledVqc {
         inputs: &[Vec<f64>],
         params: &[f64],
     ) -> Result<Vec<(Vec<f64>, Jacobian)>, RuntimeError> {
-        qmarl_qsim::par::try_parallel_map(inputs, self.executor.workers(), |_, obs| {
-            self.model
-                .forward_with_jacobian(obs, params, GradMethod::Adjoint)
-                .map_err(RuntimeError::from)
-        })
+        self.forward_with_jacobian_batch_prebound(inputs, params)
     }
 
     /// Batched scalar evaluation (critic values): the first output of
@@ -304,6 +346,46 @@ mod tests {
             .unwrap();
         for ((_, a), (_, b)) in adjoint.iter().zip(&results) {
             assert!(a.max_abs_diff(b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prebound_adjoint_batch_is_bit_identical_to_single_adjoint() {
+        // Both the actor shape (vector readout, affine head) and the
+        // critic shape (scalar weighted readout): the batched engine must
+        // reproduce the serial model-path adjoint bit for bit, including
+        // the head Jacobian.
+        let critic_like = VqcBuilder::new(3)
+            .encoder_inputs(6)
+            .ansatz_params(14)
+            .readout(Readout::mean_z(3))
+            .output_head(OutputHead::Affine)
+            .build()
+            .unwrap();
+        for model in [actor_like(), critic_like] {
+            let mut params = model.init_params(13);
+            // Non-trivial head so scale gradients are exercised.
+            let nc = model.circuit_param_count();
+            params[nc] = 1.7;
+            let compiled = CompiledVqc::new(model);
+            let in_len = compiled.model().input_len();
+            let batch: Vec<Vec<f64>> = (0..5)
+                .map(|b| {
+                    (0..in_len)
+                        .map(|i| 0.06 * (b * in_len + i) as f64 - 0.4)
+                        .collect()
+                })
+                .collect();
+            let batched = compiled
+                .forward_with_jacobian_batch_prebound(&batch, &params)
+                .unwrap();
+            for (obs, (out, jac)) in batch.iter().zip(&batched) {
+                let (out_ref, jac_ref) = compiled
+                    .forward_with_jacobian(obs, &params, GradMethod::Adjoint)
+                    .unwrap();
+                assert_eq!(*out, out_ref);
+                assert_eq!(jac.max_abs_diff(&jac_ref), 0.0);
+            }
         }
     }
 

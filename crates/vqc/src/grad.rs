@@ -72,6 +72,17 @@ impl Jacobian {
         &self.data[output * self.n_params..(output + 1) * self.n_params]
     }
 
+    /// A single-row Jacobian taking ownership of an existing gradient
+    /// vector — how scalar-output models hand the trainer a uniform
+    /// `(value, Jacobian)` surface without copying.
+    pub fn from_row(row: Vec<f64>) -> Self {
+        Jacobian {
+            n_outputs: 1,
+            n_params: row.len(),
+            data: row,
+        }
+    }
+
     /// Chain rule: given `∂L/∂outputs`, returns `∂L/∂θ` (vector-Jacobian
     /// product — what an optimizer consumes).
     ///
@@ -79,18 +90,36 @@ impl Jacobian {
     ///
     /// Panics if `upstream.len() != n_outputs`.
     pub fn vjp(&self, upstream: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_params];
+        self.vjp_into(upstream, &mut out);
+        out
+    }
+
+    /// [`Jacobian::vjp`] into a caller-owned buffer (overwritten) — the
+    /// update-sweep hot path reuses one scratch vector across a whole
+    /// batch instead of allocating per transition. Arithmetic is
+    /// identical to [`Jacobian::vjp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upstream.len() != n_outputs` or `out.len() != n_params`.
+    pub fn vjp_into(&self, upstream: &[f64], out: &mut [f64]) {
         assert_eq!(
             upstream.len(),
             self.n_outputs,
             "upstream gradient length mismatch"
         );
-        let mut out = vec![0.0; self.n_params];
+        assert_eq!(
+            out.len(),
+            self.n_params,
+            "vjp output buffer length mismatch"
+        );
+        out.fill(0.0);
         for (j, &u) in upstream.iter().enumerate() {
             for (p, o) in out.iter_mut().enumerate() {
                 *o += u * self.get(j, p);
             }
         }
-        out
     }
 
     /// Maximum absolute difference against another Jacobian.
@@ -122,6 +151,13 @@ pub enum GradMethod {
 
 /// Computes the Jacobian with the chosen method.
 ///
+/// `ParameterShift` routes through
+/// [`jacobian_parameter_shift_parallel`] with the scheduler's default
+/// worker count — bit-identical to the serial rule (contributions fold in
+/// occurrence order), but every shift evaluation of a deep circuit keeps
+/// the cores busy. On a single-core host the parallel path falls straight
+/// through to the serial sweep.
+///
 /// # Errors
 ///
 /// Propagates binding and readout validation errors.
@@ -133,7 +169,13 @@ pub fn jacobian(
     params: &[f64],
 ) -> Result<Jacobian, VqcError> {
     match method {
-        GradMethod::ParameterShift => jacobian_parameter_shift(circuit, readout, inputs, params),
+        GradMethod::ParameterShift => jacobian_parameter_shift_parallel(
+            circuit,
+            readout,
+            inputs,
+            params,
+            qmarl_qsim::par::default_workers(),
+        ),
         GradMethod::Adjoint => jacobian_adjoint(circuit, readout, inputs, params),
         GradMethod::FiniteDiff => jacobian_finite_diff(circuit, readout, inputs, params, 1e-6),
     }
@@ -701,6 +743,49 @@ mod tests {
         let g = jac.vjp(&[0.5, 2.0]);
         assert_eq!(g, vec![0.5, -2.0, 1.0]);
         assert_eq!(jac.row(0), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn vjp_into_reuses_buffer_bit_exactly() {
+        let mut jac = Jacobian::zeros(2, 3);
+        *jac.get_mut(0, 0) = 0.3;
+        *jac.get_mut(0, 2) = -1.7;
+        *jac.get_mut(1, 1) = 2.2;
+        let upstream = [0.9, -0.4];
+        let fresh = jac.vjp(&upstream);
+        // A dirty buffer must be overwritten, not accumulated into.
+        let mut buf = vec![99.0; 3];
+        jac.vjp_into(&upstream, &mut buf);
+        assert_eq!(buf, fresh);
+    }
+
+    #[test]
+    fn from_row_wraps_without_reshaping() {
+        let jac = Jacobian::from_row(vec![1.5, -0.5, 0.25]);
+        assert_eq!(jac.n_outputs(), 1);
+        assert_eq!(jac.n_params(), 3);
+        assert_eq!(jac.row(0), &[1.5, -0.5, 0.25]);
+        // vjp with a scalar upstream scales the row.
+        assert_eq!(jac.vjp(&[-2.0]), vec![-3.0, 1.0, -0.5]);
+    }
+
+    #[test]
+    fn jacobian_dispatch_routes_parameter_shift_through_parallel() {
+        // `jacobian(ParameterShift)` is the production route; it must be
+        // bit-identical to both the serial rule and the explicitly
+        // parallel rule for every worker count.
+        let c = paper_like_circuit();
+        let params = init_params(c.param_count(), 41);
+        let inputs = test_inputs();
+        let readout = Readout::z_all(4);
+        let routed = jacobian(GradMethod::ParameterShift, &c, &readout, &inputs, &params).unwrap();
+        let serial = jacobian_parameter_shift(&c, &readout, &inputs, &params).unwrap();
+        assert_eq!(routed.max_abs_diff(&serial), 0.0);
+        for workers in [1, 3, 8] {
+            let par =
+                jacobian_parameter_shift_parallel(&c, &readout, &inputs, &params, workers).unwrap();
+            assert_eq!(routed.max_abs_diff(&par), 0.0, "workers={workers}");
+        }
     }
 
     #[test]

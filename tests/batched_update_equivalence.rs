@@ -1,0 +1,173 @@
+//! Property: the batched update sweep is **bit-identical** to the serial
+//! reference sweep — for every registered scenario, for quantum and MLP
+//! stacks, across batch sizes {1, 4, 16}.
+//!
+//! This is the correctness contract of the batched gradient engine
+//! (`runtime::prebound::prebind_adjoint` + the trainer's
+//! `UpdateEngine::Batched`): the engines may only change *how* gradients
+//! are computed, never a single bit of which updates are applied. The
+//! assertions compare whole training histories and every final parameter
+//! with `assert_eq!`, not tolerances.
+
+use qmarl::core::prelude::*;
+use qmarl::env::prelude::*;
+use qmarl::vqc::prelude::GradMethod;
+
+/// A short horizon keeps 16-episode sweeps affordable in debug builds
+/// without changing what the property covers.
+const EPISODE_LIMIT: usize = 4;
+
+fn scenario_env(name: &str, seed: u64) -> Box<dyn ScenarioEnv> {
+    let params = ScenarioParams::seeded(seed).with_episode_limit(EPISODE_LIMIT);
+    build_scenario_with(name, &params).expect("registered scenario builds")
+}
+
+/// Quantum stack sized to the scenario's shapes: one readout wire per
+/// action (so wide scenarios get wider registers), the critic always on
+/// the paper's 4-qubit folded-encoder register.
+fn quantum_trainer(
+    name: &str,
+    seed: u64,
+    grad_method: GradMethod,
+    engine: UpdateEngine,
+) -> CtdeTrainer<Box<dyn ScenarioEnv>> {
+    let env = scenario_env(name, seed);
+    let n_qubits = env.n_actions().max(4);
+    let actors: Vec<Box<dyn Actor>> = (0..env.n_agents())
+        .map(|n| {
+            Box::new(
+                QuantumActor::new(
+                    n_qubits,
+                    env.obs_dim(),
+                    env.n_actions(),
+                    50.max(2 * env.n_actions() + 8),
+                    seed + n as u64,
+                )
+                .expect("actor builds")
+                .with_grad_method(grad_method),
+            ) as Box<dyn Actor>
+        })
+        .collect();
+    let critic = Box::new(
+        QuantumCritic::new(4, env.state_dim(), 50, seed + 100)
+            .expect("critic builds")
+            .with_grad_method(grad_method),
+    );
+    let mut config = TrainConfig::paper_default();
+    config.seed = seed;
+    config.replay_capacity = 16;
+    let mut t = CtdeTrainer::new(env, actors, critic, config).expect("trainer builds");
+    t.set_update_engine(engine);
+    t
+}
+
+fn classical_trainer(
+    name: &str,
+    seed: u64,
+    engine: UpdateEngine,
+) -> CtdeTrainer<Box<dyn ScenarioEnv>> {
+    let env = scenario_env(name, seed);
+    let actors: Vec<Box<dyn Actor>> = (0..env.n_agents())
+        .map(|n| {
+            Box::new(
+                ClassicalActor::new(&[env.obs_dim(), 5, env.n_actions()], seed + n as u64)
+                    .expect("actor builds"),
+            ) as Box<dyn Actor>
+        })
+        .collect();
+    let critic =
+        Box::new(ClassicalCritic::new(&[env.state_dim(), 2, 1], seed).expect("critic builds"));
+    let mut config = TrainConfig::paper_default();
+    config.seed = seed;
+    config.replay_capacity = 16;
+    let mut t = CtdeTrainer::new(env, actors, critic, config).expect("trainer builds");
+    t.set_update_engine(engine);
+    t
+}
+
+/// Trains one vectorized epoch of `batch` episodes (so the sweep covers a
+/// `batch`-episode minibatch) and returns everything the equivalence
+/// check compares.
+fn run_epoch(
+    mut t: CtdeTrainer<Box<dyn ScenarioEnv>>,
+    batch: usize,
+) -> (TrainingHistory, Vec<Vec<f64>>, Vec<f64>) {
+    t.run_epoch_vec(batch, batch.min(4)).expect("epoch runs");
+    (
+        t.history().clone(),
+        t.actors().iter().map(|a| a.params()).collect(),
+        t.critic().params(),
+    )
+}
+
+#[test]
+fn batched_sweep_is_bit_identical_for_every_scenario() {
+    for spec in scenarios() {
+        for &batch in &[1usize, 4, 16] {
+            let seed = 1000 + batch as u64;
+            let serial = run_epoch(
+                quantum_trainer(spec.name(), seed, GradMethod::Adjoint, UpdateEngine::Serial),
+                batch,
+            );
+            let batched = run_epoch(
+                quantum_trainer(
+                    spec.name(),
+                    seed,
+                    GradMethod::Adjoint,
+                    UpdateEngine::Batched,
+                ),
+                batch,
+            );
+            assert_eq!(
+                serial,
+                batched,
+                "quantum stack drifted: scenario {} batch {batch}",
+                spec.name()
+            );
+
+            let serial = run_epoch(
+                classical_trainer(spec.name(), seed, UpdateEngine::Serial),
+                batch,
+            );
+            let batched = run_epoch(
+                classical_trainer(spec.name(), seed, UpdateEngine::Batched),
+                batch,
+            );
+            assert_eq!(
+                serial,
+                batched,
+                "MLP stack drifted: scenario {} batch {batch}",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_sweep_is_bit_identical_under_parameter_shift() {
+    // Adjoint unavailable (hardware-rule gradients requested): the batch
+    // engine falls back to the flat parameter-shift queue, which must be
+    // just as bit-exact against the serial shift path.
+    for &batch in &[1usize, 4] {
+        let seed = 2000 + batch as u64;
+        let serial = run_epoch(
+            quantum_trainer(
+                "single-hop",
+                seed,
+                GradMethod::ParameterShift,
+                UpdateEngine::Serial,
+            ),
+            batch,
+        );
+        let batched = run_epoch(
+            quantum_trainer(
+                "single-hop",
+                seed,
+                GradMethod::ParameterShift,
+                UpdateEngine::Batched,
+            ),
+            batch,
+        );
+        assert_eq!(serial, batched, "parameter-shift drifted at batch {batch}");
+    }
+}
