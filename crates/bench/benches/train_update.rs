@@ -28,30 +28,19 @@ const EPISODE_LIMIT: usize = 50;
 /// Episodes per update sweep (the replay minibatch).
 const BATCH_EPISODES: usize = 4;
 
-/// Builds a trainer on a registry scenario with quantum actors sized to
-/// its shapes, replay already filled with `BATCH_EPISODES` episodes.
+/// Builds the production quantum stack on a registry scenario (the same
+/// `build_scenario_trainer` shapes training actually runs), replay
+/// already filled with `BATCH_EPISODES` episodes.
 fn trainer(scenario: &str, seed: u64, engine: UpdateEngine) -> CtdeTrainer<Box<dyn ScenarioEnv>> {
-    let params = ScenarioParams::seeded(seed).with_episode_limit(EPISODE_LIMIT);
-    let env = build_scenario_with(scenario, &params).expect("scenario");
-    let n_qubits = env.n_actions().max(4);
-    let actors: Vec<Box<dyn Actor>> = (0..env.n_agents())
-        .map(|n| {
-            Box::new(
-                QuantumActor::new(
-                    n_qubits,
-                    env.obs_dim(),
-                    env.n_actions(),
-                    50.max(2 * env.n_actions() + 8),
-                    seed + n as u64,
-                )
-                .expect("actor"),
-            ) as Box<dyn Actor>
-        })
-        .collect();
-    let critic = Box::new(QuantumCritic::new(4, env.state_dim(), 50, seed + 100).expect("critic"));
     let mut config = TrainConfig::paper_default();
     config.seed = seed;
-    let mut t = CtdeTrainer::new(env, actors, critic, config).expect("trainer");
+    let mut t = build_scenario_trainer(
+        scenario,
+        &ExecutionBackend::Ideal,
+        &config,
+        Some(EPISODE_LIMIT),
+    )
+    .expect("trainer");
     t.set_update_engine(engine);
     // One vectorized epoch fills the replay with BATCH_EPISODES episodes
     // (its update doubles as engine warmup); the measured loop then

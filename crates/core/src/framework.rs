@@ -9,8 +9,11 @@
 //! | `Comp3` | classical MLP | classical MLP | > 40 000 |
 //! | `RandomWalk` | uniform random | — | 0 |
 
+use qmarl_env::multi_agent::MultiAgentEnv;
+use qmarl_env::scenario::{build_scenario_with, ScenarioEnv, ScenarioParams};
 use qmarl_env::single_hop::{EnvConfig, SingleHopEnv};
 use qmarl_neural::mlp::hidden_for_budget;
+use qmarl_runtime::backend::ExecutionBackend;
 
 use crate::config::{ExperimentConfig, TrainConfig};
 use crate::error::CoreError;
@@ -159,6 +162,67 @@ pub fn build_trainer(
     CtdeTrainer::new(env, actors, critic, config.train.clone())
 }
 
+/// Builds the paper's quantum CTDE stack on any registry scenario under
+/// any [`ExecutionBackend`] — the scenario × backend sweep surface.
+///
+/// Shapes come from the environment (one readout wire per action, the
+/// critic's state folded into `train.n_qubits` wires), so every
+/// registered scenario is runnable under every backend; the backend spec
+/// is string-constructible via `ExecutionBackend::from_str`
+/// (`"ideal"`, `"sampled:shots=1024"`, `"noisy:p1=0.001:p2=0.002"`, …).
+/// Gradient routing follows backend capability: `Ideal` keeps
+/// `train.grad_method` (adjoint/prebound fast paths), `Sampled`/`Noisy`
+/// train by the batched parameter-shift queue with shot-sampled/noisy
+/// expectations.
+///
+/// # Errors
+///
+/// Returns construction errors from the scenario registry or the model
+/// builders.
+pub fn build_scenario_trainer(
+    scenario: &str,
+    backend: &ExecutionBackend,
+    train: &TrainConfig,
+    episode_limit: Option<usize>,
+) -> Result<CtdeTrainer<Box<dyn ScenarioEnv>>, CoreError> {
+    backend.validate().map_err(CoreError::from)?;
+    let mut params = ScenarioParams::seeded(train.seed);
+    if let Some(t) = episode_limit {
+        params = params.with_episode_limit(t);
+    }
+    let env = build_scenario_with(scenario, &params)?;
+    // One readout wire per action; budgets grow with the action set when
+    // the scenario is wider than the paper's.
+    let n_qubits = env.n_actions().max(train.n_qubits);
+    let actor_params = train.actor_params.max(2 * env.n_actions() + 8);
+    let actors: Vec<Box<dyn Actor>> = (0..env.n_agents())
+        .map(|n| {
+            Ok(Box::new(
+                QuantumActor::new(
+                    n_qubits,
+                    env.obs_dim(),
+                    env.n_actions(),
+                    actor_params,
+                    train.seed.wrapping_add(1000 + n as u64),
+                )?
+                .with_grad_method(train.grad_method)
+                .with_backend(backend.clone()),
+            ) as Box<dyn Actor>)
+        })
+        .collect::<Result<_, CoreError>>()?;
+    let critic = Box::new(
+        QuantumCritic::new(
+            train.n_qubits,
+            env.state_dim(),
+            train.critic_params,
+            train.seed.wrapping_add(9000),
+        )?
+        .with_grad_method(train.grad_method)
+        .with_backend(backend.clone()),
+    );
+    CtdeTrainer::new(env, actors, critic, train.clone())
+}
+
 /// Parameter accounting per framework — the budget table of Sec. IV-C.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ParamReport {
@@ -214,6 +278,36 @@ mod tests {
         let mut c = ExperimentConfig::paper_default();
         c.env.episode_limit = 10;
         c
+    }
+
+    #[test]
+    fn scenario_trainer_builds_under_every_backend_spec() {
+        let mut train = TrainConfig::paper_default();
+        train.epochs = 1;
+        for spec in ["ideal", "sampled:shots=64:seed=3", "noisy:p1=0.01:p2=0.02"] {
+            let backend: ExecutionBackend = spec.parse().unwrap();
+            for scenario in qmarl_env::scenario::scenarios() {
+                // Density-matrix rollouts on the 8-qubit wide scenario are
+                // exact but slow (256×256 ρ per gate); the construction
+                // path it would exercise is identical to the other
+                // entries', so skip only that cell.
+                if matches!(backend, ExecutionBackend::Noisy { .. })
+                    && scenario.name() == "single-hop-wide"
+                {
+                    continue;
+                }
+                let name = scenario.name();
+                let mut t = build_scenario_trainer(name, &backend, &train, Some(5))
+                    .unwrap_or_else(|e| panic!("{name} × {spec}: {e}"));
+                let (ep, m, _) = t.rollout(false).unwrap();
+                assert_eq!(ep.len(), 5, "{name} × {spec}");
+                assert!(m.total_reward <= 0.0);
+            }
+        }
+        assert!(
+            build_scenario_trainer("no-such-scenario", &ExecutionBackend::Ideal, &train, None)
+                .is_err()
+        );
     }
 
     #[test]

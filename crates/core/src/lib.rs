@@ -50,7 +50,8 @@ pub mod prelude {
     pub use crate::config::{ExperimentConfig, TrainConfig};
     pub use crate::error::CoreError;
     pub use crate::framework::{
-        build_actors, build_critic, build_trainer, parameter_report, FrameworkKind, ParamReport,
+        build_actors, build_critic, build_scenario_trainer, build_trainer, parameter_report,
+        FrameworkKind, ParamReport,
     };
     pub use crate::independent::{build_independent_quantum, IndependentTrainer};
     pub use crate::policy::{select_action, Actor, ClassicalActor, QuantumActor};
@@ -60,4 +61,5 @@ pub mod prelude {
     pub use crate::viz::{
         frames_to_csv, render_heatmap_ansi, render_queue_chart, run_demonstration, DemoFrame,
     };
+    pub use qmarl_runtime::backend::ExecutionBackend;
 }

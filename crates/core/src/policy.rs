@@ -9,6 +9,7 @@
 use rand::Rng;
 
 use qmarl_neural::prelude::{policy_gradient_logits, softmax, Activation, Mlp};
+use qmarl_runtime::backend::ExecutionBackend;
 use qmarl_runtime::qnn::CompiledVqc;
 use qmarl_vqc::prelude::{GradMethod, OutputHead, Readout, Vqc, VqcBuilder};
 
@@ -227,6 +228,22 @@ impl QuantumActor {
     pub fn with_grad_method(mut self, method: GradMethod) -> Self {
         self.grad_method = method;
         self
+    }
+
+    /// Overrides the execution backend (default:
+    /// [`ExecutionBackend::Ideal`], bit-identical to not setting one).
+    /// Under `Sampled`/`Noisy` the gradient method is forced to the
+    /// parameter-shift rule — the adjoint sweep needs exact statevectors,
+    /// which those backends never expose.
+    pub fn with_backend(mut self, backend: ExecutionBackend) -> Self {
+        self.grad_method = backend.effective_grad_method(self.grad_method);
+        self.model = self.model.with_backend(backend);
+        self
+    }
+
+    /// The execution backend in use.
+    pub fn backend(&self) -> &ExecutionBackend {
+        self.model.backend()
     }
 
     /// The underlying VQC (e.g. for circuit diagrams or Fig. 4 states).
@@ -629,6 +646,38 @@ mod tests {
         assert!(a
             .policy_gradients_batch(&[vec![0.0; 3]], &[0], &[1.0], 0.0)
             .is_err());
+    }
+
+    #[test]
+    fn sampled_actor_is_deterministic_and_routes_to_parameter_shift() {
+        let backend = ExecutionBackend::Sampled {
+            shots: 256,
+            seed: 9,
+        };
+        // A sampled backend downgrades the default adjoint request.
+        let a = quantum_actor().with_backend(backend.clone());
+        assert_eq!(a.backend(), &backend);
+        let obs: Vec<Vec<f64>> = (0..4)
+            .map(|b| (0..4).map(|i| 0.11 * (b + i) as f64).collect())
+            .collect();
+        // Reproducible distributions that differ from the ideal ones.
+        let p = a.probs(&obs[0]).unwrap();
+        assert_eq!(p, a.probs(&obs[0]).unwrap());
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_ne!(p, quantum_actor().probs(&obs[0]).unwrap());
+        // Batched gradients are bit-identical to per-sample calls: the
+        // shot streams are content-addressed, not batch-positional.
+        let actions = [0usize, 1, 2, 3];
+        let advantages = [0.5, -0.9, 1.4, 0.0];
+        let batched = a
+            .policy_gradients_batch(&obs, &actions, &advantages, 0.1)
+            .unwrap();
+        for (t, grad) in batched.iter().enumerate() {
+            let reference = a
+                .policy_gradient_with_entropy(&obs[t], actions[t], advantages[t], 0.1)
+                .unwrap();
+            assert_eq!(*grad, reference, "sample {t}");
+        }
     }
 
     #[test]

@@ -1032,6 +1032,42 @@ mod tests {
     }
 
     #[test]
+    fn rollout_vec_matches_rollout_parallel_under_sampled_backend() {
+        // Stochastic backends opt out of the prebound fast path, but the
+        // vectorized collector must still reproduce the per-episode
+        // engine bit for bit: shot streams are content-addressed, never
+        // positional.
+        use qmarl_runtime::backend::ExecutionBackend;
+        let sampled_setup = || {
+            let backend = ExecutionBackend::Sampled { shots: 48, seed: 6 };
+            let env = small_env(41);
+            let actors: Vec<Box<dyn Actor>> = (0..4)
+                .map(|n| {
+                    Box::new(
+                        QuantumActor::new(4, 4, 4, 50, 41 + n)
+                            .unwrap()
+                            .with_backend(backend.clone()),
+                    ) as Box<dyn Actor>
+                })
+                .collect();
+            let critic = Box::new(
+                QuantumCritic::new(4, 16, 50, 141)
+                    .unwrap()
+                    .with_backend(backend),
+            );
+            CtdeTrainer::new(env, actors, critic, small_train_config()).unwrap()
+        };
+        let reference = sampled_setup().rollout_parallel(3, 2, false).unwrap();
+        for lanes in [1usize, 3] {
+            assert_eq!(
+                sampled_setup().rollout_vec(3, lanes, false).unwrap(),
+                reference,
+                "lanes={lanes}"
+            );
+        }
+    }
+
+    #[test]
     fn rollout_vec_works_with_classical_actors() {
         // The per-agent fallback route drives the same collector.
         let env = small_env(23);

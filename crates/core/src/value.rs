@@ -10,6 +10,7 @@
 //! qubit-scaling ablation.
 
 use qmarl_neural::prelude::{Activation, Mlp};
+use qmarl_runtime::backend::ExecutionBackend;
 use qmarl_runtime::qnn::CompiledVqc;
 use qmarl_vqc::grad::Jacobian;
 use qmarl_vqc::prelude::{GradMethod, OutputHead, Readout, Vqc, VqcBuilder};
@@ -139,6 +140,21 @@ impl QuantumCritic {
     pub fn with_grad_method(mut self, method: GradMethod) -> Self {
         self.grad_method = method;
         self
+    }
+
+    /// Overrides the execution backend (default:
+    /// [`ExecutionBackend::Ideal`], bit-identical to not setting one).
+    /// Under `Sampled`/`Noisy` the gradient method is forced to the
+    /// parameter-shift rule (see [`crate::policy::QuantumActor`]).
+    pub fn with_backend(mut self, backend: ExecutionBackend) -> Self {
+        self.grad_method = backend.effective_grad_method(self.grad_method);
+        self.model = self.model.with_backend(backend);
+        self
+    }
+
+    /// The execution backend in use.
+    pub fn backend(&self) -> &ExecutionBackend {
+        self.model.backend()
     }
 
     /// The underlying VQC.
@@ -525,6 +541,41 @@ mod tests {
         // Bad shapes are rejected up front.
         let c = QuantumCritic::new(4, 16, 24, 7).unwrap();
         assert!(c.values_with_gradients_batch(&[vec![0.0; 3]]).is_err());
+    }
+
+    #[test]
+    fn sampled_critic_is_deterministic_and_batches_bit_exactly() {
+        let backend = ExecutionBackend::Sampled {
+            shots: 128,
+            seed: 4,
+        };
+        let c = QuantumCritic::new(4, 16, 24, 7)
+            .unwrap()
+            .with_backend(backend.clone());
+        assert_eq!(c.backend(), &backend);
+        let states: Vec<Vec<f64>> = (0..3)
+            .map(|b| (0..16).map(|i| ((b * 16 + i) % 7) as f64 / 7.0).collect())
+            .collect();
+        let v = c.value(&states[0]).unwrap();
+        assert_eq!(v, c.value(&states[0]).unwrap(), "shot noise is seeded");
+        assert_ne!(
+            v,
+            QuantumCritic::new(4, 16, 24, 7)
+                .unwrap()
+                .value(&states[0])
+                .unwrap(),
+            "sampled value differs from exact"
+        );
+        let batched = c.values_with_gradients_batch(&states).unwrap();
+        for (s, (val, jac)) in states.iter().zip(&batched) {
+            let (v_ref, g_ref) = c.value_with_gradient(s).unwrap();
+            assert_eq!(*val, v_ref);
+            assert_eq!(jac.vjp(&[1.0]), g_ref);
+        }
+        assert_eq!(
+            c.values_batch(&states).unwrap(),
+            batched.iter().map(|(v, _)| *v).collect::<Vec<_>>()
+        );
     }
 
     #[test]

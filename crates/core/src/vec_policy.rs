@@ -77,9 +77,14 @@ impl<'a> ActorsVecPolicy<'a> {
             let (compiled, params) = actor.runtime_handle()?;
             // One schedule, one scaling, one readout, one head layout —
             // model equality covers them all; the Arc pointer check makes
-            // the shared compilation explicit.
+            // the shared compilation explicit. The prebound fast path
+            // evaluates exact statevectors, so any non-Ideal execution
+            // backend opts the whole tick out (the per-agent route's
+            // `probs_batch` is backend-aware and, by the content-addressed
+            // seed contract, still bit-identical to serial collection).
             if compiled.model() != first.model()
                 || !std::sync::Arc::ptr_eq(compiled.compiled(), first.compiled())
+                || !compiled.backend().is_ideal()
             {
                 return None;
             }
@@ -276,6 +281,29 @@ mod tests {
         let b = generic.act_vec(&obs, &lanes, &mut rngs_b).unwrap();
 
         assert_eq!(a, b, "evaluation route must not change any bit");
+    }
+
+    #[test]
+    fn stochastic_backends_opt_out_of_the_flat_route() {
+        // The prebound fast path runs exact statevectors; a sampled
+        // backend must force the backend-aware per-agent route instead of
+        // silently executing ideal circuits.
+        let actors: Vec<Box<dyn Actor>> = (0..4)
+            .map(|i| {
+                Box::new(
+                    QuantumActor::new(4, 4, 4, 50, 10 + i as u64)
+                        .unwrap()
+                        .with_backend(qmarl_runtime::backend::ExecutionBackend::Sampled {
+                            shots: 64,
+                            seed: 1,
+                        }),
+                ) as Box<dyn Actor>
+            })
+            .collect();
+        let policy = ActorsVecPolicy::new(&actors, 4, true);
+        assert!(!policy.is_flat());
+        let (_, d) = decide(&actors, true);
+        assert_eq!(d.actions.len(), 12);
     }
 
     #[test]

@@ -96,25 +96,42 @@ pub fn render_queue_chart(frames: &[DemoFrame]) -> String {
     let glyph = |level: f64| BLOCKS[((level.clamp(0.0, 1.0) * 7.0).round()) as usize];
     let n_edges = frames[0].edge_levels.len();
     let n_clouds = frames[0].cloud_levels.len();
+    // Every row label is padded to one shared width so the data columns
+    // line up for any queue count (edge10, cloud12, …), and every data
+    // cell is as wide as the largest time stamp.
+    let label_w = 1 + [
+        "time".len(),
+        format!("edge{n_edges}").len(),
+        format!("cloud{n_clouds}").len(),
+    ]
+    .into_iter()
+    .max()
+    .expect("nonempty")
+    .max(9);
+    let cell_w = frames
+        .iter()
+        .map(|f| f.time.to_string().len())
+        .max()
+        .unwrap_or(2)
+        .max(2);
     let mut out = String::new();
-    out.push_str("time      ");
+    out.push_str(&format!("{:<label_w$}", "time"));
     for f in frames {
-        out.push_str(&format!("{:>2} ", f.time));
+        out.push_str(&format!("{:>cell_w$} ", f.time));
     }
     out.push('\n');
-    for e in 0..n_edges {
-        out.push_str(&format!("edge{}    ", e + 1));
+    let mut row = |name: String, levels: &dyn Fn(&DemoFrame) -> f64| {
+        out.push_str(&format!("{name:<label_w$}"));
         for f in frames {
-            out.push_str(&format!(" {} ", glyph(f.edge_levels[e])));
+            out.push_str(&format!("{:>cell_w$} ", glyph(levels(f))));
         }
         out.push('\n');
+    };
+    for e in 0..n_edges {
+        row(format!("edge{}", e + 1), &|f| f.edge_levels[e]);
     }
     for c in 0..n_clouds {
-        out.push_str(&format!("cloud{}   ", c + 1));
-        for f in frames {
-            out.push_str(&format!(" {} ", glyph(f.cloud_levels[c])));
-        }
-        out.push('\n');
+        row(format!("cloud{}", c + 1), &|f| f.cloud_levels[c]);
     }
     out
 }
@@ -154,10 +171,12 @@ pub fn frames_to_csv(frames: &[DemoFrame]) -> String {
         }
         for (r, row) in f.qubit_grid.iter().enumerate() {
             for (c, cell) in row.iter().enumerate() {
+                // Index by the row's actual width, not a hardcoded 4, so
+                // non-4×4 grids export correct cell indices.
                 out.push_str(&format!(
                     "{},amp,{},{:.6},{:.6}\n",
                     f.time,
-                    r * 4 + c,
+                    r * row.len() + c,
                     cell.magnitude,
                     cell.phase
                 ));
@@ -225,6 +244,68 @@ mod tests {
         assert_eq!(render_queue_chart(&[]), "(no frames)\n");
     }
 
+    /// Fabricates a frame with explicit queue levels (the grid content is
+    /// irrelevant to the chart/CSV layout tests).
+    fn frame(time: usize, edges: &[f64], clouds: &[f64]) -> DemoFrame {
+        DemoFrame {
+            time,
+            edge_levels: edges.to_vec(),
+            cloud_levels: clouds.to_vec(),
+            actions: vec![0; edges.len()],
+            reward: 0.0,
+            qubit_grid: [[qmarl_qsim::bloch::AmplitudeCell {
+                magnitude: 0.25,
+                phase: 0.0,
+            }; 4]; 4],
+        }
+    }
+
+    #[test]
+    fn queue_chart_columns_align_snapshot() {
+        // The regression this pins: the old "time      " header was 10
+        // chars while "edge1    "/"cloud1   " rows were 9, shifting every
+        // data column by one.
+        let frames = [frame(1, &[0.0, 1.0], &[0.5]), frame(2, &[1.0, 0.0], &[1.0])];
+        let chart = render_queue_chart(&frames);
+        assert_eq!(
+            chart,
+            "time       1  2 \n\
+             edge1      ▁  █ \n\
+             edge2      █  ▁ \n\
+             cloud1     ▅  █ \n"
+        );
+        // Every line carries the same label width, so the data columns
+        // start at one shared offset.
+        let widths: Vec<usize> = chart.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn queue_chart_aligns_for_ten_plus_queues() {
+        // N ≥ 10 queue labels are longer than the paper's; the shared
+        // label width must grow instead of shearing the columns.
+        let edges = vec![0.5; 12];
+        let clouds = vec![0.5; 10];
+        let frames = [frame(1, &edges, &clouds), frame(2, &edges, &clouds)];
+        let chart = render_queue_chart(&frames);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 1 + 12 + 10);
+        let width = lines[0].chars().count();
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line.chars().count(), width, "line {i} misaligned");
+        }
+        assert!(chart.contains("edge12"));
+        assert!(chart.contains("cloud10"));
+        // The cell width follows the widest time stamp wherever it sits,
+        // not just the last frame's.
+        let frames = [frame(100, &[0.5], &[0.5]), frame(5, &[0.5], &[0.5])];
+        let chart = render_queue_chart(&frames);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
+    }
+
     #[test]
     fn heatmap_contains_ansi_colors() {
         let (mut env, actors, quantum) = demo_setup();
@@ -244,5 +325,12 @@ mod tests {
         assert_eq!(csv.trim().lines().count(), 1 + 2 * 22);
         assert!(csv.contains("edge"));
         assert!(csv.contains("amp"));
+        // Grid cell indices come from the row stride: 0..=15 in order.
+        let amp_indices: Vec<usize> = csv
+            .lines()
+            .filter(|l| l.starts_with("1,amp,"))
+            .map(|l| l.split(',').nth(2).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(amp_indices, (0..16).collect::<Vec<_>>());
     }
 }

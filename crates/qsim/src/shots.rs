@@ -10,6 +10,7 @@
 
 use rand::Rng;
 
+use crate::density::DensityMatrix;
 use crate::error::QsimError;
 use crate::state::StateVector;
 
@@ -88,23 +89,78 @@ pub fn measure_shots<R: Rng + ?Sized>(
     shots: usize,
     rng: &mut R,
 ) -> Result<ShotRecord, QsimError> {
+    measure_shots_probs(&state.probabilities(), state.n_qubits(), shots, rng)
+}
+
+/// Measures `shots` computational-basis samples from a mixed state: the
+/// density-matrix twin of [`measure_shots`], sampling the diagonal of
+/// `ρ` — the finite-shot readout of noisy hardware execution.
+///
+/// # Errors
+///
+/// Returns [`QsimError::InvalidProbability`] when `shots == 0`.
+pub fn measure_shots_density<R: Rng + ?Sized>(
+    rho: &DensityMatrix,
+    shots: usize,
+    rng: &mut R,
+) -> Result<ShotRecord, QsimError> {
+    // Kraus arithmetic can leave the diagonal a rounding error below
+    // zero; clamp so physical states always sample.
+    let probs: Vec<f64> = rho.probabilities().iter().map(|p| p.max(0.0)).collect();
+    measure_shots_probs(&probs, rho.n_qubits(), shots, rng)
+}
+
+/// Measures `shots` samples from an explicit computational-basis
+/// distribution (shared by the pure- and mixed-state entry points).
+///
+/// # Errors
+///
+/// Returns [`QsimError::InvalidProbability`] when `shots == 0` or any
+/// entry is negative/non-finite, and [`QsimError::InvalidDimension`]
+/// when the distribution does not cover an `n_qubits` register.
+pub fn measure_shots_probs<R: Rng + ?Sized>(
+    probs: &[f64],
+    n_qubits: usize,
+    shots: usize,
+    rng: &mut R,
+) -> Result<ShotRecord, QsimError> {
     if shots == 0 {
         return Err(QsimError::InvalidProbability { value: 0.0 });
+    }
+    if probs.len() != 1usize << n_qubits {
+        return Err(QsimError::InvalidDimension { len: probs.len() });
+    }
+    if let Some(&bad) = probs.iter().find(|p| !p.is_finite() || **p < 0.0) {
+        return Err(QsimError::InvalidProbability { value: bad });
+    }
+    // A zero-mass distribution has no state to sample; rejecting it here
+    // keeps the sampler's no-zero-probability-outcome guarantee total.
+    if probs.iter().sum::<f64>() <= 0.0 {
+        return Err(QsimError::NotNormalized { norm: 0.0 });
     }
     // Inverse-CDF sampling over the cumulative distribution; for the few
     // thousand shots typical of NISQ jobs a per-shot scan of the 2^n
     // probabilities is fine at this register size, but we presort once.
-    let probs = state.probabilities();
     let mut cdf = Vec::with_capacity(probs.len());
     let mut acc = 0.0;
-    for p in &probs {
+    for p in probs {
         acc += p;
         cdf.push(acc);
     }
     let mut histogram = vec![0usize; probs.len()];
     for _ in 0..shots {
         let r: f64 = rng.gen::<f64>() * acc;
-        let idx = cdf.partition_point(|&c| c < r).min(probs.len() - 1);
+        // `c <= r` (not `c < r`) keeps zero-probability states out of
+        // reach: a flat CDF segment contributes an empty interval, so in
+        // particular `r == 0.0` lands on the first *positive*-mass state,
+        // never on a zero-amplitude prefix entry.
+        let mut idx = cdf.partition_point(|&c| c <= r);
+        if idx >= probs.len() {
+            // `gen::<f64>() * acc` can round up to `acc` itself; fold the
+            // boundary onto the last positive-mass state.
+            idx = probs.iter().rposition(|&p| p > 0.0).unwrap_or(0);
+        }
+        debug_assert!(probs[idx] > 0.0, "sampled a zero-probability state");
         histogram[idx] += 1;
     }
     let counts: Vec<(usize, usize)> = histogram
@@ -115,7 +171,7 @@ pub fn measure_shots<R: Rng + ?Sized>(
     Ok(ShotRecord {
         counts,
         shots,
-        n_qubits: state.n_qubits(),
+        n_qubits,
     })
 }
 
@@ -222,6 +278,69 @@ mod tests {
         assert!((z_standard_error(0.0, 100) - 0.1).abs() < 1e-12);
         assert_eq!(z_standard_error(1.0, 100), 0.0);
         assert!((z_standard_error(0.6, 400) - (0.64f64 / 400.0).sqrt()).abs() < 1e-12);
+    }
+
+    /// An RNG that always returns 0, forcing `r == 0.0` in the sampler.
+    struct ZeroRng;
+    impl rand::RngCore for ZeroRng {
+        fn next_u64(&mut self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn zero_probability_prefix_is_never_sampled() {
+        // Amplitude 0 is *exactly* zero: |ψ⟩ = |1⟩ on one wire. The old
+        // `partition_point(|&c| c < r)` selected basis state 0 whenever
+        // r == 0.0 because the zero-mass prefix entry satisfies `c < 0.0`
+        // for no c but `partition_point` returns index 0.
+        let s = StateVector::basis(1, 1).unwrap();
+        let mut zero = ZeroRng;
+        let rec = measure_shots(&s, 50, &mut zero).unwrap();
+        assert_eq!(rec.counts(), &[(1, 50)], "r == 0.0 must skip P=0 states");
+
+        // The same holds for interior flat CDF segments.
+        let probs = [0.5, 0.0, 0.5, 0.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let rec = measure_shots_probs(&probs, 2, 4096, &mut rng).unwrap();
+        assert_eq!(rec.frequency(1), 0.0, "flat CDF segment must be skipped");
+        assert!(rec.frequency(0) > 0.3 && rec.frequency(2) > 0.3);
+    }
+
+    #[test]
+    fn explicit_distributions_are_validated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Length must cover the claimed register.
+        assert!(matches!(
+            measure_shots_probs(&[0.5, 0.5, 0.0], 1, 10, &mut rng),
+            Err(QsimError::InvalidDimension { len: 3 })
+        ));
+        // Negative and non-finite masses are rejected, not silently
+        // folded into the CDF.
+        assert!(measure_shots_probs(&[1.5, -0.5], 1, 10, &mut rng).is_err());
+        assert!(measure_shots_probs(&[f64::NAN, 1.0], 1, 10, &mut rng).is_err());
+        // Zero total mass leaves nothing to sample.
+        assert!(matches!(
+            measure_shots_probs(&[0.0, 0.0], 1, 10, &mut rng),
+            Err(QsimError::NotNormalized { .. })
+        ));
+        assert!(measure_shots_probs(&[0.5, 0.5], 1, 10, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn density_shots_match_pure_state_distribution() {
+        let mut s = StateVector::zero(2);
+        s.apply_gate1(0, &Gate1::ry(0.9)).unwrap();
+        s.apply_cnot(0, 1).unwrap();
+        let rho = crate::density::DensityMatrix::from_state_vector(&s);
+        let mut rng = StdRng::seed_from_u64(7);
+        let rec = measure_shots_density(&rho, 100_000, &mut rng).unwrap();
+        for q in 0..2 {
+            let exact = crate::measure::expectation_z(&s, q).unwrap();
+            let est = rec.expectation_z(q).unwrap();
+            assert!((est - exact).abs() < 0.02, "wire {q}: {est} vs {exact}");
+        }
+        assert!(measure_shots_density(&rho, 0, &mut rng).is_err());
     }
 
     #[test]

@@ -26,10 +26,13 @@ use qmarl_qsim::par;
 use qmarl_qsim::state::StateVector;
 use qmarl_vqc::grad::Jacobian;
 use qmarl_vqc::observable::Readout;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
+use crate::backend::ExecutionBackend;
 use crate::compile::{CGate, CompiledCircuit, Occurrence};
 use crate::error::RuntimeError;
-use crate::exec::{check_bindings, run_raw_with_override, run_schedule_unchecked};
+use crate::exec::{check_bindings, run_raw_density, run_raw_with_override, run_schedule_unchecked};
 use crate::prebound::{
     readout_from_slab, run_adjoint_slab, run_prebound_slab_raw, PreboundAdjoint, PreboundCircuit,
 };
@@ -326,6 +329,113 @@ impl BatchExecutor {
         Ok(out)
     }
 
+    /// Batched forward pass under an [`ExecutionBackend`]: one readout
+    /// vector per input vector, with every evaluation — ideal, sampled or
+    /// noisy — one task on the flat work queue. `Ideal` delegates to
+    /// [`BatchExecutor::expectation_batch`] and is bit-identical to it;
+    /// the stochastic backends are worker-count invariant by the
+    /// content-addressed seed derivation (see [`crate::backend`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length, readout- or backend-validation errors.
+    pub fn expectation_batch_backend(
+        &self,
+        compiled: &CompiledCircuit,
+        readout: &Readout,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+        backend: &ExecutionBackend,
+    ) -> Result<Vec<Vec<f64>>, RuntimeError> {
+        if backend.is_ideal() {
+            return self.expectation_batch(compiled, readout, inputs, params);
+        }
+        backend.validate()?;
+        readout.validate(compiled.n_qubits())?;
+        for item in inputs {
+            check_bindings(compiled, item, params)?;
+        }
+        par::try_parallel_map(inputs, self.workers, |_, item| {
+            backend_eval(compiled, readout, item, params, backend, None)
+        })
+    }
+
+    /// Batched forward **and** parameter-shift Jacobian under an
+    /// [`ExecutionBackend`] — the gradient queue of the stochastic
+    /// backends. Every forward and every ±shift evaluation of the whole
+    /// minibatch is one task; under `Sampled`/`Noisy` each evaluation's
+    /// expectations come from that backend (shot-sampled and/or noisy),
+    /// so the resulting gradients carry exactly the noise hardware
+    /// execution would. `Ideal` delegates to
+    /// [`BatchExecutor::forward_and_jacobian_batch`] and is bit-identical
+    /// to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-length, readout- or backend-validation errors.
+    pub fn forward_and_jacobian_batch_backend(
+        &self,
+        compiled: &CompiledCircuit,
+        readout: &Readout,
+        inputs: &[Vec<f64>],
+        params: &[f64],
+        backend: &ExecutionBackend,
+    ) -> Result<(Vec<Vec<f64>>, Vec<Jacobian>), RuntimeError> {
+        if backend.is_ideal() {
+            return self.forward_and_jacobian_batch(compiled, readout, inputs, params);
+        }
+        backend.validate()?;
+        readout.validate(compiled.n_qubits())?;
+        for item in inputs {
+            check_bindings(compiled, item, params)?;
+        }
+        let occurrences = compiled.occurrences();
+        // Task id: b * (occurrences + 1); offset 0 = forward pass.
+        let per_sample = occurrences.len() + 1;
+        let tasks: Vec<usize> = (0..inputs.len() * per_sample).collect();
+        let results = par::try_parallel_map(&tasks, self.workers, |_, &t| {
+            let b = t / per_sample;
+            let slot = t % per_sample;
+            if slot == 0 {
+                backend_eval(compiled, readout, &inputs[b], params, backend, None)
+                    .map(TaskResult::Forward)
+            } else {
+                let occ = occurrences[slot - 1];
+                let theta = occurrence_angle(compiled, occ, &inputs[b], params);
+                qmarl_vqc::grad::shift_rule(theta, occ.controlled, |t| {
+                    backend_eval(
+                        compiled,
+                        readout,
+                        &inputs[b],
+                        params,
+                        backend,
+                        Some((occ.raw_idx, t)),
+                    )
+                })
+                .map(|g| TaskResult::Shift {
+                    param: occ.param,
+                    grads: g,
+                })
+            }
+        })?;
+
+        let mut outputs = vec![Vec::new(); inputs.len()];
+        let mut jacobians =
+            vec![Jacobian::zeros(readout.output_len(), compiled.n_params()); inputs.len()];
+        for (t, result) in results.into_iter().enumerate() {
+            let b = t / per_sample;
+            match result {
+                TaskResult::Forward(out) => outputs[b] = out,
+                TaskResult::Shift { param, grads } => {
+                    for (j, g) in grads.into_iter().enumerate() {
+                        *jacobians[b].get_mut(j, param) += g;
+                    }
+                }
+            }
+        }
+        Ok((outputs, jacobians))
+    }
+
     /// Batched parameter-shift Jacobians: one Jacobian per input vector,
     /// with all shift evaluations of the whole minibatch scheduled as one
     /// flat work queue.
@@ -432,6 +542,75 @@ impl BatchExecutor {
 enum TaskResult {
     Forward(Vec<f64>),
     Shift { param: usize, grads: Vec<f64> },
+}
+
+/// The sample-stream salt of an evaluation: 0 for the plain forward pass,
+/// a mix of the overridden gate index and angle bits for shift
+/// evaluations, so each distinct circuit instance draws its own stream.
+fn override_salt(override_angle: Option<(usize, f64)>) -> u64 {
+    match override_angle {
+        None => 0,
+        Some((idx, theta)) => (idx as u64 + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(theta.to_bits()),
+    }
+}
+
+/// One circuit evaluation under a backend: the shared primitive of the
+/// batched backend queues. `override_angle` forces one raw-schedule
+/// gate's angle (the parameter-shift primitive); without it the ideal and
+/// sampled backends run the fused schedule, while the noisy backend
+/// always walks the raw schedule (per-gate noise must scale with the
+/// source gate count).
+fn backend_eval(
+    compiled: &CompiledCircuit,
+    readout: &Readout,
+    inputs: &[f64],
+    params: &[f64],
+    backend: &ExecutionBackend,
+    override_angle: Option<(usize, f64)>,
+) -> Result<Vec<f64>, RuntimeError> {
+    let pure_state = || match override_angle {
+        None => run_schedule_unchecked(
+            compiled.n_qubits(),
+            compiled.fused_schedule(),
+            inputs,
+            params,
+        ),
+        Some((idx, theta)) => run_raw_with_override(compiled, inputs, params, idx, theta),
+    };
+    match backend {
+        ExecutionBackend::Ideal => readout.evaluate(&pure_state()).map_err(RuntimeError::from),
+        ExecutionBackend::Sampled { shots, seed } => {
+            let state = pure_state();
+            let mut rng = StdRng::seed_from_u64(ExecutionBackend::eval_seed(
+                *seed,
+                inputs,
+                params,
+                override_salt(override_angle),
+            ));
+            readout
+                .evaluate_shots(&state, *shots, &mut rng)
+                .map_err(RuntimeError::from)
+        }
+        ExecutionBackend::Noisy { model, shots, seed } => {
+            let rho = run_raw_density(compiled, inputs, params, model, override_angle)?;
+            match shots {
+                None => readout.evaluate_density(&rho).map_err(RuntimeError::from),
+                Some(s) => {
+                    let mut rng = StdRng::seed_from_u64(ExecutionBackend::eval_seed(
+                        *seed,
+                        inputs,
+                        params,
+                        override_salt(override_angle),
+                    ));
+                    readout
+                        .evaluate_shots_density(&rho, *s, &mut rng)
+                        .map_err(RuntimeError::from)
+                }
+            }
+        }
+    }
 }
 
 /// The base (unshifted) angle of an occurrence under the given bindings.
@@ -727,6 +906,197 @@ mod tests {
         for (a, b) in js.iter().zip(&jp) {
             assert_eq!(a.max_abs_diff(b), 0.0);
         }
+    }
+
+    #[test]
+    fn ideal_backend_is_bit_identical_to_plain_batch() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 13);
+        let inputs = batch_inputs(5);
+        let readout = Readout::z_all(4);
+        let ex = BatchExecutor::new(4);
+        assert_eq!(
+            ex.expectation_batch_backend(
+                &compiled,
+                &readout,
+                &inputs,
+                &params,
+                &ExecutionBackend::Ideal
+            )
+            .unwrap(),
+            ex.expectation_batch(&compiled, &readout, &inputs, &params)
+                .unwrap()
+        );
+        let (outs_b, jacs_b) = ex
+            .forward_and_jacobian_batch_backend(
+                &compiled,
+                &readout,
+                &inputs,
+                &params,
+                &ExecutionBackend::Ideal,
+            )
+            .unwrap();
+        let (outs, jacs) = ex
+            .forward_and_jacobian_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        assert_eq!(outs_b, outs);
+        for (a, b) in jacs_b.iter().zip(&jacs) {
+            assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+    }
+
+    #[test]
+    fn sampled_backend_is_worker_count_invariant() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 17);
+        let inputs = batch_inputs(6);
+        let readout = Readout::z_all(4);
+        let backend = ExecutionBackend::Sampled {
+            shots: 256,
+            seed: 5,
+        };
+        let reference = BatchExecutor::serial()
+            .expectation_batch_backend(&compiled, &readout, &inputs, &params, &backend)
+            .unwrap();
+        let (fwd_ref, jac_ref) = BatchExecutor::serial()
+            .forward_and_jacobian_batch_backend(&compiled, &readout, &inputs, &params, &backend)
+            .unwrap();
+        for workers in [4usize, 8] {
+            let ex = BatchExecutor::new(workers);
+            assert_eq!(
+                ex.expectation_batch_backend(&compiled, &readout, &inputs, &params, &backend)
+                    .unwrap(),
+                reference,
+                "workers={workers}"
+            );
+            let (fwd, jac) = ex
+                .forward_and_jacobian_batch_backend(&compiled, &readout, &inputs, &params, &backend)
+                .unwrap();
+            assert_eq!(fwd, fwd_ref, "workers={workers}");
+            for (a, b) in jac.iter().zip(&jac_ref) {
+                assert_eq!(a.max_abs_diff(b), 0.0, "workers={workers}");
+            }
+        }
+        // The sampled expectations really are noisy, not exact.
+        let exact = BatchExecutor::serial()
+            .expectation_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        assert_ne!(reference, exact);
+        // A different root seed draws a different stream.
+        let reseeded = BatchExecutor::serial()
+            .expectation_batch_backend(
+                &compiled,
+                &readout,
+                &inputs,
+                &params,
+                &ExecutionBackend::Sampled {
+                    shots: 256,
+                    seed: 6,
+                },
+            )
+            .unwrap();
+        assert_ne!(reference, reseeded);
+    }
+
+    #[test]
+    fn sampled_backend_converges_to_ideal() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 19);
+        let inputs = batch_inputs(3);
+        let readout = Readout::z_all(4);
+        let ex = BatchExecutor::default();
+        let exact = ex
+            .expectation_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        let shots = 100_000;
+        let sampled = ex
+            .expectation_batch_backend(
+                &compiled,
+                &readout,
+                &inputs,
+                &params,
+                &ExecutionBackend::Sampled { shots, seed: 3 },
+            )
+            .unwrap();
+        for (b, (est, reference)) in sampled.iter().zip(&exact).enumerate() {
+            for (q, (a, e)) in est.iter().zip(reference).enumerate() {
+                let se = qmarl_qsim::shots::z_standard_error(*e, shots).max(1e-4);
+                assert!(
+                    (a - e).abs() < 6.0 * se,
+                    "sample {b} wire {q}: {a} vs {e} (6σ = {})",
+                    6.0 * se
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_backend_matches_vqc_run_noisy() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 23);
+        let inputs = batch_inputs(3);
+        let readout = Readout::z_all(4);
+        let noise = qmarl_qsim::noise::NoiseModel::depolarizing(0.002, 0.005).unwrap();
+        let backend = ExecutionBackend::Noisy {
+            model: noise,
+            shots: None,
+            seed: 0,
+        };
+        let ex = BatchExecutor::new(4);
+        let outs = ex
+            .expectation_batch_backend(&compiled, &readout, &inputs, &params, &backend)
+            .unwrap();
+        for (item, out) in inputs.iter().zip(&outs) {
+            let rho = qmarl_vqc::exec::run_noisy(&circuit, item, &params, &noise).unwrap();
+            let reference = readout.evaluate_density(&rho).unwrap();
+            for (a, b) in out.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+        // Noisy parameter-shift gradients exist and deviate from ideal.
+        let (_, jacs) = ex
+            .forward_and_jacobian_batch_backend(&compiled, &readout, &inputs, &params, &backend)
+            .unwrap();
+        let ideal_jacs = ex
+            .jacobian_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        assert!(jacs
+            .iter()
+            .zip(&ideal_jacs)
+            .any(|(a, b)| a.max_abs_diff(b) > 1e-6));
+        // Noisy + shots is deterministic under the derived-seed contract.
+        let with_shots = ExecutionBackend::Noisy {
+            model: noise,
+            shots: Some(128),
+            seed: 11,
+        };
+        let a = ex
+            .expectation_batch_backend(&compiled, &readout, &inputs, &params, &with_shots)
+            .unwrap();
+        let b = BatchExecutor::serial()
+            .expectation_batch_backend(&compiled, &readout, &inputs, &params, &with_shots)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backend_queue_validates_bindings() {
+        let compiled = compile(&paper_circuit());
+        let readout = Readout::z_all(4);
+        let ex = BatchExecutor::default();
+        let backend = ExecutionBackend::Sampled { shots: 8, seed: 0 };
+        let bad = vec![vec![0.0; 3]];
+        assert!(ex
+            .expectation_batch_backend(&compiled, &readout, &bad, &init_params(20, 0), &backend)
+            .is_err());
+        let good = vec![vec![0.0; 4]];
+        assert!(ex
+            .forward_and_jacobian_batch_backend(&compiled, &readout, &good, &[0.0; 3], &backend)
+            .is_err());
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! `tests/properties.rs`).
 
 use qmarl_qsim::apply;
+use qmarl_qsim::density::DensityMatrix;
+use qmarl_qsim::gate::Gate2;
+use qmarl_qsim::noise::NoiseModel;
 use qmarl_qsim::state::StateVector;
 
 use crate::compile::{CGate, CompiledCircuit};
@@ -145,6 +148,84 @@ pub(crate) fn run_raw_with_override(
     state
 }
 
+/// Runs the **raw** schedule on the density-matrix backend, injecting the
+/// noise model's channel after every gate (on every wire the gate
+/// touched) — the compiled twin of [`qmarl_vqc::exec::run_noisy`]. The
+/// raw schedule is used deliberately: per-gate noise must scale with the
+/// *source* circuit's gate count, which fusion would shrink.
+///
+/// `override_angle` optionally forces gate `raw_idx`'s angle to `theta`,
+/// which is the parameter-shift rule's primitive on this backend.
+///
+/// # Errors
+///
+/// Returns a simulator error for an invalid noise strength.
+pub(crate) fn run_raw_density(
+    compiled: &CompiledCircuit,
+    inputs: &[f64],
+    params: &[f64],
+    noise: &NoiseModel,
+    override_angle: Option<(usize, f64)>,
+) -> Result<DensityMatrix, RuntimeError> {
+    noise.validate()?;
+    let kraus1 = noise.after_gate1.map(|c| c.kraus_operators());
+    let kraus2 = noise.after_gate2.map(|c| c.kraus_operators());
+    let mut rho = DensityMatrix::zero(compiled.n_qubits());
+    for (k, gate) in compiled.raw_schedule().iter().enumerate() {
+        let theta_of = |angle: &crate::compile::FusedAngle| match override_angle {
+            Some((idx, theta)) if idx == k => theta,
+            _ => angle.value(inputs, params),
+        };
+        // Apply the gate, then the matching channel on each touched wire
+        // (in the same wire order as the interpreter).
+        match gate {
+            CGate::Rot { qubit, axis, angle } => {
+                rho.apply_gate1(*qubit, &axis.gate(theta_of(angle)))?;
+                if let Some(kraus) = &kraus1 {
+                    rho.apply_kraus1(*qubit, kraus)?;
+                }
+            }
+            CGate::Fixed { qubit, gate } => {
+                rho.apply_gate1(*qubit, gate)?;
+                if let Some(kraus) = &kraus1 {
+                    rho.apply_kraus1(*qubit, kraus)?;
+                }
+            }
+            CGate::CRot {
+                control,
+                target,
+                axis,
+                angle,
+            } => {
+                rho.apply_gate2(
+                    *control,
+                    *target,
+                    &Gate2::controlled(&axis.gate(theta_of(angle))),
+                )?;
+                if let Some(kraus) = &kraus2 {
+                    rho.apply_kraus1(*control, kraus)?;
+                    rho.apply_kraus1(*target, kraus)?;
+                }
+            }
+            CGate::Cnot { control, target } => {
+                rho.apply_gate2(*control, *target, &Gate2::cnot())?;
+                if let Some(kraus) = &kraus2 {
+                    rho.apply_kraus1(*control, kraus)?;
+                    rho.apply_kraus1(*target, kraus)?;
+                }
+            }
+            CGate::Cz { control, target } => {
+                rho.apply_gate2(*control, *target, &Gate2::cz())?;
+                if let Some(kraus) = &kraus2 {
+                    rho.apply_kraus1(*control, kraus)?;
+                    rho.apply_kraus1(*target, kraus)?;
+                }
+            }
+        }
+    }
+    Ok(rho)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +304,50 @@ mod tests {
         assert!((same.fidelity(&plain).unwrap() - 1.0).abs() < 1e-12);
         let different = run_raw_with_override(&compiled, &inputs, &params, 2, params[0] + 1.0);
         assert!(different.fidelity(&plain).unwrap() < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn raw_density_matches_vqc_run_noisy() {
+        let c = mixed_circuit();
+        let compiled = compile(&c);
+        let inputs = [0.4];
+        let params = [0.9, -1.3];
+        for noise in [
+            NoiseModel::noiseless(),
+            NoiseModel::depolarizing(0.01, 0.02).unwrap(),
+        ] {
+            let rho = run_raw_density(&compiled, &inputs, &params, &noise, None).unwrap();
+            let reference = qmarl_vqc::exec::run_noisy(&c, &inputs, &params, &noise).unwrap();
+            for q in 0..3 {
+                assert!(
+                    (rho.expectation_z(q).unwrap() - reference.expectation_z(q).unwrap()).abs()
+                        < 1e-12,
+                    "wire {q}"
+                );
+            }
+            assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        }
+        // An override with the bound value reproduces the plain run; a
+        // shifted value changes the state.
+        let noise = NoiseModel::depolarizing(0.01, 0.02).unwrap();
+        let plain = run_raw_density(&compiled, &inputs, &params, &noise, None).unwrap();
+        let same =
+            run_raw_density(&compiled, &inputs, &params, &noise, Some((2, params[0]))).unwrap();
+        let shifted = run_raw_density(
+            &compiled,
+            &inputs,
+            &params,
+            &noise,
+            Some((2, params[0] + 1.0)),
+        )
+        .unwrap();
+        for q in 0..3 {
+            let a = plain.expectation_z(q).unwrap();
+            assert!((a - same.expectation_z(q).unwrap()).abs() < 1e-12);
+        }
+        assert!((0..3).any(|q| {
+            (plain.expectation_z(q).unwrap() - shifted.expectation_z(q).unwrap()).abs() > 1e-6
+        }));
     }
 
     #[test]

@@ -33,6 +33,14 @@
 //!   as one flat queue. Batched results are bit-identical to serial ones
 //!   (fold order is fixed; property-tested at 1e-12 against
 //!   `vqc::exec::run`).
+//! * [`backend`] — [`backend::ExecutionBackend`]: the execution-model
+//!   axis. `Ideal` (exact statevector, the default), `Sampled { shots }`
+//!   (finite-shot readout with content-addressed per-evaluation seeds)
+//!   and `Noisy { model, shots }` (density-matrix execution with
+//!   per-gate channels, raw schedule). String-constructible
+//!   (`"sampled:shots=1024"`), threaded through every executor queue and
+//!   [`qnn::CompiledVqc`]; stochastic backends differentiate by the
+//!   batched parameter-shift queue (adjoint stays `Ideal`-only).
 //! * [`rollout`] — parallel rollout workers with a per-*episode* seed
 //!   derivation, so collected traces are identical for any worker count
 //!   (see the module docs for the determinism contract).
@@ -71,6 +79,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod compile;
@@ -83,6 +92,7 @@ pub mod vec_rollout;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::backend::ExecutionBackend;
     pub use crate::batch::BatchExecutor;
     pub use crate::batch::{AdjointGroup, PreboundGroup};
     pub use crate::cache::CircuitCache;

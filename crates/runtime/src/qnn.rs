@@ -18,29 +18,33 @@ use std::sync::Arc;
 use qmarl_vqc::grad::{GradMethod, Jacobian};
 use qmarl_vqc::qnn::Vqc;
 
+use crate::backend::ExecutionBackend;
 use crate::batch::BatchExecutor;
 use crate::cache::CircuitCache;
 use crate::compile::CompiledCircuit;
 use crate::error::RuntimeError;
 use crate::exec;
 
-/// A VQC model plus its cached compiled schedule and batch executor.
+/// A VQC model plus its cached compiled schedule, batch executor and
+/// execution backend.
 #[derive(Debug, Clone)]
 pub struct CompiledVqc {
     model: Vqc,
     compiled: Arc<CompiledCircuit>,
     executor: BatchExecutor,
+    backend: ExecutionBackend,
 }
 
 impl CompiledVqc {
     /// Compiles (or cache-hits) the model's circuit and attaches the
-    /// default executor.
+    /// default executor on the [`ExecutionBackend::Ideal`] backend.
     pub fn new(model: Vqc) -> Self {
         let compiled = CircuitCache::global().get_or_compile(model.circuit());
         CompiledVqc {
             model,
             compiled,
             executor: BatchExecutor::default(),
+            backend: ExecutionBackend::Ideal,
         }
     }
 
@@ -48,6 +52,22 @@ impl CompiledVqc {
     pub fn with_executor(mut self, executor: BatchExecutor) -> Self {
         self.executor = executor;
         self
+    }
+
+    /// Overrides the execution backend (default:
+    /// [`ExecutionBackend::Ideal`], which is bit-identical to not setting
+    /// a backend at all). Under `Sampled`/`Noisy`, every forward pass
+    /// runs on that backend and **all** gradient requests route through
+    /// the batched parameter-shift queue — the adjoint and prebound paths
+    /// need exact statevectors and stay `Ideal`-only.
+    pub fn with_backend(mut self, backend: ExecutionBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The execution backend in use.
+    pub fn backend(&self) -> &ExecutionBackend {
+        &self.backend
     }
 
     /// The wrapped model.
@@ -73,8 +93,21 @@ impl CompiledVqc {
     pub fn forward(&self, inputs: &[f64], params: &[f64]) -> Result<Vec<f64>, RuntimeError> {
         let (circ, scales, biases) = self.model.split_params(params)?;
         let scaled = self.model.input_scaling().apply_all(inputs);
-        let state = exec::run_compiled(&self.compiled, &scaled, circ)?;
-        let raw = self.model.readout().evaluate(&state)?;
+        let raw = if self.backend.is_ideal() {
+            let state = exec::run_compiled(&self.compiled, &scaled, circ)?;
+            self.model.readout().evaluate(&state)?
+        } else {
+            self.executor
+                .expectation_batch_backend(
+                    &self.compiled,
+                    self.model.readout(),
+                    std::slice::from_ref(&scaled),
+                    circ,
+                    &self.backend,
+                )?
+                .pop()
+                .expect("one sample in, one out")
+        };
         Ok(self.model.apply_head(&raw, scales, biases))
     }
 
@@ -93,9 +126,13 @@ impl CompiledVqc {
             .iter()
             .map(|x| self.model.input_scaling().apply_all(x))
             .collect();
-        let raws =
-            self.executor
-                .expectation_batch(&self.compiled, self.model.readout(), &scaled, circ)?;
+        let raws = self.executor.expectation_batch_backend(
+            &self.compiled,
+            self.model.readout(),
+            &scaled,
+            circ,
+            &self.backend,
+        )?;
         Ok(raws
             .iter()
             .map(|raw| self.model.apply_head(raw, scales, biases))
@@ -103,7 +140,10 @@ impl CompiledVqc {
     }
 
     /// Forward pass plus full-parameter Jacobian, routing through the
-    /// compiled schedules (see module docs for per-method routing).
+    /// compiled schedules (see module docs for per-method routing). The
+    /// requested method applies on the `Ideal` backend; `Sampled`/`Noisy`
+    /// always differentiate by the parameter-shift rule on their own
+    /// backend (adjoint and finite differences need exact statevectors).
     ///
     /// # Errors
     ///
@@ -114,15 +154,16 @@ impl CompiledVqc {
         params: &[f64],
         method: GradMethod,
     ) -> Result<(Vec<f64>, Jacobian), RuntimeError> {
-        match method {
+        match self.backend.effective_grad_method(method) {
             GradMethod::ParameterShift => {
                 let (circ, scales, biases) = self.model.split_params(params)?;
                 let scaled = vec![self.model.input_scaling().apply_all(inputs)];
-                let (mut outs, mut jacs) = self.executor.forward_and_jacobian_batch(
+                let (mut outs, mut jacs) = self.executor.forward_and_jacobian_batch_backend(
                     &self.compiled,
                     self.model.readout(),
                     &scaled,
                     circ,
+                    &self.backend,
                 )?;
                 let raw = outs.pop().expect("one sample in, one out");
                 let circ_jac = jacs.pop().expect("one sample in, one out");
@@ -153,11 +194,12 @@ impl CompiledVqc {
             .iter()
             .map(|x| self.model.input_scaling().apply_all(x))
             .collect();
-        let (outs, jacs) = self.executor.forward_and_jacobian_batch(
+        let (outs, jacs) = self.executor.forward_and_jacobian_batch_backend(
             &self.compiled,
             self.model.readout(),
             &scaled,
             circ,
+            &self.backend,
         )?;
         Ok(outs
             .iter()
@@ -188,6 +230,11 @@ impl CompiledVqc {
         inputs: &[Vec<f64>],
         params: &[f64],
     ) -> Result<Vec<(Vec<f64>, Jacobian)>, RuntimeError> {
+        if !self.backend.supports_adjoint() {
+            // Adjoint/prebound is `Ideal`-only: stochastic backends route
+            // to the batched parameter-shift queue on their own backend.
+            return self.forward_with_jacobian_batch(inputs, params);
+        }
         let (circ, scales, biases) = self.model.split_params(params)?;
         let scaled: Vec<Vec<f64>> = inputs
             .iter()
@@ -386,6 +433,97 @@ mod tests {
                 assert_eq!(*out, out_ref);
                 assert_eq!(jac.max_abs_diff(&jac_ref), 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn default_backend_is_ideal_and_bit_identical() {
+        let model = actor_like();
+        let params = model.init_params(21);
+        let plain = CompiledVqc::new(model.clone());
+        let explicit = CompiledVqc::new(model).with_backend(ExecutionBackend::Ideal);
+        assert!(plain.backend().is_ideal());
+        let batch: Vec<Vec<f64>> = (0..4)
+            .map(|b| (0..4).map(|i| 0.09 * (b + i) as f64 - 0.2).collect())
+            .collect();
+        assert_eq!(
+            plain.forward(&batch[0], &params).unwrap(),
+            explicit.forward(&batch[0], &params).unwrap()
+        );
+        assert_eq!(
+            plain.forward_batch(&batch, &params).unwrap(),
+            explicit.forward_batch(&batch, &params).unwrap()
+        );
+        let a = plain
+            .forward_with_jacobian(&batch[0], &params, GradMethod::ParameterShift)
+            .unwrap();
+        let b = explicit
+            .forward_with_jacobian(&batch[0], &params, GradMethod::ParameterShift)
+            .unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.max_abs_diff(&b.1), 0.0);
+    }
+
+    #[test]
+    fn sampled_backend_routes_all_gradient_requests_to_parameter_shift() {
+        let model = actor_like();
+        let params = model.init_params(25);
+        let backend = ExecutionBackend::Sampled {
+            shots: 512,
+            seed: 3,
+        };
+        let compiled = CompiledVqc::new(model).with_backend(backend);
+        let batch: Vec<Vec<f64>> = (0..3)
+            .map(|b| (0..4).map(|i| 0.08 * (b * 4 + i) as f64).collect())
+            .collect();
+        // Adjoint request under a sampled backend is served by the
+        // backend parameter-shift queue — the three entry points agree
+        // bit for bit because the seed derivation is content-addressed.
+        let via_adjoint_request = compiled
+            .forward_with_jacobian(&batch[0], &params, GradMethod::Adjoint)
+            .unwrap();
+        let via_shift_request = compiled
+            .forward_with_jacobian(&batch[0], &params, GradMethod::ParameterShift)
+            .unwrap();
+        assert_eq!(via_adjoint_request.0, via_shift_request.0);
+        assert_eq!(
+            via_adjoint_request.1.max_abs_diff(&via_shift_request.1),
+            0.0
+        );
+        let batched = compiled
+            .forward_with_jacobian_batch_prebound(&batch, &params)
+            .unwrap();
+        let shift_batched = compiled
+            .forward_with_jacobian_batch(&batch, &params)
+            .unwrap();
+        for ((a_out, a_jac), (b_out, b_jac)) in batched.iter().zip(&shift_batched) {
+            assert_eq!(a_out, b_out);
+            assert_eq!(a_jac.max_abs_diff(b_jac), 0.0);
+        }
+        // The sampled forward is reproducible but differs from exact.
+        let sampled = compiled.forward(&batch[0], &params).unwrap();
+        assert_eq!(sampled, compiled.forward(&batch[0], &params).unwrap());
+        let exact = CompiledVqc::new(actor_like())
+            .forward(&batch[0], &params)
+            .unwrap();
+        assert_ne!(sampled, exact);
+    }
+
+    #[test]
+    fn noisy_backend_matches_model_forward_noisy() {
+        let model = actor_like();
+        let params = model.init_params(29);
+        let noise = qmarl_qsim::noise::NoiseModel::depolarizing(0.003, 0.006).unwrap();
+        let compiled = CompiledVqc::new(model.clone()).with_backend(ExecutionBackend::Noisy {
+            model: noise,
+            shots: None,
+            seed: 0,
+        });
+        let obs = [0.25, 0.5, 0.75, 0.1];
+        let fast = compiled.forward(&obs, &params).unwrap();
+        let reference = model.forward_noisy(&obs, &params, &noise).unwrap();
+        for (a, b) in fast.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
     }
 

@@ -124,6 +124,34 @@ impl Readout {
     ) -> Result<Vec<f64>, VqcError> {
         self.validate(state.n_qubits())?;
         let record = qmarl_qsim::shots::measure_shots(state, shots, rng)?;
+        self.evaluate_record(&record)
+    }
+
+    /// Evaluates the readout from `shots` computational-basis samples of
+    /// a mixed state — the finite-shot estimate of noisy hardware
+    /// execution (channel noise *and* shot noise together).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqcError::ReadoutOutOfRange`] for a bad wire, or a
+    /// simulator error when `shots == 0`.
+    pub fn evaluate_shots_density<R: rand::Rng + ?Sized>(
+        &self,
+        rho: &DensityMatrix,
+        shots: usize,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, VqcError> {
+        self.validate(rho.n_qubits())?;
+        let record = qmarl_qsim::shots::measure_shots_density(rho, shots, rng)?;
+        self.evaluate_record(&record)
+    }
+
+    /// Folds a recorded sample batch through the readout (shared by the
+    /// pure- and mixed-state sampled paths).
+    fn evaluate_record(
+        &self,
+        record: &qmarl_qsim::shots::ShotRecord,
+    ) -> Result<Vec<f64>, VqcError> {
         match self {
             Readout::ZPerQubit { qubits } => qubits
                 .iter()

@@ -1,0 +1,72 @@
+//! NISQ training: shots-vs-ideal learning curves on the paper scenario.
+//!
+//! ```text
+//! cargo run --release --example nisq_training
+//! ```
+//!
+//! The paper motivates its VQC design with NISQ constraints, but an ideal
+//! statevector simulation hides the two NISQ mechanisms entirely: finite
+//! shot budgets and per-gate channel noise. This example trains the same
+//! quantum CTDE stack under a ladder of execution backends — exact, a
+//! small and a large shot budget, and depolarizing channel noise — and
+//! prints the per-epoch learning curves side by side. Everything is
+//! driven by backend spec *strings*, the same spelling the scenario sweep
+//! and benches use.
+//!
+//! Under `Sampled`/`Noisy` the trainer routes every gradient through the
+//! batched parameter-shift queue with shot-sampled/noisy expectations
+//! (the hardware-compatible rule); under `ideal` it keeps the adjoint
+//! fast path. Runs are deterministic per backend: the derived-seed
+//! contract makes shot noise a pure function of the root seed and each
+//! evaluation's circuit bindings.
+
+use qmarl::core::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let episode_limit = 12;
+    let epochs = 4;
+    let seed = 7;
+
+    let specs = [
+        "ideal",
+        "sampled:shots=64:seed=1",
+        "sampled:shots=1024:seed=1",
+        "noisy:p1=0.002:p2=0.004",
+    ];
+
+    let mut train = TrainConfig::paper_default();
+    train.seed = seed;
+
+    println!(
+        "scenario: single-hop (paper default), T={episode_limit}, {epochs} epochs, seed {seed}"
+    );
+    println!(
+        "{:<28} {:>10} total reward per epoch",
+        "backend", "grad rule"
+    );
+
+    for spec in specs {
+        let backend: ExecutionBackend = spec.parse()?;
+        let mut trainer =
+            build_scenario_trainer("single-hop", &backend, &train, Some(episode_limit))?;
+        trainer.train(epochs)?;
+        let curve: Vec<String> = trainer
+            .history()
+            .records()
+            .iter()
+            .map(|r| format!("{:>8.2}", r.metrics.total_reward))
+            .collect();
+        let rule = if backend.supports_adjoint() {
+            "adjoint"
+        } else {
+            "param-shift"
+        };
+        println!("{spec:<28} {rule:>10} {}", curve.join(" "));
+    }
+
+    println!();
+    println!("shot noise of magnitude O(1/sqrt(shots)) perturbs both the behaviour policy and");
+    println!("the MAPG/TD gradients: the 64-shot curve wanders, the 1024-shot curve tracks the");
+    println!("ideal one, and channel noise shifts every expectation the circuits produce.");
+    Ok(())
+}

@@ -5,11 +5,12 @@
 //! ```
 //!
 //! The paper evaluates one fixed scenario; the registry makes the
-//! scenario a string. This example builds the quantum CTDE stack against
-//! **every** registered scenario — shapes differ per scenario (the
+//! scenario a string — and `build_scenario_trainer` makes the whole
+//! quantum CTDE stack a function of that string (plus an execution
+//! backend, here the default `ideal`). Shapes differ per scenario (the
 //! two-tier extension has 6-dimensional observations, the wide variant 8
 //! agents), so actor/critic widths come from the environment, not from
-//! Table II — trains a few vectorized epochs each, and prints the
+//! Table II. Each entry trains a few vectorized epochs and prints the
 //! before/after reward alongside the random-walk reference.
 
 use qmarl::core::prelude::*;
@@ -19,6 +20,10 @@ fn main() -> Result<(), CoreError> {
     let episode_limit = 40;
     let epochs = 3;
     let episodes_per_epoch = 4;
+
+    let mut config = TrainConfig::paper_default();
+    config.seed = 5;
+    let backend = ExecutionBackend::default();
 
     println!(
         "{:<20} {:>7} {:>7} {:>9} {:>11} {:>11} {:>11}",
@@ -30,27 +35,8 @@ fn main() -> Result<(), CoreError> {
         let mut env = spec.build_with(&params)?;
         let rw = random_walk_baseline(&mut env, 20, 3)?;
 
-        // One readout wire per action ⇒ the register must be at least as
-        // wide as the action set; the critic folds the full state into
-        // the same register width via the layered encoder.
-        let n_qubits = env.n_actions().max(4);
-        let actor_params = 50.max(2 * env.n_actions() + 8);
-        let actors: Vec<Box<dyn Actor>> = (0..env.n_agents())
-            .map(|n| {
-                Ok(Box::new(QuantumActor::new(
-                    n_qubits,
-                    env.obs_dim(),
-                    env.n_actions(),
-                    actor_params,
-                    11 + n as u64,
-                )?) as Box<dyn Actor>)
-            })
-            .collect::<Result<_, CoreError>>()?;
-        let critic = Box::new(QuantumCritic::new(4, env.state_dim(), 50, 99)?);
-
-        let mut config = TrainConfig::paper_default();
-        config.seed = 5;
-        let mut trainer = CtdeTrainer::new(env, actors, critic, config)?;
+        let mut trainer =
+            build_scenario_trainer(spec.name(), &backend, &config, Some(episode_limit))?;
 
         let before = trainer.evaluate_vec(episodes_per_epoch, episodes_per_epoch)?;
         trainer.train_vec(epochs, episodes_per_epoch, episodes_per_epoch)?;
@@ -69,6 +55,7 @@ fn main() -> Result<(), CoreError> {
     }
 
     println!("\nevery row ran the same CtdeTrainer::train_vec path — scenarios are data,");
-    println!("not code: `build_scenario(name, seed)` is the only per-scenario line.");
+    println!("not code: `build_scenario_trainer(name, backend, …)` is the only per-scenario line");
+    println!("(swap the backend spec — e.g. \"sampled:shots=1024\" — to sweep under NISQ noise).");
     Ok(())
 }
