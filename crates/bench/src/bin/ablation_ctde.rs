@@ -2,25 +2,18 @@
 //!
 //! The paper adopts CTDE specifically to tame multi-agent
 //! non-stationarity. This ablation trains the same quantum actors twice —
-//! once with the paper's centralized quantum critic, once with per-agent
-//! local critics that only see their own observation — and compares the
-//! learning curves.
+//! once with the paper's centralized quantum critic (a harness grid, one
+//! cell per seed), once with per-agent local critics that only see their
+//! own observation (the harness task pool) — and compares the learning
+//! curves.
 //!
 //! ```text
 //! cargo run --release -p qmarl-bench --bin ablation_ctde -- --epochs 400
 //! ```
 
+use qmarl_bench::figures::ablation_ctde;
 use qmarl_bench::plot::LinePlot;
-use qmarl_bench::{moving_average, write_results, Args};
-use qmarl_core::prelude::*;
-use qmarl_env::prelude::SingleHopEnv;
-
-fn mean_curves(curves: &[Vec<f64>]) -> Vec<f64> {
-    let epochs = curves[0].len();
-    (0..epochs)
-        .map(|e| curves.iter().map(|c| c[e]).sum::<f64>() / curves.len() as f64)
-        .collect()
-}
+use qmarl_bench::{write_results, Args};
 
 fn main() {
     let args = Args::from_env();
@@ -29,66 +22,18 @@ fn main() {
     let base_seed: u64 = args.get("seed", 7);
 
     println!("== Ablation E: CTDE vs independent learners ({epochs} epochs x {seeds} seeds) ==\n");
-
-    let mut ctde_curves: Vec<Vec<f64>> = Vec::new();
-    let mut indep_curves: Vec<Vec<f64>> = Vec::new();
-    for s in 0..seeds {
-        let mut config = ExperimentConfig::paper_default();
-        config.train.epochs = epochs;
-        config.train.seed = base_seed + s * 31;
-
-        // CTDE: the paper's Proposed framework.
-        let mut ctde = build_trainer(FrameworkKind::Proposed, &config).expect("paper config valid");
-        ctde.train(epochs).expect("training runs");
-        ctde_curves.push(
-            ctde.history()
-                .records()
-                .iter()
-                .map(|r| r.metrics.total_reward)
-                .collect(),
-        );
-
-        // Independent: same actors, per-agent local critics.
-        let env = SingleHopEnv::new(config.env.clone(), config.train.seed).expect("valid env");
-        let (actors, critics) =
-            build_independent_quantum(&config.env, &config.train).expect("paper config valid");
-        let mut indep =
-            IndependentTrainer::new(env, actors, critics, config.train.clone()).expect("builds");
-        indep.train(epochs).expect("training runs");
-        indep_curves.push(
-            indep
-                .history()
-                .records()
-                .iter()
-                .map(|r| r.metrics.total_reward)
-                .collect(),
-        );
-    }
-    let ctde_curve = mean_curves(&ctde_curves);
-    let indep_curve = mean_curves(&indep_curves);
-
-    // CSV + terminal plot.
-    let smooth = (epochs / 20).max(1);
-    let ctde_ma = moving_average(&ctde_curve, smooth);
-    let indep_ma = moving_average(&indep_curve, smooth);
-    let mut csv = String::from("epoch,ctde,ctde_smooth,independent,independent_smooth\n");
-    for e in 0..epochs {
-        csv.push_str(&format!(
-            "{e},{:.6},{:.6},{:.6},{:.6}\n",
-            ctde_curve[e], ctde_ma[e], indep_curve[e], indep_ma[e]
-        ));
-    }
-    let path = write_results("ablation_ctde.csv", &csv);
+    let out = ablation_ctde(epochs, seeds, base_seed).expect("ablation runs");
+    let path = write_results(&out.artifact.name, &out.artifact.content);
 
     let mut plot = LinePlot::new("total reward vs epoch (moving average)", 72, 18);
-    plot.series("CTDE (Proposed)", &ctde_ma);
-    plot.series("independent", &indep_ma);
+    plot.series("CTDE (Proposed)", &out.ctde_ma);
+    plot.series("independent", &out.indep_ma);
     println!("{}", plot.render());
 
-    let tail = (epochs / 10).max(1);
+    let tail = out.tail;
     let tail_mean = |c: &[f64]| c[c.len() - tail..].iter().sum::<f64>() / tail as f64;
-    let ctde_final = tail_mean(&ctde_curve);
-    let indep_final = tail_mean(&indep_curve);
+    let ctde_final = tail_mean(&out.ctde_curve);
+    let indep_final = tail_mean(&out.indep_curve);
     println!("final reward (last {tail} epochs, {seeds}-seed mean): CTDE {ctde_final:.1}  vs  independent {indep_final:.1}");
     println!("wrote {}", path.display());
     println!("\nreading: in this fully-cooperative scenario with a *shared* team reward,");

@@ -5,74 +5,14 @@
 //! same trainable budget; re-uploading repeats the encoder between
 //! trainable blocks, buying expressivity with extra (noise-exposed)
 //! encoder gates. We compare them on a supervised **value-regression**
-//! task: fit the discounted Monte-Carlo returns of a fixed random-policy
-//! dataset from the offloading environment — the job the centralized
-//! critic actually has — and report convergence, structure and NISQ
+//! task — fit the discounted Monte-Carlo returns of a fixed random-policy
+//! dataset from the offloading environment, the job the centralized
+//! critic actually has — with the architecture arms fanned over the
+//! harness task pool, and report convergence, structure and NISQ
 //! exposure.
 
+use qmarl_bench::figures::ablation_encoding;
 use qmarl_bench::{write_results, Args};
-use qmarl_env::prelude::*;
-use qmarl_neural::prelude::Adam;
-use qmarl_vqc::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Collects (state, discounted-return) pairs from random-policy episodes.
-fn collect_dataset(seed: u64, episodes: usize, gamma: f64) -> Vec<(Vec<f64>, f64)> {
-    let mut cfg = EnvConfig::paper_default();
-    cfg.episode_limit = 60;
-    let mut env = SingleHopEnv::new(cfg, seed).expect("valid config");
-    let mut rng = StdRng::seed_from_u64(seed + 1);
-    let mut data = Vec::new();
-    for _ in 0..episodes {
-        let (_, mut state) = env.reset();
-        let mut states = vec![state.clone()];
-        let mut rewards = Vec::new();
-        loop {
-            let actions: Vec<usize> = (0..4).map(|_| rng.gen_range(0..4)).collect();
-            let out = env.step(&actions).expect("step");
-            rewards.push(out.reward);
-            state = out.state;
-            if out.done {
-                break;
-            }
-            states.push(state.clone());
-        }
-        // Backward pass for discounted returns G_t.
-        let mut g = 0.0;
-        let mut returns = vec![0.0; rewards.len()];
-        for t in (0..rewards.len()).rev() {
-            g = rewards[t] + gamma * g;
-            returns[t] = g;
-        }
-        for (s, r) in states.into_iter().zip(returns) {
-            data.push((s, r));
-        }
-    }
-    data
-}
-
-/// Trains a critic model by Adam on MSE over the dataset; returns the
-/// final epoch's MSE.
-fn regress(model: &Vqc, data: &[(Vec<f64>, f64)], epochs: usize, seed: u64) -> f64 {
-    let mut params = model.init_params(seed);
-    let mut opt = Adam::new(5e-3, params.len());
-    let mut last_mse = f64::INFINITY;
-    for _ in 0..epochs {
-        let mut mse = 0.0;
-        for (x, y) in data {
-            let (out, jac) = model
-                .forward_with_jacobian(x, &params, GradMethod::Adjoint)
-                .expect("jacobian");
-            let err = out[0] - y;
-            mse += err * err;
-            let grad = jac.vjp(&[2.0 * err / data.len() as f64]);
-            opt.step(&mut params, &grad);
-        }
-        last_mse = mse / data.len() as f64;
-    }
-    last_mse
-}
 
 fn main() {
     let args = Args::from_env();
@@ -82,64 +22,22 @@ fn main() {
     let budget: usize = args.get("params", 48);
 
     println!("== Ablation F: encode-once (paper) vs data re-uploading ==\n");
-    let data = collect_dataset(seed, episodes, 0.95);
-    println!(
-        "value-regression dataset: {} states from random-policy episodes\n",
-        data.len()
-    );
-
-    let architectures: Vec<(String, Circuit)> = vec![
-        ("encode-once (paper)".into(), {
-            let mut c = layered_angle_encoder(4, 16).expect("valid");
-            c.append_shifted(&layered_ansatz(4, budget).expect("valid"))
-                .expect("same width");
-            c
-        }),
-        (
-            "re-upload x2".into(),
-            reuploading_circuit(4, 16, 2, budget).expect("valid"),
-        ),
-        (
-            "re-upload x3".into(),
-            reuploading_circuit(4, 16, 3, budget).expect("valid"),
-        ),
-    ];
+    let (rows, artifact, dataset_len) =
+        ablation_encoding(epochs, episodes, seed, budget).expect("ablation runs");
+    println!("value-regression dataset: {dataset_len} states from random-policy episodes\n");
 
     println!(
         "{:<22} {:>7} {:>7} {:>7} {:>11} {:>12} {:>12}",
         "architecture", "gates", "depth", "params", "final MSE", "fid p=1e-3", "fid p=1e-2"
     );
-    let mut csv =
-        String::from("architecture,gates,depth,params,final_mse,fidelity_1e3,fidelity_1e2\n");
-    for (name, circuit) in architectures {
-        let stats = CircuitStats::of(&circuit);
-        let model = VqcBuilder::new(4)
-            .full_circuit(circuit)
-            .readout(Readout::mean_z(4))
-            .output_head(OutputHead::Affine)
-            .build()
-            .expect("valid model");
-        let mse = regress(&model, &data, epochs, seed);
-        let f3 = stats.fidelity_proxy(1e-3, 2e-3);
-        let f2 = stats.fidelity_proxy(1e-2, 2e-2);
+    for r in &rows {
         println!(
-            "{name:<22} {:>7} {:>7} {:>7} {:>11.4} {:>12.3} {:>12.3}",
-            stats.gates,
-            stats.depth,
-            model.param_count(),
-            mse,
-            f3,
-            f2
+            "{:<22} {:>7} {:>7} {:>7} {:>11.4} {:>12.3} {:>12.3}",
+            r.name, r.gates, r.depth, r.params, r.mse, r.fidelity_1e3, r.fidelity_1e2
         );
-        csv.push_str(&format!(
-            "{name},{},{},{},{mse:.6},{f3:.6},{f2:.6}\n",
-            stats.gates,
-            stats.depth,
-            model.param_count()
-        ));
     }
 
-    let path = write_results("ablation_encoding.csv", &csv);
+    let path = write_results(&artifact.name, &artifact.content);
     println!("\nwrote {}", path.display());
     println!("\nreading: re-uploading can fit the value surface at least as well, but");
     println!("every extra upload adds 16 encoder gates of depth and noise exposure —");

@@ -1,23 +1,14 @@
 //! Ablation B (the paper's future work, Sec. V): the impact of NISQ noise
 //! on the trained QMARL policies.
 //!
-//! Trains `Proposed` briefly, then evaluates the trained quantum actors
-//! under a sweep of per-gate depolarizing rates: how far does the action
+//! Trains `Proposed` briefly (one harness cell), then evaluates the
+//! trained quantum actors under a sweep of per-gate depolarizing rates
+//! fanned over the harness task pool: how far does the action
 //! distribution drift (total-variation distance), and how much return is
 //! lost when every policy is executed noisily?
 
-use qmarl_bench::{mean_std, write_results, Args};
-use qmarl_core::prelude::*;
-use qmarl_env::prelude::*;
-use qmarl_neural::prelude::softmax;
-use qmarl_qsim::noise::NoiseModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Total-variation distance between two distributions.
-fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
-    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
-}
+use qmarl_bench::figures::ablation_noise;
+use qmarl_bench::{write_results, Args};
 
 fn main() {
     let args = Args::from_env();
@@ -25,92 +16,21 @@ fn main() {
     let eval_episodes: usize = args.get("eval", 20);
     let seed: u64 = args.get("seed", 7);
 
-    let mut config = ExperimentConfig::paper_default();
-    config.train.epochs = epochs;
-    config.train.seed = seed;
-
     println!("== Ablation B: NISQ noise impact on QMARL (trained {epochs} epochs) ==\n");
-    let mut trainer = build_trainer(FrameworkKind::Proposed, &config).expect("paper config valid");
-    trainer.train(epochs).expect("training runs");
-
-    // Materialise the trained quantum actors.
-    let n_actions = config.env.n_clouds * config.env.packet_amounts.len();
-    let mut actors: Vec<QuantumActor> = (0..config.env.n_edges)
-        .map(|n| {
-            QuantumActor::new(
-                config.train.n_qubits,
-                config.env.obs_dim(),
-                n_actions,
-                config.train.actor_params,
-                config.train.seed.wrapping_add(1000 + n as u64),
-            )
-            .expect("paper config valid")
-        })
-        .collect();
-    for (view, actor) in actors.iter_mut().zip(trainer.actors()) {
-        view.set_params(&actor.params()).expect("same architecture");
-    }
+    let (rows, artifact) = ablation_noise(epochs, eval_episodes, seed).expect("ablation runs");
 
     println!(
         "{:>10} {:>14} {:>12} {:>12}",
         "gate p", "policy TV dist", "reward", "±std"
     );
-    let mut csv = String::from("noise_p,policy_tv_distance,reward_mean,reward_std\n");
-
-    for &p in &[0.0, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1] {
-        let noise = NoiseModel::depolarizing(p, 2.0 * p).expect("valid noise");
-
-        // Policy drift on a fixed probe set of observations.
-        let mut tv_sum = 0.0;
-        let mut tv_n = 0usize;
-        for probe in 0..16 {
-            let obs: Vec<f64> = (0..config.env.obs_dim())
-                .map(|i| ((probe * 4 + i * 7) % 11) as f64 / 10.0)
-                .collect();
-            let actor = &actors[probe % actors.len()];
-            let clean = softmax(
-                &actor
-                    .model()
-                    .forward(&obs, &actor.params())
-                    .expect("forward"),
-            );
-            let noisy = softmax(
-                &actor
-                    .model()
-                    .forward_noisy(&obs, &actor.params(), &noise)
-                    .expect("noisy forward"),
-            );
-            tv_sum += tv_distance(&clean, &noisy);
-            tv_n += 1;
-        }
-        let tv = tv_sum / tv_n as f64;
-
-        // Return under noisy decentralized execution.
-        let mut rewards = Vec::with_capacity(eval_episodes);
-        let mut env = SingleHopEnv::new(config.env.clone(), seed + 11).expect("valid env");
-        let mut rng = StdRng::seed_from_u64(seed + 101);
-        for _ in 0..eval_episodes {
-            let m = rollout_episode(&mut env, |obs| {
-                obs.iter()
-                    .enumerate()
-                    .map(|(n, o)| {
-                        let logits = actors[n]
-                            .model()
-                            .forward_noisy(o, &actors[n].params(), &noise)
-                            .expect("noisy forward");
-                        select_action(&softmax(&logits), false, &mut rng)
-                    })
-                    .collect()
-            })
-            .expect("rollout");
-            rewards.push(m.total_reward);
-        }
-        let (mean, std) = mean_std(&rewards);
-        println!("{p:>10.0e} {tv:>14.4} {mean:>12.2} {std:>12.2}");
-        csv.push_str(&format!("{p},{tv:.6},{mean:.4},{std:.4}\n"));
+    for r in &rows {
+        println!(
+            "{:>10.0e} {:>14.4} {:>12.2} {:>12.2}",
+            r.p, r.tv, r.reward_mean, r.reward_std
+        );
     }
 
-    let path = write_results("ablation_noise.csv", &csv);
+    let path = write_results(&artifact.name, &artifact.content);
     println!("\nwrote {}", path.display());
     println!("\nreading: gate noise first blurs the policy (TV distance grows with p),");
     println!("then collapses it toward uniform — the return degrades toward the");

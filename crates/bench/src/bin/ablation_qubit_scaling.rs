@@ -10,18 +10,12 @@
 //! * NISQ noise accumulation — purity loss under per-gate depolarizing
 //!   noise (density-matrix simulation, which itself becomes intractable
 //!   beyond ~10 wires: the blank cells are part of the result).
+//!
+//! Rows run through the harness task pool pinned to a single worker so
+//! the µs microbenchmark columns never contend for cores.
 
-use std::time::Instant;
-
+use qmarl_bench::figures::{ablation_qubit_scaling, MAX_NOISY_QUBITS};
 use qmarl_bench::{write_results, Args};
-use qmarl_core::prelude::*;
-use qmarl_env::prelude::EnvConfig;
-use qmarl_qsim::noise::NoiseModel;
-use qmarl_vqc::prelude::run_noisy;
-
-/// Density-matrix simulation above this register width is impractical on
-/// a laptop (memory and time are 4^n); report it as such.
-const MAX_NOISY_QUBITS: usize = 8;
 
 fn main() {
     let args = Args::from_env();
@@ -30,6 +24,8 @@ fn main() {
     let seed: u64 = args.get("seed", 7);
 
     println!("== Ablation A: qubit scaling — naive CTDE vs state encoding ==\n");
+    let (rows, artifact) = ablation_qubit_scaling(budget, noise_p, seed).expect("ablation runs");
+
     println!(
         "{:<8} {:>10} {:>11} {:>13} {:>15} {:>16} {:>11} {:>13}",
         "agents",
@@ -41,78 +37,25 @@ fn main() {
         "enc purity",
         "naive purity"
     );
-    let mut csv = String::from(
-        "n_agents,state_dim,encoded_qubits,naive_qubits,encoded_grad_us,naive_grad_us,encoded_purity,naive_purity\n",
-    );
-
-    for n_agents in [1usize, 2, 3, 4] {
-        let mut env_cfg = EnvConfig::paper_default();
-        env_cfg.n_edges = n_agents;
-        let state_dim = env_cfg.state_dim();
-        let state: Vec<f64> = (0..state_dim).map(|i| 0.07 * (i as f64) % 1.0).collect();
-
-        // The paper's critic: fixed 4 qubits via layered encoding.
-        let encoded = QuantumCritic::new(4, state_dim, budget, seed).expect("valid critic");
-        // The naive critic: one wire per feature.
-        let naive = NaiveQuantumCritic::new(state_dim, budget, seed).expect("valid critic");
-
-        let time_grad = |f: &dyn Fn()| -> f64 {
-            f(); // warm up
-            let reps = 20;
-            let t0 = Instant::now();
-            for _ in 0..reps {
-                f();
-            }
-            t0.elapsed().as_secs_f64() * 1e6 / reps as f64
-        };
-        let enc_us = time_grad(&|| {
-            encoded.value_with_gradient(&state).expect("gradient");
-        });
-        let naive_us = time_grad(&|| {
-            naive.value_with_gradient(&state).expect("gradient");
-        });
-
-        // Purity after noisy execution with the same per-gate rate.
-        let noise = NoiseModel::depolarizing(noise_p, 2.0 * noise_p).expect("valid noise");
-        let purity = |model: &qmarl_vqc::qnn::Vqc, params: &[f64]| -> Option<f64> {
-            if model.circuit().n_qubits() > MAX_NOISY_QUBITS {
-                return None;
-            }
-            let circ_params = &params[..model.circuit_param_count()];
-            let scaled: Vec<f64> = state.iter().map(|x| x * std::f64::consts::PI).collect();
-            Some(
-                run_noisy(model.circuit(), &scaled, circ_params, &noise)
-                    .expect("noisy run")
-                    .purity(),
-            )
-        };
-        let enc_purity = purity(encoded.model(), &encoded.params());
-        let naive_purity = purity(naive.model(), &naive.params());
-        let show = |p: Option<f64>| match p {
-            Some(v) => format!("{v:.4}"),
-            None => "intractable".to_string(),
-        };
-
+    let show = |p: Option<f64>| match p {
+        Some(v) => format!("{v:.4}"),
+        None => "intractable".to_string(),
+    };
+    for r in &rows {
         println!(
             "{:<8} {:>10} {:>11} {:>13} {:>15.1} {:>16.1} {:>11} {:>13}",
-            n_agents,
-            state_dim,
+            r.n_agents,
+            r.state_dim,
             4,
-            naive.n_qubits(),
-            enc_us,
-            naive_us,
-            show(enc_purity),
-            show(naive_purity)
+            r.naive_qubits,
+            r.encoded_grad_us,
+            r.naive_grad_us,
+            show(r.encoded_purity),
+            show(r.naive_purity)
         );
-        csv.push_str(&format!(
-            "{n_agents},{state_dim},4,{},{enc_us:.2},{naive_us:.2},{},{}\n",
-            naive.n_qubits(),
-            enc_purity.map_or(String::from(""), |v| format!("{v:.6}")),
-            naive_purity.map_or(String::from(""), |v| format!("{v:.6}")),
-        ));
     }
 
-    let path = write_results("ablation_qubit_scaling.csv", &csv);
+    let path = write_results(&artifact.name, &artifact.content);
     println!("\nwrote {}", path.display());
     println!("\nreading: the encoded critic's register (so its simulation cost and noise");
     println!("exposure) is constant in the agent count; the naive layout pays exponential");

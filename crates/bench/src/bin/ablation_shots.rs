@@ -2,18 +2,14 @@
 //!
 //! The paper's simulator (like ours, by default) returns exact expectation
 //! values; hardware returns `n_shots` samples. This ablation trains
-//! `Proposed` briefly, then executes the trained policies with a finite
-//! shot budget per decision and measures how much policy quality survives
+//! `Proposed` briefly (one harness cell), then executes the trained
+//! policies with a finite shot budget per decision — fanned over the
+//! harness task pool — and measures how much policy quality survives
 //! — the practical cost axis for the paper's "deploy on quantum clouds"
 //! future work.
 
-use qmarl_bench::{mean_std, write_results, Args};
-use qmarl_core::prelude::*;
-use qmarl_env::prelude::*;
-use qmarl_neural::prelude::softmax;
-use qmarl_qsim::shots::z_standard_error;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qmarl_bench::figures::ablation_shots;
+use qmarl_bench::{write_results, Args};
 
 fn main() {
     let args = Args::from_env();
@@ -21,89 +17,27 @@ fn main() {
     let eval_episodes: usize = args.get("eval", 20);
     let seed: u64 = args.get("seed", 7);
 
-    let mut config = ExperimentConfig::paper_default();
-    config.train.epochs = epochs;
-    config.train.seed = seed;
-
     println!("== Ablation D: finite-shot execution of trained QMARL ({epochs} epochs) ==\n");
-    let mut trainer = build_trainer(FrameworkKind::Proposed, &config).expect("paper config valid");
-    trainer.train(epochs).expect("training runs");
-
-    // Materialise the trained quantum actors.
-    let n_actions = config.env.n_clouds * config.env.packet_amounts.len();
-    let mut actors: Vec<QuantumActor> = (0..config.env.n_edges)
-        .map(|n| {
-            QuantumActor::new(
-                config.train.n_qubits,
-                config.env.obs_dim(),
-                n_actions,
-                config.train.actor_params,
-                config.train.seed.wrapping_add(1000 + n as u64),
-            )
-            .expect("paper config valid")
-        })
-        .collect();
-    for (view, actor) in actors.iter_mut().zip(trainer.actors()) {
-        view.set_params(&actor.params()).expect("same architecture");
-    }
+    let (rows, artifact) = ablation_shots(epochs, eval_episodes, seed).expect("ablation runs");
 
     println!(
         "{:>8} {:>14} {:>12} {:>10}",
         "shots", "z std error", "reward", "±std"
     );
-    let mut csv = String::from("shots,z_standard_error,reward_mean,reward_std\n");
-    // `shots = None` is the exact-expectation limit; every row uses the
-    // same stochastic (sampled) policy so only the readout noise varies.
-    let budgets: [Option<usize>; 7] = [
-        Some(8),
-        Some(32),
-        Some(128),
-        Some(512),
-        Some(2048),
-        Some(8192),
-        None,
-    ];
-    for shots in budgets {
-        let mut rewards = Vec::with_capacity(eval_episodes);
-        let mut env = SingleHopEnv::new(config.env.clone(), seed + 21).expect("valid env");
-        let mut rng = StdRng::seed_from_u64(seed + 77);
-        for _ in 0..eval_episodes {
-            let m = rollout_episode(&mut env, |obs| {
-                obs.iter()
-                    .enumerate()
-                    .map(|(n, o)| {
-                        let logits = match shots {
-                            Some(s) => actors[n]
-                                .model()
-                                .forward_shots(o, &actors[n].params(), s, &mut rng)
-                                .expect("shot forward"),
-                            None => actors[n]
-                                .model()
-                                .forward(o, &actors[n].params())
-                                .expect("forward"),
-                        };
-                        select_action(&softmax(&logits), false, &mut rng)
-                    })
-                    .collect()
-            })
-            .expect("rollout");
-            rewards.push(m.total_reward);
-        }
-        let (mean, std) = mean_std(&rewards);
-        match shots {
-            Some(s) => {
-                let se = z_standard_error(0.0, s); // worst-case per-readout error
-                println!("{s:>8} {se:>14.4} {mean:>12.2} {std:>10.2}");
-                csv.push_str(&format!("{s},{se:.6},{mean:.4},{std:.4}\n"));
-            }
-            None => {
-                println!("{:>8} {:>14} {mean:>12.2} {std:>10.2}", "exact", 0.0);
-                csv.push_str(&format!("exact,0,{mean:.4},{std:.4}\n"));
-            }
+    for r in &rows {
+        match r.shots {
+            Some(s) => println!(
+                "{s:>8} {:>14.4} {:>12.2} {:>10.2}",
+                r.std_error, r.reward_mean, r.reward_std
+            ),
+            None => println!(
+                "{:>8} {:>14} {:>12.2} {:>10.2}",
+                "exact", 0.0, r.reward_mean, r.reward_std
+            ),
         }
     }
 
-    let path = write_results("ablation_shots.csv", &csv);
+    let path = write_results(&artifact.name, &artifact.content);
     println!("\nwrote {}", path.display());
     println!("\nreading: with the same stochastic policy everywhere, a few hundred shots");
     println!("per decision already match the exact-expectation return — the shot budget");

@@ -1,54 +1,18 @@
 //! Fig. 3 (a–d): training curves of all four frameworks + random walk.
 //!
-//! Trains `Proposed`, `Comp1`, `Comp2` and `Comp3` in parallel threads,
-//! averages over `--seeds` runs, writes one CSV per panel into `results/`
-//! and prints the paper's summary rows (converged rewards, achievability,
-//! average queue, event-ratio orderings).
+//! Trains the `framework × seed` grid as one harness sweep over the
+//! worker pool, averages over `--seeds` runs, writes one CSV per panel
+//! into `results/` and prints the paper's summary rows (converged
+//! rewards, achievability, average queue, event-ratio orderings).
 //!
 //! ```text
 //! cargo run --release -p qmarl-bench --bin fig3_training_curves -- \
 //!     --epochs 1000 --seeds 3 --seed 7
 //! ```
 
-use qmarl_bench::{mean_std, moving_average, write_results, Args};
+use qmarl_bench::figures::fig3_training_curves;
+use qmarl_bench::{write_results, Args};
 use qmarl_core::prelude::*;
-use qmarl_env::prelude::*;
-
-struct FrameworkRun {
-    kind: FrameworkKind,
-    /// Per-seed training histories.
-    histories: Vec<TrainingHistory>,
-}
-
-fn train_one(
-    kind: FrameworkKind,
-    base: &ExperimentConfig,
-    seeds: u64,
-) -> Result<FrameworkRun, CoreError> {
-    let mut histories = Vec::new();
-    for s in 0..seeds {
-        let mut cfg = base.clone();
-        cfg.train.seed = base.train.seed + s * 101;
-        let mut trainer = build_trainer(kind, &cfg)?;
-        trainer.train(cfg.train.epochs)?;
-        histories.push(trainer.history().clone());
-    }
-    Ok(FrameworkRun { kind, histories })
-}
-
-/// Mean of a per-epoch metric across seeds.
-fn mean_series<F: Fn(&EpochRecord) -> f64>(run: &FrameworkRun, f: F) -> Vec<f64> {
-    let epochs = run.histories[0].len();
-    (0..epochs)
-        .map(|e| {
-            run.histories
-                .iter()
-                .map(|h| f(&h.records()[e]))
-                .sum::<f64>()
-                / run.histories.len() as f64
-        })
-        .collect()
-}
 
 fn main() {
     let args = Args::from_env();
@@ -57,137 +21,47 @@ fn main() {
     let base_seed: u64 = args.get("seed", 7);
     let smooth: usize = args.get("smooth", 25);
 
-    let mut config = ExperimentConfig::paper_default();
-    config.train.epochs = epochs;
-    config.train.seed = base_seed;
-
+    let config = ExperimentConfig::paper_default();
     println!("== Fig. 3 reproduction: {epochs} epochs x {seeds} seeds ==");
     println!(
         "env: K={} clouds, N={} edges, T={} steps/episode",
         config.env.n_clouds, config.env.n_edges, config.env.episode_limit
     );
 
-    // Random-walk normalisation baseline (Sec. IV-D1).
-    let mut rw_env = SingleHopEnv::new(config.env.clone(), base_seed).expect("env config valid");
-    let rw = random_walk_baseline(&mut rw_env, 200, base_seed).expect("random walk runs");
+    let out = fig3_training_curves(epochs, seeds, base_seed, smooth).expect("fig3 grid runs");
     println!(
         "random walk: reward {:.1} (paper: -33.2), avg queue {:.3}",
-        rw.total_reward, rw.avg_queue
+        out.random_walk.total_reward, out.random_walk.avg_queue
     );
-
-    // Train all four frameworks in parallel on the shared work queue.
-    let runs: Vec<FrameworkRun> = qmarl_qsim::par::parallel_map(
-        &FrameworkKind::TRAINABLE,
-        FrameworkKind::TRAINABLE.len(),
-        |_, &kind| train_one(kind, &config, seeds).expect("training runs"),
-    );
-
-    // One CSV per Fig. 3 panel: epoch, then per-framework mean columns
-    // (raw and moving-average-smoothed).
-    type Panel = (&'static str, fn(&EpochRecord) -> f64);
-    let panels: [Panel; 4] = [
-        ("fig3a_reward.csv", |r| r.metrics.total_reward),
-        ("fig3b_avg_queue.csv", |r| r.metrics.avg_queue),
-        ("fig3c_empty_ratio.csv", |r| r.metrics.empty_ratio),
-        ("fig3d_overflow_ratio.csv", |r| r.metrics.overflow_ratio),
-    ];
-    for (name, metric) in panels {
-        let mut csv = String::from("epoch");
-        for run in &runs {
-            csv.push_str(&format!(",{k},{k}_smooth", k = run.kind));
+    for artifact in &out.artifacts {
+        let path = write_results(&artifact.name, &artifact.content);
+        // Panel CSVs are announced like the historical binary; per-seed
+        // audit histories are written silently, also like it.
+        if artifact.name.starts_with("fig3") && !artifact.name.contains("_seed") {
+            println!("wrote {}", path.display());
         }
-        csv.push('\n');
-        let series: Vec<(Vec<f64>, Vec<f64>)> = runs
-            .iter()
-            .map(|run| {
-                let raw = mean_series(run, metric);
-                let ma = moving_average(&raw, smooth);
-                (raw, ma)
-            })
-            .collect();
-        for e in 0..epochs {
-            csv.push_str(&format!("{e}"));
-            for (raw, ma) in &series {
-                csv.push_str(&format!(",{:.6},{:.6}", raw[e], ma[e]));
-            }
-            csv.push('\n');
-        }
-        let path = write_results(name, &csv);
-        println!("wrote {}", path.display());
     }
 
-    // Summary table (the numbers quoted in Sec. IV-D).
-    let tail = (epochs / 10).max(1);
     println!(
         "\n{:<10} {:>10} {:>8} {:>14} {:>10} {:>10} {:>10}",
         "framework", "reward", "±std", "achievability", "avg queue", "empty", "overflow"
     );
-    let mut summary = String::from(
-        "framework,reward,reward_std,achievability,avg_queue,empty_ratio,overflow_ratio\n",
-    );
-    for run in &runs {
-        let finals: Vec<f64> = run
-            .histories
-            .iter()
-            .map(|h| h.final_reward(tail).expect("history nonempty"))
-            .collect();
-        let (reward, std) = mean_std(&finals);
-        let ach = achievability(reward, rw.total_reward);
-        let avg_q: Vec<f64> = run
-            .histories
-            .iter()
-            .map(|h| h.final_metric(tail, |r| r.metrics.avg_queue).unwrap())
-            .collect();
-        let empty: Vec<f64> = run
-            .histories
-            .iter()
-            .map(|h| h.final_metric(tail, |r| r.metrics.empty_ratio).unwrap())
-            .collect();
-        let over: Vec<f64> = run
-            .histories
-            .iter()
-            .map(|h| h.final_metric(tail, |r| r.metrics.overflow_ratio).unwrap())
-            .collect();
+    for row in &out.rows {
         println!(
             "{:<10} {:>10.2} {:>8.2} {:>13.1}% {:>10.3} {:>10.3} {:>10.3}",
-            run.kind.name(),
-            reward,
-            std,
-            100.0 * ach,
-            mean_std(&avg_q).0,
-            mean_std(&empty).0,
-            mean_std(&over).0,
+            row.kind.name(),
+            row.reward,
+            row.std,
+            100.0 * row.achievability,
+            row.avg_queue,
+            row.empty_ratio,
+            row.overflow_ratio,
         );
-        summary.push_str(&format!(
-            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
-            run.kind.name(),
-            reward,
-            std,
-            ach,
-            mean_std(&avg_q).0,
-            mean_std(&empty).0,
-            mean_std(&over).0,
-        ));
     }
+    let rw = &out.random_walk;
     println!(
         "{:<10} {:>10.2} {:>8} {:>13.1}% {:>10.3} {:>10.3} {:>10.3}",
         "RandomWalk", rw.total_reward, "-", 0.0, rw.avg_queue, rw.empty_ratio, rw.overflow_ratio,
     );
-    summary.push_str(&format!(
-        "RandomWalk,{:.4},0,0,{:.4},{:.4},{:.4}\n",
-        rw.total_reward, rw.avg_queue, rw.empty_ratio, rw.overflow_ratio
-    ));
-    let path = write_results("fig3_summary.csv", &summary);
-    println!("\nwrote {}", path.display());
     println!("\npaper reference: Proposed -3.0 (90.9%), Comp1 -16.6 (49.8%), Comp2 -22.5 (33.2%), Comp3 -2.8 (91.5%), random -33.2");
-
-    // Per-seed full histories for reproducibility audits.
-    for run in &runs {
-        for (s, h) in run.histories.iter().enumerate() {
-            write_results(
-                &format!("fig3_{}_seed{}.csv", run.kind.name().to_lowercase(), s),
-                &h.to_csv(),
-            );
-        }
-    }
 }

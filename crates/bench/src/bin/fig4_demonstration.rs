@@ -7,9 +7,9 @@
 //!     --epochs 300 --steps 12
 //! ```
 
+use qmarl_bench::figures::fig4_demonstration;
 use qmarl_bench::{write_results, Args};
 use qmarl_core::prelude::*;
-use qmarl_env::prelude::SingleHopEnv;
 
 fn main() {
     let args = Args::from_env();
@@ -18,66 +18,24 @@ fn main() {
     let seed: u64 = args.get("seed", 7);
     let agent: usize = args.get("agent", 0);
 
-    let mut config = ExperimentConfig::paper_default();
-    config.train.epochs = epochs;
-    config.train.seed = seed;
-
     println!(
         "== Fig. 4: training Proposed for {epochs} epochs, then a {steps}-step demonstration =="
     );
-    let mut trainer = build_trainer(FrameworkKind::Proposed, &config).expect("paper config valid");
-    trainer.train(epochs).expect("training runs");
-    let final_reward = trainer
-        .history()
-        .final_reward((epochs / 10).max(1))
-        .expect("history");
-    println!("trained: final reward ≈ {final_reward:.1}\n");
-
-    // Rebuild the quantum views of the trained actors (for register access).
-    let mut quantum_views: Vec<QuantumActor> = (0..config.env.n_edges)
-        .map(|n| {
-            QuantumActor::new(
-                config.train.n_qubits,
-                config.env.obs_dim(),
-                config.env.n_clouds * config.env.packet_amounts.len(),
-                config.train.actor_params,
-                config.train.seed.wrapping_add(1000 + n as u64),
-            )
-            .expect("paper config valid")
-        })
-        .collect();
-    for (view, actor) in quantum_views.iter_mut().zip(trainer.actors()) {
-        view.set_params(&actor.params()).expect("same architecture");
-    }
-    let actors: Vec<Box<dyn Actor>> = quantum_views
-        .iter()
-        .map(|q| Box::new(q.clone()) as Box<dyn Actor>)
-        .collect();
-
-    let mut env = SingleHopEnv::new(config.env.clone(), seed + 1).expect("paper config valid");
-    let deterministic = args.has("argmax");
-    let frames = run_demonstration(
-        &mut env,
-        &actors,
-        &quantum_views,
-        agent,
-        steps,
-        seed,
-        deterministic,
-    )
-    .expect("demonstration rolls out");
+    let out = fig4_demonstration(epochs, steps, seed, agent, args.has("argmax"))
+        .expect("demonstration rolls out");
+    println!("trained: final reward ≈ {:.1}\n", out.final_reward);
 
     println!(
         "Queue trajectories over {} unit-steps (▁ empty … █ full):\n",
-        frames.len()
+        out.frames.len()
     );
-    println!("{}", render_queue_chart(&frames));
+    println!("{}", render_queue_chart(&out.frames));
 
     println!("1st edge agent's qubit states (rows q1q2 × cols q3q4, colour = phase):\n");
-    for f in &frames {
+    for f in &out.frames {
         println!("{}", render_heatmap_ansi(f));
     }
 
-    let path = write_results("fig4_demonstration.csv", &frames_to_csv(&frames));
+    let path = write_results(&out.artifact.name, &out.artifact.content);
     println!("wrote {}", path.display());
 }

@@ -1,7 +1,9 @@
 //! Table II: the experiment parameters, plus the per-framework trainable-
 //! parameter accounting of Sec. IV-C ("the trainable parameters of these
-//! three frameworks are all set to 50 … Comp3 … more than 40K").
+//! three frameworks are all set to 50 … Comp3 … more than 40K"), the
+//! budgets computed over the harness task pool.
 
+use qmarl_bench::figures::table2_param_budgets;
 use qmarl_bench::write_results;
 use qmarl_core::prelude::*;
 
@@ -15,33 +17,18 @@ fn main() {
         "{:<12} {:>10} {:>8} {:>10} {:>12}",
         "framework", "per actor", "actors", "critic", "total"
     );
-    let mut csv = String::from("framework,per_actor,n_actors,critic,total\n");
-    for kind in [
-        FrameworkKind::Proposed,
-        FrameworkKind::Comp1,
-        FrameworkKind::Comp2,
-        FrameworkKind::Comp3,
-        FrameworkKind::RandomWalk,
-    ] {
-        let r = parameter_report(kind, &config).expect("paper config valid");
+    let (reports, artifact) = table2_param_budgets(&config).expect("paper config valid");
+    for r in &reports {
         println!(
             "{:<12} {:>10} {:>8} {:>10} {:>12}",
-            kind.name(),
+            r.kind.name(),
             r.per_actor,
             r.n_actors,
             r.critic,
             r.total()
         );
-        csv.push_str(&format!(
-            "{},{},{},{},{}\n",
-            kind.name(),
-            r.per_actor,
-            r.n_actors,
-            r.critic,
-            r.total()
-        ));
     }
-    let path = write_results("table2_param_budgets.csv", &csv);
+    let path = write_results(&artifact.name, &artifact.content);
     println!("\nwrote {}", path.display());
     println!("paper reference: Proposed/Comp1/Comp2 ≈ 50 per network; Comp3 > 40 000");
 }

@@ -1,23 +1,48 @@
 //! Checkpointing: saving and restoring trained frameworks.
 //!
-//! A checkpoint is a plain-text file (version-tagged, one parameter per
-//! line in round-trip-exact scientific notation) holding every actor's
-//! and the critic's flat parameter vector. Text keeps the format
-//! dependency-free and diff-able; exact `f64` round-tripping is asserted
-//! by tests.
+//! Two granularities share the same dependency-free, diff-able plain-text
+//! discipline (version-tagged, every `f64` in round-trip-exact scientific
+//! notation):
+//!
+//! * [`FrameworkSnapshot`] — the **parameters only** (every actor's and
+//!   the critic's flat vector). Enough to deploy or warm-start a policy.
+//! * [`TrainerCheckpoint`] — the **full optimisation state** of a
+//!   [`CtdeTrainer`]: parameters, target network, Adam moments, replay
+//!   buffer, history, epoch counters and the trainer's RNG stream, so an
+//!   interrupted run resumed through
+//!   [`CtdeTrainer::restore_state`](crate::trainer::CtdeTrainer::restore_state)
+//!   continues **bit-identically** to one that was never interrupted
+//!   (on the vectorized/parallel collection surfaces, whose episode
+//!   randomness derives from `(seed, round)` rather than live
+//!   environment state).
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
+use qmarl_env::metrics::EpisodeMetrics;
+use qmarl_neural::optim::AdamState;
+
 use crate::error::CoreError;
 use crate::policy::Actor;
-use crate::trainer::CtdeTrainer;
+use crate::replay::{Episode, Transition};
+use crate::trainer::{CtdeTrainer, EpochRecord, TrainingHistory};
 use crate::value::Critic;
 use qmarl_env::multi_agent::MultiAgentEnv;
 
 /// The format tag written at the top of every checkpoint.
 const MAGIC: &str = "qmarl-checkpoint v1";
+
+/// The format tag of the full-trainer-state format.
+const TRAINER_MAGIC: &str = "qmarl-trainer-checkpoint v1";
+
+/// Labels live on one line of the line-oriented codecs; a stray newline
+/// would shift every following field (or, crafted, inject fields), so
+/// line breaks are flattened to spaces at write time. Everything else
+/// round-trips verbatim.
+fn sanitize_label(label: &str) -> String {
+    label.replace(['\n', '\r'], " ")
+}
 
 /// A framework's trained parameters, detached from the model objects.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -68,7 +93,7 @@ impl FrameworkSnapshot {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         writeln!(out, "{MAGIC}").expect("string write");
-        writeln!(out, "label {}", self.label).expect("string write");
+        writeln!(out, "label {}", sanitize_label(&self.label)).expect("string write");
         writeln!(out, "actors {}", self.actor_params.len()).expect("string write");
         for (i, params) in self.actor_params.iter().enumerate() {
             writeln!(out, "actor {i} {}", params.len()).expect("string write");
@@ -164,6 +189,345 @@ impl FrameworkSnapshot {
     }
 }
 
+/// The complete optimisation state of a [`CtdeTrainer`], detached from
+/// the model and environment objects.
+///
+/// Captured by [`CtdeTrainer::capture_state`](crate::trainer::CtdeTrainer::capture_state)
+/// and restored by [`CtdeTrainer::restore_state`](crate::trainer::CtdeTrainer::restore_state)
+/// into a trainer built with the **same configuration** (the `seed` field
+/// guards the pairing). The environment itself is deliberately absent:
+/// the vectorized and parallel collection surfaces reseed every episode
+/// from `(config.seed, parallel_rounds, episode index)`, so restoring the
+/// round counter restores the exact episode stream.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainerCheckpoint {
+    /// Free-form label (usually the sweep cell name).
+    pub label: String,
+    /// The `TrainConfig::seed` of the captured trainer; restore refuses a
+    /// differently-seeded trainer (resume would silently diverge).
+    pub seed: u64,
+    /// Epochs completed.
+    pub epoch: usize,
+    /// Completed parallel/vectorized collection rounds.
+    pub parallel_rounds: u64,
+    /// The trainer's own RNG stream (serial rollout action sampling).
+    pub rng_state: [u64; 4],
+    /// Per-actor flat parameter vectors.
+    pub actor_params: Vec<Vec<f64>>,
+    /// The live critic `ψ`.
+    pub critic_params: Vec<f64>,
+    /// The target network `φ`.
+    pub target_params: Vec<f64>,
+    /// Per-actor Adam moments.
+    pub actor_opts: Vec<AdamState>,
+    /// The critic's Adam moments.
+    pub critic_opt: AdamState,
+    /// The replay buffer `D`, oldest episode first.
+    pub replay: Vec<Episode>,
+    /// The per-epoch history so far.
+    pub history: TrainingHistory,
+}
+
+/// Writes one `f64` slice as a single space-separated line.
+fn push_vec_line(out: &mut String, tag: &str, xs: &[f64]) {
+    out.push_str(tag);
+    for x in xs {
+        write!(out, " {x:e}").expect("string write");
+    }
+    out.push('\n');
+}
+
+/// Parses a whitespace-separated `f64` line with a required tag prefix.
+fn parse_vec_line(
+    line: &str,
+    tag: &str,
+    bad: &dyn Fn(&str) -> CoreError,
+) -> Result<Vec<f64>, CoreError> {
+    let rest = line
+        .strip_prefix(tag)
+        .ok_or_else(|| bad(&format!("expected a {tag:?} line, got {line:?}")))?;
+    rest.split_whitespace()
+        .map(|t| {
+            t.parse()
+                .map_err(|_| bad(&format!("malformed float {t:?}")))
+        })
+        .collect()
+}
+
+impl TrainerCheckpoint {
+    /// Serialises to the trainer-checkpoint text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{TRAINER_MAGIC}").expect("string write");
+        writeln!(out, "label {}", sanitize_label(&self.label)).expect("string write");
+        writeln!(out, "seed {}", self.seed).expect("string write");
+        writeln!(out, "epoch {}", self.epoch).expect("string write");
+        writeln!(out, "rounds {}", self.parallel_rounds).expect("string write");
+        let [s0, s1, s2, s3] = self.rng_state;
+        writeln!(out, "rng {s0} {s1} {s2} {s3}").expect("string write");
+        writeln!(out, "actors {}", self.actor_params.len()).expect("string write");
+        for (i, params) in self.actor_params.iter().enumerate() {
+            push_vec_line(&mut out, &format!("actor {i}"), params);
+        }
+        push_vec_line(&mut out, "critic", &self.critic_params);
+        push_vec_line(&mut out, "target", &self.target_params);
+        for (i, opt) in self.actor_opts.iter().enumerate() {
+            writeln!(out, "opt actor {i} t {}", opt.t).expect("string write");
+            push_vec_line(&mut out, "m", &opt.m);
+            push_vec_line(&mut out, "v", &opt.v);
+        }
+        writeln!(out, "opt critic t {}", self.critic_opt.t).expect("string write");
+        push_vec_line(&mut out, "m", &self.critic_opt.m);
+        push_vec_line(&mut out, "v", &self.critic_opt.v);
+        writeln!(out, "replay {}", self.replay.len()).expect("string write");
+        for (i, ep) in self.replay.iter().enumerate() {
+            writeln!(out, "episode {i} {}", ep.len()).expect("string write");
+            for tr in ep.transitions() {
+                writeln!(
+                    out,
+                    "step agents {} done {}",
+                    tr.observations.len(),
+                    u8::from(tr.done)
+                )
+                .expect("string write");
+                push_vec_line(&mut out, "s", &tr.state);
+                for o in &tr.observations {
+                    push_vec_line(&mut out, "o", o);
+                }
+                out.push('u');
+                for a in &tr.actions {
+                    write!(out, " {a}").expect("string write");
+                }
+                out.push('\n');
+                writeln!(out, "r {:e}", tr.reward).expect("string write");
+                push_vec_line(&mut out, "ns", &tr.next_state);
+                for o in &tr.next_observations {
+                    push_vec_line(&mut out, "no", o);
+                }
+            }
+        }
+        writeln!(out, "history {}", self.history.len()).expect("string write");
+        for r in self.history.records() {
+            writeln!(
+                out,
+                "rec {} {} {:e} {:e} {:e} {:e} {:e} {:e}",
+                r.epoch,
+                r.metrics.len,
+                r.metrics.total_reward,
+                r.metrics.avg_queue,
+                r.metrics.empty_ratio,
+                r.metrics.overflow_ratio,
+                r.critic_loss,
+                r.mean_entropy,
+            )
+            .expect("string write");
+        }
+        out
+    }
+
+    /// Parses the trainer-checkpoint text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] describing the first syntax
+    /// problem.
+    pub fn from_text(text: &str) -> Result<Self, CoreError> {
+        let bad = |msg: &str| CoreError::InvalidConfig(format!("trainer checkpoint parse: {msg}"));
+        let mut lines = text.lines();
+        let mut next = |what: &str| -> Result<&str, CoreError> {
+            lines.next().ok_or_else(|| bad(&format!("missing {what}")))
+        };
+        if next("magic")? != TRAINER_MAGIC {
+            return Err(bad("missing or wrong magic header"));
+        }
+        let label = next("label")?
+            .strip_prefix("label ")
+            .ok_or_else(|| bad("malformed label line"))?
+            .to_string();
+        let field = |line: &str, tag: &str| -> Result<u64, CoreError> {
+            line.strip_prefix(tag)
+                .and_then(|rest| rest.trim().parse().ok())
+                .ok_or_else(|| bad(&format!("malformed {tag:?} line")))
+        };
+        let seed = field(next("seed")?, "seed ")?;
+        let epoch = field(next("epoch")?, "epoch ")? as usize;
+        let parallel_rounds = field(next("rounds")?, "rounds ")?;
+        let rng_line = next("rng")?
+            .strip_prefix("rng ")
+            .ok_or_else(|| bad("malformed rng line"))?;
+        let rng_words: Vec<u64> = rng_line
+            .split_whitespace()
+            .map(|t| t.parse().map_err(|_| bad("malformed rng word")))
+            .collect::<Result<_, _>>()?;
+        let rng_state: [u64; 4] = rng_words
+            .try_into()
+            .map_err(|_| bad("rng line must hold 4 words"))?;
+        let n_actors = field(next("actors")?, "actors ")? as usize;
+        let mut actor_params = Vec::with_capacity(n_actors);
+        for i in 0..n_actors {
+            actor_params.push(parse_vec_line(
+                next("actor params")?,
+                &format!("actor {i}"),
+                &bad,
+            )?);
+        }
+        let critic_params = parse_vec_line(next("critic params")?, "critic", &bad)?;
+        let target_params = parse_vec_line(next("target params")?, "target", &bad)?;
+        let mut parse_opt = |header: String| -> Result<AdamState, CoreError> {
+            let t = field(next("optimizer header")?, &format!("{header} t "))?;
+            let m = parse_vec_line(next("opt m")?, "m", &bad)?;
+            let v = parse_vec_line(next("opt v")?, "v", &bad)?;
+            if m.len() != v.len() {
+                return Err(bad("optimizer moment lengths differ"));
+            }
+            Ok(AdamState { m, v, t })
+        };
+        let mut actor_opts = Vec::with_capacity(n_actors);
+        for i in 0..n_actors {
+            actor_opts.push(parse_opt(format!("opt actor {i}"))?);
+        }
+        let critic_opt = parse_opt("opt critic".into())?;
+        let n_episodes = field(next("replay")?, "replay ")? as usize;
+        let mut replay = Vec::with_capacity(n_episodes);
+        for i in 0..n_episodes {
+            let len = field(next("episode header")?, &format!("episode {i} "))? as usize;
+            let mut ep = Episode::new();
+            for _ in 0..len {
+                let header = next("step header")?
+                    .strip_prefix("step agents ")
+                    .ok_or_else(|| bad("malformed step header"))?;
+                let (agents_str, done_str) = header
+                    .split_once(" done ")
+                    .ok_or_else(|| bad("malformed step header"))?;
+                let n_agents: usize = agents_str
+                    .parse()
+                    .map_err(|_| bad("step agent count not a number"))?;
+                let done = match done_str {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad("step done flag must be 0 or 1")),
+                };
+                let state = parse_vec_line(next("state")?, "s", &bad)?;
+                let mut observations = Vec::with_capacity(n_agents);
+                for _ in 0..n_agents {
+                    observations.push(parse_vec_line(next("obs")?, "o", &bad)?);
+                }
+                let actions = next("actions")?
+                    .strip_prefix('u')
+                    .ok_or_else(|| bad("malformed action line"))?
+                    .split_whitespace()
+                    .map(|t| t.parse().map_err(|_| bad("malformed action")))
+                    .collect::<Result<Vec<usize>, _>>()?;
+                if actions.len() != n_agents {
+                    return Err(bad("action count does not match agent count"));
+                }
+                let reward: f64 = next("reward")?
+                    .strip_prefix("r ")
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("malformed reward line"))?;
+                let next_state = parse_vec_line(next("next state")?, "ns", &bad)?;
+                let mut next_observations = Vec::with_capacity(n_agents);
+                for _ in 0..n_agents {
+                    next_observations.push(parse_vec_line(next("next obs")?, "no", &bad)?);
+                }
+                ep.push(Transition {
+                    state,
+                    observations,
+                    actions,
+                    reward,
+                    next_state,
+                    next_observations,
+                    done,
+                });
+            }
+            replay.push(ep);
+        }
+        let n_records = field(next("history")?, "history ")? as usize;
+        let mut history = TrainingHistory::default();
+        for _ in 0..n_records {
+            let rest = next("history record")?
+                .strip_prefix("rec ")
+                .ok_or_else(|| bad("malformed history record"))?;
+            let words: Vec<&str> = rest.split_whitespace().collect();
+            if words.len() != 8 {
+                return Err(bad("history record must hold 8 fields"));
+            }
+            let int = |t: &str| -> Result<usize, CoreError> {
+                t.parse().map_err(|_| bad("malformed history integer"))
+            };
+            let flt = |t: &str| -> Result<f64, CoreError> {
+                t.parse().map_err(|_| bad("malformed history float"))
+            };
+            history.push_record(EpochRecord {
+                epoch: int(words[0])?,
+                metrics: EpisodeMetrics {
+                    len: int(words[1])?,
+                    total_reward: flt(words[2])?,
+                    avg_queue: flt(words[3])?,
+                    empty_ratio: flt(words[4])?,
+                    overflow_ratio: flt(words[5])?,
+                },
+                critic_loss: flt(words[6])?,
+                mean_entropy: flt(words[7])?,
+            });
+        }
+        // The history section ends the document; trailing content means
+        // a corrupt file (e.g. two checkpoints concatenated) and is
+        // rejected rather than silently resumed from the first half.
+        if lines.next().is_some() {
+            return Err(bad("trailing content after the history section"));
+        }
+        Ok(TrainerCheckpoint {
+            label,
+            seed,
+            epoch,
+            parallel_rounds,
+            rng_state,
+            actor_params,
+            critic_params,
+            target_params,
+            actor_opts,
+            critic_opt,
+            replay,
+            history,
+        })
+    }
+
+    /// Writes the checkpoint to a file **atomically** (write to a
+    /// `.tmp` sibling, then rename), so a run killed mid-write can never
+    /// leave a truncated checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] wrapping the I/O failure.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CoreError> {
+        let path = path.as_ref();
+        let io_err =
+            |what: &str, e: std::io::Error| CoreError::InvalidConfig(format!("{what}: {e}"));
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.to_text())
+            .map_err(|e| io_err(&format!("write {}", tmp.display()), e))?;
+        fs::rename(&tmp, path).map_err(|e| {
+            io_err(
+                &format!("rename {} -> {}", tmp.display(), path.display()),
+                e,
+            )
+        })
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on I/O or syntax problems.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, CoreError> {
+        let text = fs::read_to_string(path.as_ref()).map_err(|e| {
+            CoreError::InvalidConfig(format!("read {}: {e}", path.as_ref().display()))
+        })?;
+        TrainerCheckpoint::from_text(&text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +599,90 @@ mod tests {
         let bad_param = "qmarl-checkpoint v1\nlabel x\nactors 0\ncritic 1\nnot-a-number\n";
         assert!(FrameworkSnapshot::from_text(bad_param).is_err());
         assert!(FrameworkSnapshot::load("/nonexistent/path/x.ckpt").is_err());
+    }
+
+    #[test]
+    fn trainer_checkpoint_text_roundtrip_is_exact() {
+        // Capture a genuinely trained state (non-empty replay, moments,
+        // history) and require a bit-exact text round trip.
+        let cfg = tiny_config();
+        let mut trainer = build_trainer(FrameworkKind::Proposed, &cfg).expect("builds");
+        trainer.train_vec(2, 2, 2).expect("trains");
+        let ckpt = trainer.capture_state("roundtrip");
+        assert!(!ckpt.replay.is_empty());
+        assert!(ckpt.critic_opt.t > 0);
+        assert_eq!(ckpt.history.len(), 2);
+        let parsed = TrainerCheckpoint::from_text(&ckpt.to_text()).expect("parses");
+        assert_eq!(
+            parsed, ckpt,
+            "full trainer state must round-trip bit-exactly"
+        );
+    }
+
+    #[test]
+    fn trainer_checkpoint_file_roundtrip() {
+        let cfg = tiny_config();
+        let mut trainer = build_trainer(FrameworkKind::Comp2, &cfg).expect("builds");
+        trainer.train_vec(1, 2, 2).expect("trains");
+        let ckpt = trainer.capture_state("file");
+        let dir = std::env::temp_dir().join("qmarl_trainer_ckpt_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("cell.ckpt");
+        ckpt.save(&path).expect("saves");
+        // The atomic write leaves no temporary sibling behind.
+        assert!(!path.with_extension("tmp").exists());
+        let loaded = TrainerCheckpoint::load(&path).expect("loads");
+        assert_eq!(loaded, ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newline_in_label_cannot_break_the_line_codec() {
+        // A label with embedded line breaks must still produce a
+        // parseable file (breaks flatten to spaces), never a shifted or
+        // field-injecting document.
+        let snap = FrameworkSnapshot {
+            label: "cell A\nnotes\rseed 5".into(),
+            actor_params: vec![vec![1.0]],
+            critic_params: vec![2.0],
+        };
+        let parsed = FrameworkSnapshot::from_text(&snap.to_text()).expect("parses");
+        assert_eq!(parsed.label, "cell A notes seed 5");
+        assert_eq!(parsed.actor_params, snap.actor_params);
+
+        let cfg = tiny_config();
+        let mut trainer = build_trainer(FrameworkKind::Comp2, &cfg).expect("builds");
+        trainer.train_vec(1, 1, 1).expect("trains");
+        let mut ckpt = trainer.capture_state("x\ninjected");
+        let parsed = TrainerCheckpoint::from_text(&ckpt.to_text()).expect("parses");
+        assert_eq!(parsed.label, "x injected");
+        ckpt.label = parsed.label.clone();
+        assert_eq!(
+            parsed, ckpt,
+            "everything but the flattened label round-trips"
+        );
+    }
+
+    #[test]
+    fn trainer_checkpoint_rejects_malformed_text() {
+        assert!(TrainerCheckpoint::from_text("").is_err());
+        assert!(TrainerCheckpoint::from_text("qmarl-checkpoint v1\n").is_err());
+        let head = "qmarl-trainer-checkpoint v1\nlabel x\nseed 7\nepoch 1\nrounds 1\n";
+        assert!(TrainerCheckpoint::from_text(head).is_err(), "truncated");
+        let bad_rng = format!("{head}rng 1 2 3\n");
+        assert!(TrainerCheckpoint::from_text(&bad_rng).is_err(), "short rng");
+        let bad_actor = format!("{head}rng 1 2 3 4\nactors 1\nactor 0 nope\n");
+        assert!(TrainerCheckpoint::from_text(&bad_actor).is_err());
+        assert!(TrainerCheckpoint::load("/nonexistent/x.ckpt").is_err());
+
+        // Trailing content (e.g. two concatenated checkpoints) is a
+        // corrupt file, not a parseable prefix.
+        let cfg = tiny_config();
+        let trainer = build_trainer(FrameworkKind::Comp2, &cfg).expect("builds");
+        let good = trainer.capture_state("t").to_text();
+        assert!(TrainerCheckpoint::from_text(&good).is_ok());
+        let doubled = format!("{good}{good}");
+        assert!(TrainerCheckpoint::from_text(&doubled).is_err());
     }
 
     #[test]

@@ -63,6 +63,25 @@ impl std::fmt::Display for FrameworkKind {
     }
 }
 
+impl std::str::FromStr for FrameworkKind {
+    type Err = CoreError;
+
+    /// Parses the paper's framework names (case-insensitive), so sweep
+    /// specs can name frameworks the way figures do.
+    fn from_str(s: &str) -> Result<Self, CoreError> {
+        match s.to_ascii_lowercase().as_str() {
+            "proposed" => Ok(FrameworkKind::Proposed),
+            "comp1" => Ok(FrameworkKind::Comp1),
+            "comp2" => Ok(FrameworkKind::Comp2),
+            "comp3" => Ok(FrameworkKind::Comp3),
+            "randomwalk" | "random-walk" => Ok(FrameworkKind::RandomWalk),
+            other => Err(CoreError::InvalidConfig(format!(
+                "unknown framework {other:?}; expected Proposed/Comp1/Comp2/Comp3/RandomWalk"
+            ))),
+        }
+    }
+}
+
 /// Hidden sizes for Comp3's unconstrained networks (> 40 K parameters,
 /// matching "the number of parameters is more than 40 K").
 const COMP3_HIDDEN: usize = 200;
@@ -185,41 +204,105 @@ pub fn build_scenario_trainer(
     train: &TrainConfig,
     episode_limit: Option<usize>,
 ) -> Result<CtdeTrainer<Box<dyn ScenarioEnv>>, CoreError> {
+    build_kind_scenario_trainer(
+        FrameworkKind::Proposed,
+        scenario,
+        backend,
+        train,
+        episode_limit,
+    )
+}
+
+/// Builds **any trainable framework** on any registry scenario under any
+/// [`ExecutionBackend`] — the full sweep grid surface
+/// (framework × scenario × backend), generalising both [`build_trainer`]
+/// (frameworks, paper scenario only) and [`build_scenario_trainer`]
+/// (scenarios, `Proposed` only).
+///
+/// On the paper's `"single-hop"` scenario with the `Ideal` backend the
+/// resulting trainer is **identical** to [`build_trainer`]'s (same model
+/// seeds, shapes and budgets), so sweeps reproduce the figure binaries'
+/// training runs bit for bit. The backend applies to the quantum models
+/// of a framework; a fully classical framework (`Comp2`/`Comp3`) is only
+/// buildable under `Ideal` — accepting a stochastic backend there would
+/// silently run a noise-free experiment that looks like a noisy one.
+///
+/// # Errors
+///
+/// Returns construction errors from the scenario registry or the model
+/// builders, and rejects `RandomWalk` (not trainable) and classical
+/// frameworks under non-`Ideal` backends.
+pub fn build_kind_scenario_trainer(
+    kind: FrameworkKind,
+    scenario: &str,
+    backend: &ExecutionBackend,
+    train: &TrainConfig,
+    episode_limit: Option<usize>,
+) -> Result<CtdeTrainer<Box<dyn ScenarioEnv>>, CoreError> {
     backend.validate().map_err(CoreError::from)?;
+    if kind == FrameworkKind::RandomWalk {
+        return Err(CoreError::InvalidConfig(
+            "the random walk is not trainable; use qmarl_env::random_walk::random_walk_baseline"
+                .into(),
+        ));
+    }
+    let quantum_actors = matches!(kind, FrameworkKind::Proposed | FrameworkKind::Comp1);
+    let quantum_critic = kind == FrameworkKind::Proposed;
+    if !quantum_actors && !quantum_critic && !backend.is_ideal() {
+        return Err(CoreError::InvalidConfig(format!(
+            "framework {kind} has no quantum circuits to execute under backend {backend}; \
+             only Ideal is meaningful for fully classical frameworks"
+        )));
+    }
     let mut params = ScenarioParams::seeded(train.seed);
     if let Some(t) = episode_limit {
         params = params.with_episode_limit(t);
     }
     let env = build_scenario_with(scenario, &params)?;
+    let (obs_dim, state_dim, n_actions) = (env.obs_dim(), env.state_dim(), env.n_actions());
     // One readout wire per action; budgets grow with the action set when
     // the scenario is wider than the paper's.
-    let n_qubits = env.n_actions().max(train.n_qubits);
-    let actor_params = train.actor_params.max(2 * env.n_actions() + 8);
+    let n_qubits = n_actions.max(train.n_qubits);
+    let q_actor_params = train.actor_params.max(2 * n_actions + 8);
     let actors: Vec<Box<dyn Actor>> = (0..env.n_agents())
         .map(|n| {
-            Ok(Box::new(
-                QuantumActor::new(
-                    n_qubits,
-                    env.obs_dim(),
-                    env.n_actions(),
-                    actor_params,
-                    train.seed.wrapping_add(1000 + n as u64),
-                )?
-                .with_grad_method(train.grad_method)
-                .with_backend(backend.clone()),
-            ) as Box<dyn Actor>)
+            let actor_seed = train.seed.wrapping_add(1000 + n as u64);
+            Ok(match kind {
+                FrameworkKind::Proposed | FrameworkKind::Comp1 => Box::new(
+                    QuantumActor::new(n_qubits, obs_dim, n_actions, q_actor_params, actor_seed)?
+                        .with_grad_method(train.grad_method)
+                        .with_backend(backend.clone()),
+                )
+                    as Box<dyn Actor>,
+                FrameworkKind::Comp2 => {
+                    let (h, _) = hidden_for_budget(obs_dim, n_actions, train.actor_params);
+                    Box::new(ClassicalActor::new(&[obs_dim, h, n_actions], actor_seed)?)
+                }
+                FrameworkKind::Comp3 => Box::new(ClassicalActor::new(
+                    &[obs_dim, COMP3_HIDDEN, COMP3_HIDDEN, n_actions],
+                    actor_seed,
+                )?),
+                FrameworkKind::RandomWalk => unreachable!("rejected above"),
+            })
         })
         .collect::<Result<_, CoreError>>()?;
-    let critic = Box::new(
-        QuantumCritic::new(
-            train.n_qubits,
-            env.state_dim(),
-            train.critic_params,
-            train.seed.wrapping_add(9000),
-        )?
-        .with_grad_method(train.grad_method)
-        .with_backend(backend.clone()),
-    );
+    let critic_seed = train.seed.wrapping_add(9000);
+    let critic: Box<dyn Critic> = match kind {
+        FrameworkKind::Proposed => Box::new(
+            QuantumCritic::new(train.n_qubits, state_dim, train.critic_params, critic_seed)?
+                .with_grad_method(train.grad_method)
+                .with_backend(backend.clone()),
+        ),
+        FrameworkKind::Comp1 | FrameworkKind::Comp2 => {
+            let (h, _) = hidden_for_budget(state_dim, 1, train.critic_params);
+            Box::new(ClassicalCritic::new(&[state_dim, h, 1], critic_seed)?)
+        }
+        FrameworkKind::Comp3 => Box::new(ClassicalCritic::new(
+            &[state_dim, COMP3_HIDDEN, COMP3_HIDDEN, 1],
+            critic_seed,
+        )?),
+        FrameworkKind::RandomWalk => unreachable!("rejected above"),
+    };
     CtdeTrainer::new(env, actors, critic, train.clone())
 }
 
@@ -308,6 +391,104 @@ mod tests {
             build_scenario_trainer("no-such-scenario", &ExecutionBackend::Ideal, &train, None)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn kind_scenario_trainer_matches_build_trainer_on_paper_default() {
+        // The generalized builder must reproduce the figure binaries'
+        // trainers bit for bit on the paper scenario: identical model
+        // seeds/shapes, so identical serial training histories.
+        let mut train = TrainConfig::paper_default();
+        train.epochs = 2;
+        for kind in FrameworkKind::TRAINABLE {
+            let mut cfg = ExperimentConfig::paper_default();
+            cfg.train = train.clone();
+            let mut reference = build_trainer(kind, &cfg).unwrap();
+            reference.train(2).unwrap();
+            let mut generalized = build_kind_scenario_trainer(
+                kind,
+                "single-hop",
+                &ExecutionBackend::Ideal,
+                &train,
+                None,
+            )
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            generalized.train(2).unwrap();
+            assert_eq!(generalized.history(), reference.history(), "{kind}");
+            assert_eq!(
+                generalized.critic().params(),
+                reference.critic().params(),
+                "{kind}"
+            );
+            for (a, b) in generalized.actors().iter().zip(reference.actors()) {
+                assert_eq!(a.params(), b.params(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_scenario_trainer_builds_every_framework_on_every_scenario() {
+        let mut train = TrainConfig::paper_default();
+        train.epochs = 1;
+        for kind in FrameworkKind::TRAINABLE {
+            for scenario in qmarl_env::scenario::scenarios() {
+                let t = build_kind_scenario_trainer(
+                    kind,
+                    scenario.name(),
+                    &ExecutionBackend::Ideal,
+                    &train,
+                    Some(4),
+                )
+                .unwrap_or_else(|e| panic!("{kind} × {}: {e}", scenario.name()));
+                assert!(!t.actors().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn kind_scenario_trainer_rejects_meaningless_cells() {
+        let train = TrainConfig::paper_default();
+        let sampled: ExecutionBackend = "sampled:shots=32".parse().unwrap();
+        // Classical frameworks have no circuits for a stochastic backend.
+        for kind in [FrameworkKind::Comp2, FrameworkKind::Comp3] {
+            assert!(
+                build_kind_scenario_trainer(kind, "single-hop", &sampled, &train, None).is_err(),
+                "{kind}"
+            );
+        }
+        // Comp1's quantum actors make the sampled backend meaningful.
+        assert!(build_kind_scenario_trainer(
+            FrameworkKind::Comp1,
+            "single-hop",
+            &sampled,
+            &train,
+            Some(4)
+        )
+        .is_ok());
+        assert!(build_kind_scenario_trainer(
+            FrameworkKind::RandomWalk,
+            "single-hop",
+            &ExecutionBackend::Ideal,
+            &train,
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn framework_kind_parses_from_names() {
+        for kind in FrameworkKind::TRAINABLE {
+            assert_eq!(kind.name().parse::<FrameworkKind>().unwrap(), kind);
+            assert_eq!(
+                kind.name().to_lowercase().parse::<FrameworkKind>().unwrap(),
+                kind
+            );
+        }
+        assert_eq!(
+            "random-walk".parse::<FrameworkKind>().unwrap(),
+            FrameworkKind::RandomWalk
+        );
+        assert!("comp9".parse::<FrameworkKind>().is_err());
     }
 
     #[test]

@@ -46,12 +46,12 @@ pub mod viz;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::checkpoint::FrameworkSnapshot;
+    pub use crate::checkpoint::{FrameworkSnapshot, TrainerCheckpoint};
     pub use crate::config::{ExperimentConfig, TrainConfig};
     pub use crate::error::CoreError;
     pub use crate::framework::{
-        build_actors, build_critic, build_scenario_trainer, build_trainer, parameter_report,
-        FrameworkKind, ParamReport,
+        build_actors, build_critic, build_kind_scenario_trainer, build_scenario_trainer,
+        build_trainer, parameter_report, FrameworkKind, ParamReport,
     };
     pub use crate::independent::{build_independent_quantum, IndependentTrainer};
     pub use crate::policy::{select_action, Actor, ClassicalActor, QuantumActor};

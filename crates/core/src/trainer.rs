@@ -37,6 +37,7 @@ use qmarl_runtime::vec_rollout::collect_episodes_vec;
 
 use qmarl_vqc::grad::Jacobian;
 
+use crate::checkpoint::TrainerCheckpoint;
 use crate::config::TrainConfig;
 use crate::error::CoreError;
 use crate::policy::{select_action, Actor};
@@ -490,6 +491,116 @@ impl<E: MultiAgentEnv> CtdeTrainer<E> {
         }
         agg.mean()
             .ok_or_else(|| CoreError::InvalidConfig("evaluate needs at least one episode".into()))
+    }
+
+    /// Captures the trainer's **complete optimisation state** — see
+    /// [`TrainerCheckpoint`] for what that includes and the resume
+    /// contract. `label` is a free-form tag (usually the sweep cell name).
+    pub fn capture_state(&self, label: &str) -> TrainerCheckpoint {
+        TrainerCheckpoint {
+            label: label.to_string(),
+            seed: self.config.seed,
+            epoch: self.epoch,
+            parallel_rounds: self.parallel_rounds,
+            rng_state: self.rng.state(),
+            actor_params: self.actors.iter().map(|a| a.params()).collect(),
+            critic_params: self.critic.params(),
+            target_params: self.target.params(),
+            actor_opts: self.actor_opts.iter().map(Adam::state).collect(),
+            critic_opt: self.critic_opt.state(),
+            replay: self.replay.recent(self.replay.len()).cloned().collect(),
+            history: self.history.clone(),
+        }
+    }
+
+    /// Restores a [`TrainerCheckpoint`] into this trainer, which must be
+    /// **freshly built with the same configuration** that produced the
+    /// checkpoint. After restoring, continued training on the vectorized
+    /// or parallel collection surfaces is bit-identical to a run that was
+    /// never interrupted (the serial [`CtdeTrainer::rollout`] surface
+    /// additionally depends on live environment state, which a checkpoint
+    /// does not carry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the checkpoint was taken
+    /// under a different seed or its shapes (actor count, parameter and
+    /// moment lengths) do not match this trainer's models.
+    pub fn restore_state(&mut self, ckpt: &TrainerCheckpoint) -> Result<(), CoreError> {
+        if ckpt.seed != self.config.seed {
+            return Err(CoreError::InvalidConfig(format!(
+                "checkpoint was captured under seed {} but this trainer is seeded {}; \
+                 resuming would silently diverge",
+                ckpt.seed, self.config.seed
+            )));
+        }
+        if ckpt.actor_params.len() != self.actors.len()
+            || ckpt.actor_opts.len() != self.actors.len()
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "checkpoint holds {} actors / {} actor optimizers, trainer has {}",
+                ckpt.actor_params.len(),
+                ckpt.actor_opts.len(),
+                self.actors.len()
+            )));
+        }
+        // Every length is validated before anything is mutated, so a
+        // corrupt checkpoint can never leave the trainer half-restored.
+        for (n, (actor, (params, opt))) in self
+            .actors
+            .iter()
+            .zip(ckpt.actor_params.iter().zip(&ckpt.actor_opts))
+            .enumerate()
+        {
+            if params.len() != actor.param_count() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "checkpoint actor {n} holds {} parameters, model has {}",
+                    params.len(),
+                    actor.param_count()
+                )));
+            }
+            if opt.m.len() != actor.param_count() || opt.v.len() != actor.param_count() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "checkpoint actor {n} optimizer holds {} moments, model has {} parameters",
+                    opt.m.len(),
+                    actor.param_count()
+                )));
+            }
+        }
+        let critic_len = self.critic.param_count();
+        if ckpt.critic_params.len() != critic_len || ckpt.target_params.len() != critic_len {
+            return Err(CoreError::InvalidConfig(format!(
+                "checkpoint critic/target hold {}/{} parameters, model has {critic_len}",
+                ckpt.critic_params.len(),
+                ckpt.target_params.len()
+            )));
+        }
+        if ckpt.critic_opt.m.len() != critic_len || ckpt.critic_opt.v.len() != critic_len {
+            return Err(CoreError::InvalidConfig(format!(
+                "checkpoint critic optimizer holds {}/{} first/second moments, \
+                 model has {critic_len} parameters",
+                ckpt.critic_opt.m.len(),
+                ckpt.critic_opt.v.len(),
+            )));
+        }
+        for (actor, params) in self.actors.iter_mut().zip(&ckpt.actor_params) {
+            actor.set_params(params)?;
+        }
+        self.critic.set_params(&ckpt.critic_params)?;
+        self.target.set_params(&ckpt.target_params)?;
+        for (opt, state) in self.actor_opts.iter_mut().zip(&ckpt.actor_opts) {
+            opt.set_state(state);
+        }
+        self.critic_opt.set_state(&ckpt.critic_opt);
+        self.replay = ReplayBuffer::new(self.config.replay_capacity);
+        for ep in &ckpt.replay {
+            self.replay.push(ep.clone());
+        }
+        self.history = ckpt.history.clone();
+        self.epoch = ckpt.epoch;
+        self.parallel_rounds = ckpt.parallel_rounds;
+        self.rng = StdRng::from_state(ckpt.rng_state);
+        Ok(())
     }
 
     /// Shared validation for the multi-episode epoch surfaces.
@@ -1173,6 +1284,81 @@ mod tests {
         let mut t = quantum_setup(33);
         assert_eq!(t.update_sweep(4).unwrap(), 0.0);
         assert_eq!(t.update_engine(), UpdateEngine::Batched);
+    }
+
+    #[test]
+    fn restored_trainer_resumes_vec_training_bit_identically() {
+        // One uninterrupted 4-epoch run vs capture-at-2 + restore + 2 more:
+        // identical histories and identical final parameters, assert_eq.
+        let mut full = quantum_setup(51);
+        full.train_vec(4, 2, 2).unwrap();
+
+        let mut first = quantum_setup(51);
+        first.train_vec(2, 2, 2).unwrap();
+        let ckpt = first.capture_state("resume-test");
+        drop(first);
+
+        let mut resumed = quantum_setup(51);
+        resumed.restore_state(&ckpt).unwrap();
+        assert_eq!(resumed.epochs_done(), 2);
+        resumed.train_vec(2, 2, 2).unwrap();
+        assert_eq!(resumed.history(), full.history());
+        assert_eq!(resumed.critic().params(), full.critic().params());
+        for (a, b) in resumed.actors().iter().zip(full.actors()) {
+            assert_eq!(a.params(), b.params());
+        }
+        assert_eq!(
+            resumed.capture_state("end").replay,
+            full.capture_state("end").replay
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_checkpoints() {
+        let mut t = quantum_setup(52);
+        t.train_vec(1, 2, 2).unwrap();
+        let ckpt = t.capture_state("x");
+
+        // Different config seed: refused.
+        let mut other = {
+            let mut cfg = small_train_config();
+            cfg.seed = 999;
+            let env = small_env(52);
+            let actors: Vec<Box<dyn Actor>> = (0..4)
+                .map(|n| {
+                    Box::new(QuantumActor::new(4, 4, 4, 50, 52 + n).unwrap()) as Box<dyn Actor>
+                })
+                .collect();
+            let critic = Box::new(QuantumCritic::new(4, 16, 50, 152).unwrap());
+            CtdeTrainer::new(env, actors, critic, cfg).unwrap()
+        };
+        assert!(other.restore_state(&ckpt).is_err());
+
+        // Wrong actor count: refused.
+        let mut short = ckpt.clone();
+        short.actor_params.pop();
+        short.actor_opts.pop();
+        assert!(quantum_setup(52).restore_state(&short).is_err());
+
+        // Wrong optimizer moment length: refused before any mutation.
+        let mut bad_opt = ckpt.clone();
+        bad_opt.actor_opts[0].m.pop();
+        assert!(quantum_setup(52).restore_state(&bad_opt).is_err());
+
+        // Truncated parameter vector on a *later* actor: refused, and the
+        // earlier actors are left untouched (no partial restore).
+        let mut bad_params = ckpt.clone();
+        bad_params.actor_params[2].pop();
+        let mut target = quantum_setup(52);
+        let before: Vec<Vec<f64>> = target.actors().iter().map(|a| a.params()).collect();
+        assert!(target.restore_state(&bad_params).is_err());
+        let after: Vec<Vec<f64>> = target.actors().iter().map(|a| a.params()).collect();
+        assert_eq!(before, after, "failed restore must not mutate the trainer");
+
+        // Wrong critic moment length: refused.
+        let mut bad_critic = ckpt;
+        bad_critic.critic_opt.v.push(0.0);
+        assert!(quantum_setup(52).restore_state(&bad_critic).is_err());
     }
 
     #[test]

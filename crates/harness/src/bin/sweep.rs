@@ -1,0 +1,159 @@
+//! The sweep CLI: run a declarative experiment grid from the shell.
+//!
+//! ```text
+//! cargo run --release -p qmarl-harness --bin sweep -- \
+//!     --spec "name=demo;scenarios=single-hop;seeds=0..3;epochs=100;checkpoint=20" \
+//!     --out results/sweeps --checkpoints results/sweeps/demo-ckpt
+//! ```
+//!
+//! `--spec` accepts the compact syntax or (when the value starts with
+//! `{`) a JSON object; `--spec-file` reads either form from a file.
+//! Re-running after an interruption resumes every cell from its last
+//! checkpoint and completes only the missing epochs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qmarl_harness::prelude::*;
+
+struct Cli {
+    spec: Option<String>,
+    spec_file: Option<String>,
+    out: PathBuf,
+    checkpoints: Option<PathBuf>,
+    workers: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: sweep --spec <spec-or-json> | --spec-file <path> \
+     [--out <dir>] [--checkpoints <dir>] [--workers <n>]"
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        spec: None,
+        spec_file: None,
+        out: PathBuf::from("results/sweeps"),
+        checkpoints: None,
+        workers: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))
+        };
+        match flag.as_str() {
+            "--spec" => cli.spec = Some(value("--spec")?),
+            "--spec-file" => cli.spec_file = Some(value("--spec-file")?),
+            "--out" => cli.out = PathBuf::from(value("--out")?),
+            "--checkpoints" => cli.checkpoints = Some(PathBuf::from(value("--checkpoints")?)),
+            "--workers" => {
+                cli.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a number".to_string())?;
+            }
+            "--help" | "-h" => return Err(usage().into()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(cli)
+}
+
+fn load_spec(cli: &Cli) -> Result<ExperimentSpec, String> {
+    let text = match (&cli.spec, &cli.spec_file) {
+        (Some(s), None) => s.clone(),
+        (None, Some(path)) => {
+            std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
+        }
+        _ => {
+            return Err(format!(
+                "exactly one of --spec/--spec-file is required\n{}",
+                usage()
+            ))
+        }
+    };
+    let text = text.trim();
+    if text.starts_with('{') {
+        ExperimentSpec::from_json(text).map_err(|e| e.to_string())
+    } else {
+        text.parse().map_err(|e: HarnessError| e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match load_spec(&cli) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cells = spec.expand();
+    println!(
+        "== sweep {}: {} cells ({} scenarios x {} frameworks x {} backends x {} engines x {} seeds), {} epochs each ==",
+        spec.name,
+        cells.len(),
+        spec.scenarios.len(),
+        spec.frameworks.len(),
+        spec.backends.len(),
+        spec.engines.len(),
+        spec.seeds.len(),
+        spec.epochs,
+    );
+    let opts = SweepOptions {
+        workers: cli.workers,
+        checkpoint_dir: cli.checkpoints.clone(),
+    };
+    let result = match run_sweep(&spec, &opts) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for cell in &result.cells {
+        let resumed = cell
+            .resumed_at
+            .map_or(String::new(), |e| format!(" (resumed at epoch {e})"));
+        println!(
+            "  {:<60} reward {:>8.2}  {:>6.1}s{resumed}",
+            cell.id.label(),
+            cell.history.final_reward(spec.tail()).unwrap_or(f64::NAN),
+            cell.wall_secs,
+        );
+    }
+    println!(
+        "\n{:<52} {:>10} {:>8} {:>10}",
+        "group", "reward", "±ci95", "queue"
+    );
+    for g in &result.groups {
+        println!(
+            "{:<52} {:>10.2} {:>8.2} {:>10.3}",
+            g.group.label(),
+            g.reward.mean,
+            g.reward.ci95,
+            g.queue.mean,
+        );
+    }
+    match result.write_artifacts(&spec, &cli.out) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("artifact write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("total wall time: {:.1}s", result.wall_secs);
+    ExitCode::SUCCESS
+}

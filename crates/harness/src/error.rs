@@ -1,0 +1,32 @@
+//! The harness error type.
+
+use qmarl_core::error::CoreError;
+
+/// Anything that can go wrong declaring or executing a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HarnessError {
+    /// The experiment spec is malformed or inconsistent.
+    InvalidSpec(String),
+    /// A cell's trainer construction or training step failed.
+    Core(CoreError),
+    /// Filesystem trouble around checkpoints or artifacts.
+    Io(String),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::InvalidSpec(msg) => write!(f, "invalid experiment spec: {msg}"),
+            HarnessError::Core(e) => write!(f, "cell execution: {e}"),
+            HarnessError::Io(msg) => write!(f, "harness I/O: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<CoreError> for HarnessError {
+    fn from(e: CoreError) -> Self {
+        HarnessError::Core(e)
+    }
+}

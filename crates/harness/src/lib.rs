@@ -1,0 +1,52 @@
+//! # qmarl-harness — declarative experiment orchestration
+//!
+//! The paper's results are averages over repeated seeded runs; this
+//! crate is the engine that produces them at scale. An
+//! [`spec::ExperimentSpec`] — string- or JSON-constructible, like
+//! scenarios and backends — names a grid of **cells**
+//! (scenario × framework × execution backend × update engine × seed),
+//! and [`sweep::run_sweep`] executes the cells in parallel over the
+//! runtime's work-stealing pool, each cell training with the vectorized
+//! CTDE trainer and (optionally) writing periodic full-state checkpoints
+//! so an interrupted sweep **resumes bit-identically** to an
+//! uninterrupted one. Streaming [`welford::Welford`] aggregation folds
+//! per-seed metrics into mean/CI summaries and emits stable JSON/CSV
+//! artifacts.
+//!
+//! ```no_run
+//! use qmarl_harness::prelude::*;
+//!
+//! let spec: ExperimentSpec =
+//!     "name=demo;scenarios=single-hop;seeds=0..3;epochs=50;checkpoint=10".parse()?;
+//! let result = run_sweep(
+//!     &spec,
+//!     &SweepOptions {
+//!         checkpoint_dir: Some("results/sweeps/demo/ckpt".into()),
+//!         ..SweepOptions::default()
+//!     },
+//! )?;
+//! result.write_artifacts(&spec, "results/sweeps/demo".as_ref())?;
+//! # Ok::<(), qmarl_harness::error::HarnessError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cell;
+pub mod error;
+pub mod json;
+pub mod pool;
+pub mod spec;
+pub mod sweep;
+pub mod welford;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::cell::{run_cell, CellOptions, CellResult};
+    pub use crate::error::HarnessError;
+    pub use crate::json::Json;
+    pub use crate::pool::{run_tasks, try_run_tasks, Timed};
+    pub use crate::spec::{tail_epochs, CellId, ExperimentSpec, GroupId, RolloutMode};
+    pub use crate::sweep::{run_sweep, GroupSummary, Stats, SweepOptions, SweepResult};
+    pub use crate::welford::Welford;
+}

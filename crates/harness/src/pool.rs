@@ -1,0 +1,104 @@
+//! Generic timed fan-out over the runtime's work-stealing pool.
+//!
+//! [`run_tasks`] is the harness's escape hatch for experiment arms that
+//! are not `CtdeTrainer` cells (supervised regressions, scaling probes,
+//! the independent-learner ablation): the same shared work queue as the
+//! sweep engine (`qsim::par`), the same input-order results, plus
+//! per-task wall-clock.
+
+use std::time::Instant;
+
+use qmarl_qsim::par::{default_workers, parallel_map};
+
+/// One task's result with its wall-clock cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timed<R> {
+    /// The task's return value.
+    pub value: R,
+    /// Wall-clock seconds the task took on its worker.
+    pub wall_secs: f64,
+}
+
+/// Runs `f(index, &items[index])` for every item over the shared work
+/// queue (`workers == 0` auto-detects), returning timed results **in
+/// input order** — output is positionally identical to a serial loop no
+/// matter how tasks were scheduled.
+pub fn run_tasks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<Timed<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    };
+    parallel_map(items, workers, |i, item| {
+        let t0 = Instant::now();
+        let value = f(i, item);
+        Timed {
+            value,
+            wall_secs: t0.elapsed().as_secs_f64(),
+        }
+    })
+}
+
+/// [`run_tasks`] for fallible tasks: every task runs, then the
+/// lowest-indexed error (if any) is returned.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing task.
+pub fn try_run_tasks<T, R, E, F>(items: &[T], workers: usize, f: F) -> Result<Vec<Timed<R>>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    run_tasks(items, workers, f)
+        .into_iter()
+        .map(|t| {
+            t.value.map(|value| Timed {
+                value,
+                wall_secs: t.wall_secs,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_times() {
+        let items: Vec<u64> = (0..37).collect();
+        for workers in [0, 1, 4] {
+            let out = run_tasks(&items, workers, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            });
+            assert_eq!(
+                out.iter().map(|t| t.value).collect::<Vec<_>>(),
+                items.iter().map(|x| x * 3).collect::<Vec<_>>()
+            );
+            assert!(out.iter().all(|t| t.wall_secs >= 0.0));
+        }
+    }
+
+    #[test]
+    fn try_variant_surfaces_first_error() {
+        let items: Vec<u32> = (0..20).collect();
+        let res: Result<Vec<Timed<u32>>, u32> =
+            try_run_tasks(
+                &items,
+                4,
+                |_, &x| if x == 7 || x == 13 { Err(x) } else { Ok(x) },
+            );
+        assert_eq!(res.unwrap_err(), 7);
+        let ok: Result<Vec<Timed<u32>>, u32> = try_run_tasks(&items, 4, |_, &x| Ok(x));
+        assert_eq!(ok.unwrap().len(), 20);
+    }
+}

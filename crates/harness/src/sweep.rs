@@ -1,0 +1,389 @@
+//! The sweep engine: a whole experiment grid over the worker pool, with
+//! streaming per-group aggregation and stable artifacts.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use qmarl_qsim::par::{default_workers, try_parallel_map};
+
+use crate::cell::{run_cell, CellOptions, CellResult};
+use crate::error::HarnessError;
+use crate::json::Json;
+use crate::spec::{engine_name, ExperimentSpec, GroupId};
+use crate::welford::Welford;
+
+/// Sweep-level execution knobs.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads for the cell pool (`0` auto-detects).
+    pub workers: usize,
+    /// Directory for per-cell checkpoints; required when the spec sets a
+    /// checkpoint cadence. Cells with an existing checkpoint resume from
+    /// it, so re-running an interrupted sweep completes only the missing
+    /// work.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+/// Seed-aggregated statistics of one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Seeds aggregated.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std: f64,
+    /// 95% normal-approximation confidence half-width.
+    pub ci95: f64,
+}
+
+impl Stats {
+    fn of(w: &Welford) -> Stats {
+        Stats {
+            n: w.count(),
+            mean: w.mean(),
+            std: w.std(),
+            ci95: w.ci95_half_width(),
+        }
+    }
+
+    fn json(&self) -> Json {
+        Json::Obj(vec![
+            ("n".into(), Json::Num(self.n as f64)),
+            ("mean".into(), Json::Num(self.mean)),
+            ("std".into(), Json::Num(self.std)),
+            ("ci95".into(), Json::Num(self.ci95)),
+        ])
+    }
+}
+
+/// One aggregation group's summary: seeds folded with Welford.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSummary {
+    /// The group coordinates (grid minus seed).
+    pub group: GroupId,
+    /// The seeds aggregated, in spec order.
+    pub seeds: Vec<u64>,
+    /// Final reward (mean over the last `max(epochs/10, 1)` epochs of
+    /// each seed's curve, then Welford over seeds).
+    pub reward: Stats,
+    /// Final average queue backlog, same protocol.
+    pub queue: Stats,
+    /// Per-cell wall-clock seconds.
+    pub wall_secs: Stats,
+    /// Per-epoch across-seed mean/CI curves:
+    /// `(reward mean, reward ci95, queue mean, queue ci95, critic-loss mean)`.
+    pub curves: Vec<(f64, f64, f64, f64, f64)>,
+}
+
+impl GroupSummary {
+    /// The group's per-epoch curve CSV (the multi-seed Fig. 3 panel
+    /// shape: mean and 95% CI per metric per epoch).
+    pub fn curves_csv(&self) -> String {
+        let mut out = String::from(
+            "epoch,reward_mean,reward_ci95,avg_queue_mean,avg_queue_ci95,critic_loss_mean\n",
+        );
+        for (epoch, (rm, rc, qm, qc, lm)) in self.curves.iter().enumerate() {
+            out.push_str(&format!(
+                "{epoch},{rm:.6},{rc:.6},{qm:.6},{qc:.6},{lm:.6}\n"
+            ));
+        }
+        out
+    }
+}
+
+/// A finished sweep: every cell's result plus per-group aggregates.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Per-cell results in grid expansion order.
+    pub cells: Vec<CellResult>,
+    /// Per-group aggregates in grid group order.
+    pub groups: Vec<GroupSummary>,
+    /// Whole-sweep wall-clock seconds.
+    pub wall_secs: f64,
+}
+
+impl SweepResult {
+    /// The cells of one group, in seed order.
+    pub fn cells_of(&self, group: &GroupId) -> Vec<&CellResult> {
+        self.cells
+            .iter()
+            .filter(|c| &c.id.group() == group)
+            .collect()
+    }
+
+    /// The sweep summary as a stable JSON document: the spec, per-group
+    /// statistics, and per-cell coordinates with final rewards.
+    /// Deterministic training makes everything except `wall_secs`
+    /// reproducible byte for byte.
+    pub fn summary_json(&self, spec: &ExperimentSpec) -> String {
+        let tail = spec.tail();
+        let mut groups = Vec::new();
+        for g in &self.groups {
+            groups.push(Json::Obj(vec![
+                ("scenario".into(), Json::Str(g.group.scenario.clone())),
+                (
+                    "framework".into(),
+                    Json::Str(g.group.framework.name().into()),
+                ),
+                ("backend".into(), Json::Str(g.group.backend.to_string())),
+                (
+                    "engine".into(),
+                    Json::Str(engine_name(g.group.engine).into()),
+                ),
+                (
+                    "seeds".into(),
+                    Json::Arr(g.seeds.iter().map(|&s| Json::Num(s as f64)).collect()),
+                ),
+                ("reward".into(), g.reward.json()),
+                ("avg_queue".into(), g.queue.json()),
+                ("wall_secs".into(), g.wall_secs.json()),
+            ]));
+        }
+        let mut cells = Vec::new();
+        for c in &self.cells {
+            cells.push(Json::Obj(vec![
+                ("cell".into(), Json::Str(c.id.label())),
+                (
+                    "final_reward".into(),
+                    Json::Num(c.history.final_reward(tail).unwrap_or(f64::NAN)),
+                ),
+                ("epochs".into(), Json::Num(c.history.len() as f64)),
+                (
+                    "resumed_at".into(),
+                    c.resumed_at.map_or(Json::Null, |e| Json::Num(e as f64)),
+                ),
+                ("wall_secs".into(), Json::Num(c.wall_secs)),
+            ]));
+        }
+        Json::Obj(vec![
+            ("name".into(), Json::Str(spec.name.clone())),
+            ("spec".into(), Json::Str(spec.to_spec_string())),
+            ("tail_epochs".into(), Json::Num(tail as f64)),
+            ("groups".into(), Json::Arr(groups)),
+            ("cells".into(), Json::Arr(cells)),
+        ])
+        .render_pretty(2)
+    }
+
+    /// Writes the sweep artifacts into `dir`: `<name>_summary.json` plus
+    /// one `<name>_<group>_curves.csv` per group. Returns the paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] on filesystem trouble.
+    pub fn write_artifacts(
+        &self,
+        spec: &ExperimentSpec,
+        dir: &Path,
+    ) -> Result<Vec<PathBuf>, HarnessError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| HarnessError::Io(format!("create {}: {e}", dir.display())))?;
+        let mut paths = Vec::new();
+        let write = |path: PathBuf, content: &str| -> Result<PathBuf, HarnessError> {
+            std::fs::write(&path, content)
+                .map_err(|e| HarnessError::Io(format!("write {}: {e}", path.display())))?;
+            Ok(path)
+        };
+        paths.push(write(
+            dir.join(format!("{}_summary.json", spec.name)),
+            &self.summary_json(spec),
+        )?);
+        for g in &self.groups {
+            paths.push(write(
+                dir.join(format!("{}_{}_curves.csv", spec.name, g.group.slug())),
+                &g.curves_csv(),
+            )?);
+        }
+        Ok(paths)
+    }
+}
+
+/// Runs every cell of the grid over the work-stealing pool and folds the
+/// per-seed results into group aggregates. Cell execution order is
+/// whatever the pool schedules; results land in grid expansion order and
+/// the aggregation is seed-order-deterministic, so the sweep output is
+/// reproducible run to run (and bit-identical when resumed — see
+/// [`run_cell`]).
+///
+/// # Errors
+///
+/// Validates the spec, then propagates the lowest-indexed failing cell's
+/// error.
+pub fn run_sweep(spec: &ExperimentSpec, opts: &SweepOptions) -> Result<SweepResult, HarnessError> {
+    spec.validate()?;
+    if spec.checkpoint_every > 0 && opts.checkpoint_dir.is_none() {
+        return Err(HarnessError::InvalidSpec(format!(
+            "spec {} checkpoints every {} epochs but SweepOptions.checkpoint_dir is unset",
+            spec.name, spec.checkpoint_every
+        )));
+    }
+    let started = Instant::now();
+    let cells = spec.expand();
+    let workers = if opts.workers == 0 {
+        default_workers()
+    } else {
+        opts.workers
+    };
+    let cell_opts = CellOptions {
+        checkpoint_dir: opts.checkpoint_dir.clone(),
+        stop_after: None,
+    };
+    let results: Vec<CellResult> =
+        try_parallel_map(&cells, workers, |_, id| run_cell(spec, id, &cell_opts))?;
+
+    let tail = spec.tail();
+    let mut groups = Vec::new();
+    for group in spec.groups() {
+        let members: Vec<&CellResult> = results.iter().filter(|c| c.id.group() == group).collect();
+        let mut reward = Welford::new();
+        let mut queue = Welford::new();
+        let mut wall = Welford::new();
+        let epochs = members.iter().map(|c| c.history.len()).min().unwrap_or(0);
+        let mut curve_acc: Vec<(Welford, Welford, Welford)> =
+            vec![(Welford::new(), Welford::new(), Welford::new()); epochs];
+        for cell in &members {
+            reward.push(cell.history.final_reward(tail).unwrap_or(0.0));
+            queue.push(
+                cell.history
+                    .final_metric(tail, |r| r.metrics.avg_queue)
+                    .unwrap_or(0.0),
+            );
+            wall.push(cell.wall_secs);
+            for (acc, rec) in curve_acc.iter_mut().zip(cell.history.records()) {
+                acc.0.push(rec.metrics.total_reward);
+                acc.1.push(rec.metrics.avg_queue);
+                acc.2.push(rec.critic_loss);
+            }
+        }
+        groups.push(GroupSummary {
+            group,
+            seeds: spec.seeds.clone(),
+            reward: Stats::of(&reward),
+            queue: Stats::of(&queue),
+            wall_secs: Stats::of(&wall),
+            curves: curve_acc
+                .iter()
+                .map(|(r, q, l)| {
+                    (
+                        r.mean(),
+                        r.ci95_half_width(),
+                        q.mean(),
+                        q.ci95_half_width(),
+                        l.mean(),
+                    )
+                })
+                .collect(),
+        });
+    }
+
+    Ok(SweepResult {
+        cells: results,
+        groups,
+        wall_secs: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ExperimentSpec {
+        "name=sweep-test;scenarios=single-hop;engines=batched;seeds=0..3;epochs=2;limit=6"
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_runs_grid_and_aggregates() {
+        let result = run_sweep(&spec(), &SweepOptions::default()).unwrap();
+        assert_eq!(result.cells.len(), 3);
+        assert_eq!(result.groups.len(), 1);
+        let g = &result.groups[0];
+        assert_eq!(g.reward.n, 3);
+        assert_eq!(g.curves.len(), 2);
+        assert!(g.reward.std >= 0.0);
+        assert!(g.wall_secs.mean > 0.0);
+        // Per-seed curves differ, so the CI is non-trivial.
+        assert!(g.reward.ci95 > 0.0);
+        // The aggregate mean matches the hand-computed mean of the cells.
+        let hand: f64 = result
+            .cells
+            .iter()
+            .map(|c| c.history.final_reward(1).unwrap())
+            .sum::<f64>()
+            / 3.0;
+        assert!((g.reward.mean - hand).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_worker_count_invariant() {
+        let histories = |workers: usize| {
+            let r = run_sweep(
+                &spec(),
+                &SweepOptions {
+                    workers,
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap();
+            r.cells
+                .iter()
+                .map(|c| c.history.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(histories(1), histories(3));
+    }
+
+    #[test]
+    fn artifacts_are_stable_and_parse() {
+        let s = spec();
+        let a = run_sweep(&s, &SweepOptions::default()).unwrap();
+        let b = run_sweep(&s, &SweepOptions::default()).unwrap();
+        // Deterministic modulo wall-clock: scrub every wall_secs value.
+        fn scrub(v: &mut Json) {
+            match v {
+                Json::Obj(pairs) => {
+                    for (k, v) in pairs {
+                        if k.contains("wall") {
+                            *v = Json::Null;
+                        } else {
+                            scrub(v);
+                        }
+                    }
+                }
+                Json::Arr(items) => items.iter_mut().for_each(scrub),
+                _ => {}
+            }
+        }
+        let strip = |text: &str| {
+            let mut doc = Json::parse(text).expect("valid JSON");
+            scrub(&mut doc);
+            doc.render()
+        };
+        assert_eq!(strip(&a.summary_json(&s)), strip(&b.summary_json(&s)));
+        assert_eq!(a.groups[0].curves_csv(), b.groups[0].curves_csv());
+        // The summary parses back as JSON.
+        let doc = Json::parse(&a.summary_json(&s)).expect("valid JSON");
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("sweep-test"));
+        assert_eq!(
+            doc.get("cells").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        // And the files land on disk.
+        let dir = std::env::temp_dir().join("qmarl_sweep_artifacts_test");
+        let paths = a.write_artifacts(&s, &dir).unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert!(p.exists());
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn checkpointed_spec_requires_directory() {
+        let mut s = spec();
+        s.checkpoint_every = 1;
+        assert!(run_sweep(&s, &SweepOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Streaming moment estimation for the sweep aggregator.
+//!
+//! Cells finish in work-stealing order, so per-seed metrics arrive as a
+//! stream; Welford's online algorithm (Welford 1962; Chan et al. 1983
+//! for the merge) accumulates mean and variance in one pass without
+//! storing the samples, with far better numerical behaviour than the
+//! naive sum-of-squares. Tests pin it to the two-pass reference within
+//! `1e-12` and to permutation invariance of the sample order.
+
+/// Online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+/// The z-score of a two-sided 95% normal confidence interval.
+const Z_95: f64 = 1.959_963_984_540_054;
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An accumulator over the given samples.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        let mut w = Self::new();
+        for &x in xs {
+            w.push(x);
+        }
+        w
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges two accumulators (Chan's parallel update): the result
+    /// summarises the union of both sample streams.
+    pub fn merge(&self, other: &Welford) -> Welford {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        Welford { n, mean, m2 }
+    }
+
+    /// Samples folded so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The sample mean (`0.0` before the first sample).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The unbiased (n − 1) sample variance; `0.0` with fewer than two
+    /// samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of
+    /// the mean, `1.96 · s / √n` (`0.0` with fewer than two samples).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            Z_95 * self.std() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_two_pass_on_a_small_sample() {
+        let xs = [3.5, -1.25, 0.0, 7.75, 2.5];
+        let w = Welford::from_samples(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.ci95_half_width(), 0.0);
+        w.push(4.0);
+        assert_eq!(w.mean(), 4.0);
+        assert_eq!(w.variance(), 0.0, "one sample has no spread estimate");
+        assert_eq!(w.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let all = Welford::from_samples(&xs);
+        let left = Welford::from_samples(&xs[..13]);
+        let right = Welford::from_samples(&xs[13..]);
+        let merged = left.merge(&right);
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-12);
+        assert!((merged.variance() - all.variance()).abs() < 1e-12);
+        // Merging with empty is the identity.
+        assert_eq!(all.merge(&Welford::new()), all);
+        assert_eq!(Welford::new().merge(&all), all);
+    }
+}

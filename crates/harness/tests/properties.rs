@@ -1,0 +1,125 @@
+//! Property tests for the sweep metrics aggregator.
+//!
+//! The issue contract: Welford matches the naive two-pass computation
+//! within `1e-12`, is permutation-invariant over seed order (same
+//! tolerance), and its CI half-width shrinks monotonically as the seed
+//! count grows at fixed spread.
+
+use proptest::prelude::*;
+use qmarl_harness::welford::Welford;
+
+fn arb_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e4f64..1e4, 2..max_len)
+}
+
+/// The naive two-pass mean and unbiased variance.
+fn two_pass(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// A deterministic in-place shuffle driven by a SplitMix-style counter.
+fn shuffled(xs: &[f64], key: u64) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    let mut state = key;
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..out.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    /// Streaming moments match the two-pass reference within 1e-12
+    /// (relative to the sample scale).
+    #[test]
+    fn welford_matches_two_pass(xs in arb_samples(60)) {
+        let w = Welford::from_samples(&xs);
+        let (mean, var) = two_pass(&xs);
+        let scale = 1.0 + xs.iter().fold(0.0f64, |acc, x| acc.max(x.abs()));
+        prop_assert!((w.mean() - mean).abs() <= 1e-12 * scale,
+            "mean {} vs two-pass {mean}", w.mean());
+        prop_assert!((w.variance() - var).abs() <= 1e-12 * scale * scale,
+            "variance {} vs two-pass {var}", w.variance());
+        prop_assert_eq!(w.count() as usize, xs.len());
+    }
+
+    /// Folding the seeds in any order gives the same aggregate within
+    /// 1e-12 — cells may finish in any pool order.
+    #[test]
+    fn welford_is_permutation_invariant(xs in arb_samples(40), key in 0u64..1_000_000_000) {
+        let a = Welford::from_samples(&xs);
+        let b = Welford::from_samples(&shuffled(&xs, key));
+        let scale = 1.0 + xs.iter().fold(0.0f64, |acc, x| acc.max(x.abs()));
+        prop_assert!((a.mean() - b.mean()).abs() <= 1e-12 * scale);
+        prop_assert!((a.variance() - b.variance()).abs() <= 1e-12 * scale * scale);
+        prop_assert!((a.ci95_half_width() - b.ci95_half_width()).abs() <= 1e-12 * scale);
+    }
+
+    /// Merging partial aggregates (the streaming cross-cell path) equals
+    /// folding the concatenated stream, within 1e-12.
+    #[test]
+    fn welford_merge_matches_sequential(xs in arb_samples(50), split in 0usize..50) {
+        let split = split.min(xs.len());
+        let merged = Welford::from_samples(&xs[..split]).merge(&Welford::from_samples(&xs[split..]));
+        let all = Welford::from_samples(&xs);
+        let scale = 1.0 + xs.iter().fold(0.0f64, |acc, x| acc.max(x.abs()));
+        prop_assert!((merged.mean() - all.mean()).abs() <= 1e-12 * scale);
+        prop_assert!((merged.variance() - all.variance()).abs() <= 1e-12 * scale * scale);
+    }
+
+    /// At fixed spread, the CI half-width strictly shrinks as the seed
+    /// count grows: replicating the whole sample m times leaves the
+    /// spread in place but multiplies n, so `m+1` replicas must yield a
+    /// strictly narrower interval than `m`.
+    #[test]
+    fn ci_half_width_shrinks_with_seed_count(xs in arb_samples(20), m in 1usize..6) {
+        // Skip degenerate all-equal samples: their CI is 0 at any n.
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread <= 1e-9 {
+            return Ok(());
+        }
+        let replicate = |times: usize| {
+            let mut w = Welford::new();
+            for _ in 0..times {
+                for &x in &xs {
+                    w.push(x);
+                }
+            }
+            w.ci95_half_width()
+        };
+        let wider = replicate(m);
+        let narrower = replicate(m + 1);
+        prop_assert!(narrower < wider,
+            "ci at {}x replication ({narrower}) must be < ci at {}x ({wider})", m + 1, m);
+    }
+}
+
+#[test]
+fn ci_shrinks_along_a_growing_seed_ladder() {
+    // The deterministic version of the monotonicity property on a
+    // concrete ladder: 2, 4, 8, … replicas of the same seed set.
+    let xs = [-3.0, -1.0, 0.5, 2.0, 4.5];
+    let mut last = f64::INFINITY;
+    for m in [1usize, 2, 4, 8, 16] {
+        let mut w = Welford::new();
+        for _ in 0..m {
+            for &x in &xs {
+                w.push(x);
+            }
+        }
+        let ci = w.ci95_half_width();
+        assert!(ci < last, "m={m}: {ci} !< {last}");
+        last = ci;
+    }
+}

@@ -1,0 +1,318 @@
+//! Checkpoint-resume equivalence: a killed-and-resumed harness cell is
+//! **bit-identical** (`assert_eq`, no tolerances) to one that ran
+//! uninterrupted, and `FrameworkSnapshot` round-trips through save/load
+//! for quantum and MLP actors under every backend.
+
+use std::path::PathBuf;
+
+use qmarl_core::checkpoint::FrameworkSnapshot;
+use qmarl_core::config::TrainConfig;
+use qmarl_core::framework::{build_kind_scenario_trainer, FrameworkKind};
+use qmarl_harness::prelude::*;
+use qmarl_runtime::backend::ExecutionBackend;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qmarl_resume_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+fn assert_cells_bit_identical(a: &CellResult, b: &CellResult, context: &str) {
+    assert_eq!(a.history, b.history, "{context}: full history must match");
+    assert_eq!(a.snapshot, b.snapshot, "{context}: final params must match");
+}
+
+#[test]
+fn killed_cell_resumes_bit_identically_at_several_epochs() {
+    let spec: ExperimentSpec =
+        "name=resume;scenarios=single-hop;seeds=11;epochs=6;limit=6;episodes=2;lanes=2;checkpoint=2"
+            .parse()
+            .unwrap();
+    let cell = spec.expand().remove(0);
+
+    // Reference: checkpointing on, never interrupted.
+    let ref_dir = tmp_dir("ref");
+    let reference = run_cell(
+        &spec,
+        &cell,
+        &CellOptions {
+            checkpoint_dir: Some(ref_dir.clone()),
+            stop_after: None,
+        },
+    )
+    .unwrap();
+    assert!(reference.completed);
+    assert_eq!(reference.history.len(), 6);
+
+    // Kill between epochs — at a checkpoint boundary (2, 4), and right
+    // after an uncheckpointed epoch (3, 5: the resume must recompute the
+    // lost epoch from the last checkpoint and still land identically).
+    for kill_at in [1usize, 2, 3, 4, 5] {
+        let dir = tmp_dir(&format!("kill{kill_at}"));
+        let partial = run_cell(
+            &spec,
+            &cell,
+            &CellOptions {
+                checkpoint_dir: Some(dir.clone()),
+                stop_after: Some(kill_at),
+            },
+        )
+        .unwrap();
+        assert!(!partial.completed, "kill_at={kill_at}");
+        assert_eq!(partial.history.len(), kill_at);
+
+        let resumed = run_cell(
+            &spec,
+            &cell,
+            &CellOptions {
+                checkpoint_dir: Some(dir.clone()),
+                stop_after: None,
+            },
+        )
+        .unwrap();
+        assert!(resumed.completed);
+        // Epoch 1 has no checkpoint yet (cadence 2): the resume restarts
+        // from scratch; later kills resume from the floor(kill/2)*2 mark.
+        let expected_resume_epoch = (kill_at / 2) * 2;
+        if expected_resume_epoch > 0 {
+            assert_eq!(
+                resumed.resumed_at,
+                Some(expected_resume_epoch),
+                "kill_at={kill_at}"
+            );
+        } else {
+            assert_eq!(resumed.resumed_at, None, "kill_at={kill_at}");
+        }
+        assert_cells_bit_identical(&reference, &resumed, &format!("kill_at={kill_at}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // A finished cell re-run from its final checkpoint replays no epochs
+    // and still reports the identical result.
+    let rerun = run_cell(
+        &spec,
+        &cell,
+        &CellOptions {
+            checkpoint_dir: Some(ref_dir.clone()),
+            stop_after: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(rerun.resumed_at, Some(6));
+    assert_cells_bit_identical(&reference, &rerun, "finished rerun");
+    std::fs::remove_dir_all(&ref_dir).ok();
+}
+
+#[test]
+fn checkpoint_from_a_different_experiment_shape_is_rejected() {
+    // Same grid coordinates, different training shape: the resume must
+    // refuse the stale checkpoint instead of silently producing results
+    // bit-different from an uninterrupted run.
+    let write_spec: ExperimentSpec =
+        "name=shape-a;scenarios=single-hop;seeds=3;epochs=4;limit=6;episodes=2;checkpoint=2"
+            .parse()
+            .unwrap();
+    let cell = write_spec.expand().remove(0);
+    let dir = tmp_dir("shape-guard");
+    run_cell(
+        &write_spec,
+        &cell,
+        &CellOptions {
+            checkpoint_dir: Some(dir.clone()),
+            stop_after: Some(2),
+        },
+    )
+    .unwrap();
+
+    // Edited episode budget, edited epoch budget, different sweep name:
+    // all rejected against the existing checkpoint.
+    for edited in [
+        "name=shape-a;scenarios=single-hop;seeds=3;epochs=4;limit=6;episodes=4;checkpoint=2",
+        "name=shape-a;scenarios=single-hop;seeds=3;epochs=8;limit=6;episodes=2;checkpoint=2",
+        "name=shape-b;scenarios=single-hop;seeds=3;epochs=4;limit=6;episodes=2;checkpoint=2",
+    ] {
+        let spec: ExperimentSpec = edited.parse().unwrap();
+        let cell = spec.expand().remove(0);
+        let err = run_cell(
+            &spec,
+            &cell,
+            &CellOptions {
+                checkpoint_dir: Some(dir.clone()),
+                stop_after: None,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("different experiment shape"),
+            "{edited}: {err}"
+        );
+    }
+
+    // The unedited spec still resumes cleanly.
+    let resumed = run_cell(
+        &write_spec,
+        &cell,
+        &CellOptions {
+            checkpoint_dir: Some(dir.clone()),
+            stop_after: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_at, Some(2));
+    assert!(resumed.completed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_cell_resumes_bit_identically_under_sampled_backend() {
+    // Shot-sampled expectations are content-addressed, so resume must be
+    // exact under the stochastic backend too.
+    let spec: ExperimentSpec =
+        "name=resume-sampled;scenarios=single-hop;backends=sampled:shots=16:seed=4;\
+         seeds=5;epochs=3;limit=4;checkpoint=1"
+            .parse()
+            .unwrap();
+    let cell = spec.expand().remove(0);
+    let ref_dir = tmp_dir("sampled-ref");
+    let reference = run_cell(
+        &spec,
+        &cell,
+        &CellOptions {
+            checkpoint_dir: Some(ref_dir.clone()),
+            stop_after: None,
+        },
+    )
+    .unwrap();
+    let dir = tmp_dir("sampled-kill");
+    run_cell(
+        &spec,
+        &cell,
+        &CellOptions {
+            checkpoint_dir: Some(dir.clone()),
+            stop_after: Some(2),
+        },
+    )
+    .unwrap();
+    let resumed = run_cell(
+        &spec,
+        &cell,
+        &CellOptions {
+            checkpoint_dir: Some(dir.clone()),
+            stop_after: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_at, Some(2));
+    assert_cells_bit_identical(&reference, &resumed, "sampled backend");
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_sweep_resumes_bit_identically() {
+    // Whole-sweep equivalence: every cell killed at a different epoch,
+    // then one resumed sweep must equal the uninterrupted sweep.
+    let spec: ExperimentSpec =
+        "name=resume-sweep;scenarios=single-hop;seeds=0..3;epochs=4;limit=6;checkpoint=1"
+            .parse()
+            .unwrap();
+    let clean_dir = tmp_dir("sweep-clean");
+    let uninterrupted = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 2,
+            checkpoint_dir: Some(clean_dir.clone()),
+        },
+    )
+    .unwrap();
+
+    let dir = tmp_dir("sweep-kill");
+    for (i, cell) in spec.expand().iter().enumerate() {
+        run_cell(
+            &spec,
+            cell,
+            &CellOptions {
+                checkpoint_dir: Some(dir.clone()),
+                stop_after: Some(1 + i), // kill cells at epochs 1, 2, 3 (seed 2 completes)
+            },
+        )
+        .unwrap();
+    }
+    let resumed = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 2,
+            checkpoint_dir: Some(dir.clone()),
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.cells.len(), uninterrupted.cells.len());
+    for (a, b) in uninterrupted.cells.iter().zip(&resumed.cells) {
+        assert!(b.resumed_at.is_some(), "{}", b.id.label());
+        assert_cells_bit_identical(a, b, &a.id.label());
+    }
+    // Aggregates follow suit.
+    assert_eq!(uninterrupted.groups[0].reward, resumed.groups[0].reward);
+    assert_eq!(uninterrupted.groups[0].curves, resumed.groups[0].curves);
+    std::fs::remove_dir_all(&clean_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn framework_snapshot_roundtrips_for_quantum_and_mlp_under_every_backend() {
+    let dir = tmp_dir("snapshots");
+    let mut train = TrainConfig::paper_default();
+    train.epochs = 1;
+    let backends: Vec<ExecutionBackend> = vec![
+        "ideal".parse().unwrap(),
+        "sampled:shots=32:seed=2".parse().unwrap(),
+        "noisy:p1=0.001:p2=0.002".parse().unwrap(),
+    ];
+    // Proposed = quantum actors + quantum critic; Comp1 = quantum actors
+    // + MLP critic: together they cover both model families under every
+    // backend. Fully classical stacks (Comp2/Comp3) only exist under
+    // Ideal by construction.
+    let mut cases: Vec<(FrameworkKind, ExecutionBackend)> = Vec::new();
+    for backend in &backends {
+        cases.push((FrameworkKind::Proposed, backend.clone()));
+        cases.push((FrameworkKind::Comp1, backend.clone()));
+    }
+    cases.push((FrameworkKind::Comp2, ExecutionBackend::Ideal));
+    cases.push((FrameworkKind::Comp3, ExecutionBackend::Ideal));
+
+    for (i, (kind, backend)) in cases.iter().enumerate() {
+        let context = format!("{kind} × {backend}");
+        let mut seeded = train.clone();
+        seeded.seed = 40 + i as u64;
+        let trainer = build_kind_scenario_trainer(*kind, "single-hop", backend, &seeded, Some(4))
+            .unwrap_or_else(|e| panic!("{context}: {e}"));
+        let snap = FrameworkSnapshot::capture(&context, &trainer);
+        let path = dir.join(format!("snap{i}.ckpt"));
+        snap.save(&path)
+            .unwrap_or_else(|e| panic!("{context}: {e}"));
+        let loaded = FrameworkSnapshot::load(&path).unwrap_or_else(|e| panic!("{context}: {e}"));
+        assert_eq!(loaded, snap, "{context}: file round-trip must be bit-exact");
+
+        // And the loaded snapshot restores into freshly built models of
+        // the same architecture (differently seeded, so initial params
+        // provably differ before the restore).
+        let mut env_cfg = qmarl_env::single_hop::EnvConfig::paper_default();
+        env_cfg.episode_limit = 4;
+        let mut other = seeded.clone();
+        other.seed = 90 + i as u64;
+        let mut actors = qmarl_core::framework::build_actors(*kind, &env_cfg, &other)
+            .unwrap_or_else(|e| panic!("{context}: {e}"));
+        let mut critic = qmarl_core::framework::build_critic(*kind, &env_cfg, &other)
+            .unwrap_or_else(|e| panic!("{context}: {e}"));
+        assert_ne!(actors[0].params(), snap.actor_params[0], "{context}");
+        loaded
+            .restore(&mut actors, critic.as_mut())
+            .unwrap_or_else(|e| panic!("{context}: {e}"));
+        for (a, p) in actors.iter().zip(&snap.actor_params) {
+            assert_eq!(&a.params(), p, "{context}");
+        }
+        assert_eq!(critic.params(), snap.critic_params, "{context}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -38,5 +38,5 @@ pub mod prelude {
     pub use crate::loss::{entropy, log_softmax, mse, policy_gradient_logits, softmax};
     pub use crate::matrix::Matrix;
     pub use crate::mlp::{hidden_for_budget, Mlp};
-    pub use crate::optim::{Adam, Sgd};
+    pub use crate::optim::{Adam, AdamState, Sgd};
 }

@@ -178,6 +178,21 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's full internal state — a workspace extension
+        /// (the upstream crate keeps it opaque) so training checkpoints
+        /// can freeze and resume a stream mid-sequence bit-identically.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a captured [`StdRng::state`]; the
+        /// resumed stream continues exactly where the capture stopped.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(state: u64) -> Self {
             let mut sm = state;
@@ -214,6 +229,18 @@ pub mod rngs {
 mod tests {
     use super::rngs::StdRng;
     use super::{Rng, SeedableRng};
+
+    #[test]
+    fn state_roundtrip_resumes_mid_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..17 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
 
     #[test]
     fn deterministic_under_seed() {

@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the full QMARL stack.
 pub use qmarl_core as core;
 pub use qmarl_env as env;
+pub use qmarl_harness as harness;
 pub use qmarl_neural as neural;
 pub use qmarl_qsim as qsim;
 pub use qmarl_runtime as runtime;

@@ -1,0 +1,154 @@
+//! Golden-run regression suite: tier-2 protection for the whole training
+//! stack.
+//!
+//! Every registered scenario runs a short deterministic training cell
+//! under {Ideal, Sampled} × {Serial, Batched}. Under **Ideal** the
+//! (reward, loss, entropy, final parameter) fingerprint is asserted
+//! bit-exactly against the committed table below — any change to the
+//! simulator, the gradient engines, the rollout collectors, the update
+//! sweep, the environments or the seeding contract shows up here. Under
+//! **Sampled** the two engines must agree bit-exactly with each other
+//! and with a re-run (the content-addressed shot-stream contract).
+//!
+//! When an *intentional* change shifts the numbers, regenerate the table
+//! with:
+//!
+//! ```text
+//! QMARL_BLESS=1 cargo test --test golden_runs -- --nocapture
+//! ```
+//!
+//! and paste the printed rows over `GOLDEN_IDEAL`.
+
+use qmarl::harness::prelude::*;
+use qmarl::runtime::backend::ExecutionBackend;
+
+/// FNV-1a over the exact bit patterns of every f64 the run produced.
+fn fingerprint(result: &CellResult) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |bits: u64| {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (bits >> shift) & 0xFF;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for rec in result.history.records() {
+        eat(rec.metrics.total_reward.to_bits());
+        eat(rec.metrics.avg_queue.to_bits());
+        eat(rec.critic_loss.to_bits());
+        eat(rec.mean_entropy.to_bits());
+    }
+    eat(u64::MAX); // domain separator
+    for params in &result.snapshot.actor_params {
+        for p in params {
+            eat(p.to_bits());
+        }
+    }
+    for p in &result.snapshot.critic_params {
+        eat(p.to_bits());
+    }
+    h
+}
+
+/// One short deterministic cell: 2 epochs × 5-step episodes, seed 9.
+fn run(scenario: &str, backend: &str, engine: &str) -> u64 {
+    let spec: ExperimentSpec = format!(
+        "name=golden;scenarios={scenario};backends={backend};engines={engine};\
+         seeds=9;epochs=2;limit=5"
+    )
+    .parse()
+    .expect("valid golden spec");
+    let cell = spec.expand().remove(0);
+    let result = run_cell(&spec, &cell, &CellOptions::default()).expect("golden cell runs");
+    assert_eq!(result.history.len(), 2);
+    fingerprint(&result)
+}
+
+const SAMPLED: &str = "sampled:shots=32:seed=5";
+
+/// The committed Ideal fingerprints, one per registered scenario. Both
+/// update engines must land exactly here.
+const GOLDEN_IDEAL: &[(&str, u64)] = &[
+    ("single-hop", 0x2d4127626c773035),
+    ("single-hop-bursty", 0xbc062285bab833f1),
+    ("single-hop-wide", 0x87db07a0c9e457da),
+    ("two-tier", 0xe432d12bfb45dbdf),
+];
+
+#[test]
+fn golden_runs_match_committed_fingerprints_under_ideal() {
+    let scenarios: Vec<&str> = qmarl::env::scenario::scenarios()
+        .iter()
+        .map(|s| s.name())
+        .collect();
+    assert_eq!(
+        scenarios,
+        GOLDEN_IDEAL.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        "GOLDEN_IDEAL must cover exactly the registered scenarios; \
+         re-bless after registry changes"
+    );
+    let bless = std::env::var("QMARL_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut table = String::new();
+    let mut failures = Vec::new();
+    for &(scenario, expected) in GOLDEN_IDEAL {
+        let batched = run(scenario, "ideal", "batched");
+        let serial = run(scenario, "ideal", "serial");
+        assert_eq!(
+            batched, serial,
+            "{scenario}: update engines must be bit-identical under ideal"
+        );
+        table.push_str(&format!("    (\"{scenario}\", {batched:#x}),\n"));
+        if batched != expected {
+            failures.push(format!(
+                "{scenario}: fingerprint {batched:#x} != committed {expected:#x}"
+            ));
+        }
+    }
+    if bless {
+        println!("const GOLDEN_IDEAL: &[(&str, u64)] = &[\n{table}];");
+        return;
+    }
+    assert!(
+        failures.is_empty(),
+        "golden Ideal fingerprints drifted:\n{}\nnew table (QMARL_BLESS=1 to print):\n{table}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_runs_are_engine_invariant_and_deterministic_under_sampled() {
+    for spec in qmarl::env::scenario::scenarios() {
+        let scenario = spec.name();
+        let batched = run(scenario, SAMPLED, "batched");
+        let serial = run(scenario, SAMPLED, "serial");
+        assert_eq!(
+            batched, serial,
+            "{scenario}: engines must agree bit-exactly under the sampled backend"
+        );
+        let again = run(scenario, SAMPLED, "batched");
+        assert_eq!(
+            batched, again,
+            "{scenario}: sampled training must be deterministic run to run"
+        );
+    }
+}
+
+#[test]
+fn golden_fingerprints_distinguish_scenarios_and_backends() {
+    // Sanity on the fingerprint itself: different cells hash differently
+    // (a collapse here would make the suite vacuously green).
+    let a = run("single-hop", "ideal", "batched");
+    let b = run("single-hop-bursty", "ideal", "batched");
+    let c = run("single-hop", SAMPLED, "batched");
+    assert_ne!(a, b);
+    assert_ne!(a, c);
+    // And the Ideal backend spelled explicitly matches the default axis.
+    let explicit = {
+        let spec: ExperimentSpec = "name=golden;scenarios=single-hop;seeds=9;epochs=2;limit=5"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.backends, vec![ExecutionBackend::Ideal]);
+        let cell = spec.expand().remove(0);
+        fingerprint(&run_cell(&spec, &cell, &CellOptions::default()).unwrap())
+    };
+    assert_eq!(a, explicit);
+}
