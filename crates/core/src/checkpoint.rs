@@ -110,12 +110,19 @@ impl FrameworkSnapshot {
 
     /// Parses the checkpoint text format.
     ///
+    /// Built for hostile input: a snapshot may be read by a hot-swap
+    /// watcher while another process is still writing it, so every count
+    /// is treated as a claim to verify line by line (never a trusted
+    /// allocation size) and content after the critic section is rejected.
+    /// Any truncation or corruption surfaces as
+    /// [`CoreError::CorruptCheckpoint`] — this function does not panic.
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] describing the first syntax
-    /// problem.
+    /// Returns [`CoreError::CorruptCheckpoint`] describing the first
+    /// syntax problem.
     pub fn from_text(text: &str) -> Result<Self, CoreError> {
-        let bad = |msg: &str| CoreError::InvalidConfig(format!("checkpoint parse: {msg}"));
+        let bad = |msg: &str| CoreError::CorruptCheckpoint(format!("checkpoint parse: {msg}"));
         let mut lines = text.lines();
         if lines.next() != Some(MAGIC) {
             return Err(bad("missing or wrong magic header"));
@@ -132,9 +139,13 @@ impl FrameworkSnapshot {
             .parse()
             .map_err(|_| bad("actors count not a number"))?;
 
+        // A corrupt header can claim absurd counts; pre-allocating from
+        // them would turn a torn file into an allocation abort. Capacity
+        // is bounded and the vectors grow only as real lines arrive.
+        const CAP: usize = 4096;
         let read_params =
             |lines: &mut std::str::Lines<'_>, n: usize| -> Result<Vec<f64>, CoreError> {
-                let mut v = Vec::with_capacity(n);
+                let mut v = Vec::with_capacity(n.min(CAP));
                 for _ in 0..n {
                     let line = lines.next().ok_or_else(|| bad("unexpected end of file"))?;
                     v.push(line.parse().map_err(|_| bad("malformed parameter"))?);
@@ -142,7 +153,7 @@ impl FrameworkSnapshot {
                 Ok(v)
             };
 
-        let mut actor_params = Vec::with_capacity(n_actors);
+        let mut actor_params = Vec::with_capacity(n_actors.min(CAP));
         for i in 0..n_actors {
             let header = lines.next().ok_or_else(|| bad("missing actor header"))?;
             let rest = header
@@ -158,6 +169,11 @@ impl FrameworkSnapshot {
             .parse()
             .map_err(|_| bad("critic length not a number"))?;
         let critic_params = read_params(&mut lines, critic_len)?;
+        // The critic section ends the document; trailing content means a
+        // torn or concatenated file, not a parseable prefix.
+        if lines.next().is_some() {
+            return Err(bad("trailing content after the critic section"));
+        }
         Ok(FrameworkSnapshot {
             label,
             actor_params,
@@ -165,14 +181,26 @@ impl FrameworkSnapshot {
         })
     }
 
-    /// Writes the checkpoint to a file.
+    /// Writes the checkpoint to a file **atomically** (write to a `.tmp`
+    /// sibling, then rename). A reader polling the directory — serve's
+    /// hot-swap watcher — therefore never observes a half-written
+    /// snapshot under the final name.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] wrapping the I/O failure.
+    /// Returns [`CoreError::CorruptCheckpoint`] wrapping the I/O failure.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CoreError> {
-        fs::write(path.as_ref(), self.to_text()).map_err(|e| {
-            CoreError::InvalidConfig(format!("write {}: {e}", path.as_ref().display()))
+        let path = path.as_ref();
+        let io_err =
+            |what: &str, e: std::io::Error| CoreError::CorruptCheckpoint(format!("{what}: {e}"));
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.to_text())
+            .map_err(|e| io_err(&format!("write {}", tmp.display()), e))?;
+        fs::rename(&tmp, path).map_err(|e| {
+            io_err(
+                &format!("rename {} -> {}", tmp.display(), path.display()),
+                e,
+            )
         })
     }
 
@@ -180,10 +208,11 @@ impl FrameworkSnapshot {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] on I/O or syntax problems.
+    /// Returns [`CoreError::CorruptCheckpoint`] on I/O or syntax
+    /// problems.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, CoreError> {
         let text = fs::read_to_string(path.as_ref()).map_err(|e| {
-            CoreError::InvalidConfig(format!("read {}: {e}", path.as_ref().display()))
+            CoreError::CorruptCheckpoint(format!("read {}: {e}", path.as_ref().display()))
         })?;
         FrameworkSnapshot::from_text(&text)
     }
@@ -599,6 +628,94 @@ mod tests {
         let bad_param = "qmarl-checkpoint v1\nlabel x\nactors 0\ncritic 1\nnot-a-number\n";
         assert!(FrameworkSnapshot::from_text(bad_param).is_err());
         assert!(FrameworkSnapshot::load("/nonexistent/path/x.ckpt").is_err());
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_snapshot_is_a_typed_error() {
+        // A torn write can cut the file at any byte. Every prefix must
+        // come back as CorruptCheckpoint — no panic, no partial parse
+        // accepted as a complete snapshot.
+        let snap = FrameworkSnapshot {
+            label: "torn".into(),
+            actor_params: vec![vec![0.25, -1.5e-3, 7.0], vec![1.0, 2.0]],
+            critic_params: vec![-0.5, 0.125, 3.25],
+        };
+        let text = snap.to_text();
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &text[..cut];
+            match FrameworkSnapshot::from_text(prefix) {
+                Err(CoreError::CorruptCheckpoint(_)) => {}
+                Err(other) => panic!("cut at {cut}: wrong error variant {other:?}"),
+                // Only cuts inside the final parameter line can still
+                // parse (a float's prefix may be a valid shorter float —
+                // the one tear the text format cannot see, which is why
+                // `save` is atomic). Everything before it must error.
+                Ok(parsed) => {
+                    assert!(cut > text.len() - "3.25e0\n".len(), "cut at {cut}");
+                    assert_eq!(parsed.actor_params, snap.actor_params, "cut at {cut}");
+                    assert_eq!(parsed.critic_params.len(), snap.critic_params.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_counts_cannot_trigger_huge_allocations() {
+        // Header claims absurd sizes; parsing must fail on the missing
+        // lines without ever allocating for the claimed count.
+        let huge_actor = "qmarl-checkpoint v1\nlabel x\nactors 1\nactor 0 18446744073709551615\n";
+        assert!(matches!(
+            FrameworkSnapshot::from_text(huge_actor),
+            Err(CoreError::CorruptCheckpoint(_))
+        ));
+        let huge_actors = "qmarl-checkpoint v1\nlabel x\nactors 9999999999999\n";
+        assert!(matches!(
+            FrameworkSnapshot::from_text(huge_actors),
+            Err(CoreError::CorruptCheckpoint(_))
+        ));
+        let huge_critic = "qmarl-checkpoint v1\nlabel x\nactors 0\ncritic 987654321987654321\n";
+        assert!(matches!(
+            FrameworkSnapshot::from_text(huge_critic),
+            Err(CoreError::CorruptCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_content_and_concatenation_rejected() {
+        let snap = FrameworkSnapshot {
+            label: "t".into(),
+            actor_params: vec![vec![1.0]],
+            critic_params: vec![2.0],
+        };
+        let good = snap.to_text();
+        assert!(FrameworkSnapshot::from_text(&good).is_ok());
+        let doubled = format!("{good}{good}");
+        assert!(matches!(
+            FrameworkSnapshot::from_text(&doubled),
+            Err(CoreError::CorruptCheckpoint(_))
+        ));
+        let garbage_tail = format!("{good}stray line\n");
+        assert!(FrameworkSnapshot::from_text(&garbage_tail).is_err());
+    }
+
+    #[test]
+    fn snapshot_save_is_atomic() {
+        let snap = FrameworkSnapshot {
+            label: "atomic".into(),
+            actor_params: vec![vec![0.5; 4]],
+            critic_params: vec![0.25; 3],
+        };
+        let dir = std::env::temp_dir().join("qmarl_snap_atomic_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("a.snap");
+        snap.save(&path).expect("saves");
+        // The tmp sibling is renamed away, never left behind.
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(FrameworkSnapshot::load(&path).expect("loads"), snap);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub enum CoreError {
     },
     /// A training configuration value was rejected.
     InvalidConfig(String),
+    /// A checkpoint file was unreadable, truncated or corrupt.
+    ///
+    /// Distinct from [`CoreError::InvalidConfig`] so callers that watch a
+    /// checkpoint directory (the serving hot-swap path) can skip torn or
+    /// half-written files without swallowing genuine configuration
+    /// mistakes.
+    CorruptCheckpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +53,7 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::InvalidConfig(msg) => write!(f, "invalid training config: {msg}"),
+            CoreError::CorruptCheckpoint(msg) => write!(f, "corrupt checkpoint: {msg}"),
         }
     }
 }

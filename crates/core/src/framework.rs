@@ -15,6 +15,7 @@ use qmarl_env::single_hop::{EnvConfig, SingleHopEnv};
 use qmarl_neural::mlp::hidden_for_budget;
 use qmarl_runtime::backend::ExecutionBackend;
 
+use crate::checkpoint::FrameworkSnapshot;
 use crate::config::{ExperimentConfig, TrainConfig};
 use crate::error::CoreError;
 use crate::policy::{Actor, ClassicalActor, QuantumActor};
@@ -260,32 +261,7 @@ pub fn build_kind_scenario_trainer(
     }
     let env = build_scenario_with(scenario, &params)?;
     let (obs_dim, state_dim, n_actions) = (env.obs_dim(), env.state_dim(), env.n_actions());
-    // One readout wire per action; budgets grow with the action set when
-    // the scenario is wider than the paper's.
-    let n_qubits = n_actions.max(train.n_qubits);
-    let q_actor_params = train.actor_params.max(2 * n_actions + 8);
-    let actors: Vec<Box<dyn Actor>> = (0..env.n_agents())
-        .map(|n| {
-            let actor_seed = train.seed.wrapping_add(1000 + n as u64);
-            Ok(match kind {
-                FrameworkKind::Proposed | FrameworkKind::Comp1 => Box::new(
-                    QuantumActor::new(n_qubits, obs_dim, n_actions, q_actor_params, actor_seed)?
-                        .with_grad_method(train.grad_method)
-                        .with_backend(backend.clone()),
-                )
-                    as Box<dyn Actor>,
-                FrameworkKind::Comp2 => {
-                    let (h, _) = hidden_for_budget(obs_dim, n_actions, train.actor_params);
-                    Box::new(ClassicalActor::new(&[obs_dim, h, n_actions], actor_seed)?)
-                }
-                FrameworkKind::Comp3 => Box::new(ClassicalActor::new(
-                    &[obs_dim, COMP3_HIDDEN, COMP3_HIDDEN, n_actions],
-                    actor_seed,
-                )?),
-                FrameworkKind::RandomWalk => unreachable!("rejected above"),
-            })
-        })
-        .collect::<Result<_, CoreError>>()?;
+    let actors = scenario_actor_set(kind, backend, train, env.n_agents(), obs_dim, n_actions)?;
     let critic_seed = train.seed.wrapping_add(9000);
     let critic: Box<dyn Critic> = match kind {
         FrameworkKind::Proposed => Box::new(
@@ -304,6 +280,127 @@ pub fn build_kind_scenario_trainer(
         FrameworkKind::RandomWalk => unreachable!("rejected above"),
     };
     CtdeTrainer::new(env, actors, critic, train.clone())
+}
+
+/// The shared actor-construction loop of the scenario builders. The seed
+/// derivation (`train.seed + 1000 + n`) and the shape rules (one readout
+/// wire per action, parameter budget grown for wide action sets) are the
+/// **deployment contract**: [`build_scenario_actors`] and
+/// [`actors_from_snapshot`] must rebuild the exact models
+/// [`build_kind_scenario_trainer`] trained, or a restored snapshot would
+/// silently fit a differently-shaped (or differently-initialised) policy.
+fn scenario_actor_set(
+    kind: FrameworkKind,
+    backend: &ExecutionBackend,
+    train: &TrainConfig,
+    n_agents: usize,
+    obs_dim: usize,
+    n_actions: usize,
+) -> Result<Vec<Box<dyn Actor>>, CoreError> {
+    // One readout wire per action; budgets grow with the action set when
+    // the scenario is wider than the paper's.
+    let n_qubits = n_actions.max(train.n_qubits);
+    let q_actor_params = train.actor_params.max(2 * n_actions + 8);
+    (0..n_agents)
+        .map(|n| {
+            let actor_seed = train.seed.wrapping_add(1000 + n as u64);
+            Ok(match kind {
+                FrameworkKind::Proposed | FrameworkKind::Comp1 => Box::new(
+                    QuantumActor::new(n_qubits, obs_dim, n_actions, q_actor_params, actor_seed)?
+                        .with_grad_method(train.grad_method)
+                        .with_backend(backend.clone()),
+                )
+                    as Box<dyn Actor>,
+                FrameworkKind::Comp2 => {
+                    let (h, _) = hidden_for_budget(obs_dim, n_actions, train.actor_params);
+                    Box::new(ClassicalActor::new(&[obs_dim, h, n_actions], actor_seed)?)
+                }
+                FrameworkKind::Comp3 => Box::new(ClassicalActor::new(
+                    &[obs_dim, COMP3_HIDDEN, COMP3_HIDDEN, n_actions],
+                    actor_seed,
+                )?),
+                FrameworkKind::RandomWalk => {
+                    return Err(CoreError::InvalidConfig(
+                        "the random walk has no trainable actors".into(),
+                    ))
+                }
+            })
+        })
+        .collect()
+}
+
+/// Builds **only the actor set** of a framework on a registry scenario —
+/// the decentralized-execution half of CTDE, without the critic, replay
+/// buffer or trainer that only centralized training needs.
+///
+/// The models are identical (same seeds, same shapes) to the ones
+/// [`build_kind_scenario_trainer`] would train under the same
+/// `(kind, scenario, backend, train)` cell, so parameters captured from a
+/// trainer drop into this set unchanged — see [`actors_from_snapshot`].
+///
+/// # Errors
+///
+/// Returns construction errors from the scenario registry or the model
+/// builders, and rejects `RandomWalk` (no trainable actors) and classical
+/// frameworks under non-`Ideal` backends (no quantum circuits to
+/// execute).
+pub fn build_scenario_actors(
+    kind: FrameworkKind,
+    scenario: &str,
+    backend: &ExecutionBackend,
+    train: &TrainConfig,
+) -> Result<Vec<Box<dyn Actor>>, CoreError> {
+    backend.validate().map_err(CoreError::from)?;
+    let quantum_actors = matches!(kind, FrameworkKind::Proposed | FrameworkKind::Comp1);
+    if !quantum_actors && !backend.is_ideal() && kind != FrameworkKind::RandomWalk {
+        return Err(CoreError::InvalidConfig(format!(
+            "framework {kind} has no quantum circuits to execute under backend {backend}; \
+             only Ideal is meaningful for fully classical actors"
+        )));
+    }
+    let env = build_scenario_with(scenario, &ScenarioParams::seeded(train.seed))?;
+    scenario_actor_set(
+        kind,
+        backend,
+        train,
+        env.n_agents(),
+        env.obs_dim(),
+        env.n_actions(),
+    )
+}
+
+/// Rebuilds a framework's actor set from a [`FrameworkSnapshot`] — the
+/// snapshot → deployable-policy constructor. Builds the same models as
+/// [`build_scenario_actors`] and restores the snapshot's per-actor
+/// parameters into them, without constructing a critic or a
+/// [`CtdeTrainer`].
+///
+/// # Errors
+///
+/// Returns construction errors, [`CoreError::InvalidConfig`] on an
+/// actor-count mismatch and [`CoreError::ParamLenMismatch`] when a
+/// parameter vector does not fit the rebuilt architecture (e.g. a
+/// snapshot trained on a different scenario or framework).
+pub fn actors_from_snapshot(
+    snapshot: &FrameworkSnapshot,
+    kind: FrameworkKind,
+    scenario: &str,
+    backend: &ExecutionBackend,
+    train: &TrainConfig,
+) -> Result<Vec<Box<dyn Actor>>, CoreError> {
+    let mut actors = build_scenario_actors(kind, scenario, backend, train)?;
+    if actors.len() != snapshot.actor_params.len() {
+        return Err(CoreError::InvalidConfig(format!(
+            "snapshot {:?} holds {} actors, the {kind} × {scenario:?} cell builds {}",
+            snapshot.label,
+            snapshot.actor_params.len(),
+            actors.len()
+        )));
+    }
+    for (actor, params) in actors.iter_mut().zip(&snapshot.actor_params) {
+        actor.set_params(params)?;
+    }
+    Ok(actors)
 }
 
 /// Parameter accounting per framework — the budget table of Sec. IV-C.
@@ -471,6 +568,126 @@ mod tests {
             &ExecutionBackend::Ideal,
             &train,
             None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scenario_actors_match_trainer_actors_bit_for_bit() {
+        // The actor-only builder must produce the exact models the full
+        // trainer builder trains — same seeds, same shapes, same initial
+        // parameters — for every framework × scenario cell.
+        let train = TrainConfig::paper_default();
+        for kind in FrameworkKind::TRAINABLE {
+            for scenario in qmarl_env::scenario::scenarios() {
+                let name = scenario.name();
+                let solo = build_scenario_actors(kind, name, &ExecutionBackend::Ideal, &train)
+                    .unwrap_or_else(|e| panic!("{kind} × {name}: {e}"));
+                let trainer = build_kind_scenario_trainer(
+                    kind,
+                    name,
+                    &ExecutionBackend::Ideal,
+                    &train,
+                    Some(4),
+                )
+                .unwrap();
+                assert_eq!(solo.len(), trainer.actors().len(), "{kind} × {name}");
+                for (a, b) in solo.iter().zip(trainer.actors()) {
+                    assert_eq!(a.params(), b.params(), "{kind} × {name}");
+                    assert_eq!(a.obs_dim(), b.obs_dim());
+                    assert_eq!(a.n_actions(), b.n_actions());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn actors_from_snapshot_restores_trained_parameters() {
+        let mut train = TrainConfig::paper_default();
+        train.epochs = 1;
+        let backend = ExecutionBackend::Ideal;
+        let mut trainer = build_kind_scenario_trainer(
+            FrameworkKind::Proposed,
+            "two-tier",
+            &backend,
+            &train,
+            Some(6),
+        )
+        .unwrap();
+        trainer.train(1).unwrap();
+        let snap = FrameworkSnapshot::capture("two-tier", &trainer);
+        let actors =
+            actors_from_snapshot(&snap, FrameworkKind::Proposed, "two-tier", &backend, &train)
+                .unwrap();
+        for (restored, trained) in actors.iter().zip(trainer.actors()) {
+            assert_eq!(restored.params(), trained.params());
+            // Same parameters ⇒ same policy, bit for bit.
+            let obs: Vec<f64> = (0..restored.obs_dim()).map(|i| 0.1 * i as f64).collect();
+            assert_eq!(restored.probs(&obs).unwrap(), trained.probs(&obs).unwrap());
+        }
+    }
+
+    #[test]
+    fn actors_from_snapshot_rejects_architecture_mismatches() {
+        let train = TrainConfig::paper_default();
+        let backend = ExecutionBackend::Ideal;
+        // Wrong actor count.
+        let snap = FrameworkSnapshot {
+            label: "bad-count".into(),
+            actor_params: vec![vec![0.0; 50]; 2],
+            critic_params: vec![],
+        };
+        assert!(matches!(
+            actors_from_snapshot(
+                &snap,
+                FrameworkKind::Proposed,
+                "single-hop",
+                &backend,
+                &train
+            ),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // Right count, wrong parameter length (e.g. captured from a
+        // different framework).
+        let snap2 = FrameworkSnapshot {
+            label: "bad-len".into(),
+            actor_params: vec![vec![0.0; 7]; 4],
+            critic_params: vec![],
+        };
+        assert!(matches!(
+            actors_from_snapshot(
+                &snap2,
+                FrameworkKind::Proposed,
+                "single-hop",
+                &backend,
+                &train
+            ),
+            Err(CoreError::ParamLenMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scenario_actors_reject_meaningless_cells() {
+        let train = TrainConfig::paper_default();
+        let sampled: ExecutionBackend = "sampled:shots=32".parse().unwrap();
+        for kind in [FrameworkKind::Comp2, FrameworkKind::Comp3] {
+            assert!(
+                build_scenario_actors(kind, "single-hop", &sampled, &train).is_err(),
+                "{kind}"
+            );
+        }
+        assert!(
+            build_scenario_actors(FrameworkKind::RandomWalk, "single-hop", &sampled, &train)
+                .is_err()
+        );
+        assert!(
+            build_scenario_actors(FrameworkKind::Comp1, "single-hop", &sampled, &train).is_ok()
+        );
+        assert!(build_scenario_actors(
+            FrameworkKind::Proposed,
+            "no-such-scenario",
+            &ExecutionBackend::Ideal,
+            &train
         )
         .is_err());
     }

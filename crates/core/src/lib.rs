@@ -39,6 +39,7 @@ pub mod framework;
 pub mod independent;
 pub mod policy;
 pub mod replay;
+pub mod serving;
 pub mod trainer;
 pub mod value;
 mod vec_policy;
@@ -50,12 +51,14 @@ pub mod prelude {
     pub use crate::config::{ExperimentConfig, TrainConfig};
     pub use crate::error::CoreError;
     pub use crate::framework::{
-        build_actors, build_critic, build_kind_scenario_trainer, build_scenario_trainer,
-        build_trainer, parameter_report, FrameworkKind, ParamReport,
+        actors_from_snapshot, build_actors, build_critic, build_kind_scenario_trainer,
+        build_scenario_actors, build_scenario_trainer, build_trainer, parameter_report,
+        FrameworkKind, ParamReport,
     };
     pub use crate::independent::{build_independent_quantum, IndependentTrainer};
     pub use crate::policy::{select_action, Actor, ClassicalActor, QuantumActor};
     pub use crate::replay::{Episode, ReplayBuffer, Transition};
+    pub use crate::serving::ServablePolicy;
     pub use crate::trainer::{CtdeTrainer, EpochRecord, TrainingHistory, UpdateEngine};
     pub use crate::value::{ClassicalCritic, Critic, NaiveQuantumCritic, QuantumCritic};
     pub use crate::viz::{

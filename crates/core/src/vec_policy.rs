@@ -30,45 +30,27 @@ use crate::error::CoreError;
 use crate::policy::{select_action, Actor};
 
 /// Pre-split flat-batch state: every actor shares one compiled circuit.
-/// Parameters are split **and prebound** once per collection — each
-/// agent's frozen circuit parameters resolve to a
+/// Parameters are split **and prebound** once — each agent's frozen
+/// circuit parameters resolve to a
 /// [`qmarl_runtime::prebound::PreboundCircuit`] whose parameter-only
 /// rotation trig is hoisted out of the per-circuit loop entirely.
-struct FlatBatch<'a> {
-    compiled: &'a qmarl_runtime::qnn::CompiledVqc,
+///
+/// The batch owns everything it needs (the `CompiledVqc` clone shares the
+/// cached `Arc<CompiledCircuit>`; scales/biases are copied — a handful of
+/// `f64` per agent), so it can outlive the borrow it was built from. The
+/// trainer rebuilds one per collection; the serving layer builds one at
+/// policy-load time and reuses it for every micro-batch tick.
+pub(crate) struct FlatBatch {
+    compiled: qmarl_runtime::qnn::CompiledVqc,
     prebound: Vec<qmarl_runtime::prebound::PreboundCircuit>,
-    scales: Vec<&'a [f64]>,
-    biases: Vec<&'a [f64]>,
+    scales: Vec<Vec<f64>>,
+    biases: Vec<Vec<f64>>,
 }
 
-/// The trainer's frozen actors as a vectorized lockstep policy.
-pub(crate) struct ActorsVecPolicy<'a> {
-    actors: &'a [Box<dyn Actor>],
-    deterministic: bool,
-    obs_dim: usize,
-    flat: Option<FlatBatch<'a>>,
-}
-
-impl<'a> ActorsVecPolicy<'a> {
-    /// Builds the policy, choosing the flat route when every actor runs
-    /// the same compiled circuit.
-    pub(crate) fn new(actors: &'a [Box<dyn Actor>], obs_dim: usize, deterministic: bool) -> Self {
-        let flat = Self::try_flat(actors);
-        ActorsVecPolicy {
-            actors,
-            deterministic,
-            obs_dim,
-            flat,
-        }
-    }
-
-    /// Whether this policy fuses the tick into one flat circuit batch.
-    #[cfg(test)]
-    pub(crate) fn is_flat(&self) -> bool {
-        self.flat.is_some()
-    }
-
-    fn try_flat(actors: &'a [Box<dyn Actor>]) -> Option<FlatBatch<'a>> {
+impl FlatBatch {
+    /// Builds the flat-route state when every actor runs the same
+    /// compiled circuit; `None` selects the per-agent route.
+    pub(crate) fn build(actors: &[Box<dyn Actor>]) -> Option<FlatBatch> {
         let first = actors.first()?.runtime_handle()?.0;
         let mut prebound = Vec::with_capacity(actors.len());
         let mut scales = Vec::with_capacity(actors.len());
@@ -90,22 +72,81 @@ impl<'a> ActorsVecPolicy<'a> {
             }
             let (c, s, b) = compiled.model().split_params(params).ok()?;
             prebound.push(qmarl_runtime::prebound::prebind(compiled.compiled(), c).ok()?);
-            scales.push(s);
-            biases.push(b);
+            scales.push(s.to_vec());
+            biases.push(b.to_vec());
         }
         Some(FlatBatch {
-            compiled: first,
+            compiled: first.clone(),
             prebound,
             scales,
             biases,
         })
+    }
+}
+
+/// The trainer's frozen actors as a vectorized lockstep policy.
+pub(crate) struct ActorsVecPolicy<'a> {
+    actors: &'a [Box<dyn Actor>],
+    deterministic: bool,
+    obs_dim: usize,
+    flat: Option<FlatBatch>,
+}
+
+impl<'a> ActorsVecPolicy<'a> {
+    /// Builds the policy, choosing the flat route when every actor runs
+    /// the same compiled circuit.
+    pub(crate) fn new(actors: &'a [Box<dyn Actor>], obs_dim: usize, deterministic: bool) -> Self {
+        let flat = FlatBatch::build(actors);
+        ActorsVecPolicy {
+            actors,
+            deterministic,
+            obs_dim,
+            flat,
+        }
+    }
+
+    /// Builds the policy without probing for the flat route — for callers
+    /// that hold a long-lived [`FlatBatch`] of their own (the serving
+    /// layer) and pass it per call through [`ActorsVecPolicy::act_with`].
+    pub(crate) fn bare(actors: &'a [Box<dyn Actor>], obs_dim: usize, deterministic: bool) -> Self {
+        ActorsVecPolicy {
+            actors,
+            deterministic,
+            obs_dim,
+            flat: None,
+        }
+    }
+
+    /// Whether this policy fuses the tick into one flat circuit batch.
+    #[cfg(test)]
+    pub(crate) fn is_flat(&self) -> bool {
+        self.flat.is_some()
+    }
+
+    /// One lockstep tick against an explicitly supplied flat batch (or
+    /// the per-agent route when `None`). This is [`act_vec`] with the
+    /// route decision lifted out, so a caller owning a prebound
+    /// [`FlatBatch`] does not pay the prebind again on every tick.
+    ///
+    /// [`act_vec`]: VecRolloutPolicy::act_vec
+    pub(crate) fn act_with(
+        &self,
+        flat: Option<&FlatBatch>,
+        observations: &[f64],
+        lanes: &[usize],
+        rngs: &mut [StdRng],
+    ) -> Result<VecDecision, CoreError> {
+        match flat {
+            Some(flat) => self.act_flat(flat, observations, lanes, rngs),
+            None => self.act_per_agent(observations, lanes, rngs),
+        }
     }
 
     /// The flat route: one executor call for the whole tick, grouped by
     /// agent so each agent's prebound schedule covers all its lanes.
     fn act_flat(
         &self,
-        flat: &FlatBatch<'a>,
+        flat: &FlatBatch,
         observations: &[f64],
         lanes: &[usize],
         rngs: &mut [StdRng],
@@ -131,7 +172,7 @@ impl<'a> ActorsVecPolicy<'a> {
             .expectation_batch_prebound(model.readout(), &groups)?;
 
         self.sample_rows(lanes, rngs, |row, n| {
-            let logits = model.apply_head(&raws[n][row], flat.scales[n], flat.biases[n]);
+            let logits = model.apply_head(&raws[n][row], &flat.scales[n], &flat.biases[n]);
             Ok(softmax(&logits))
         })
     }
@@ -199,10 +240,7 @@ impl VecRolloutPolicy for ActorsVecPolicy<'_> {
         lanes: &[usize],
         rngs: &mut [StdRng],
     ) -> Result<VecDecision, CoreError> {
-        match &self.flat {
-            Some(flat) => self.act_flat(flat, observations, lanes, rngs),
-            None => self.act_per_agent(observations, lanes, rngs),
-        }
+        self.act_with(self.flat.as_ref(), observations, lanes, rngs)
     }
 }
 

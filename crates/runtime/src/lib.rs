@@ -102,7 +102,7 @@ pub mod prelude {
     pub use crate::prebound::{
         prebind, prebind_adjoint, run_prebound, PreboundAdjoint, PreboundCircuit,
     };
-    pub use crate::qnn::CompiledVqc;
+    pub use crate::qnn::{CompiledVqc, PreboundVqc};
     pub use crate::rollout::{
         collect_episodes, derive_seed, EpisodeTrace, RolloutConfig, RolloutError, RolloutPolicy,
         TraceStep, WorkerEnv,

@@ -1,0 +1,72 @@
+//! Error type for the inference-serving layer.
+
+use std::error::Error;
+use std::fmt;
+
+use qmarl_core::error::CoreError;
+
+/// Errors surfaced by the policy server, protocol codec and client.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or file operation failed.
+    Io(std::io::Error),
+    /// A wire frame violated the protocol (bad opcode, length, payload).
+    Protocol(String),
+    /// The policy layer rejected a request or failed to build.
+    Core(CoreError),
+    /// The server is shutting down and no longer accepts work.
+    Shutdown,
+    /// A serving configuration value was rejected.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Core(e) => write!(f, "policy error: {e}"),
+            ServeError::Shutdown => write!(f, "server is shutting down"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = ServeError::from(std::io::Error::other("x"));
+        assert!(e.to_string().contains("i/o"));
+        assert!(e.source().is_some());
+        let e = ServeError::from(CoreError::InvalidConfig("y".into()));
+        assert!(e.source().is_some());
+        assert!(ServeError::Protocol("bad".into()).source().is_none());
+        assert!(!ServeError::Shutdown.to_string().is_empty());
+        assert!(!ServeError::InvalidConfig("z".into()).to_string().is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Fixed-bucket latency histogram — no dependencies, bounded error.
+//!
+//! Both the server (per-batch service time) and the load generator
+//! (end-to-end request latency) need quantiles over millions of samples
+//! without keeping the samples. [`LatencyHistogram`] uses geometric
+//! buckets with ratio 2^(1/8) (~9% per bucket) spanning 1µs–120s, so a
+//! reported quantile `q̂` of a true sample `v` satisfies
+//! `v ≤ q̂ ≤ v · 2^(1/8)` for any `v` inside the tracked range. That
+//! bound is property-tested against a sorted-sample oracle.
+//!
+//! The struct is plain data: `record` is O(log buckets), `merge` is a
+//! vector add, and there is no interior mutability — callers that share
+//! one histogram across threads wrap it in a mutex or merge per-thread
+//! copies at the end.
+
+/// Per-bucket growth ratio exponent: bounds grow by `2^(1/RESOLUTION)`.
+const RESOLUTION: i32 = 8;
+
+/// Lowest tracked upper bound, in nanoseconds (1µs).
+const LOW_NS: u64 = 1_000;
+
+/// Everything above this lands in the overflow bucket (120s).
+const HIGH_NS: u64 = 120_000_000_000;
+
+/// A latency histogram with geometric buckets and bounded relative error.
+///
+/// Bucket `i` covers `(bound[i-1], bound[i]]` nanoseconds; bucket 0
+/// covers `[0, 1µs]` and the final bucket is an open-ended overflow.
+/// Quantiles return the upper bound of the containing bucket, clipped to
+/// the largest value actually recorded, which yields the two-sided
+/// guarantee documented at module level.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram covering 1µs–120s at ~9% resolution.
+    pub fn new() -> Self {
+        let ratio = Self::bucket_ratio();
+        let mut bounds = vec![LOW_NS];
+        while *bounds.last().expect("non-empty") < HIGH_NS {
+            let prev = *bounds.last().expect("non-empty");
+            let next = ((prev as f64) * ratio).round() as u64;
+            bounds.push(next.max(prev + 1));
+        }
+        bounds.push(u64::MAX); // overflow bucket
+        let counts = vec![0; bounds.len()];
+        LatencyHistogram {
+            bounds,
+            counts,
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// The per-bucket growth factor (`2^(1/8)`): the worst-case
+    /// multiplicative error of a reported quantile.
+    pub fn bucket_ratio() -> f64 {
+        2f64.powf(1.0 / RESOLUTION as f64)
+    }
+
+    /// Record one latency sample in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        let idx = self.bounds.partition_point(|&b| b < ns);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.total as f64
+        }
+    }
+
+    /// The largest recorded sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in nanoseconds, or `None` when
+    /// empty. Returns the upper bound of the bucket containing the
+    /// rank-`⌈q·n⌉` sample, clipped to the recorded maximum.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(self.bounds[i].min(self.max_ns));
+            }
+        }
+        Some(self.max_ns) // unreachable: cum reaches total
+    }
+
+    /// The median, in microseconds (0.0 when empty).
+    pub fn p50_us(&self) -> f64 {
+        self.quantile(0.50).unwrap_or(0) as f64 / 1_000.0
+    }
+
+    /// The 99th percentile, in microseconds (0.0 when empty).
+    pub fn p99_us(&self) -> f64 {
+        self.quantile(0.99).unwrap_or(0) as f64 / 1_000.0
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histograms share one fixed bucket layout"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The oracle: exact rank-⌈q·n⌉ order statistic of the raw samples.
+    fn oracle(samples: &[u64], q: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+        h.record(5_000);
+        // A single sample is its own quantile at every q: the bucket
+        // upper bound is clipped to max_ns.
+        assert_eq!(h.quantile(0.01), Some(5_000));
+        assert_eq!(h.quantile(1.0), Some(5_000));
+        assert_eq!(h.max_ns(), 5_000);
+        assert_eq!(h.mean_ns(), 5_000.0);
+    }
+
+    #[test]
+    fn sub_microsecond_and_overflow_samples_stay_bounded() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(3); // sub-µs: bucket 0, absolute error ≤ 1µs
+        assert!(h.quantile(1.0).expect("non-empty") <= LOW_NS);
+        let mut h = LatencyHistogram::new();
+        h.record(HIGH_NS * 10); // overflow: clipped to max_ns exactly
+        assert_eq!(h.quantile(0.5), Some(HIGH_NS * 10));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let (mut a, mut b, mut all) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for i in 0..500u64 {
+            let v = 1_000 + i * 7_919;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+        assert_eq!(a.max_ns(), all.max_ns());
+        assert_eq!(a.mean_ns(), all.mean_ns());
+    }
+
+    proptest! {
+        /// The documented accuracy contract: for samples inside the
+        /// tracked range, every reported quantile lies in
+        /// `[oracle, oracle · ratio]`.
+        #[test]
+        fn quantiles_bracket_the_sorted_sample_oracle(
+            samples in prop::collection::vec(1_000u64..60_000_000_000, 1..400),
+            q in 0.01f64..1.0,
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let exact = oracle(&samples, q);
+            let approx = h.quantile(q).expect("non-empty");
+            prop_assert!(approx >= exact, "quantile {approx} below oracle {exact}");
+            let ceiling = (exact as f64 * LatencyHistogram::bucket_ratio()).ceil() as u64 + 1;
+            prop_assert!(
+                approx <= ceiling,
+                "quantile {approx} above oracle*ratio {ceiling} (oracle {exact})"
+            );
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Wire protocol: length-prefixed binary frames over a byte stream.
+//!
+//! Every message is one frame: a `u32` little-endian payload length
+//! followed by the payload. The first payload byte is an opcode:
+//!
+//! | opcode | direction | layout after the opcode |
+//! |--------|-----------|-------------------------|
+//! | `0x01` ACT   | client → server | `req_id:u64` `n_obs:u32` `n_obs × f64` |
+//! | `0x02` INFO  | client → server | `req_id:u64` |
+//! | `0x81` ACT-OK| server → client | `req_id:u64` `n_agents:u32` `n_agents × u16` actions |
+//! | `0x82` INFO-OK| server → client | `req_id:u64` `n_agents:u32` `obs_dim:u32` `n_actions:u32` `policy_version:u64` `requests_served:u64` `batches_executed:u64` `policy_swaps:u64` |
+//! | `0xEE` ERROR | server → client | `req_id:u64` utf-8 message |
+//!
+//! All integers and floats are little-endian. Observations are the
+//! concatenated per-agent features (`n_agents × obs_dim` values), the
+//! same flat layout [`qmarl_core::serving::ServablePolicy::act`] takes.
+//! Frames larger than [`MAX_FRAME_LEN`] are rejected before allocation
+//! so a corrupt length prefix cannot balloon memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::error::ServeError;
+
+/// Hard cap on a frame payload (1 MiB) — far above any real request.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+const OP_ACT: u8 = 0x01;
+const OP_INFO: u8 = 0x02;
+const OP_ACT_OK: u8 = 0x81;
+const OP_INFO_OK: u8 = 0x82;
+const OP_ERROR: u8 = 0xEE;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Select actions for one flat observation vector.
+    Act {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Flat `n_agents × obs_dim` features.
+        observation: Vec<f64>,
+    },
+    /// Ask for the server's dimensions and counters.
+    Info {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+}
+
+/// Server dimensions and lifetime counters, returned by INFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Number of agents the loaded policy controls.
+    pub n_agents: u32,
+    /// Per-agent observation length.
+    pub obs_dim: u32,
+    /// Per-agent action-space size.
+    pub n_actions: u32,
+    /// Monotonic policy version; bumps on every hot-swap.
+    pub policy_version: u64,
+    /// ACT requests answered successfully since startup.
+    pub requests_served: u64,
+    /// Micro-batches executed since startup.
+    pub batches_executed: u64,
+    /// Hot-swaps applied since startup.
+    pub policy_swaps: u64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Actions for an [`Request::Act`], one per agent.
+    Act {
+        /// Echo of the request id.
+        id: u64,
+        /// Selected action index per agent.
+        actions: Vec<u16>,
+    },
+    /// Answer to an [`Request::Info`].
+    Info {
+        /// Echo of the request id.
+        id: u64,
+        /// Dimensions and counters.
+        info: ServerInfo,
+    },
+    /// The request was understood but could not be served.
+    Error {
+        /// Echo of the request id (0 when the id itself was unreadable).
+        id: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Sequential byte reader over a frame payload.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ServeError::Protocol(format!(
+                "frame truncated: wanted {n} bytes at offset {}, payload is {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ServeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn finish(&self) -> Result<(), ServeError> {
+        if self.pos != self.buf.len() {
+            return Err(ServeError::Protocol(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Act { id, observation } => {
+                let mut b = Vec::with_capacity(13 + 8 * observation.len());
+                b.push(OP_ACT);
+                b.extend_from_slice(&id.to_le_bytes());
+                b.extend_from_slice(&(observation.len() as u32).to_le_bytes());
+                for v in observation {
+                    b.extend_from_slice(&v.to_le_bytes());
+                }
+                b
+            }
+            Request::Info { id } => {
+                let mut b = Vec::with_capacity(9);
+                b.push(OP_INFO);
+                b.extend_from_slice(&id.to_le_bytes());
+                b
+            }
+        }
+    }
+
+    /// Parse a frame payload; rejects unknown opcodes, short payloads
+    /// and trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, ServeError> {
+        let mut rd = Rd::new(payload);
+        let req = match rd.u8()? {
+            OP_ACT => {
+                let id = rd.u64()?;
+                let n = rd.u32()? as usize;
+                if n > MAX_FRAME_LEN / 8 {
+                    return Err(ServeError::Protocol(format!(
+                        "observation length {n} exceeds the frame cap"
+                    )));
+                }
+                let mut observation = Vec::with_capacity(n);
+                for _ in 0..n {
+                    observation.push(rd.f64()?);
+                }
+                Request::Act { id, observation }
+            }
+            OP_INFO => Request::Info { id: rd.u64()? },
+            op => {
+                return Err(ServeError::Protocol(format!(
+                    "unknown request opcode 0x{op:02x}"
+                )))
+            }
+        };
+        rd.finish()?;
+        Ok(req)
+    }
+
+    /// The correlation id, for error replies.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Act { id, .. } | Request::Info { id } => *id,
+        }
+    }
+}
+
+impl Response {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Act { id, actions } => {
+                let mut b = Vec::with_capacity(13 + 2 * actions.len());
+                b.push(OP_ACT_OK);
+                b.extend_from_slice(&id.to_le_bytes());
+                b.extend_from_slice(&(actions.len() as u32).to_le_bytes());
+                for a in actions {
+                    b.extend_from_slice(&a.to_le_bytes());
+                }
+                b
+            }
+            Response::Info { id, info } => {
+                let mut b = Vec::with_capacity(9 + 12 + 32);
+                b.push(OP_INFO_OK);
+                b.extend_from_slice(&id.to_le_bytes());
+                b.extend_from_slice(&info.n_agents.to_le_bytes());
+                b.extend_from_slice(&info.obs_dim.to_le_bytes());
+                b.extend_from_slice(&info.n_actions.to_le_bytes());
+                b.extend_from_slice(&info.policy_version.to_le_bytes());
+                b.extend_from_slice(&info.requests_served.to_le_bytes());
+                b.extend_from_slice(&info.batches_executed.to_le_bytes());
+                b.extend_from_slice(&info.policy_swaps.to_le_bytes());
+                b
+            }
+            Response::Error { id, message } => {
+                let mut b = Vec::with_capacity(9 + message.len());
+                b.push(OP_ERROR);
+                b.extend_from_slice(&id.to_le_bytes());
+                b.extend_from_slice(message.as_bytes());
+                b
+            }
+        }
+    }
+
+    /// Parse a frame payload; rejects unknown opcodes, short payloads
+    /// and trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response, ServeError> {
+        let mut rd = Rd::new(payload);
+        let resp = match rd.u8()? {
+            OP_ACT_OK => {
+                let id = rd.u64()?;
+                let n = rd.u32()? as usize;
+                if n > MAX_FRAME_LEN / 2 {
+                    return Err(ServeError::Protocol(format!(
+                        "action count {n} exceeds the frame cap"
+                    )));
+                }
+                let mut actions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    actions.push(rd.u16()?);
+                }
+                Response::Act { id, actions }
+            }
+            OP_INFO_OK => {
+                let id = rd.u64()?;
+                let info = ServerInfo {
+                    n_agents: rd.u32()?,
+                    obs_dim: rd.u32()?,
+                    n_actions: rd.u32()?,
+                    policy_version: rd.u64()?,
+                    requests_served: rd.u64()?,
+                    batches_executed: rd.u64()?,
+                    policy_swaps: rd.u64()?,
+                };
+                Response::Info { id, info }
+            }
+            OP_ERROR => {
+                let id = rd.u64()?;
+                let rest = rd.take(rd.buf.len() - rd.pos)?;
+                let message = String::from_utf8(rest.to_vec())
+                    .map_err(|_| ServeError::Protocol("error message is not utf-8".into()))?;
+                Response::Error { id, message }
+            }
+            op => {
+                return Err(ServeError::Protocol(format!(
+                    "unknown response opcode 0x{op:02x}"
+                )))
+            }
+        };
+        rd.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), ServeError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(ServeError::Protocol(format!(
+            "outgoing frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame payload. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection between messages).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ServeError::Protocol(
+                    "connection closed mid-length-prefix".into(),
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::Protocol(format!(
+            "incoming frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| ServeError::Protocol(format!("connection closed mid-frame: {e}")))?;
+    Ok(Some(payload))
+}
+
+/// A blocking client for the serve protocol.
+///
+/// One request in flight at a time: `act`/`info` write a frame and block
+/// for the matching response. Dropping the client closes the connection
+/// cleanly (the server sees EOF at a frame boundary).
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connect to a running policy server.
+    pub fn connect(addr: std::net::SocketAddr) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream, next_id: 1 })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::Protocol("server closed the connection".into()))?;
+        let resp = Response::decode(&payload)?;
+        let resp_id = match &resp {
+            Response::Act { id, .. } | Response::Info { id, .. } | Response::Error { id, .. } => {
+                *id
+            }
+        };
+        if resp_id != req.id() && resp_id != 0 {
+            return Err(ServeError::Protocol(format!(
+                "response id {resp_id} does not match request id {}",
+                req.id()
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Select actions for one flat `n_agents × obs_dim` observation.
+    pub fn act(&mut self, observation: &[f64]) -> Result<Vec<u16>, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request::Act {
+            id,
+            observation: observation.to_vec(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Act { actions, .. } => Ok(actions),
+            Response::Error { message, .. } => {
+                Err(ServeError::Protocol(format!("server error: {message}")))
+            }
+            Response::Info { .. } => Err(ServeError::Protocol(
+                "INFO response to an ACT request".into(),
+            )),
+        }
+    }
+
+    /// Fetch the server's dimensions and counters.
+    pub fn info(&mut self) -> Result<ServerInfo, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.roundtrip(&Request::Info { id })? {
+            Response::Info { info, .. } => Ok(info),
+            Response::Error { message, .. } => {
+                Err(ServeError::Protocol(format!("server error: {message}")))
+            }
+            Response::Act { .. } => Err(ServeError::Protocol(
+                "ACT response to an INFO request".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Act {
+                id: 7,
+                observation: vec![0.25, -1.5, 3.0e-9, 0.0],
+            },
+            Request::Act {
+                id: u64::MAX,
+                observation: vec![],
+            },
+            Request::Info { id: 42 },
+        ] {
+            assert_eq!(Request::decode(&req.encode()).expect("round trip"), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let info = ServerInfo {
+            n_agents: 4,
+            obs_dim: 4,
+            n_actions: 4,
+            policy_version: 3,
+            requests_served: 1_000_000,
+            batches_executed: 31_250,
+            policy_swaps: 2,
+        };
+        for resp in [
+            Response::Act {
+                id: 9,
+                actions: vec![0, 3, 1, 2],
+            },
+            Response::Info { id: 10, info },
+            Response::Error {
+                id: 0,
+                message: "no policy loaded".into(),
+            },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).expect("round trip"), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_protocol_errors() {
+        // Unknown opcodes.
+        assert!(matches!(
+            Request::decode(&[0x77]),
+            Err(ServeError::Protocol(_))
+        ));
+        assert!(matches!(
+            Response::decode(&[0x13]),
+            Err(ServeError::Protocol(_))
+        ));
+        // Every truncation of a valid ACT request fails loudly.
+        let full = Request::Act {
+            id: 3,
+            observation: vec![1.0, 2.0],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(
+                matches!(Request::decode(&full[..cut]), Err(ServeError::Protocol(_))),
+                "truncation at {cut} must not parse"
+            );
+        }
+        // Trailing garbage fails loudly.
+        let mut padded = full.clone();
+        padded.push(0);
+        assert!(matches!(
+            Request::decode(&padded),
+            Err(ServeError::Protocol(_))
+        ));
+        // A length claim past the cap is rejected before allocation.
+        let mut huge = vec![OP_ACT];
+        huge.extend_from_slice(&1u64.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&huge),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_guards_length() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").expect("write");
+        write_frame(&mut wire, b"").expect("write empty");
+        let mut rd = &wire[..];
+        assert_eq!(read_frame(&mut rd).expect("frame"), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut rd).expect("frame"), Some(Vec::new()));
+        assert_eq!(read_frame(&mut rd).expect("eof"), None);
+
+        // A corrupt length prefix is rejected without allocating.
+        let bad = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(ServeError::Protocol(_))
+        ));
+        // EOF mid-prefix and mid-payload are loud.
+        assert!(matches!(
+            read_frame(&mut &wire[..2]),
+            Err(ServeError::Protocol(_))
+        ));
+        assert!(matches!(
+            read_frame(&mut &wire[..6]),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,275 @@
+//! The TCP policy server: accept loop, per-connection handlers, and
+//! graceful drain.
+//!
+//! Topology: one non-blocking accept thread, one handler thread per
+//! connection, one batcher thread ([`crate::batcher::run_batcher`]).
+//! Handlers decode frames, enqueue ACT jobs on the batcher's channel and
+//! block on the per-job reply channel; INFO requests are answered
+//! directly from the [`PolicySlot`] and [`ServeStats`] without touching
+//! the batch path.
+//!
+//! Shutdown ([`ServerHandle::shutdown`]) is a drain, not an abort:
+//!
+//! 1. the accept thread stops (no new connections) and drops its job
+//!    sender;
+//! 2. every open connection's **read** side is shut down, so handlers
+//!    finish the request they are on — the batcher still answers it and
+//!    the response still goes out the intact write side — then see EOF
+//!    and exit, dropping their senders;
+//! 3. with every sender gone the batcher drains the queue and exits.
+//!
+//! No request that reached the server is dropped; the returned
+//! [`DrainReport`] carries the final counters and the service-time
+//! histogram.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qmarl_core::serving::ServablePolicy;
+
+use crate::batcher::{run_batcher, BatchConfig, Job, PolicySlot, ServeStats};
+use crate::error::ServeError;
+use crate::hist::LatencyHistogram;
+use crate::protocol::{read_frame, write_frame, Request, Response, ServerInfo};
+
+/// How often the accept loop polls for the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: SocketAddr,
+    /// Micro-batching knobs for the single batcher thread.
+    pub batch: BatchConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+/// Final counters returned by a graceful shutdown.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// ACT requests answered successfully over the server's lifetime.
+    pub requests_served: u64,
+    /// Micro-batches executed.
+    pub batches_executed: u64,
+    /// Requests rejected with an error reply.
+    pub requests_rejected: u64,
+    /// Hot-swaps applied.
+    pub policy_swaps: u64,
+    /// Per-batch service time (execution only, not queueing).
+    pub batch_hist: LatencyHistogram,
+}
+
+/// A running policy server.
+///
+/// Dropping the handle without calling [`ServerHandle::shutdown`] leaks
+/// the serving threads for the rest of the process — always shut down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    slot: Arc<PolicySlot>,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    batcher_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hot-swap slot; share it with a
+    /// [`crate::watch::spawn_watcher`] or swap programmatically.
+    pub fn slot(&self) -> &Arc<PolicySlot> {
+        &self.slot
+    }
+
+    /// Atomically replace the serving policy (bumps the version).
+    pub fn swap_policy(&self, next: ServablePolicy) {
+        self.slot.swap(next);
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
+    }
+
+    /// Stop accepting, drain every queued and in-flight request, join
+    /// all threads and return the final counters.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Close only the *read* side: handlers finish the request they
+        // are serving (the response still goes out), then see EOF.
+        for conn in self.conns.lock().expect("conn registry").iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
+        for t in handlers {
+            let _ = t.join();
+        }
+        // Every job sender is gone now; the batcher drains and exits.
+        if let Some(t) = self.batcher_thread.take() {
+            let _ = t.join();
+        }
+        DrainReport {
+            requests_served: self.stats.requests_served.load(Ordering::SeqCst),
+            batches_executed: self.stats.batches_executed.load(Ordering::SeqCst),
+            requests_rejected: self.stats.requests_rejected.load(Ordering::SeqCst),
+            policy_swaps: self.slot.swaps(),
+            batch_hist: self.stats.batch_hist.lock().expect("hist lock").clone(),
+        }
+    }
+}
+
+/// Start serving `policy` on `config.addr`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for bad batch knobs and
+/// [`ServeError::Io`] when the bind fails.
+pub fn serve(policy: ServablePolicy, config: ServerConfig) -> Result<ServerHandle, ServeError> {
+    config.batch.validate()?;
+    let listener = TcpListener::bind(config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let slot = Arc::new(PolicySlot::new(policy));
+    let stats = Arc::new(ServeStats::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let batcher_thread = {
+        let (slot, stats, batch) = (slot.clone(), stats.clone(), config.batch);
+        std::thread::spawn(move || run_batcher(job_rx, slot, stats, batch))
+    };
+
+    let accept_thread = {
+        let (slot, stats, stop) = (slot.clone(), stats.clone(), stop.clone());
+        let (handlers, conns) = (handlers.clone(), conns.clone());
+        std::thread::spawn(move || {
+            // `job_tx` lives here and is cloned per connection; when this
+            // thread and every handler exit, the batcher sees disconnect.
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nodelay(true);
+                        if let Ok(clone) = stream.try_clone() {
+                            conns.lock().expect("conn registry").push(clone);
+                        }
+                        let (slot, stats, tx) = (slot.clone(), stats.clone(), job_tx.clone());
+                        let t = std::thread::spawn(move || handle_conn(stream, tx, slot, stats));
+                        handlers.lock().expect("handler registry").push(t);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        slot,
+        stats,
+        stop,
+        accept_thread: Some(accept_thread),
+        batcher_thread: Some(batcher_thread),
+        handlers,
+        conns,
+    })
+}
+
+/// Serve one connection until EOF or a fatal socket error.
+fn handle_conn(
+    mut stream: TcpStream,
+    job_tx: Sender<Job>,
+    slot: Arc<PolicySlot>,
+    stats: Arc<ServeStats>,
+) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // clean close, torn frame or reset
+        };
+        let response = match Request::decode(&payload) {
+            Ok(Request::Act { id, observation }) => {
+                act_via_batcher(id, observation, &job_tx, &stats)
+            }
+            Ok(Request::Info { id }) => {
+                let policy = slot.current();
+                Response::Info {
+                    id,
+                    info: ServerInfo {
+                        n_agents: policy.n_agents() as u32,
+                        obs_dim: policy.obs_dim() as u32,
+                        n_actions: policy.n_actions() as u32,
+                        policy_version: slot.version(),
+                        requests_served: stats.requests_served.load(Ordering::Relaxed),
+                        batches_executed: stats.batches_executed.load(Ordering::Relaxed),
+                        policy_swaps: slot.swaps(),
+                    },
+                }
+            }
+            Err(e) => Response::Error {
+                id: 0,
+                message: e.to_string(),
+            },
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Enqueue one ACT job and block for its reply.
+fn act_via_batcher(
+    id: u64,
+    observation: Vec<f64>,
+    job_tx: &Sender<Job>,
+    stats: &ServeStats,
+) -> Response {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        observation,
+        reply: reply_tx,
+    };
+    if job_tx.send(job).is_err() {
+        return Response::Error {
+            id,
+            message: "server is shutting down".into(),
+        };
+    }
+    stats.requests_enqueued.fetch_add(1, Ordering::SeqCst);
+    match reply_rx.recv() {
+        Ok(Ok(actions)) => Response::Act { id, actions },
+        Ok(Err(message)) => Response::Error { id, message },
+        Err(_) => Response::Error {
+            id,
+            message: "server is shutting down".into(),
+        },
+    }
+}

@@ -1,0 +1,115 @@
+//! Scenario-distributed observation streams for the load generator.
+//!
+//! A realistic serving benchmark must replay observations with the same
+//! distribution the policy will see in deployment — not uniform noise.
+//! [`ObsStream`] walks a registered scenario environment with uniform
+//! random actions (the distribution is a property of the *environment*
+//! dynamics, not the acting policy), yielding one flat
+//! `n_agents × obs_dim` request slab per tick and resetting on episode
+//! end. Streams are seeded, so a load run is reproducible.
+
+use qmarl_env::multi_agent::MultiAgentEnv;
+use qmarl_env::scenario::{build_scenario_with, ScenarioEnv, ScenarioParams};
+use rand::{Rng, SeedableRng};
+
+use crate::error::ServeError;
+
+/// A seeded, endless stream of flat observation slabs from one scenario.
+pub struct ObsStream {
+    env: Box<dyn ScenarioEnv>,
+    rng: rand::rngs::StdRng,
+    current: Vec<f64>,
+}
+
+impl std::fmt::Debug for ObsStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsStream")
+            .field("n_agents", &self.env.n_agents())
+            .field("obs_dim", &self.env.obs_dim())
+            .finish_non_exhaustive()
+    }
+}
+
+fn flatten(per_agent: &[Vec<f64>]) -> Vec<f64> {
+    per_agent.iter().flatten().copied().collect()
+}
+
+impl ObsStream {
+    /// Build a stream over a registered scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an unknown scenario.
+    pub fn new(scenario: &str, seed: u64) -> Result<Self, ServeError> {
+        let mut env = build_scenario_with(scenario, &ScenarioParams::seeded(seed))
+            .map_err(|e| ServeError::InvalidConfig(e.to_string()))?;
+        let (obs, _state) = env.reset();
+        Ok(ObsStream {
+            env,
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            current: flatten(&obs),
+        })
+    }
+
+    /// Length of each yielded slab (`n_agents × obs_dim`).
+    pub fn request_len(&self) -> usize {
+        self.env.n_agents() * self.env.obs_dim()
+    }
+
+    /// The next flat observation slab. Advances the environment with
+    /// uniform random actions; episode ends reset transparently.
+    pub fn next_observation(&mut self) -> Vec<f64> {
+        let out = self.current.clone();
+        let actions: Vec<usize> = (0..self.env.n_agents())
+            .map(|_| self.rng.gen_range(0..self.env.n_actions()))
+            .collect();
+        match self.env.step(&actions) {
+            Ok(outcome) if !outcome.done => {
+                self.current = flatten(&outcome.observations);
+            }
+            _ => {
+                // Episode finished (or the env rejected the step after a
+                // terminal state): start a fresh one.
+                let (obs, _state) = self.env.reset();
+                self.current = flatten(&obs);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_seed_reproducible_and_shaped() {
+        let mut a = ObsStream::new("single-hop", 7).expect("stream");
+        let mut b = ObsStream::new("single-hop", 7).expect("stream");
+        let mut c = ObsStream::new("single-hop", 8).expect("stream");
+        let len = a.request_len();
+        assert!(len > 0);
+        let mut diverged = false;
+        // Run past several episode boundaries: the episode limit is
+        // small, so 200 ticks crosses resets.
+        for _ in 0..200 {
+            let (oa, ob, oc) = (
+                a.next_observation(),
+                b.next_observation(),
+                c.next_observation(),
+            );
+            assert_eq!(oa.len(), len);
+            assert_eq!(oa, ob, "same seed must replay the same stream");
+            diverged |= oa != oc;
+        }
+        assert!(diverged, "different seeds should explore different paths");
+    }
+
+    #[test]
+    fn unknown_scenarios_are_rejected() {
+        assert!(matches!(
+            ObsStream::new("no-such-scenario", 1),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,188 @@
+//! Hot-swap watcher: poll a checkpoint directory, load new snapshots off
+//! the serving path, swap atomically.
+//!
+//! A trainer (or operator) drops `*.ckpt` [`FrameworkSnapshot`] files
+//! into a directory; the watcher polls it and, whenever the newest
+//! snapshot's fingerprint (path, mtime, length) changes, loads it,
+//! rebuilds the actor set for the configured framework cell and calls
+//! [`PolicySlot::swap`]. All parsing and circuit binding happen on the
+//! watcher thread — the serving path only ever sees a pointer exchange,
+//! so zero requests are dropped or delayed by a swap.
+//!
+//! **Torn files are skipped, not served.** [`FrameworkSnapshot::load`]
+//! returns [`CoreError::CorruptCheckpoint`] for truncated or
+//! half-written files; the watcher counts the skip and re-tries only
+//! when the file's fingerprint changes again (i.e. the writer made
+//! progress). Writers that use [`FrameworkSnapshot::save`] are atomic
+//! (tmp + rename) and never expose a torn file in the first place; the
+//! skip path defends against everything else.
+//!
+//! The watcher reacts to changes *after* it starts: whatever is already
+//! in the directory at spawn time is treated as applied.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime};
+
+use qmarl_core::checkpoint::FrameworkSnapshot;
+use qmarl_core::config::TrainConfig;
+use qmarl_core::error::CoreError;
+use qmarl_core::framework::FrameworkKind;
+use qmarl_core::serving::ServablePolicy;
+use qmarl_runtime::backend::ExecutionBackend;
+
+use crate::batcher::PolicySlot;
+use crate::error::ServeError;
+
+/// Snapshot files must carry this extension to be picked up.
+pub const SNAPSHOT_EXT: &str = "ckpt";
+
+/// What to watch and how to rebuild a policy from what lands there.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Directory to poll for `*.ckpt` snapshot files.
+    pub dir: PathBuf,
+    /// Poll cadence.
+    pub poll_interval: Duration,
+    /// Framework cell the snapshots belong to.
+    pub kind: FrameworkKind,
+    /// Scenario name (fixes agent/observation/action shapes).
+    pub scenario: String,
+    /// Execution backend for the rebuilt actors.
+    pub backend: ExecutionBackend,
+    /// Training configuration the snapshots were produced under.
+    pub train: TrainConfig,
+}
+
+/// identity of one on-disk snapshot attempt: path + mtime + length.
+type Fingerprint = (PathBuf, SystemTime, u64);
+
+/// A running watcher thread.
+#[derive(Debug)]
+pub struct WatcherHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    /// Swaps applied by this watcher.
+    pub swaps_applied: Arc<AtomicU64>,
+    /// Files skipped because they were truncated or corrupt.
+    pub corrupt_skips: Arc<AtomicU64>,
+    /// Valid snapshots rejected for not matching the configured cell.
+    pub mismatch_rejects: Arc<AtomicU64>,
+}
+
+impl WatcherHandle {
+    /// Stop polling and join the thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The newest `*.ckpt` file in `dir`, by mtime (path breaks ties).
+/// A missing or unreadable directory reads as empty.
+fn newest_snapshot(dir: &Path) -> Option<Fingerprint> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut best: Option<Fingerprint> = None;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(SNAPSHOT_EXT) {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        let candidate = (path, mtime, meta.len());
+        let newer = match &best {
+            None => true,
+            Some((bpath, btime, _)) => {
+                candidate.1 > *btime || (candidate.1 == *btime && candidate.0 > *bpath)
+            }
+        };
+        if newer {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// Attempt one load-and-swap; returns which counter to bump.
+fn try_apply(config: &WatchConfig, slot: &PolicySlot, path: &Path) -> Result<(), CoreError> {
+    let snapshot = FrameworkSnapshot::load(path)?;
+    let policy = ServablePolicy::from_snapshot(
+        &snapshot,
+        config.kind,
+        &config.scenario,
+        &config.backend,
+        &config.train,
+    )?;
+    slot.swap(policy);
+    Ok(())
+}
+
+/// Start a watcher thread feeding `slot`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] when the poll interval is zero.
+pub fn spawn_watcher(
+    config: WatchConfig,
+    slot: Arc<PolicySlot>,
+) -> Result<WatcherHandle, ServeError> {
+    if config.poll_interval.is_zero() {
+        return Err(ServeError::InvalidConfig(
+            "watcher poll interval must be non-zero".into(),
+        ));
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let swaps_applied = Arc::new(AtomicU64::new(0));
+    let corrupt_skips = Arc::new(AtomicU64::new(0));
+    let mismatch_rejects = Arc::new(AtomicU64::new(0));
+
+    let thread = {
+        let stop = stop.clone();
+        let swaps = swaps_applied.clone();
+        let corrupt = corrupt_skips.clone();
+        let mismatch = mismatch_rejects.clone();
+        std::thread::spawn(move || {
+            // Whatever is already there counts as applied.
+            let mut last_attempted: Option<Fingerprint> = newest_snapshot(&config.dir);
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(config.poll_interval);
+                let Some(candidate) = newest_snapshot(&config.dir) else {
+                    continue;
+                };
+                if last_attempted.as_ref() == Some(&candidate) {
+                    continue;
+                }
+                match try_apply(&config, &slot, &candidate.0) {
+                    Ok(()) => {
+                        swaps.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(CoreError::CorruptCheckpoint(_)) => {
+                        // Torn or half-written: skip now, re-try when the
+                        // fingerprint moves again.
+                        corrupt.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(_) => {
+                        mismatch.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                last_attempted = Some(candidate);
+            }
+        })
+    };
+
+    Ok(WatcherHandle {
+        stop,
+        thread: Some(thread),
+        swaps_applied,
+        corrupt_skips,
+        mismatch_rejects,
+    })
+}

@@ -1,0 +1,338 @@
+//! End-to-end serving tests over real localhost TCP: wire parity with
+//! the in-process reference path, graceful drain, hot-swap under load
+//! with zero dropped requests, and torn-snapshot skipping.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qmarl_core::prelude::*;
+use qmarl_serve::prelude::*;
+
+const KIND: FrameworkKind = FrameworkKind::Proposed;
+const SCENARIO: &str = "single-hop";
+
+fn paper_actors(train: &TrainConfig) -> Vec<Box<dyn Actor>> {
+    build_scenario_actors(KIND, SCENARIO, &ExecutionBackend::Ideal, train).expect("actor build")
+}
+
+fn paper_policy() -> ServablePolicy {
+    let train = TrainConfig::paper_default();
+    ServablePolicy::from_actors("e2e", paper_actors(&train)).expect("policy")
+}
+
+fn obs_slab(salt: usize, len: usize) -> Vec<f64> {
+    (0..len).map(|i| ((i + salt) % 19) as f64 / 19.0).collect()
+}
+
+/// A unique scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NTH: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qmarl-serve-{tag}-{}-{}",
+        std::process::id(),
+        NTH.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+/// Wait (bounded) until `cond` holds.
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Every answer that crosses the wire — from many concurrent clients,
+/// coalesced into micro-batches — is bit-identical to the in-process
+/// single-request reference path, and the drain report accounts for
+/// every request.
+#[test]
+fn tcp_serving_matches_the_reference_path_under_concurrency() {
+    let reference = paper_policy();
+    let handle = serve(paper_policy(), ServerConfig::default()).expect("serve");
+    let addr = handle.addr();
+    let request_len = reference.request_len();
+
+    let n_clients = 6;
+    let per_client = 25;
+    let workers: Vec<_> = (0..n_clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut out = Vec::new();
+                for r in 0..per_client {
+                    let obs = obs_slab(c * 1000 + r, request_len);
+                    let actions = client.act(&obs).expect("act");
+                    out.push((obs, actions));
+                }
+                out
+            })
+        })
+        .collect();
+
+    for w in workers {
+        for (obs, actions) in w.join().expect("client thread") {
+            let expected: Vec<u16> = reference
+                .act(&obs)
+                .expect("reference")
+                .iter()
+                .map(|&a| a as u16)
+                .collect();
+            assert_eq!(actions, expected, "wire answer diverged from reference");
+        }
+    }
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let info = client.info().expect("info");
+    assert_eq!(info.n_agents as usize, reference.n_agents());
+    assert_eq!(info.obs_dim as usize, reference.obs_dim());
+    assert_eq!(info.n_actions as usize, reference.n_actions());
+    assert_eq!(info.policy_version, 1);
+    assert_eq!(info.requests_served, (n_clients * per_client) as u64);
+    drop(client);
+
+    let report = handle.shutdown();
+    assert_eq!(report.requests_served, (n_clients * per_client) as u64);
+    assert_eq!(report.requests_rejected, 0);
+    assert!(report.batches_executed > 0);
+    assert!(report.batches_executed <= report.requests_served);
+    assert_eq!(report.batch_hist.count(), report.batches_executed);
+}
+
+/// A malformed request gets an error reply; the connection and the
+/// server survive and keep serving.
+#[test]
+fn shape_errors_come_back_as_error_frames_not_disconnects() {
+    let handle = serve(paper_policy(), ServerConfig::default()).expect("serve");
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+
+    let err = client.act(&[0.5; 3]).expect_err("wrong length must fail");
+    assert!(err.to_string().contains("does not match"), "got: {err}");
+
+    // Same connection still serves a valid request afterwards.
+    let request_len = handle.slot().current().request_len();
+    client.act(&obs_slab(0, request_len)).expect("valid act");
+    drop(client);
+
+    let report = handle.shutdown();
+    assert_eq!(report.requests_served, 1);
+    assert_eq!(report.requests_rejected, 1);
+}
+
+/// Shutdown drains: a request parked inside an open batch window is
+/// answered, not dropped, when shutdown lands mid-window.
+#[test]
+fn shutdown_answers_requests_parked_in_the_batch_window() {
+    let handle = serve(
+        paper_policy(),
+        ServerConfig {
+            batch: BatchConfig {
+                window: Duration::from_millis(300),
+                max_batch: 64,
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve");
+    let addr = handle.addr();
+    let request_len = handle.slot().current().request_len();
+
+    let client = std::thread::spawn(move || {
+        let mut client = ServeClient::connect(addr).expect("connect");
+        client.act(&obs_slab(1, request_len)).expect("drained act")
+    });
+    // Wait until the request has actually reached the batcher queue
+    // (typically parking it in the open 300ms window), then shut down.
+    wait_until(
+        "the request to be enqueued",
+        Duration::from_secs(10),
+        || handle.stats().requests_enqueued.load(Ordering::SeqCst) >= 1,
+    );
+    let report = handle.shutdown();
+    let actions = client.join().expect("client thread");
+    assert!(!actions.is_empty());
+    assert_eq!(report.requests_served, 1);
+    assert_eq!(report.requests_rejected, 0);
+}
+
+/// The hot-swap acceptance test: under continuous load, drop a new
+/// snapshot into the watched directory; zero requests fail across the
+/// swap, and post-swap answers are bit-identical to a *fresh* server
+/// started from that snapshot.
+#[test]
+fn hot_swap_under_load_drops_nothing_and_matches_a_fresh_server() {
+    let train = TrainConfig::paper_default();
+    let dir = scratch_dir("swap");
+
+    let handle = serve(paper_policy(), ServerConfig::default()).expect("serve");
+    let watcher = spawn_watcher(
+        WatchConfig {
+            dir: dir.clone(),
+            poll_interval: Duration::from_millis(10),
+            kind: KIND,
+            scenario: SCENARIO.into(),
+            backend: ExecutionBackend::Ideal,
+            train: train.clone(),
+        },
+        handle.slot().clone(),
+    )
+    .expect("watcher");
+    let addr = handle.addr();
+    let request_len = handle.slot().current().request_len();
+
+    // Continuous load throughout the swap; every single act() must
+    // succeed.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let load: Vec<_> = (0..4)
+        .map(|c| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut served = 0u64;
+                let mut salt = c * 10_000;
+                while !stop.load(Ordering::SeqCst) {
+                    client
+                        .act(&obs_slab(salt, request_len))
+                        .expect("no request may fail across a hot-swap");
+                    salt += 1;
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Build a visibly different policy and publish it atomically.
+    let snapshot = {
+        let mut actors = paper_actors(&train);
+        for actor in &mut actors {
+            let perturbed: Vec<f64> = actor.params().iter().map(|p| p + 0.35).collect();
+            actor.set_params(&perturbed).expect("params fit");
+        }
+        FrameworkSnapshot {
+            label: "swapped".into(),
+            actor_params: actors.iter().map(|a| a.params()).collect(),
+            critic_params: Vec::new(),
+        }
+    };
+    std::thread::sleep(Duration::from_millis(50)); // load is flowing pre-swap
+    snapshot.save(dir.join("step-000123.ckpt")).expect("save");
+
+    wait_until("the watcher to swap", Duration::from_secs(10), || {
+        handle.slot().version() >= 2
+    });
+    std::thread::sleep(Duration::from_millis(50)); // load keeps flowing post-swap
+    stop.store(true, Ordering::SeqCst);
+    let total_load: u64 = load
+        .into_iter()
+        .map(|w| w.join().expect("load thread"))
+        .sum();
+    assert!(total_load > 0, "load ran");
+
+    // Post-swap answers match a fresh server started from the snapshot.
+    let fresh_policy =
+        ServablePolicy::from_snapshot(&snapshot, KIND, SCENARIO, &ExecutionBackend::Ideal, &train)
+            .expect("fresh policy");
+    let fresh = serve(fresh_policy, ServerConfig::default()).expect("fresh serve");
+    let mut swapped_client = ServeClient::connect(addr).expect("connect swapped");
+    let mut fresh_client = ServeClient::connect(fresh.addr()).expect("connect fresh");
+    let mut diverged_from_v1 = false;
+    let reference_v1 = paper_policy();
+    for salt in 0..40 {
+        let obs = obs_slab(salt, request_len);
+        let a = swapped_client.act(&obs).expect("swapped act");
+        let b = fresh_client.act(&obs).expect("fresh act");
+        assert_eq!(a, b, "post-swap server diverged from a fresh load");
+        let v1: Vec<u16> = reference_v1
+            .act(&obs)
+            .expect("v1 reference")
+            .iter()
+            .map(|&x| x as u16)
+            .collect();
+        diverged_from_v1 |= a != v1;
+    }
+    assert!(
+        diverged_from_v1,
+        "the perturbed snapshot should change at least one decision"
+    );
+
+    let info = swapped_client.info().expect("info");
+    assert_eq!(info.policy_version, 2);
+    assert_eq!(info.policy_swaps, 1);
+    drop(swapped_client);
+    drop(fresh_client);
+
+    watcher.stop();
+    let report = handle.shutdown();
+    assert_eq!(report.requests_rejected, 0, "zero failures across the swap");
+    assert_eq!(report.policy_swaps, 1);
+    fresh.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Torn and corrupt snapshot files are skipped — the serving policy
+/// stays on its current version — and a later valid file still swaps.
+#[test]
+fn watcher_skips_torn_snapshots_and_recovers_on_the_next_valid_one() {
+    let train = TrainConfig::paper_default();
+    let dir = scratch_dir("torn");
+    let slot = Arc::new(PolicySlot::new(paper_policy()));
+    let watcher = spawn_watcher(
+        WatchConfig {
+            dir: dir.clone(),
+            poll_interval: Duration::from_millis(10),
+            kind: KIND,
+            scenario: SCENARIO.into(),
+            backend: ExecutionBackend::Ideal,
+            train: train.clone(),
+        },
+        slot.clone(),
+    )
+    .expect("watcher");
+
+    // A torn file: a valid snapshot truncated mid-write (raw write, not
+    // the atomic save path).
+    let valid = {
+        let actors = paper_actors(&train);
+        FrameworkSnapshot {
+            label: "next".into(),
+            actor_params: actors.iter().map(|a| a.params()).collect(),
+            critic_params: Vec::new(),
+        }
+    };
+    let text = valid.to_text();
+    std::fs::write(dir.join("torn.ckpt"), &text[..text.len() / 2]).expect("write torn");
+
+    wait_until(
+        "the torn file to be skipped",
+        Duration::from_secs(10),
+        || watcher.corrupt_skips.load(Ordering::SeqCst) >= 1,
+    );
+    assert_eq!(slot.version(), 1, "a torn file must never swap in");
+    assert_eq!(watcher.swaps_applied.load(Ordering::SeqCst), 0);
+
+    // Garbage with the right extension is also skipped.
+    std::fs::write(dir.join("zz-garbage.ckpt"), b"not a snapshot at all").expect("write garbage");
+    wait_until(
+        "the garbage file to be skipped",
+        Duration::from_secs(10),
+        || watcher.corrupt_skips.load(Ordering::SeqCst) >= 2,
+    );
+    assert_eq!(slot.version(), 1);
+
+    // The writer finishes properly: atomic save, picked up and applied.
+    valid.save(dir.join("zz-ok.ckpt")).expect("save");
+    wait_until("the valid file to swap", Duration::from_secs(10), || {
+        slot.version() >= 2
+    });
+    assert_eq!(watcher.swaps_applied.load(Ordering::SeqCst), 1);
+    assert_eq!(slot.current().label(), "next");
+
+    watcher.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

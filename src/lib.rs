@@ -5,4 +5,5 @@ pub use qmarl_harness as harness;
 pub use qmarl_neural as neural;
 pub use qmarl_qsim as qsim;
 pub use qmarl_runtime as runtime;
+pub use qmarl_serve as serve;
 pub use qmarl_vqc as vqc;
