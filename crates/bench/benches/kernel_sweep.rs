@@ -1,0 +1,251 @@
+//! Per-kernel statevector throughput, scalar vs wide dispatch.
+//!
+//! Sweeps every gate-application kernel over register widths 2–12 qubits
+//! and both SIMD dispatch levels (forced scalar, forced AVX2), recording
+//! nanoseconds per amplitude. Each measurement cycles the target wire
+//! through every qubit so low-stride (cache-friendly) and high-stride
+//! pair traversals are averaged the way circuit execution actually mixes
+//! them.
+//!
+//! Besides the criterion rows (one representative width per kernel), the
+//! bench emits `BENCH_kernels.json` at the repository root so the kernel
+//! layer's trajectory is recorded PR over PR. The two dispatch levels are
+//! **bit-identical** (asserted in `qsim/tests/simd_parity.rs` and the
+//! property suites); this sweep is pure throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use qmarl_qsim::apply;
+use qmarl_qsim::complex::Complex64;
+use qmarl_qsim::gate::{Gate1, Gate2};
+use qmarl_qsim::simd::{self, SimdLevel};
+
+/// Register widths swept (inclusive).
+const MIN_QUBITS: usize = 2;
+const MAX_QUBITS: usize = 12;
+
+/// Amplitude-updates per measurement: iteration counts scale as
+/// `TARGET >> n` so every cell costs roughly the same wall-clock.
+const TARGET_FULL: usize = 1 << 22;
+const TARGET_QUICK: usize = 1 << 14;
+
+/// Deterministic non-trivial state: unit-magnitude phases from a tiny
+/// LCG (timing only — the kernels never branch on values).
+fn seed_state(n: usize) -> Vec<Complex64> {
+    let dim = 1usize << n;
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let norm = 1.0 / (dim as f64).sqrt();
+    (0..dim)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let phase = (x >> 11) as f64 / (1u64 << 53) as f64 * std::f64::consts::TAU;
+            Complex64::new(norm * phase.cos(), norm * phase.sin())
+        })
+        .collect()
+}
+
+/// One kernel of the sweep: applies itself with the given "base" wire
+/// (further wires are taken cyclically above it). `min_qubits` gates out
+/// widths too narrow for the kernel's arity.
+struct Kernel {
+    name: &'static str,
+    min_qubits: usize,
+    apply: fn(&mut [Complex64], usize, usize),
+}
+
+fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "rx",
+            min_qubits: 1,
+            apply: |amps, q, _n| {
+                apply::apply_rx_sc(amps, q, 0.29552020666133955, 0.955336489125606)
+            },
+        },
+        Kernel {
+            name: "ry",
+            min_qubits: 1,
+            apply: |amps, q, _n| {
+                apply::apply_ry_sc(amps, q, 0.29552020666133955, 0.955336489125606)
+            },
+        },
+        Kernel {
+            name: "rz",
+            min_qubits: 1,
+            apply: |amps, q, _n| {
+                apply::apply_rz_sc(amps, q, 0.29552020666133955, 0.955336489125606)
+            },
+        },
+        Kernel {
+            name: "gate1",
+            min_qubits: 1,
+            apply: |amps, q, _n| apply::apply_gate1(amps, q, &Gate1::hadamard()),
+        },
+        Kernel {
+            name: "cnot",
+            min_qubits: 2,
+            apply: |amps, q, n| apply::apply_cnot(amps, q, (q + 1) % n),
+        },
+        Kernel {
+            name: "cz",
+            min_qubits: 2,
+            apply: |amps, q, n| apply::apply_cz(amps, q, (q + 1) % n),
+        },
+        Kernel {
+            name: "crx",
+            min_qubits: 2,
+            apply: |amps, q, n| {
+                apply::apply_crx_sc(amps, q, (q + 1) % n, 0.29552020666133955, 0.955336489125606)
+            },
+        },
+        Kernel {
+            name: "gate2",
+            min_qubits: 2,
+            apply: |amps, q, n| apply::apply_gate2(amps, q, (q + 1) % n, &Gate2::cnot()),
+        },
+        Kernel {
+            name: "toffoli",
+            min_qubits: 3,
+            apply: |amps, q, n| apply::apply_toffoli(amps, q, (q + 1) % n, (q + 2) % n),
+        },
+    ]
+}
+
+/// ns/amplitude of one kernel at one width under the current dispatch
+/// level, target wire cycling across the register.
+fn measure(kernel: &Kernel, n: usize, target_updates: usize) -> f64 {
+    let dim = 1usize << n;
+    let iters = (target_updates / dim).max(8);
+    let mut amps = seed_state(n);
+    for q in 0..n.min(4) {
+        (kernel.apply)(&mut amps, q, n); // warm the caches and dispatch
+    }
+    let start = Instant::now();
+    for it in 0..iters {
+        (kernel.apply)(&mut amps, it % n, n);
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    black_box(&amps);
+    elapsed / (iters * dim) as f64
+}
+
+/// Runs the full sweep at one dispatch level. Returns
+/// `rows[kernel][width_index]`, `None` where the width is too narrow.
+fn sweep(level: SimdLevel, target_updates: usize) -> Vec<Vec<Option<f64>>> {
+    simd::force(level);
+    let out = kernels()
+        .iter()
+        .map(|k| {
+            (MIN_QUBITS..=MAX_QUBITS)
+                .map(|n| (n >= k.min_qubits).then(|| measure(k, n, target_updates)))
+                .collect()
+        })
+        .collect();
+    simd::reinit_from_env();
+    out
+}
+
+fn json_row(cells: &[Option<f64>]) -> String {
+    let vals: Vec<String> = cells
+        .iter()
+        .map(|c| match c {
+            Some(v) => format!("{v:.3}"),
+            None => "null".to_string(),
+        })
+        .collect();
+    format!("[{}]", vals.join(", "))
+}
+
+/// Measures the sweep at both levels and records it as JSON.
+fn emit_kernels_json(c: &mut Criterion) {
+    let quick = std::env::var_os("QMARL_BENCH_QUICK").is_some_and(|v| v != "0");
+    let target = if quick { TARGET_QUICK } else { TARGET_FULL };
+
+    let scalar = sweep(SimdLevel::Scalar, target);
+    let wide_supported = simd::wide_supported();
+    let wide = if wide_supported {
+        sweep(SimdLevel::Avx2, target)
+    } else {
+        vec![vec![None; MAX_QUBITS - MIN_QUBITS + 1]; kernels().len()]
+    };
+
+    let qubits: Vec<String> = (MIN_QUBITS..=MAX_QUBITS).map(|n| n.to_string()).collect();
+    let mut rows = String::new();
+    for (i, k) in kernels().iter().enumerate() {
+        let sep = if i + 1 < kernels().len() { "," } else { "" };
+        rows.push_str(&format!(
+            "    \"{}\": {{\n      \"scalar\": {},\n      \"wide\": {}\n    }}{sep}\n",
+            k.name,
+            json_row(&scalar[i]),
+            json_row(&wide[i]),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_sweep\",\n  \
+         \"unit\": \"ns_per_amplitude (target wire cycled across the register)\",\n  \
+         \"dispatch_bit_identical\": \"asserted in qsim/tests/simd_parity.rs\",\n  \
+         \"wide_supported\": {wide_supported},\n  \
+         \"qubits\": [{}],\n  \"kernels\": {{\n{rows}  }}\n}}\n",
+        qubits.join(", "),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    if quick {
+        // Quick (CI smoke) measurements are too noisy to record; keep
+        // the committed trajectory file authoritative.
+        println!("kernel_sweep: quick mode, not rewriting {path}");
+    } else {
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("kernel_sweep: wrote {path}"),
+            Err(e) => println!("kernel_sweep: could not write {path}: {e}"),
+        }
+    }
+    for (i, k) in kernels().iter().enumerate() {
+        let last = MAX_QUBITS - MIN_QUBITS;
+        if let (Some(s), Some(w)) = (scalar[i][last], wide[i][last].or(scalar[i][last])) {
+            println!(
+                "kernel_sweep: {:8} @ {MAX_QUBITS}q  scalar {s:.3} ns/amp, wide {w:.3} ns/amp ({:.2}x)",
+                k.name,
+                s / w
+            );
+        }
+    }
+    let _ = c; // the JSON pass is measured manually, outside criterion
+}
+
+/// Criterion rows at one representative width, both dispatch levels —
+/// the regression-visible subset of the sweep.
+fn bench_kernels(c: &mut Criterion) {
+    const N: usize = 10;
+    let mut group = c.benchmark_group("kernel_sweep_10q");
+    group.sample_size(20);
+    for level in [SimdLevel::Scalar, SimdLevel::Avx2] {
+        if level == SimdLevel::Avx2 && !simd::wide_supported() {
+            continue;
+        }
+        for kernel in kernels() {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name, format!("{level:?}")),
+                &level,
+                |b, &level| {
+                    simd::force(level);
+                    let mut amps = seed_state(N);
+                    let mut it = 0usize;
+                    b.iter(|| {
+                        (kernel.apply)(&mut amps, it % N, N);
+                        it += 1;
+                        black_box(&mut amps);
+                    });
+                    simd::reinit_from_env();
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, emit_kernels_json);
+criterion_main!(benches);

@@ -66,15 +66,22 @@ fn bench_update_engines(c: &mut Criterion) {
     group.finish();
 }
 
-/// Wall-clock grad-steps/sec of one engine, mean over `reps` sweeps.
+/// Wall-clock grad-steps/sec of one engine: each sweep is timed on its
+/// own and the *median* duration is reported, like criterion does — a
+/// single frequency-throttled sweep on a shared host would otherwise
+/// drag a whole-window mean far below steady-state throughput.
 fn grad_steps_per_sec(t: &mut CtdeTrainer<Box<dyn ScenarioEnv>>, reps: usize) -> f64 {
     let grad_steps = (BATCH_EPISODES * EPISODE_LIMIT * (t.actors().len() + 1)) as f64;
     t.update_sweep(BATCH_EPISODES).expect("warmup sweep");
-    let start = Instant::now();
-    for _ in 0..reps {
-        t.update_sweep(BATCH_EPISODES).expect("sweep");
-    }
-    grad_steps * reps as f64 / start.elapsed().as_secs_f64()
+    let mut secs: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            t.update_sweep(BATCH_EPISODES).expect("sweep");
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    grad_steps / secs[secs.len() / 2]
 }
 
 /// Measures both engines head-to-head on both scenarios and records the
@@ -96,6 +103,7 @@ fn emit_train_json(c: &mut Criterion) {
     let json = format!(
         "{{\n  \"bench\": \"train_update\",\n  \
          \"unit\": \"grad_steps_per_sec (transitions x (agents + critic) / s)\",\n  \
+         \"stat\": \"median sweep over {reps} reps\",\n  \
          \"batch_episodes\": {BATCH_EPISODES},\n  \"episode_limit\": {EPISODE_LIMIT},\n  \
          \"engines_bit_identical\": \"asserted in tests/batched_update_equivalence.rs\",\n  \
          \"single_hop\": {{\n    \"scenario\": \"paper default, quantum 4q/50p actors\",\n    \

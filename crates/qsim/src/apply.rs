@@ -6,13 +6,75 @@
 //! density-matrix backend ([`crate::density::DensityMatrix`], which applies
 //! gates row-wise and column-wise) can share them.
 //!
+//! Every kernel dispatches once at entry between a portable scalar
+//! implementation and an AVX2 wide implementation (see [`crate::simd`] for
+//! the selection rules and the bit-exactness contract — the two paths
+//! produce identical bits, so which one runs is purely a throughput
+//! question). Pair and controlled kernels enumerate their target indices
+//! directly with nested block loops instead of scanning all `2^n` basis
+//! states and skipping mismatches, so a two-qubit gate touches exactly the
+//! `2^n/4` base indices it acts on.
+//!
 //! All kernels assume the **little-endian** qubit convention described in
 //! [`crate::gate`]: qubit `q` is bit `q` of the basis index. Callers are
 //! responsible for validating qubit indices; the kernels only
-//! `debug_assert!` them.
+//! `debug_assert!` them (the wide path additionally `assert!`s, since an
+//! invalid mask there would be unsound rather than a panic).
 
 use crate::complex::Complex64;
 use crate::gate::{Gate1, Gate2};
+#[cfg(target_arch = "x86_64")]
+use crate::simd::{self, SimdLevel};
+
+/// `true` when this call should take the AVX2 path. The `len` guard keeps
+/// degenerate single-amplitude slices (never valid for pair kernels, but
+/// tolerated by the scalar code's bounds checks) off the unsafe path.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn wide(len: usize) -> bool {
+    len >= 2 && simd::level() == SimdLevel::Avx2
+}
+
+/// Visits every basis index `i < len` with bits `lo` and `hi` clear
+/// (`lo < hi`, both powers of two), in ascending order. The innermost
+/// range is a contiguous run of `lo` indices — the structure the wide
+/// kernels vectorise over.
+#[inline]
+fn for_each_clear2(len: usize, lo: usize, hi: usize, mut f: impl FnMut(usize)) {
+    debug_assert!(lo < hi);
+    let mut a = 0;
+    while a < len {
+        let mut b = a;
+        while b < a + hi {
+            for i in b..b + lo {
+                f(i);
+            }
+            b += lo << 1;
+        }
+        a += hi << 1;
+    }
+}
+
+/// Three-mask variant of [`for_each_clear2`] (`m0 < m1 < m2`).
+#[inline]
+fn for_each_clear3(len: usize, m0: usize, m1: usize, m2: usize, mut f: impl FnMut(usize)) {
+    debug_assert!(m0 < m1 && m1 < m2);
+    let mut a = 0;
+    while a < len {
+        let mut b = a;
+        while b < a + m2 {
+            let mut c = b;
+            while c < b + m1 {
+                for i in c..c + m0 {
+                    f(i);
+                }
+                c += m0 << 1;
+            }
+            b += m1 << 1;
+        }
+        a += m2 << 1;
+    }
+}
 
 /// Applies a single-qubit gate to qubit `q` of an amplitude vector.
 ///
@@ -24,6 +86,11 @@ pub fn apply_gate1(amps: &mut [Complex64], q: usize, gate: &Gate1) {
         1usize << q < len || (len == 1 && q == 0),
         "qubit {q} out of range"
     );
+    #[cfg(target_arch = "x86_64")]
+    if wide(len) {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        return unsafe { crate::wide::gate1(amps, q, gate) };
+    }
     let m = gate.matrix();
     let stride = 1usize << q;
     let mut base = 0;
@@ -49,13 +116,15 @@ pub fn apply_gate2(amps: &mut [Complex64], qa: usize, qb: usize, gate: &Gate2) {
     debug_assert!(len.is_power_of_two());
     debug_assert!(qa != qb, "two-qubit gate needs distinct wires");
     debug_assert!((1usize << qa) < len && (1usize << qb) < len);
+    #[cfg(target_arch = "x86_64")]
+    if wide(len) {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        return unsafe { crate::wide::gate2(amps, qa, qb, gate) };
+    }
     let m = gate.matrix();
     let ma = 1usize << qa;
     let mb = 1usize << qb;
-    for i in 0..len {
-        if i & ma != 0 || i & mb != 0 {
-            continue;
-        }
+    for_each_clear2(len, ma.min(mb), ma.max(mb), |i| {
         let i00 = i;
         let i01 = i | ma;
         let i10 = i | mb;
@@ -68,7 +137,7 @@ pub fn apply_gate2(amps: &mut [Complex64], qa: usize, qb: usize, gate: &Gate2) {
             }
             amps[idx] = acc;
         }
-    }
+    });
 }
 
 /// Applies a single-qubit gate to `target`, conditioned on `control` being
@@ -77,21 +146,23 @@ pub fn apply_controlled_gate1(amps: &mut [Complex64], control: usize, target: us
     let len = amps.len();
     debug_assert!(control != target);
     debug_assert!((1usize << control) < len && (1usize << target) < len);
+    #[cfg(target_arch = "x86_64")]
+    if wide(len) {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        return unsafe { crate::wide::controlled_gate1(amps, control, target, gate) };
+    }
     let m = gate.matrix();
     let mc = 1usize << control;
     let mt = 1usize << target;
-    for i in 0..len {
-        // Visit each (control=1, target=0) index once.
-        if i & mc == 0 || i & mt != 0 {
-            continue;
-        }
-        let i0 = i;
-        let i1 = i | mt;
+    // Visit each (control = 1, target = 0) index once.
+    for_each_clear2(len, mc.min(mt), mc.max(mt), |i| {
+        let i0 = i | mc;
+        let i1 = i0 | mt;
         let a0 = amps[i0];
         let a1 = amps[i1];
         amps[i0] = m[0][0] * a0 + m[0][1] * a1;
         amps[i1] = m[1][0] * a0 + m[1][1] * a1;
-    }
+    });
 }
 
 /// Toffoli (CCX) fast path: swaps amplitude pairs where **both** control
@@ -104,12 +175,12 @@ pub fn apply_toffoli(amps: &mut [Complex64], control1: usize, control2: usize, t
     );
     let mc = (1usize << control1) | (1usize << control2);
     let mt = 1usize << target;
-    for i in 0..len {
-        if i & mc != mc || i & mt != 0 {
-            continue;
-        }
-        amps.swap(i, i | mt);
-    }
+    let mut masks = [1usize << control1, 1usize << control2, mt];
+    masks.sort_unstable();
+    for_each_clear3(len, masks[0], masks[1], masks[2], |i| {
+        let i0 = i | mc;
+        amps.swap(i0, i0 | mt);
+    });
 }
 
 /// Specialised Rx kernel: `Rx(θ) = [[c, −is], [−is, c]]` with
@@ -126,6 +197,11 @@ pub fn apply_rx(amps: &mut [Complex64], q: usize, theta: f64) {
 /// `(s, c)` must be `(sin(θ/2), cos(θ/2))` (the `sin_cos()` order).
 #[inline]
 pub fn apply_rx_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if wide(amps.len()) {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        return unsafe { crate::wide::rx_sc(amps, q, s, c) };
+    }
     let stride = 1usize << q;
     let mut base = 0;
     while base < amps.len() {
@@ -152,6 +228,11 @@ pub fn apply_ry(amps: &mut [Complex64], q: usize, theta: f64) {
 /// [`apply_rx_sc`]).
 #[inline]
 pub fn apply_ry_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if wide(amps.len()) {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        return unsafe { crate::wide::ry_sc(amps, q, s, c) };
+    }
     let stride = 1usize << q;
     let mut base = 0;
     while base < amps.len() {
@@ -177,10 +258,21 @@ pub fn apply_rz(amps: &mut [Complex64], q: usize, theta: f64) {
 /// [`apply_rx_sc`]).
 #[inline]
 pub fn apply_rz_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
-    let mask = 1usize << q;
-    for (i, a) in amps.iter_mut().enumerate() {
-        let (pr, pi) = if i & mask == 0 { (c, -s) } else { (c, s) };
-        *a = Complex64::new(a.re * pr - a.im * pi, a.re * pi + a.im * pr);
+    #[cfg(target_arch = "x86_64")]
+    if wide(amps.len()) {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        return unsafe { crate::wide::rz_sc(amps, q, s, c) };
+    }
+    let stride = 1usize << q;
+    let mut base = 0;
+    while base < amps.len() {
+        for a in &mut amps[base..base + stride] {
+            *a = Complex64::new(a.re * c - a.im * -s, a.re * -s + a.im * c);
+        }
+        for a in &mut amps[base + stride..base + (stride << 1)] {
+            *a = Complex64::new(a.re * c - a.im * s, a.re * s + a.im * c);
+        }
+        base += stride << 1;
     }
 }
 
@@ -195,18 +287,21 @@ pub fn apply_crx(amps: &mut [Complex64], control: usize, target: usize, theta: f
 /// [`apply_rx_sc`]).
 #[inline]
 pub fn apply_crx_sc(amps: &mut [Complex64], control: usize, target: usize, s: f64, c: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if wide(amps.len()) {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        return unsafe { crate::wide::crx_sc(amps, control, target, s, c) };
+    }
     let mc = 1usize << control;
     let mt = 1usize << target;
-    for i0 in 0..amps.len() {
-        if i0 & mc == 0 || i0 & mt != 0 {
-            continue;
-        }
+    for_each_clear2(amps.len(), mc.min(mt), mc.max(mt), |i| {
+        let i0 = i | mc;
         let i1 = i0 | mt;
         let a0 = amps[i0];
         let a1 = amps[i1];
         amps[i0] = Complex64::new(c * a0.re + s * a1.im, c * a0.im - s * a1.re);
         amps[i1] = Complex64::new(s * a0.im + c * a1.re, -s * a0.re + c * a1.im);
-    }
+    });
 }
 
 /// Controlled variant of [`apply_ry`].
@@ -219,18 +314,21 @@ pub fn apply_cry(amps: &mut [Complex64], control: usize, target: usize, theta: f
 /// [`apply_rx_sc`]).
 #[inline]
 pub fn apply_cry_sc(amps: &mut [Complex64], control: usize, target: usize, s: f64, c: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if wide(amps.len()) {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        return unsafe { crate::wide::cry_sc(amps, control, target, s, c) };
+    }
     let mc = 1usize << control;
     let mt = 1usize << target;
-    for i0 in 0..amps.len() {
-        if i0 & mc == 0 || i0 & mt != 0 {
-            continue;
-        }
+    for_each_clear2(amps.len(), mc.min(mt), mc.max(mt), |i| {
+        let i0 = i | mc;
         let i1 = i0 | mt;
         let a0 = amps[i0];
         let a1 = amps[i1];
         amps[i0] = Complex64::new(c * a0.re - s * a1.re, c * a0.im - s * a1.im);
         amps[i1] = Complex64::new(s * a0.re + c * a1.re, s * a0.im + c * a1.im);
-    }
+    });
 }
 
 /// Controlled variant of [`apply_rz`] (diagonal: phase only, applied to
@@ -244,26 +342,38 @@ pub fn apply_crz(amps: &mut [Complex64], control: usize, target: usize, theta: f
 /// [`apply_rx_sc`]).
 #[inline]
 pub fn apply_crz_sc(amps: &mut [Complex64], control: usize, target: usize, s: f64, c: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if wide(amps.len()) {
+        // SAFETY: level() == Avx2 implies the CPU supports AVX2.
+        return unsafe { crate::wide::crz_sc(amps, control, target, s, c) };
+    }
     let mc = 1usize << control;
     let mt = 1usize << target;
-    for (i, a) in amps.iter_mut().enumerate() {
-        if i & mc == 0 {
-            continue;
-        }
-        let (pr, pi) = if i & mt == 0 { (c, -s) } else { (c, s) };
-        *a = Complex64::new(a.re * pr - a.im * pi, a.re * pi + a.im * pr);
-    }
+    for_each_clear2(amps.len(), mc.min(mt), mc.max(mt), |i| {
+        let i0 = i | mc;
+        let i1 = i0 | mt;
+        let a0 = amps[i0];
+        let a1 = amps[i1];
+        amps[i0] = Complex64::new(a0.re * c - a0.im * -s, a0.re * -s + a0.im * c);
+        amps[i1] = Complex64::new(a1.re * c - a1.im * s, a1.re * s + a1.im * c);
+    });
 }
 
 /// CZ fast path: the gate is diagonal — flip the sign where both bits
 /// are set.
 pub fn apply_cz(amps: &mut [Complex64], qa: usize, qb: usize) {
-    let mask = (1usize << qa) | (1usize << qb);
-    for (i, a) in amps.iter_mut().enumerate() {
-        if i & mask == mask {
-            *a = -*a;
-        }
-    }
+    let len = amps.len();
+    debug_assert!(qa != qb);
+    debug_assert!((1usize << qa) < len && (1usize << qb) < len);
+    let ma = 1usize << qa;
+    let mb = 1usize << qb;
+    let both = ma | mb;
+    // Sign flips are order-independent elementwise negations; enumerate
+    // the both-set runs directly and let LLVM vectorise the negation.
+    for_each_clear2(len, ma.min(mb), ma.max(mb), |i| {
+        let a = &mut amps[i | both];
+        *a = -*a;
+    });
 }
 
 /// CNOT fast path: swaps amplitude pairs where the control bit is set.
@@ -273,18 +383,17 @@ pub fn apply_cnot(amps: &mut [Complex64], control: usize, target: usize) {
     debug_assert!((1usize << control) < len && (1usize << target) < len);
     let mc = 1usize << control;
     let mt = 1usize << target;
-    for i in 0..len {
-        if i & mc == 0 || i & mt != 0 {
-            continue;
-        }
-        amps.swap(i, i | mt);
-    }
+    for_each_clear2(len, mc.min(mt), mc.max(mt), |i| {
+        let i0 = i | mc;
+        amps.swap(i0, i0 | mt);
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gate::Gate1;
+    use crate::simd;
 
     fn zero_state(n: usize) -> Vec<Complex64> {
         let mut v = vec![Complex64::ZERO; 1 << n];
@@ -294,6 +403,18 @@ mod tests {
 
     fn norm(amps: &[Complex64]) -> f64 {
         amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// A deterministic non-trivial state: rotate every qubit.
+    fn busy_state(n: usize) -> Vec<Complex64> {
+        let mut amps = zero_state(n);
+        for w in 0..n {
+            apply_gate1(&mut amps, w, &Gate1::u3(0.5 + 0.3 * w as f64, 0.3, -0.8));
+        }
+        for w in 1..n {
+            apply_cnot(&mut amps, w - 1, w);
+        }
+        amps
     }
 
     #[test]
@@ -508,5 +629,140 @@ mod tests {
         amps[0b0100] = Complex64::ONE;
         apply_cnot(&mut amps, 2, 0);
         assert!((amps[0b0101].re - 1.0).abs() < 1e-15);
+    }
+
+    /// The pre-PR skip-scan enumerations, kept as the reference the direct
+    /// block enumeration is tested against.
+    mod skip_scan {
+        use super::*;
+
+        pub fn cnot(amps: &mut [Complex64], control: usize, target: usize) {
+            let mc = 1usize << control;
+            let mt = 1usize << target;
+            for i in 0..amps.len() {
+                if i & mc == 0 || i & mt != 0 {
+                    continue;
+                }
+                amps.swap(i, i | mt);
+            }
+        }
+
+        pub fn cz(amps: &mut [Complex64], qa: usize, qb: usize) {
+            let mask = (1usize << qa) | (1usize << qb);
+            for (i, a) in amps.iter_mut().enumerate() {
+                if i & mask == mask {
+                    *a = -*a;
+                }
+            }
+        }
+
+        pub fn toffoli(amps: &mut [Complex64], c1: usize, c2: usize, t: usize) {
+            let mc = (1usize << c1) | (1usize << c2);
+            let mt = 1usize << t;
+            for i in 0..amps.len() {
+                if i & mc != mc || i & mt != 0 {
+                    continue;
+                }
+                amps.swap(i, i | mt);
+            }
+        }
+
+        pub fn gate2(amps: &mut [Complex64], qa: usize, qb: usize, gate: &Gate2) {
+            let m = gate.matrix();
+            let ma = 1usize << qa;
+            let mb = 1usize << qb;
+            for i in 0..amps.len() {
+                if i & ma != 0 || i & mb != 0 {
+                    continue;
+                }
+                let idxs = [i, i | ma, i | mb, i | ma | mb];
+                let v = idxs.map(|k| amps[k]);
+                for (row, &idx) in idxs.iter().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for (col, &vc) in v.iter().enumerate() {
+                        acc = m[row][col].mul_add(vc, acc);
+                    }
+                    amps[idx] = acc;
+                }
+            }
+        }
+
+        pub fn controlled_gate1(
+            amps: &mut [Complex64],
+            control: usize,
+            target: usize,
+            gate: &Gate1,
+        ) {
+            let m = gate.matrix();
+            let mc = 1usize << control;
+            let mt = 1usize << target;
+            for i in 0..amps.len() {
+                if i & mc == 0 || i & mt != 0 {
+                    continue;
+                }
+                let i1 = i | mt;
+                let a0 = amps[i];
+                let a1 = amps[i1];
+                amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Direct block enumeration must visit exactly the indices the old
+    /// skip-scan visited: states must come out bit-identical under the
+    /// forced-scalar path (and, by the wide parity suite, under AVX2 too).
+    #[test]
+    fn direct_enumeration_matches_skip_scan() {
+        let before = simd::level();
+        simd::force(simd::SimdLevel::Scalar);
+        for n in 2..=6usize {
+            for qa in 0..n {
+                for qb in 0..n {
+                    if qa == qb {
+                        continue;
+                    }
+                    let base = busy_state(n);
+
+                    let mut a = base.clone();
+                    let mut b = base.clone();
+                    apply_cnot(&mut a, qa, qb);
+                    skip_scan::cnot(&mut b, qa, qb);
+                    assert_eq!(a, b, "cnot n={n} {qa}->{qb}");
+
+                    let mut a = base.clone();
+                    let mut b = base.clone();
+                    apply_cz(&mut a, qa, qb);
+                    skip_scan::cz(&mut b, qa, qb);
+                    assert_eq!(a, b, "cz n={n} ({qa},{qb})");
+
+                    let g2 = crate::gate::Gate2::crx(0.83);
+                    let mut a = base.clone();
+                    let mut b = base.clone();
+                    apply_gate2(&mut a, qa, qb, &g2);
+                    skip_scan::gate2(&mut b, qa, qb, &g2);
+                    assert_eq!(a, b, "gate2 n={n} ({qa},{qb})");
+
+                    let g1 = Gate1::u3(0.7, -0.2, 1.3);
+                    let mut a = base.clone();
+                    let mut b = base.clone();
+                    apply_controlled_gate1(&mut a, qa, qb, &g1);
+                    skip_scan::controlled_gate1(&mut b, qa, qb, &g1);
+                    assert_eq!(a, b, "cgate1 n={n} {qa}->{qb}");
+
+                    for qc in 0..n {
+                        if qc == qa || qc == qb {
+                            continue;
+                        }
+                        let mut a = base.clone();
+                        let mut b = base.clone();
+                        apply_toffoli(&mut a, qa, qb, qc);
+                        skip_scan::toffoli(&mut b, qa, qb, qc);
+                        assert_eq!(a, b, "toffoli n={n} ({qa},{qb})->{qc}");
+                    }
+                }
+            }
+        }
+        simd::force(before);
     }
 }

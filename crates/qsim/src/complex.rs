@@ -23,6 +23,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// assert!((Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2) - 2.0 * i).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,

@@ -269,6 +269,52 @@ impl Gate2 {
         Gate2::from_matrix(m)
     }
 
+    /// Like [`Gate2::controlled`], but with the **second** operand as
+    /// control (bit 1) and the payload acting on the first (bit 0).
+    pub fn controlled_flipped(u: &Gate1) -> Self {
+        let g = u.matrix();
+        let mut m = [[Z0; 4]; 4];
+        // Control bit 1 == 0: identity on both qubits (indices 0b00, 0b01).
+        m[0b00][0b00] = O1;
+        m[0b01][0b01] = O1;
+        // Control bit 1 == 1: apply `u` on bit 0 (indices 0b10, 0b11).
+        m[0b10][0b10] = g[0][0];
+        m[0b10][0b11] = g[0][1];
+        m[0b11][0b10] = g[1][0];
+        m[0b11][0b11] = g[1][1];
+        Gate2::from_matrix(m)
+    }
+
+    /// Embeds a single-qubit unitary acting on the **first** operand
+    /// (bit 0 of the 2-bit index): `I ⊗ u` in little-endian order.
+    pub fn embed_first(u: &Gate1) -> Self {
+        let g = u.matrix();
+        let mut m = [[Z0; 4]; 4];
+        for hi in 0..2 {
+            for r in 0..2 {
+                for c in 0..2 {
+                    m[hi * 2 + r][hi * 2 + c] = g[r][c];
+                }
+            }
+        }
+        Gate2::from_matrix(m)
+    }
+
+    /// Embeds a single-qubit unitary acting on the **second** operand
+    /// (bit 1 of the 2-bit index): `u ⊗ I` in little-endian order.
+    pub fn embed_second(u: &Gate1) -> Self {
+        let g = u.matrix();
+        let mut m = [[Z0; 4]; 4];
+        for lo in 0..2 {
+            for r in 0..2 {
+                for c in 0..2 {
+                    m[r * 2 + lo][c * 2 + lo] = g[r][c];
+                }
+            }
+        }
+        Gate2::from_matrix(m)
+    }
+
     /// The adjoint (conjugate transpose).
     pub fn dagger(&self) -> Self {
         let mut out = [[Z0; 4]; 4];

@@ -42,8 +42,12 @@ pub mod gate;
 pub mod measure;
 pub mod noise;
 pub mod par;
+pub mod rows;
 pub mod shots;
+pub mod simd;
 pub mod state;
+#[cfg(target_arch = "x86_64")]
+mod wide;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {

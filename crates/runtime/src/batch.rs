@@ -34,7 +34,7 @@ use crate::compile::{CGate, CompiledCircuit, Occurrence};
 use crate::error::RuntimeError;
 use crate::exec::{check_bindings, run_raw_density, run_raw_with_override, run_schedule_unchecked};
 use crate::prebound::{
-    readout_from_slab, run_adjoint_slab, run_prebound_slab_raw, PreboundAdjoint, PreboundCircuit,
+    readouts_from_slab, run_adjoint_slab, run_prebound_slab_raw, PreboundAdjoint, PreboundCircuit,
 };
 
 /// One shared-parameter group of a prebound batch: a frozen schedule plus
@@ -254,9 +254,7 @@ impl BatchExecutor {
             par::parallel_map(&tasks, self.workers, |_, &(g, start, end)| {
                 let chunk_inputs = &groups[g].inputs[start..end];
                 let slab = run_prebound_slab_raw(groups[g].circuit, chunk_inputs);
-                (0..chunk_inputs.len())
-                    .map(|lane| readout_from_slab(readout, &slab, chunk_inputs.len(), lane))
-                    .collect()
+                readouts_from_slab(readout, &slab, chunk_inputs.len())
             });
         let mut out: Vec<Vec<Vec<f64>>> = groups
             .iter()

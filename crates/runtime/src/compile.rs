@@ -25,7 +25,7 @@
 
 use std::hash::{Hash, Hasher};
 
-use qmarl_qsim::gate::{Gate1, RotationAxis};
+use qmarl_qsim::gate::{Gate1, Gate2, RotationAxis};
 use qmarl_vqc::ir::{Angle, Circuit, InputId, Op, ParamId};
 
 /// One symbolic term of a fused rotation angle.
@@ -186,6 +186,19 @@ pub enum CGate {
         qubit: usize,
         /// Concrete unitary.
         gate: Gate1,
+    },
+    /// A fixed two-qubit unitary produced by entangler fusion: an
+    /// entangler pre-multiplied with the constant one-qubit gates (and
+    /// further entanglers) adjacent to it on its wire pair. Appears only
+    /// in the **fused** schedule, never in `raw` (the gradient paths walk
+    /// the raw schedule and are unaffected).
+    Fixed2 {
+        /// First wire — bit 0 of the matrix index.
+        qa: usize,
+        /// Second wire — bit 1 of the matrix index.
+        qb: usize,
+        /// Concrete two-qubit unitary in `(qa, qb)` orientation.
+        gate: Gate2,
     },
 }
 
@@ -373,8 +386,11 @@ pub fn compile(circuit: &Circuit) -> CompiledCircuit {
                 pending[*target] = None;
                 fused.push(gate.clone());
             }
+            CGate::Fixed2 { .. } => unreachable!("lowering never emits Fixed2"),
         }
     }
+
+    let fused = fuse_entanglers(fused, circuit.n_qubits());
 
     CompiledCircuit {
         n_qubits: circuit.n_qubits(),
@@ -385,6 +401,148 @@ pub fn compile(circuit: &Circuit) -> CompiledCircuit {
         occurrences,
         hash: circuit_hash(circuit),
     }
+}
+
+/// The concrete unitary and wire of an angle-free single-qubit gate.
+fn const_1q(gate: &CGate) -> Option<(usize, Gate1)> {
+    match gate {
+        CGate::Fixed { qubit, gate } => Some((*qubit, *gate)),
+        CGate::Rot {
+            qubit,
+            axis,
+            angle: FusedAngle::Const(theta),
+        } => Some((*qubit, axis.gate(*theta))),
+        _ => None,
+    }
+}
+
+/// The 4×4 matrix of an entangler, expressed in the `(qa, qb)` orientation
+/// where `qa` is bit 0 of the matrix index. `None` when the entangler does
+/// not act on exactly that wire pair.
+fn entangler_matrix(gate: &CGate, qa: usize, qb: usize) -> Option<Gate2> {
+    match *gate {
+        CGate::Cnot { control, target } => {
+            if control == qa && target == qb {
+                Some(Gate2::cnot())
+            } else if control == qb && target == qa {
+                Some(Gate2::controlled_flipped(&Gate1::pauli_x()))
+            } else {
+                None
+            }
+        }
+        CGate::Cz { control, target } => {
+            // CZ is symmetric in its operands.
+            if (control == qa && target == qb) || (control == qb && target == qa) {
+                Some(Gate2::cz())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Second fusion pass: folds **constant** one-qubit gates into adjacent
+/// entanglers (CNOT/CZ) and collapses entangler chains on the same wire
+/// pair, producing single two-qubit matrix applications
+/// ([`CGate::Fixed2`]) — the ansatz's rotation + entangler pattern in its
+/// compile-time-resolvable (angle-free) form.
+///
+/// Only angle-free gates participate: input- and parameter-driven
+/// rotations keep their specialised kernels (faster than a generic 4×4
+/// for a lone gate, and their angles are unknown at compile time) and act
+/// as barriers. Schedules without constant gates — including every paper
+/// circuit — therefore pass through **untouched**, preserving golden
+/// fingerprints bit for bit.
+fn fuse_entanglers(gates: Vec<CGate>, n_qubits: usize) -> Vec<CGate> {
+    // `out` uses tombstones so absorbed gates can be removed without
+    // invalidating the `last[w]` indices (index of the last surviving
+    // gate that touches wire `w`).
+    let mut out: Vec<Option<CGate>> = Vec::with_capacity(gates.len());
+    let mut last: Vec<Option<usize>> = vec![None; n_qubits];
+    for gate in gates {
+        // A constant 1-qubit gate folds into a two-qubit product already
+        // formed on its wire (gates between them touch other wires only,
+        // so commuting it back across them is exact).
+        if let Some((w, u)) = const_1q(&gate) {
+            if let Some(k) = last[w] {
+                if let Some(CGate::Fixed2 { qa, qb, gate: m }) = &mut out[k] {
+                    if *qa == w {
+                        *m = Gate2::embed_first(&u).matmul(m);
+                        continue;
+                    } else if *qb == w {
+                        *m = Gate2::embed_second(&u).matmul(m);
+                        continue;
+                    }
+                }
+            }
+            last[w] = Some(out.len());
+            out.push(Some(gate));
+            continue;
+        }
+        if matches!(gate, CGate::Cnot { .. } | CGate::Cz { .. }) {
+            let (a, b) = match &gate {
+                CGate::Cnot { control, target } | CGate::Cz { control, target } => {
+                    (*control, *target)
+                }
+                _ => unreachable!(),
+            };
+            // Chain-merge: the previous gate on *both* wires is one
+            // Fixed2 on this same pair.
+            if let (Some(ka), Some(kb)) = (last[a], last[b]) {
+                if ka == kb {
+                    if let Some(CGate::Fixed2 { qa, qb, gate: m }) = &mut out[ka] {
+                        let e = entangler_matrix(&gate, *qa, *qb)
+                            .expect("gate touching both wires of the pair acts on the pair");
+                        *m = e.matmul(m);
+                        continue;
+                    }
+                }
+            }
+            // Absorb pending constant 1-qubit predecessors, if any. The
+            // entangler matrix multiplies from the left (it is applied
+            // after them); `a` is bit 0, `b` bit 1.
+            let ua = last[a].and_then(|k| out[k].as_ref().and_then(const_1q).map(|(_, u)| (k, u)));
+            let ub = last[b].and_then(|k| out[k].as_ref().and_then(const_1q).map(|(_, u)| (k, u)));
+            if ua.is_some() || ub.is_some() {
+                let mut m = entangler_matrix(&gate, a, b).expect("entangler on its own pair");
+                if let Some((k, u)) = ua {
+                    m = m.matmul(&Gate2::embed_first(&u));
+                    out[k] = None;
+                }
+                if let Some((k, u)) = ub {
+                    m = m.matmul(&Gate2::embed_second(&u));
+                    out[k] = None;
+                }
+                last[a] = Some(out.len());
+                last[b] = Some(out.len());
+                out.push(Some(CGate::Fixed2 {
+                    qa: a,
+                    qb: b,
+                    gate: m,
+                }));
+                continue;
+            }
+            // Nothing to fuse: keep the cheap specialised kernel.
+            last[a] = Some(out.len());
+            last[b] = Some(out.len());
+            out.push(Some(gate));
+            continue;
+        }
+        // Symbolic rotations and controlled rotations are barriers.
+        match &gate {
+            CGate::Rot { qubit, .. } => last[*qubit] = Some(out.len()),
+            CGate::CRot {
+                control, target, ..
+            } => {
+                last[*control] = Some(out.len());
+                last[*target] = Some(out.len());
+            }
+            _ => unreachable!("constant 1q gates and entanglers are handled above"),
+        }
+        out.push(Some(gate));
+    }
+    out.into_iter().flatten().collect()
 }
 
 fn hash_angle<H: Hasher>(angle: &Angle, h: &mut H) {
@@ -509,10 +667,15 @@ mod tests {
 
     #[test]
     fn nonadjacent_same_wire_blocked_by_two_qubit_gate() {
+        // Symbolic angles keep the entangler pass out of the picture, so
+        // the schedule length directly witnesses that *rotation* fusion
+        // was blocked by the CZ. (The all-constant variant of this
+        // circuit now collapses into a single two-qubit matrix — see the
+        // entangler-fusion tests below.)
         let mut c = Circuit::new(2);
-        c.rot(0, Ax::X, Angle::Const(0.1)).unwrap();
+        c.rot(0, Ax::X, Angle::Param(ParamId(0))).unwrap();
         c.cz(0, 1).unwrap();
-        c.rot(0, Ax::X, Angle::Const(0.2)).unwrap();
+        c.rot(0, Ax::X, Angle::Param(ParamId(1))).unwrap();
         let compiled = compile(&c);
         assert_eq!(compiled.fused_schedule().len(), 3);
     }
@@ -612,6 +775,141 @@ mod tests {
         };
         assert!((s.value(&[1.25], &[]) - 1.75).abs() < 1e-15);
         assert!((FusedAngle::Const(0.75).value(&[], &[]) - 0.75).abs() < 1e-15);
+    }
+
+    /// Max |amplitude difference| between the fused and raw schedules.
+    fn fused_raw_divergence(c: &Circuit, inputs: &[f64], params: &[f64]) -> f64 {
+        let compiled = compile(c);
+        let fused = crate::exec::run_schedule_unchecked(
+            c.n_qubits(),
+            compiled.fused_schedule(),
+            inputs,
+            params,
+        );
+        let raw = crate::exec::run_schedule_unchecked(
+            c.n_qubits(),
+            compiled.raw_schedule(),
+            inputs,
+            params,
+        );
+        fused
+            .amplitudes()
+            .iter()
+            .zip(raw.amplitudes())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn const_rotation_entangler_chain_collapses_to_one_fixed2() {
+        // rz(0), ry(1), cnot(0,1), rx(1), cz(0,1): five constant gates,
+        // one two-qubit matrix.
+        let mut c = Circuit::new(2);
+        c.rot(0, Ax::Z, Angle::Const(0.3)).unwrap();
+        c.rot(1, Ax::Y, Angle::Const(-0.8)).unwrap();
+        c.cnot(0, 1).unwrap();
+        c.rot(1, Ax::X, Angle::Const(1.1)).unwrap();
+        c.cz(0, 1).unwrap();
+        let compiled = compile(&c);
+        assert_eq!(compiled.fused_schedule().len(), 1);
+        match &compiled.fused_schedule()[0] {
+            CGate::Fixed2 { qa: 0, qb: 1, gate } => {
+                let expect = Gate2::cz()
+                    .matmul(&Gate2::embed_second(&Ax::X.gate(1.1)))
+                    .matmul(&Gate2::cnot())
+                    .matmul(&Gate2::embed_second(&Ax::Y.gate(-0.8)))
+                    .matmul(&Gate2::embed_first(&Ax::Z.gate(0.3)));
+                assert!(gate.approx_eq(&expect, 1e-12));
+                assert!(gate.is_unitary(1e-12));
+            }
+            other => panic!("expected Fixed2, got {other:?}"),
+        }
+        assert!(fused_raw_divergence(&c, &[], &[]) < 1e-12);
+    }
+
+    #[test]
+    fn flipped_orientation_entangler_fuses() {
+        // The CNOT's control is the *second* wire of the pair as the
+        // Fixed2 orients it (qa = control of the first absorbing gate).
+        let mut c = Circuit::new(2);
+        c.rot(0, Ax::X, Angle::Const(0.7)).unwrap();
+        c.cnot(1, 0).unwrap();
+        c.cz(1, 0).unwrap();
+        // Control on the Fixed2's qb wire: exercises the flipped-control
+        // CNOT embedding.
+        c.cnot(0, 1).unwrap();
+        let compiled = compile(&c);
+        assert_eq!(compiled.fused_schedule().len(), 1);
+        assert!(matches!(
+            compiled.fused_schedule()[0],
+            CGate::Fixed2 { qa: 1, qb: 0, .. }
+        ));
+        assert!(fused_raw_divergence(&c, &[], &[]) < 1e-12);
+    }
+
+    #[test]
+    fn fixed_gate_then_entangler_fuses() {
+        let mut c = Circuit::new(3);
+        c.fixed(2, FixedGate::H).unwrap();
+        c.cnot(2, 0).unwrap();
+        let compiled = compile(&c);
+        assert_eq!(compiled.fused_schedule().len(), 1);
+        assert!(matches!(
+            compiled.fused_schedule()[0],
+            CGate::Fixed2 { qa: 2, qb: 0, .. }
+        ));
+        assert!(fused_raw_divergence(&c, &[], &[]) < 1e-12);
+    }
+
+    #[test]
+    fn symbolic_rotations_block_entangler_fusion() {
+        // Input- and parameter-driven rotations are barriers: the
+        // ansatz/encoder shape (the golden path) must compile untouched.
+        let mut c = Circuit::new(2);
+        c.rot(0, Ax::Y, Angle::Input(InputId(0))).unwrap();
+        c.rot(1, Ax::Y, Angle::Param(ParamId(0))).unwrap();
+        c.cnot(0, 1).unwrap();
+        c.rot(0, Ax::Z, Angle::Param(ParamId(1))).unwrap();
+        c.cnot(1, 0).unwrap();
+        let compiled = compile(&c);
+        assert_eq!(compiled.fused_schedule().len(), 5);
+        assert!(!compiled
+            .fused_schedule()
+            .iter()
+            .any(|g| matches!(g, CGate::Fixed2 { .. })));
+    }
+
+    #[test]
+    fn lone_entanglers_keep_their_fast_path() {
+        // With nothing to absorb, CNOT/CZ stay on the specialised
+        // swap/sign kernels rather than becoming a generic 4×4.
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap();
+        c.cz(1, 0).unwrap();
+        let compiled = compile(&c);
+        assert!(matches!(compiled.fused_schedule()[0], CGate::Cnot { .. }));
+        // The second entangler merges with... nothing: the first stayed
+        // a plain CNOT, which is not a fusion product.
+        assert!(matches!(compiled.fused_schedule()[1], CGate::Cz { .. }));
+    }
+
+    #[test]
+    fn entangler_fusion_respects_other_pair_barriers() {
+        // The const rotation on wire 1 is NOT adjacent to cnot(1, 2) —
+        // cnot(0, 1) touches wire 1 in between — so only the inner pair
+        // may fuse.
+        let mut c = Circuit::new(3);
+        c.rot(1, Ax::X, Angle::Const(0.4)).unwrap();
+        c.cnot(0, 1).unwrap();
+        c.cnot(1, 2).unwrap();
+        let compiled = compile(&c);
+        assert_eq!(compiled.fused_schedule().len(), 2);
+        assert!(matches!(
+            compiled.fused_schedule()[0],
+            CGate::Fixed2 { qa: 0, qb: 1, .. }
+        ));
+        assert!(matches!(compiled.fused_schedule()[1], CGate::Cnot { .. }));
+        assert!(fused_raw_divergence(&c, &[], &[]) < 1e-12);
     }
 
     #[test]

@@ -70,6 +70,7 @@ fn apply_cgate(state: &mut StateVector, gate: &CGate, inputs: &[f64], params: &[
         CGate::Cnot { control, target } => apply::apply_cnot(amps, *control, *target),
         CGate::Cz { control, target } => apply::apply_cz(amps, *control, *target),
         CGate::Fixed { qubit, gate } => apply::apply_gate1(amps, *qubit, gate),
+        CGate::Fixed2 { qa, qb, gate } => apply::apply_gate2(amps, *qa, *qb, gate),
     }
 }
 
@@ -219,6 +220,16 @@ pub(crate) fn run_raw_density(
                 if let Some(kraus) = &kraus2 {
                     rho.apply_kraus1(*control, kraus)?;
                     rho.apply_kraus1(*target, kraus)?;
+                }
+            }
+            // Fixed2 never appears in the raw schedule (fusion products
+            // live in the fused schedule only); the arm keeps the match
+            // total should that invariant ever change.
+            CGate::Fixed2 { qa, qb, gate } => {
+                rho.apply_gate2(*qa, *qb, gate)?;
+                if let Some(kraus) = &kraus2 {
+                    rho.apply_kraus1(*qa, kraus)?;
+                    rho.apply_kraus1(*qb, kraus)?;
                 }
             }
         }

@@ -24,7 +24,8 @@
 
 use qmarl_qsim::apply;
 use qmarl_qsim::complex::Complex64;
-use qmarl_qsim::gate::{Gate1, RotationAxis};
+use qmarl_qsim::gate::{Gate1, Gate2, RotationAxis};
+use qmarl_qsim::rows;
 use qmarl_qsim::state::StateVector;
 
 use crate::compile::{CGate, CompiledCircuit, FusedAngle};
@@ -98,6 +99,15 @@ pub enum PreOp {
         qubit: usize,
         /// Concrete unitary.
         gate: Gate1,
+    },
+    /// A fixed two-qubit unitary (compile-time entangler fusion product).
+    Fixed2 {
+        /// First wire — bit 0 of the matrix index.
+        qa: usize,
+        /// Second wire — bit 1 of the matrix index.
+        qb: usize,
+        /// Concrete two-qubit unitary in `(qa, qb)` orientation.
+        gate: Gate2,
     },
 }
 
@@ -214,6 +224,11 @@ pub fn prebind(
                 qubit: *qubit,
                 gate: *gate,
             },
+            CGate::Fixed2 { qa, qb, gate } => PreOp::Fixed2 {
+                qa: *qa,
+                qb: *qb,
+                gate: *gate,
+            },
         })
         .collect();
     Ok(PreboundCircuit {
@@ -271,6 +286,7 @@ pub(crate) fn run_prebound_unchecked(pb: &PreboundCircuit, inputs: &[f64]) -> St
             PreOp::Cnot { control, target } => apply::apply_cnot(amps, *control, *target),
             PreOp::Cz { control, target } => apply::apply_cz(amps, *control, *target),
             PreOp::Fixed { qubit, gate } => apply::apply_gate1(amps, *qubit, gate),
+            PreOp::Fixed2 { qa, qb, gate } => apply::apply_gate2(amps, *qa, *qb, gate),
         }
     }
     state
@@ -303,18 +319,6 @@ pub fn run_prebound(pb: &PreboundCircuit, inputs: &[f64]) -> Result<StateVector,
 // alone; only the loop nesting changes.
 // ---------------------------------------------------------------------
 
-/// Visits every `(i0, i1 = i0 + stride)` amplitude pair of one qubit.
-#[inline]
-fn for_each_pair(dim: usize, stride: usize, mut f: impl FnMut(usize, usize)) {
-    let mut base = 0;
-    while base < dim {
-        for i0 in base..base + stride {
-            f(i0, i0 + stride);
-        }
-        base += stride << 1;
-    }
-}
-
 /// Disjoint mutable views of amplitude rows `i0 < i1`.
 #[inline]
 fn rows_mut(
@@ -328,33 +332,57 @@ fn rows_mut(
     (&mut head[i0 * lanes..(i0 + 1) * lanes], &mut tail[..lanes])
 }
 
+// Gate updates delegate to `qsim::rows` slab kernels — one SIMD dispatch
+// per gate, pair loop inside the kernel, with scalar paths that are the
+// exact formulas this module historically inlined (and AVX2 paths
+// bit-identical to those; see `qsim::simd`).
+
 #[inline]
-fn rot_rows(axis: RotationAxis, r0: &mut [Complex64], r1: &mut [Complex64], s: f64, c: f64) {
+#[allow(clippy::too_many_arguments)]
+fn rot_slab(
+    axis: RotationAxis,
+    slab: &mut [Complex64],
+    lanes: usize,
+    dim: usize,
+    mt: usize,
+    mc: usize,
+    s: f64,
+    c: f64,
+) {
     match axis {
-        RotationAxis::X => {
-            for (a0, a1) in r0.iter_mut().zip(r1.iter_mut()) {
-                let x0 = *a0;
-                let x1 = *a1;
-                *a0 = Complex64::new(c * x0.re + s * x1.im, c * x0.im - s * x1.re);
-                *a1 = Complex64::new(s * x0.im + c * x1.re, -s * x0.re + c * x1.im);
-            }
-        }
-        RotationAxis::Y => {
-            for (a0, a1) in r0.iter_mut().zip(r1.iter_mut()) {
-                let x0 = *a0;
-                let x1 = *a1;
-                *a0 = Complex64::new(c * x0.re - s * x1.re, c * x0.im - s * x1.im);
-                *a1 = Complex64::new(s * x0.re + c * x1.re, s * x0.im + c * x1.im);
-            }
-        }
+        RotationAxis::X => rows::rot_x_slab(slab, lanes, dim, mt, mc, s, c),
+        RotationAxis::Y => rows::rot_y_slab(slab, lanes, dim, mt, mc, s, c),
         RotationAxis::Z => unreachable!("Rz is diagonal; handled per amplitude row"),
     }
 }
 
 #[inline]
-fn phase_row(row: &mut [Complex64], pr: f64, pi: f64) {
-    for a in row.iter_mut() {
-        *a = Complex64::new(a.re * pr - a.im * pi, a.re * pi + a.im * pr);
+fn rot_slab_lanes(
+    axis: RotationAxis,
+    slab: &mut [Complex64],
+    lanes: usize,
+    dim: usize,
+    mt: usize,
+    mc: usize,
+    trig: &[(f64, f64)],
+) {
+    match axis {
+        RotationAxis::X => rows::rot_x_slab_lanes(slab, lanes, dim, mt, mc, trig),
+        RotationAxis::Y => rows::rot_y_slab_lanes(slab, lanes, dim, mt, mc, trig),
+        RotationAxis::Z => unreachable!("Rz is diagonal; handled per amplitude row"),
+    }
+}
+
+/// Fills per-lane `(pr, pi)` phase pairs for the two Rz row classes from
+/// per-lane `(s, c)` trig: bit-clear rows multiply by `(c, −s)`, bit-set
+/// rows by `(c, s)` — the exact factors the inlined Rz row loops used.
+#[inline]
+fn z_phase_classes(trig: &[(f64, f64)], lo: &mut Vec<(f64, f64)>, hi: &mut Vec<(f64, f64)>) {
+    lo.clear();
+    hi.clear();
+    for &(s, c) in trig {
+        lo.push((c, -s));
+        hi.push((c, s));
     }
 }
 
@@ -390,41 +418,57 @@ pub(crate) fn run_prebound_slab(pb: &PreboundCircuit, inputs: &[&[f64]]) -> Vec<
         .collect()
 }
 
-/// Evaluates a readout for one lane directly off the transposed slab,
-/// with exactly the arithmetic (and summation order) of
-/// `Readout::evaluate` over a per-lane statevector — skipping the
-/// per-lane statevector materialisation entirely. Guarded bit-exact
-/// against the plain path by the executor's prebound batch test.
-pub(crate) fn readout_from_slab(
+/// Evaluates a readout for **every** lane in a single pass over the
+/// transposed slab, with exactly the arithmetic (and summation order) of
+/// `Readout::evaluate` over per-lane statevectors — each `(qubit, lane)`
+/// ⟨Z⟩ accumulator folds `±|a|²` in ascending amplitude order, and the
+/// weighted sum folds over qubits afterwards, so every lane's result is
+/// bit-identical to the old per-lane walk while touching the slab once
+/// instead of `lanes × outputs` times. Guarded bit-exact against the
+/// plain path by the executor's prebound batch test.
+pub(crate) fn readouts_from_slab(
     readout: &qmarl_vqc::observable::Readout,
     slab: &[Complex64],
     lanes: usize,
-    lane: usize,
-) -> Vec<f64> {
+) -> Vec<Vec<f64>> {
     use qmarl_vqc::observable::Readout;
+    if lanes == 0 {
+        return Vec::new();
+    }
     let dim = slab.len() / lanes;
-    let expectation_z = |q: usize| -> f64 {
-        let mask = 1usize << q;
-        let mut acc = 0.0;
-        for i in 0..dim {
-            let a = slab[i * lanes + lane];
-            if i & mask == 0 {
-                acc += a.norm_sqr();
-            } else {
-                acc -= a.norm_sqr();
-            }
-        }
-        acc
+    let qs: Vec<usize> = match readout {
+        Readout::ZPerQubit { qubits } => qubits.clone(),
+        Readout::WeightedZSum { weights } => (0..weights.len()).collect(),
     };
-    match readout {
-        Readout::ZPerQubit { qubits } => qubits.iter().map(|&q| expectation_z(q)).collect(),
-        Readout::WeightedZSum { weights } => {
-            let mut acc = 0.0;
-            for (q, w) in weights.iter().enumerate() {
-                acc += w * expectation_z(q);
+    // ez[k · lanes + lane] = ⟨Z_{qs[k]}⟩ of lane — |a|² computed once per
+    // cell and reused across qubits (same value either way).
+    let mut ez = vec![0.0f64; qs.len() * lanes];
+    for i in 0..dim {
+        let row = &slab[i * lanes..(i + 1) * lanes];
+        for (lane, a) in row.iter().enumerate() {
+            let n = a.norm_sqr();
+            for (k, &q) in qs.iter().enumerate() {
+                if i & (1usize << q) == 0 {
+                    ez[k * lanes + lane] += n;
+                } else {
+                    ez[k * lanes + lane] -= n;
+                }
             }
-            vec![acc]
         }
+    }
+    match readout {
+        Readout::ZPerQubit { .. } => (0..lanes)
+            .map(|lane| (0..qs.len()).map(|k| ez[k * lanes + lane]).collect())
+            .collect(),
+        Readout::WeightedZSum { weights } => (0..lanes)
+            .map(|lane| {
+                let mut acc = 0.0;
+                for (k, w) in weights.iter().enumerate() {
+                    acc += w * ez[k * lanes + lane];
+                }
+                vec![acc]
+            })
+            .collect(),
     }
 }
 
@@ -440,80 +484,27 @@ pub(crate) fn run_prebound_slab_raw(pb: &PreboundCircuit, inputs: &[&[f64]]) -> 
         *cell = Complex64::ONE; // every lane starts in |0…0⟩
     }
     let mut trig: Vec<(f64, f64)> = Vec::with_capacity(lanes);
+    let mut zlo: Vec<(f64, f64)> = Vec::with_capacity(lanes);
+    let mut zhi: Vec<(f64, f64)> = Vec::with_capacity(lanes);
 
     for op in &pb.ops {
         match op {
             PreOp::RotSC { qubit, axis, s, c } => match axis {
                 RotationAxis::Z => {
-                    let mask = 1usize << qubit;
-                    for i in 0..dim {
-                        let (pr, pi) = if i & mask == 0 { (*c, -*s) } else { (*c, *s) };
-                        phase_row(&mut slab[i * lanes..(i + 1) * lanes], pr, pi);
-                    }
+                    let mt = 1usize << qubit;
+                    rows::phase_slab(&mut slab, lanes, dim, mt, 0, (*c, -*s), (*c, *s));
                 }
-                _ => for_each_pair(dim, 1usize << qubit, |i0, i1| {
-                    let (r0, r1) = rows_mut(&mut slab, lanes, i0, i1);
-                    rot_rows(*axis, r0, r1, *s, *c);
-                }),
+                _ => rot_slab(*axis, &mut slab, lanes, dim, 1usize << qubit, 0, *s, *c),
             },
             PreOp::Rot { qubit, axis, angle } => {
                 lane_trig(angle, inputs, &pb.params, &mut trig);
+                let mt = 1usize << qubit;
                 match axis {
                     RotationAxis::Z => {
-                        let mask = 1usize << qubit;
-                        for i in 0..dim {
-                            let row = &mut slab[i * lanes..(i + 1) * lanes];
-                            if i & mask == 0 {
-                                for (a, &(s, c)) in row.iter_mut().zip(&trig) {
-                                    let x = *a;
-                                    *a = Complex64::new(x.re * c + x.im * s, -x.re * s + x.im * c);
-                                }
-                            } else {
-                                for (a, &(s, c)) in row.iter_mut().zip(&trig) {
-                                    let x = *a;
-                                    *a = Complex64::new(x.re * c - x.im * s, x.re * s + x.im * c);
-                                }
-                            }
-                        }
+                        z_phase_classes(&trig, &mut zlo, &mut zhi);
+                        rows::phase_slab_lanes(&mut slab, lanes, dim, mt, 0, &zlo, &zhi);
                     }
-                    _ => for_each_pair(dim, 1usize << qubit, |i0, i1| {
-                        let (r0, r1) = rows_mut(&mut slab, lanes, i0, i1);
-                        match axis {
-                            RotationAxis::X => {
-                                for ((a0, a1), &(s, c)) in
-                                    r0.iter_mut().zip(r1.iter_mut()).zip(&trig)
-                                {
-                                    let x0 = *a0;
-                                    let x1 = *a1;
-                                    *a0 = Complex64::new(
-                                        c * x0.re + s * x1.im,
-                                        c * x0.im - s * x1.re,
-                                    );
-                                    *a1 = Complex64::new(
-                                        s * x0.im + c * x1.re,
-                                        -s * x0.re + c * x1.im,
-                                    );
-                                }
-                            }
-                            RotationAxis::Y => {
-                                for ((a0, a1), &(s, c)) in
-                                    r0.iter_mut().zip(r1.iter_mut()).zip(&trig)
-                                {
-                                    let x0 = *a0;
-                                    let x1 = *a1;
-                                    *a0 = Complex64::new(
-                                        c * x0.re - s * x1.re,
-                                        c * x0.im - s * x1.im,
-                                    );
-                                    *a1 = Complex64::new(
-                                        s * x0.re + c * x1.re,
-                                        s * x0.im + c * x1.im,
-                                    );
-                                }
-                            }
-                            RotationAxis::Z => unreachable!(),
-                        }
-                    }),
+                    _ => rot_slab_lanes(*axis, &mut slab, lanes, dim, mt, 0, &trig),
                 }
             }
             PreOp::CRotSC {
@@ -527,23 +518,9 @@ pub(crate) fn run_prebound_slab_raw(pb: &PreboundCircuit, inputs: &[&[f64]]) -> 
                 let mt = 1usize << target;
                 match axis {
                     RotationAxis::Z => {
-                        for i in 0..dim {
-                            if i & mc == 0 {
-                                continue;
-                            }
-                            let (pr, pi) = if i & mt == 0 { (*c, -*s) } else { (*c, *s) };
-                            phase_row(&mut slab[i * lanes..(i + 1) * lanes], pr, pi);
-                        }
+                        rows::phase_slab(&mut slab, lanes, dim, mt, mc, (*c, -*s), (*c, *s));
                     }
-                    _ => {
-                        for i0 in 0..dim {
-                            if i0 & mc == 0 || i0 & mt != 0 {
-                                continue;
-                            }
-                            let (r0, r1) = rows_mut(&mut slab, lanes, i0, i0 | mt);
-                            rot_rows(*axis, r0, r1, *s, *c);
-                        }
-                    }
+                    _ => rot_slab(*axis, &mut slab, lanes, dim, mt, mc, *s, *c),
                 }
             }
             PreOp::CRot {
@@ -557,54 +534,10 @@ pub(crate) fn run_prebound_slab_raw(pb: &PreboundCircuit, inputs: &[&[f64]]) -> 
                 let mt = 1usize << target;
                 match axis {
                     RotationAxis::Z => {
-                        for i in 0..dim {
-                            if i & mc == 0 {
-                                continue;
-                            }
-                            let row = &mut slab[i * lanes..(i + 1) * lanes];
-                            let flip = i & mt != 0;
-                            for (a, &(s, c)) in row.iter_mut().zip(&trig) {
-                                let pi = if flip { s } else { -s };
-                                let x = *a;
-                                *a = Complex64::new(x.re * c - x.im * pi, x.re * pi + x.im * c);
-                            }
-                        }
+                        z_phase_classes(&trig, &mut zlo, &mut zhi);
+                        rows::phase_slab_lanes(&mut slab, lanes, dim, mt, mc, &zlo, &zhi);
                     }
-                    _ => {
-                        for i0 in 0..dim {
-                            if i0 & mc == 0 || i0 & mt != 0 {
-                                continue;
-                            }
-                            let (r0, r1) = rows_mut(&mut slab, lanes, i0, i0 | mt);
-                            for ((a0, a1), &(s, c)) in r0.iter_mut().zip(r1.iter_mut()).zip(&trig) {
-                                let x0 = *a0;
-                                let x1 = *a1;
-                                match axis {
-                                    RotationAxis::X => {
-                                        *a0 = Complex64::new(
-                                            c * x0.re + s * x1.im,
-                                            c * x0.im - s * x1.re,
-                                        );
-                                        *a1 = Complex64::new(
-                                            s * x0.im + c * x1.re,
-                                            -s * x0.re + c * x1.im,
-                                        );
-                                    }
-                                    RotationAxis::Y => {
-                                        *a0 = Complex64::new(
-                                            c * x0.re - s * x1.re,
-                                            c * x0.im - s * x1.im,
-                                        );
-                                        *a1 = Complex64::new(
-                                            s * x0.re + c * x1.re,
-                                            s * x0.im + c * x1.im,
-                                        );
-                                    }
-                                    RotationAxis::Z => unreachable!(),
-                                }
-                            }
-                        }
-                    }
+                    _ => rot_slab_lanes(*axis, &mut slab, lanes, dim, mt, mc, &trig),
                 }
             }
             PreOp::Cnot { control, target } => {
@@ -630,21 +563,54 @@ pub(crate) fn run_prebound_slab_raw(pb: &PreboundCircuit, inputs: &[&[f64]]) -> 
                 }
             }
             PreOp::Fixed { qubit, gate } => {
-                let m = gate.matrix();
-                for_each_pair(dim, 1usize << qubit, |i0, i1| {
-                    let (r0, r1) = rows_mut(&mut slab, lanes, i0, i1);
-                    for (a0, a1) in r0.iter_mut().zip(r1.iter_mut()) {
-                        let x0 = *a0;
-                        let x1 = *a1;
-                        *a0 = m[0][0] * x0 + m[0][1] * x1;
-                        *a1 = m[1][0] * x0 + m[1][1] * x1;
-                    }
-                });
+                rows::gate1_slab(&mut slab, lanes, dim, 1usize << qubit, gate);
+            }
+            PreOp::Fixed2 { qa, qb, gate } => {
+                apply_gate2_slab(&mut slab, lanes, dim, *qa, *qb, gate);
             }
         }
     }
 
     slab
+}
+
+/// Applies a concrete two-qubit unitary to every lane of the slab.
+///
+/// Mirrors `qsim::apply::apply_gate2`'s scalar arithmetic exactly: for each
+/// both-bits-clear base index (ascending), gather the four amplitudes and
+/// rebuild each via the same `mul_add` chain from `+0`, in column order.
+fn apply_gate2_slab(
+    slab: &mut [Complex64],
+    lanes: usize,
+    dim: usize,
+    qa: usize,
+    qb: usize,
+    gate: &Gate2,
+) {
+    let m = gate.matrix();
+    let ma = 1usize << qa;
+    let mb = 1usize << qb;
+    for i in 0..dim {
+        if i & (ma | mb) != 0 {
+            continue;
+        }
+        let idx = [i, i | ma, i | mb, i | ma | mb];
+        for lane in 0..lanes {
+            let v = [
+                slab[idx[0] * lanes + lane],
+                slab[idx[1] * lanes + lane],
+                slab[idx[2] * lanes + lane],
+                slab[idx[3] * lanes + lane],
+            ];
+            for (r, &ix) in idx.iter().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for (col, &vc) in v.iter().enumerate() {
+                    acc = m[r][col].mul_add(vc, acc);
+                }
+                slab[ix * lanes + lane] = acc;
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -920,6 +886,9 @@ pub fn prebind_adjoint(
                     gate: *gate,
                     dag: gate.dagger(),
                 },
+                CGate::Fixed2 { .. } => {
+                    unreachable!("entangler fusion never emits Fixed2 into the raw schedule")
+                }
             };
             AdjOp {
                 gate,
@@ -947,7 +916,8 @@ fn resolve_sym_trig(
     inputs: &[&[f64]],
     params: &[f64],
     xy: &mut Vec<(f64, f64)>,
-    zp: &mut Vec<ZPhases>,
+    zlo: &mut Vec<(f64, f64)>,
+    zhi: &mut Vec<(f64, f64)>,
 ) {
     let (axis, angle) = match gate {
         AdjGate::RotSym { axis, angle, .. } | AdjGate::CRotSym { axis, angle, .. } => {
@@ -957,11 +927,14 @@ fn resolve_sym_trig(
     };
     match axis {
         RotationAxis::Z => {
-            zp.clear();
-            zp.extend(inputs.iter().map(|li| {
+            zlo.clear();
+            zhi.clear();
+            for li in inputs {
                 let theta = angle.value(li, params);
-                ZPhases::of(if inverse { -theta } else { theta })
-            }));
+                let z = ZPhases::of(if inverse { -theta } else { theta });
+                zlo.push((z.pr0, z.pi0));
+                zhi.push((z.pr1, z.pi1));
+            }
         }
         _ => {
             xy.clear();
@@ -985,14 +958,16 @@ fn adj_apply(
     inputs: &[&[f64]],
     params: &[f64],
     xy: &mut Vec<(f64, f64)>,
-    zp: &mut Vec<ZPhases>,
+    zlo: &mut Vec<(f64, f64)>,
+    zhi: &mut Vec<(f64, f64)>,
 ) {
-    resolve_sym_trig(gate, inverse, inputs, params, xy, zp);
-    adj_apply_resolved(gate, inverse, slab, lanes, dim, xy, zp);
+    resolve_sym_trig(gate, inverse, inputs, params, xy, zlo, zhi);
+    adj_apply_resolved(gate, inverse, slab, lanes, dim, xy, zlo, zhi);
 }
 
 /// [`adj_apply`] with any input-dependent trig already resolved into
-/// `xy`/`zp` by [`resolve_sym_trig`].
+/// `xy`/`zlo`/`zhi` by [`resolve_sym_trig`].
+#[allow(clippy::too_many_arguments)]
 fn adj_apply_resolved(
     gate: &AdjGate,
     inverse: bool,
@@ -1000,7 +975,8 @@ fn adj_apply_resolved(
     lanes: usize,
     dim: usize,
     xy: &[(f64, f64)],
-    zp: &[ZPhases],
+    zlo: &[(f64, f64)],
+    zhi: &[(f64, f64)],
 ) {
     match gate {
         AdjGate::RotSC {
@@ -1011,43 +987,18 @@ fn adj_apply_resolved(
             ..
         } => {
             let (s, c) = if inverse { *inv } else { *fwd };
-            for_each_pair(dim, 1usize << qubit, |i0, i1| {
-                let (r0, r1) = rows_mut(slab, lanes, i0, i1);
-                rot_rows(*axis, r0, r1, s, c);
-            });
+            rot_slab(*axis, slab, lanes, dim, 1usize << qubit, 0, s, c);
         }
         AdjGate::RotZSC { qubit, fwd, inv } => {
             let z = if inverse { inv } else { fwd };
-            let mask = 1usize << qubit;
-            for i in 0..dim {
-                let (pr, pi) = if i & mask == 0 {
-                    (z.pr0, z.pi0)
-                } else {
-                    (z.pr1, z.pi1)
-                };
-                phase_row(&mut slab[i * lanes..(i + 1) * lanes], pr, pi);
-            }
+            let mt = 1usize << qubit;
+            rows::phase_slab(slab, lanes, dim, mt, 0, (z.pr0, z.pi0), (z.pr1, z.pi1));
         }
         AdjGate::RotSym { qubit, axis, .. } => {
-            let mask = 1usize << qubit;
+            let mt = 1usize << qubit;
             match axis {
-                RotationAxis::Z => {
-                    for i in 0..dim {
-                        let row = &mut slab[i * lanes..(i + 1) * lanes];
-                        let hi = i & mask != 0;
-                        for (a, z) in row.iter_mut().zip(zp.iter()) {
-                            let (pr, pi) = if hi { (z.pr1, z.pi1) } else { (z.pr0, z.pi0) };
-                            let x = *a;
-                            *a = Complex64::new(x.re * pr - x.im * pi, x.re * pi + x.im * pr);
-                        }
-                    }
-                }
-                _ => {
-                    for_each_pair(dim, mask, |i0, i1| {
-                        let (r0, r1) = rows_mut(slab, lanes, i0, i1);
-                        rot_rows_lanes(*axis, r0, r1, xy);
-                    });
-                }
+                RotationAxis::Z => rows::phase_slab_lanes(slab, lanes, dim, mt, 0, zlo, zhi),
+                _ => rot_slab_lanes(*axis, slab, lanes, dim, mt, 0, xy),
             }
         }
         AdjGate::CRotSC {
@@ -1060,13 +1011,7 @@ fn adj_apply_resolved(
             let (s, c) = if inverse { *inv } else { *fwd };
             let mc = 1usize << control;
             let mt = 1usize << target;
-            for i0 in 0..dim {
-                if i0 & mc == 0 || i0 & mt != 0 {
-                    continue;
-                }
-                let (r0, r1) = rows_mut(slab, lanes, i0, i0 | mt);
-                rot_rows(*axis, r0, r1, s, c);
-            }
+            rot_slab(*axis, slab, lanes, dim, mt, mc, s, c);
         }
         AdjGate::CRotZSC {
             control,
@@ -1077,17 +1022,7 @@ fn adj_apply_resolved(
             let z = if inverse { inv } else { fwd };
             let mc = 1usize << control;
             let mt = 1usize << target;
-            for i in 0..dim {
-                if i & mc == 0 {
-                    continue;
-                }
-                let (pr, pi) = if i & mt == 0 {
-                    (z.pr0, z.pi0)
-                } else {
-                    (z.pr1, z.pi1)
-                };
-                phase_row(&mut slab[i * lanes..(i + 1) * lanes], pr, pi);
-            }
+            rows::phase_slab(slab, lanes, dim, mt, mc, (z.pr0, z.pi0), (z.pr1, z.pi1));
         }
         AdjGate::CRotSym {
             control,
@@ -1098,29 +1033,8 @@ fn adj_apply_resolved(
             let mc = 1usize << control;
             let mt = 1usize << target;
             match axis {
-                RotationAxis::Z => {
-                    for i in 0..dim {
-                        if i & mc == 0 {
-                            continue;
-                        }
-                        let row = &mut slab[i * lanes..(i + 1) * lanes];
-                        let hi = i & mt != 0;
-                        for (a, z) in row.iter_mut().zip(zp.iter()) {
-                            let (pr, pi) = if hi { (z.pr1, z.pi1) } else { (z.pr0, z.pi0) };
-                            let x = *a;
-                            *a = Complex64::new(x.re * pr - x.im * pi, x.re * pi + x.im * pr);
-                        }
-                    }
-                }
-                _ => {
-                    for i0 in 0..dim {
-                        if i0 & mc == 0 || i0 & mt != 0 {
-                            continue;
-                        }
-                        let (r0, r1) = rows_mut(slab, lanes, i0, i0 | mt);
-                        rot_rows_lanes(*axis, r0, r1, xy);
-                    }
-                }
+                RotationAxis::Z => rows::phase_slab_lanes(slab, lanes, dim, mt, mc, zlo, zhi),
+                _ => rot_slab_lanes(*axis, slab, lanes, dim, mt, mc, xy),
             }
         }
         AdjGate::Cnot { control, target } => {
@@ -1146,47 +1060,9 @@ fn adj_apply_resolved(
             }
         }
         AdjGate::Fixed { qubit, gate, dag } => {
-            let m = if inverse { dag.matrix() } else { gate.matrix() };
-            for_each_pair(dim, 1usize << qubit, |i0, i1| {
-                let (r0, r1) = rows_mut(slab, lanes, i0, i1);
-                for (a0, a1) in r0.iter_mut().zip(r1.iter_mut()) {
-                    let x0 = *a0;
-                    let x1 = *a1;
-                    *a0 = m[0][0] * x0 + m[0][1] * x1;
-                    *a1 = m[1][0] * x0 + m[1][1] * x1;
-                }
-            });
+            let g = if inverse { dag } else { gate };
+            rows::gate1_slab(slab, lanes, dim, 1usize << qubit, g);
         }
-    }
-}
-
-/// X/Y pair rotation with per-lane trig (the `rot_rows` twin for
-/// input-dependent angles).
-#[inline]
-fn rot_rows_lanes(
-    axis: RotationAxis,
-    r0: &mut [Complex64],
-    r1: &mut [Complex64],
-    trig: &[(f64, f64)],
-) {
-    match axis {
-        RotationAxis::X => {
-            for ((a0, a1), &(s, c)) in r0.iter_mut().zip(r1.iter_mut()).zip(trig) {
-                let x0 = *a0;
-                let x1 = *a1;
-                *a0 = Complex64::new(c * x0.re + s * x1.im, c * x0.im - s * x1.re);
-                *a1 = Complex64::new(s * x0.im + c * x1.re, -s * x0.re + c * x1.im);
-            }
-        }
-        RotationAxis::Y => {
-            for ((a0, a1), &(s, c)) in r0.iter_mut().zip(r1.iter_mut()).zip(trig) {
-                let x0 = *a0;
-                let x1 = *a1;
-                *a0 = Complex64::new(c * x0.re - s * x1.re, c * x0.im - s * x1.im);
-                *a1 = Complex64::new(s * x0.re + c * x1.re, s * x0.im + c * x1.im);
-            }
-        }
-        RotationAxis::Z => unreachable!("Rz is diagonal; handled per amplitude row"),
     }
 }
 
@@ -1233,14 +1109,48 @@ impl SlabObservable {
     }
 }
 
-/// Applies the generator `G` of a parameterised rotation to a slab
-/// (`U = exp(−iθG/2)` up to control projection), in place.
-fn apply_generator_slab(gate: &AdjGate, slab: &mut [Complex64], lanes: usize, dim: usize) {
-    match *gate {
+/// Accumulates `Im⟨λ_j|G|φ⟩` into `accs[j·lanes + lane]` for every
+/// `(output, lane)` pair, where `G` is the generator of the parameterised
+/// rotation (`U = exp(−iθG/2)`, with a `|1⟩⟨1|` control projector for
+/// controlled rotations) — **without materialising `G|φ⟩`**. The old
+/// reduction copied the full φ slab per trainable occurrence and rewrote
+/// it with the generator; here each generator row is rebuilt from φ on
+/// the fly, one `dim × lanes` sweep per occurrence with zero copies.
+///
+/// Bit-exactness vs. the slab-materialising reduction:
+///
+/// * the Pauli row maps replicate `apply_pauli` value for value —
+///   `X: (Gφ)ᵢ = φ_{i⊕mt}`; `Y: (Gφ)ᵢ = (x.im, −x.re)` from `x = φ_{i⊕mt}`
+///   on target-clear rows and `(−x.im, x.re)` on target-set rows;
+///   `Z: (Gφ)ᵢ = ±φᵢ` — unary `f64` negation is an exact sign flip;
+/// * control-clear rows are skipped rather than folded as zeros: every
+///   accumulator starts `+0.0` and adding `±0.0` to a `+0.0`-or-nonzero
+///   `f64` never changes it (and no nonzero fold ever yields `−0.0`), so
+///   skipping those terms is bit-free;
+/// * `(λ*·g).im ≡ λ.re·g.im − λ.im·g.re` because `(−a)·b ≡ −(a·b)` and
+///   `x + (−t) ≡ x − t` are exact in IEEE-754;
+/// * per `(j, lane)` the fold still runs in ascending amplitude order —
+///   the row-major multi-λ sweep reorders only *distinct* accumulators,
+///   never the terms within one;
+/// * the sweep itself is `rows::adj_acc_slab_multi`, which builds each
+///   generator row once and folds every λ against it; its AVX2 path uses
+///   exact sign flips and folds each lane with the scalar
+///   `mul, mul, sub, add` (`hsub` subtracts the same two products) —
+///   bit-identical by construction and asserted in its parity test.
+fn accumulate_generator_im(
+    gate: &AdjGate,
+    phi: &[Complex64],
+    lambdas: &[&[Complex64]],
+    lanes: usize,
+    dim: usize,
+    accs: &mut [f64],
+    gbuf: &mut [Complex64],
+) {
+    let (control, target, axis) = match *gate {
         AdjGate::RotSC { qubit, axis, .. } | AdjGate::RotSym { qubit, axis, .. } => {
-            pauli_slab(slab, lanes, dim, qubit, axis);
+            (None, qubit, axis)
         }
-        AdjGate::RotZSC { qubit, .. } => pauli_slab(slab, lanes, dim, qubit, RotationAxis::Z),
+        AdjGate::RotZSC { qubit, .. } => (None, qubit, RotationAxis::Z),
         AdjGate::CRotSC {
             control,
             target,
@@ -1252,67 +1162,24 @@ fn apply_generator_slab(gate: &AdjGate, slab: &mut [Complex64], lanes: usize, di
             target,
             axis,
             ..
-        } => {
-            project_control_slab(slab, lanes, dim, control);
-            pauli_slab(slab, lanes, dim, target, axis);
-        }
+        } => (Some(control), target, axis),
         AdjGate::CRotZSC {
             control, target, ..
-        } => {
-            project_control_slab(slab, lanes, dim, control);
-            pauli_slab(slab, lanes, dim, target, RotationAxis::Z);
-        }
+        } => (Some(control), target, RotationAxis::Z),
         _ => unreachable!("generator requested for non-parameterised op"),
-    }
-}
-
-/// Zeroes every amplitude row whose `control` bit is 0 (the `|1⟩⟨1|`
-/// projector of a controlled generator).
-fn project_control_slab(slab: &mut [Complex64], lanes: usize, dim: usize, control: usize) {
-    let mask = 1usize << control;
-    for i in 0..dim {
-        if i & mask == 0 {
-            for a in slab[i * lanes..(i + 1) * lanes].iter_mut() {
-                *a = Complex64::ZERO;
-            }
-        }
-    }
-}
-
-/// Applies a Pauli to a slab, mirroring the serial `apply_pauli`.
-fn pauli_slab(slab: &mut [Complex64], lanes: usize, dim: usize, q: usize, axis: RotationAxis) {
-    let mask = 1usize << q;
+    };
+    let mt = 1usize << target;
+    let mc = control.map_or(0, |c| 1usize << c);
     match axis {
-        RotationAxis::X => {
-            for i in 0..dim {
-                if i & mask == 0 {
-                    let (r0, r1) = rows_mut(slab, lanes, i, i | mask);
-                    r0.swap_with_slice(r1);
-                }
-            }
-        }
-        RotationAxis::Y => {
-            for i in 0..dim {
-                if i & mask == 0 {
-                    let (r0, r1) = rows_mut(slab, lanes, i, i | mask);
-                    for (a0, a1) in r0.iter_mut().zip(r1.iter_mut()) {
-                        let x0 = *a0;
-                        let x1 = *a1;
-                        *a0 = Complex64::new(x1.im, -x1.re);
-                        *a1 = Complex64::new(-x0.im, x0.re);
-                    }
-                }
-            }
-        }
-        RotationAxis::Z => {
-            for i in 0..dim {
-                if i & mask != 0 {
-                    for a in slab[i * lanes..(i + 1) * lanes].iter_mut() {
-                        *a = -*a;
-                    }
-                }
-            }
-        }
+        RotationAxis::X => rows::adj_acc_slab_multi::<{ rows::AXIS_X }>(
+            accs, lambdas, phi, gbuf, lanes, dim, mt, mc,
+        ),
+        RotationAxis::Y => rows::adj_acc_slab_multi::<{ rows::AXIS_Y }>(
+            accs, lambdas, phi, gbuf, lanes, dim, mt, mc,
+        ),
+        RotationAxis::Z => rows::adj_acc_slab_multi::<{ rows::AXIS_Z }>(
+            accs, lambdas, phi, gbuf, lanes, dim, mt, mc,
+        ),
     }
 }
 
@@ -1335,7 +1202,8 @@ pub(crate) fn run_adjoint_slab(
     let dim = 1usize << pa.n_qubits;
     let n_out = readout.output_len();
     let mut xy: Vec<(f64, f64)> = Vec::with_capacity(lanes);
-    let mut zp: Vec<ZPhases> = Vec::with_capacity(lanes);
+    let mut zlo: Vec<(f64, f64)> = Vec::with_capacity(lanes);
+    let mut zhi: Vec<(f64, f64)> = Vec::with_capacity(lanes);
 
     // Forward walk over the raw (unfused) schedule: the serial adjoint
     // differentiates the op list 1:1, so no fusion here either.
@@ -1345,13 +1213,11 @@ pub(crate) fn run_adjoint_slab(
     }
     for op in &pa.ops {
         adj_apply(
-            &op.gate, false, &mut phi, lanes, dim, inputs, &pa.params, &mut xy, &mut zp,
+            &op.gate, false, &mut phi, lanes, dim, inputs, &pa.params, &mut xy, &mut zlo, &mut zhi,
         );
     }
 
-    let outs: Vec<Vec<f64>> = (0..lanes)
-        .map(|lane| readout_from_slab(readout, &phi, lanes, lane))
-        .collect();
+    let outs = readouts_from_slab(readout, &phi, lanes);
 
     // λ_j = O_j |ψ⟩ per output observable, then the reverse sweep.
     let observables: Vec<SlabObservable> = match readout {
@@ -1366,29 +1232,39 @@ pub(crate) fn run_adjoint_slab(
         .collect();
 
     let mut jacs = vec![Jacobian::zeros(n_out, pa.n_params); lanes];
-    let mut gen = vec![Complex64::ZERO; dim * lanes];
-    for op in pa.ops.iter().rev() {
+    let mut accs = vec![0.0f64; n_out * lanes];
+    let mut gbuf = vec![Complex64::new(0.0, 0.0); lanes];
+    // The reverse sweep only exists to serve the accumulates: states
+    // before the first parameterised op (the input-encoder prefix) are
+    // never read, so the sweep ends right after that op's contribution
+    // instead of un-applying the prefix through φ and every λ.
+    let Some(first_param) = pa.ops.iter().position(|op| op.param.is_some()) else {
+        return outs.into_iter().zip(jacs).collect();
+    };
+    for (k, op) in pa.ops.iter().enumerate().rev() {
         // Contribution uses φ = ψ_k (state *after* gate k) and λ = λ_k,
         // exactly like the serial sweep: ∂E/∂θ += Im⟨λ_k|G|ψ_k⟩.
         if let Some(p) = op.param {
-            gen.copy_from_slice(&phi);
-            apply_generator_slab(&op.gate, &mut gen, lanes, dim);
-            for (j, lam) in lambdas.iter().enumerate() {
-                for (lane, jac) in jacs.iter_mut().enumerate() {
-                    let mut acc = Complex64::ZERO;
-                    for i in 0..dim {
-                        acc += lam[i * lanes + lane].conj() * gen[i * lanes + lane];
-                    }
-                    *jac.get_mut(j, p) += acc.im;
+            accs.fill(0.0);
+            let lrefs: Vec<&[Complex64]> = lambdas.iter().map(|l| l.as_slice()).collect();
+            accumulate_generator_im(&op.gate, &phi, &lrefs, lanes, dim, &mut accs, &mut gbuf);
+            for (lane, jac) in jacs.iter_mut().enumerate() {
+                for j in 0..n_out {
+                    *jac.get_mut(j, p) += accs[j * lanes + lane];
                 }
             }
         }
+        if k == first_param {
+            break;
+        }
         // Un-apply the gate from φ and every λ, resolving any
         // input-dependent trig once for all of them.
-        resolve_sym_trig(&op.gate, true, inputs, &pa.params, &mut xy, &mut zp);
-        adj_apply_resolved(&op.gate, true, &mut phi, lanes, dim, &xy, &zp);
+        resolve_sym_trig(
+            &op.gate, true, inputs, &pa.params, &mut xy, &mut zlo, &mut zhi,
+        );
+        adj_apply_resolved(&op.gate, true, &mut phi, lanes, dim, &xy, &zlo, &zhi);
         for lam in &mut lambdas {
-            adj_apply_resolved(&op.gate, true, lam, lanes, dim, &xy, &zp);
+            adj_apply_resolved(&op.gate, true, lam, lanes, dim, &xy, &zlo, &zhi);
         }
     }
     outs.into_iter().zip(jacs).collect()
