@@ -22,11 +22,16 @@ struct Cli {
     out: PathBuf,
     checkpoints: Option<PathBuf>,
     workers: usize,
+    faults: Option<FaultPlan>,
+    cell_retries: Option<u32>,
 }
 
 fn usage() -> &'static str {
     "usage: sweep --spec <spec-or-json> | --spec-file <path> \
-     [--out <dir>] [--checkpoints <dir>] [--workers <n>]"
+     [--out <dir>] [--checkpoints <dir>] [--workers <n>] \
+     [--faults <plan>] [--cell-retries <n>]\n\
+     --faults takes a seeded fault plan, e.g. faults:kill=0.05:seed=9; \
+     --cell-retries overrides the per-cell retry budget (default 6)"
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -36,6 +41,8 @@ fn parse_cli() -> Result<Cli, String> {
         out: PathBuf::from("results/sweeps"),
         checkpoints: None,
         workers: 0,
+        faults: None,
+        cell_retries: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -52,6 +59,20 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.workers = value("--workers")?
                     .parse()
                     .map_err(|_| "--workers expects a number".to_string())?;
+            }
+            "--faults" => {
+                cli.faults = Some(
+                    value("--faults")?
+                        .parse()
+                        .map_err(|e| format!("--faults: {e}"))?,
+                );
+            }
+            "--cell-retries" => {
+                cli.cell_retries = Some(
+                    value("--cell-retries")?
+                        .parse()
+                        .map_err(|_| "--cell-retries expects a number".to_string())?,
+                );
             }
             "--help" | "-h" => return Err(usage().into()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
@@ -108,9 +129,18 @@ fn main() -> ExitCode {
         spec.seeds.len(),
         spec.epochs,
     );
+    if let Some(plan) = &cli.faults {
+        println!("fault injection: {plan}");
+    }
+    let mut retry = RetryPolicy::default();
+    if let Some(n) = cli.cell_retries {
+        retry.max_retries = n;
+    }
     let opts = SweepOptions {
         workers: cli.workers,
         checkpoint_dir: cli.checkpoints.clone(),
+        faults: cli.faults,
+        retry,
     };
     let result = match run_sweep(&spec, &opts) {
         Ok(result) => result,
@@ -128,6 +158,22 @@ fn main() -> ExitCode {
             cell.id.label(),
             cell.history.final_reward(spec.tail()).unwrap_or(f64::NAN),
             cell.wall_secs,
+        );
+    }
+    for q in &result.quarantined {
+        println!(
+            "  {:<60} QUARANTINED after {} attempt(s): {}",
+            q.id.label(),
+            q.attempts,
+            q.error,
+        );
+    }
+    if result.faults.is_some() {
+        println!(
+            "chaos: {} kill(s) injected, {} retry attempt(s), {} cell(s) quarantined",
+            result.kills_injected,
+            result.cell_retries,
+            result.quarantined.len(),
         );
     }
     println!(

@@ -21,6 +21,12 @@ pub struct CellOptions {
     /// cooperative stand-in for a killed process in resume tests and
     /// budgeted partial sweeps. `None` runs to the spec's epoch budget.
     pub stop_after: Option<usize>,
+    /// Chaos hook: `panic_any(InjectedKill)` once this many epochs are
+    /// complete, *after* any checkpoint for that epoch is on disk — the
+    /// uncooperative stand-in for a process killed mid-sweep. The sweep
+    /// engine's panic isolation catches the typed payload and retries;
+    /// see [`crate::sweep::SweepOptions::faults`].
+    pub panic_after: Option<usize>,
 }
 
 /// The outcome of one cell run.
@@ -175,6 +181,14 @@ pub fn run_cell(
                     .map_err(|e| HarnessError::Io(format!("create {}: {e}", dir.display())))?;
             }
             trainer.capture_state(&context).save(path)?;
+        }
+        if let Some(kill_at) = opts.panic_after {
+            if done >= kill_at {
+                std::panic::panic_any(qmarl_chaos::InjectedKill {
+                    cell: label.clone(),
+                    epoch: done,
+                });
+            }
         }
     }
 

@@ -11,6 +11,10 @@ pub enum HarnessError {
     Core(CoreError),
     /// Filesystem trouble around checkpoints or artifacts.
     Io(String),
+    /// Every cell of a sweep exhausted its retry budget — there are no
+    /// results to aggregate, so the sweep as a whole is an error rather
+    /// than an (empty) partial result.
+    SweepFailed(String),
 }
 
 impl std::fmt::Display for HarnessError {
@@ -19,6 +23,7 @@ impl std::fmt::Display for HarnessError {
             HarnessError::InvalidSpec(msg) => write!(f, "invalid experiment spec: {msg}"),
             HarnessError::Core(e) => write!(f, "cell execution: {e}"),
             HarnessError::Io(msg) => write!(f, "harness I/O: {msg}"),
+            HarnessError::SweepFailed(msg) => write!(f, "sweep failed: {msg}"),
         }
     }
 }
@@ -28,5 +33,40 @@ impl std::error::Error for HarnessError {}
 impl From<CoreError> for HarnessError {
     fn from(e: CoreError) -> Self {
         HarnessError::Core(e)
+    }
+}
+
+/// How one cell attempt failed — the typed outcome panic isolation and
+/// the sweep retry loop trade in.
+///
+/// The three variants are deliberately distinguishable: an injected
+/// chaos [`Killed`](CellError::Killed) is *expected* under a fault plan
+/// (retry, resume, carry on), a [`Panicked`](CellError::Panicked) cell
+/// is a genuine bug that must be reported loudly but must never poison
+/// sibling cells, and a [`Failed`](CellError::Failed) cell returned a
+/// typed error through the normal path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// A seeded chaos kill fired after this many completed epochs.
+    Killed {
+        /// Epochs the cell had completed when the kill fired.
+        epoch: usize,
+    },
+    /// The cell panicked for a reason other than an injected kill.
+    Panicked {
+        /// The rendered panic payload.
+        message: String,
+    },
+    /// The cell returned an error without panicking.
+    Failed(HarnessError),
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Killed { epoch } => write!(f, "injected kill after epoch {epoch}"),
+            CellError::Panicked { message } => write!(f, "cell panicked: {message}"),
+            CellError::Failed(e) => write!(f, "{e}"),
+        }
     }
 }

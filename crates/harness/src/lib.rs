@@ -13,6 +13,15 @@
 //! per-seed metrics into mean/CI summaries and emits stable JSON/CSV
 //! artifacts.
 //!
+//! Cell failures are contained, not fatal: every attempt runs under
+//! panic isolation, failed or chaos-killed cells are retried with
+//! capped backoff, and cells that exhaust the budget are quarantined so
+//! the sweep still completes with deterministic partial results. A
+//! seeded [`qmarl_chaos::FaultPlan`] (`SweepOptions::faults`) turns
+//! this machinery into a self-test: kills injected at plan-chosen
+//! epochs compose with checkpoint-resume + retry to reproduce a clean
+//! run's summary byte for byte.
+//!
 //! ```no_run
 //! use qmarl_harness::prelude::*;
 //!
@@ -43,10 +52,13 @@ pub mod welford;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::cell::{run_cell, CellOptions, CellResult};
-    pub use crate::error::HarnessError;
+    pub use crate::error::{CellError, HarnessError};
     pub use crate::json::Json;
-    pub use crate::pool::{run_tasks, try_run_tasks, Timed};
+    pub use crate::pool::{run_tasks, run_tasks_isolated, try_run_tasks, Timed};
     pub use crate::spec::{tail_epochs, CellId, ExperimentSpec, GroupId, RolloutMode};
-    pub use crate::sweep::{run_sweep, GroupSummary, Stats, SweepOptions, SweepResult};
+    pub use crate::sweep::{
+        run_sweep, GroupSummary, QuarantinedCell, Stats, SweepOptions, SweepResult,
+    };
     pub use crate::welford::Welford;
+    pub use qmarl_chaos::{silence_injected_kills, FaultPlan, RetryPolicy};
 }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use qmarl_qsim::par::{default_workers, parallel_map};
+use qmarl_qsim::par::{default_workers, parallel_map, parallel_map_isolated};
 
 /// One task's result with its wall-clock cost.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +68,37 @@ where
         .collect()
 }
 
+/// [`run_tasks`] with per-task panic isolation: a panicking task yields
+/// `Err(payload)` at its own index and *never poisons its siblings* —
+/// every other task still runs to completion on the shared pool. The
+/// payload is the raw unwind box so callers can downcast typed panics
+/// (the sweep engine downcasts [`qmarl_chaos::InjectedKill`]); render
+/// anything else with [`qmarl_qsim::par::panic_message`].
+pub fn run_tasks_isolated<T, R, F>(
+    items: &[T],
+    workers: usize,
+    f: F,
+) -> Vec<Result<Timed<R>, Box<dyn std::any::Any + Send>>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    };
+    parallel_map_isolated(items, workers, |i, item| {
+        let t0 = Instant::now();
+        let value = f(i, item);
+        Timed {
+            value,
+            wall_secs: t0.elapsed().as_secs_f64(),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +131,39 @@ mod tests {
         assert_eq!(res.unwrap_err(), 7);
         let ok: Result<Vec<Timed<u32>>, u32> = try_run_tasks(&items, 4, |_, &x| Ok(x));
         assert_eq!(ok.unwrap().len(), 20);
+    }
+
+    #[test]
+    fn isolated_tasks_survive_typed_panics_from_siblings() {
+        qmarl_chaos::silence_injected_kills();
+        let items: Vec<u64> = (0..16).collect();
+        for workers in [1, 4] {
+            let out = run_tasks_isolated(&items, workers, |_, &x| {
+                if x % 5 == 3 {
+                    std::panic::panic_any(qmarl_chaos::InjectedKill {
+                        cell: format!("task-{x}"),
+                        epoch: x as usize,
+                    });
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 16);
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(t) => {
+                        assert_ne!(i % 5, 3);
+                        assert_eq!(t.value, i as u64 * 2);
+                    }
+                    Err(payload) => {
+                        // The raw payload downcasts to the typed kill.
+                        let kill = payload
+                            .downcast_ref::<qmarl_chaos::InjectedKill>()
+                            .expect("typed payload");
+                        assert_eq!(i % 5, 3);
+                        assert_eq!(kill.epoch, i);
+                    }
+                }
+            }
+        }
     }
 }

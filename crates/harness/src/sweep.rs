@@ -1,15 +1,17 @@
 //! The sweep engine: a whole experiment grid over the worker pool, with
 //! streaming per-group aggregation and stable artifacts.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use qmarl_qsim::par::{default_workers, try_parallel_map};
+use qmarl_chaos::{fnv1a, site, FaultPlan, InjectedKill, RetryPolicy};
+use qmarl_qsim::par::{default_workers, panic_message, parallel_map};
 
 use crate::cell::{run_cell, CellOptions, CellResult};
-use crate::error::HarnessError;
+use crate::error::{CellError, HarnessError};
 use crate::json::Json;
-use crate::spec::{engine_name, ExperimentSpec, GroupId};
+use crate::spec::{engine_name, CellId, ExperimentSpec, GroupId};
 use crate::welford::Welford;
 
 /// Sweep-level execution knobs.
@@ -22,6 +24,16 @@ pub struct SweepOptions {
     /// it, so re-running an interrupted sweep completes only the missing
     /// work.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Seeded chaos injection: cells are killed (`panic_any`, caught by
+    /// per-cell isolation) at fault-plan-chosen epochs and retried.
+    /// Decisions key off `(cell label, attempt)` only, so they are
+    /// worker-count invariant and bit-reproducible. `None` (and any
+    /// all-zero-rate plan) is fully inert.
+    pub faults: Option<FaultPlan>,
+    /// Per-cell retry budget and backoff for failed or killed attempts.
+    /// A cell that exhausts it is quarantined, not fatal: the sweep
+    /// completes with deterministic partial results.
+    pub retry: RetryPolicy,
 }
 
 /// Seed-aggregated statistics of one metric.
@@ -92,13 +104,36 @@ impl GroupSummary {
     }
 }
 
-/// A finished sweep: every cell's result plus per-group aggregates.
+/// A cell that exhausted its retry budget and was excluded from the
+/// aggregates instead of failing the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedCell {
+    /// The failed cell's grid coordinates.
+    pub id: CellId,
+    /// Attempts made (first run plus retries).
+    pub attempts: u32,
+    /// The last attempt's typed error.
+    pub error: CellError,
+}
+
+/// A finished sweep: every surviving cell's result plus per-group
+/// aggregates and the quarantine ledger.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
-    /// Per-cell results in grid expansion order.
+    /// Per-cell results in grid expansion order (quarantined cells are
+    /// absent — see [`SweepResult::quarantined`]).
     pub cells: Vec<CellResult>,
-    /// Per-group aggregates in grid group order.
+    /// Per-group aggregates in grid group order, folded over the
+    /// surviving seeds only.
     pub groups: Vec<GroupSummary>,
+    /// Cells that exhausted their retry budget, in grid expansion order.
+    pub quarantined: Vec<QuarantinedCell>,
+    /// Total retry attempts across all cells (0 on a clean run).
+    pub cell_retries: u64,
+    /// Injected chaos kills absorbed by retries or quarantine.
+    pub kills_injected: u64,
+    /// The fault plan the sweep ran under, if any.
+    pub faults: Option<FaultPlan>,
     /// Whole-sweep wall-clock seconds.
     pub wall_secs: f64,
 }
@@ -156,12 +191,90 @@ impl SweepResult {
                 ("wall_secs".into(), Json::Num(c.wall_secs)),
             ]));
         }
+        let quarantined = self
+            .quarantined
+            .iter()
+            .map(|q| {
+                Json::Obj(vec![
+                    ("cell".into(), Json::Str(q.id.label())),
+                    ("attempts".into(), Json::Num(q.attempts as f64)),
+                    ("error".into(), Json::Str(q.error.to_string())),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             ("name".into(), Json::Str(spec.name.clone())),
             ("spec".into(), Json::Str(spec.to_spec_string())),
             ("tail_epochs".into(), Json::Num(tail as f64)),
             ("groups".into(), Json::Arr(groups)),
             ("cells".into(), Json::Arr(cells)),
+            ("quarantined".into(), Json::Arr(quarantined)),
+        ])
+        .render_pretty(2)
+    }
+
+    /// The summary with every run-dependent field (`wall_secs`,
+    /// `resumed_at`) scrubbed: what's left is a pure function of the
+    /// spec, the seeds and the surviving cells. A chaos run whose kills
+    /// were all absorbed by checkpoint-resume + retry fingerprints
+    /// **byte-identically** to a clean run — the chaos E2E suite holds
+    /// this as an `assert_eq`.
+    pub fn fingerprint_json(&self, spec: &ExperimentSpec) -> String {
+        fn scrub(v: &mut Json) {
+            match v {
+                Json::Obj(pairs) => {
+                    for (k, v) in pairs {
+                        if k.contains("wall") || k == "resumed_at" {
+                            *v = Json::Null;
+                        } else {
+                            scrub(v);
+                        }
+                    }
+                }
+                Json::Arr(items) => items.iter_mut().for_each(scrub),
+                _ => {}
+            }
+        }
+        let mut doc = Json::parse(&self.summary_json(spec)).expect("own summary is valid JSON");
+        scrub(&mut doc);
+        doc.render_pretty(2)
+    }
+
+    /// The chaos report: fault plan, retry/kill totals and the
+    /// quarantine ledger, as stable JSON (the CI chaos-smoke artifact).
+    pub fn fault_report_json(&self, spec: &ExperimentSpec) -> String {
+        let quarantined = self
+            .quarantined
+            .iter()
+            .map(|q| {
+                Json::Obj(vec![
+                    ("cell".into(), Json::Str(q.id.label())),
+                    ("attempts".into(), Json::Num(q.attempts as f64)),
+                    ("error".into(), Json::Str(q.error.to_string())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("name".into(), Json::Str(spec.name.clone())),
+            (
+                "faults".into(),
+                self.faults.map_or(Json::Null, |p| Json::Str(p.to_string())),
+            ),
+            (
+                "cells_total".into(),
+                Json::Num((self.cells.len() + self.quarantined.len()) as f64),
+            ),
+            ("cells_ok".into(), Json::Num(self.cells.len() as f64)),
+            (
+                "cells_quarantined".into(),
+                Json::Num(self.quarantined.len() as f64),
+            ),
+            ("cell_retries".into(), Json::Num(self.cell_retries as f64)),
+            (
+                "kills_injected".into(),
+                Json::Num(self.kills_injected as f64),
+            ),
+            ("quarantined".into(), Json::Arr(quarantined)),
         ])
         .render_pretty(2)
     }
@@ -189,6 +302,12 @@ impl SweepResult {
             dir.join(format!("{}_summary.json", spec.name)),
             &self.summary_json(spec),
         )?);
+        if self.faults.is_some() || !self.quarantined.is_empty() {
+            paths.push(write(
+                dir.join(format!("{}_faults.json", spec.name)),
+                &self.fault_report_json(spec),
+            )?);
+        }
         for g in &self.groups {
             paths.push(write(
                 dir.join(format!("{}_{}_curves.csv", spec.name, g.group.slug())),
@@ -199,6 +318,86 @@ impl SweepResult {
     }
 }
 
+/// One cell's retry-loop outcome (private to the sweep engine).
+struct CellOutcome {
+    result: Result<CellResult, QuarantinedCell>,
+    retries: u64,
+    kills: u64,
+}
+
+/// Runs one cell under panic isolation and the sweep's retry budget.
+///
+/// Every attempt is wrapped in `catch_unwind`, so neither an injected
+/// kill nor a genuine cell panic can poison the worker pool. Kill
+/// decisions (and their epochs, and the backoff jitter) are pure
+/// functions of `(fault seed, cell label, attempt)` — never of worker
+/// scheduling — so a chaos sweep is bit-reproducible at any worker
+/// count. When checkpointing is on, a killed attempt resumes from the
+/// last checkpoint; either way the retried cell recomputes exactly what
+/// an uninterrupted run would have.
+fn run_cell_with_retries(
+    spec: &ExperimentSpec,
+    id: &CellId,
+    base: &CellOptions,
+    plan: Option<FaultPlan>,
+    retry: &RetryPolicy,
+) -> CellOutcome {
+    let cell_key = fnv1a(id.label().as_bytes());
+    let (mut retries, mut kills) = (0u64, 0u64);
+    let mut attempt: u32 = 0;
+    loop {
+        let attempt_key = FaultPlan::key2(cell_key, attempt as u64);
+        let kill_after = plan.and_then(|p| {
+            if p.fires(p.kill, site::CELL_KILL, attempt_key) {
+                // A seeded epoch in [1, epochs]: kills land anywhere in
+                // the run, including right after the final checkpoint.
+                let roll = p.roll(site::CELL_KILL_EPOCH, attempt_key);
+                Some(((roll * spec.epochs as f64) as usize + 1).min(spec.epochs.max(1)))
+            } else {
+                None
+            }
+        });
+        let cell_opts = CellOptions {
+            panic_after: kill_after,
+            ..base.clone()
+        };
+        let error = match catch_unwind(AssertUnwindSafe(|| run_cell(spec, id, &cell_opts))) {
+            Ok(Ok(result)) => {
+                return CellOutcome {
+                    result: Ok(result),
+                    retries,
+                    kills,
+                }
+            }
+            Ok(Err(e)) => CellError::Failed(e),
+            Err(payload) => match payload.downcast::<InjectedKill>() {
+                Ok(kill) => {
+                    kills += 1;
+                    CellError::Killed { epoch: kill.epoch }
+                }
+                Err(other) => CellError::Panicked {
+                    message: panic_message(other.as_ref()),
+                },
+            },
+        };
+        if attempt >= retry.max_retries {
+            return CellOutcome {
+                result: Err(QuarantinedCell {
+                    id: id.clone(),
+                    attempts: attempt + 1,
+                    error,
+                }),
+                retries,
+                kills,
+            };
+        }
+        let jitter = plan.map_or(0.5, |p| p.roll(site::RETRY_JITTER, attempt_key));
+        std::thread::sleep(retry.delay(attempt, jitter));
+        retries += 1;
+        attempt += 1;
+    }
+}
+
 /// Runs every cell of the grid over the work-stealing pool and folds the
 /// per-seed results into group aggregates. Cell execution order is
 /// whatever the pool schedules; results land in grid expansion order and
@@ -206,10 +405,16 @@ impl SweepResult {
 /// reproducible run to run (and bit-identical when resumed — see
 /// [`run_cell`]).
 ///
+/// Failures are isolated, retried with capped backoff, and finally
+/// quarantined: the sweep completes with deterministic partial results
+/// (groups aggregate surviving seeds only) and the quarantine ledger in
+/// [`SweepResult::quarantined`] / the summary JSON.
+///
 /// # Errors
 ///
-/// Validates the spec, then propagates the lowest-indexed failing cell's
-/// error.
+/// Validates the spec (and the fault plan), and fails outright only
+/// when *every* cell was quarantined — partial failure is a result, not
+/// an error.
 pub fn run_sweep(spec: &ExperimentSpec, opts: &SweepOptions) -> Result<SweepResult, HarnessError> {
     spec.validate()?;
     if spec.checkpoint_every > 0 && opts.checkpoint_dir.is_none() {
@@ -217,6 +422,11 @@ pub fn run_sweep(spec: &ExperimentSpec, opts: &SweepOptions) -> Result<SweepResu
             "spec {} checkpoints every {} epochs but SweepOptions.checkpoint_dir is unset",
             spec.name, spec.checkpoint_every
         )));
+    }
+    if let Some(plan) = &opts.faults {
+        plan.validate()
+            .map_err(|e| HarnessError::InvalidSpec(e.to_string()))?;
+        qmarl_chaos::silence_injected_kills();
     }
     let started = Instant::now();
     let cells = spec.expand();
@@ -228,9 +438,33 @@ pub fn run_sweep(spec: &ExperimentSpec, opts: &SweepOptions) -> Result<SweepResu
     let cell_opts = CellOptions {
         checkpoint_dir: opts.checkpoint_dir.clone(),
         stop_after: None,
+        panic_after: None,
     };
-    let results: Vec<CellResult> =
-        try_parallel_map(&cells, workers, |_, id| run_cell(spec, id, &cell_opts))?;
+    let outcomes: Vec<CellOutcome> = parallel_map(&cells, workers, |_, id| {
+        run_cell_with_retries(spec, id, &cell_opts, opts.faults, &opts.retry)
+    });
+
+    let mut results = Vec::new();
+    let mut quarantined = Vec::new();
+    let (mut cell_retries, mut kills_injected) = (0u64, 0u64);
+    for outcome in outcomes {
+        cell_retries += outcome.retries;
+        kills_injected += outcome.kills;
+        match outcome.result {
+            Ok(result) => results.push(result),
+            Err(q) => quarantined.push(q),
+        }
+    }
+    if results.is_empty() && !quarantined.is_empty() {
+        let first = &quarantined[0];
+        return Err(HarnessError::SweepFailed(format!(
+            "all {} cells quarantined; first: {} after {} attempt(s): {}",
+            quarantined.len(),
+            first.id.label(),
+            first.attempts,
+            first.error,
+        )));
+    }
 
     let tail = spec.tail();
     let mut groups = Vec::new();
@@ -258,7 +492,9 @@ pub fn run_sweep(spec: &ExperimentSpec, opts: &SweepOptions) -> Result<SweepResu
         }
         groups.push(GroupSummary {
             group,
-            seeds: spec.seeds.clone(),
+            // Surviving seeds only: quarantined cells drop out of the
+            // aggregates (and out of this list) deterministically.
+            seeds: members.iter().map(|c| c.id.seed).collect(),
             reward: Stats::of(&reward),
             queue: Stats::of(&queue),
             wall_secs: Stats::of(&wall),
@@ -280,6 +516,10 @@ pub fn run_sweep(spec: &ExperimentSpec, opts: &SweepOptions) -> Result<SweepResu
     Ok(SweepResult {
         cells: results,
         groups,
+        quarantined,
+        cell_retries,
+        kills_injected,
+        faults: opts.faults,
         wall_secs: started.elapsed().as_secs_f64(),
     })
 }

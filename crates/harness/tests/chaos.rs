@@ -1,0 +1,184 @@
+//! Chaos suite for the sweep engine: seeded kills, retries, quarantine.
+//!
+//! The headline claim is compositional determinism: checkpoint-resume
+//! (PR earlier) + panic isolation + seeded retry (this PR) compose so a
+//! sweep hammered by injected kills produces **byte-identical** final
+//! artifacts to a clean run — and when cells do die for good, the
+//! partial result is itself deterministic and worker-count invariant.
+
+use std::path::PathBuf;
+
+use qmarl_harness::prelude::*;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qmarl_chaos_{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// A short backoff so a kill-heavy test doesn't sleep its way to the CI
+/// timeout; the budget (`max_retries`) is what each test varies.
+fn fast_retry(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        base: std::time::Duration::from_millis(1),
+        cap: std::time::Duration::from_millis(5),
+    }
+}
+
+/// Kills injected at seeded epochs, absorbed by checkpoint-resume and
+/// retry, reproduce a clean sweep bit for bit: every surviving cell's
+/// history and parameters are `assert_eq`-equal and the scrubbed
+/// summary fingerprints match byte for byte.
+#[test]
+fn kills_plus_resume_plus_retry_match_a_clean_run_bit_for_bit() {
+    silence_injected_kills();
+    let spec: ExperimentSpec =
+        "name=chaos-kill;scenarios=single-hop;engines=batched;seeds=0..3;epochs=3;limit=6;\
+         episodes=2;lanes=2;checkpoint=1"
+            .parse()
+            .unwrap();
+
+    let clean = run_sweep(
+        &spec,
+        &SweepOptions {
+            checkpoint_dir: Some(tmp_dir("clean")),
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    // The inert baseline: no plan means zero chaos bookkeeping.
+    assert_eq!(clean.kills_injected, 0);
+    assert_eq!(clean.cell_retries, 0);
+    assert!(clean.quarantined.is_empty());
+
+    // A 90% kill rate cannot stall a checkpointed sweep: every attempt
+    // banks at least one epoch before its kill fires, so `epochs`
+    // retries always suffice. It CAN and does fire constantly.
+    let plan: FaultPlan = "faults:kill=0.9:seed=11".parse().unwrap();
+    let chaos = run_sweep(
+        &spec,
+        &SweepOptions {
+            checkpoint_dir: Some(tmp_dir("killed")),
+            faults: Some(plan),
+            retry: fast_retry(8),
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+
+    assert!(chaos.kills_injected > 0, "a 90% kill rate must fire");
+    assert!(chaos.cell_retries > 0, "kills must force retries");
+    assert!(chaos.quarantined.is_empty(), "the budget must absorb them");
+    assert_eq!(chaos.cells.len(), clean.cells.len());
+    for (a, b) in clean.cells.iter().zip(&chaos.cells) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.history, b.history, "{}: history must match", a.id.label());
+        assert_eq!(
+            a.snapshot,
+            b.snapshot,
+            "{}: params must match",
+            a.id.label()
+        );
+    }
+    assert_eq!(
+        clean.fingerprint_json(&spec),
+        chaos.fingerprint_json(&spec),
+        "chaos and clean summaries must fingerprint identically"
+    );
+}
+
+/// Exhausted cells are quarantined, the sweep completes with partial
+/// results, and the whole outcome — which cells died, which seeds each
+/// group aggregates, the summary bytes — is deterministic and invariant
+/// to worker count.
+#[test]
+fn quarantine_yields_deterministic_partial_results() {
+    silence_injected_kills();
+    // No checkpoints: a killed attempt restarts from scratch, and with
+    // a zero retry budget its first kill is terminal.
+    let spec: ExperimentSpec =
+        "name=chaos-q;scenarios=single-hop;engines=batched;seeds=0..5;epochs=2;limit=6;\
+         episodes=2;lanes=2"
+            .parse()
+            .unwrap();
+    let plan: FaultPlan = "faults:kill=0.5:seed=7".parse().unwrap();
+    let sweep = |workers: usize| {
+        run_sweep(
+            &spec,
+            &SweepOptions {
+                workers,
+                faults: Some(plan),
+                retry: fast_retry(0),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap()
+    };
+
+    let a = sweep(1);
+    assert!(
+        !a.quarantined.is_empty() && !a.cells.is_empty(),
+        "seed 7 must split the grid: {} quarantined / {} ok",
+        a.quarantined.len(),
+        a.cells.len()
+    );
+    assert_eq!(a.cells.len() + a.quarantined.len(), spec.expand().len());
+    for q in &a.quarantined {
+        assert_eq!(q.attempts, 1);
+        assert!(
+            matches!(q.error, CellError::Killed { .. }),
+            "quarantine cause must be the typed injected kill, got {}",
+            q.error
+        );
+    }
+    // Groups aggregate exactly the surviving seeds.
+    let survivors: Vec<u64> = a.cells.iter().map(|c| c.id.seed).collect();
+    assert_eq!(a.groups[0].seeds, survivors);
+    assert_eq!(a.groups[0].reward.n, survivors.len() as u64);
+    // The summary carries the quarantine ledger.
+    let summary = a.summary_json(&spec);
+    let doc = Json::parse(&summary).expect("valid JSON");
+    assert_eq!(
+        doc.get("quarantined")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(a.quarantined.len())
+    );
+
+    // Worker-count invariance and run-to-run determinism, byte for byte.
+    let b = sweep(3);
+    let c = sweep(3);
+    assert_eq!(a.quarantined, b.quarantined);
+    assert_eq!(a.fingerprint_json(&spec), b.fingerprint_json(&spec));
+    assert_eq!(b.fingerprint_json(&spec), c.fingerprint_json(&spec));
+    assert_eq!(b.fault_report_json(&spec), c.fault_report_json(&spec));
+}
+
+/// When every cell dies for good the sweep is an error — an empty
+/// partial result would silently aggregate nothing.
+#[test]
+fn a_fully_quarantined_sweep_is_a_typed_error() {
+    silence_injected_kills();
+    let spec: ExperimentSpec =
+        "name=chaos-all;scenarios=single-hop;engines=batched;seeds=0..2;epochs=2;limit=6;\
+         episodes=2;lanes=2"
+            .parse()
+            .unwrap();
+    let err = run_sweep(
+        &spec,
+        &SweepOptions {
+            faults: Some("faults:kill=1:seed=1".parse().unwrap()),
+            retry: fast_retry(1),
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, HarnessError::SweepFailed(_)),
+        "expected SweepFailed, got {err}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("quarantined"), "unhelpful error: {msg}");
+}

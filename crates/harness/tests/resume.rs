@@ -39,6 +39,7 @@ fn killed_cell_resumes_bit_identically_at_several_epochs() {
         &CellOptions {
             checkpoint_dir: Some(ref_dir.clone()),
             stop_after: None,
+            panic_after: None,
         },
     )
     .unwrap();
@@ -56,6 +57,7 @@ fn killed_cell_resumes_bit_identically_at_several_epochs() {
             &CellOptions {
                 checkpoint_dir: Some(dir.clone()),
                 stop_after: Some(kill_at),
+                panic_after: None,
             },
         )
         .unwrap();
@@ -68,6 +70,7 @@ fn killed_cell_resumes_bit_identically_at_several_epochs() {
             &CellOptions {
                 checkpoint_dir: Some(dir.clone()),
                 stop_after: None,
+                panic_after: None,
             },
         )
         .unwrap();
@@ -96,6 +99,7 @@ fn killed_cell_resumes_bit_identically_at_several_epochs() {
         &CellOptions {
             checkpoint_dir: Some(ref_dir.clone()),
             stop_after: None,
+            panic_after: None,
         },
     )
     .unwrap();
@@ -121,6 +125,7 @@ fn checkpoint_from_a_different_experiment_shape_is_rejected() {
         &CellOptions {
             checkpoint_dir: Some(dir.clone()),
             stop_after: Some(2),
+            panic_after: None,
         },
     )
     .unwrap();
@@ -140,6 +145,7 @@ fn checkpoint_from_a_different_experiment_shape_is_rejected() {
             &CellOptions {
                 checkpoint_dir: Some(dir.clone()),
                 stop_after: None,
+                panic_after: None,
             },
         )
         .unwrap_err();
@@ -156,6 +162,7 @@ fn checkpoint_from_a_different_experiment_shape_is_rejected() {
         &CellOptions {
             checkpoint_dir: Some(dir.clone()),
             stop_after: None,
+            panic_after: None,
         },
     )
     .unwrap();
@@ -181,6 +188,7 @@ fn killed_cell_resumes_bit_identically_under_sampled_backend() {
         &CellOptions {
             checkpoint_dir: Some(ref_dir.clone()),
             stop_after: None,
+            panic_after: None,
         },
     )
     .unwrap();
@@ -191,6 +199,7 @@ fn killed_cell_resumes_bit_identically_under_sampled_backend() {
         &CellOptions {
             checkpoint_dir: Some(dir.clone()),
             stop_after: Some(2),
+            panic_after: None,
         },
     )
     .unwrap();
@@ -200,6 +209,7 @@ fn killed_cell_resumes_bit_identically_under_sampled_backend() {
         &CellOptions {
             checkpoint_dir: Some(dir.clone()),
             stop_after: None,
+            panic_after: None,
         },
     )
     .unwrap();
@@ -223,6 +233,7 @@ fn interrupted_sweep_resumes_bit_identically() {
         &SweepOptions {
             workers: 2,
             checkpoint_dir: Some(clean_dir.clone()),
+            ..SweepOptions::default()
         },
     )
     .unwrap();
@@ -235,6 +246,7 @@ fn interrupted_sweep_resumes_bit_identically() {
             &CellOptions {
                 checkpoint_dir: Some(dir.clone()),
                 stop_after: Some(1 + i), // kill cells at epochs 1, 2, 3 (seed 2 completes)
+                panic_after: None,
             },
         )
         .unwrap();
@@ -244,6 +256,7 @@ fn interrupted_sweep_resumes_bit_identically() {
         &SweepOptions {
             workers: 2,
             checkpoint_dir: Some(dir.clone()),
+            ..SweepOptions::default()
         },
     )
     .unwrap();

@@ -87,6 +87,44 @@ where
     parallel_map(items, workers, f).into_iter().collect()
 }
 
+/// [`parallel_map`] with per-task panic isolation: a panicking task
+/// yields `Err(payload)` in its slot instead of tearing down the whole
+/// map. Workers keep draining the queue after a panic, so one bad task
+/// never poisons its siblings — the property long-running sweeps need
+/// when a single cell dies.
+///
+/// The closure must be [`std::panic::UnwindSafe`] in spirit: it is run
+/// under `catch_unwind(AssertUnwindSafe(..))`, which is sound here
+/// because tasks only share read-only inputs and each writes its own
+/// output slot. Use [`panic_message`] to render a payload for humans.
+pub fn parallel_map_isolated<T, R, F>(
+    items: &[T],
+    workers: usize,
+    f: F,
+) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map(items, workers, |i, t| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, t)))
+    })
+}
+
+/// Best-effort human-readable rendering of a panic payload: the `&str` /
+/// `String` message when the panic used one, a placeholder otherwise
+/// (typed payloads like injected kills should be downcast instead).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +185,45 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn isolated_map_contains_panics_without_poisoning_siblings() {
+        // Silence the default hook's backtrace for the intentional panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<usize> = (0..64).collect();
+        for workers in [1, 4] {
+            let out = parallel_map_isolated(&items, workers, |_, &x| {
+                if x % 13 == 5 {
+                    panic!("task {x} exploded");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 13 == 5 {
+                    let payload = r.as_ref().expect_err("should have panicked");
+                    assert_eq!(
+                        panic_message(payload.as_ref()),
+                        format!("task {i} exploded")
+                    );
+                } else {
+                    assert_eq!(*r.as_ref().expect("should have succeeded"), i * 2);
+                }
+            }
+        }
+        std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let p = std::panic::catch_unwind(|| panic!("boom")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "boom");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+        std::panic::set_hook(prev);
     }
 }

@@ -24,12 +24,13 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use qmarl_chaos::{site, FaultPlan};
 use qmarl_core::serving::ServablePolicy;
 
 use crate::error::ServeError;
 use crate::hist::LatencyHistogram;
 
-/// Micro-batching knobs.
+/// Micro-batching and overload-control knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
     /// How long the batcher waits after the first request of a tick for
@@ -38,6 +39,14 @@ pub struct BatchConfig {
     pub window: Duration,
     /// Hard cap on requests per tick; the tick fires early when reached.
     pub max_batch: usize,
+    /// Per-request queueing deadline: a job still waiting when the
+    /// batcher picks it up past this age is answered BUSY instead of
+    /// executed (it would be stale anyway). Zero disables deadlines.
+    pub deadline: Duration,
+    /// Queue-depth bound: requests arriving while this many jobs are
+    /// already queued are shed with BUSY at admission, before queueing.
+    /// Zero means unbounded (no shedding).
+    pub max_queue: usize,
 }
 
 impl Default for BatchConfig {
@@ -45,6 +54,8 @@ impl Default for BatchConfig {
         BatchConfig {
             window: Duration::from_micros(1_000),
             max_batch: 64,
+            deadline: Duration::ZERO,
+            max_queue: 4096,
         }
     }
 }
@@ -124,6 +135,18 @@ pub struct ServeStats {
     pub batches_executed: AtomicU64,
     /// Requests rejected with an error reply.
     pub requests_rejected: AtomicU64,
+    /// Requests shed with BUSY at admission (queue/connection budget).
+    pub requests_shed: AtomicU64,
+    /// Requests answered BUSY because they aged past their deadline in
+    /// the queue.
+    pub deadline_expired: AtomicU64,
+    /// Jobs in the batcher queue right now (gauge, not a counter).
+    pub queue_depth: AtomicU64,
+    /// Torn/corrupt checkpoints skipped by the watcher (mirrored here
+    /// so INFO can report them without a handle on the watcher).
+    pub corrupt_skips: AtomicU64,
+    /// Faults injected by a configured [`FaultPlan`] (all sites).
+    pub faults_injected: AtomicU64,
     /// Per-tick service time (batch execution only, not queueing).
     pub batch_hist: Mutex<LatencyHistogram>,
 }
@@ -135,13 +158,26 @@ impl ServeStats {
     }
 }
 
+/// Why a queued job was not answered with actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job aged past [`BatchConfig::deadline`] in the queue. The
+    /// server answers BUSY — the failure is the server's load, not the
+    /// request, so the client should back off and retry.
+    Expired,
+    /// The request itself was rejected (bad shape, policy failure).
+    Failed(String),
+}
+
 /// One queued ACT request: the flat observation and a reply channel.
 #[derive(Debug)]
 pub struct Job {
     /// Flat `n_agents × obs_dim` features.
     pub observation: Vec<f64>,
-    /// Where the actions (or an error string) go.
-    pub reply: Sender<Result<Vec<u16>, String>>,
+    /// When the job entered the queue, for deadline enforcement.
+    pub enqueued_at: Instant,
+    /// Where the actions (or a typed failure) go.
+    pub reply: Sender<Result<Vec<u16>, JobError>>,
 }
 
 /// Drain the job queue until every sender is gone.
@@ -155,8 +191,10 @@ pub fn run_batcher(
     slot: Arc<PolicySlot>,
     stats: Arc<ServeStats>,
     cfg: BatchConfig,
+    faults: Option<FaultPlan>,
 ) {
     let mut jobs: Vec<Job> = Vec::with_capacity(cfg.max_batch);
+    let mut tick: u64 = 0;
     loop {
         let first = match rx.recv() {
             Ok(job) => job,
@@ -176,29 +214,50 @@ pub fn run_batcher(
                 }
             }
         }
-        execute_tick(&mut jobs, &slot, &stats);
+        // Gauge down for every job picked up. Saturating: producers that
+        // bypass the admission path (unit tests) never increment it.
+        let picked = jobs.len() as u64;
+        let _ = stats
+            .queue_depth
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                Some(v.saturating_sub(picked))
+            });
+        // Injected slow tick: the policy "takes long" this tick, letting
+        // chaos tests exercise the deadline path under real queueing.
+        if let Some(plan) = &faults {
+            if plan.fires(plan.slow, site::TICK_SLOW, tick) {
+                stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(plan.stall_duration());
+            }
+        }
+        tick += 1;
+        execute_tick(&mut jobs, &slot, &stats, cfg.deadline);
     }
 }
 
 /// Run one coalesced tick and answer every job in it.
-fn execute_tick(jobs: &mut Vec<Job>, slot: &PolicySlot, stats: &ServeStats) {
+fn execute_tick(jobs: &mut Vec<Job>, slot: &PolicySlot, stats: &ServeStats, deadline: Duration) {
     // One policy version answers the whole tick, even if a swap lands
     // while the batch is executing.
     let policy = slot.current();
     let want = policy.request_len();
 
-    // Shape-check first: bad requests get individual error replies and
-    // never poison the batch.
+    // Deadline- and shape-check first: stale or bad requests get
+    // individual typed replies and never poison the batch.
+    let now = Instant::now();
     let mut batch: Vec<Job> = Vec::with_capacity(jobs.len());
     for job in jobs.drain(..) {
-        if job.observation.len() == want {
+        if !deadline.is_zero() && now.duration_since(job.enqueued_at) > deadline {
+            stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(JobError::Expired));
+        } else if job.observation.len() == want {
             batch.push(job);
         } else {
             stats.requests_rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(Err(format!(
+            let _ = job.reply.send(Err(JobError::Failed(format!(
                 "observation length {} does not match the policy request length {want}",
                 job.observation.len()
-            )));
+            ))));
         }
     }
     if batch.is_empty() {
@@ -235,7 +294,7 @@ fn execute_tick(jobs: &mut Vec<Job>, slot: &PolicySlot, stats: &ServeStats) {
             let msg = e.to_string();
             for job in &batch {
                 stats.requests_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Err(msg.clone()));
+                let _ = job.reply.send(Err(JobError::Failed(msg.clone())));
             }
         }
     }
@@ -285,6 +344,7 @@ mod tests {
             let (rtx, rrx) = mpsc::channel();
             tx.send(Job {
                 observation: obs,
+                enqueued_at: Instant::now(),
                 reply: rtx,
             })
             .expect("enqueue");
@@ -299,7 +359,9 @@ mod tests {
             BatchConfig {
                 window: Duration::from_millis(50),
                 max_batch: 64,
+                ..BatchConfig::default()
             },
+            None,
         );
 
         for (rrx, exp) in replies.iter().zip(&expected) {
@@ -327,6 +389,7 @@ mod tests {
             let (rtx, rrx) = mpsc::channel();
             tx.send(Job {
                 observation: obs_for(&current, salt),
+                enqueued_at: Instant::now(),
                 reply: rtx,
             })
             .expect("enqueue");
@@ -341,7 +404,9 @@ mod tests {
             BatchConfig {
                 window: Duration::ZERO,
                 max_batch: 64,
+                ..BatchConfig::default()
             },
+            None,
         );
 
         for rrx in &replies {
@@ -364,11 +429,13 @@ mod tests {
         let (bad_tx, bad_rx) = mpsc::channel();
         tx.send(Job {
             observation: obs_for(&current, 0),
+            enqueued_at: Instant::now(),
             reply: good_tx,
         })
         .expect("enqueue");
         tx.send(Job {
             observation: vec![0.5; 3],
+            enqueued_at: Instant::now(),
             reply: bad_tx,
         })
         .expect("enqueue");
@@ -381,13 +448,65 @@ mod tests {
             BatchConfig {
                 window: Duration::from_millis(50),
                 max_batch: 64,
+                ..BatchConfig::default()
             },
+            None,
         );
 
         assert!(good_rx.recv().expect("reply").is_ok());
-        let err = bad_rx.recv().expect("reply").expect_err("shape error");
-        assert!(err.contains("does not match"), "got: {err}");
+        match bad_rx.recv().expect("reply").expect_err("shape error") {
+            JobError::Failed(err) => assert!(err.contains("does not match"), "got: {err}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
         assert_eq!(stats.requests_rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.requests_served.load(Ordering::Relaxed), 1);
+    }
+
+    /// A job that aged past the deadline in the queue is answered
+    /// [`JobError::Expired`] without executing; fresh jobs still run.
+    #[test]
+    fn stale_jobs_expire_instead_of_executing() {
+        let policy = paper_policy();
+        let slot = Arc::new(PolicySlot::new(policy));
+        let stats = Arc::new(ServeStats::new());
+        let (tx, rx) = mpsc::channel::<Job>();
+
+        let current = slot.current();
+        let (stale_tx, stale_rx) = mpsc::channel();
+        let (fresh_tx, fresh_rx) = mpsc::channel();
+        tx.send(Job {
+            observation: obs_for(&current, 0),
+            enqueued_at: Instant::now() - Duration::from_millis(100),
+            reply: stale_tx,
+        })
+        .expect("enqueue");
+        tx.send(Job {
+            observation: obs_for(&current, 1),
+            enqueued_at: Instant::now(),
+            reply: fresh_tx,
+        })
+        .expect("enqueue");
+        drop(tx);
+
+        run_batcher(
+            rx,
+            slot,
+            stats.clone(),
+            BatchConfig {
+                window: Duration::from_millis(20),
+                max_batch: 64,
+                deadline: Duration::from_millis(50),
+                ..BatchConfig::default()
+            },
+            None,
+        );
+
+        assert_eq!(
+            stale_rx.recv().expect("reply").expect_err("expired"),
+            JobError::Expired
+        );
+        assert!(fresh_rx.recv().expect("reply").is_ok());
+        assert_eq!(stats.deadline_expired.load(Ordering::Relaxed), 1);
         assert_eq!(stats.requests_served.load(Ordering::Relaxed), 1);
     }
 }

@@ -8,8 +8,14 @@
 //!         [--loads 1000,32000]        offered requests/s per cell
 //!         [--windows-us 0,1000]       batch windows to sweep (0 = no coalescing)
 //!         [--clients 8] [--duration-ms 2000] [--max-batch 64]
+//!         [--faults faults:drop=0.01:torn=0.005:seed=9]  inject server faults
 //!         [--seed 7] [--out BENCH_serve.json]
 //! ```
+//!
+//! With `--faults`, the server runs under the given seeded fault plan
+//! and every client retries transient failures (capped exponential
+//! backoff); the per-cell retry/shed/give-up counts land in the output
+//! alongside the server's shed/deadline/fault counters.
 //!
 //! Each cell starts a fresh in-process server, drives it with `clients`
 //! paced connections (per-client pacing at `load / clients`; when the
@@ -64,6 +70,13 @@ struct Cell {
     mean_batch: f64,
     batch_p50_us: f64,
     batch_p99_us: f64,
+    retries: u64,
+    client_sheds: u64,
+    gave_up: u64,
+    server_shed: u64,
+    deadline_expired: u64,
+    corrupt_skips: u64,
+    faults_injected: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -77,6 +90,7 @@ fn run_cell(
     duration: Duration,
     max_batch: usize,
     seed: u64,
+    faults: Option<FaultPlan>,
 ) -> Result<Cell, String> {
     let backend: ExecutionBackend = backend_str
         .parse()
@@ -94,7 +108,9 @@ fn run_cell(
             batch: BatchConfig {
                 window: Duration::from_micros(window_us),
                 max_batch,
+                ..BatchConfig::default()
             },
+            faults,
             ..ServerConfig::default()
         },
     )
@@ -106,46 +122,57 @@ fn run_cell(
     let start = Instant::now();
     let end = start + duration;
 
+    let retry_clients = faults.is_some();
     let workers: Vec<_> = (0..clients)
         .map(|c| {
             let scenario = scenario.to_string();
-            std::thread::spawn(move || -> Result<(LatencyHistogram, u64, u64), String> {
-                let mut stream = ObsStream::new(&scenario, seed.wrapping_add(c as u64))
-                    .map_err(|e| e.to_string())?;
-                let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
-                let mut hist = LatencyHistogram::new();
-                let (mut completed, mut errors) = (0u64, 0u64);
-                let mut next_due = Instant::now();
-                while Instant::now() < end {
-                    let now = Instant::now();
-                    if now < next_due {
-                        std::thread::sleep(next_due - now);
+            std::thread::spawn(
+                move || -> Result<(LatencyHistogram, u64, u64, RetryStats), String> {
+                    let mut stream = ObsStream::new(&scenario, seed.wrapping_add(c as u64))
+                        .map_err(|e| e.to_string())?;
+                    let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+                    if retry_clients {
+                        client = client
+                            .with_retry(RetryPolicy::default(), seed.wrapping_add(1000 + c as u64));
                     }
-                    next_due += interval;
-                    let obs = stream.next_observation();
-                    let t0 = Instant::now();
-                    match client.act(&obs) {
-                        Ok(_) => {
-                            hist.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-                            completed += 1;
+                    let mut hist = LatencyHistogram::new();
+                    let (mut completed, mut errors) = (0u64, 0u64);
+                    let mut next_due = Instant::now();
+                    while Instant::now() < end {
+                        let now = Instant::now();
+                        if now < next_due {
+                            std::thread::sleep(next_due - now);
                         }
-                        Err(_) => errors += 1,
+                        next_due += interval;
+                        let obs = stream.next_observation();
+                        let t0 = Instant::now();
+                        match client.act(&obs) {
+                            Ok(_) => {
+                                hist.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                                completed += 1;
+                            }
+                            Err(_) => errors += 1,
+                        }
                     }
-                }
-                Ok((hist, completed, errors))
-            })
+                    Ok((hist, completed, errors, client.retry_stats()))
+                },
+            )
         })
         .collect();
 
     let mut hist = LatencyHistogram::new();
     let (mut completed, mut errors) = (0u64, 0u64);
+    let mut retry_stats = RetryStats::default();
     for w in workers {
-        let (h, c, e) = w
+        let (h, c, e, r) = w
             .join()
             .map_err(|_| "client thread panicked".to_string())??;
         hist.merge(&h);
         completed += c;
         errors += e;
+        retry_stats.retries += r.retries;
+        retry_stats.sheds += r.sheds;
+        retry_stats.gave_up += r.gave_up;
     }
     let elapsed = start.elapsed().as_secs_f64();
     let report = handle.shutdown();
@@ -169,6 +196,13 @@ fn run_cell(
         },
         batch_p50_us: report.batch_hist.p50_us(),
         batch_p99_us: report.batch_hist.p99_us(),
+        retries: retry_stats.retries,
+        client_sheds: retry_stats.sheds,
+        gave_up: retry_stats.gave_up,
+        server_shed: report.requests_shed,
+        deadline_expired: report.deadline_expired,
+        corrupt_skips: report.corrupt_skips,
+        faults_injected: report.faults_injected,
     })
 }
 
@@ -199,6 +233,13 @@ fn main() {
     let seed: u64 = arg_value(&args, "seed")
         .map(|v| v.parse().expect("--seed"))
         .unwrap_or(7);
+    let faults_str = arg_value(&args, "faults");
+    let faults: Option<FaultPlan> = faults_str.as_deref().map(|s| {
+        s.parse().unwrap_or_else(|e| {
+            eprintln!("bad --faults: {e}");
+            std::process::exit(2);
+        })
+    });
     let out = arg_value(&args, "out").unwrap_or_else(|| "BENCH_serve.json".into());
 
     let kind: FrameworkKind = framework.parse().unwrap_or_else(|e| {
@@ -237,17 +278,24 @@ fn main() {
                     Duration::from_millis(duration_ms),
                     max_batch,
                     seed,
+                    faults,
                 ) {
                     Ok(cell) => {
                         eprintln!(
                             "  -> {:.0} req/s, {:.0} actions/s, p50 {:.0}us p99 {:.0}us, \
-                             mean batch {:.2}, errors {}",
+                             mean batch {:.2}, errors {}, retries {}, shed {}, \
+                             deadline-expired {}, corrupt-skips {}, faults {}",
                             cell.achieved_rps,
                             cell.actions_per_s,
                             cell.latency_p50_us,
                             cell.latency_p99_us,
                             cell.mean_batch,
-                            cell.errors
+                            cell.errors,
+                            cell.retries,
+                            cell.server_shed,
+                            cell.deadline_expired,
+                            cell.corrupt_skips,
+                            cell.faults_injected
                         );
                         cells.push(cell);
                     }
@@ -263,6 +311,14 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"serve\",\n");
+    json.push_str("  \"schema\": 2,\n");
+    json.push_str(&format!(
+        "  \"faults\": {},\n",
+        match &faults_str {
+            Some(f) => format!("\"{f}\""),
+            None => "null".to_string(),
+        }
+    ));
     json.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
     json.push_str(&format!("  \"framework\": \"{framework}\",\n"));
     json.push_str(&format!("  \"clients\": {clients},\n"));
@@ -297,7 +353,20 @@ fn main() {
         json.push_str(&format!("      \"batches\": {},\n", c.batches));
         json.push_str(&format!("      \"mean_batch\": {:.3},\n", c.mean_batch));
         json.push_str(&format!("      \"batch_p50_us\": {:.3},\n", c.batch_p50_us));
-        json.push_str(&format!("      \"batch_p99_us\": {:.3}\n", c.batch_p99_us));
+        json.push_str(&format!("      \"batch_p99_us\": {:.3},\n", c.batch_p99_us));
+        json.push_str(&format!("      \"retries\": {},\n", c.retries));
+        json.push_str(&format!("      \"client_sheds\": {},\n", c.client_sheds));
+        json.push_str(&format!("      \"gave_up\": {},\n", c.gave_up));
+        json.push_str(&format!("      \"server_shed\": {},\n", c.server_shed));
+        json.push_str(&format!(
+            "      \"deadline_expired\": {},\n",
+            c.deadline_expired
+        ));
+        json.push_str(&format!("      \"corrupt_skips\": {},\n", c.corrupt_skips));
+        json.push_str(&format!(
+            "      \"faults_injected\": {}\n",
+            c.faults_injected
+        ));
         json.push_str(if i + 1 == cells.len() {
             "    }\n"
         } else {

@@ -18,6 +18,38 @@ pub enum ServeError {
     Shutdown,
     /// A serving configuration value was rejected.
     InvalidConfig(String),
+    /// The server shed the request: its queue or connection budget is
+    /// full. Transient by construction — retry after backoff.
+    Busy {
+        /// Queue depth the server reported when it shed the request.
+        queue_depth: u64,
+    },
+    /// The server answered with a typed ERROR frame. Not retryable:
+    /// the request itself was rejected (bad shape, no policy, …), so
+    /// resending the same bytes yields the same refusal.
+    Server(String),
+    /// A retrying client gave up: every attempt failed with a
+    /// transient error.
+    RetriesExhausted {
+        /// Total attempts made (initial try + retries).
+        attempts: u32,
+        /// The error the final attempt failed with.
+        last: Box<ServeError>,
+    },
+}
+
+impl ServeError {
+    /// Whether a retry with backoff can plausibly succeed: transport
+    /// faults ([`ServeError::Io`]), torn/garbled frames
+    /// ([`ServeError::Protocol`] — the connection is re-established on
+    /// retry) and explicit shedding ([`ServeError::Busy`]). Typed
+    /// server refusals, shutdown and config errors are final.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Io(_) | ServeError::Protocol(_) | ServeError::Busy { .. }
+        )
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -28,6 +60,13 @@ impl fmt::Display for ServeError {
             ServeError::Core(e) => write!(f, "policy error: {e}"),
             ServeError::Shutdown => write!(f, "server is shutting down"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::Busy { queue_depth } => {
+                write!(f, "server busy (queue depth {queue_depth})")
+            }
+            ServeError::Server(msg) => write!(f, "server error: {msg}"),
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -37,6 +76,7 @@ impl Error for ServeError {
         match self {
             ServeError::Io(e) => Some(e),
             ServeError::Core(e) => Some(e),
+            ServeError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -68,5 +108,26 @@ mod tests {
         assert!(ServeError::Protocol("bad".into()).source().is_none());
         assert!(!ServeError::Shutdown.to_string().is_empty());
         assert!(!ServeError::InvalidConfig("z".into()).to_string().is_empty());
+        let gave_up = ServeError::RetriesExhausted {
+            attempts: 7,
+            last: Box::new(ServeError::Busy { queue_depth: 12 }),
+        };
+        assert!(gave_up.to_string().contains("7 attempts"));
+        assert!(gave_up.source().is_some());
+    }
+
+    #[test]
+    fn retryability_separates_transient_from_final() {
+        assert!(ServeError::from(std::io::Error::other("reset")).is_retryable());
+        assert!(ServeError::Protocol("torn frame".into()).is_retryable());
+        assert!(ServeError::Busy { queue_depth: 3 }.is_retryable());
+        assert!(!ServeError::Server("bad shape".into()).is_retryable());
+        assert!(!ServeError::Shutdown.is_retryable());
+        assert!(!ServeError::InvalidConfig("x".into()).is_retryable());
+        let gave_up = ServeError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(ServeError::Shutdown),
+        };
+        assert!(!gave_up.is_retryable());
     }
 }

@@ -207,6 +207,57 @@ mod tests {
     }
 
     proptest! {
+        /// Merge is exactly "record everything into one histogram", for
+        /// ANY split of the samples across any number of shards — the
+        /// property the loadgen and drain-report merging rely on.
+        #[test]
+        fn merge_of_any_split_equals_recording_into_one(
+            samples in prop::collection::vec(1u64..100_000_000_000, 0..300),
+            shards in 1usize..6,
+            assignment_seed in 0u64..1_000,
+        ) {
+            let mut parts = vec![LatencyHistogram::new(); shards];
+            let mut all = LatencyHistogram::new();
+            for (i, &s) in samples.iter().enumerate() {
+                // Deterministic pseudo-random shard assignment.
+                let shard = (i as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(assignment_seed) as usize % shards;
+                parts[shard].record(s);
+                all.record(s);
+            }
+            let mut merged = LatencyHistogram::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            prop_assert_eq!(merged.count(), all.count());
+            prop_assert_eq!(merged.max_ns(), all.max_ns());
+            prop_assert_eq!(merged.mean_ns(), all.mean_ns());
+            for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(merged.quantile(q), all.quantile(q));
+            }
+        }
+
+        /// Merging an empty histogram is an identity, both ways.
+        #[test]
+        fn merge_with_empty_is_identity(
+            samples in prop::collection::vec(1u64..100_000_000_000, 1..100),
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let before = h.clone();
+            h.merge(&LatencyHistogram::new());
+            prop_assert_eq!(h.count(), before.count());
+            prop_assert_eq!(h.quantile(0.5), before.quantile(0.5));
+            let mut empty = LatencyHistogram::new();
+            empty.merge(&before);
+            prop_assert_eq!(empty.count(), before.count());
+            prop_assert_eq!(empty.max_ns(), before.max_ns());
+            prop_assert_eq!(empty.quantile(0.99), before.quantile(0.99));
+        }
+
         /// The documented accuracy contract: for samples inside the
         /// tracked range, every reported quantile lies in
         /// `[oracle, oracle · ratio]`.

@@ -53,11 +53,12 @@ pub mod watch;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::batcher::{BatchConfig, PolicySlot, ServeStats};
+    pub use crate::batcher::{BatchConfig, JobError, PolicySlot, ServeStats};
     pub use crate::error::ServeError;
     pub use crate::hist::LatencyHistogram;
-    pub use crate::protocol::{Request, Response, ServeClient, ServerInfo};
+    pub use crate::protocol::{Request, Response, RetryStats, ServeClient, ServerInfo};
     pub use crate::server::{serve, DrainReport, ServerConfig, ServerHandle};
     pub use crate::stream::ObsStream;
     pub use crate::watch::{spawn_watcher, WatchConfig, WatcherHandle};
+    pub use qmarl_chaos::{FaultPlan, RetryPolicy};
 }

@@ -8,8 +8,14 @@
 //! | `0x01` ACT   | client → server | `req_id:u64` `n_obs:u32` `n_obs × f64` |
 //! | `0x02` INFO  | client → server | `req_id:u64` |
 //! | `0x81` ACT-OK| server → client | `req_id:u64` `n_agents:u32` `n_agents × u16` actions |
-//! | `0x82` INFO-OK| server → client | `req_id:u64` `n_agents:u32` `obs_dim:u32` `n_actions:u32` `policy_version:u64` `requests_served:u64` `batches_executed:u64` `policy_swaps:u64` |
+//! | `0x82` INFO-OK| server → client | `req_id:u64` `n_agents:u32` `obs_dim:u32` `n_actions:u32` `policy_version:u64` `requests_served:u64` `batches_executed:u64` `policy_swaps:u64` `requests_shed:u64` `deadline_expired:u64` `corrupt_skips:u64` `queue_depth:u64` |
+//! | `0x83` BUSY  | server → client | `req_id:u64` `queue_depth:u64` |
 //! | `0xEE` ERROR | server → client | `req_id:u64` utf-8 message |
+//!
+//! BUSY is the overload-shedding reply: the request was **not** queued
+//! (queue or connection budget full) and the client should back off and
+//! retry. ERROR means the request itself was rejected — retrying the
+//! same bytes is pointless.
 //!
 //! All integers and floats are little-endian. Observations are the
 //! concatenated per-agent features (`n_agents × obs_dim` values), the
@@ -20,6 +26,8 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
+use rand::{Rng, SeedableRng};
+
 use crate::error::ServeError;
 
 /// Hard cap on a frame payload (1 MiB) — far above any real request.
@@ -29,6 +37,7 @@ const OP_ACT: u8 = 0x01;
 const OP_INFO: u8 = 0x02;
 const OP_ACT_OK: u8 = 0x81;
 const OP_INFO_OK: u8 = 0x82;
+const OP_BUSY: u8 = 0x83;
 const OP_ERROR: u8 = 0xEE;
 
 /// A client → server message.
@@ -65,6 +74,14 @@ pub struct ServerInfo {
     pub batches_executed: u64,
     /// Hot-swaps applied since startup.
     pub policy_swaps: u64,
+    /// ACT requests shed with BUSY (queue/connection budget full).
+    pub requests_shed: u64,
+    /// ACT requests that expired in the queue past their deadline.
+    pub deadline_expired: u64,
+    /// Torn/corrupt checkpoint files the watcher skipped.
+    pub corrupt_skips: u64,
+    /// Jobs sitting in the batcher queue right now.
+    pub queue_depth: u64,
 }
 
 /// A server → client message.
@@ -83,6 +100,13 @@ pub enum Response {
         id: u64,
         /// Dimensions and counters.
         info: ServerInfo,
+    },
+    /// The request was shed before queueing: back off and retry.
+    Busy {
+        /// Echo of the request id (0 when shed at the connection level).
+        id: u64,
+        /// Batcher queue depth at shed time.
+        queue_depth: u64,
     },
     /// The request was understood but could not be served.
     Error {
@@ -224,7 +248,7 @@ impl Response {
                 b
             }
             Response::Info { id, info } => {
-                let mut b = Vec::with_capacity(9 + 12 + 32);
+                let mut b = Vec::with_capacity(9 + 12 + 64);
                 b.push(OP_INFO_OK);
                 b.extend_from_slice(&id.to_le_bytes());
                 b.extend_from_slice(&info.n_agents.to_le_bytes());
@@ -234,6 +258,17 @@ impl Response {
                 b.extend_from_slice(&info.requests_served.to_le_bytes());
                 b.extend_from_slice(&info.batches_executed.to_le_bytes());
                 b.extend_from_slice(&info.policy_swaps.to_le_bytes());
+                b.extend_from_slice(&info.requests_shed.to_le_bytes());
+                b.extend_from_slice(&info.deadline_expired.to_le_bytes());
+                b.extend_from_slice(&info.corrupt_skips.to_le_bytes());
+                b.extend_from_slice(&info.queue_depth.to_le_bytes());
+                b
+            }
+            Response::Busy { id, queue_depth } => {
+                let mut b = Vec::with_capacity(17);
+                b.push(OP_BUSY);
+                b.extend_from_slice(&id.to_le_bytes());
+                b.extend_from_slice(&queue_depth.to_le_bytes());
                 b
             }
             Response::Error { id, message } => {
@@ -275,9 +310,17 @@ impl Response {
                     requests_served: rd.u64()?,
                     batches_executed: rd.u64()?,
                     policy_swaps: rd.u64()?,
+                    requests_shed: rd.u64()?,
+                    deadline_expired: rd.u64()?,
+                    corrupt_skips: rd.u64()?,
+                    queue_depth: rd.u64()?,
                 };
                 Response::Info { id, info }
             }
+            OP_BUSY => Response::Busy {
+                id: rd.u64()?,
+                queue_depth: rd.u64()?,
+            },
             OP_ERROR => {
                 let id = rd.u64()?;
                 let rest = rd.take(rd.buf.len() - rd.pos)?;
@@ -339,15 +382,47 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ServeError> {
     Ok(Some(payload))
 }
 
+/// Counters a retrying client accumulates across its lifetime, for
+/// benchmark reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retries performed (attempts beyond the first, across all calls).
+    pub retries: u64,
+    /// BUSY sheds received.
+    pub sheds: u64,
+    /// Reconnects after a dropped/torn connection.
+    pub reconnects: u64,
+    /// Calls that exhausted their retry budget.
+    pub gave_up: u64,
+}
+
+/// Retry configuration + jitter source for a [`ServeClient`].
+#[derive(Debug)]
+struct RetryState {
+    policy: qmarl_chaos::RetryPolicy,
+    rng: rand::rngs::StdRng,
+    stats: RetryStats,
+}
+
 /// A blocking client for the serve protocol.
 ///
 /// One request in flight at a time: `act`/`info` write a frame and block
 /// for the matching response. Dropping the client closes the connection
 /// cleanly (the server sees EOF at a frame boundary).
+///
+/// With [`ServeClient::with_retry`], transient failures — dropped
+/// connections, torn frames, BUSY sheds — are retried with capped
+/// exponential backoff and jitter. ACT retries are safe because action
+/// selection is deterministic: resending the same observation to the
+/// same policy version yields the same actions, so a retry can never
+/// produce a *different* answer, only a late one. Typed server ERRORs
+/// are final and returned immediately as [`ServeError::Server`].
 #[derive(Debug)]
 pub struct ServeClient {
     stream: TcpStream,
+    addr: std::net::SocketAddr,
     next_id: u64,
+    retry: Option<RetryState>,
 }
 
 impl ServeClient {
@@ -355,7 +430,30 @@ impl ServeClient {
     pub fn connect(addr: std::net::SocketAddr) -> Result<Self, ServeError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(ServeClient { stream, next_id: 1 })
+        Ok(ServeClient {
+            stream,
+            addr,
+            next_id: 1,
+            retry: None,
+        })
+    }
+
+    /// Enable retries: transient failures back off per `policy` with
+    /// jitter drawn from a client-local RNG seeded with `jitter_seed`.
+    pub fn with_retry(mut self, policy: qmarl_chaos::RetryPolicy, jitter_seed: u64) -> Self {
+        self.retry = Some(RetryState {
+            policy,
+            rng: rand::rngs::StdRng::seed_from_u64(jitter_seed),
+            stats: RetryStats::default(),
+        });
+        self
+    }
+
+    /// Lifetime retry counters (zero when retries are not enabled).
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry
+            .as_ref()
+            .map_or(RetryStats::default(), |r| r.stats)
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Response, ServeError> {
@@ -364,9 +462,10 @@ impl ServeClient {
             .ok_or_else(|| ServeError::Protocol("server closed the connection".into()))?;
         let resp = Response::decode(&payload)?;
         let resp_id = match &resp {
-            Response::Act { id, .. } | Response::Info { id, .. } | Response::Error { id, .. } => {
-                *id
-            }
+            Response::Act { id, .. }
+            | Response::Info { id, .. }
+            | Response::Busy { id, .. }
+            | Response::Error { id, .. } => *id,
         };
         if resp_id != req.id() && resp_id != 0 {
             return Err(ServeError::Protocol(format!(
@@ -377,7 +476,25 @@ impl ServeClient {
         Ok(resp)
     }
 
+    /// One ACT attempt, every outcome mapped to a typed error.
+    fn act_once(&mut self, req: &Request) -> Result<Vec<u16>, ServeError> {
+        match self.roundtrip(req)? {
+            Response::Act { actions, .. } => Ok(actions),
+            Response::Busy { queue_depth, .. } => Err(ServeError::Busy { queue_depth }),
+            Response::Error { message, .. } => Err(ServeError::Server(message)),
+            Response::Info { .. } => Err(ServeError::Protocol(
+                "INFO response to an ACT request".into(),
+            )),
+        }
+    }
+
     /// Select actions for one flat `n_agents × obs_dim` observation.
+    ///
+    /// # Errors
+    ///
+    /// Without retries: the first failure. With retries: final errors
+    /// immediately, or [`ServeError::RetriesExhausted`] once every
+    /// allowed attempt failed transiently.
     pub fn act(&mut self, observation: &[f64]) -> Result<Vec<u16>, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
@@ -385,14 +502,42 @@ impl ServeClient {
             id,
             observation: observation.to_vec(),
         };
-        match self.roundtrip(&req)? {
-            Response::Act { actions, .. } => Ok(actions),
-            Response::Error { message, .. } => {
-                Err(ServeError::Protocol(format!("server error: {message}")))
+        let mut attempt: u32 = 0;
+        loop {
+            let err = match self.act_once(&req) {
+                Ok(actions) => return Ok(actions),
+                Err(e) => e,
+            };
+            let Some(retry) = self.retry.as_mut() else {
+                return Err(err);
+            };
+            if !err.is_retryable() {
+                return Err(err);
             }
-            Response::Info { .. } => Err(ServeError::Protocol(
-                "INFO response to an ACT request".into(),
-            )),
+            if matches!(err, ServeError::Busy { .. }) {
+                retry.stats.sheds += 1;
+            }
+            if attempt >= retry.policy.max_retries {
+                retry.stats.gave_up += 1;
+                return Err(ServeError::RetriesExhausted {
+                    attempts: attempt + 1,
+                    last: Box::new(err),
+                });
+            }
+            retry.stats.retries += 1;
+            let jitter = retry.rng.gen::<f64>();
+            std::thread::sleep(retry.policy.delay(attempt, jitter));
+            attempt += 1;
+            // A dropped or garbled connection is unusable; start fresh.
+            // A failed reconnect consumes the next attempt as an Io
+            // error via act_once on the stale stream — no special case.
+            if let Ok(fresh) = TcpStream::connect(self.addr) {
+                let _ = fresh.set_nodelay(true);
+                self.stream = fresh;
+                if let Some(retry) = self.retry.as_mut() {
+                    retry.stats.reconnects += 1;
+                }
+            }
         }
     }
 
@@ -402,9 +547,8 @@ impl ServeClient {
         self.next_id += 1;
         match self.roundtrip(&Request::Info { id })? {
             Response::Info { info, .. } => Ok(info),
-            Response::Error { message, .. } => {
-                Err(ServeError::Protocol(format!("server error: {message}")))
-            }
+            Response::Busy { queue_depth, .. } => Err(ServeError::Busy { queue_depth }),
+            Response::Error { message, .. } => Err(ServeError::Server(message)),
             Response::Act { .. } => Err(ServeError::Protocol(
                 "ACT response to an INFO request".into(),
             )),
@@ -443,6 +587,10 @@ mod tests {
             requests_served: 1_000_000,
             batches_executed: 31_250,
             policy_swaps: 2,
+            requests_shed: 17,
+            deadline_expired: 4,
+            corrupt_skips: 1,
+            queue_depth: 12,
         };
         for resp in [
             Response::Act {
@@ -450,6 +598,10 @@ mod tests {
                 actions: vec![0, 3, 1, 2],
             },
             Response::Info { id: 10, info },
+            Response::Busy {
+                id: 11,
+                queue_depth: 4096,
+            },
             Response::Error {
                 id: 0,
                 message: "no policy loaded".into(),
@@ -522,6 +674,54 @@ mod tests {
         ));
         assert!(matches!(
             read_frame(&mut &wire[..6]),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    /// The frame guard is exact: a payload of exactly [`MAX_FRAME_LEN`]
+    /// bytes passes both directions; one byte more is rejected by both.
+    #[test]
+    fn frame_guard_boundary_is_exact() {
+        let at_limit = vec![0xABu8; MAX_FRAME_LEN];
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &at_limit).expect("at-limit write");
+        let back = read_frame(&mut &wire[..]).expect("at-limit read");
+        assert_eq!(back.as_deref(), Some(&at_limit[..]));
+
+        let over = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &over),
+            Err(ServeError::Protocol(_))
+        ));
+        let mut bad_wire = Vec::new();
+        bad_wire.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        bad_wire.extend_from_slice(&over);
+        assert!(matches!(
+            read_frame(&mut &bad_wire[..]),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    /// The ACT observation-count guard is exact too: a claim of exactly
+    /// `MAX_FRAME_LEN / 8` values decodes (given the bytes), one more is
+    /// rejected before any allocation.
+    #[test]
+    fn observation_count_guard_boundary_is_exact() {
+        let n = MAX_FRAME_LEN / 8;
+        let mut at_limit = vec![OP_ACT];
+        at_limit.extend_from_slice(&1u64.to_le_bytes());
+        at_limit.extend_from_slice(&(n as u32).to_le_bytes());
+        at_limit.extend_from_slice(&vec![0u8; 8 * n]);
+        match Request::decode(&at_limit).expect("at-limit decode") {
+            Request::Act { observation, .. } => assert_eq!(observation.len(), n),
+            other => panic!("unexpected decode: {other:?}"),
+        }
+
+        let mut over = vec![OP_ACT];
+        over.extend_from_slice(&1u64.to_le_bytes());
+        over.extend_from_slice(&((n as u32) + 1).to_le_bytes());
+        assert!(matches!(
+            Request::decode(&over),
             Err(ServeError::Protocol(_))
         ));
     }

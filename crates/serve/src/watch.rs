@@ -33,7 +33,7 @@ use qmarl_core::framework::FrameworkKind;
 use qmarl_core::serving::ServablePolicy;
 use qmarl_runtime::backend::ExecutionBackend;
 
-use crate::batcher::PolicySlot;
+use crate::batcher::{PolicySlot, ServeStats};
 use crate::error::ServeError;
 
 /// Snapshot files must carry this extension to be picked up.
@@ -54,6 +54,13 @@ pub struct WatchConfig {
     pub backend: ExecutionBackend,
     /// Training configuration the snapshots were produced under.
     pub train: TrainConfig,
+    /// Server stats to mirror skip counts into, so the INFO opcode can
+    /// report `corrupt_skips` without a handle on the watcher.
+    pub stats: Option<Arc<ServeStats>>,
+    /// Seeded fault injection: `torn` here makes the watcher treat a
+    /// good snapshot as corrupt (as a torn read would), exercising the
+    /// skip path. `None` is fully inert.
+    pub faults: Option<qmarl_chaos::FaultPlan>,
 }
 
 /// identity of one on-disk snapshot attempt: path + mtime + length.
@@ -113,6 +120,20 @@ fn newest_snapshot(dir: &Path) -> Option<Fingerprint> {
 
 /// Attempt one load-and-swap; returns which counter to bump.
 fn try_apply(config: &WatchConfig, slot: &PolicySlot, path: &Path) -> Result<(), CoreError> {
+    if let Some(plan) = &config.faults {
+        let key = qmarl_chaos::fnv1a(path.to_string_lossy().as_bytes());
+        if plan.fires(plan.torn, qmarl_chaos::site::CKPT_TORN, key) {
+            if let Some(stats) = &config.stats {
+                stats
+                    .faults_injected
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            return Err(CoreError::CorruptCheckpoint(format!(
+                "injected torn read of {}",
+                path.display()
+            )));
+        }
+    }
     let snapshot = FrameworkSnapshot::load(path)?;
     let policy = ServablePolicy::from_snapshot(
         &snapshot,
@@ -144,14 +165,19 @@ pub fn spawn_watcher(
     let corrupt_skips = Arc::new(AtomicU64::new(0));
     let mismatch_rejects = Arc::new(AtomicU64::new(0));
 
+    // Baseline on the caller's thread, before spawning: "already there
+    // at spawn time" must mean when spawn_watcher was called, not when
+    // the OS first scheduled the thread — a file written in between
+    // would otherwise be silently treated as applied.
+    let baseline: Option<Fingerprint> = newest_snapshot(&config.dir);
+
     let thread = {
         let stop = stop.clone();
         let swaps = swaps_applied.clone();
         let corrupt = corrupt_skips.clone();
         let mismatch = mismatch_rejects.clone();
         std::thread::spawn(move || {
-            // Whatever is already there counts as applied.
-            let mut last_attempted: Option<Fingerprint> = newest_snapshot(&config.dir);
+            let mut last_attempted = baseline;
             while !stop.load(Ordering::SeqCst) {
                 std::thread::sleep(config.poll_interval);
                 let Some(candidate) = newest_snapshot(&config.dir) else {
@@ -168,6 +194,9 @@ pub fn spawn_watcher(
                         // Torn or half-written: skip now, re-try when the
                         // fingerprint moves again.
                         corrupt.fetch_add(1, Ordering::SeqCst);
+                        if let Some(stats) = &config.stats {
+                            stats.corrupt_skips.fetch_add(1, Ordering::SeqCst);
+                        }
                     }
                     Err(_) => {
                         mismatch.fetch_add(1, Ordering::SeqCst);

@@ -134,6 +134,7 @@ fn shutdown_answers_requests_parked_in_the_batch_window() {
             batch: BatchConfig {
                 window: Duration::from_millis(300),
                 max_batch: 64,
+                ..BatchConfig::default()
             },
             ..ServerConfig::default()
         },
@@ -178,6 +179,8 @@ fn hot_swap_under_load_drops_nothing_and_matches_a_fresh_server() {
             scenario: SCENARIO.into(),
             backend: ExecutionBackend::Ideal,
             train: train.clone(),
+            stats: None,
+            faults: None,
         },
         handle.slot().clone(),
     )
@@ -290,6 +293,8 @@ fn watcher_skips_torn_snapshots_and_recovers_on_the_next_valid_one() {
             scenario: SCENARIO.into(),
             backend: ExecutionBackend::Ideal,
             train: train.clone(),
+            stats: None,
+            faults: None,
         },
         slot.clone(),
     )
@@ -334,5 +339,98 @@ fn watcher_skips_torn_snapshots_and_recovers_on_the_next_valid_one() {
     assert_eq!(slot.current().label(), "next");
 
     watcher.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: a connection that lands in the listen backlog after the
+/// drain flag is set gets a typed ERROR frame back, not a silent reset.
+///
+/// The race is forced deterministically: a 500 ms accept poll guarantees
+/// the accept thread is asleep when we connect, and shutdown() runs —
+/// setting the stop flag — before the thread wakes to check it.
+#[test]
+fn connections_racing_shutdown_get_a_typed_error_frame() {
+    let handle = serve(
+        paper_policy(),
+        ServerConfig {
+            accept_poll: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve");
+    let addr = handle.addr();
+
+    // Park one real connection so the accept thread has entered its
+    // sleep-poll cycle (it accepted this one, then went back to sleep).
+    let mut warm = ServeClient::connect(addr).expect("warm connect");
+    let request_len = handle.slot().current().request_len();
+    warm.act(&obs_slab(0, request_len)).expect("warm act");
+
+    // This connection completes at the TCP level (backlog) while the
+    // accept thread sleeps; the stop flag is set before it wakes.
+    let racer = std::net::TcpStream::connect(addr).expect("racing connect");
+    let shutdown = std::thread::spawn(move || {
+        drop(warm);
+        handle.shutdown()
+    });
+
+    // The drain loop must answer the backlogged connection with a typed
+    // refusal before the listener closes.
+    let mut racer = racer;
+    racer
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let payload = qmarl_serve::protocol::read_frame(&mut racer)
+        .expect("refusal frame, not a reset")
+        .expect("refusal frame, not silent EOF");
+    match Response::decode(&payload).expect("decodable refusal") {
+        Response::Error { message, .. } => {
+            assert!(message.contains("draining"), "got: {message}")
+        }
+        other => panic!("expected a typed ERROR frame, got {other:?}"),
+    }
+    shutdown.join().expect("shutdown thread");
+}
+
+/// Satellite: corrupt-checkpoint skips are visible to clients through
+/// the INFO opcode when the watcher mirrors into the server stats.
+#[test]
+fn corrupt_skips_surface_through_the_info_opcode() {
+    let train = TrainConfig::paper_default();
+    let dir = scratch_dir("info-skips");
+    let handle = serve(paper_policy(), ServerConfig::default()).expect("serve");
+    let watcher = spawn_watcher(
+        WatchConfig {
+            dir: dir.clone(),
+            poll_interval: Duration::from_millis(10),
+            kind: KIND,
+            scenario: SCENARIO.into(),
+            backend: ExecutionBackend::Ideal,
+            train: train.clone(),
+            stats: Some(handle.stats().clone()),
+            faults: None,
+        },
+        handle.slot().clone(),
+    )
+    .expect("watcher");
+
+    // Atomic tmp+rename so the poller cannot fingerprint a half-written
+    // file and double-count the skip.
+    let tmp = dir.join("torn.ckpt.tmp");
+    std::fs::write(&tmp, b"definitely not a snapshot").expect("write torn");
+    std::fs::rename(&tmp, dir.join("torn.ckpt")).expect("rename torn");
+    wait_until("the skip to surface", Duration::from_secs(10), || {
+        watcher.corrupt_skips.load(Ordering::SeqCst) >= 1
+    });
+
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+    let info = client.info().expect("info");
+    assert_eq!(info.corrupt_skips, 1);
+    assert_eq!(info.policy_version, 1, "the torn file must not swap in");
+    drop(client);
+
+    watcher.stop();
+    let report = handle.shutdown();
+    assert_eq!(report.corrupt_skips, 1);
     let _ = std::fs::remove_dir_all(&dir);
 }

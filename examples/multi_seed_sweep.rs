@@ -59,6 +59,7 @@ fn main() -> Result<(), HarnessError> {
         &CellOptions {
             checkpoint_dir: Some(kill_dir.clone()),
             stop_after: Some(3),
+            panic_after: None,
         },
     )?;
     println!(
@@ -72,6 +73,7 @@ fn main() -> Result<(), HarnessError> {
         &CellOptions {
             checkpoint_dir: Some(kill_dir.clone()),
             stop_after: None,
+            panic_after: None,
         },
     )?;
     let reference = &result.cells[0];

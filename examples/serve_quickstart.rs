@@ -45,6 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch: BatchConfig {
                 window: Duration::from_micros(500),
                 max_batch: 64,
+                ..BatchConfig::default()
             },
             ..ServerConfig::default()
         },
@@ -61,6 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scenario: SCENARIO.into(),
             backend: backend.clone(),
             train: train.clone(),
+            stats: Some(handle.stats().clone()),
+            faults: None,
         },
         handle.slot().clone(),
     )?;
