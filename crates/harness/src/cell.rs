@@ -109,6 +109,8 @@ pub fn run_cell(
     id: &CellId,
     opts: &CellOptions,
 ) -> Result<CellResult, HarnessError> {
+    // xcheck: allow(determinism) — wall_secs is reporting metadata on the
+    // CellResult; it never feeds metrics, seeds, or fingerprints.
     let started = Instant::now();
     spec.validate()?;
     if spec.checkpoint_every > 0 && opts.checkpoint_dir.is_none() {

@@ -35,6 +35,8 @@ where
         workers
     };
     parallel_map(items, workers, |i, item| {
+        // xcheck: allow(determinism) — per-task wall time is reporting
+        // metadata on Timed; it never feeds results, seeds, or fingerprints.
         let t0 = Instant::now();
         let value = f(i, item);
         Timed {
@@ -90,6 +92,8 @@ where
         workers
     };
     parallel_map_isolated(items, workers, |i, item| {
+        // xcheck: allow(determinism) — per-task wall time is reporting
+        // metadata on Timed; it never feeds results, seeds, or fingerprints.
         let t0 = Instant::now();
         let value = f(i, item);
         Timed {

@@ -428,6 +428,8 @@ pub fn run_sweep(spec: &ExperimentSpec, opts: &SweepOptions) -> Result<SweepResu
             .map_err(|e| HarnessError::InvalidSpec(e.to_string()))?;
         qmarl_chaos::silence_injected_kills();
     }
+    // xcheck: allow(determinism) — sweep wall time is reporting metadata
+    // in the summary JSON; it never feeds results, seeds, or fingerprints.
     let started = Instant::now();
     let cells = spec.expand();
     let workers = if opts.workers == 0 {

@@ -133,7 +133,7 @@ pub fn apply_gate2(amps: &mut [Complex64], qa: usize, qb: usize, gate: &Gate2) {
         for (row, &idx) in [i00, i01, i10, i11].iter().enumerate() {
             let mut acc = Complex64::ZERO;
             for (col, &vc) in v.iter().enumerate() {
-                acc = m[row][col].mul_add(vc, acc);
+                acc = m[row][col].mul_acc(vc, acc);
             }
             amps[idx] = acc;
         }
@@ -680,7 +680,7 @@ mod tests {
                 for (row, &idx) in idxs.iter().enumerate() {
                     let mut acc = Complex64::ZERO;
                     for (col, &vc) in v.iter().enumerate() {
-                        acc = m[row][col].mul_add(vc, acc);
+                        acc = m[row][col].mul_acc(vc, acc);
                     }
                     amps[idx] = acc;
                 }

@@ -133,9 +133,11 @@ mod scalar {
 /// `a1' = (s·a0.im + c·a1.re, −s·a0.re + c·a1.im)`.
 #[inline]
 pub fn rot_x_rows(r0: &mut [Complex64], r1: &mut [Complex64], s: f64, c: f64) {
-    debug_assert_eq!(r0.len(), r1.len());
+    assert_eq!(r0.len(), r1.len(), "pair rows must have equal lane counts");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and the
+        // equal-length assert above is the kernel's only other precondition.
         unsafe { avx::rot_x_rows(r0, r1, s, c) };
         return;
     }
@@ -146,9 +148,11 @@ pub fn rot_x_rows(r0: &mut [Complex64], r1: &mut [Complex64], s: f64, c: f64) {
 /// `a0' = c·a0 − s·a1`, `a1' = s·a0 + c·a1` (all-real coefficients).
 #[inline]
 pub fn rot_y_rows(r0: &mut [Complex64], r1: &mut [Complex64], s: f64, c: f64) {
-    debug_assert_eq!(r0.len(), r1.len());
+    assert_eq!(r0.len(), r1.len(), "pair rows must have equal lane counts");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and the
+        // equal-length assert above is the kernel's only other precondition.
         unsafe { avx::rot_y_rows(r0, r1, s, c) };
         return;
     }
@@ -161,6 +165,8 @@ pub fn rot_y_rows(r0: &mut [Complex64], r1: &mut [Complex64], s: f64, c: f64) {
 pub fn phase_rows(row: &mut [Complex64], pr: f64, pi: f64) {
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`; the kernel
+        // walks `row` by its own length, so there is no length precondition.
         unsafe { avx::phase_rows(row, pr, pi) };
         return;
     }
@@ -171,9 +177,11 @@ pub fn phase_rows(row: &mut [Complex64], pr: f64, pi: f64) {
 /// `a0' = m00·a0 + m01·a1`, `a1' = m10·a0 + m11·a1`.
 #[inline]
 pub fn gate1_rows(r0: &mut [Complex64], r1: &mut [Complex64], gate: &Gate1) {
-    debug_assert_eq!(r0.len(), r1.len());
+    assert_eq!(r0.len(), r1.len(), "pair rows must have equal lane counts");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and the
+        // equal-length assert above is the kernel's only other precondition.
         unsafe { avx::gate1_rows(r0, r1, gate) };
         return;
     }
@@ -183,10 +191,12 @@ pub fn gate1_rows(r0: &mut [Complex64], r1: &mut [Complex64], gate: &Gate1) {
 /// [`rot_x_rows`] with a per-lane `(sin θ/2, cos θ/2)` pair.
 #[inline]
 pub fn rot_x_rows_lanes(r0: &mut [Complex64], r1: &mut [Complex64], trig: &[(f64, f64)]) {
-    debug_assert_eq!(r0.len(), r1.len());
-    debug_assert_eq!(r0.len(), trig.len());
+    assert_eq!(r0.len(), r1.len(), "pair rows must have equal lane counts");
+    assert_eq!(r0.len(), trig.len(), "one trig pair per lane");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`; the asserts
+        // above pin the row and coefficient lengths the kernel relies on.
         unsafe { avx::rot_x_rows_lanes(r0, r1, trig) };
         return;
     }
@@ -196,10 +206,12 @@ pub fn rot_x_rows_lanes(r0: &mut [Complex64], r1: &mut [Complex64], trig: &[(f64
 /// [`rot_y_rows`] with a per-lane `(sin θ/2, cos θ/2)` pair.
 #[inline]
 pub fn rot_y_rows_lanes(r0: &mut [Complex64], r1: &mut [Complex64], trig: &[(f64, f64)]) {
-    debug_assert_eq!(r0.len(), r1.len());
-    debug_assert_eq!(r0.len(), trig.len());
+    assert_eq!(r0.len(), r1.len(), "pair rows must have equal lane counts");
+    assert_eq!(r0.len(), trig.len(), "one trig pair per lane");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`; the asserts
+        // above pin the row and coefficient lengths the kernel relies on.
         unsafe { avx::rot_y_rows_lanes(r0, r1, trig) };
         return;
     }
@@ -209,9 +221,11 @@ pub fn rot_y_rows_lanes(r0: &mut [Complex64], r1: &mut [Complex64], trig: &[(f64
 /// [`phase_rows`] with a per-lane `(pr, pi)` phase.
 #[inline]
 pub fn phase_rows_lanes(row: &mut [Complex64], phases: &[(f64, f64)]) {
-    debug_assert_eq!(row.len(), phases.len());
+    assert_eq!(row.len(), phases.len(), "one phase pair per lane");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`; the assert
+        // above pins the coefficient length the kernel relies on.
         unsafe { avx::phase_rows_lanes(row, phases) };
         return;
     }
@@ -225,10 +239,12 @@ pub fn phase_rows_lanes(row: &mut [Complex64], phases: &[(f64, f64)]) {
 /// lanes reorders nothing within any one fold.
 #[inline]
 pub fn conj_dot_im_rows(acc: &mut [f64], l: &[Complex64], g: &[Complex64]) {
-    debug_assert_eq!(acc.len(), l.len());
-    debug_assert_eq!(acc.len(), g.len());
+    assert_eq!(acc.len(), l.len(), "one accumulator per λ lane");
+    assert_eq!(acc.len(), g.len(), "one accumulator per generator lane");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`; the asserts
+        // above pin `l` and `g` to `acc`'s length, which bounds every read.
         unsafe { avx::conj_dot_im_rows(acc, l, g) };
         return;
     }
@@ -269,6 +285,27 @@ fn for_each_pair_rows(
     }
 }
 
+/// Checked slab preconditions, enforced in every build profile.
+///
+/// The AVX2 slab kernels derive raw row pointers from `dim`, `lanes`,
+/// `mt` and `mc` with no further bounds checks, so the facts that keep
+/// them in-bounds are asserted once per slab call here, at the safe
+/// dispatch boundary, instead of as `debug_assert!`s that vanish in
+/// release builds: a power-of-two `dim` with `mt` a single bit below it
+/// guarantees `i0 | mt < dim` for every enumerated pair, and
+/// `len == dim·lanes` keeps every such row inside the slab.
+#[inline]
+fn check_slab(len: usize, lanes: usize, dim: usize, mt: usize, mc: usize) {
+    assert!(lanes > 0, "slab kernels need at least one lane");
+    assert!(dim.is_power_of_two(), "slab dim must be a power of two");
+    assert_eq!(len, dim * lanes, "slab length must equal dim * lanes");
+    assert!(
+        mt.is_power_of_two() && mt < dim,
+        "target mask must be a single bit below dim"
+    );
+    assert!(mc < dim, "control mask must lie below dim");
+}
+
 /// [`rot_x_rows`] over every `(target, control)` pair of the slab.
 #[inline]
 pub fn rot_x_slab(
@@ -280,8 +317,13 @@ pub fn rot_x_slab(
     s: f64,
     c: f64,
 ) {
+    check_slab(slab.len(), lanes, dim, mt, mc);
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and
+        // `check_slab` proved the geometry every raw row pointer is derived
+        // from: `slab.len() == dim·lanes`, `mt` a single bit below the
+        // power-of-two `dim`, `mc < dim`.
         unsafe { avx::rot_x_slab(slab, lanes, dim, mt, mc, s, c) };
         return;
     }
@@ -301,8 +343,13 @@ pub fn rot_y_slab(
     s: f64,
     c: f64,
 ) {
+    check_slab(slab.len(), lanes, dim, mt, mc);
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and
+        // `check_slab` proved the geometry every raw row pointer is derived
+        // from: `slab.len() == dim·lanes`, `mt` a single bit below the
+        // power-of-two `dim`, `mc < dim`.
         unsafe { avx::rot_y_slab(slab, lanes, dim, mt, mc, s, c) };
         return;
     }
@@ -314,8 +361,13 @@ pub fn rot_y_slab(
 /// [`gate1_rows`] over every pair of target qubit `mt` in the slab.
 #[inline]
 pub fn gate1_slab(slab: &mut [Complex64], lanes: usize, dim: usize, mt: usize, gate: &Gate1) {
+    check_slab(slab.len(), lanes, dim, mt, 0);
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and
+        // `check_slab` proved the geometry every raw row pointer is derived
+        // from: `slab.len() == dim·lanes`, `mt` a single bit below the
+        // power-of-two `dim`, `mc < dim`.
         unsafe { avx::gate1_slab(slab, lanes, dim, mt, gate) };
         return;
     }
@@ -337,8 +389,13 @@ pub fn phase_slab(
     lo: (f64, f64),
     hi: (f64, f64),
 ) {
+    check_slab(slab.len(), lanes, dim, mt, mc);
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and
+        // `check_slab` proved the geometry every raw row pointer is derived
+        // from: `slab.len() == dim·lanes`, `mt` a single bit below the
+        // power-of-two `dim`, `mc < dim`.
         unsafe { avx::phase_slab(slab, lanes, dim, mt, mc, lo, hi) };
         return;
     }
@@ -361,9 +418,14 @@ pub fn rot_x_slab_lanes(
     mc: usize,
     trig: &[(f64, f64)],
 ) {
-    debug_assert_eq!(lanes, trig.len());
+    check_slab(slab.len(), lanes, dim, mt, mc);
+    assert_eq!(lanes, trig.len(), "one trig pair per lane");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and
+        // `check_slab` proved the geometry every raw row pointer is derived
+        // from: `slab.len() == dim·lanes`, `mt` a single bit below the
+        // power-of-two `dim`, `mc < dim`.
         unsafe { avx::rot_x_slab_lanes(slab, lanes, dim, mt, mc, trig) };
         return;
     }
@@ -382,9 +444,14 @@ pub fn rot_y_slab_lanes(
     mc: usize,
     trig: &[(f64, f64)],
 ) {
-    debug_assert_eq!(lanes, trig.len());
+    check_slab(slab.len(), lanes, dim, mt, mc);
+    assert_eq!(lanes, trig.len(), "one trig pair per lane");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and
+        // `check_slab` proved the geometry every raw row pointer is derived
+        // from: `slab.len() == dim·lanes`, `mt` a single bit below the
+        // power-of-two `dim`, `mc < dim`.
         unsafe { avx::rot_y_slab_lanes(slab, lanes, dim, mt, mc, trig) };
         return;
     }
@@ -405,10 +472,15 @@ pub fn phase_slab_lanes(
     zlo: &[(f64, f64)],
     zhi: &[(f64, f64)],
 ) {
-    debug_assert_eq!(lanes, zlo.len());
-    debug_assert_eq!(lanes, zhi.len());
+    check_slab(slab.len(), lanes, dim, mt, mc);
+    assert_eq!(lanes, zlo.len(), "one phase pair per lane (target clear)");
+    assert_eq!(lanes, zhi.len(), "one phase pair per lane (target set)");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and
+        // `check_slab` proved the geometry every raw row pointer is derived
+        // from: `slab.len() == dim·lanes`, `mt` a single bit below the
+        // power-of-two `dim`, `mc < dim`.
         unsafe { avx::phase_slab_lanes(slab, lanes, dim, mt, mc, zlo, zhi) };
         return;
     }
@@ -442,10 +514,15 @@ pub fn adj_acc_slab<const AXIS: u8>(
     mt: usize,
     mc: usize,
 ) {
-    debug_assert_eq!(acc.len(), lanes);
-    debug_assert_eq!(lam.len(), phi.len());
+    check_slab(lam.len(), lanes, dim, mt, mc);
+    assert_eq!(lam.len(), phi.len(), "λ and φ cover the same slab");
+    assert_eq!(acc.len(), lanes, "one accumulator per lane");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and the
+        // checks above proved λ and φ are full `dim·lanes` slabs (with
+        // `mt` a single bit below the power-of-two `dim`, so `i ^ mt`
+        // stays below `dim`) and `acc` holds one slot per lane.
         unsafe { avx::adj_acc_slab::<AXIS>(acc, lam, phi, lanes, dim, mt, mc) };
         return;
     }
@@ -504,10 +581,23 @@ pub fn adj_acc_slab_multi<const AXIS: u8>(
     mt: usize,
     mc: usize,
 ) {
-    debug_assert_eq!(accs.len(), lams.len() * lanes);
-    debug_assert_eq!(gbuf.len(), lanes);
+    check_slab(phi.len(), lanes, dim, mt, mc);
+    for lam in lams {
+        assert_eq!(lam.len(), phi.len(), "every λ covers the same slab as φ");
+    }
+    assert_eq!(
+        accs.len(),
+        lams.len() * lanes,
+        "one accumulator per (λ, lane)"
+    );
+    assert_eq!(gbuf.len(), lanes, "generator scratch holds one row");
     #[cfg(target_arch = "x86_64")]
     if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and the
+        // checks above proved φ and every λ are full `dim·lanes` slabs
+        // (with `mt` a single bit below the power-of-two `dim`, so
+        // `i ^ mt` stays below `dim`), `accs` holds `lams.len()·lanes`
+        // slots, and the generator scratch holds one `lanes`-long row.
         unsafe { avx::adj_acc_slab_multi::<AXIS>(accs, lams, phi, gbuf, lanes, dim, mt, mc) };
         return;
     }
@@ -568,6 +658,14 @@ mod avx {
         )
     }
 
+    /// Uniform pair-row kernel.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled (the safe dispatchers check `wide()` first)
+    /// and `r0.len() == r1.len()` — the loop walks both rows by the
+    /// shared count from `ptrs2`, so a shorter `r1` would be written
+    /// out of bounds. The dispatchers assert the equality.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn rot_x_rows(r0: &mut [Complex64], r1: &mut [Complex64], s: f64, c: f64) {
         let (p0, p1, n) = ptrs2(r0, r1);
@@ -597,6 +695,13 @@ mod avx {
     }
 
     /// One-complex X-rotation remainder step.
+    ///
+    /// # Safety
+    ///
+    /// `pa` and `pb` must each be valid for reads and writes of one
+    /// interleaved complex (two `f64`s), and AVX2 must be enabled —
+    /// both guaranteed by the `#[target_feature]` callers, which pass
+    /// in-bounds tail pointers of equal-length rows.
     #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn rot_x_tail(pa: *mut f64, pb: *mut f64, s: f64, c: f64) {
@@ -616,6 +721,12 @@ mod avx {
         _mm_storeu_pd(pb, r1v);
     }
 
+    /// Uniform pair-row kernel; see [`rot_x_rows`] for the contract.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 enabled and `r0.len() == r1.len()`, as asserted by the
+    /// safe dispatchers.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn rot_y_rows(r0: &mut [Complex64], r1: &mut [Complex64], s: f64, c: f64) {
         let (p0, p1, n) = ptrs2(r0, r1);
@@ -647,6 +758,12 @@ mod avx {
         }
     }
 
+    /// Uniform single-row phase kernel.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled (the safe dispatchers check `wide()`
+    /// first); every access is bounded by `row.len()` itself.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn phase_rows(row: &mut [Complex64], pr: f64, pi: f64) {
         let n = row.len();
@@ -664,6 +781,12 @@ mod avx {
         }
     }
 
+    /// Uniform pair-row kernel; see [`rot_x_rows`] for the contract.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 enabled and `r0.len() == r1.len()`, as asserted by the
+    /// safe dispatchers.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gate1_rows(r0: &mut [Complex64], r1: &mut [Complex64], gate: &Gate1) {
         let (p0, p1, n) = ptrs2(r0, r1);
@@ -694,6 +817,14 @@ mod avx {
         }
     }
 
+    /// Per-lane pair-row kernel.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 enabled and `r0.len() == r1.len()`, as asserted by the safe
+    /// dispatchers. `trig` is slice-indexed, so a short coefficient
+    /// table panics rather than reading out of bounds (the dispatchers
+    /// assert it matches the row length anyway).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn rot_x_rows_lanes(
         r0: &mut [Complex64],
@@ -729,6 +860,12 @@ mod avx {
         }
     }
 
+    /// Per-lane pair-row kernel; see [`rot_x_rows_lanes`].
+    ///
+    /// # Safety
+    ///
+    /// AVX2 enabled and `r0.len() == r1.len()`, as asserted by the
+    /// safe dispatchers.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn rot_y_rows_lanes(
         r0: &mut [Complex64],
@@ -767,6 +904,13 @@ mod avx {
         }
     }
 
+    /// Adjoint fold row kernel.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled, and `l.len()` and `g.len()` must equal
+    /// `acc.len()` — the loop reads both through raw pointers up to
+    /// `acc`'s length. The safe dispatcher asserts both equalities.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn conj_dot_im_rows(acc: &mut [f64], l: &[Complex64], g: &[Complex64]) {
         let n = acc.len();
@@ -794,6 +938,13 @@ mod avx {
         }
     }
 
+    /// Per-lane single-row phase kernel.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled; row accesses are bounded by `row.len()`
+    /// and `phases` is slice-indexed (panics if shorter than the row,
+    /// which the safe dispatcher rules out).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn phase_rows_lanes(row: &mut [Complex64], phases: &[(f64, f64)]) {
         let n = row.len();
@@ -821,6 +972,15 @@ mod avx {
     // --- slab kernels: the whole pair/row loop in one AVX2 body -------
 
     /// Disjoint row slices from a raw slab base (pairs never alias).
+    ///
+    /// # Safety
+    ///
+    /// `base` must point to a live slab of at least
+    /// `(max(i0, i1) + 1) · lanes` complexes, and `i0 != i1` so the two
+    /// returned `&mut` rows never overlap. The slab kernels guarantee
+    /// both via the `check_slab` contract: row indices stay below the
+    /// power-of-two `dim`, `i1 = i0 | mt` with `mt != 0` differs from
+    /// `i0`, and the slab holds `dim · lanes` entries.
     #[inline(always)]
     unsafe fn pair_rows<'a>(
         base: *mut Complex64,
@@ -834,6 +994,15 @@ mod avx {
         )
     }
 
+    /// Whole-slab X-rotation walk.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled and the [`super::check_slab`] contract must
+    /// hold (`slab.len() == dim·lanes`, `mt` a single bit below the
+    /// power-of-two `dim`, `mc < dim`): together these keep every
+    /// `pair_rows` row in bounds and each pair disjoint. The safe
+    /// dispatchers establish both before the call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn rot_x_slab(
         slab: &mut [Complex64],
@@ -854,6 +1023,15 @@ mod avx {
         }
     }
 
+    /// Whole-slab Y-rotation walk.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled and the [`super::check_slab`] contract must
+    /// hold (`slab.len() == dim·lanes`, `mt` a single bit below the
+    /// power-of-two `dim`, `mc < dim`): together these keep every
+    /// `pair_rows` row in bounds and each pair disjoint. The safe
+    /// dispatchers establish both before the call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn rot_y_slab(
         slab: &mut [Complex64],
@@ -874,6 +1052,15 @@ mod avx {
         }
     }
 
+    /// Whole-slab 2×2 unitary walk (uncontrolled).
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled and the [`super::check_slab`] contract must
+    /// hold (`slab.len() == dim·lanes`, `mt` a single bit below the
+    /// power-of-two `dim`, `mc < dim`): together these keep every
+    /// `pair_rows` row in bounds and each pair disjoint. The safe
+    /// dispatchers establish both before the call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gate1_slab(
         slab: &mut [Complex64],
@@ -892,6 +1079,14 @@ mod avx {
         }
     }
 
+    /// Whole-slab diagonal-phase walk.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled and the [`super::check_slab`] contract must
+    /// hold: `slab.len() == dim·lanes` keeps every row slice
+    /// (`from_raw_parts_mut` at `i · lanes`, `i < dim`) inside the
+    /// slab. The safe dispatchers establish both before the call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn phase_slab(
         slab: &mut [Complex64],
@@ -913,6 +1108,15 @@ mod avx {
         }
     }
 
+    /// Whole-slab per-lane X-rotation walk.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled and the [`super::check_slab`] contract must
+    /// hold (`slab.len() == dim·lanes`, `mt` a single bit below the
+    /// power-of-two `dim`, `mc < dim`): together these keep every
+    /// `pair_rows` row in bounds and each pair disjoint. The safe
+    /// dispatchers establish both before the call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn rot_x_slab_lanes(
         slab: &mut [Complex64],
@@ -932,6 +1136,15 @@ mod avx {
         }
     }
 
+    /// Whole-slab per-lane Y-rotation walk.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled and the [`super::check_slab`] contract must
+    /// hold (`slab.len() == dim·lanes`, `mt` a single bit below the
+    /// power-of-two `dim`, `mc < dim`): together these keep every
+    /// `pair_rows` row in bounds and each pair disjoint. The safe
+    /// dispatchers establish both before the call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn rot_y_slab_lanes(
         slab: &mut [Complex64],
@@ -951,6 +1164,14 @@ mod avx {
         }
     }
 
+    /// Whole-slab per-lane diagonal-phase walk.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled and the [`super::check_slab`] contract must
+    /// hold: `slab.len() == dim·lanes` keeps every row slice
+    /// (`from_raw_parts_mut` at `i · lanes`, `i < dim`) inside the
+    /// slab. The safe dispatchers establish both before the call.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn phase_slab_lanes(
         slab: &mut [Complex64],
@@ -972,6 +1193,16 @@ mod avx {
         }
     }
 
+    /// Whole-slab adjoint generator fold.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled; `lam` and `phi` must both hold exactly
+    /// `dim · lanes` complexes with `mt` a single bit below the
+    /// power-of-two `dim` (so the `i ^ mt` generator row index stays
+    /// below `dim`), and `acc` must hold `lanes` slots — the raw reads
+    /// and accumulator writes are bounded by exactly these lengths.
+    /// The safe dispatcher asserts all of them.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn adj_acc_slab<const AXIS: u8>(
         acc: &mut [f64],
@@ -1062,6 +1293,16 @@ mod avx {
         }
     }
 
+    /// Multi-λ whole-slab adjoint generator fold.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled; `phi` and every `lams[j]` must hold
+    /// exactly `dim · lanes` complexes with `mt` a single bit below
+    /// the power-of-two `dim`, `accs` must hold `lams.len() · lanes`
+    /// slots and `gbuf` exactly `lanes` — the generator scratch and
+    /// every per-λ fold are bounded by these lengths. The safe
+    /// dispatcher asserts all of them.
     #[target_feature(enable = "avx2")]
     #[allow(clippy::too_many_arguments)]
     pub(super) unsafe fn adj_acc_slab_multi<const AXIS: u8>(

@@ -28,6 +28,12 @@ use crate::complex::Complex64;
 use crate::gate::{Gate1, Gate2};
 
 /// Splats one complex coefficient into broadcast (re, im) registers.
+///
+/// # Safety
+///
+/// Register-only (no memory access); `unsafe` solely because AVX2 must
+/// be enabled, which every caller guarantees by being `#[target_feature
+/// (enable = "avx2")]` itself and reachable only via [`crate::simd::level`].
 #[target_feature(enable = "avx2")]
 #[inline]
 pub(crate) unsafe fn splat(m: Complex64) -> (__m256d, __m256d) {
@@ -35,6 +41,11 @@ pub(crate) unsafe fn splat(m: Complex64) -> (__m256d, __m256d) {
 }
 
 /// Low halves of a splat pair, for 128-bit remainder steps.
+///
+/// # Safety
+///
+/// Register-only cast; requires AVX2 to be enabled (guaranteed by the
+/// `#[target_feature]` callers), nothing else.
 #[target_feature(enable = "avx2")]
 #[inline]
 pub(crate) unsafe fn halve(m: (__m256d, __m256d)) -> (__m128d, __m128d) {
@@ -44,6 +55,11 @@ pub(crate) unsafe fn halve(m: (__m256d, __m256d)) -> (__m128d, __m128d) {
 /// `m · v` for two packed complexes, coefficient pre-splat as `(re, im)`:
 /// `addsub(re·v, im·swap(v))` reproduces the scalar
 /// `(m.re·v.re − m.im·v.im, m.re·v.im + m.im·v.re)` bit for bit.
+///
+/// # Safety
+///
+/// Register-only arithmetic; requires AVX2 to be enabled (guaranteed by
+/// the `#[target_feature]` callers), nothing else.
 #[target_feature(enable = "avx2")]
 #[inline]
 pub(crate) unsafe fn cmul(m: (__m256d, __m256d), v: __m256d) -> __m256d {
@@ -53,6 +69,11 @@ pub(crate) unsafe fn cmul(m: (__m256d, __m256d), v: __m256d) -> __m256d {
 }
 
 /// 128-bit [`cmul`], for run remainders.
+///
+/// # Safety
+///
+/// Register-only arithmetic; requires AVX2 to be enabled (guaranteed by
+/// the `#[target_feature]` callers), nothing else.
 #[target_feature(enable = "avx2")]
 #[inline]
 pub(crate) unsafe fn cmul1(m: (__m128d, __m128d), v: __m128d) -> __m128d {
@@ -63,6 +84,15 @@ pub(crate) unsafe fn cmul1(m: (__m128d, __m128d), v: __m128d) -> __m128d {
 
 /// Generic 2×2 update of two 2-amplitude rows:
 /// `a0' = m00·a0 + m01·a1`, `a1' = m10·a0 + m11·a1`.
+///
+/// # Safety
+///
+/// `p` must point into a live interleaved amplitude buffer valid for
+/// reads and writes of `f64`s `[2·i0, 2·i0+4)` and `[2·i1, 2·i1+4)`
+/// (two amplitudes per row), with `{i0, i0+1} ∩ {i1, i1+1} = ∅` so the
+/// two load/store pairs never overlap. Callers derive `i1 = i0 + stride`
+/// or `i0 | mt` with `stride/mt ≥ 2` on this path, which guarantees
+/// disjointness. AVX2 must be enabled (callers are `#[target_feature]`).
 #[target_feature(enable = "avx2")]
 #[inline]
 #[allow(clippy::too_many_arguments)]
@@ -86,6 +116,12 @@ unsafe fn g1_step(
 }
 
 /// 128-bit [`g1_step`] (one amplitude per row).
+///
+/// # Safety
+///
+/// `p` must be valid for reads and writes of `f64`s `[2·i0, 2·i0+2)`
+/// and `[2·i1, 2·i1+2)` with `i0 ≠ i1`. AVX2 must be enabled (callers
+/// are `#[target_feature]`).
 #[target_feature(enable = "avx2")]
 #[inline]
 #[allow(clippy::too_many_arguments)]
@@ -110,6 +146,11 @@ unsafe fn g1_step1(
 
 /// Rx pair update: `a0' = c·a0 + [s,−s]·swap(a1)` and symmetrically,
 /// matching the scalar `(c·a0.re + s·a1.im, c·a0.im − s·a1.re)` form.
+///
+/// # Safety
+///
+/// Same contract as [`g1_step`]: `p` valid for reads/writes of two
+/// amplitudes at `i0` and two at `i1`, rows disjoint, AVX2 enabled.
 #[target_feature(enable = "avx2")]
 #[inline]
 unsafe fn rx_step(p: *mut f64, i0: usize, i1: usize, cv: __m256d, sv: __m256d) {
@@ -130,6 +171,11 @@ unsafe fn rx_step(p: *mut f64, i0: usize, i1: usize, cv: __m256d, sv: __m256d) {
 }
 
 /// 128-bit [`rx_step`].
+///
+/// # Safety
+///
+/// Same contract as [`g1_step1`]: one amplitude at `i0`, one at `i1`,
+/// `i0 ≠ i1`, AVX2 enabled.
 #[target_feature(enable = "avx2")]
 #[inline]
 unsafe fn rx_step1(p: *mut f64, i0: usize, i1: usize, cv: __m128d, sv: __m128d) {
@@ -151,6 +197,11 @@ unsafe fn rx_step1(p: *mut f64, i0: usize, i1: usize, cv: __m128d, sv: __m128d) 
 
 /// Ry pair update (purely real matrix): `a0' = c·a0 + (−s)·a1`,
 /// `a1' = s·a0 + c·a1`, elementwise.
+///
+/// # Safety
+///
+/// Same contract as [`g1_step`]: `p` valid for reads/writes of two
+/// amplitudes at `i0` and two at `i1`, rows disjoint, AVX2 enabled.
 #[target_feature(enable = "avx2")]
 #[inline]
 unsafe fn ry_step(p: *mut f64, i0: usize, i1: usize, cv: __m256d, nsv: __m256d, psv: __m256d) {
@@ -165,6 +216,11 @@ unsafe fn ry_step(p: *mut f64, i0: usize, i1: usize, cv: __m256d, nsv: __m256d, 
 }
 
 /// 128-bit [`ry_step`].
+///
+/// # Safety
+///
+/// Same contract as [`g1_step1`]: one amplitude at `i0`, one at `i1`,
+/// `i0 ≠ i1`, AVX2 enabled.
 #[target_feature(enable = "avx2")]
 #[inline]
 unsafe fn ry_step1(p: *mut f64, i0: usize, i1: usize, cv: __m128d, nsv: __m128d, psv: __m128d) {
@@ -182,6 +238,13 @@ unsafe fn ry_step1(p: *mut f64, i0: usize, i1: usize, cv: __m128d, nsv: __m128d,
 /// `a' = pr·a + [−pi, pi]·swap(a)`, which is the scalar
 /// `(a.re·pr − a.im·pi, a.re·pi + a.im·pr)` bit for bit. `mv` carries the
 /// `[−pi, pi]` pattern per amplitude.
+///
+/// # Safety
+///
+/// `p` must be valid for reads and writes of `f64`s
+/// `[2·start, 2·(start+count))` — the whole run, including the odd
+/// 128-bit remainder. In-place diagonal update, so no aliasing concern
+/// beyond the run itself. AVX2 enabled (callers are `#[target_feature]`).
 #[target_feature(enable = "avx2")]
 #[inline]
 unsafe fn phase_run(p: *mut f64, start: usize, count: usize, prv: __m256d, mv: __m256d) {
@@ -208,6 +271,14 @@ unsafe fn phase_run(p: *mut f64, start: usize, count: usize, prv: __m256d, mv: _
 }
 
 /// Generic single-qubit gate over qubit `q`.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 — callers reach this only through the
+/// [`crate::simd::level`] dispatch, which verifies support at runtime.
+/// Wire masks are asserted in range at entry, and every pointer handed
+/// to the step helpers is derived from those asserted masks, so it
+/// stays within `amps`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn gate1(amps: &mut [Complex64], q: usize, gate: &Gate1) {
     let len = amps.len();
@@ -254,6 +325,14 @@ pub(crate) unsafe fn gate1(amps: &mut [Complex64], q: usize, gate: &Gate1) {
 
 /// Generic two-qubit gate; direct block enumeration over `(qa, qb)`-clear
 /// indices, runs of the smaller stride.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 — callers reach this only through the
+/// [`crate::simd::level`] dispatch, which verifies support at runtime.
+/// Wire masks are asserted in range at entry, and every pointer handed
+/// to the step helpers is derived from those asserted masks, so it
+/// stays within `amps`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn gate2(amps: &mut [Complex64], qa: usize, qb: usize, gate: &Gate2) {
     let len = amps.len();
@@ -290,7 +369,16 @@ pub(crate) unsafe fn gate2(amps: &mut [Complex64], qa: usize, qb: usize, gate: &
 
 /// One 2-amplitude chunk of a 4×4 update; all four rows are loaded before
 /// any store, and each row accumulates from a zero register in column
-/// order, matching the scalar `mul_add` chain exactly.
+/// order, matching the scalar `mul_acc` chain exactly.
+///
+/// # Safety
+///
+/// `p` must be valid for reads and writes of two amplitudes at each of
+/// the four row indices `i00`, `i00|ma`, `i00|mb`, `i00|ma|mb`, which
+/// must be pairwise disjoint as 2-amplitude rows — callers pass `i00`
+/// with both wire bits clear and `ma ≠ mb` both ≥ 2 on this path (the
+/// lane-1 remainders use [`g2_step1`]). All rows are loaded before any
+/// store, so in-place update is sound. AVX2 enabled.
 #[target_feature(enable = "avx2")]
 #[inline]
 unsafe fn g2_step(
@@ -317,6 +405,11 @@ unsafe fn g2_step(
 }
 
 /// 128-bit [`g2_step`] (run remainder).
+///
+/// # Safety
+///
+/// Same as [`g2_step`] with single-amplitude rows: `p` valid for one
+/// amplitude at each of the four distinct indices. AVX2 enabled.
 #[target_feature(enable = "avx2")]
 #[inline]
 unsafe fn g2_step1(
@@ -344,6 +437,14 @@ unsafe fn g2_step1(
 
 /// Controlled single-qubit gate: direct enumeration over
 /// (control = 1, target = 0) indices.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 — callers reach this only through the
+/// [`crate::simd::level`] dispatch, which verifies support at runtime.
+/// Wire masks are asserted in range at entry, and every pointer handed
+/// to the step helpers is derived from those asserted masks, so it
+/// stays within `amps`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn controlled_gate1(
     amps: &mut [Complex64],
@@ -397,6 +498,14 @@ pub(crate) unsafe fn controlled_gate1(
 }
 
 /// Rx rotation with precomputed `(sin, cos)` of the half angle.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 — callers reach this only through the
+/// [`crate::simd::level`] dispatch, which verifies support at runtime.
+/// Wire masks are asserted in range at entry, and every pointer handed
+/// to the step helpers is derived from those asserted masks, so it
+/// stays within `amps`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn rx_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
     let len = amps.len();
@@ -430,6 +539,14 @@ pub(crate) unsafe fn rx_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
 }
 
 /// Ry rotation with precomputed `(sin, cos)` of the half angle.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 — callers reach this only through the
+/// [`crate::simd::level`] dispatch, which verifies support at runtime.
+/// Wire masks are asserted in range at entry, and every pointer handed
+/// to the step helpers is derived from those asserted masks, so it
+/// stays within `amps`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn ry_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
     let len = amps.len();
@@ -465,6 +582,14 @@ pub(crate) unsafe fn ry_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
 }
 
 /// Rz rotation (diagonal) with precomputed `(sin, cos)` of the half angle.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 — callers reach this only through the
+/// [`crate::simd::level`] dispatch, which verifies support at runtime.
+/// Wire masks are asserted in range at entry, and every pointer handed
+/// to the step helpers is derived from those asserted masks, so it
+/// stays within `amps`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn rz_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
     let len = amps.len();
@@ -489,6 +614,14 @@ pub(crate) unsafe fn rz_sc(amps: &mut [Complex64], q: usize, s: f64, c: f64) {
 }
 
 /// Controlled Rx with precomputed trig.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 — callers reach this only through the
+/// [`crate::simd::level`] dispatch, which verifies support at runtime.
+/// Wire masks are asserted in range at entry, and every pointer handed
+/// to the step helpers is derived from those asserted masks, so it
+/// stays within `amps`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn crx_sc(amps: &mut [Complex64], control: usize, target: usize, s: f64, c: f64) {
     let len = amps.len();
@@ -526,6 +659,14 @@ pub(crate) unsafe fn crx_sc(amps: &mut [Complex64], control: usize, target: usiz
 }
 
 /// Controlled Ry with precomputed trig.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 — callers reach this only through the
+/// [`crate::simd::level`] dispatch, which verifies support at runtime.
+/// Wire masks are asserted in range at entry, and every pointer handed
+/// to the step helpers is derived from those asserted masks, so it
+/// stays within `amps`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn cry_sc(amps: &mut [Complex64], control: usize, target: usize, s: f64, c: f64) {
     let len = amps.len();
@@ -570,6 +711,14 @@ pub(crate) unsafe fn cry_sc(amps: &mut [Complex64], control: usize, target: usiz
 
 /// Controlled Rz with precomputed trig: phase `(c, −s)` on the
 /// (control = 1, target = 0) runs, `(c, +s)` on their partners.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 — callers reach this only through the
+/// [`crate::simd::level`] dispatch, which verifies support at runtime.
+/// Wire masks are asserted in range at entry, and every pointer handed
+/// to the step helpers is derived from those asserted masks, so it
+/// stays within `amps`.
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn crz_sc(amps: &mut [Complex64], control: usize, target: usize, s: f64, c: f64) {
     let len = amps.len();

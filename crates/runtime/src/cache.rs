@@ -10,8 +10,14 @@
 //! Keying is by [`circuit_hash`] with full structural comparison on
 //! lookup, so a hash collision degrades to a recompile, never to wrong
 //! execution.
+//!
+//! The map is a `BTreeMap`, not a `HashMap`: runtime is a deterministic
+//! crate, and while nothing here iterates the map today beyond an
+//! order-independent `len()` sum, a sorted map makes any future
+//! iteration (debug dumps, eviction) order-stable by construction
+//! instead of by audit.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 use qmarl_vqc::ir::Circuit;
@@ -25,7 +31,7 @@ type Bucket = Vec<(Circuit, Arc<CompiledCircuit>)>;
 #[derive(Debug, Default)]
 pub struct CircuitCache {
     // Buckets resolve hash collisions by structural equality.
-    map: RwLock<HashMap<u64, Bucket>>,
+    map: RwLock<BTreeMap<u64, Bucket>>,
 }
 
 impl CircuitCache {
@@ -123,6 +129,34 @@ mod tests {
         assert_eq!(cache.len(), shapes.len());
         for (i, c) in compiled.iter().enumerate() {
             assert!(Arc::ptr_eq(c, &compiled[i % shapes.len()]));
+        }
+    }
+
+    #[test]
+    fn hits_are_invariant_to_insertion_order() {
+        // Two caches fed the same shapes in opposite orders must agree
+        // on size and on hit behavior: every lookup is served by the
+        // one compilation its own cache made for that shape,
+        // independent of where the shape landed in the map.
+        let shapes: Vec<Circuit> = (1..6).map(circ).collect();
+        let fwd = CircuitCache::new();
+        let rev = CircuitCache::new();
+        let fwd_first: Vec<_> = shapes.iter().map(|c| fwd.get_or_compile(c)).collect();
+        let rev_first: Vec<_> = shapes.iter().rev().map(|c| rev.get_or_compile(c)).collect();
+        assert_eq!(fwd.len(), shapes.len());
+        assert_eq!(rev.len(), shapes.len());
+        for (i, c) in shapes.iter().enumerate() {
+            let f = fwd.get_or_compile(c);
+            let r = rev.get_or_compile(c);
+            assert!(Arc::ptr_eq(&f, &fwd_first[i]), "fwd hit for shape {i}");
+            assert!(
+                Arc::ptr_eq(&r, &rev_first[shapes.len() - 1 - i]),
+                "rev hit for shape {i}"
+            );
+            // And the compiled schedules are identical across caches.
+            assert_eq!(f.n_qubits(), r.n_qubits());
+            assert_eq!(f.n_params(), r.n_params());
+            assert_eq!(f.hash(), r.hash());
         }
     }
 

@@ -578,7 +578,7 @@ pub(crate) fn run_prebound_slab_raw(pb: &PreboundCircuit, inputs: &[&[f64]]) -> 
 ///
 /// Mirrors `qsim::apply::apply_gate2`'s scalar arithmetic exactly: for each
 /// both-bits-clear base index (ascending), gather the four amplitudes and
-/// rebuild each via the same `mul_add` chain from `+0`, in column order.
+/// rebuild each via the same `mul_acc` chain from `+0`, in column order.
 fn apply_gate2_slab(
     slab: &mut [Complex64],
     lanes: usize,
@@ -605,7 +605,7 @@ fn apply_gate2_slab(
             for (r, &ix) in idx.iter().enumerate() {
                 let mut acc = Complex64::ZERO;
                 for (col, &vc) in v.iter().enumerate() {
-                    acc = m[r][col].mul_add(vc, acc);
+                    acc = m[r][col].mul_acc(vc, acc);
                 }
                 slab[ix * lanes + lane] = acc;
             }

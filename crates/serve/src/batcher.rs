@@ -101,12 +101,12 @@ impl PolicySlot {
 
     /// The policy serving right now.
     pub fn current(&self) -> Arc<ServablePolicy> {
-        self.policy.lock().expect("slot lock poisoned").clone()
+        crate::sync::lock(&self.policy).clone()
     }
 
     /// Atomically replace the serving policy and bump the version.
     pub fn swap(&self, next: ServablePolicy) {
-        let mut guard = self.policy.lock().expect("slot lock poisoned");
+        let mut guard = crate::sync::lock(&self.policy);
         *guard = Arc::new(next);
         self.version.fetch_add(1, Ordering::SeqCst);
         self.swaps.fetch_add(1, Ordering::SeqCst);
@@ -274,11 +274,7 @@ fn execute_tick(jobs: &mut Vec<Job>, slot: &PolicySlot, stats: &ServeStats, dead
     let elapsed = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
 
     stats.batches_executed.fetch_add(1, Ordering::Relaxed);
-    stats
-        .batch_hist
-        .lock()
-        .expect("hist lock poisoned")
-        .record(elapsed);
+    crate::sync::lock(&stats.batch_hist).record(elapsed);
 
     match result {
         Ok(actions) => {

@@ -49,10 +49,11 @@ impl LatencyHistogram {
     pub fn new() -> Self {
         let ratio = Self::bucket_ratio();
         let mut bounds = vec![LOW_NS];
-        while *bounds.last().expect("non-empty") < HIGH_NS {
-            let prev = *bounds.last().expect("non-empty");
-            let next = ((prev as f64) * ratio).round() as u64;
-            bounds.push(next.max(prev + 1));
+        let mut prev = LOW_NS;
+        while prev < HIGH_NS {
+            let next = (((prev as f64) * ratio).round() as u64).max(prev + 1);
+            bounds.push(next);
+            prev = next;
         }
         bounds.push(u64::MAX); // overflow bucket
         let counts = vec![0; bounds.len()];

@@ -49,6 +49,7 @@ pub mod hist;
 pub mod protocol;
 pub mod server;
 pub mod stream;
+mod sync;
 pub mod watch;
 
 /// The most commonly used items, for glob import.

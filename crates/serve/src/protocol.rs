@@ -141,24 +141,35 @@ impl<'a> Rd<'a> {
         Ok(s)
     }
 
+    /// `take` with a compile-time length, returning an owned array so
+    /// the `from_le_bytes` decoders below stay panic-free: `take`
+    /// already guarantees exactly `N` bytes, and the copy makes that
+    /// guarantee a type-level fact instead of a runtime `expect`.
+    fn take_n<const N: usize>(&mut self) -> Result<[u8; N], ServeError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+
     fn u8(&mut self) -> Result<u8, ServeError> {
         Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, ServeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(self.take_n()?))
     }
 
     fn u32(&mut self) -> Result<u32, ServeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.take_n()?))
     }
 
     fn u64(&mut self) -> Result<u64, ServeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.take_n()?))
     }
 
     fn f64(&mut self) -> Result<f64, ServeError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(f64::from_le_bytes(self.take_n()?))
     }
 
     fn finish(&self) -> Result<(), ServeError> {

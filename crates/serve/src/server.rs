@@ -60,7 +60,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            addr: std::net::SocketAddr::from(([127, 0, 0, 1], 0)),
             batch: BatchConfig::default(),
             max_conns: 0,
             accept_poll: Duration::from_millis(5),
@@ -139,10 +139,10 @@ impl ServerHandle {
         }
         // Close only the *read* side: handlers finish the request they
         // are serving (the response still goes out), then see EOF.
-        for conn in self.conns.lock().expect("conn registry").iter() {
+        for conn in crate::sync::lock(&self.conns).iter() {
             let _ = conn.shutdown(Shutdown::Read);
         }
-        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler registry"));
+        let handlers = std::mem::take(&mut *crate::sync::lock(&self.handlers));
         for t in handlers {
             let _ = t.join();
         }
@@ -159,7 +159,7 @@ impl ServerHandle {
             corrupt_skips: self.stats.corrupt_skips.load(Ordering::SeqCst),
             faults_injected: self.stats.faults_injected.load(Ordering::SeqCst),
             policy_swaps: self.slot.swaps(),
-            batch_hist: self.stats.batch_hist.lock().expect("hist lock").clone(),
+            batch_hist: crate::sync::lock(&self.stats.batch_hist).clone(),
         }
     }
 }
@@ -229,7 +229,7 @@ pub fn serve(policy: ServablePolicy, config: ServerConfig) -> Result<ServerHandl
                             continue;
                         }
                         if let Ok(clone) = stream.try_clone() {
-                            conns.lock().expect("conn registry").push(clone);
+                            crate::sync::lock(&conns).push(clone);
                         }
                         let conn_id = next_conn_id;
                         next_conn_id += 1;
@@ -240,7 +240,7 @@ pub fn serve(policy: ServablePolicy, config: ServerConfig) -> Result<ServerHandl
                             handle_conn(stream, conn_id, tx, slot, stats, cfg);
                             active.fetch_sub(1, Ordering::SeqCst);
                         });
-                        handlers.lock().expect("handler registry").push(t);
+                        crate::sync::lock(&handlers).push(t);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(accept_poll);

@@ -1,0 +1,26 @@
+//! The one place serve acquires mutexes.
+//!
+//! Every shared-state lock in the crate goes through [`lock`], so the
+//! no-panic-serve invariant has exactly one audited exception instead
+//! of an `expect` at each call site.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `m`, propagating the panic of a thread that died holding it.
+///
+/// Lock poisoning is the only failure `Mutex::lock` has, and it means
+/// another serving thread already panicked mid-update. Continuing with
+/// possibly torn state (a half-swapped policy, a half-pushed registry)
+/// could emit wrong actions, which is strictly worse than surfacing
+/// the original failure — so this is the single place the serve crate
+/// is allowed to panic.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        // xcheck: allow(no-panic-serve) — a poisoned lock means a serving
+        // thread already panicked while holding this state; serving on top
+        // of a torn policy slot or connection registry could return wrong
+        // actions, so re-raising that original failure is the contract.
+        Err(_) => panic!("serve: lock poisoned by a panicked holder"),
+    }
+}

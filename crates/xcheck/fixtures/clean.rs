@@ -1,0 +1,14 @@
+//! Fixture: a clean file — mentions `mul_add`, `HashMap`, and `unsafe`
+//! only in prose and string literals, which must never be flagged.
+
+use std::collections::BTreeMap;
+
+/// Docs may talk about `mul_add` and `HashMap` freely.
+pub fn tally(xs: &[(u32, u32)]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &(k, v) in xs {
+        *m.entry(k).or_insert(0) += v;
+    }
+    let _s = "unsafe { mul_add } in a string";
+    m
+}

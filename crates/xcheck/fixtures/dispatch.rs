@@ -1,0 +1,36 @@
+//! Fixture: `#[target_feature]` call-site discipline.
+
+mod avx {
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn kernel(x: &mut [f64]) {
+        x[0] = 1.0;
+    }
+}
+
+fn wide() -> bool {
+    false
+}
+
+/// The safe twin: same name, file module — never matches `avx::kernel`.
+pub fn kernel(x: &mut [f64]) {
+    x[0] = 2.0;
+}
+
+pub fn unguarded(x: &mut [f64]) {
+    // SAFETY: fixture — deliberately missing the dispatch guard.
+    unsafe { avx::kernel(x) }
+}
+
+pub fn guarded(x: &mut [f64]) {
+    if wide() {
+        // SAFETY: `wide()` verified AVX2 on the line above.
+        unsafe { avx::kernel(x) }
+    }
+}
+
+pub fn calls_safe_twin(x: &mut [f64]) {
+    kernel(x);
+}

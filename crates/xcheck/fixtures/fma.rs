@@ -1,0 +1,14 @@
+//! Fixture: fused multiply-add tokens — `mul_add` in this doc comment
+//! is never flagged.
+
+pub fn accum(a: f64, b: f64, c: f64) -> f64 {
+    let s = "mul_add inside a string literal is not flagged";
+    let _ = s;
+    let x = a.mul_add(b, c);
+    let y = f64::mul_add(x, b, c);
+    x + y
+}
+
+pub fn intrinsic_name() {
+    let _ = _mm256_fmadd_pd;
+}

@@ -1,0 +1,22 @@
+//! Fixture: panic paths in serving code.
+
+pub fn hot(v: Option<u32>) -> u32 {
+    let x = v.unwrap();
+    let y = v.expect("present");
+    if x + y > 3 {
+        panic!("boom");
+    }
+    x
+}
+
+pub fn okay(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_fine_in_tests() {
+        assert_eq!(Some(5u32).unwrap(), 5);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: pragma suppression, justification, and staleness.
+
+pub fn timed_metadata() -> std::time::Instant {
+    // xcheck: allow(determinism) — fixture: metadata-only timer; the
+    // value never feeds results.
+    std::time::Instant::now()
+}
+
+// xcheck: allow(determinism)
+pub fn unjustified() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+// xcheck: allow(no-fma) — fixture: nothing fused below, so this pragma is stale.
+pub fn stale() -> f64 {
+    2.0_f64 * 3.0 + 1.0
+}

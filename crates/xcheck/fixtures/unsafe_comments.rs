@@ -1,0 +1,27 @@
+//! Fixture: `unsafe` with and without SAFETY comments.
+
+pub unsafe fn raw_write(p: *mut u8) {
+    *p = 0;
+}
+
+/// SAFETY is discussed here, above the attribute stack.
+#[inline]
+pub unsafe fn with_attr(p: *mut u8) {
+    *p = 1;
+}
+
+pub fn commented(p: *mut u8) {
+    // SAFETY: fixture contract — `p` is valid for one byte write.
+    unsafe { *p = 2 }
+}
+
+pub fn uncommented(p: *mut u8) {
+    unsafe { *p = 3 }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests(p: *mut u8) {
+        unsafe { *p = 4 }
+    }
+}

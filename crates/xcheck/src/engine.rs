@@ -1,0 +1,754 @@
+//! The analysis engine: per-file structural facts and the rule driver.
+//!
+//! On top of the raw token stream ([`crate::lexer`]) the engine derives
+//! the structure rules need: `#[cfg(test)]` regions (so production-only
+//! rules skip test code), function spans with their attributes and
+//! enclosing module path (so the target-feature rule can resolve which
+//! declaration a call names), per-line code presence (so suppression
+//! pragmas know what they anchor to), and the parsed suppression
+//! pragmas themselves.
+//!
+//! Analysis is two-pass: pass one collects workspace-wide facts (the
+//! `#[target_feature]` declaration table), pass two runs every rule on
+//! every file and applies suppressions. Pragmas that fail to parse,
+//! lack a justification, or never match a finding produce their own
+//! meta-findings (`bad-pragma`, `unused-suppression`), which are not
+//! themselves suppressible — the suppression layer must stay honest.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{self, Comment, Token, TokenKind};
+use crate::rules::{self, Finding};
+
+/// Minimum number of non-whitespace characters for a pragma
+/// justification to count as written.
+const MIN_JUSTIFICATION: usize = 10;
+
+/// How many comment-only/blank lines a pragma may sit above its
+/// anchored code line.
+const PRAGMA_REACH: u32 = 20;
+
+/// One function item: name, location, attributes, and body span.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Innermost named module containing the declaration, or the file
+    /// stem for top-level items (`rows`, `wide`, `avx`, ...).
+    pub mod_name: String,
+    pub is_target_feature: bool,
+    pub is_unsafe: bool,
+    /// Token index of the `fn` keyword.
+    pub fn_index: usize,
+    /// Token index range `(open_brace, close_brace)` of the body;
+    /// `None` for bodyless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+}
+
+/// A parsed suppression pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule names listed in `allow(...)`.
+    pub rules: Vec<String>,
+    /// `allow-file(...)`: applies to the whole file.
+    pub file_level: bool,
+    /// Line of the pragma comment itself.
+    pub line: u32,
+    pub col: u32,
+    /// Code line the pragma suppresses (the same line for trailing
+    /// pragmas, the next code line below otherwise). 0 for file-level.
+    pub anchor: u32,
+    pub justified: bool,
+}
+
+/// A pragma that could not be parsed, with the reason.
+#[derive(Debug, Clone)]
+pub struct BadPragma {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// One source file with the structural facts rules consume.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Token-index ranges (inclusive) covered by `#[cfg(test)]` items.
+    pub cfg_test_regions: Vec<(usize, usize)>,
+    pub fns: Vec<FnSpan>,
+    /// `(mod_name, open_brace_index, close_brace_index)` for every
+    /// inline `mod name { ... }`.
+    pub mods: Vec<(String, usize, usize)>,
+    pub pragmas: Vec<Pragma>,
+    pub bad_pragmas: Vec<BadPragma>,
+    /// Lines (1-based) containing at least one code token.
+    code_lines: Vec<bool>,
+    /// For each code line, the first token's text (attribute detection
+    /// while walking upward past `#[...]` lines).
+    first_token_on_line: BTreeMap<u32, String>,
+}
+
+impl SourceFile {
+    /// Parses `source` into tokens plus the derived structure. `known`
+    /// is the rule-name list used to validate pragmas.
+    pub fn parse(rel_path: &str, source: &str, known_rules: &[&str]) -> SourceFile {
+        let lexer::LexOutput { tokens, comments } = lexer::lex(source);
+
+        let max_line = source.lines().count() as u32 + 1;
+        let mut code_lines = vec![false; (max_line + 2) as usize];
+        let mut first_token_on_line = BTreeMap::new();
+        for t in &tokens {
+            code_lines[t.line as usize] = true;
+            first_token_on_line
+                .entry(t.line)
+                .or_insert_with(|| t.text.clone());
+        }
+
+        let cfg_test_regions = find_cfg_test_regions(&tokens);
+        let (fns, mods) = find_fns_and_mods(&tokens, rel_path);
+
+        let mut file = SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens,
+            comments,
+            cfg_test_regions,
+            fns,
+            mods,
+            pragmas: Vec::new(),
+            bad_pragmas: Vec::new(),
+            code_lines,
+            first_token_on_line,
+        };
+        file.parse_pragmas(known_rules);
+        file
+    }
+
+    /// True when the 1-based `line` holds at least one code token.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.code_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// True when token index `i` lies inside a `#[cfg(test)]` item.
+    pub fn in_cfg_test(&self, i: usize) -> bool {
+        self.cfg_test_regions.iter().any(|&(s, e)| i >= s && i <= e)
+    }
+
+    /// The innermost function whose body contains token index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| i > s && i < e))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(s, e)| e - s))
+    }
+
+    /// The innermost named module containing token index `i`, or the
+    /// file stem when `i` is at the top level.
+    pub fn mod_at(&self, i: usize) -> &str {
+        self.mods
+            .iter()
+            .filter(|&&(_, s, e)| i > s && i < e)
+            .min_by_key(|&&(_, s, e)| e - s)
+            .map_or_else(|| file_stem(&self.rel_path), |(name, _, _)| name.as_str())
+    }
+
+    /// True when a comment overlapping or directly above `line`
+    /// contains a SAFETY marker, walking upward over comment-only,
+    /// blank, and attribute lines.
+    pub fn has_safety_comment(&self, line: u32) -> bool {
+        let marker = |c: &Comment| c.text.contains("SAFETY") || c.text.contains("# Safety");
+        // Trailing or overlapping comment on the same line.
+        if self
+            .comments
+            .iter()
+            .any(|c| c.line <= line && line <= c.end_line && marker(c))
+        {
+            return true;
+        }
+        // Walk upward over non-code and attribute-only lines.
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if self.line_has_code(l) {
+                // Attribute lines (`#[...]`) may sit between the
+                // comment and the item; anything else ends the walk.
+                match self.first_token_on_line.get(&l) {
+                    Some(t) if t == "#" => continue,
+                    _ => return false,
+                }
+            }
+            if self
+                .comments
+                .iter()
+                .any(|c| c.line <= l && l <= c.end_line && marker(c))
+            {
+                return true;
+            }
+            // A blank or comment line without the marker: keep walking
+            // only while we stay within a contiguous comment block.
+            let is_comment_line = self.comments.iter().any(|c| c.line <= l && l <= c.end_line);
+            if !is_comment_line {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn parse_pragmas(&mut self, known_rules: &[&str]) {
+        let mut pragmas = Vec::new();
+        let mut bad = Vec::new();
+        for c in &self.comments {
+            // A pragma's `xcheck:` must directly follow the comment
+            // marker, so documentation *showing* pragma syntax inside
+            // another comment (`//! // xcheck: ...`) is not a pragma.
+            let mut text = c.text.as_str();
+            for marker in ["//!", "///", "//", "/*!", "/**", "/*"] {
+                if let Some(stripped) = text.strip_prefix(marker) {
+                    text = stripped;
+                    break;
+                }
+            }
+            let Some(rest) = text.trim_start().strip_prefix("xcheck:") else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let (file_level, body) = if let Some(b) = rest.strip_prefix("allow-file(") {
+                (true, b)
+            } else if let Some(b) = rest.strip_prefix("allow(") {
+                (false, b)
+            } else {
+                bad.push(BadPragma {
+                    line: c.line,
+                    col: c.col,
+                    message: "pragma must be `xcheck: allow(<rule>) — <justification>` or \
+                              `xcheck: allow-file(...)`"
+                        .to_string(),
+                });
+                continue;
+            };
+            let Some(close) = body.find(')') else {
+                bad.push(BadPragma {
+                    line: c.line,
+                    col: c.col,
+                    message: "unclosed rule list in pragma".to_string(),
+                });
+                continue;
+            };
+            let rules: Vec<String> = body[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if rules.is_empty() {
+                bad.push(BadPragma {
+                    line: c.line,
+                    col: c.col,
+                    message: "empty rule list in pragma".to_string(),
+                });
+                continue;
+            }
+            let mut ok = true;
+            for r in &rules {
+                if !known_rules.contains(&r.as_str()) {
+                    bad.push(BadPragma {
+                        line: c.line,
+                        col: c.col,
+                        message: format!("unknown rule `{r}` in pragma"),
+                    });
+                    ok = false;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Justification: everything after the rule list, minus a
+            // leading separator (em dash, double or single hyphen, colon).
+            let mut just = body[close + 1..].trim_start();
+            for sep in ["—", "--", "-", ":"] {
+                if let Some(j) = just.strip_prefix(sep) {
+                    just = j.trim_start();
+                    break;
+                }
+            }
+            let justified =
+                just.chars().filter(|c| !c.is_whitespace()).count() >= MIN_JUSTIFICATION;
+            // Anchor: the pragma's own line when it trails code, else
+            // the first code line below within reach.
+            let anchor = if file_level {
+                0
+            } else if self.line_has_code(c.line) {
+                c.line
+            } else {
+                let mut found = 0;
+                for l in (c.end_line + 1)..=(c.end_line + PRAGMA_REACH) {
+                    if self.line_has_code(l) {
+                        found = l;
+                        break;
+                    }
+                }
+                found
+            };
+            if !file_level && anchor == 0 {
+                bad.push(BadPragma {
+                    line: c.line,
+                    col: c.col,
+                    message: "pragma does not anchor to any code line".to_string(),
+                });
+                continue;
+            }
+            pragmas.push(Pragma {
+                rules,
+                file_level,
+                line: c.line,
+                col: c.col,
+                anchor,
+                justified,
+            });
+        }
+        self.pragmas = pragmas;
+        self.bad_pragmas = bad;
+    }
+}
+
+/// The file stem of a path (`crates/qsim/src/rows.rs` → `rows`).
+fn file_stem(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".rs")
+}
+
+/// Finds the token index of the brace matching the `{` at `open`.
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Token-index ranges of items annotated `#[cfg(test)]` (or any `cfg`
+/// attribute whose argument list mentions `test`).
+fn find_cfg_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Outer attribute `#[ ... ]` (not inner `#![ ... ]`).
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let mut depth = 0usize;
+            let mut end = i + 1;
+            let mut has_cfg = false;
+            let mut has_test = false;
+            for (k, t) in tokens.iter().enumerate().skip(i + 1) {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                } else if t.kind == TokenKind::Ident {
+                    has_cfg |= t.text == "cfg";
+                    has_test |= t.text == "test";
+                }
+            }
+            if has_cfg && has_test {
+                // Attached item: scan past further attributes to the
+                // item body `{...}` or a `;` terminator.
+                let mut j = end + 1;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('#') && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                    {
+                        // Skip the nested attribute.
+                        let mut d = 0usize;
+                        while j < tokens.len() {
+                            if tokens[j].is_punct('[') {
+                                d += 1;
+                            } else if tokens[j].is_punct(']') {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                        j += 1;
+                        continue;
+                    }
+                    if tokens[j].is_punct('{') {
+                        let close = match_brace(tokens, j);
+                        regions.push((i, close));
+                        i = close;
+                        break;
+                    }
+                    if tokens[j].is_punct(';') {
+                        regions.push((i, j));
+                        i = j;
+                        break;
+                    }
+                    j += 1;
+                }
+            } else {
+                i = end;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Scans for `fn` items (with attributes and enclosing module) and
+/// inline `mod name { ... }` spans.
+fn find_fns_and_mods(
+    tokens: &[Token],
+    rel_path: &str,
+) -> (Vec<FnSpan>, Vec<(String, usize, usize)>) {
+    let stem = file_stem(rel_path).to_string();
+    let mut fns = Vec::new();
+    let mut mods: Vec<(String, usize, usize)> = Vec::new();
+    // Stack of (mod_name, close_brace_index).
+    let mut mod_stack: Vec<(String, usize)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Pop modules whose span has ended.
+        while mod_stack.last().is_some_and(|&(_, close)| i > close) {
+            mod_stack.pop();
+        }
+
+        let t = &tokens[i];
+        if t.is_ident("mod")
+            && tokens.get(i + 1).map(|n| n.kind) == Some(TokenKind::Ident)
+            && tokens.get(i + 2).is_some_and(|b| b.is_punct('{'))
+        {
+            let open = i + 2;
+            let close = match_brace(tokens, open);
+            let name = tokens[i + 1].text.clone();
+            mods.push((name.clone(), open, close));
+            mod_stack.push((name, close));
+            i += 3;
+            continue;
+        }
+
+        if t.is_ident("fn") {
+            // Name: next identifier.
+            let name = match tokens.get(i + 1) {
+                Some(n) if n.kind == TokenKind::Ident => n.text.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // Backward walk over modifiers and attributes.
+            let (is_tf, is_unsafe) = scan_fn_attrs(tokens, i);
+            // Forward scan for the body: first `{` at bracket depth 0
+            // before a terminating `;`.
+            let mut body = None;
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                let tj = &tokens[j];
+                if tj.is_punct('(') || tj.is_punct('[') || tj.is_punct('<') {
+                    // `<` tracking is heuristic; comparisons never occur
+                    // in signatures before the body brace.
+                    depth += 1;
+                } else if tj.is_punct(')') || tj.is_punct(']') || tj.is_punct('>') {
+                    depth -= 1;
+                } else if tj.is_punct('{') && depth <= 0 {
+                    body = Some((j, match_brace(tokens, j)));
+                    break;
+                } else if tj.is_punct(';') && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            let mod_name = mod_stack
+                .last()
+                .map_or_else(|| stem.clone(), |(n, _)| n.clone());
+            fns.push(FnSpan {
+                name,
+                mod_name,
+                is_target_feature: is_tf,
+                is_unsafe,
+                fn_index: i,
+                body,
+            });
+        }
+        i += 1;
+    }
+    (fns, mods)
+}
+
+/// Walks backward from the `fn` keyword at `at` over modifiers
+/// (`pub(crate)`, `const`, `unsafe`, `extern "C"`) and attribute
+/// groups, reporting whether the item carries `#[target_feature]` and
+/// an `unsafe` qualifier.
+fn scan_fn_attrs(tokens: &[Token], at: usize) -> (bool, bool) {
+    let mut is_tf = false;
+    let mut is_unsafe = false;
+    let mut k = at;
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Ident
+                if matches!(t.text.as_str(), "pub" | "const" | "unsafe" | "extern") =>
+            {
+                is_unsafe |= t.text == "unsafe";
+            }
+            TokenKind::Str => {} // the ABI string in `extern "C"`
+            TokenKind::Punct if t.is_punct(')') => {
+                // `pub(crate)` / `pub(super)` visibility parens.
+                let mut d = 0i32;
+                loop {
+                    let tk = &tokens[k];
+                    if tk.is_punct(')') {
+                        d += 1;
+                    } else if tk.is_punct('(') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+            }
+            TokenKind::Punct if t.is_punct(']') => {
+                // An attribute group `#[ ... ]`: collect its idents.
+                let mut d = 0i32;
+                let mut start = k;
+                loop {
+                    let tk = &tokens[start];
+                    if tk.is_punct(']') {
+                        d += 1;
+                    } else if tk.is_punct('[') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    if start == 0 {
+                        break;
+                    }
+                    start -= 1;
+                }
+                if start > 0 && tokens[start - 1].is_punct('#') {
+                    for t in &tokens[start..k] {
+                        if t.is_ident("target_feature") {
+                            is_tf = true;
+                        }
+                    }
+                    k = start - 1;
+                } else {
+                    break; // `]` that is not an attribute: stop
+                }
+            }
+            _ => break,
+        }
+    }
+    (is_tf, is_unsafe)
+}
+
+/// A workspace-wide analysis report.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Rule findings that survived suppression, sorted by position.
+    pub findings: Vec<Finding>,
+    /// Count of findings suppressed by pragmas (for the summary line).
+    pub suppressed: usize,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+/// Analyzes in-memory sources (path, contents). Paths are
+/// workspace-relative with `/` separators — rule scoping keys off them.
+pub fn analyze_sources(sources: &[(String, String)]) -> Report {
+    let known = rules::rule_names();
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(p, s)| SourceFile::parse(p, s, &known))
+        .collect();
+
+    // Pass 1: workspace facts.
+    let ctx = rules::Context::build(&files);
+
+    // Pass 2: rules + suppression.
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    for (idx, file) in files.iter().enumerate() {
+        let raw = rules::run_rules(file, idx, &ctx);
+        let mut used = vec![false; file.pragmas.len()];
+        for f in raw {
+            let mut suppressed = false;
+            for (pi, p) in file.pragmas.iter().enumerate() {
+                let applies =
+                    p.rules.iter().any(|r| r == f.rule) && (p.file_level || p.anchor == f.line);
+                if applies {
+                    used[pi] = true;
+                    suppressed = true;
+                }
+            }
+            if suppressed {
+                report.suppressed += 1;
+            } else {
+                report.findings.push(f);
+            }
+        }
+        // Meta-findings: never suppressible.
+        for bp in &file.bad_pragmas {
+            report.findings.push(Finding {
+                rule: "bad-pragma",
+                path: file.rel_path.clone(),
+                line: bp.line,
+                col: bp.col,
+                message: bp.message.clone(),
+            });
+        }
+        for (pi, p) in file.pragmas.iter().enumerate() {
+            if !p.justified {
+                report.findings.push(Finding {
+                    rule: "bad-pragma",
+                    path: file.rel_path.clone(),
+                    line: p.line,
+                    col: p.col,
+                    message: format!(
+                        "pragma for {} lacks a written justification (≥{} chars after the \
+                         rule list)",
+                        p.rules.join(", "),
+                        MIN_JUSTIFICATION
+                    ),
+                });
+            } else if !used[pi] {
+                report.findings.push(Finding {
+                    rule: "unused-suppression",
+                    path: file.rel_path.clone(),
+                    line: p.line,
+                    col: p.col,
+                    message: format!(
+                        "pragma for {} suppresses nothing — remove it",
+                        p.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    report
+}
+
+/// Walks `root` for `.rs` files (skipping build output, VCS internals,
+/// the xcheck fixture corpus, and generated results) and analyzes them.
+pub fn analyze_workspace(root: &std::path::Path) -> std::io::Result<Report> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut sources = Vec::with_capacity(paths.len());
+    for p in paths {
+        let contents = std::fs::read_to_string(root.join(&p))?;
+        sources.push((p, contents));
+    }
+    Ok(analyze_sources(&sources))
+}
+
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results", "node_modules"];
+
+fn collect_rs_files(
+    root: &std::path::Path,
+    dir: &std::path::Path,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_covers_test_mod() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { prod(); }\n}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src, &[]);
+        // The `prod` call inside the test mod is in a cfg(test) region;
+        // the production fn is not.
+        let prod_decl = f.tokens.iter().position(|t| t.is_ident("prod")).unwrap();
+        assert!(!f.in_cfg_test(prod_decl));
+        let call = f.tokens.iter().rposition(|t| t.is_ident("prod")).unwrap();
+        assert!(f.in_cfg_test(call));
+    }
+
+    #[test]
+    fn fn_spans_record_attrs_and_mods() {
+        let src = "mod avx {\n    #[target_feature(enable = \"avx2\")]\n    pub unsafe fn kern(x: &mut [f64]) { x[0] = 0.0; }\n}\npub fn safe_disp() {}\n";
+        let f = SourceFile::parse("crates/x/src/rows.rs", src, &[]);
+        assert_eq!(f.fns.len(), 2);
+        let kern = f.fns.iter().find(|x| x.name == "kern").unwrap();
+        assert!(kern.is_target_feature);
+        assert!(kern.is_unsafe);
+        assert_eq!(kern.mod_name, "avx");
+        let disp = f.fns.iter().find(|x| x.name == "safe_disp").unwrap();
+        assert!(!disp.is_target_feature);
+        assert_eq!(disp.mod_name, "rows");
+    }
+
+    #[test]
+    fn pragma_anchoring() {
+        let src = "// xcheck: allow(no-fma) — reference implementation for parity tests\nlet y = x.mul_add(a, b);\nlet z = q.mul_add(a, b); // xcheck: allow(no-fma) — same justification here\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src, &["no-fma"]);
+        assert_eq!(f.pragmas.len(), 2);
+        assert_eq!(f.pragmas[0].anchor, 2);
+        assert_eq!(f.pragmas[1].anchor, 3);
+        assert!(f.pragmas.iter().all(|p| p.justified));
+        assert!(f.bad_pragmas.is_empty());
+    }
+
+    #[test]
+    fn bad_pragmas_are_reported() {
+        let src = "// xcheck: allow(not-a-rule) — plausible words here\nlet a = 1;\n// xcheck: allow(no-fma)\nlet b = 2;\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src, &["no-fma"]);
+        assert_eq!(f.bad_pragmas.len(), 1); // unknown rule
+        assert_eq!(f.pragmas.len(), 1); // parsed but unjustified
+        assert!(!f.pragmas[0].justified);
+    }
+
+    #[test]
+    fn safety_comment_detection() {
+        let src = "fn a() {\n    // SAFETY: len checked above.\n    unsafe { go() }\n}\nfn b() {\n    unsafe { go() }\n}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src, &[]);
+        assert!(f.has_safety_comment(3));
+        assert!(!f.has_safety_comment(6));
+    }
+}

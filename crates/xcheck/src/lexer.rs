@@ -1,0 +1,571 @@
+//! A token-level lexer for Rust source.
+//!
+//! xcheck's rules must never fire on text inside comments or string
+//! literals ("mul_add" in a doc comment is not a call), and must never
+//! miss code because of surface syntax (a raw string containing `*/`,
+//! a lifetime that looks like an unterminated char). A regex scan gets
+//! all of those wrong, so this module implements a real lexer covering
+//! the Rust token forms that matter for analysis:
+//!
+//! - line comments and **nested** block comments (`/* /* */ */`);
+//! - string / byte-string / C-string literals with escapes;
+//! - raw strings with arbitrary hash fences (`r#"..."#`, `br##"..."##`);
+//! - char-vs-lifetime disambiguation (`'a'` is a char, `'a` and
+//!   `'static` are lifetimes, `b'x'` is a byte literal);
+//! - numeric literals including `0x` prefixes, `1e-3` exponents, and
+//!   the range ambiguity (`0..dim` is Num `0`, two `.` puncts, Ident).
+//!
+//! Identifiers, keywords, and punctuation come out as plain tokens with
+//! 1-based line/column positions; comments are collected separately so
+//! rules can inspect them (SAFETY markers, suppression pragmas) without
+//! them polluting the token stream.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Lifetime or loop label, e.g. `'a`, `'static` (without the quote).
+    Lifetime,
+    /// Char or byte-char literal, e.g. `'x'`, `b'\n'`.
+    Char,
+    /// String / byte-string / C-string literal (escaped form).
+    Str,
+    /// Raw string literal of any prefix and fence depth.
+    RawStr,
+    /// Numeric literal (integer or float, any base).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Identifier text, literal text (without quotes for `Str`), or the
+    /// single punctuation character.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// One comment (line or block) with its source span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/* */` delimiters.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// 1-based line of the comment's last character (equals `line` for
+    /// line comments; block comments may span many lines).
+    pub end_line: u32,
+    pub col: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, buf: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if pred(c) {
+                buf.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unrecognized or
+/// malformed input degrades to single-character `Punct` tokens, which
+/// is the right behavior for an analyzer that must not crash on the
+/// code it is checking.
+pub fn lex(src: &str) -> LexOutput {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = LexOutput::default();
+
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && lx.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = lx.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                lx.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                end_line: line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            let mut text = String::new();
+            text.push(lx.bump().unwrap_or('/'));
+            text.push(lx.bump().unwrap_or('*'));
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (lx.peek(0), lx.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push(lx.bump().unwrap_or('/'));
+                        text.push(lx.bump().unwrap_or('*'));
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push(lx.bump().unwrap_or('*'));
+                        text.push(lx.bump().unwrap_or('/'));
+                    }
+                    (Some(_), _) => {
+                        if let Some(ch) = lx.bump() {
+                            text.push(ch);
+                        }
+                    }
+                    (None, _) => break, // unterminated: tolerate
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                end_line: lx.line,
+                col,
+            });
+            continue;
+        }
+
+        // Identifiers — including raw-string / byte-literal prefixes.
+        if is_ident_start(c) {
+            let mut ident = String::new();
+            lx.eat_while(&mut ident, is_ident_continue);
+            let next = lx.peek(0);
+            match (ident.as_str(), next) {
+                // Raw strings: r"..", r#".."#, br".." etc.
+                ("r" | "br" | "cr", Some('"')) | ("r" | "br" | "cr", Some('#')) => {
+                    if let Some(text) = lex_raw_string(&mut lx) {
+                        out.tokens.push(Token {
+                            kind: TokenKind::RawStr,
+                            text,
+                            line,
+                            col,
+                        });
+                        continue;
+                    }
+                    // Not actually a raw string (e.g. `r#ident`): fall
+                    // through to plain identifier below.
+                }
+                // Escaped byte / C strings: b"..", c"..".
+                ("b" | "c", Some('"')) => {
+                    let text = lex_escaped_string(&mut lx);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                // Byte char literal b'x'.
+                ("b", Some('\'')) => {
+                    let text = lex_char_literal(&mut lx);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+            // Raw identifier `r#ident`: merge into one Ident token.
+            if ident == "r" && lx.peek(0) == Some('#') && lx.peek(1).is_some_and(is_ident_start) {
+                lx.bump(); // '#'
+                let mut raw = String::new();
+                lx.eat_while(&mut raw, is_ident_continue);
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: raw,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: ident,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let hex = c == '0' && matches!(lx.peek(1), Some('x') | Some('X'));
+            if hex {
+                text.push(lx.bump().unwrap_or('0'));
+                text.push(lx.bump().unwrap_or('x'));
+                lx.eat_while(&mut text, |ch| ch.is_ascii_hexdigit() || ch == '_');
+            } else {
+                lx.eat_while(&mut text, |ch| ch.is_ascii_digit() || ch == '_');
+                // A fractional part only if `.` is followed by a digit,
+                // so `0..dim` lexes as Num, Punct, Punct, Ident.
+                if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    text.push(lx.bump().unwrap_or('.'));
+                    lx.eat_while(&mut text, |ch| ch.is_ascii_digit() || ch == '_');
+                }
+                // Exponent: 1e9, 1e-3, 2.5E+7.
+                if matches!(lx.peek(0), Some('e') | Some('E')) {
+                    let sign = matches!(lx.peek(1), Some('+') | Some('-'));
+                    let digit_at = if sign { 2 } else { 1 };
+                    if lx.peek(digit_at).is_some_and(|d| d.is_ascii_digit()) {
+                        text.push(lx.bump().unwrap_or('e'));
+                        if sign {
+                            text.push(lx.bump().unwrap_or('+'));
+                        }
+                        lx.eat_while(&mut text, |ch| ch.is_ascii_digit() || ch == '_');
+                    }
+                }
+            }
+            // Type suffix (u64, f32, usize...): part of the literal.
+            lx.eat_while(&mut text, is_ident_continue);
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Escaped string literal.
+        if c == '"' {
+            let text = lex_escaped_string(&mut lx);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let p1 = lx.peek(1);
+            let is_char = match p1 {
+                Some('\\') => true,
+                Some(ch) if is_ident_continue(ch) => lx.peek(2) == Some('\''),
+                Some('\'') => false, // `''` — malformed, treat as puncts
+                Some(_) => lx.peek(2) == Some('\''), // '(' , '.' etc.
+                None => false,
+            };
+            if is_char {
+                let text = lex_char_literal(&mut lx);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if p1.is_some_and(is_ident_start) {
+                lx.bump(); // quote
+                let mut name = String::new();
+                lx.eat_while(&mut name, is_ident_continue);
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: name,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // Lone quote: degrade to punct.
+            lx.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: "'".to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Everything else: single-character punctuation.
+        lx.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+/// Consumes a raw string starting at the current position (just after
+/// the `r`/`br`/`cr` prefix): zero or more `#`, a `"`, content, then a
+/// `"` followed by the same number of `#`. Returns `None` (consuming
+/// nothing) when the head is not actually a raw string.
+fn lex_raw_string(lx: &mut Lexer) -> Option<String> {
+    // Count fence hashes without consuming yet.
+    let mut hashes = 0usize;
+    while lx.peek(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if lx.peek(hashes) != Some('"') {
+        return None;
+    }
+    for _ in 0..=hashes {
+        lx.bump(); // hashes + opening quote
+    }
+    let mut text = String::new();
+    loop {
+        match lx.peek(0) {
+            Some('"') => {
+                let mut k = 1;
+                while k <= hashes && lx.peek(k) == Some('#') {
+                    k += 1;
+                }
+                if k == hashes + 1 {
+                    for _ in 0..=hashes {
+                        lx.bump(); // closing quote + hashes
+                    }
+                    return Some(text);
+                }
+                text.push('"');
+                lx.bump();
+            }
+            Some(ch) => {
+                text.push(ch);
+                lx.bump();
+            }
+            None => return Some(text), // unterminated: tolerate
+        }
+    }
+}
+
+/// Consumes a `"..."` literal with `\`-escapes; the opening quote is at
+/// the current position. Returns the content without quotes.
+fn lex_escaped_string(lx: &mut Lexer) -> String {
+    lx.bump(); // opening quote
+    let mut text = String::new();
+    while let Some(ch) = lx.peek(0) {
+        match ch {
+            '"' => {
+                lx.bump();
+                break;
+            }
+            '\\' => {
+                lx.bump();
+                if let Some(esc) = lx.bump() {
+                    text.push('\\');
+                    text.push(esc);
+                }
+            }
+            _ => {
+                text.push(ch);
+                lx.bump();
+            }
+        }
+    }
+    text
+}
+
+/// Consumes a `'...'` char literal (escapes included); the opening
+/// quote is at the current position.
+fn lex_char_literal(lx: &mut Lexer) -> String {
+    lx.bump(); // opening quote
+    let mut text = String::new();
+    while let Some(ch) = lx.peek(0) {
+        match ch {
+            '\'' => {
+                lx.bump();
+                break;
+            }
+            '\\' => {
+                lx.bump();
+                if let Some(esc) = lx.bump() {
+                    text.push('\\');
+                    text.push(esc);
+                }
+            }
+            _ => {
+                text.push(ch);
+                lx.bump();
+            }
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("a /* one /* two */ still comment */ b");
+        assert_eq!(idents("a /* one /* two */ still comment */ b"), ["a", "b"]);
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("still comment"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_content() {
+        let src = r####"let x = r#"mul_add */ " quote"# ; y"####;
+        let out = lex(src);
+        assert_eq!(idents(src), ["let", "x", "y"]);
+        let raw: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStr)
+            .collect();
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].text.contains("mul_add"));
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes() {
+        assert_eq!(idents(r#"b"bytes" c"cstr" br"raw" x"#), ["x"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; 'outer: loop {} }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "outer"]);
+        let chars = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn range_vs_float() {
+        let toks = lex("0..dim 1.5 1e-3 0x1f_u64");
+        let kinds: Vec<_> = toks.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                TokenKind::Num,
+                TokenKind::Punct,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Num,
+                TokenKind::Num,
+                TokenKind::Num,
+            ]
+        );
+        assert_eq!(toks.tokens[4].text, "1.5");
+        assert_eq!(toks.tokens[5].text, "1e-3");
+        assert_eq!(toks.tokens[6].text, "0x1f_u64");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let out = lex("ab\n  cd");
+        assert_eq!((out.tokens[0].line, out.tokens[0].col), (1, 1));
+        assert_eq!((out.tokens[1].line, out.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        assert_eq!(idents(r#"a "esc \" quote" b"#), ["a", "b"]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let out = lex("r#type x");
+        assert_eq!(out.tokens[0].text, "type");
+        assert_eq!(out.tokens[0].kind, TokenKind::Ident);
+        assert_eq!(out.tokens[1].text, "x");
+    }
+}

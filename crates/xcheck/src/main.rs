@@ -1,0 +1,82 @@
+//! The `xcheck` CLI.
+//!
+//! ```text
+//! cargo run -p xcheck                   # report findings, exit 0
+//! cargo run -p xcheck -- --deny-all     # exit 1 on any finding (CI gate)
+//! cargo run -p xcheck -- --json         # machine-readable report
+//! cargo run -p xcheck -- --list-rules   # print the rule catalog
+//! cargo run -p xcheck -- --root <dir>   # analyze another tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny-all" => deny_all = true,
+            "--list-rules" => {
+                for (name, what) in xcheck::RULES {
+                    println!("{name}\n    {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("xcheck: --root requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "xcheck — project-invariant static analyzer\n\n\
+                     USAGE: xcheck [--deny-all] [--json] [--list-rules] [--root <dir>]\n\n\
+                     --deny-all    exit 1 when any finding survives suppression (CI gate)\n\
+                     --json        machine-readable report on stdout\n\
+                     --list-rules  print the rule catalog and exit\n\
+                     --root <dir>  workspace root to analyze (default: this workspace)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("xcheck: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p xcheck` works from any cwd inside the tree.
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map_or_else(|| PathBuf::from("."), PathBuf::from)
+    });
+
+    let report = match xcheck::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xcheck: failed to read {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        print!("{}", xcheck::report::json(&report));
+    } else {
+        print!("{}", xcheck::report::human(&report));
+    }
+
+    if deny_all && !report.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,101 @@
+//! Human and JSON rendering of an analysis [`Report`].
+
+use crate::engine::Report;
+
+/// Renders the report for terminals: one `path:line:col rule message`
+/// line per finding plus a summary.
+pub fn human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n",
+            f.path, f.line, f.col, f.rule, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "xcheck: {} finding{} ({} suppressed by pragma) across {} files\n",
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.suppressed,
+        report.files,
+    ));
+    out
+}
+
+/// Renders the report as a single JSON object (hand-rolled — the crate
+/// is dependency-free).
+pub fn json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (k, f) in report.findings.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"suppressed\": {},\n  \"files\": {}\n}}\n",
+        report.suppressed, report.files
+    ));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    #[test]
+    fn json_escapes_specials() {
+        let mut r = Report {
+            files: 1,
+            ..Report::default()
+        };
+        r.findings.push(Finding {
+            rule: "no-fma",
+            path: "a/b.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "quote \" backslash \\ newline \n".to_string(),
+        });
+        let j = json(&r);
+        assert!(j.contains(r#""rule": "no-fma""#));
+        assert!(j.contains(r#"quote \" backslash \\ newline \n"#));
+    }
+
+    #[test]
+    fn human_summary_counts() {
+        let r = Report {
+            suppressed: 2,
+            files: 5,
+            ..Report::default()
+        };
+        assert!(human(&r).contains("0 findings (2 suppressed by pragma) across 5 files"));
+    }
+}

@@ -1,0 +1,23 @@
+//! The repository's own acceptance gate, as a test: sweeping the real
+//! workspace must produce zero findings — every violation is either
+//! fixed or carries a justified suppression pragma. This is the same
+//! check CI runs via `cargo run -p xcheck -- --deny-all`.
+
+#[test]
+fn workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xcheck sits two levels below the workspace root");
+    let report = xcheck::analyze_workspace(root).expect("walk workspace");
+    assert!(
+        report.files > 50,
+        "walker found only {} files — wrong root?",
+        report.files
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be xcheck-clean:\n{}",
+        xcheck::report::human(&report)
+    );
+}
