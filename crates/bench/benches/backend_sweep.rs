@@ -11,7 +11,13 @@
 //! * **grad-steps/s** — optimizer-ready gradients per second of one
 //!   update sweep (`transitions × (agents + critic)`); `ideal` uses the
 //!   prebound adjoint engine, `sampled`/`noisy` the batched
-//!   parameter-shift queue with shot-sampled/noisy expectations.
+//!   parameter-shift queue, and `trajectory` the per-trajectory adjoint
+//!   (exact gradient of the sampled estimator in one forward walk plus
+//!   one reverse sweep). `noisy` evaluations run the prebound
+//!   superoperator slab executor (per-gate channels fused into dense
+//!   4×4 superoperators, compiled once per batch); `trajectory`
+//!   replaces the `4^n` density register with `samples` statevector
+//!   runs per evaluation.
 //!
 //! Besides the criterion rows, the bench writes `BENCH_backend.json` at
 //! the repository root so the backend axis' cost is recorded PR over PR.
@@ -31,10 +37,11 @@ const EPISODE_LIMIT: usize = 20;
 const BATCH_EPISODES: usize = 2;
 
 /// The backend ladder (spec strings, the user-facing spelling).
-const BACKENDS: [&str; 3] = [
+const BACKENDS: [&str; 4] = [
     "ideal",
     "sampled:shots=128:seed=1",
     "noisy:p1=0.001:p2=0.002",
+    "trajectory:p1=0.001:p2=0.002:samples=16:seed=1",
 ];
 
 /// The measured scenarios (every registered scenario runs under every
@@ -93,17 +100,11 @@ fn emit_backend_json(c: &mut Criterion) {
         for spec in BACKENDS {
             let backend: ExecutionBackend = spec.parse().expect("spec");
             let steps = eval_steps_per_sec(&mut trainer(scenario, &backend, 5), episodes);
-            // A noisy update sweep runs at single-digit grad-steps/s
-            // (density-matrix parameter-shift), so the smoke run keeps
-            // only the rollout measurement for those cells — the noisy
-            // gradient path is still covered per push by the workspace
-            // test suite.
-            let grads = if quick && matches!(backend, ExecutionBackend::Noisy { .. }) {
-                println!("backend_sweep: {scenario:<12} {spec:<26} {steps:>9.0} steps/s (grad sweep skipped in quick mode)");
-                continue;
-            } else {
-                grad_steps_per_sec(&mut trainer(scenario, &backend, 5), reps)
-            };
+            // Every cell measures its gradient sweep, quick mode
+            // included: superoperator slabs lifted the noisy
+            // parameter-shift sweep from single-digit to triple-digit
+            // grad-steps/s, so even the slowest cell fits a CI smoke run.
+            let grads = grad_steps_per_sec(&mut trainer(scenario, &backend, 5), reps);
             println!(
                 "backend_sweep: {scenario:<12} {spec:<26} {steps:>9.0} steps/s {grads:>9.0} grad-steps/s"
             );
@@ -113,6 +114,8 @@ fn emit_backend_json(c: &mut Criterion) {
                  \"grad_steps_per_sec\": {grads:.0}\n    }}",
                 if backend.supports_adjoint() {
                     "adjoint (prebound)"
+                } else if matches!(backend, ExecutionBackend::Trajectory { .. }) {
+                    "adjoint (per-trajectory)"
                 } else {
                     "parameter-shift (batched queue)"
                 }

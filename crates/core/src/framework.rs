@@ -464,7 +464,12 @@ mod tests {
     fn scenario_trainer_builds_under_every_backend_spec() {
         let mut train = TrainConfig::paper_default();
         train.epochs = 1;
-        for spec in ["ideal", "sampled:shots=64:seed=3", "noisy:p1=0.01:p2=0.02"] {
+        for spec in [
+            "ideal",
+            "sampled:shots=64:seed=3",
+            "noisy:p1=0.01:p2=0.02",
+            "trajectory:p1=0.01:p2=0.02:samples=8:seed=3",
+        ] {
             let backend: ExecutionBackend = spec.parse().unwrap();
             for scenario in qmarl_env::scenario::scenarios() {
                 // Density-matrix rollouts on the 8-qubit wide scenario are

@@ -559,7 +559,7 @@ impl FromStr for ExperimentSpec {
     /// | `name` | sweep name | required |
     /// | `scenarios` | comma list of registry names | required |
     /// | `frameworks` | comma list of `Proposed`/`Comp1`/`Comp2`/`Comp3` | `Proposed` |
-    /// | `backends` | comma list of backend specs (`ideal`, `sampled:shots=64`, …) | `ideal` |
+    /// | `backends` | comma list of backend specs (`ideal`, `sampled:shots=64`, `noisy:p1=0.01:p2=0.02`, `trajectory:p1=0.01:p2=0.02:samples=16`, …) | `ideal` |
     /// | `engines` | comma list of `batched`/`serial` | `batched` |
     /// | `seeds` | numbers and `a..b` half-open ranges | required |
     /// | `epochs` | training epochs per cell | required |

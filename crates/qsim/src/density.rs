@@ -61,6 +61,35 @@ impl DensityMatrix {
         }
     }
 
+    /// Builds a density matrix from its row-major flat data — the
+    /// vectorized form the superoperator backend evolves (index bits
+    /// `0‥n` are the column, bits `n‥2n` the row; see
+    /// [`crate::superop`]). No Hermiticity or trace check is performed:
+    /// the caller owns the physicality of the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 4^n_qubits` or the register size is
+    /// outside the bounds of [`DensityMatrix::zero`].
+    pub fn from_flat(n_qubits: usize, data: Vec<Complex64>) -> Self {
+        assert!(n_qubits > 0, "register must have at least one qubit");
+        assert!(
+            n_qubits < 14,
+            "density matrix of {n_qubits} qubits is too large"
+        );
+        let dim = 1usize << n_qubits;
+        assert_eq!(
+            data.len(),
+            dim * dim,
+            "flat density data must hold dim² elements"
+        );
+        DensityMatrix {
+            n_qubits,
+            dim,
+            data,
+        }
+    }
+
     /// The maximally mixed state `I / 2^n`.
     pub fn maximally_mixed(n_qubits: usize) -> Self {
         let mut dm = DensityMatrix::zero(n_qubits);

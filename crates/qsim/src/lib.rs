@@ -46,6 +46,7 @@ pub mod rows;
 pub mod shots;
 pub mod simd;
 pub mod state;
+pub mod superop;
 #[cfg(target_arch = "x86_64")]
 mod wide;
 

@@ -93,6 +93,21 @@ mod scalar {
     }
 
     #[inline(always)]
+    pub(super) fn gate2(rows: [&mut [Complex64]; 4], m: &[[Complex64; 4]; 4]) {
+        let [r0, r1, r2, r3] = rows;
+        for l in 0..r0.len() {
+            let x0 = r0[l];
+            let x1 = r1[l];
+            let x2 = r2[l];
+            let x3 = r3[l];
+            r0[l] = ((m[0][0] * x0 + m[0][1] * x1) + m[0][2] * x2) + m[0][3] * x3;
+            r1[l] = ((m[1][0] * x0 + m[1][1] * x1) + m[1][2] * x2) + m[1][3] * x3;
+            r2[l] = ((m[2][0] * x0 + m[2][1] * x1) + m[2][2] * x2) + m[2][3] * x3;
+            r3[l] = ((m[3][0] * x0 + m[3][1] * x1) + m[3][2] * x2) + m[3][3] * x3;
+        }
+    }
+
+    #[inline(always)]
     pub(super) fn rot_x_lanes(r0: &mut [Complex64], r1: &mut [Complex64], trig: &[(f64, f64)]) {
         for ((a0, a1), &(s, c)) in r0.iter_mut().zip(r1.iter_mut()).zip(trig) {
             let x0 = *a0;
@@ -374,6 +389,76 @@ pub fn gate1_slab(slab: &mut [Complex64], lanes: usize, dim: usize, mt: usize, g
     for_each_pair_rows(slab, lanes, dim, mt, 0, |r0, r1| {
         scalar::gate1(r0, r1, gate)
     });
+}
+
+/// Generic two-bit 4×4 update over the whole slab: for every row index
+/// with both `ma` and `mb` clear, the four rows `{i, i|ma, i|mb,
+/// i|ma|mb}` transform together by `m`, with bit 0 of the 4×4 index ↔
+/// `ma` and bit 1 ↔ `mb`. The matrix is **not** required to be unitary:
+/// this is the superoperator kernel of the density backend, where the
+/// 4×4 is a gate–channel product acting on a (column-bit, row-bit) pair
+/// of vectorized ρ, as well as a generic two-qubit gate kernel.
+#[inline]
+pub fn gate2_slab(
+    slab: &mut [Complex64],
+    lanes: usize,
+    dim: usize,
+    ma: usize,
+    mb: usize,
+    m: &[[Complex64; 4]; 4],
+) {
+    check_slab(slab.len(), lanes, dim, ma, 0);
+    assert!(
+        mb.is_power_of_two() && mb < dim,
+        "second mask must be a single bit below dim"
+    );
+    assert_ne!(ma, mb, "gate2 masks must name distinct bits");
+    #[cfg(target_arch = "x86_64")]
+    if wide() {
+        // SAFETY: `wide()` just verified AVX2 via `simd::level`, and
+        // `check_slab` plus the two asserts above proved the geometry
+        // every raw row pointer is derived from: `slab.len() ==
+        // dim·lanes` with `ma`, `mb` distinct single bits below the
+        // power-of-two `dim`, so the four quad rows are disjoint and in
+        // bounds.
+        unsafe { avx::gate2_slab(slab, lanes, dim, ma, mb, m) };
+        return;
+    }
+    for_each_quad_rows(slab, lanes, dim, ma, mb, |rows| scalar::gate2(rows, m));
+}
+
+/// Enumerates quad row groups `{i, i|ma, i|mb, i|ma|mb}` (both-clear
+/// base rows) and hands each to `f` as four disjoint row slices in 4×4
+/// index order (bit 0 ↔ `ma`, bit 1 ↔ `mb`). Safe twin of the AVX2
+/// quad walk, built from progressive `split_at_mut`.
+fn for_each_quad_rows(
+    slab: &mut [Complex64],
+    lanes: usize,
+    dim: usize,
+    ma: usize,
+    mb: usize,
+    mut f: impl FnMut([&mut [Complex64]; 4]),
+) {
+    let mlo = ma.min(mb);
+    let mhi = ma.max(mb);
+    for i in 0..dim {
+        if i & (ma | mb) != 0 {
+            continue;
+        }
+        // Offsets ascend: i < i|mlo < i|mhi < i|mlo|mhi.
+        let (head1, tail1) = slab.split_at_mut((i | mlo) * lanes);
+        let r_base = &mut head1[i * lanes..(i + 1) * lanes];
+        let (head2, tail2) = tail1.split_at_mut(((i | mhi) - (i | mlo)) * lanes);
+        let r_lo = &mut head2[..lanes];
+        let (head3, tail3) = tail2.split_at_mut(((i | mlo | mhi) - (i | mhi)) * lanes);
+        let r_hi = &mut head3[..lanes];
+        let r_both = &mut tail3[..lanes];
+        if ma == mlo {
+            f([r_base, r_lo, r_hi, r_both]);
+        } else {
+            f([r_base, r_hi, r_lo, r_both]);
+        }
+    }
 }
 
 /// Diagonal-rotation slab update: multiplies target-clear rows by `lo`
@@ -1079,6 +1164,101 @@ mod avx {
         }
     }
 
+    /// Generic 4×4 quad-row update (the `gate2_slab` inner body), with
+    /// the same add-of-`cmul` association as the scalar `gate2` row body:
+    /// `y_r = ((m_{r0}·x0 + m_{r1}·x1) + m_{r2}·x2) + m_{r3}·x3`.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled and the four rows must be pairwise disjoint
+    /// slices of equal length; the quad walk derives them from distinct
+    /// single-bit masks under the `check_slab` contract, which
+    /// guarantees both.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gate2_rows(rows: [&mut [Complex64]; 4], m: &[[Complex64; 4]; 4]) {
+        let n = rows[0].len();
+        let p: [*mut f64; 4] = [
+            rows[0].as_mut_ptr() as *mut f64,
+            rows[1].as_mut_ptr() as *mut f64,
+            rows[2].as_mut_ptr() as *mut f64,
+            rows[3].as_mut_ptr() as *mut f64,
+        ];
+        let mut ms = [[(_mm256_setzero_pd(), _mm256_setzero_pd()); 4]; 4];
+        for (r, row) in m.iter().enumerate() {
+            for (c, coeff) in row.iter().enumerate() {
+                ms[r][c] = splat(*coeff);
+            }
+        }
+        let mut k = 0;
+        while k + 2 <= n {
+            let x = [
+                _mm256_loadu_pd(p[0].add(2 * k)),
+                _mm256_loadu_pd(p[1].add(2 * k)),
+                _mm256_loadu_pd(p[2].add(2 * k)),
+                _mm256_loadu_pd(p[3].add(2 * k)),
+            ];
+            for (r, row) in ms.iter().enumerate() {
+                let y = _mm256_add_pd(
+                    _mm256_add_pd(
+                        _mm256_add_pd(cmul(row[0], x[0]), cmul(row[1], x[1])),
+                        cmul(row[2], x[2]),
+                    ),
+                    cmul(row[3], x[3]),
+                );
+                _mm256_storeu_pd(p[r].add(2 * k), y);
+            }
+            k += 2;
+        }
+        if k < n {
+            let x = [
+                _mm_loadu_pd(p[0].add(2 * k)),
+                _mm_loadu_pd(p[1].add(2 * k)),
+                _mm_loadu_pd(p[2].add(2 * k)),
+                _mm_loadu_pd(p[3].add(2 * k)),
+            ];
+            for (r, row) in ms.iter().enumerate() {
+                let y = _mm_add_pd(
+                    _mm_add_pd(
+                        _mm_add_pd(cmul1(halve(row[0]), x[0]), cmul1(halve(row[1]), x[1])),
+                        cmul1(halve(row[2]), x[2]),
+                    ),
+                    cmul1(halve(row[3]), x[3]),
+                );
+                _mm_storeu_pd(p[r].add(2 * k), y);
+            }
+        }
+    }
+
+    /// Whole-slab generic 4×4 walk (the superoperator kernel).
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled and the `gate2_slab` dispatcher's contract
+    /// must hold: `slab.len() == dim·lanes` with `ma`, `mb` distinct
+    /// single bits below the power-of-two `dim` — every quad row index
+    /// `{i, i|ma, i|mb, i|ma|mb}` then stays below `dim` and the four
+    /// rows are pairwise disjoint. The safe dispatcher establishes all
+    /// of it before the call.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gate2_slab(
+        slab: &mut [Complex64],
+        lanes: usize,
+        dim: usize,
+        ma: usize,
+        mb: usize,
+        m: &[[Complex64; 4]; 4],
+    ) {
+        let base = slab.as_mut_ptr();
+        for i in 0..dim {
+            if i & (ma | mb) != 0 {
+                continue;
+            }
+            let (r0, r1) = pair_rows(base, lanes, i, i | ma);
+            let (r2, r3) = pair_rows(base, lanes, i | mb, i | ma | mb);
+            gate2_rows([r0, r1, r2, r3], m);
+        }
+    }
+
     /// Whole-slab diagonal-phase walk.
     ///
     /// # Safety
@@ -1546,6 +1726,54 @@ mod tests {
             assert_slab_parity("gate1_slab", dim, lanes, |sl| {
                 gate1_slab(sl, lanes, dim, 2, &g)
             });
+            // Non-unitary 4×4 (superoperator-shaped) on every distinct
+            // mask pair, both orientations.
+            let m4 = busy_mat4(0.3);
+            for (ma, mb) in [(1usize, 2usize), (2, 1), (1, 4), (4, 2)] {
+                assert_slab_parity("gate2_slab", dim, lanes, |sl| {
+                    gate2_slab(sl, lanes, dim, ma, mb, &m4)
+                });
+            }
+        }
+    }
+
+    /// Deterministic dense (non-unitary) 4×4 complex matrix.
+    fn busy_mat4(salt: f64) -> [[Complex64; 4]; 4] {
+        let mut m = [[Complex64::ZERO; 4]; 4];
+        for (r, row) in m.iter_mut().enumerate() {
+            for (c, e) in row.iter_mut().enumerate() {
+                let t = salt + 0.7 * r as f64 + 1.3 * c as f64;
+                *e = Complex64::new(t.sin(), (2.1 * t).cos() * 0.4);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn gate2_slab_matches_apply_gate2_per_lane() {
+        // The slab kernel against the canonical statevector `apply_gate2`
+        // on a unitary, per extracted lane — same quad decomposition, so
+        // results agree to rounding on every mask orientation.
+        use crate::apply::apply_gate2;
+        use crate::gate::Gate2;
+        let dim = 16;
+        let lanes = 3;
+        let g = Gate2::crx(0.83);
+        for (qa, qb) in [(0usize, 2usize), (2, 0), (1, 3)] {
+            let slab = busy_row(dim * lanes, 0.9);
+            let mut got = slab.clone();
+            gate2_slab(&mut got, lanes, dim, 1 << qa, 1 << qb, g.matrix());
+            for lane in 0..lanes {
+                let mut amps: Vec<Complex64> = (0..dim).map(|i| slab[i * lanes + lane]).collect();
+                apply_gate2(&mut amps, qa, qb, &g);
+                for i in 0..dim {
+                    let d = got[i * lanes + lane] - amps[i];
+                    assert!(
+                        d.re.abs() < 1e-12 && d.im.abs() < 1e-12,
+                        "lane {lane} amp {i} (qa={qa}, qb={qb})"
+                    );
+                }
+            }
         }
     }
 

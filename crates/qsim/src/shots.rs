@@ -344,6 +344,50 @@ mod tests {
     }
 
     #[test]
+    fn density_shots_skip_zero_probability_rows() {
+        // A rank-one mixed state whose diagonal has exact zeros —
+        // including a zero *prefix* and interior flat CDF segments. The
+        // shared inverse-CDF sampler must never land on a zero-mass row,
+        // whatever the rounding of the running sum.
+        use crate::complex::Complex64;
+        let dim = 8usize;
+        let mut flat = vec![Complex64::ZERO; dim * dim];
+        // diag = [0, 0.25, 0, 0, 0.5, 0, 0.25, 0]: zero prefix, two
+        // interior flat segments, zero tail.
+        for (i, p) in [(1usize, 0.25), (4, 0.5), (6, 0.25)] {
+            flat[i * dim + i] = Complex64::from_real(p);
+        }
+        let rho = crate::density::DensityMatrix::from_flat(3, flat);
+        let mut rng = StdRng::seed_from_u64(11);
+        let rec = measure_shots_density(&rho, 50_000, &mut rng).unwrap();
+        for &(idx, count) in rec.counts() {
+            assert!(
+                matches!(idx, 1 | 4 | 6),
+                "sampled zero-probability outcome {idx} ({count} times)"
+            );
+        }
+        assert!((rec.frequency(4) - 0.5).abs() < 0.02);
+        assert_eq!(rec.frequency(0), 0.0);
+        assert_eq!(rec.frequency(7), 0.0);
+    }
+
+    #[test]
+    fn density_shots_clamp_negative_rounding_noise() {
+        // Kraus arithmetic can leave diagonal entries a rounding error
+        // below zero; the density entry point clamps them before the
+        // positivity check so physical states always sample.
+        use crate::complex::Complex64;
+        let dim = 4usize;
+        let mut flat = vec![Complex64::ZERO; dim * dim];
+        flat[0] = Complex64::from_real(-1e-17);
+        flat[5] = Complex64::from_real(1.0);
+        let rho = crate::density::DensityMatrix::from_flat(2, flat);
+        let mut rng = StdRng::seed_from_u64(3);
+        let rec = measure_shots_density(&rho, 1000, &mut rng).unwrap();
+        assert_eq!(rec.counts(), &[(1, 1000)]);
+    }
+
+    #[test]
     fn frequencies_sum_to_one() {
         let mut s = StateVector::zero(3);
         for q in 0..3 {

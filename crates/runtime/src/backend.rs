@@ -15,6 +15,13 @@
 //!   [`NoiseModel`] channel injected after every gate (the raw, unfused
 //!   schedule, so error grows with the *source* gate count exactly as in
 //!   `vqc::exec::run_noisy`), optionally with finite-shot readout on top.
+//!   Evaluations run on the compiled superoperator path
+//!   (`runtime::superop`), verified against the interpreter at 1e-12,
+//! * [`ExecutionBackend::Trajectory`] — quantum-trajectory (Kraus-
+//!   sampling) execution of the same noise model: `samples` statevector
+//!   runs with Pauli errors drawn after every raw-schedule gate, whose
+//!   mean readout converges to the density result at `O(1/√samples)`
+//!   cost per sample instead of `4^n` density work.
 //!
 //! # Determinism contract
 //!
@@ -48,6 +55,12 @@ use crate::rollout::derive_seed;
 /// engine's ENV/POLICY streams).
 pub(crate) const SHOT_STREAM: u64 = 0x53_48_4F_54; // "SHOT"
 
+/// Stream tag for per-trajectory error-sampling randomness: each
+/// trajectory of an evaluation draws from
+/// `derive_seed(eval_seed, TRAJ_STREAM, sample_index)`, so trajectories
+/// are content-addressed exactly like shot streams.
+pub(crate) const TRAJ_STREAM: u64 = 0x54_52_41_4A; // "TRAJ"
+
 /// How compiled circuits are executed and read out.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ExecutionBackend {
@@ -78,6 +91,22 @@ pub enum ExecutionBackend {
         /// (unused when `shots` is `None` — density evolution is exact).
         seed: u64,
     },
+    /// Quantum-trajectory execution of a noise model: `samples`
+    /// statevector runs of the **raw** schedule, each inserting Pauli
+    /// errors drawn from the channel after every gate
+    /// ([`NoiseChannel::sample_pauli_error`]), readouts averaged over
+    /// trajectories. For Pauli channels (depolarizing, bit/phase flip)
+    /// the mean converges to the [`ExecutionBackend::Noisy`] density
+    /// result with standard error `O(1/√samples)` — at statevector
+    /// instead of density-matrix cost per sample.
+    Trajectory {
+        /// The per-gate noise model (sampled, not Kraus-evolved).
+        model: NoiseModel,
+        /// Trajectories per evaluation (must be positive).
+        samples: usize,
+        /// Root seed of the derived per-evaluation trajectory streams.
+        seed: u64,
+    },
 }
 
 impl ExecutionBackend {
@@ -86,13 +115,14 @@ impl ExecutionBackend {
         matches!(self, ExecutionBackend::Ideal)
     }
 
-    /// Short kind name (`"ideal"` / `"sampled"` / `"noisy"`), used as the
-    /// bench/report label.
+    /// Short kind name (`"ideal"` / `"sampled"` / `"noisy"` /
+    /// `"trajectory"`), used as the bench/report label.
     pub fn kind(&self) -> &'static str {
         match self {
             ExecutionBackend::Ideal => "ideal",
             ExecutionBackend::Sampled { .. } => "sampled",
             ExecutionBackend::Noisy { .. } => "noisy",
+            ExecutionBackend::Trajectory { .. } => "trajectory",
         }
     }
 
@@ -139,6 +169,14 @@ impl ExecutionBackend {
                 if shots == &Some(0) {
                     return Err(RuntimeError::InvalidConfig(
                         "noisy backend shot count must be positive when given".into(),
+                    ));
+                }
+                model.validate().map_err(RuntimeError::from)
+            }
+            ExecutionBackend::Trajectory { model, samples, .. } => {
+                if *samples == 0 {
+                    return Err(RuntimeError::InvalidConfig(
+                        "trajectory backend needs a positive sample count".into(),
                     ));
                 }
                 model.validate().map_err(RuntimeError::from)
@@ -209,6 +247,30 @@ impl fmt::Display for ExecutionBackend {
                 }
                 Ok(())
             }
+            ExecutionBackend::Trajectory {
+                model,
+                samples,
+                seed,
+            } => {
+                write!(f, "trajectory")?;
+                // Same lossy-roundtrip-fails-loudly rule as `noisy`:
+                // only depolarizing channels have a spec spelling.
+                match model.after_gate1 {
+                    Some(NoiseChannel::Depolarizing { p }) => write!(f, ":p1={p}")?,
+                    Some(_) => write!(f, ":channel1=custom")?,
+                    None => {}
+                }
+                match model.after_gate2 {
+                    Some(NoiseChannel::Depolarizing { p }) => write!(f, ":p2={p}")?,
+                    Some(_) => write!(f, ":channel2=custom")?,
+                    None => {}
+                }
+                write!(f, ":samples={samples}")?;
+                if *seed != 0 {
+                    write!(f, ":seed={seed}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -223,6 +285,9 @@ impl FromStr for ExecutionBackend {
     /// * `"noisy:p1=<f>:p2=<f>[:shots=<n>][:seed=<n>]"` — uniform
     ///   depolarizing noise with rate `p1` after one-qubit gates and `p2`
     ///   after two-qubit gates.
+    /// * `"trajectory:p1=<f>:p2=<f>:samples=<n>[:seed=<n>]"` — the same
+    ///   depolarizing model executed by quantum-trajectory sampling with
+    ///   `samples` statevector runs per evaluation.
     fn from_str(spec: &str) -> Result<Self, RuntimeError> {
         let bad = |msg: String| RuntimeError::InvalidConfig(msg);
         let mut parts = spec.split(':');
@@ -231,6 +296,7 @@ impl FromStr for ExecutionBackend {
         let mut seed: Option<u64> = None;
         let mut p1: Option<f64> = None;
         let mut p2: Option<f64> = None;
+        let mut samples: Option<usize> = None;
         for part in parts {
             let (key, value) = part
                 .split_once('=')
@@ -260,9 +326,11 @@ impl FromStr for ExecutionBackend {
                 "seed" => set(&mut seed, key, value)?,
                 "p1" => set(&mut p1, key, value)?,
                 "p2" => set(&mut p2, key, value)?,
+                "samples" => set(&mut samples, key, value)?,
                 other => {
                     return Err(bad(format!(
-                        "unknown backend spec key {other:?} (expected shots/seed/p1/p2)"
+                        "unknown backend spec key {other:?} \
+                         (expected shots/seed/p1/p2/samples)"
                     )))
                 }
             }
@@ -272,7 +340,12 @@ impl FromStr for ExecutionBackend {
         // noise-free experiment while looking like a noisy one.
         let backend = match kind {
             "ideal" => {
-                if shots.is_some() || p1.is_some() || p2.is_some() || seed.is_some() {
+                if shots.is_some()
+                    || p1.is_some()
+                    || p2.is_some()
+                    || seed.is_some()
+                    || samples.is_some()
+                {
                     return Err(bad("ideal backend takes no parameters".into()));
                 }
                 ExecutionBackend::Ideal
@@ -281,6 +354,11 @@ impl FromStr for ExecutionBackend {
                 if p1.is_some() || p2.is_some() {
                     return Err(bad(
                         "sampled backend has no noise channel (p1/p2); use the noisy kind".into(),
+                    ));
+                }
+                if samples.is_some() {
+                    return Err(bad(
+                        "samples=<n> belongs to the trajectory kind; sampled uses shots=<n>".into(),
                     ));
                 }
                 ExecutionBackend::Sampled {
@@ -296,15 +374,43 @@ impl FromStr for ExecutionBackend {
                             .into(),
                     ));
                 }
+                if samples.is_some() {
+                    return Err(bad(
+                        "samples=<n> belongs to the trajectory kind; noisy evolves \
+                         the full density matrix"
+                            .into(),
+                    ));
+                }
                 ExecutionBackend::Noisy {
                     model: NoiseModel::depolarizing(p1.unwrap_or(0.0), p2.unwrap_or(0.0))?,
                     shots,
                     seed: seed.unwrap_or(0),
                 }
             }
+            "trajectory" => {
+                if p1.is_none() && p2.is_none() {
+                    return Err(bad(
+                        "trajectory backend needs a channel (p1=<f> and/or p2=<f>); \
+                         a rate-free spec would silently run noise-free"
+                            .into(),
+                    ));
+                }
+                if shots.is_some() {
+                    return Err(bad("trajectory backend reads each trajectory exactly; \
+                         shots=<n> belongs to the sampled/noisy kinds"
+                        .into()));
+                }
+                ExecutionBackend::Trajectory {
+                    model: NoiseModel::depolarizing(p1.unwrap_or(0.0), p2.unwrap_or(0.0))?,
+                    samples: samples
+                        .ok_or_else(|| bad("trajectory backend needs samples=<n>".into()))?,
+                    seed: seed.unwrap_or(0),
+                }
+            }
             other => {
                 return Err(bad(format!(
-                    "unknown backend kind {other:?} (expected ideal, sampled or noisy)"
+                    "unknown backend kind {other:?} \
+                     (expected ideal, sampled, noisy or trajectory)"
                 )))
             }
         };
@@ -325,6 +431,8 @@ mod tests {
             "sampled:shots=1024:seed=7",
             "noisy:p1=0.001:p2=0.002",
             "noisy:p1=0.001:p2=0.002:shots=2048:seed=9",
+            "trajectory:p1=0.001:p2=0.002:samples=16",
+            "trajectory:p1=0.001:p2=0.002:samples=16:seed=1",
         ] {
             let backend: ExecutionBackend = spec.parse().unwrap();
             assert_eq!(backend.to_string(), spec, "canonical form roundtrips");
@@ -355,6 +463,13 @@ mod tests {
             "noisy",                      // rate-free "noisy" would silently run noise-free
             "noisy:shots=64",             // …same with only a shot budget
             "sampled:shots=1024:shots=8", // duplicate keys must not last-win
+            "trajectory:p1=0.01:p2=0.02", // missing samples
+            "trajectory:samples=8",       // rate-free trajectory, same rule as noisy
+            "trajectory:p1=0.1:samples=8:shots=4", // shots belong to sampled/noisy
+            "trajectory:p1=0.1:samples=0", // zero samples
+            "sampled:shots=8:samples=4",  // samples key on the wrong kind
+            "noisy:p1=0.1:samples=4",     // …same for noisy
+            "ideal:samples=1",            // ideal takes no parameters
         ] {
             assert!(
                 spec.parse::<ExecutionBackend>().is_err(),
@@ -378,14 +493,28 @@ mod tests {
         let spec = custom.to_string();
         assert!(spec.contains("channel1=custom"));
         assert!(spec.parse::<ExecutionBackend>().is_err());
+        // Same rule for the trajectory kind.
+        let custom_traj = ExecutionBackend::Trajectory {
+            model: NoiseModel {
+                after_gate1: None,
+                after_gate2: Some(NoiseChannel::AmplitudeDamping { gamma: 0.2 }),
+            },
+            samples: 8,
+            seed: 0,
+        };
+        let spec = custom_traj.to_string();
+        assert!(spec.contains("channel2=custom"));
+        assert!(spec.parse::<ExecutionBackend>().is_err());
     }
 
     #[test]
     fn capability_routing() {
         let ideal = ExecutionBackend::Ideal;
         let sampled = ExecutionBackend::Sampled { shots: 64, seed: 0 };
+        let trajectory: ExecutionBackend = "trajectory:p1=0.01:p2=0.02:samples=8".parse().unwrap();
         assert!(ideal.supports_adjoint());
         assert!(!sampled.supports_adjoint());
+        assert!(!trajectory.supports_adjoint());
         assert_eq!(
             ideal.effective_grad_method(GradMethod::Adjoint),
             GradMethod::Adjoint
@@ -394,8 +523,14 @@ mod tests {
             sampled.effective_grad_method(GradMethod::Adjoint),
             GradMethod::ParameterShift
         );
+        assert_eq!(
+            trajectory.effective_grad_method(GradMethod::Adjoint),
+            GradMethod::ParameterShift
+        );
         assert_eq!(ideal.kind(), "ideal");
         assert_eq!(sampled.kind(), "sampled");
+        assert_eq!(trajectory.kind(), "trajectory");
+        assert!(!trajectory.is_ideal());
     }
 
     #[test]

@@ -32,10 +32,17 @@ use rand::SeedableRng;
 use crate::backend::ExecutionBackend;
 use crate::compile::{CGate, CompiledCircuit, Occurrence};
 use crate::error::RuntimeError;
-use crate::exec::{check_bindings, run_raw_density, run_raw_with_override, run_schedule_unchecked};
+use crate::exec::{check_bindings, run_raw_with_override, run_schedule_unchecked};
 use crate::prebound::{
     readouts_from_slab, run_adjoint_slab, run_prebound_slab_raw, PreboundAdjoint, PreboundCircuit,
 };
+use crate::superop::{
+    extract_lane, prebind_density, run_density, run_density_slab, DensityPrebound,
+};
+use crate::trajectory::{
+    prebind_trajectory, run_trajectory_adjoint, trajectory_outputs, TrajPrebound,
+};
+use qmarl_qsim::density::DensityMatrix;
 
 /// One shared-parameter group of a prebound batch: a frozen schedule plus
 /// the input vectors to run under it.
@@ -328,11 +335,16 @@ impl BatchExecutor {
     }
 
     /// Batched forward pass under an [`ExecutionBackend`]: one readout
-    /// vector per input vector, with every evaluation — ideal, sampled or
-    /// noisy — one task on the flat work queue. `Ideal` delegates to
+    /// vector per input vector. `Ideal` delegates to
     /// [`BatchExecutor::expectation_batch`] and is bit-identical to it;
     /// the stochastic backends are worker-count invariant by the
     /// content-addressed seed derivation (see [`crate::backend`]).
+    ///
+    /// `Noisy` prebinds the superoperator schedule once and runs the
+    /// batch as lane **chunks** of one density slab walk per task
+    /// (lanes are independent, so chunking cannot change any value);
+    /// `Sampled` and `Trajectory` evaluations are one task each — a
+    /// trajectory evaluation already fills a slab with its samples.
     ///
     /// # Errors
     ///
@@ -353,18 +365,60 @@ impl BatchExecutor {
         for item in inputs {
             check_bindings(compiled, item, params)?;
         }
+        let prep = BackendPrep::new(compiled, params, backend)?;
+        if let (ExecutionBackend::Noisy { shots, seed, .. }, BackendPrep::Density(pb)) =
+            (backend, &prep)
+        {
+            // Lane-chunked slab walk. The chunk cap stays small: an
+            // 8-qubit density lane is 65 536 amplitudes, so 16 lanes keep
+            // the slab around cache-friendly sizes.
+            let chunk = (inputs.len() / self.workers.max(1)).clamp(1, 16);
+            let tasks: Vec<(usize, usize)> = (0..inputs.len())
+                .step_by(chunk)
+                .map(|start| (start, (start + chunk).min(inputs.len())))
+                .collect();
+            let results = par::try_parallel_map(&tasks, self.workers, |_, &(start, end)| {
+                let lane_inputs: Vec<&[f64]> =
+                    inputs[start..end].iter().map(|v| v.as_slice()).collect();
+                let lanes = lane_inputs.len();
+                let slab = run_density_slab(pb, &lane_inputs, None);
+                let mut out = Vec::with_capacity(lanes);
+                for lane in 0..lanes {
+                    let rho = DensityMatrix::from_flat(
+                        compiled.n_qubits(),
+                        extract_lane(&slab, lanes, lane),
+                    );
+                    let vals = match shots {
+                        None => readout.evaluate_density(&rho)?,
+                        Some(s) => {
+                            let mut rng = StdRng::seed_from_u64(ExecutionBackend::eval_seed(
+                                *seed,
+                                &inputs[start + lane],
+                                params,
+                                0,
+                            ));
+                            readout.evaluate_shots_density(&rho, *s, &mut rng)?
+                        }
+                    };
+                    out.push(vals);
+                }
+                Ok::<_, RuntimeError>(out)
+            })?;
+            return Ok(results.into_iter().flatten().collect());
+        }
         par::try_parallel_map(inputs, self.workers, |_, item| {
-            backend_eval(compiled, readout, item, params, backend, None)
+            backend_eval(compiled, readout, item, params, backend, &prep, None)
         })
     }
 
-    /// Batched forward **and** parameter-shift Jacobian under an
-    /// [`ExecutionBackend`] — the gradient queue of the stochastic
-    /// backends. Every forward and every ±shift evaluation of the whole
-    /// minibatch is one task; under `Sampled`/`Noisy` each evaluation's
-    /// expectations come from that backend (shot-sampled and/or noisy),
-    /// so the resulting gradients carry exactly the noise hardware
-    /// execution would. `Ideal` delegates to
+    /// Batched forward **and** Jacobian under an [`ExecutionBackend`] —
+    /// the gradient path of the stochastic backends. Under
+    /// `Sampled`/`Noisy`, every forward and every ±shift evaluation of
+    /// the whole minibatch is one parameter-shift task, so the resulting
+    /// gradients carry exactly the noise hardware execution would.
+    /// `Trajectory` instead runs one **per-trajectory adjoint** task per
+    /// minibatch item (exact gradient of the sampled estimator — the jump
+    /// draws are parameter-independent). `Ideal` delegates to
     /// [`BatchExecutor::forward_and_jacobian_batch`] and is bit-identical
     /// to it.
     ///
@@ -387,6 +441,24 @@ impl BatchExecutor {
         for item in inputs {
             check_bindings(compiled, item, params)?;
         }
+        let prep = BackendPrep::new(compiled, params, backend)?;
+        // Trajectory gradients skip the shift queue entirely: the jump
+        // draws are parameter-independent, so each evaluation's exact
+        // Jacobian comes from one per-trajectory adjoint sweep
+        // ([`crate::trajectory::run_trajectory_adjoint`]) — one task per
+        // minibatch item, with the forward outputs bit-identical to the
+        // plain forward pass (same walk, same streams).
+        if let (ExecutionBackend::Trajectory { samples, seed, .. }, BackendPrep::Traj(pb)) =
+            (backend, &prep)
+        {
+            let results = par::try_parallel_map(inputs, self.workers, |_, item| {
+                let eval_seed = ExecutionBackend::eval_seed(*seed, item, params, 0);
+                Ok::<_, RuntimeError>(run_trajectory_adjoint(
+                    pb, readout, item, *samples, eval_seed,
+                ))
+            })?;
+            return Ok(results.into_iter().unzip());
+        }
         let occurrences = compiled.occurrences();
         // Task id: b * (occurrences + 1); offset 0 = forward pass.
         let per_sample = occurrences.len() + 1;
@@ -395,7 +467,7 @@ impl BatchExecutor {
             let b = t / per_sample;
             let slot = t % per_sample;
             if slot == 0 {
-                backend_eval(compiled, readout, &inputs[b], params, backend, None)
+                backend_eval(compiled, readout, &inputs[b], params, backend, &prep, None)
                     .map(TaskResult::Forward)
             } else {
                 let occ = occurrences[slot - 1];
@@ -407,6 +479,7 @@ impl BatchExecutor {
                         &inputs[b],
                         params,
                         backend,
+                        &prep,
                         Some((occ.raw_idx, t)),
                     )
                 })
@@ -542,6 +615,41 @@ enum TaskResult {
     Shift { param: usize, grads: Vec<f64> },
 }
 
+/// Per-batch backend preparation, built **once** before a queue drains:
+/// the noisy backend's superoperator prebind and the trajectory backend's
+/// schedule prebind both hoist their per-gate work here so every task in
+/// the queue (forward passes and shift evaluations alike) reuses it.
+// One value exists per batch and it is only ever borrowed, so the size
+// spread between `Plain` and the prebind variants costs nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum BackendPrep {
+    /// Ideal/Sampled: the fused statevector schedule needs no extra prep.
+    Plain,
+    /// Noisy: per-gate superoperators prebound over `(params, noise)`.
+    Density(DensityPrebound),
+    /// Trajectory: raw schedule prebound over `(params, noise)`.
+    Traj(TrajPrebound),
+}
+
+impl BackendPrep {
+    fn new(
+        compiled: &CompiledCircuit,
+        params: &[f64],
+        backend: &ExecutionBackend,
+    ) -> Result<BackendPrep, RuntimeError> {
+        match backend {
+            ExecutionBackend::Ideal | ExecutionBackend::Sampled { .. } => Ok(BackendPrep::Plain),
+            ExecutionBackend::Noisy { model, .. } => Ok(BackendPrep::Density(prebind_density(
+                compiled, params, model,
+            )?)),
+            ExecutionBackend::Trajectory { model, .. } => Ok(BackendPrep::Traj(
+                prebind_trajectory(compiled, params, model)?,
+            )),
+        }
+    }
+}
+
 /// The sample-stream salt of an evaluation: 0 for the plain forward pass,
 /// a mix of the overridden gate index and angle bits for shift
 /// evaluations, so each distinct circuit instance draws its own stream.
@@ -557,15 +665,18 @@ fn override_salt(override_angle: Option<(usize, f64)>) -> u64 {
 /// One circuit evaluation under a backend: the shared primitive of the
 /// batched backend queues. `override_angle` forces one raw-schedule
 /// gate's angle (the parameter-shift primitive); without it the ideal and
-/// sampled backends run the fused schedule, while the noisy backend
-/// always walks the raw schedule (per-gate noise must scale with the
-/// source gate count).
+/// sampled backends run the fused schedule. The noisy and trajectory
+/// backends run their [`BackendPrep`] schedules, built once per batch —
+/// per-gate noise must scale with the **raw** (source) gate count, and
+/// the per-gate superoperator products / trig hoists must not be redone
+/// per evaluation.
 fn backend_eval(
     compiled: &CompiledCircuit,
     readout: &Readout,
     inputs: &[f64],
     params: &[f64],
     backend: &ExecutionBackend,
+    prep: &BackendPrep,
     override_angle: Option<(usize, f64)>,
 ) -> Result<Vec<f64>, RuntimeError> {
     let pure_state = || match override_angle {
@@ -591,8 +702,11 @@ fn backend_eval(
                 .evaluate_shots(&state, *shots, &mut rng)
                 .map_err(RuntimeError::from)
         }
-        ExecutionBackend::Noisy { model, shots, seed } => {
-            let rho = run_raw_density(compiled, inputs, params, model, override_angle)?;
+        ExecutionBackend::Noisy { shots, seed, .. } => {
+            let BackendPrep::Density(pb) = prep else {
+                unreachable!("noisy backend_eval called without a density prebind")
+            };
+            let rho = run_density(pb, inputs, override_angle)?;
             match shots {
                 None => readout.evaluate_density(&rho).map_err(RuntimeError::from),
                 Some(s) => {
@@ -607,6 +721,21 @@ fn backend_eval(
                         .map_err(RuntimeError::from)
                 }
             }
+        }
+        ExecutionBackend::Trajectory { samples, seed, .. } => {
+            let BackendPrep::Traj(pb) = prep else {
+                unreachable!("trajectory backend_eval called without a trajectory prebind")
+            };
+            let eval_seed =
+                ExecutionBackend::eval_seed(*seed, inputs, params, override_salt(override_angle));
+            Ok(trajectory_outputs(
+                pb,
+                readout,
+                inputs,
+                *samples,
+                eval_seed,
+                override_angle,
+            ))
         }
     }
 }
@@ -1079,6 +1208,137 @@ mod tests {
             .expectation_batch_backend(&compiled, &readout, &inputs, &params, &with_shots)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trajectory_backend_is_worker_count_invariant_and_deterministic() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 29);
+        let inputs = batch_inputs(4);
+        let readout = Readout::z_all(4);
+        let noise = qmarl_qsim::noise::NoiseModel::depolarizing(0.01, 0.02).unwrap();
+        let backend = ExecutionBackend::Trajectory {
+            model: noise,
+            samples: 24,
+            seed: 3,
+        };
+        let reference = BatchExecutor::serial()
+            .expectation_batch_backend(&compiled, &readout, &inputs, &params, &backend)
+            .unwrap();
+        let (fwd_ref, jac_ref) = BatchExecutor::serial()
+            .forward_and_jacobian_batch_backend(&compiled, &readout, &inputs, &params, &backend)
+            .unwrap();
+        for workers in [4usize, 8] {
+            let ex = BatchExecutor::new(workers);
+            assert_eq!(
+                ex.expectation_batch_backend(&compiled, &readout, &inputs, &params, &backend)
+                    .unwrap(),
+                reference,
+                "workers={workers}"
+            );
+            let (fwd, jac) = ex
+                .forward_and_jacobian_batch_backend(&compiled, &readout, &inputs, &params, &backend)
+                .unwrap();
+            assert_eq!(fwd, fwd_ref, "workers={workers}");
+            for (a, b) in jac.iter().zip(&jac_ref) {
+                assert_eq!(a.max_abs_diff(b), 0.0, "workers={workers}");
+            }
+        }
+        // A different root seed draws different error streams.
+        let reseeded = BatchExecutor::serial()
+            .expectation_batch_backend(
+                &compiled,
+                &readout,
+                &inputs,
+                &params,
+                &ExecutionBackend::Trajectory {
+                    model: noise,
+                    samples: 24,
+                    seed: 4,
+                },
+            )
+            .unwrap();
+        assert_ne!(reference, reseeded);
+    }
+
+    #[test]
+    fn noiseless_trajectory_backend_matches_ideal() {
+        // With no channels every trajectory is the pure state, so even a
+        // tiny sample count reproduces the ideal expectations exactly.
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 31);
+        let inputs = batch_inputs(3);
+        let readout = Readout::z_all(4);
+        let ex = BatchExecutor::new(4);
+        let traj = ex
+            .expectation_batch_backend(
+                &compiled,
+                &readout,
+                &inputs,
+                &params,
+                &ExecutionBackend::Trajectory {
+                    model: qmarl_qsim::noise::NoiseModel::noiseless(),
+                    samples: 3,
+                    seed: 0,
+                },
+            )
+            .unwrap();
+        let ideal = ex
+            .expectation_batch(&compiled, &readout, &inputs, &params)
+            .unwrap();
+        for (a, b) in traj.iter().flatten().zip(ideal.iter().flatten()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trajectory_backend_converges_to_the_noisy_density() {
+        let circuit = paper_circuit();
+        let compiled = compile(&circuit);
+        let params = init_params(20, 37);
+        let inputs = batch_inputs(2);
+        let readout = Readout::z_all(4);
+        let noise = qmarl_qsim::noise::NoiseModel::depolarizing(0.01, 0.02).unwrap();
+        let ex = BatchExecutor::default();
+        let exact = ex
+            .expectation_batch_backend(
+                &compiled,
+                &readout,
+                &inputs,
+                &params,
+                &ExecutionBackend::Noisy {
+                    model: noise,
+                    shots: None,
+                    seed: 0,
+                },
+            )
+            .unwrap();
+        let samples = 4096;
+        let traj = ex
+            .expectation_batch_backend(
+                &compiled,
+                &readout,
+                &inputs,
+                &params,
+                &ExecutionBackend::Trajectory {
+                    model: noise,
+                    samples,
+                    seed: 13,
+                },
+            )
+            .unwrap();
+        for (b, (est, reference)) in traj.iter().zip(&exact).enumerate() {
+            for (q, (a, e)) in est.iter().zip(reference).enumerate() {
+                let se = qmarl_qsim::shots::z_standard_error(*e, samples).max(1e-4);
+                assert!(
+                    (a - e).abs() < 6.0 * se,
+                    "sample {b} wire {q}: {a} vs {e} (6σ = {})",
+                    6.0 * se
+                );
+            }
+        }
     }
 
     #[test]

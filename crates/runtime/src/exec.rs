@@ -155,13 +155,19 @@ pub(crate) fn run_raw_with_override(
 /// raw schedule is used deliberately: per-gate noise must scale with the
 /// *source* circuit's gate count, which fusion would shrink.
 ///
+/// This is the **reference interpreter** for noisy execution: the hot
+/// path is the prebound superoperator executor
+/// ([`crate::superop::run_density`]), which is property-tested against
+/// this walk at 1e-12 and replaces it in every batched queue. Keep this
+/// one naive and obviously correct.
+///
 /// `override_angle` optionally forces gate `raw_idx`'s angle to `theta`,
 /// which is the parameter-shift rule's primitive on this backend.
 ///
 /// # Errors
 ///
 /// Returns a simulator error for an invalid noise strength.
-pub(crate) fn run_raw_density(
+pub fn run_raw_density(
     compiled: &CompiledCircuit,
     inputs: &[f64],
     params: &[f64],

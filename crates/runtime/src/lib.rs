@@ -35,12 +35,23 @@
 //!   `vqc::exec::run`).
 //! * [`backend`] — [`backend::ExecutionBackend`]: the execution-model
 //!   axis. `Ideal` (exact statevector, the default), `Sampled { shots }`
-//!   (finite-shot readout with content-addressed per-evaluation seeds)
-//!   and `Noisy { model, shots }` (density-matrix execution with
-//!   per-gate channels, raw schedule). String-constructible
+//!   (finite-shot readout with content-addressed per-evaluation seeds),
+//!   `Noisy { model, shots }` (exact density-matrix execution with
+//!   per-gate channels) and `Trajectory { model, samples }`
+//!   (quantum-trajectory sampling of the same noise model at
+//!   statevector cost). String-constructible
 //!   (`"sampled:shots=1024"`), threaded through every executor queue and
 //!   [`qnn::CompiledVqc`]; stochastic backends differentiate by the
 //!   batched parameter-shift queue (adjoint stays `Ideal`-only).
+//! * [`superop`] — the compiled Noisy hot path: the raw schedule plus
+//!   its channels prebind **once** per evaluation batch into dense
+//!   per-gate superoperators ([`qmarl_qsim::superop`]) applied over
+//!   density lane slabs, replacing the per-gate interpreter walk
+//!   (verified against it at 1e-12).
+//! * [`trajectory`] — the Trajectory executor: `samples` statevectors
+//!   as lanes of one slab walk, per-sample Pauli errors drawn from
+//!   derived per-sample streams (worker-count invariant, serial ≡
+//!   batched), converging to the density result at `O(1/√samples)`.
 //! * [`rollout`] — parallel rollout workers with a per-*episode* seed
 //!   derivation, so collected traces are identical for any worker count
 //!   (see the module docs for the determinism contract).
@@ -88,6 +99,8 @@ pub mod exec;
 pub mod prebound;
 pub mod qnn;
 pub mod rollout;
+pub mod superop;
+pub mod trajectory;
 pub mod vec_rollout;
 
 /// The most commonly used items, for glob import.
@@ -107,5 +120,7 @@ pub mod prelude {
         collect_episodes, derive_seed, EpisodeTrace, RolloutConfig, RolloutError, RolloutPolicy,
         TraceStep, WorkerEnv,
     };
+    pub use crate::superop::{prebind_density, run_density, DensityPrebound};
+    pub use crate::trajectory::{prebind_trajectory, TrajPrebound};
     pub use crate::vec_rollout::{collect_episodes_vec, VecDecision, VecRolloutPolicy};
 }

@@ -319,9 +319,10 @@ pub fn run_prebound(pb: &PreboundCircuit, inputs: &[f64]) -> Result<StateVector,
 // alone; only the loop nesting changes.
 // ---------------------------------------------------------------------
 
-/// Disjoint mutable views of amplitude rows `i0 < i1`.
+/// Disjoint mutable views of amplitude rows `i0 < i1` (shared with the
+/// superoperator and trajectory executors).
 #[inline]
-fn rows_mut(
+pub(crate) fn rows_mut(
     slab: &mut [Complex64],
     lanes: usize,
     i0: usize,
@@ -1066,16 +1067,27 @@ fn adj_apply_resolved(
     }
 }
 
-/// An output observable of the adjoint sweep (λ construction).
-enum SlabObservable {
+/// An output observable of the adjoint sweep (λ construction). Shared
+/// with the trajectory adjoint in [`crate::trajectory`].
+pub(crate) enum SlabObservable {
     SingleZ(usize),
     WeightedZ(Vec<f64>),
 }
 
 impl SlabObservable {
+    /// The λ observables of a readout, in output order.
+    pub(crate) fn of_readout(readout: &Readout) -> Vec<SlabObservable> {
+        match readout {
+            Readout::ZPerQubit { qubits } => {
+                qubits.iter().map(|&q| SlabObservable::SingleZ(q)).collect()
+            }
+            Readout::WeightedZSum { weights } => vec![SlabObservable::WeightedZ(weights.clone())],
+        }
+    }
+
     /// `O|ψ⟩` over a whole lane slab, mirroring the serial observable
     /// application amplitude for amplitude.
-    fn apply_slab(&self, slab: &[Complex64], lanes: usize) -> Vec<Complex64> {
+    pub(crate) fn apply_slab(&self, slab: &[Complex64], lanes: usize) -> Vec<Complex64> {
         let mut out = slab.to_vec();
         let dim = slab.len() / lanes.max(1);
         match self {
@@ -1220,12 +1232,7 @@ pub(crate) fn run_adjoint_slab(
     let outs = readouts_from_slab(readout, &phi, lanes);
 
     // λ_j = O_j |ψ⟩ per output observable, then the reverse sweep.
-    let observables: Vec<SlabObservable> = match readout {
-        Readout::ZPerQubit { qubits } => {
-            qubits.iter().map(|&q| SlabObservable::SingleZ(q)).collect()
-        }
-        Readout::WeightedZSum { weights } => vec![SlabObservable::WeightedZ(weights.clone())],
-    };
+    let observables = SlabObservable::of_readout(readout);
     let mut lambdas: Vec<Vec<Complex64>> = observables
         .iter()
         .map(|o| o.apply_slab(&phi, lanes))

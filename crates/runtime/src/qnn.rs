@@ -143,7 +143,9 @@ impl CompiledVqc {
     /// compiled schedules (see module docs for per-method routing). The
     /// requested method applies on the `Ideal` backend; `Sampled`/`Noisy`
     /// always differentiate by the parameter-shift rule on their own
-    /// backend (adjoint and finite differences need exact statevectors).
+    /// backend (adjoint and finite differences need exact statevectors),
+    /// and `Trajectory` by the per-trajectory adjoint inside the same
+    /// batched path (exact gradient of its sampled estimator).
     ///
     /// # Errors
     ///
@@ -231,8 +233,10 @@ impl CompiledVqc {
         params: &[f64],
     ) -> Result<Vec<(Vec<f64>, Jacobian)>, RuntimeError> {
         if !self.backend.supports_adjoint() {
-            // Adjoint/prebound is `Ideal`-only: stochastic backends route
-            // to the batched parameter-shift queue on their own backend.
+            // Ideal-state adjoint/prebound needs exact statevectors:
+            // stochastic backends route to the batched backend queue on
+            // their own backend (parameter-shift for `Sampled`/`Noisy`,
+            // the per-trajectory adjoint for `Trajectory`).
             return self.forward_with_jacobian_batch(inputs, params);
         }
         let (circ, scales, biases) = self.model.split_params(params)?;

@@ -147,6 +147,55 @@ pub fn run_noisy(
     Ok(rho)
 }
 
+/// Runs **one quantum trajectory** of the circuit under the noise model:
+/// the statevector interpreter with a Pauli error sampled from the
+/// channel after every gate on every touched wire (control before target
+/// — the same wire order as [`run_noisy`]'s Kraus application), drawn
+/// from the caller's `rng`.
+///
+/// Averaging readouts over many trajectories with independent derived
+/// streams converges to the [`run_noisy`] density result at
+/// `O(1/√samples)` for Pauli channels (depolarizing, bit/phase flip);
+/// damping channels are approximated — see
+/// [`qmarl_qsim::noise::NoiseChannel::sample_pauli_error`]. This is the
+/// reference interpreter the runtime's slab trajectory executor is tested
+/// against.
+///
+/// # Errors
+///
+/// Returns binding-length errors as [`run`], or [`VqcError::Simulator`]
+/// if a noise strength is invalid.
+pub fn run_trajectory<R: rand::Rng + ?Sized>(
+    circuit: &Circuit,
+    inputs: &[f64],
+    params: &[f64],
+    noise: &NoiseModel,
+    rng: &mut R,
+) -> Result<StateVector, VqcError> {
+    check_bindings(circuit, inputs, params)?;
+    noise.validate()?;
+    let mut state = StateVector::zero(circuit.n_qubits());
+    for op in circuit.ops() {
+        apply_op(&mut state, op, inputs, params)?;
+        let (wires, channel) = match *op {
+            Op::Rot { qubit, .. } | Op::Fixed { qubit, .. } => (vec![qubit], noise.after_gate1),
+            Op::ControlledRot {
+                control, target, ..
+            }
+            | Op::Cnot { control, target }
+            | Op::Cz { control, target } => (vec![control, target], noise.after_gate2),
+        };
+        if let Some(c) = channel {
+            for w in wires {
+                if let Some(err) = c.sample_pauli_error(rng) {
+                    state.apply_gate1(w, &err)?;
+                }
+            }
+        }
+    }
+    Ok(state)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +295,64 @@ mod tests {
         let rho_s = run_noisy(&shallow, &[0.3, 0.6], &init_params(2, 1), &noise).unwrap();
         let rho_d = run_noisy(&deep, &[0.3, 0.6], &init_params(20, 1), &noise).unwrap();
         assert!(rho_d.purity() < rho_s.purity());
+    }
+
+    #[test]
+    fn noiseless_trajectory_is_bit_identical_to_pure_run() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let c = small_circuit();
+        let params = init_params(4, 5);
+        let inputs = [0.4, 0.8];
+        let mut rng = StdRng::seed_from_u64(7);
+        let traj =
+            run_trajectory(&c, &inputs, &params, &NoiseModel::noiseless(), &mut rng).unwrap();
+        let pure = run(&c, &inputs, &params).unwrap();
+        assert_eq!(traj.amplitudes(), pure.amplitudes());
+    }
+
+    #[test]
+    fn certain_phase_flip_trajectory_is_deterministic() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // p = 1 phase flips fire on every gate: the trajectory equals the
+        // circuit with Z appended after each touched wire, independent of
+        // the rng stream.
+        let mut c = Circuit::new(2);
+        c.fixed(0, crate::ir::FixedGate::H).unwrap();
+        c.rot(1, Ax::Y, Angle::Const(0.8)).unwrap();
+        c.cnot(0, 1).unwrap();
+        let noise = NoiseModel {
+            after_gate1: Some(NoiseChannel::PhaseFlip { p: 1.0 }),
+            after_gate2: Some(NoiseChannel::PhaseFlip { p: 1.0 }),
+        };
+        let mut with_z = Circuit::new(2);
+        with_z.fixed(0, crate::ir::FixedGate::H).unwrap();
+        with_z.fixed(0, crate::ir::FixedGate::Z).unwrap();
+        with_z.rot(1, Ax::Y, Angle::Const(0.8)).unwrap();
+        with_z.fixed(1, crate::ir::FixedGate::Z).unwrap();
+        with_z.cnot(0, 1).unwrap();
+        with_z.fixed(0, crate::ir::FixedGate::Z).unwrap();
+        with_z.fixed(1, crate::ir::FixedGate::Z).unwrap();
+        for seed in [0u64, 9] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let traj = run_trajectory(&c, &[], &[], &noise, &mut rng).unwrap();
+            let reference = run(&with_z, &[], &[]).unwrap();
+            assert!((traj.fidelity(&reference).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trajectory_norm_is_preserved() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let c = small_circuit();
+        let noise = NoiseModel::depolarizing(0.2, 0.3).unwrap();
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = run_trajectory(&c, &[0.5, 1.1], &init_params(4, 0), &noise, &mut rng).unwrap();
+            assert!((s.norm() - 1.0).abs() < 1e-12);
+        }
     }
 
     #[test]

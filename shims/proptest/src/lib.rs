@@ -93,7 +93,14 @@ macro_rules! impl_tuple_strategy {
     )+};
 }
 
-impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
 
 /// Object-safe sampling for [`Union`] arms (implementation detail made
 /// public only because `Union`'s constructors name it).

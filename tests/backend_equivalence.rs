@@ -2,13 +2,15 @@
 //!
 //! * `Ideal` is the default and **bit-identical** to pre-backend
 //!   behaviour (assert_eq, no tolerances).
-//! * `Sampled`/`Noisy` are deterministic under the derived-seed contract:
-//!   worker-count invariant, reproducible run to run, and bit-identical
-//!   between the serial and batched execution paths.
-//! * `Sampled { shots }` converges statistically to `Ideal` within
+//! * `Sampled`/`Noisy`/`Trajectory` are deterministic under the
+//!   derived-seed contract: worker-count invariant, reproducible run to
+//!   run, and bit-identical between the serial and batched execution
+//!   paths.
+//! * `Sampled { shots }` converges statistically to `Ideal`, and
+//!   `Trajectory { samples }` to the exact `Noisy` density result, within
 //!   `z_standard_error` bounds on every registered scenario's actor
 //!   shape.
-//! * Both stochastic backends train end-to-end on the paper scenario via
+//! * The stochastic backends train end-to-end on the paper scenario via
 //!   the batched parameter-shift queue.
 
 use qmarl::core::prelude::*;
@@ -185,6 +187,108 @@ fn sampled_backend_trains_end_to_end_deterministically() {
         .any(|(a, b)| (a - b).abs() > 1e-12));
     // Bit-identical replay from the same seeds: the derived-seed
     // contract covers the full training loop.
+    assert_eq!(run(), (history, critic_params, actor_params));
+}
+
+#[test]
+fn trajectory_expectations_are_worker_count_invariant() {
+    let actor = scenario_actor(find_scenario("single-hop").unwrap(), 7);
+    let compiled = actor.compiled().clone();
+    let model = compiled.model().clone();
+    let params = actor.params();
+    let obs: Vec<Vec<f64>> = (0..6)
+        .map(|b| (0..4).map(|i| 0.09 * (b * 4 + i) as f64).collect())
+        .collect();
+    let backend: ExecutionBackend = "trajectory:p1=0.01:p2=0.02:samples=16:seed=21"
+        .parse()
+        .unwrap();
+    let run = |workers: usize| {
+        let vqc = CompiledVqc::new(model.clone())
+            .with_executor(BatchExecutor::new(workers))
+            .with_backend(backend.clone());
+        let outs = vqc.forward_batch(&obs, &params).unwrap();
+        let grads = vqc.forward_with_jacobian_batch(&obs, &params).unwrap();
+        (outs, grads)
+    };
+    let (outs1, grads1) = run(1);
+    for workers in [4usize, 8] {
+        let (outs, grads) = run(workers);
+        assert_eq!(outs, outs1, "workers={workers}");
+        assert_eq!(grads.len(), grads1.len());
+        for ((o, j), (o1, j1)) in grads.iter().zip(&grads1) {
+            assert_eq!(o, o1, "workers={workers}");
+            assert_eq!(j.max_abs_diff(j1), 0.0, "workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn trajectory_converges_to_noisy_density_on_every_registered_scenario() {
+    // Trajectory sampling is an unbiased estimator of the density-matrix
+    // evolution for Pauli channels, so its per-wire ⟨Z⟩ error obeys the
+    // same binomial standard error the sampled backend does — with the
+    // exact Noisy density expectations as the reference.
+    let samples = 2000;
+    for spec in scenarios() {
+        let traj_actor = scenario_actor(spec, 13).with_backend(
+            format!("trajectory:p1=0.01:p2=0.02:samples={samples}:seed=5")
+                .parse()
+                .unwrap(),
+        );
+        let dense_actor =
+            scenario_actor(spec, 13).with_backend("noisy:p1=0.01:p2=0.02".parse().unwrap());
+        let obs: Vec<f64> = (0..dense_actor.obs_dim())
+            .map(|i| 0.1 + 0.07 * i as f64)
+            .collect();
+        let exact = dense_actor
+            .compiled()
+            .forward(&obs, &dense_actor.params())
+            .unwrap();
+        let est = traj_actor
+            .compiled()
+            .forward(&obs, &traj_actor.params())
+            .unwrap();
+        for (q, (a, e)) in est.iter().zip(&exact).enumerate() {
+            let bound = 6.0 * z_standard_error(*e, samples).max(1e-4);
+            assert!(
+                (a - e).abs() < bound,
+                "{} wire {q}: trajectory {a} vs density {e} (6σ = {bound})",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn trajectory_backend_trains_end_to_end_deterministically() {
+    let backend: ExecutionBackend = "trajectory:p1=0.004:p2=0.008:samples=12:seed=2"
+        .parse()
+        .unwrap();
+    let run = || {
+        let mut t =
+            build_scenario_trainer("single-hop", &backend, &small_train(19), Some(8)).unwrap();
+        t.train(2).unwrap();
+        (
+            t.history().clone(),
+            t.critic().params(),
+            t.actors().iter().map(|a| a.params()).collect::<Vec<_>>(),
+        )
+    };
+    let (history, critic_params, actor_params) = run();
+    assert_eq!(history.len(), 2);
+    for r in history.records() {
+        assert!(r.critic_loss.is_finite() && r.critic_loss > 0.0);
+        assert!(r.mean_entropy > 0.0);
+    }
+    // Parameters moved under trajectory-noisy parameter-shift gradients.
+    let fresh = build_scenario_trainer("single-hop", &backend, &small_train(19), Some(8)).unwrap();
+    assert!(fresh
+        .critic()
+        .params()
+        .iter()
+        .zip(&critic_params)
+        .any(|(a, b)| (a - b).abs() > 1e-12));
+    // Bit-identical replay from the same seeds.
     assert_eq!(run(), (history, critic_params, actor_params));
 }
 

@@ -2,22 +2,24 @@
 //! stack.
 //!
 //! Every registered scenario runs a short deterministic training cell
-//! under {Ideal, Sampled} × {Serial, Batched}. Under **Ideal** the
-//! (reward, loss, entropy, final parameter) fingerprint is asserted
-//! bit-exactly against the committed table below — any change to the
-//! simulator, the gradient engines, the rollout collectors, the update
-//! sweep, the environments or the seeding contract shows up here. Under
-//! **Sampled** the two engines must agree bit-exactly with each other
-//! and with a re-run (the content-addressed shot-stream contract).
+//! under {Ideal, Sampled, Noisy, Trajectory} × {Serial, Batched}. Under
+//! **Ideal**, **Noisy** and **Trajectory** the (reward, loss, entropy,
+//! final parameter) fingerprint is asserted bit-exactly against the
+//! committed tables below — any change to the simulators (statevector,
+//! superoperator density, trajectory sampling), the gradient engines,
+//! the rollout collectors, the update sweep, the environments or the
+//! seeding contract shows up here. Under **Sampled** the two engines
+//! must agree bit-exactly with each other and with a re-run (the
+//! content-addressed shot-stream contract).
 //!
-//! When an *intentional* change shifts the numbers, regenerate the table
-//! with:
+//! When an *intentional* change shifts the numbers, regenerate the
+//! tables with:
 //!
 //! ```text
 //! QMARL_BLESS=1 cargo test --test golden_runs -- --nocapture
 //! ```
 //!
-//! and paste the printed rows over `GOLDEN_IDEAL`.
+//! and paste the printed rows over the matching `GOLDEN_*` table.
 
 use qmarl::harness::prelude::*;
 use qmarl::runtime::backend::ExecutionBackend;
@@ -49,21 +51,28 @@ fn fingerprint(result: &CellResult) -> u64 {
     h
 }
 
-/// One short deterministic cell: 2 epochs × 5-step episodes, seed 9.
-fn run(scenario: &str, backend: &str, engine: &str) -> u64 {
+/// One deterministic cell of the given length, seed 9.
+fn run_sized(scenario: &str, backend: &str, engine: &str, epochs: usize, limit: usize) -> u64 {
     let spec: ExperimentSpec = format!(
         "name=golden;scenarios={scenario};backends={backend};engines={engine};\
-         seeds=9;epochs=2;limit=5"
+         seeds=9;epochs={epochs};limit={limit}"
     )
     .parse()
     .expect("valid golden spec");
     let cell = spec.expand().remove(0);
     let result = run_cell(&spec, &cell, &CellOptions::default()).expect("golden cell runs");
-    assert_eq!(result.history.len(), 2);
+    assert_eq!(result.history.len(), epochs);
     fingerprint(&result)
 }
 
+/// The standard short cell: 2 epochs × 5-step episodes, seed 9.
+fn run(scenario: &str, backend: &str, engine: &str) -> u64 {
+    run_sized(scenario, backend, engine, 2, 5)
+}
+
 const SAMPLED: &str = "sampled:shots=32:seed=5";
+const NOISY: &str = "noisy:p1=0.01:p2=0.02:shots=24:seed=7";
+const TRAJECTORY: &str = "trajectory:p1=0.01:p2=0.02:samples=8:seed=7";
 
 /// The committed Ideal fingerprints, one per registered scenario. Both
 /// update engines must land exactly here.
@@ -73,6 +82,65 @@ const GOLDEN_IDEAL: &[(&str, u64)] = &[
     ("single-hop-wide", 0x87db07a0c9e457da),
     ("two-tier", 0xe432d12bfb45dbdf),
 ];
+
+/// Committed fingerprints for a short Noisy (superoperator density +
+/// finite shots) training cell. `single-hop-wide` is skipped on purpose:
+/// its 8-qubit actor makes every density evaluation a 65 536-amplitude
+/// register, and the execution path it would pin is identical to the
+/// other rows'.
+const GOLDEN_NOISY: &[(&str, u64)] = &[
+    ("single-hop", 0xd74fd9405546c9dc),
+    ("single-hop-bursty", 0xba10c7b35103e70b),
+    ("two-tier", 0xd671d60f3a127d0c),
+];
+
+/// Committed fingerprints for a short Trajectory (quantum-jump sampling)
+/// training cell. Statevector-sized work, so every scenario — including
+/// the 8-qubit wide one — gets a row.
+const GOLDEN_TRAJECTORY: &[(&str, u64)] = &[
+    ("single-hop", 0xa3af1ad2710e6249),
+    ("single-hop-bursty", 0xfc35fff1bcb40a91),
+    ("single-hop-wide", 0x630eba60712ed1fc),
+    ("two-tier", 0x1968f50000944bcf),
+];
+
+/// Shared driver for a committed-fingerprint table: per scenario, both
+/// engines must agree bit-exactly and land on the committed value (or,
+/// under `QMARL_BLESS=1`, print a fresh table).
+fn check_golden_table(
+    backend: &str,
+    table_name: &str,
+    table: &[(&str, u64)],
+    epochs: usize,
+    limit: usize,
+) {
+    let bless = std::env::var("QMARL_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut printed = String::new();
+    let mut failures = Vec::new();
+    for &(scenario, expected) in table {
+        let batched = run_sized(scenario, backend, "batched", epochs, limit);
+        let serial = run_sized(scenario, backend, "serial", epochs, limit);
+        assert_eq!(
+            batched, serial,
+            "{scenario}: update engines must be bit-identical under {backend}"
+        );
+        printed.push_str(&format!("    (\"{scenario}\", {batched:#x}),\n"));
+        if batched != expected {
+            failures.push(format!(
+                "{scenario}: fingerprint {batched:#x} != committed {expected:#x}"
+            ));
+        }
+    }
+    if bless {
+        println!("const {table_name}: &[(&str, u64)] = &[\n{printed}];");
+        return;
+    }
+    assert!(
+        failures.is_empty(),
+        "golden {backend} fingerprints drifted:\n{}\nnew table (QMARL_BLESS=1 to print):\n{printed}",
+        failures.join("\n")
+    );
+}
 
 #[test]
 fn golden_runs_match_committed_fingerprints_under_ideal() {
@@ -112,6 +180,33 @@ fn golden_runs_match_committed_fingerprints_under_ideal() {
         "golden Ideal fingerprints drifted:\n{}\nnew table (QMARL_BLESS=1 to print):\n{table}",
         failures.join("\n")
     );
+}
+
+#[test]
+fn golden_runs_match_committed_fingerprints_under_noisy() {
+    // A shorter cell than the other backends' (1 epoch × 3-step
+    // episodes): every parameter-shift evaluation evolves the full 4^n
+    // density register, so the standard cell would dominate the suite's
+    // unoptimized (debug) wall time without pinning anything extra.
+    check_golden_table(NOISY, "GOLDEN_NOISY", GOLDEN_NOISY, 1, 3);
+}
+
+#[test]
+fn golden_runs_match_committed_fingerprints_under_trajectory() {
+    let scenarios: Vec<&str> = qmarl::env::scenario::scenarios()
+        .iter()
+        .map(|s| s.name())
+        .collect();
+    assert_eq!(
+        scenarios,
+        GOLDEN_TRAJECTORY
+            .iter()
+            .map(|(s, _)| *s)
+            .collect::<Vec<_>>(),
+        "GOLDEN_TRAJECTORY must cover exactly the registered scenarios; \
+         re-bless after registry changes"
+    );
+    check_golden_table(TRAJECTORY, "GOLDEN_TRAJECTORY", GOLDEN_TRAJECTORY, 2, 5);
 }
 
 #[test]
